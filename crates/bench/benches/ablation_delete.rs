@@ -1,0 +1,77 @@
+//! Ablation E9 — the bespoke basket-delete operator (§6.2).
+//!
+//! The paper: "creating a new operator, that … in one go removes a set of
+//! tuples by shifting the remaining tuples in the positions of the deleted
+//! ones, gives a significant boost in performance" (quantified at 20–30%
+//! overall). This bench isolates exactly that choice: single-pass
+//! `delete_shift` versus the composed stock-operator route
+//! (`complement` + `gather` + replace) across deletion fractions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use monet::ops::delete::{delete_compose, delete_shift};
+use monet::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn relation(n: usize) -> Relation {
+    let mut rng = StdRng::seed_from_u64(1);
+    Relation::from_columns(vec![
+        (
+            "a".into(),
+            Column::from_ints((0..n).map(|_| rng.gen_range(0..1_000_000i64)).collect()),
+        ),
+        (
+            "b".into(),
+            Column::from_ints((0..n).map(|_| rng.gen_range(0..1_000i64)).collect()),
+        ),
+        (
+            "ts".into(),
+            Column::from_ts((0..n as i64).collect()),
+        ),
+    ])
+    .unwrap()
+}
+
+fn selection(n: usize, fraction: f64, seed: u64) -> SelVec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let picks: Vec<u32> = (0..n as u32)
+        .filter(|_| rng.gen_bool(fraction))
+        .collect();
+    SelVec::from_sorted(picks).unwrap()
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    for &fraction in &[0.001f64, 0.1, 0.5, 0.9] {
+        let mut g = c.benchmark_group(format!("delete_{}pct", (fraction * 100.0) as u32));
+        g.throughput(Throughput::Elements(n as u64));
+        let base = relation(n);
+        let sel = selection(n, fraction, 2);
+        g.bench_with_input(
+            BenchmarkId::new("shift", n),
+            &(&base, &sel),
+            |b, (base, sel)| {
+                b.iter_batched(
+                    || (*base).clone(),
+                    |mut rel| delete_shift(&mut rel, sel).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("compose", n),
+            &(&base, &sel),
+            |b, (base, sel)| {
+                b.iter_batched(
+                    || (*base).clone(),
+                    |mut rel| delete_compose(&mut rel, sel).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_delete);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks over engine-level paths: basket ingestion,
+//! factory firing (kernel vs SQL), and SQL front-end costs.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacell::clock::VirtualClock;
+use datacell::prelude::*;
+use datacell::scheduler::Scheduler;
+use datacell::strategy::{separate_baskets, stream_schema, RangeQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn batch(n: usize) -> Relation {
+    let mut rng = StdRng::seed_from_u64(1);
+    Relation::from_columns(vec![
+        ("ts".into(), Column::from_ts(vec![0; n])),
+        (
+            "a".into(),
+            Column::from_ints((0..n).map(|_| rng.gen_range(0..10_000i64)).collect()),
+        ),
+    ])
+    .unwrap()
+}
+
+fn bench_basket_append(c: &mut Criterion) {
+    let clock = VirtualClock::new();
+    let mut g = c.benchmark_group("basket_append");
+    for &n in &[1_000usize, 100_000] {
+        let rel = batch(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &rel, |b, rel| {
+            let basket = Basket::new("B", &stream_schema(), false);
+            b.iter(|| {
+                basket.append_relation(rel.clone(), &clock).unwrap();
+                basket.drain()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_factory_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factory_roundtrip_100k");
+    let n = 100_000usize;
+    g.throughput(Throughput::Elements(n as u64));
+
+    // hand-wired kernel factory
+    g.bench_function("kernel", |b| {
+        let clock = Arc::new(VirtualClock::new());
+        let stream = Basket::new("S", &stream_schema(), false);
+        let net = separate_baskets(
+            &stream,
+            &[RangeQuery { lo: 100, hi: 112 }],
+            1,
+            clock.clone(),
+        );
+        let mut sched = Scheduler::new();
+        let outputs = net.outputs.clone();
+        for f in net.factories {
+            sched.add(f);
+        }
+        let rel = batch(n);
+        b.iter(|| {
+            stream.append_relation(rel.clone(), clock.as_ref()).unwrap();
+            sched.run_until_quiescent(100).unwrap();
+            for o in &outputs {
+                o.drain();
+            }
+        })
+    });
+
+    // same query through the SQL executor
+    g.bench_function("sql", |b| {
+        let clock = Arc::new(VirtualClock::new());
+        let engine = DataCell::with_clock(clock.clone());
+        engine.create_basket("S", &stream_schema()).unwrap();
+        let rx = engine
+            .register_query(
+                "q",
+                "select ts, a from [select * from S where 100 < a and a < 112] as Z",
+                QueryOptions::subscribed(),
+            )
+            .unwrap()
+            .unwrap();
+        let rel = batch(n);
+        b.iter(|| {
+            engine.ingest_relation("S", rel.clone()).unwrap();
+            engine.run_until_quiescent(100).unwrap();
+            while rx.try_recv().is_ok() {}
+        })
+    });
+    g.finish();
+}
+
+fn bench_sql_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sql_frontend");
+    let sql = "select s, count(*) as n, avg(v) from [select * from S where 10 < v and v < 5000] as Z \
+               group by s having count(*) > 2 order by n desc limit 10";
+    g.bench_function("parse", |b| {
+        b.iter(|| dcsql::parse_statements(sql).unwrap())
+    });
+    let stmts = dcsql::parse_statements(sql).unwrap();
+    let rel = Relation::from_columns(vec![
+        ("s".into(), Column::from_ints((0..10_000).map(|i| i % 50).collect())),
+        ("v".into(), Column::from_ints((0..10_000).collect())),
+    ])
+    .unwrap();
+    let ctx = dcsql::exec::StaticContext::new().with_relation("S", rel);
+    g.bench_function("execute_10k_rows", |b| {
+        b.iter(|| dcsql::exec::execute_script(&stmts, &ctx).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_basket_append,
+    bench_factory_roundtrip,
+    bench_sql_frontend
+);
+criterion_main!(benches);

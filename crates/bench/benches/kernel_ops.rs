@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks over the kernel primitives — the vectorized
+//! operator costs every DataCell factory is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use monet::ops::group::{agg_sum, group_by};
+use monet::ops::join::hash_join;
+use monet::ops::select::select_range;
+use monet::ops::sort::{sort_perm, SortKey};
+use monet::ops::topn::topn_perm;
+use monet::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn ints(n: usize, domain: i64, seed: u64) -> Column {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Column::from_ints((0..n).map(|_| rng.gen_range(0..domain)).collect())
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut g = c.benchmark_group("select_range");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let col = ints(n, 10_000, 1);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &col, |b, col| {
+            b.iter(|| {
+                select_range(col, &Value::Int(100), &Value::Int(112), false, false, None)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gather");
+    for &n in &[100_000usize, 1_000_000] {
+        let col = ints(n, 10_000, 2);
+        // 1% selectivity
+        let sel = select_range(&col, &Value::Int(0), &Value::Int(100), false, false, None)
+            .unwrap();
+        g.throughput(Throughput::Elements(sel.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(&col, &sel), |b, (col, sel)| {
+            b.iter(|| col.gather(sel).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_join");
+    for &n in &[10_000usize, 100_000] {
+        let l = ints(n, n as i64, 3);
+        let r = ints(n, n as i64, 4);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(&l, &r), |b, (l, r)| {
+            b.iter(|| hash_join(l, r, None, None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_group(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_sum");
+    for &n in &[100_000usize, 1_000_000] {
+        let keys = ints(n, 1_000, 5);
+        let vals = ints(n, 100, 6);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&keys, &vals),
+            |b, (keys, vals)| {
+                b.iter(|| {
+                    let grouping = group_by(&[keys], None).unwrap();
+                    agg_sum(vals, &grouping).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_sort_topn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ordering");
+    let n = 100_000usize;
+    let col = ints(n, 1_000_000, 7);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("full_sort_100k", |b| {
+        b.iter(|| {
+            sort_perm(&[SortKey { col: &col, ascending: true }], None).unwrap()
+        })
+    });
+    g.bench_function("top20_100k", |b| {
+        b.iter(|| topn_perm(&[SortKey { col: &col, ascending: true }], 20, None).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_select,
+    bench_gather,
+    bench_join,
+    bench_group,
+    bench_sort_topn
+);
+criterion_main!(benches);

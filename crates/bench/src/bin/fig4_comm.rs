@@ -1,0 +1,195 @@
+//! Figure 4 — effect of inter-process communication.
+//!
+//! A sensor process streams 10⁵ two-column tuples over TCP into the
+//! engine; a query chain of `select *` continuous queries (the worst case:
+//! every tuple flows through every query) hands them to an emitter that
+//! delivers to an actuator over TCP. The "without kernel" rows connect the
+//! sensor directly to the actuator, isolating pure communication cost.
+//!
+//! Reproduces both panels: (a) elapsed time per batch, (b) throughput.
+//!
+//! `cargo run -p dc-bench --release --bin fig4_comm [--tuples N]`
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use datacell::prelude::*;
+use dc_bench::{arg, Figure};
+
+fn sensor_rows(n: usize) -> Vec<(i64, i64)> {
+    // (creation timestamp written later, payload)
+    (0..n as i64).map(|i| (0, i % 10_000)).collect()
+}
+
+/// Sensor → actuator directly over TCP loopback. Returns (elapsed s, tput).
+fn without_kernel(n: usize) -> (f64, f64) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let actuator = std::thread::spawn(move || {
+        let (sock, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(sock);
+        let mut line = String::new();
+        let mut count = 0usize;
+        while count < n {
+            line.clear();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            count += 1;
+        }
+        count
+    });
+    let start = Instant::now();
+    let mut writer = BufWriter::new(TcpStream::connect(addr).unwrap());
+    for (_, payload) in sensor_rows(n) {
+        writeln!(writer, "{}|{}", now_micros(), payload).unwrap();
+    }
+    writer.flush().unwrap();
+    drop(writer);
+    let received = actuator.join().unwrap();
+    assert_eq!(received, n);
+    let elapsed = start.elapsed().as_secs_f64();
+    (elapsed, n as f64 / elapsed)
+}
+
+fn now_micros() -> i64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_micros() as i64
+}
+
+/// Full pipeline with a k-query chain inside the kernel.
+fn with_kernel(n: usize, k: usize) -> (f64, f64) {
+    let engine = Arc::new(DataCell::new());
+    let schema = Schema::from_pairs(&[("ts", ValueType::Ts), ("val", ValueType::Int)]);
+    // chain baskets B0..Bk-1 (queries i: B_i → B_{i+1}; last one subscribed)
+    for i in 0..k {
+        engine.create_basket(&format!("B{i}"), &schema).unwrap();
+    }
+    for i in 0..k - 1 {
+        engine
+            .register_query(
+                &format!("q{i}"),
+                &format!(
+                    "insert into B{} select ts, val from [select * from B{}] as Z",
+                    i + 1,
+                    i
+                ),
+                QueryOptions::default(),
+            )
+            .unwrap();
+    }
+    let results = engine
+        .register_query(
+            &format!("q{}", k - 1),
+            &format!("select ts, val from [select * from B{}] as Z", k - 1),
+            QueryOptions::subscribed(),
+        )
+        .unwrap()
+        .unwrap();
+
+    // actuator: TCP server counting deliveries
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let actuator_addr = listener.local_addr().unwrap();
+    let actuator = std::thread::spawn(move || {
+        let (sock, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(sock);
+        let mut line = String::new();
+        let mut count = 0usize;
+        while count < n {
+            line.clear();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            count += 1;
+        }
+        count
+    });
+    let emitter = Emitter::spawn_tcp(
+        "emit",
+        results,
+        TcpStream::connect(actuator_addr).unwrap(),
+    );
+
+    // receptor: TCP server fed by the sensor
+    let rec_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let rec_addr = rec_listener.local_addr().unwrap();
+    let receptor = Receptor::spawn_tcp(
+        "recv",
+        rec_listener,
+        engine.basket("B0").unwrap(),
+        Arc::clone(engine.clock()),
+    );
+
+    // scheduler thread
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let engine2 = Arc::clone(&engine);
+    let sched = std::thread::spawn(move || {
+        while !stop2.load(Ordering::Acquire) {
+            let r = engine2.run_round().unwrap();
+            if r.fired == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+        }
+        // final drain
+        engine2.run_until_quiescent(1_000).unwrap();
+    });
+
+    // sensor
+    let start = Instant::now();
+    let mut writer = BufWriter::new(TcpStream::connect(rec_addr).unwrap());
+    for (_, payload) in sensor_rows(n) {
+        writeln!(writer, "{}|{}", now_micros(), payload).unwrap();
+    }
+    writer.flush().unwrap();
+    drop(writer);
+
+    let received = actuator.join().unwrap();
+    let elapsed = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+    sched.join().unwrap();
+    receptor.join().unwrap();
+    drop(engine);
+    emitter.join().unwrap();
+    assert_eq!(received, n, "all tuples must reach the actuator");
+    (elapsed, n as f64 / elapsed)
+}
+
+fn main() {
+    let n: usize = arg("--tuples", 100_000);
+    let mut fig = Figure::new(
+        "fig4_comm",
+        &["queries", "mode", "elapsed_s", "throughput_tps"],
+    );
+
+    // panel baseline: pure communication (sensor → actuator)
+    let (e, t) = without_kernel(n);
+    for q in [8usize, 16, 32, 64] {
+        fig.row(vec![
+            q.to_string(),
+            "without_kernel".into(),
+            format!("{e:.3}"),
+            format!("{t:.0}"),
+        ]);
+    }
+
+    for q in [8usize, 16, 32, 64] {
+        let (e, t) = with_kernel(n, q);
+        fig.row(vec![
+            q.to_string(),
+            "with_kernel".into(),
+            format!("{e:.3}"),
+            format!("{t:.0}"),
+        ]);
+    }
+    fig.finish();
+    println!(
+        "\nPaper shape: flat 'without kernel' line (communication floor); \
+         'with kernel' elapsed grows with #queries, throughput decreases."
+    );
+}

@@ -1,0 +1,80 @@
+//! Figure 7 — Linear Road system load per query collection over the run.
+//!
+//! Panel (a) is the cumulative input count; panels (b)–(h) are the
+//! per-activation processing times of collections Q1–Q7. We print one row
+//! per sample window with every collection's busy time in that window.
+//!
+//! `cargo run -p dc-bench --release --bin fig7_lr_load \
+//!     [--scale 0.05] [--duration 10800] [--window 60]`
+
+use dc_bench::{arg, Figure};
+use linearroad::driver::{run, DriverConfig};
+use linearroad::gen::GenConfig;
+use linearroad::validate::validate;
+
+fn main() {
+    let scale: f64 = arg("--scale", 0.05);
+    let duration: i64 = arg("--duration", 10_800);
+    let window: i64 = arg("--window", 60);
+
+    let cfg = DriverConfig {
+        gen: GenConfig {
+            scale,
+            duration_secs: duration,
+            seed: 42,
+            xways: 1,
+            query_fraction: 0.01,
+        },
+        sample_every_secs: window,
+    };
+    let result = run(&cfg);
+    println!(
+        "replayed {} tuples in {:.1}s wall (scale {scale})",
+        result.total_input, result.wall_secs
+    );
+
+    let mut fig = Figure::new(
+        "fig7_lr_load",
+        &[
+            "minute",
+            "tuples_in",
+            "q1_ms",
+            "q2_ms",
+            "q3_ms",
+            "q4_ms",
+            "q5_ms",
+            "q6_ms",
+            "q7_ms",
+        ],
+    );
+    let nsamples = result.load[0].1.len();
+    let mut cumulative_in = 0usize;
+    for s in 0..nsamples {
+        let t = result.load[0].1[s].time_sec;
+        let start = (t - window).max(0) as usize;
+        let end = (t as usize).min(result.arrivals.len());
+        cumulative_in += result.arrivals[start..end].iter().sum::<usize>();
+        let mut row = vec![(t / 60).to_string(), cumulative_in.to_string()];
+        for c in 0..7 {
+            row.push(format!("{:.2}", result.load[c].1[s].busy_ms));
+        }
+        fig.row(row);
+    }
+    fig.finish();
+
+    // per-collection totals — who dominates?
+    println!("\ncollection totals:");
+    for (name, samples) in &result.load {
+        let total_ms: f64 = samples.iter().map(|s| s.busy_ms).sum();
+        let firings: u64 = samples.iter().map(|s| s.firings).sum();
+        println!("  {name}: {total_ms:9.1} ms over {firings} activations");
+    }
+
+    let report = validate(&result);
+    println!("\nvalidation:\n{}", report.render());
+    println!(
+        "Paper shape: response times stay well under the deadlines; load \
+         grows as data accumulates; Q7 (18 queries) is the most resource \
+         consuming collection."
+    );
+}

@@ -1,0 +1,108 @@
+//! Shared plumbing for the figure-reproduction binaries.
+//!
+//! Every binary prints an aligned text table (the rows/series the paper
+//! reports) and mirrors it to `target/figures/<name>.csv` so the results
+//! can be plotted.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A figure/table emitter.
+pub struct Figure {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Figure {
+    pub fn new(name: &str, headers: &[&str]) -> Self {
+        Figure {
+            name: name.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Print the table and write the CSV. Returns the CSV path.
+    pub fn finish(self) -> PathBuf {
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        println!("\n== {} ==", self.name);
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        for r in &self.rows {
+            println!("{}", fmt_row(r));
+        }
+
+        let dir = PathBuf::from("target/figures");
+        fs::create_dir_all(&dir).expect("create target/figures");
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path).expect("create csv");
+        writeln!(f, "{}", self.headers.join(",")).unwrap();
+        for r in &self.rows {
+            writeln!(f, "{}", r.join(",")).unwrap();
+        }
+        println!("[written {}]", path.display());
+        path
+    }
+}
+
+/// Parse `--key value` style flags from argv (tiny helper, no deps).
+pub fn arg<T: std::str::FromStr>(key: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Format seconds with ms precision.
+pub fn secs(s: f64) -> String {
+    format!("{s:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_roundtrip() {
+        let mut f = Figure::new("test_fig", &["a", "b"]);
+        f.row(vec!["1".into(), "2".into()]);
+        let path = f.finish();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut f = Figure::new("x", &["a"]);
+        f.row(vec!["1".into(), "2".into()]);
+    }
+}

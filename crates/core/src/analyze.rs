@@ -1,0 +1,202 @@
+//! Static analysis of continuous-query scripts.
+//!
+//! Before a query becomes a factory the engine must know which baskets it
+//! *consumes* (scans inside basket expressions — these are the factory's
+//! Petri-net input places), which it merely *reads* (plain table scans),
+//! and which it *inserts into* (output places). The walk here mirrors the
+//! executor's lineage rules exactly.
+
+use std::collections::BTreeSet;
+
+use dcsql::ast::{Expr, FromItem, SelectStmt, Stmt};
+
+/// The basket/table footprint of a script.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryShape {
+    /// Tables scanned inside basket expressions (consumed → inputs).
+    pub consumed: BTreeSet<String>,
+    /// Tables scanned outside basket expressions (non-consuming reads).
+    pub read: BTreeSet<String>,
+    /// INSERT targets (outputs).
+    pub inserted: BTreeSet<String>,
+}
+
+/// Analyze a parsed script.
+pub fn analyze(stmts: &[Stmt]) -> QueryShape {
+    let mut shape = QueryShape::default();
+    let mut bound = BTreeSet::new();
+    for stmt in stmts {
+        walk_stmt(stmt, &mut shape, &mut bound);
+    }
+    shape
+}
+
+fn walk_stmt(stmt: &Stmt, shape: &mut QueryShape, bound: &mut BTreeSet<String>) {
+    match stmt {
+        Stmt::Select(s) => walk_select(s, false, shape, bound),
+        Stmt::Insert { table, source, .. } => {
+            shape.inserted.insert(table.clone());
+            walk_select(source, false, shape, bound);
+        }
+        Stmt::With {
+            binding,
+            source,
+            body,
+        } => {
+            // the WITH source is a basket expression: consuming
+            walk_select(source, true, shape, bound);
+            let added = bound.insert(binding.clone());
+            for s in body {
+                walk_stmt(s, shape, bound);
+            }
+            if added {
+                bound.remove(binding);
+            }
+        }
+        Stmt::Set { expr, .. } => walk_expr(expr, shape, bound),
+        Stmt::Declare { .. } | Stmt::Create { .. } => {}
+    }
+}
+
+fn walk_select(
+    s: &SelectStmt,
+    track: bool,
+    shape: &mut QueryShape,
+    bound: &mut BTreeSet<String>,
+) {
+    for item in &s.from {
+        match item {
+            FromItem::Table { name, .. } => {
+                if bound.contains(name) {
+                    continue; // WITH binding, not a real table
+                }
+                if track {
+                    shape.consumed.insert(name.clone());
+                } else {
+                    shape.read.insert(name.clone());
+                }
+            }
+            FromItem::Basket { query, .. } => walk_select(query, true, shape, bound),
+            FromItem::Subquery { query, .. } => walk_select(query, false, shape, bound),
+        }
+    }
+    let exprs = s
+        .projection
+        .iter()
+        .filter_map(|p| match p {
+            dcsql::ast::SelectItem::Expr { expr, .. } => Some(expr),
+            _ => None,
+        })
+        .chain(s.where_clause.iter())
+        .chain(s.group_by.iter())
+        .chain(s.having.iter())
+        .chain(s.order_by.iter().map(|(e, _)| e));
+    for e in exprs {
+        walk_expr(e, shape, bound);
+    }
+    if let Some((_, rhs)) = &s.union {
+        walk_select(rhs, track, shape, bound);
+    }
+}
+
+fn walk_expr(e: &Expr, shape: &mut QueryShape, bound: &mut BTreeSet<String>) {
+    match e {
+        Expr::ScalarSubquery(sub) => walk_select(sub, false, shape, bound),
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => walk_expr(expr, shape, bound),
+        Expr::Binary { left, right, .. } => {
+            walk_expr(left, shape, bound);
+            walk_expr(right, shape, bound);
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            walk_expr(expr, shape, bound);
+            walk_expr(lo, shape, bound);
+            walk_expr(hi, shape, bound);
+        }
+        Expr::InList { expr, list, .. } => {
+            walk_expr(expr, shape, bound);
+            for i in list {
+                walk_expr(i, shape, bound);
+            }
+        }
+        Expr::FuncCall { args, .. } => {
+            for a in args {
+                walk_expr(a, shape, bound);
+            }
+        }
+        Expr::Column { .. } | Expr::Literal(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcsql::parse_statements;
+
+    fn shape_of(src: &str) -> QueryShape {
+        analyze(&parse_statements(src).unwrap())
+    }
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn simple_basket_query() {
+        let s = shape_of("select * from [select * from R] as S where S.a > 1");
+        assert_eq!(s.consumed, set(&["R"]));
+        assert!(s.read.is_empty());
+        assert!(s.inserted.is_empty());
+    }
+
+    #[test]
+    fn insert_with_basket_source() {
+        let s = shape_of("insert into outliers select * from [select top 20 from X] as b");
+        assert_eq!(s.consumed, set(&["X"]));
+        assert_eq!(s.inserted, set(&["outliers"]));
+    }
+
+    #[test]
+    fn plain_reads_are_not_consumed() {
+        let s = shape_of("select * from R, [select * from S] as T where R.id = T.id");
+        assert_eq!(s.read, set(&["R"]));
+        assert_eq!(s.consumed, set(&["S"]));
+    }
+
+    #[test]
+    fn with_binding_shadows() {
+        let s = shape_of(
+            "with A as [select * from X] begin \
+             insert into Y select * from A where A.p > 1; \
+             insert into Z select * from A; end",
+        );
+        assert_eq!(s.consumed, set(&["X"]));
+        assert_eq!(s.inserted, set(&["Y", "Z"]));
+        assert!(s.read.is_empty(), "A is a binding, not a table");
+    }
+
+    #[test]
+    fn join_inside_basket_consumes_both() {
+        let s = shape_of("select A.* from [select * from X, Y where X.id = Y.id] as A");
+        assert_eq!(s.consumed, set(&["X", "Y"]));
+    }
+
+    #[test]
+    fn scalar_subquery_reads() {
+        let s = shape_of("select * from [select * from X where X.t < (select max(t) from HB)] as A");
+        assert_eq!(s.consumed, set(&["X"]));
+        assert_eq!(s.read, set(&["HB"]));
+    }
+
+    #[test]
+    fn union_propagates_tracking() {
+        let s = shape_of("select * from [select * from X union all select * from Y] as A");
+        assert_eq!(s.consumed, set(&["X", "Y"]));
+    }
+
+    #[test]
+    fn nested_subquery_not_tracked() {
+        let s = shape_of("select * from (select * from R) as T");
+        assert_eq!(s.read, set(&["R"]));
+        assert!(s.consumed.is_empty());
+    }
+}

@@ -1,0 +1,508 @@
+//! Baskets — the key data structure of the DataCell (paper §3.2).
+//!
+//! A basket holds a portion of a stream as a transient, main-memory
+//! columnar table. Receptors append, factories read-and-consume, and the
+//! whole structure is protected by a single lock (Algorithm 1 locks input
+//! and output baskets for the duration of one factory firing).
+//!
+//! Differences from relational tables, per the paper, all present here:
+//!
+//! * **Basket integrity** — constraint-violating events are *silently
+//!   dropped*, indistinguishable from never having arrived;
+//! * **Basket ACID** — contents are transient (no crash survival), and
+//!   concurrent access is regulated by the basket lock;
+//! * **Basket control** — a disabled basket blocks its stream: appends are
+//!   rejected until re-enabled.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dcsql::ast::Expr;
+use dcsql::exec::{eval_expr, ExecEnv, QueryContext, StaticContext};
+use monet::ops::select::select_true;
+use monet::prelude::*;
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::clock::Clock;
+use crate::error::{EngineError, Result};
+
+/// Name of the automatic arrival-timestamp column.
+pub const TS_COLUMN: &str = "dc_ts";
+
+/// Counters exposed for monitoring and the benchmark harness.
+#[derive(Debug, Default)]
+pub struct BasketStats {
+    /// Tuples accepted into the basket over its lifetime.
+    pub total_in: AtomicU64,
+    /// Tuples removed (consumed or drained).
+    pub total_out: AtomicU64,
+    /// Tuples silently dropped by integrity constraints.
+    pub dropped: AtomicU64,
+}
+
+impl BasketStats {
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.total_in.load(Ordering::Relaxed),
+            self.total_out.load(Ordering::Relaxed),
+            self.dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The lock-protected contents.
+#[derive(Debug)]
+pub struct BasketInner {
+    rel: Relation,
+}
+
+impl BasketInner {
+    /// Direct access to the stored relation (under the basket lock).
+    pub fn relation(&self) -> &Relation {
+        &self.rel
+    }
+
+    pub fn relation_mut(&mut self) -> &mut Relation {
+        &mut self.rel
+    }
+}
+
+/// A shared, lockable stream buffer.
+pub struct Basket {
+    id: u64,
+    name: String,
+    schema: Schema,
+    stamps_arrival: bool,
+    enabled: AtomicBool,
+    constraints: Mutex<Vec<Expr>>,
+    inner: Mutex<BasketInner>,
+    stats: BasketStats,
+}
+
+impl std::fmt::Debug for Basket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Basket")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("len", &self.len())
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+static NEXT_BASKET_ID: AtomicU64 = AtomicU64::new(0);
+
+impl Basket {
+    /// Create a basket. `stamp_arrivals` adds the automatic [`TS_COLUMN`]
+    /// holding each tuple's arrival time.
+    pub fn new(name: impl Into<String>, schema: &Schema, stamp_arrivals: bool) -> Arc<Basket> {
+        let mut fields: Vec<Field> = schema.fields().to_vec();
+        if stamp_arrivals {
+            fields.push(Field::new(TS_COLUMN, ValueType::Ts));
+        }
+        let full = Schema::new(fields);
+        Arc::new(Basket {
+            id: NEXT_BASKET_ID.fetch_add(1, Ordering::Relaxed),
+            name: name.into(),
+            schema: full.clone(),
+            stamps_arrival: stamp_arrivals,
+            enabled: AtomicBool::new(true),
+            constraints: Mutex::new(Vec::new()),
+            inner: Mutex::new(BasketInner {
+                rel: Relation::new(&full),
+            }),
+            stats: BasketStats::default(),
+        })
+    }
+
+    /// Globally unique id; the engine locks baskets in id order to avoid
+    /// deadlocks when factories touch overlapping sets.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Full schema (including the timestamp column when stamping).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Width of user-facing rows (excludes the auto timestamp column).
+    pub fn user_width(&self) -> usize {
+        self.schema.width() - usize::from(self.stamps_arrival)
+    }
+
+    pub fn stats(&self) -> &BasketStats {
+        &self.stats
+    }
+
+    // ---- basket control ----------------------------------------------------
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Block the stream: subsequent appends are rejected.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    // ---- integrity ----------------------------------------------------------
+
+    /// Install an integrity constraint (a boolean SQL expression over the
+    /// basket's columns). Violating tuples are silently dropped on append.
+    pub fn add_constraint(&self, predicate: Expr) {
+        self.constraints.lock().push(predicate);
+    }
+
+    /// Apply constraints to a candidate batch, returning the accepted rows.
+    fn filter_constraints(&self, batch: Relation) -> Result<Relation> {
+        let constraints = self.constraints.lock();
+        if constraints.is_empty() || batch.is_empty() {
+            return Ok(batch);
+        }
+        let ctx = StaticContext::new();
+        let env = ExecEnv::default();
+        let mut keep = SelVec::all(batch.len());
+        for c in constraints.iter() {
+            let mask = eval_expr(c, &batch, &ctx as &dyn QueryContext, &env)
+                .map_err(EngineError::Sql)?;
+            // NULL is not TRUE → dropped, exactly like a silent filter
+            let passing = select_true(&mask, None)?;
+            keep = keep.intersect(&passing);
+        }
+        let dropped = batch.len() - keep.len();
+        if dropped > 0 {
+            self.stats.dropped.fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+        Ok(batch.gather(&keep)?)
+    }
+
+    // ---- ingestion ----------------------------------------------------------
+
+    /// Append user rows (without the timestamp column); stamps arrival time
+    /// when the basket was created with stamping. Returns accepted count.
+    pub fn append_rows(&self, rows: &[Vec<Value>], clock: &dyn Clock) -> Result<usize> {
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        let mut batch = Relation::new(&self.schema);
+        let now = clock.now();
+        for row in rows {
+            if row.len() != self.user_width() {
+                return Err(EngineError::Config(format!(
+                    "basket {}: row width {} != schema width {}",
+                    self.name,
+                    row.len(),
+                    self.user_width()
+                )));
+            }
+            if self.stamps_arrival {
+                let mut full = row.clone();
+                full.push(Value::Ts(now));
+                batch.append_row(&full)?;
+            } else {
+                batch.append_row(row)?;
+            }
+        }
+        self.append_filtered(batch)
+    }
+
+    /// Append an already-columnar batch. The batch must either match the
+    /// full schema, or (for stamping baskets) the user schema — in which
+    /// case arrival timestamps are added.
+    pub fn append_relation(&self, batch: Relation, clock: &dyn Clock) -> Result<usize> {
+        let accepted = self.prepare_batch(batch, clock)?;
+        let n = accepted.len();
+        if n > 0 {
+            let mut inner = self.inner.lock();
+            inner.rel.append_relation(&accepted)?;
+            self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        Ok(n)
+    }
+
+    /// Append through an already-held guard (factory firing path, where
+    /// Algorithm 1 holds the output-basket lock for the whole cycle).
+    pub fn append_relation_locked(
+        &self,
+        inner: &mut BasketInner,
+        batch: Relation,
+        clock: &dyn Clock,
+    ) -> Result<usize> {
+        let accepted = self.prepare_batch(batch, clock)?;
+        let n = accepted.len();
+        if n > 0 {
+            inner.rel.append_relation(&accepted)?;
+            self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        Ok(n)
+    }
+
+    /// Stamp, validate and constraint-filter a batch (no locking).
+    fn prepare_batch(&self, mut batch: Relation, clock: &dyn Clock) -> Result<Relation> {
+        if !self.is_enabled() {
+            return Err(EngineError::Disabled(self.name.clone()));
+        }
+        if batch.is_empty() {
+            return Ok(Relation::new(&self.schema));
+        }
+        if self.stamps_arrival && batch.width() + 1 == self.schema.width() {
+            let ts = Column::from_ts(vec![clock.now(); batch.len()]);
+            batch.add_column(TS_COLUMN, ts)?;
+        }
+        if !batch.schema().compatible(&self.schema) {
+            return Err(EngineError::Config(format!(
+                "basket {}: incompatible batch schema",
+                self.name
+            )));
+        }
+        self.filter_constraints(batch)
+    }
+
+    fn append_filtered(&self, batch: Relation) -> Result<usize> {
+        if !self.is_enabled() {
+            return Err(EngineError::Disabled(self.name.clone()));
+        }
+        let accepted = self.filter_constraints(batch)?;
+        let n = accepted.len();
+        if n > 0 {
+            let mut inner = self.inner.lock();
+            // positional compatibility was just validated
+            inner.rel.append_relation(&accepted)?;
+            self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        Ok(n)
+    }
+
+    // ---- reading & consumption ----------------------------------------------
+
+    /// Number of buffered tuples.
+    pub fn len(&self) -> usize {
+        self.inner.lock().rel.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the current contents ("a basket can also be inspected
+    /// outside a basket expression; then it behaves as any table").
+    pub fn snapshot(&self) -> Relation {
+        self.inner.lock().rel.clone()
+    }
+
+    /// Acquire the basket lock for a multi-step read-modify cycle (the
+    /// factory firing path). Lock ordering by [`Basket::id`] is the
+    /// caller's responsibility.
+    pub fn lock(&self) -> MutexGuard<'_, BasketInner> {
+        self.inner.lock()
+    }
+
+    /// Delete the given positions (consumption after a basket expression).
+    pub fn delete_sel(&self, sel: &SelVec) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.rel.delete_sel(sel)?;
+        self.stats
+            .total_out
+            .fetch_add(sel.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Delete positions through an already-held guard (keeps snapshot
+    /// positions valid across the read-consume cycle).
+    pub fn delete_sel_locked(
+        &self,
+        inner: &mut BasketInner,
+        sel: &SelVec,
+    ) -> Result<()> {
+        inner.rel.delete_sel(sel)?;
+        self.stats
+            .total_out
+            .fetch_add(sel.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Remove and return everything (`basket.empty` in Algorithm 1).
+    pub fn drain(&self) -> Relation {
+        let mut inner = self.inner.lock();
+        let n = inner.rel.len();
+        let empty = Relation::new(&self.schema);
+        let full = std::mem::replace(&mut inner.rel, empty);
+        self.stats.total_out.fetch_add(n as u64, Ordering::Relaxed);
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use dcsql::ast::BinOp;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("id", ValueType::Int), ("payload", ValueType::Int)])
+    }
+
+    #[test]
+    fn append_stamps_arrival_time() {
+        let clock = VirtualClock::starting_at(42);
+        let b = Basket::new("B", &schema(), true);
+        assert_eq!(b.schema().width(), 3);
+        b.append_rows(&[vec![Value::Int(1), Value::Int(10)]], &clock)
+            .unwrap();
+        clock.advance(8);
+        b.append_rows(&[vec![Value::Int(2), Value::Int(20)]], &clock)
+            .unwrap();
+        let snap = b.snapshot();
+        assert_eq!(snap.column(TS_COLUMN).unwrap().ints().unwrap(), &[42, 50]);
+        assert_eq!(b.stats().snapshot().0, 2);
+    }
+
+    #[test]
+    fn unstamped_basket_keeps_user_schema() {
+        let clock = VirtualClock::new();
+        let b = Basket::new("B", &schema(), false);
+        assert_eq!(b.schema().width(), 2);
+        b.append_rows(&[vec![Value::Int(1), Value::Int(2)]], &clock)
+            .unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn row_width_validated() {
+        let clock = VirtualClock::new();
+        let b = Basket::new("B", &schema(), true);
+        assert!(b.append_rows(&[vec![Value::Int(1)]], &clock).is_err());
+    }
+
+    #[test]
+    fn integrity_constraints_silently_drop() {
+        let clock = VirtualClock::new();
+        let b = Basket::new("B", &schema(), false);
+        // payload > 0
+        b.add_constraint(Expr::bin(
+            BinOp::Gt,
+            Expr::col("payload"),
+            Expr::lit(0i64),
+        ));
+        let n = b
+            .append_rows(
+                &[
+                    vec![Value::Int(1), Value::Int(5)],
+                    vec![Value::Int(2), Value::Int(-1)],
+                    vec![Value::Int(3), Value::Null], // NULL is not TRUE → dropped
+                ],
+                &clock,
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.stats().snapshot().2, 2, "two silent drops");
+    }
+
+    #[test]
+    fn disable_blocks_the_stream() {
+        let clock = VirtualClock::new();
+        let b = Basket::new("B", &schema(), false);
+        b.disable();
+        assert!(matches!(
+            b.append_rows(&[vec![Value::Int(1), Value::Int(1)]], &clock),
+            Err(EngineError::Disabled(_))
+        ));
+        b.enable();
+        assert_eq!(
+            b.append_rows(&[vec![Value::Int(1), Value::Int(1)]], &clock)
+                .unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn drain_and_delete_track_outflow() {
+        let clock = VirtualClock::new();
+        let b = Basket::new("B", &schema(), false);
+        b.append_rows(
+            &[
+                vec![Value::Int(1), Value::Int(1)],
+                vec![Value::Int(2), Value::Int(2)],
+                vec![Value::Int(3), Value::Int(3)],
+            ],
+            &clock,
+        )
+        .unwrap();
+        b.delete_sel(&SelVec::from_sorted(vec![1]).unwrap()).unwrap();
+        assert_eq!(b.len(), 2);
+        let drained = b.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.stats().snapshot().1, 3);
+    }
+
+    #[test]
+    fn append_relation_columnar_path() {
+        let clock = VirtualClock::starting_at(7);
+        let b = Basket::new("B", &schema(), true);
+        let batch = Relation::from_columns(vec![
+            ("id".into(), Column::from_ints(vec![1, 2])),
+            ("payload".into(), Column::from_ints(vec![10, 20])),
+        ])
+        .unwrap();
+        assert_eq!(b.append_relation(batch, &clock).unwrap(), 2);
+        let snap = b.snapshot();
+        assert_eq!(snap.column(TS_COLUMN).unwrap().ints().unwrap(), &[7, 7]);
+
+        // full-schema batch passes through unchanged
+        let full = Relation::from_columns(vec![
+            ("id".into(), Column::from_ints(vec![3])),
+            ("payload".into(), Column::from_ints(vec![30])),
+            (TS_COLUMN.into(), Column::from_ts(vec![99])),
+        ])
+        .unwrap();
+        b.append_relation(full, &clock).unwrap();
+        assert_eq!(
+            b.snapshot().column(TS_COLUMN).unwrap().ints().unwrap(),
+            &[7, 7, 99]
+        );
+
+        let bad = Relation::from_columns(vec![("x".into(), Column::from_strs(vec!["s".into()]))])
+            .unwrap();
+        assert!(b.append_relation(bad, &clock).is_err());
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let a = Basket::new("a", &schema(), false);
+        let b = Basket::new("b", &schema(), false);
+        assert!(b.id() > a.id());
+    }
+
+    #[test]
+    fn concurrent_appends() {
+        let clock = std::sync::Arc::new(VirtualClock::new());
+        let b = Basket::new("B", &schema(), true);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let b = Arc::clone(&b);
+                let clock = Arc::clone(&clock);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        b.append_rows(&[vec![Value::Int(t), Value::Int(i)]], clock.as_ref())
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.len(), 1000);
+    }
+}

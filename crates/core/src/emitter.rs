@@ -1,0 +1,135 @@
+//! Emitters — adapter threads delivering results to clients (paper §3.1).
+//!
+//! An emitter picks up result batches prepared by the kernel (factory
+//! result channels or output baskets) and ships them to subscribed
+//! clients, over TCP or to an in-process callback.
+
+use std::io::BufWriter;
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::Receiver;
+use monet::prelude::*;
+
+use crate::error::Result;
+use crate::net::write_batch;
+
+/// Handle to a running emitter thread.
+pub struct Emitter {
+    name: String,
+    handle: JoinHandle<EmitterReport>,
+}
+
+/// Lifetime statistics returned when the emitter ends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmitterReport {
+    /// Tuples delivered.
+    pub delivered: u64,
+    /// Batches delivered.
+    pub batches: u64,
+}
+
+impl Emitter {
+    /// Deliver result batches to a TCP peer as wire text.
+    pub fn spawn_tcp(
+        name: impl Into<String>,
+        rx: Receiver<Relation>,
+        stream: TcpStream,
+    ) -> Emitter {
+        let name = name.into();
+        let handle = std::thread::spawn(move || {
+            let mut report = EmitterReport::default();
+            let mut writer = BufWriter::new(stream);
+            while let Ok(batch) = rx.recv() {
+                match write_batch(&mut writer, &batch) {
+                    Ok(n) => {
+                        report.delivered += n as u64;
+                        report.batches += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            report
+        });
+        Emitter { name, handle }
+    }
+
+    /// Deliver result batches to an in-process callback.
+    pub fn spawn_fn(
+        name: impl Into<String>,
+        rx: Receiver<Relation>,
+        mut f: impl FnMut(Relation) + Send + 'static,
+    ) -> Emitter {
+        let name = name.into();
+        let handle = std::thread::spawn(move || {
+            let mut report = EmitterReport::default();
+            while let Ok(batch) = rx.recv() {
+                report.delivered += batch.len() as u64;
+                report.batches += 1;
+                f(batch);
+            }
+            report
+        });
+        Emitter { name, handle }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Wait for the result stream to close and collect statistics.
+    pub fn join(self) -> Result<EmitterReport> {
+        self.handle
+            .join()
+            .map_err(|_| crate::error::EngineError::Io("emitter thread panicked".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn batch(vals: &[i64]) -> Relation {
+        Relation::from_columns(vec![("x".into(), Column::from_ints(vals.to_vec()))]).unwrap()
+    }
+
+    #[test]
+    fn fn_emitter_counts_batches() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let emitter = Emitter::spawn_fn("e", rx, move |b| {
+            seen2.fetch_add(b.len() as u64, Ordering::SeqCst);
+        });
+        tx.send(batch(&[1, 2])).unwrap();
+        tx.send(batch(&[3])).unwrap();
+        drop(tx);
+        let report = emitter.join().unwrap();
+        assert_eq!(report.delivered, 3);
+        assert_eq!(report.batches, 2);
+        assert_eq!(seen.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn tcp_emitter_writes_wire_lines() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
+            let reader = BufReader::new(sock);
+            reader.lines().map(|l| l.unwrap()).collect::<Vec<_>>()
+        });
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let emitter = Emitter::spawn_tcp("e", rx, TcpStream::connect(addr).unwrap());
+        tx.send(batch(&[7, 8])).unwrap();
+        drop(tx);
+        let report = emitter.join().unwrap();
+        assert_eq!(report.delivered, 2);
+        let lines = client.join().unwrap();
+        assert_eq!(lines, vec!["7".to_string(), "8".to_string()]);
+    }
+}

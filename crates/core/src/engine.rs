@@ -1,0 +1,557 @@
+//! The DataCell engine facade.
+//!
+//! Assembles baskets, the catalog, variables, factories and the scheduler
+//! behind one API: create streams, register continuous queries (SQL text),
+//! ingest tuples, run the scheduler, subscribe to results — plus one-shot
+//! statement execution for setup and ad-hoc/historical queries.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use dcsql::ast::{CreateKind, Stmt};
+use dcsql::exec::{execute_script, Effects, QueryContext};
+use dcsql::parse_statements;
+use monet::catalog::Catalog;
+use monet::prelude::*;
+use parking_lot::{Mutex, RwLock};
+
+use crate::basket::Basket;
+use crate::clock::{Clock, SystemClock};
+use crate::error::{EngineError, Result};
+use crate::factory::{ConsumeMode, Factory, QueryFactory};
+use crate::scheduler::{RoundReport, Scheduler};
+use crate::varstore::VarStore;
+
+/// Options controlling how a continuous query becomes a factory.
+#[derive(Default)]
+pub struct QueryOptions {
+    /// Batch threshold (fire only with ≥ n tuples in every input).
+    pub min_input: Option<usize>,
+    /// Defer consumption to a shared unlocker (shared-baskets strategy).
+    pub consume: Option<ConsumeMode>,
+    /// Override the firing inputs (e.g. trigger on an auxiliary basket).
+    pub trigger_on: Option<Vec<String>>,
+    /// Attach a result channel for bare SELECT output.
+    pub subscribe: bool,
+}
+
+impl QueryOptions {
+    pub fn subscribed() -> Self {
+        QueryOptions {
+            subscribe: true,
+            ..QueryOptions::default()
+        }
+    }
+}
+
+/// The engine.
+pub struct DataCell {
+    clock: Arc<dyn Clock>,
+    baskets: RwLock<HashMap<String, Arc<Basket>>>,
+    catalog: Arc<Catalog>,
+    vars: Arc<VarStore>,
+    scheduler: Mutex<Scheduler>,
+}
+
+impl DataCell {
+    /// Engine on the system (wall) clock.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(SystemClock))
+    }
+
+    /// Engine on an explicit clock (virtual clocks for replay).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        DataCell {
+            clock,
+            baskets: RwLock::new(HashMap::new()),
+            catalog: Arc::new(Catalog::new()),
+            vars: Arc::new(VarStore::new()),
+            scheduler: Mutex::new(Scheduler::new()),
+        }
+    }
+
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn vars(&self) -> &Arc<VarStore> {
+        &self.vars
+    }
+
+    // ---- schema management ---------------------------------------------------
+
+    /// Create a stream entry point: a basket that stamps arrival times.
+    pub fn create_stream(&self, name: &str, schema: &Schema) -> Result<Arc<Basket>> {
+        self.create_basket_inner(name, schema, true)
+    }
+
+    /// Create an intermediate basket (no automatic timestamp column).
+    pub fn create_basket(&self, name: &str, schema: &Schema) -> Result<Arc<Basket>> {
+        self.create_basket_inner(name, schema, false)
+    }
+
+    fn create_basket_inner(
+        &self,
+        name: &str,
+        schema: &Schema,
+        stamp: bool,
+    ) -> Result<Arc<Basket>> {
+        let mut baskets = self.baskets.write();
+        if baskets.contains_key(name) || self.catalog.contains(name) {
+            return Err(EngineError::Duplicate(name.to_string()));
+        }
+        let basket = Basket::new(name, schema, stamp);
+        baskets.insert(name.to_string(), Arc::clone(&basket));
+        Ok(basket)
+    }
+
+    /// Create a persistent table in the catalog.
+    pub fn create_table(&self, name: &str, schema: &Schema) -> Result<()> {
+        if self.baskets.read().contains_key(name) {
+            return Err(EngineError::Duplicate(name.to_string()));
+        }
+        self.catalog.create_table(name, schema)?;
+        Ok(())
+    }
+
+    /// Look up a basket.
+    pub fn basket(&self, name: &str) -> Result<Arc<Basket>> {
+        self.baskets
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::Unknown(format!("basket {name}")))
+    }
+
+    /// Names of all baskets (sorted).
+    pub fn basket_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.baskets.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    // ---- ingestion -------------------------------------------------------------
+
+    /// Append rows to a stream/basket (the receptor fast path).
+    pub fn ingest(&self, stream: &str, rows: &[Vec<Value>]) -> Result<usize> {
+        let basket = self.basket(stream)?;
+        basket.append_rows(rows, self.clock.as_ref())
+    }
+
+    /// Append a columnar batch.
+    pub fn ingest_relation(&self, stream: &str, batch: Relation) -> Result<usize> {
+        let basket = self.basket(stream)?;
+        basket.append_relation(batch, self.clock.as_ref())
+    }
+
+    // ---- continuous queries -------------------------------------------------
+
+    /// Register a continuous query from SQL text. Returns a result channel
+    /// when `opts.subscribe` and the script contains a bare SELECT.
+    pub fn register_query(
+        &self,
+        name: &str,
+        sql: &str,
+        opts: QueryOptions,
+    ) -> Result<Option<Receiver<Relation>>> {
+        let stmts = parse_statements(sql)?;
+        self.register_parsed(name, stmts, opts)
+    }
+
+    /// Register a pre-parsed script.
+    pub fn register_parsed(
+        &self,
+        name: &str,
+        stmts: Vec<Stmt>,
+        opts: QueryOptions,
+    ) -> Result<Option<Receiver<Relation>>> {
+        let baskets = self.baskets.read();
+        let resolve = |n: &str| baskets.get(n).cloned();
+        let consume = opts.consume.unwrap_or(ConsumeMode::Apply);
+        let trigger = match &opts.trigger_on {
+            Some(names) => {
+                let mut v = Vec::with_capacity(names.len());
+                for n in names {
+                    v.push(
+                        baskets
+                            .get(n)
+                            .cloned()
+                            .ok_or_else(|| EngineError::Unknown(format!("basket {n}")))?,
+                    );
+                }
+                Some(v)
+            }
+            None => None,
+        };
+        let mut factory = QueryFactory::new(
+            name,
+            stmts,
+            &resolve,
+            Arc::clone(&self.catalog),
+            Arc::clone(&self.vars),
+            Arc::clone(&self.clock),
+            consume,
+            trigger,
+        )?;
+        if let Some(n) = opts.min_input {
+            factory = factory.with_min_input(n);
+        }
+        let rx = opts.subscribe.then(|| factory.result_channel());
+        drop(baskets);
+        self.scheduler.lock().add(Box::new(factory));
+        Ok(rx)
+    }
+
+    /// Register a hand-built factory (lockers, Linear Road operators, ...).
+    pub fn register_factory(&self, factory: Box<dyn Factory>) {
+        self.scheduler.lock().add(factory);
+    }
+
+    // ---- scheduling ------------------------------------------------------------
+
+    /// One scheduling round (fire every ready factory once).
+    pub fn run_round(&self) -> Result<RoundReport> {
+        self.scheduler.lock().run_round()
+    }
+
+    /// Run rounds until quiescent (bounded). Returns rounds executed.
+    pub fn run_until_quiescent(&self, max_rounds: usize) -> Result<usize> {
+        self.scheduler.lock().run_until_quiescent(max_rounds)
+    }
+
+    /// Per-factory statistics snapshot: (name, stats).
+    pub fn factory_stats(&self) -> Vec<(String, crate::scheduler::FactoryStats)> {
+        let sched = self.scheduler.lock();
+        sched
+            .factory_names()
+            .into_iter()
+            .zip(sched.stats().iter().cloned())
+            .collect()
+    }
+
+    /// Take the factories out for thread-per-factory deployment. The
+    /// engine keeps baskets/catalog/vars; scheduling moves to the caller.
+    pub fn take_factories(&self) -> Vec<Box<dyn Factory>> {
+        let mut sched = self.scheduler.lock();
+        std::mem::take(&mut *sched).into_factories()
+    }
+
+    // ---- one-shot execution ------------------------------------------------
+
+    /// Execute a SQL script once, immediately applying all effects —
+    /// used for setup (CREATE/INSERT), ad-hoc queries, and the
+    /// benchmark's historical queries. Returns the last SELECT result.
+    pub fn execute(&self, sql: &str) -> Result<Option<Relation>> {
+        let stmts = parse_statements(sql)?;
+        // Apply CREATEs first so later statements in the same script see
+        // the new objects.
+        let mut rest = Vec::new();
+        for stmt in stmts {
+            match stmt {
+                Stmt::Create { kind, name, fields } => {
+                    let schema = Schema::new(
+                        fields
+                            .iter()
+                            .map(|(n, t)| Field::new(n.clone(), *t))
+                            .collect(),
+                    );
+                    match kind {
+                        CreateKind::Table => self.create_table(&name, &schema)?,
+                        CreateKind::Basket => {
+                            self.create_basket(&name, &schema)?;
+                        }
+                        CreateKind::Stream => {
+                            self.create_stream(&name, &schema)?;
+                        }
+                    }
+                }
+                other => rest.push(other),
+            }
+        }
+        if rest.is_empty() {
+            return Ok(None);
+        }
+        let snapshot_ctx = self.snapshot_context();
+        let effects = execute_script(&rest, &snapshot_ctx)?;
+        self.apply_effects(effects)
+    }
+
+    fn snapshot_context(&self) -> EngineSnapshot {
+        let baskets = self.baskets.read();
+        let snapshots: HashMap<String, Relation> = baskets
+            .iter()
+            .map(|(n, b)| (n.clone(), b.snapshot()))
+            .collect();
+        EngineSnapshot {
+            snapshots,
+            catalog: Arc::clone(&self.catalog),
+            vars: Arc::clone(&self.vars),
+            now: self.clock.now(),
+        }
+    }
+
+    fn apply_effects(&self, effects: Effects) -> Result<Option<Relation>> {
+        for (name, sel) in effects.consumed {
+            if let Ok(b) = self.basket(&name) {
+                b.delete_sel(&sel)?;
+            }
+        }
+        for (table, columns, rows) in effects.inserts {
+            let rows = match &columns {
+                Some(cols) => {
+                    let mut r = rows.clone();
+                    if cols.len() != r.width() {
+                        return Err(EngineError::Config(
+                            "insert column list arity mismatch".into(),
+                        ));
+                    }
+                    r.rename_columns(cols.clone())?;
+                    r
+                }
+                None => rows,
+            };
+            if let Ok(b) = self.basket(&table) {
+                b.append_relation(rows, self.clock.as_ref())?;
+            } else {
+                let t = self.catalog.get(&table)?;
+                t.write().expect("catalog lock").append_relation(&rows)?;
+            }
+        }
+        for (name, vtype) in effects.declares {
+            let _ = self.vars.declare(&name, vtype);
+        }
+        for (name, value) in effects.var_updates {
+            if !self.vars.is_declared(&name) {
+                self.vars
+                    .declare(&name, value.value_type().unwrap_or(ValueType::Int))?;
+            }
+            self.vars.set(&name, value)?;
+        }
+        Ok(effects.result)
+    }
+}
+
+impl Default for DataCell {
+    fn default() -> Self {
+        DataCell::new()
+    }
+}
+
+/// Engine-wide snapshot context for one-shot execution.
+struct EngineSnapshot {
+    snapshots: HashMap<String, Relation>,
+    catalog: Arc<Catalog>,
+    vars: Arc<VarStore>,
+    now: i64,
+}
+
+impl QueryContext for EngineSnapshot {
+    fn relation(&self, name: &str) -> dcsql::Result<Relation> {
+        if let Some(r) = self.snapshots.get(name) {
+            return Ok(r.clone());
+        }
+        self.catalog
+            .get(name)
+            .map(|t| t.read().expect("catalog lock").clone())
+            .map_err(|_| dcsql::SqlError::Unknown(name.to_string()))
+    }
+
+    fn get_var(&self, name: &str) -> Option<Value> {
+        self.vars.get(name)
+    }
+
+    fn now(&self) -> i64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn engine() -> DataCell {
+        DataCell::with_clock(Arc::new(VirtualClock::starting_at(1_000_000)))
+    }
+
+    fn two_col() -> Schema {
+        Schema::from_pairs(&[("id", ValueType::Int), ("payload", ValueType::Int)])
+    }
+
+    #[test]
+    fn end_to_end_continuous_query() {
+        let e = engine();
+        e.create_stream("S", &two_col()).unwrap();
+        let rx = e
+            .register_query(
+                "q",
+                "select id, payload from [select * from S] as Z where Z.payload > 100",
+                QueryOptions::subscribed(),
+            )
+            .unwrap()
+            .unwrap();
+        e.ingest(
+            "S",
+            &[
+                vec![Value::Int(1), Value::Int(50)],
+                vec![Value::Int(2), Value::Int(200)],
+            ],
+        )
+        .unwrap();
+        e.run_until_quiescent(10).unwrap();
+        let batch = rx.try_recv().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.column("id").unwrap().ints().unwrap(), &[2]);
+        assert!(e.basket("S").unwrap().is_empty(), "stream consumed");
+    }
+
+    #[test]
+    fn chained_queries_via_insert() {
+        let e = engine();
+        e.create_stream("S", &two_col()).unwrap();
+        e.create_basket(
+            "MID",
+            &Schema::from_pairs(&[("id", ValueType::Int), ("payload", ValueType::Int)]),
+        )
+        .unwrap();
+        e.register_query(
+            "q1",
+            "insert into MID select id, payload from [select * from S] as Z where Z.payload > 10",
+            QueryOptions::default(),
+        )
+        .unwrap();
+        let rx = e
+            .register_query(
+                "q2",
+                "select * from [select * from MID] as Z where Z.payload > 20",
+                QueryOptions::subscribed(),
+            )
+            .unwrap()
+            .unwrap();
+        e.ingest(
+            "S",
+            &[
+                vec![Value::Int(1), Value::Int(15)],
+                vec![Value::Int(2), Value::Int(25)],
+                vec![Value::Int(3), Value::Int(5)],
+            ],
+        )
+        .unwrap();
+        e.run_until_quiescent(10).unwrap();
+        let batch = rx.try_recv().unwrap();
+        assert_eq!(batch.column("id").unwrap().ints().unwrap(), &[2]);
+        assert!(e.basket("S").unwrap().is_empty());
+        assert!(e.basket("MID").unwrap().is_empty());
+    }
+
+    #[test]
+    fn one_shot_execute_ddl_insert_select() {
+        let e = engine();
+        e.execute("create table T (a int, b varchar)").unwrap();
+        e.execute("insert into T values (1, 'x'), (2, 'y')").unwrap();
+        let r = e.execute("select a from T where b = 'y'").unwrap().unwrap();
+        assert_eq!(r.column("a").unwrap().ints().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn one_shot_execute_over_basket_consumes() {
+        let e = engine();
+        e.execute("create stream S (id int, payload int)").unwrap();
+        e.ingest("S", &[vec![Value::Int(1), Value::Int(9)]]).unwrap();
+        let r = e
+            .execute("select id from [select * from S] as Z")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(e.basket("S").unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let e = engine();
+        e.create_stream("S", &two_col()).unwrap();
+        assert!(e.create_basket("S", &two_col()).is_err());
+        assert!(e.create_table("S", &two_col()).is_err());
+        e.create_table("T", &two_col()).unwrap();
+        assert!(e.create_stream("T", &two_col()).is_err());
+    }
+
+    #[test]
+    fn min_input_defers_firing() {
+        let e = engine();
+        e.create_stream("S", &two_col()).unwrap();
+        let rx = e
+            .register_query(
+                "q",
+                "select * from [select * from S] as Z",
+                QueryOptions {
+                    min_input: Some(3),
+                    subscribe: true,
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap()
+            .unwrap();
+        e.ingest("S", &[vec![Value::Int(1), Value::Int(1)]]).unwrap();
+        e.run_until_quiescent(5).unwrap();
+        assert!(rx.try_recv().is_err(), "below batch threshold");
+        e.ingest(
+            "S",
+            &[
+                vec![Value::Int(2), Value::Int(2)],
+                vec![Value::Int(3), Value::Int(3)],
+            ],
+        )
+        .unwrap();
+        e.run_until_quiescent(5).unwrap();
+        assert_eq!(rx.try_recv().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn split_block_routes_to_two_outputs() {
+        let e = engine();
+        e.create_stream("X", &Schema::from_pairs(&[("payload", ValueType::Int)]))
+            .unwrap();
+        let payload_only = Schema::from_pairs(&[("payload", ValueType::Int)]);
+        e.create_basket("Y", &payload_only).unwrap();
+        e.create_basket("Z", &payload_only).unwrap();
+        e.register_query(
+            "split",
+            "with A as [select payload from X] begin \
+             insert into Y select payload from A where A.payload > 100; \
+             insert into Z select payload from A where A.payload <= 200; end",
+            QueryOptions::default(),
+        )
+        .unwrap();
+        e.ingest("X", &[vec![Value::Int(50)], vec![Value::Int(150)], vec![Value::Int(250)]])
+            .unwrap();
+        e.run_until_quiescent(10).unwrap();
+        assert_eq!(e.basket("Y").unwrap().len(), 2, "150, 250");
+        assert_eq!(e.basket("Z").unwrap().len(), 2, "50, 150");
+        assert!(e.basket("X").unwrap().is_empty());
+    }
+
+    #[test]
+    fn factory_stats_accumulate() {
+        let e = engine();
+        e.create_stream("S", &two_col()).unwrap();
+        e.register_query(
+            "q",
+            "select * from [select * from S] as Z",
+            QueryOptions::subscribed(),
+        )
+        .unwrap();
+        e.ingest("S", &[vec![Value::Int(1), Value::Int(1)]]).unwrap();
+        e.run_until_quiescent(10).unwrap();
+        let stats = e.factory_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].0, "q");
+        assert_eq!(stats[0].1.firings, 1);
+        assert_eq!(stats[0].1.consumed, 1);
+    }
+}

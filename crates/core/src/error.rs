@@ -1,0 +1,76 @@
+//! Engine-level errors.
+
+use std::fmt;
+
+/// Errors raised by the DataCell engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Unknown basket/table/query name.
+    Unknown(String),
+    /// Name already registered.
+    Duplicate(String),
+    /// Kernel error.
+    Kernel(monet::error::MonetError),
+    /// SQL front-end or executor error.
+    Sql(dcsql::SqlError),
+    /// Basket is disabled (stream blocked).
+    Disabled(String),
+    /// Configuration / wiring error.
+    Config(String),
+    /// Network adapter failure.
+    Io(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Unknown(n) => write!(f, "unknown name: {n}"),
+            EngineError::Duplicate(n) => write!(f, "duplicate name: {n}"),
+            EngineError::Kernel(e) => write!(f, "kernel: {e}"),
+            EngineError::Sql(e) => write!(f, "sql: {e}"),
+            EngineError::Disabled(n) => write!(f, "basket {n} is disabled"),
+            EngineError::Config(m) => write!(f, "configuration: {m}"),
+            EngineError::Io(m) => write!(f, "io: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<monet::error::MonetError> for EngineError {
+    fn from(e: monet::error::MonetError) -> Self {
+        EngineError::Kernel(e)
+    }
+}
+
+impl From<dcsql::SqlError> for EngineError {
+    fn from(e: dcsql::SqlError) -> Self {
+        EngineError::Sql(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e.to_string())
+    }
+}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = monet::error::MonetError::NotFound("x".into()).into();
+        assert_eq!(e.to_string(), "kernel: not found: x");
+        let e: EngineError = dcsql::SqlError::Unknown("q".into()).into();
+        assert_eq!(e.to_string(), "sql: unknown name: q");
+        assert_eq!(
+            EngineError::Disabled("b".into()).to_string(),
+            "basket b is disabled"
+        );
+    }
+}

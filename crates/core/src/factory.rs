@@ -1,0 +1,771 @@
+//! Factories — stateful continuous-query execution units (paper §3.3).
+//!
+//! A factory wraps (part of) a query plan. Its execution state survives
+//! between calls; each call (`fire`) locks the involved baskets, evaluates
+//! the plan over their contents, removes consumed tuples and appends
+//! results — Algorithm 1 of the paper. The scheduler treats factories as
+//! Petri-net transitions: `ready()` is the firing condition.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dcsql::ast::Stmt;
+use dcsql::exec::{execute_script, Effects, QueryContext};
+use dcsql::SqlError;
+use monet::catalog::Catalog;
+use monet::prelude::*;
+use parking_lot::Mutex;
+
+use crate::analyze::analyze;
+use crate::basket::Basket;
+use crate::clock::Clock;
+use crate::error::{EngineError, Result};
+use crate::varstore::VarStore;
+
+/// Outcome of one firing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FireReport {
+    /// Tuples removed from input baskets.
+    pub consumed: usize,
+    /// Tuples appended to output baskets / result channels / tables.
+    pub produced: usize,
+    /// Wall-clock execution time of this firing, in microseconds.
+    pub elapsed_micros: u64,
+}
+
+/// A Petri-net transition over baskets.
+pub trait Factory: Send {
+    fn name(&self) -> &str;
+
+    /// Input places: the baskets whose contents trigger this factory.
+    fn inputs(&self) -> &[Arc<Basket>];
+
+    /// Output places (baskets this factory appends to).
+    fn outputs(&self) -> &[Arc<Basket>];
+
+    /// The Petri-net firing condition. Default: every input basket holds at
+    /// least [`Factory::min_input`] tuples.
+    fn ready(&self) -> bool {
+        !self.inputs().is_empty()
+            && self
+                .inputs()
+                .iter()
+                .all(|b| b.len() >= self.min_input())
+    }
+
+    /// Minimum tuples per input before firing — the batch-processing
+    /// threshold `T` of the micro-benchmarks.
+    fn min_input(&self) -> usize {
+        1
+    }
+
+    /// Execute one firing. Must be a no-op returning a default report if
+    /// inputs vanished between `ready()` and `fire()`.
+    fn fire(&mut self) -> Result<FireReport>;
+}
+
+/// How a query factory applies basket-expression consumption.
+#[derive(Clone)]
+pub enum ConsumeMode {
+    /// Delete consumed tuples immediately after execution (separate-baskets
+    /// and default behaviour — Algorithm 1).
+    Apply,
+    /// Record consumption into a shared ledger; an unlocker factory applies
+    /// the union later (shared-baskets strategy, §4.2).
+    Defer(Arc<PendingDeletes>),
+}
+
+impl std::fmt::Debug for ConsumeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsumeMode::Apply => f.write_str("Apply"),
+            ConsumeMode::Defer(_) => f.write_str("Defer"),
+        }
+    }
+}
+
+/// Deferred-deletion ledger shared between a group of factories and their
+/// unlocker. Positions stay valid as long as no deletes run on the basket
+/// between recording and applying (appends are safe — they never shift
+/// existing rows).
+#[derive(Debug, Default)]
+pub struct PendingDeletes {
+    map: Mutex<HashMap<String, SelVec>>,
+}
+
+impl PendingDeletes {
+    pub fn new() -> Arc<Self> {
+        Arc::new(PendingDeletes::default())
+    }
+
+    /// Union `sel` into the pending set for `basket`.
+    pub fn record(&self, basket: &str, sel: &SelVec) {
+        let mut map = self.map.lock();
+        match map.get_mut(basket) {
+            Some(existing) => *existing = existing.union(sel),
+            None => {
+                map.insert(basket.to_string(), sel.clone());
+            }
+        }
+    }
+
+    /// Take everything recorded so far.
+    pub fn take(&self) -> HashMap<String, SelVec> {
+        std::mem::take(&mut self.map.lock())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+/// Snapshot-based [`QueryContext`] for one firing.
+struct FiringContext<'a> {
+    snapshots: &'a HashMap<String, Relation>,
+    catalog: &'a Catalog,
+    vars: &'a VarStore,
+    now: i64,
+}
+
+impl QueryContext for FiringContext<'_> {
+    fn relation(&self, name: &str) -> dcsql::Result<Relation> {
+        if let Some(r) = self.snapshots.get(name) {
+            return Ok(r.clone());
+        }
+        match self.catalog.get(name) {
+            Ok(t) => Ok(t.read().expect("catalog lock").clone()),
+            Err(_) => Err(SqlError::Unknown(name.to_string())),
+        }
+    }
+
+    fn get_var(&self, name: &str) -> Option<Value> {
+        self.vars.get(name)
+    }
+
+    fn now(&self) -> i64 {
+        self.now
+    }
+}
+
+/// A factory executing a SQL script (the common case: one continuous
+/// query, possibly a WITH-split or multiple statements).
+pub struct QueryFactory {
+    name: String,
+    stmts: Vec<Stmt>,
+    /// Baskets consumed by basket expressions — the firing inputs.
+    inputs: Vec<Arc<Basket>>,
+    /// Baskets read non-consumingly (snapshotted, but don't gate firing).
+    reads: Vec<Arc<Basket>>,
+    /// Baskets inserted into.
+    outputs: Vec<Arc<Basket>>,
+    catalog: Arc<Catalog>,
+    vars: Arc<VarStore>,
+    clock: Arc<dyn Clock>,
+    min_input: usize,
+    consume: ConsumeMode,
+    /// Channel receiving bare-SELECT results (the emitter side).
+    result_tx: Option<crossbeam::channel::Sender<Relation>>,
+}
+
+impl QueryFactory {
+    /// Build a query factory. `resolve` maps table names to baskets; names
+    /// that don't resolve are treated as catalog tables.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        stmts: Vec<Stmt>,
+        resolve: &dyn Fn(&str) -> Option<Arc<Basket>>,
+        catalog: Arc<Catalog>,
+        vars: Arc<VarStore>,
+        clock: Arc<dyn Clock>,
+        consume: ConsumeMode,
+        trigger_on: Option<Vec<Arc<Basket>>>,
+    ) -> Result<Self> {
+        let shape = analyze(&stmts);
+        let mut inputs = Vec::new();
+        for name in &shape.consumed {
+            match resolve(name) {
+                Some(b) => inputs.push(b),
+                None => {
+                    // a consumed name that is a catalog table is a config
+                    // error: persistent tables are not consumable
+                    if catalog.contains(name) {
+                        return Err(EngineError::Config(format!(
+                            "basket expression over persistent table {name}"
+                        )));
+                    }
+                    return Err(EngineError::Unknown(name.clone()));
+                }
+            }
+        }
+        let mut reads = Vec::new();
+        for name in &shape.read {
+            if let Some(b) = resolve(name) {
+                reads.push(b);
+            } else if !catalog.contains(name) {
+                return Err(EngineError::Unknown(name.clone()));
+            }
+        }
+        let mut outputs = Vec::new();
+        for name in &shape.inserted {
+            if let Some(b) = resolve(name) {
+                outputs.push(b);
+            } else if !catalog.contains(name) {
+                return Err(EngineError::Unknown(name.clone()));
+            }
+        }
+        let inputs = trigger_on.unwrap_or(inputs);
+        Ok(QueryFactory {
+            name: name.into(),
+            stmts,
+            inputs,
+            reads,
+            outputs,
+            catalog,
+            vars,
+            clock,
+            min_input: 1,
+            consume,
+            result_tx: None,
+        })
+    }
+
+    /// Batch threshold: fire only once every input holds ≥ `n` tuples.
+    pub fn with_min_input(mut self, n: usize) -> Self {
+        self.min_input = n.max(1);
+        self
+    }
+
+    /// Attach a result channel; bare SELECT results are sent there batch
+    /// by batch (an emitter drains the other end).
+    pub fn result_channel(&mut self) -> crossbeam::channel::Receiver<Relation> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.result_tx = Some(tx);
+        rx
+    }
+
+    /// All baskets this firing must lock, in id order, deduplicated.
+    fn involved(&self) -> Vec<Arc<Basket>> {
+        let mut v: Vec<Arc<Basket>> = self
+            .inputs
+            .iter()
+            .chain(self.reads.iter())
+            .chain(self.outputs.iter())
+            .cloned()
+            .collect();
+        v.sort_by_key(|b| b.id());
+        v.dedup_by_key(|b| b.id());
+        v
+    }
+
+    /// Apply the executor's effects under the held basket guards.
+    fn apply_effects(
+        &self,
+        effects: Effects,
+        baskets: &HashMap<String, (Arc<Basket>, usize)>,
+        guards: &mut [parking_lot::MutexGuard<'_, crate::basket::BasketInner>],
+    ) -> Result<FireReport> {
+        let mut consumed = 0usize;
+        let mut produced = 0usize;
+
+        // deletions (basket-expression consumption)
+        for (name, sel) in &effects.consumed {
+            match &self.consume {
+                ConsumeMode::Apply => {
+                    if let Some((basket, gi)) = baskets.get(name) {
+                        basket.delete_sel_locked(&mut guards[*gi], sel)?;
+                        consumed += sel.len();
+                    }
+                }
+                ConsumeMode::Defer(pending) => {
+                    pending.record(name, sel);
+                    consumed += sel.len();
+                }
+            }
+        }
+
+        // inserts
+        for (table, columns, rows) in effects.inserts {
+            let rows = match &columns {
+                Some(cols) => remap_columns(&rows, cols)?,
+                None => rows,
+            };
+            produced += rows.len();
+            if let Some((basket, gi)) = baskets.get(&table) {
+                basket.append_relation_locked(
+                    &mut guards[*gi],
+                    rows,
+                    self.clock.as_ref(),
+                )?;
+            } else {
+                let t = self.catalog.get(&table)?;
+                let mut t = t.write().expect("catalog table lock");
+                t.append_relation(&rows)?;
+            }
+        }
+
+        // variables
+        for (name, vtype) in effects.declares {
+            // re-declare silently: continuous scripts run repeatedly
+            let _ = self.vars.declare(&name, vtype);
+        }
+        for (name, value) in effects.var_updates {
+            if !self.vars.is_declared(&name) {
+                let vtype = value.value_type().unwrap_or(ValueType::Int);
+                self.vars.declare(&name, vtype)?;
+            }
+            self.vars.set(&name, value)?;
+        }
+
+        // bare SELECT result
+        if let Some(rel) = effects.result {
+            if !rel.is_empty() {
+                produced += rel.len();
+                if let Some(tx) = &self.result_tx {
+                    let _ = tx.send(rel);
+                }
+            }
+        }
+        Ok(FireReport {
+            consumed,
+            produced,
+            elapsed_micros: 0,
+        })
+    }
+}
+
+/// Rename an insert batch to an explicit column list (positional payload,
+/// named targets).
+fn remap_columns(rows: &Relation, cols: &[String]) -> Result<Relation> {
+    if cols.len() != rows.width() {
+        return Err(EngineError::Config(format!(
+            "insert column list has {} names but select produced {} columns",
+            cols.len(),
+            rows.width()
+        )));
+    }
+    let mut renamed = rows.clone();
+    renamed.rename_columns(cols.to_vec())?;
+    Ok(renamed)
+}
+
+impl Factory for QueryFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> &[Arc<Basket>] {
+        &self.inputs
+    }
+
+    fn outputs(&self) -> &[Arc<Basket>] {
+        &self.outputs
+    }
+
+    fn min_input(&self) -> usize {
+        self.min_input
+    }
+
+    fn fire(&mut self) -> Result<FireReport> {
+        let started = Instant::now();
+
+        // Algorithm 1: lock every involved basket for the whole firing.
+        let involved = self.involved();
+        let mut guards: Vec<parking_lot::MutexGuard<'_, crate::basket::BasketInner>> =
+            Vec::with_capacity(involved.len());
+        let mut index: HashMap<String, (Arc<Basket>, usize)> = HashMap::new();
+        for (i, b) in involved.iter().enumerate() {
+            guards.push(b.lock());
+            index.insert(b.name().to_string(), (Arc::clone(b), i));
+        }
+
+        // Snapshot under lock so consumption positions stay valid.
+        let mut snapshots: HashMap<String, Relation> = HashMap::new();
+        for (name, (_, gi)) in &index {
+            snapshots.insert(name.clone(), guards[*gi].relation().clone());
+        }
+
+        let ctx = FiringContext {
+            snapshots: &snapshots,
+            catalog: &self.catalog,
+            vars: &self.vars,
+            now: self.clock.now(),
+        };
+        let effects = execute_script(&self.stmts, &ctx)?;
+        let mut report = self.apply_effects(effects, &index, &mut guards)?;
+        report.elapsed_micros = started.elapsed().as_micros() as u64;
+        Ok(report)
+    }
+}
+
+/// A factory defined by a closure — used for lockers/unlockers, replica-
+/// tors, Linear Road's bespoke operators, and tests. The closure receives
+/// no arguments: it captures the baskets it needs and does its own locking.
+pub struct ClosureFactory {
+    name: String,
+    inputs: Vec<Arc<Basket>>,
+    outputs: Vec<Arc<Basket>>,
+    min_input: usize,
+    ready_fn: Option<Box<dyn Fn() -> bool + Send>>,
+    fire_fn: Box<dyn FnMut() -> Result<FireReport> + Send>,
+}
+
+impl ClosureFactory {
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<Arc<Basket>>,
+        outputs: Vec<Arc<Basket>>,
+        fire_fn: impl FnMut() -> Result<FireReport> + Send + 'static,
+    ) -> Self {
+        ClosureFactory {
+            name: name.into(),
+            inputs,
+            outputs,
+            min_input: 1,
+            ready_fn: None,
+            fire_fn: Box::new(fire_fn),
+        }
+    }
+
+    pub fn with_min_input(mut self, n: usize) -> Self {
+        self.min_input = n.max(1);
+        self
+    }
+
+    /// Override the firing condition entirely.
+    pub fn with_ready(mut self, f: impl Fn() -> bool + Send + 'static) -> Self {
+        self.ready_fn = Some(Box::new(f));
+        self
+    }
+}
+
+impl Factory for ClosureFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> &[Arc<Basket>] {
+        &self.inputs
+    }
+
+    fn outputs(&self) -> &[Arc<Basket>] {
+        &self.outputs
+    }
+
+    fn min_input(&self) -> usize {
+        self.min_input
+    }
+
+    fn ready(&self) -> bool {
+        match &self.ready_fn {
+            Some(f) => f(),
+            None => {
+                !self.inputs.is_empty()
+                    && self.inputs.iter().all(|b| b.len() >= self.min_input)
+            }
+        }
+    }
+
+    fn fire(&mut self) -> Result<FireReport> {
+        let started = Instant::now();
+        let mut report = (self.fire_fn)()?;
+        report.elapsed_micros = started.elapsed().as_micros() as u64;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use dcsql::parse_statements;
+
+    fn setup() -> (
+        Arc<VirtualClock>,
+        Arc<Catalog>,
+        Arc<VarStore>,
+        Arc<Basket>,
+        Arc<Basket>,
+    ) {
+        let clock = Arc::new(VirtualClock::starting_at(1_000));
+        let catalog = Arc::new(Catalog::new());
+        let vars = Arc::new(VarStore::new());
+        let schema = Schema::from_pairs(&[("id", ValueType::Int), ("payload", ValueType::Int)]);
+        let input = Basket::new("S", &schema, false);
+        let output = Basket::new("OUT", &schema, false);
+        (clock, catalog, vars, input, output)
+    }
+
+    fn mkq(
+        sql: &str,
+        input: &Arc<Basket>,
+        output: &Arc<Basket>,
+        clock: Arc<VirtualClock>,
+        catalog: Arc<Catalog>,
+        vars: Arc<VarStore>,
+        consume: ConsumeMode,
+    ) -> QueryFactory {
+        let stmts = parse_statements(sql).unwrap();
+        let i2 = Arc::clone(input);
+        let o2 = Arc::clone(output);
+        QueryFactory::new(
+            "q",
+            stmts,
+            &move |n: &str| match n {
+                "S" => Some(Arc::clone(&i2)),
+                "OUT" => Some(Arc::clone(&o2)),
+                _ => None,
+            },
+            catalog,
+            vars,
+            clock,
+            consume,
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn algorithm1_select_into_output() {
+        let (clock, catalog, vars, input, output) = setup();
+        input
+            .append_rows(
+                &[
+                    vec![Value::Int(1), Value::Int(50)],
+                    vec![Value::Int(2), Value::Int(150)],
+                    vec![Value::Int(3), Value::Int(250)],
+                ],
+                clock.as_ref(),
+            )
+            .unwrap();
+        let mut q = mkq(
+            "insert into OUT select * from [select * from S where payload > 100] as Z",
+            &input,
+            &output,
+            clock,
+            catalog,
+            vars,
+            ConsumeMode::Apply,
+        );
+        assert!(q.ready());
+        let report = q.fire().unwrap();
+        assert_eq!(report.consumed, 2);
+        assert_eq!(report.produced, 2);
+        assert_eq!(input.len(), 1, "only the non-matching tuple remains");
+        assert_eq!(output.len(), 2);
+        // the unmatched tuple is still buffered, so the factory stays ready
+        assert!(q.ready());
+    }
+
+    #[test]
+    fn consume_all_referenced_empties_basket() {
+        let (clock, catalog, vars, input, output) = setup();
+        input
+            .append_rows(&[vec![Value::Int(1), Value::Int(5)]], clock.as_ref())
+            .unwrap();
+        let mut q = mkq(
+            "insert into OUT select * from [select * from S] as Z where Z.payload > 100",
+            &input,
+            &output,
+            clock,
+            catalog,
+            vars,
+            ConsumeMode::Apply,
+        );
+        let report = q.fire().unwrap();
+        assert_eq!(report.consumed, 1, "referenced despite failing outer filter");
+        assert_eq!(report.produced, 0);
+        assert!(input.is_empty());
+        assert!(output.is_empty());
+    }
+
+    #[test]
+    fn deferred_consumption_records_only() {
+        let (clock, catalog, vars, input, output) = setup();
+        input
+            .append_rows(&[vec![Value::Int(1), Value::Int(5)]], clock.as_ref())
+            .unwrap();
+        let pending = PendingDeletes::new();
+        let mut q = mkq(
+            "insert into OUT select * from [select * from S] as Z",
+            &input,
+            &output,
+            clock,
+            catalog,
+            vars,
+            ConsumeMode::Defer(Arc::clone(&pending)),
+        );
+        q.fire().unwrap();
+        assert_eq!(input.len(), 1, "tuple still in basket");
+        let taken = pending.take();
+        assert_eq!(taken["S"].as_slice(), &[0]);
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn result_channel_receives_select_output() {
+        let (clock, catalog, vars, input, output) = setup();
+        input
+            .append_rows(&[vec![Value::Int(7), Value::Int(70)]], clock.as_ref())
+            .unwrap();
+        let mut q = mkq(
+            "select * from [select * from S] as Z",
+            &input,
+            &output,
+            clock,
+            catalog,
+            vars,
+            ConsumeMode::Apply,
+        );
+        let rx = q.result_channel();
+        q.fire().unwrap();
+        let batch = rx.try_recv().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.column("id").unwrap().ints().unwrap(), &[7]);
+    }
+
+    #[test]
+    fn min_input_batch_threshold() {
+        let (clock, catalog, vars, input, output) = setup();
+        let mut q = mkq(
+            "insert into OUT select * from [select * from S] as Z",
+            &input,
+            &output,
+            Arc::clone(&clock),
+            catalog,
+            vars,
+            ConsumeMode::Apply,
+        )
+        .with_min_input(3);
+        input
+            .append_rows(&[vec![Value::Int(1), Value::Int(1)]], clock.as_ref())
+            .unwrap();
+        assert!(!q.ready());
+        input
+            .append_rows(
+                &[
+                    vec![Value::Int(2), Value::Int(2)],
+                    vec![Value::Int(3), Value::Int(3)],
+                ],
+                clock.as_ref(),
+            )
+            .unwrap();
+        assert!(q.ready());
+        let r = q.fire().unwrap();
+        assert_eq!(r.consumed, 3);
+    }
+
+    #[test]
+    fn inserts_into_catalog_tables() {
+        let (clock, catalog, vars, input, output) = setup();
+        catalog
+            .create_table(
+                "hist",
+                &Schema::from_pairs(&[("id", ValueType::Int), ("payload", ValueType::Int)]),
+            )
+            .unwrap();
+        input
+            .append_rows(&[vec![Value::Int(4), Value::Int(40)]], clock.as_ref())
+            .unwrap();
+        let mut q = mkq(
+            "insert into hist select * from [select * from S] as Z",
+            &input,
+            &output,
+            clock,
+            catalog.clone(),
+            vars,
+            ConsumeMode::Apply,
+        );
+        q.fire().unwrap();
+        let t = catalog.get("hist").unwrap();
+        assert_eq!(t.read().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn variables_update_via_set() {
+        let (clock, catalog, vars, input, output) = setup();
+        input
+            .append_rows(
+                &[
+                    vec![Value::Int(1), Value::Int(10)],
+                    vec![Value::Int(2), Value::Int(20)],
+                ],
+                clock.as_ref(),
+            )
+            .unwrap();
+        vars.declare("cnt", ValueType::Int).unwrap();
+        vars.set("cnt", Value::Int(0)).unwrap();
+        let mut q = mkq(
+            "with Z as [select payload from S] begin \
+             set cnt = cnt + (select count(*) from Z); end",
+            &input,
+            &output,
+            Arc::clone(&clock),
+            catalog,
+            Arc::clone(&vars),
+            ConsumeMode::Apply,
+        );
+        q.fire().unwrap();
+        assert_eq!(vars.get("cnt"), Some(Value::Int(2)));
+        assert!(input.is_empty(), "WITH source consumed");
+    }
+
+    #[test]
+    fn closure_factory_ready_and_fire() {
+        let (clock, _, _, input, output) = setup();
+        input
+            .append_rows(&[vec![Value::Int(1), Value::Int(1)]], clock.as_ref())
+            .unwrap();
+        let i = Arc::clone(&input);
+        let o = Arc::clone(&output);
+        let c2 = Arc::clone(&clock);
+        let mut f = ClosureFactory::new(
+            "copier",
+            vec![Arc::clone(&input)],
+            vec![Arc::clone(&output)],
+            move || {
+                let batch = i.drain();
+                let n = batch.len();
+                o.append_relation(batch, c2.as_ref())?;
+                Ok(FireReport {
+                    consumed: n,
+                    produced: n,
+                    elapsed_micros: 0,
+                })
+            },
+        );
+        assert!(f.ready());
+        let r = f.fire().unwrap();
+        assert_eq!(r.consumed, 1);
+        assert!(!f.ready());
+        assert_eq!(output.len(), 1);
+
+        let always = ClosureFactory::new("gen", vec![], vec![], || Ok(FireReport::default()))
+            .with_ready(|| true);
+        assert!(always.ready());
+    }
+
+    #[test]
+    fn unknown_table_rejected_at_build() {
+        let (clock, catalog, vars, input, output) = setup();
+        let stmts = parse_statements("select * from [select * from NOPE] as Z").unwrap();
+        let i2 = Arc::clone(&input);
+        let o2 = Arc::clone(&output);
+        let err = QueryFactory::new(
+            "q",
+            stmts,
+            &move |n: &str| match n {
+                "S" => Some(Arc::clone(&i2)),
+                "OUT" => Some(Arc::clone(&o2)),
+                _ => None,
+            },
+            catalog,
+            vars,
+            clock,
+            ConsumeMode::Apply,
+            None,
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! # datacell — a stream engine on top of a column-store kernel
+//!
+//! Reproduction of *"Exploiting the Power of Relational Databases for
+//! Efficient Stream Processing"* (Liarou, Goncalves, Idreos — EDBT 2009).
+//!
+//! DataCell turns a relational kernel into a stream engine by inverting
+//! the classic DSMS dataflow: instead of pushing each tuple through
+//! standing queries, arriving tuples are appended to **baskets**
+//! (transient columnar tables) and continuous queries — **factories** —
+//! are repeatedly thrown *at the data* as ordinary relational plans. A
+//! Petri-net **scheduler** fires factories whose input baskets hold
+//! tuples; consumed tuples are deleted from their baskets; **receptors**
+//! and **emitters** connect the kernel to the outside world.
+//!
+//! Module map (paper section → module):
+//!
+//! | paper | module |
+//! |-------|--------|
+//! | §3.1 receptors/emitters      | [`receptor`], [`emitter`], [`net`] |
+//! | §3.2 baskets                 | [`basket`] |
+//! | §3.3 factories (Algorithm 1) | [`factory`] |
+//! | §3.4 basket expressions      | `dcsql` crate |
+//! | §4.1 Petri-net scheduling    | [`scheduler`] (model in `petri`) |
+//! | §4.2 processing strategies   | [`strategy`] |
+//! | §5 metronome & heartbeat     | [`metronome`], [`varstore`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use datacell::prelude::*;
+//!
+//! let clock = Arc::new(VirtualClock::new());
+//! let engine = DataCell::with_clock(clock);
+//! engine.create_stream("S", &Schema::from_pairs(&[
+//!     ("id", ValueType::Int), ("payload", ValueType::Int),
+//! ])).unwrap();
+//!
+//! // continuous query with a predicate window (basket expression)
+//! let results = engine.register_query(
+//!     "hot",
+//!     "select id from [select * from S where payload > 100] as W",
+//!     QueryOptions::subscribed(),
+//! ).unwrap().unwrap();
+//!
+//! engine.ingest("S", &[
+//!     vec![Value::Int(1), Value::Int(50)],
+//!     vec![Value::Int(2), Value::Int(500)],
+//! ]).unwrap();
+//! engine.run_until_quiescent(16).unwrap();
+//!
+//! let batch = results.try_recv().unwrap();
+//! assert_eq!(batch.column("id").unwrap().ints().unwrap(), &[2]);
+//! ```
+
+pub mod analyze;
+pub mod basket;
+pub mod clock;
+pub mod emitter;
+pub mod engine;
+pub mod error;
+pub mod factory;
+pub mod metronome;
+pub mod net;
+pub mod receptor;
+pub mod scheduler;
+pub mod strategy;
+pub mod varstore;
+
+/// Common imports for applications built on the engine.
+pub mod prelude {
+    pub use crate::basket::{Basket, TS_COLUMN};
+    pub use crate::clock::{Clock, SystemClock, VirtualClock, MICROS_PER_SEC};
+    pub use crate::emitter::Emitter;
+    pub use crate::engine::{DataCell, QueryOptions};
+    pub use crate::error::{EngineError, Result};
+    pub use crate::factory::{ClosureFactory, ConsumeMode, Factory, FireReport, QueryFactory};
+    pub use crate::metronome::{Heartbeat, Metronome};
+    pub use crate::receptor::Receptor;
+    pub use crate::scheduler::{Scheduler, ThreadedScheduler};
+    pub use crate::varstore::VarStore;
+    pub use monet::prelude::*;
+}

@@ -1,0 +1,201 @@
+//! Text wire protocol for receptors/emitters.
+//!
+//! "The interchange format between the various components is purposely
+//! kept simple using a textual interface for exchanging flat relational
+//! tuples" (§3.1). Tuples travel as `|`-separated lines; NULL is the empty
+//! field.
+
+use std::io::{BufRead, Write};
+
+use monet::prelude::*;
+
+use crate::error::{EngineError, Result};
+
+/// Render one tuple as a wire line (no trailing newline).
+pub fn format_row(row: &[Value]) -> String {
+    let mut out = String::new();
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            out.push('|');
+        }
+        match v {
+            Value::Null => {}
+            Value::Str(s) => {
+                // escape the separator and newlines
+                for c in s.chars() {
+                    match c {
+                        '|' => out.push_str("\\p"),
+                        '\n' => out.push_str("\\n"),
+                        '\\' => out.push_str("\\\\"),
+                        other => out.push(other),
+                    }
+                }
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+    out
+}
+
+/// Parse one wire line against a schema (user columns only).
+pub fn parse_row(line: &str, schema: &Schema) -> Result<Vec<Value>> {
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields.len() != schema.width() {
+        return Err(EngineError::Io(format!(
+            "wire row has {} fields, schema expects {}",
+            fields.len(),
+            schema.width()
+        )));
+    }
+    let mut row = Vec::with_capacity(fields.len());
+    for (raw, field) in fields.iter().zip(schema.fields()) {
+        if raw.is_empty() {
+            row.push(Value::Null);
+            continue;
+        }
+        let v = match field.vtype {
+            ValueType::Int => Value::Int(raw.parse().map_err(|_| bad(raw, "int"))?),
+            ValueType::Ts => Value::Ts(raw.parse().map_err(|_| bad(raw, "timestamp"))?),
+            ValueType::Double => Value::Double(raw.parse().map_err(|_| bad(raw, "double"))?),
+            ValueType::Bool => Value::Bool(raw.parse().map_err(|_| bad(raw, "bool"))?),
+            ValueType::Str => Value::Str(unescape(raw)),
+        };
+        row.push(v);
+    }
+    Ok(row)
+}
+
+fn bad(raw: &str, ty: &str) -> EngineError {
+    EngineError::Io(format!("cannot parse {raw:?} as {ty}"))
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('p') => out.push('|'),
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Write a batch of rows to a writer, one line per tuple.
+pub fn write_batch<W: Write>(w: &mut W, rel: &Relation) -> Result<usize> {
+    for row in rel.iter_rows() {
+        writeln!(w, "{}", format_row(&row))?;
+    }
+    w.flush()?;
+    Ok(rel.len())
+}
+
+/// Read up to `max` lines into rows (blocking until EOF or `max`).
+pub fn read_rows<R: BufRead>(r: &mut R, schema: &Schema, max: usize) -> Result<Vec<Vec<Value>>> {
+    let mut rows = Vec::new();
+    let mut line = String::new();
+    while rows.len() < max {
+        line.clear();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        rows.push(parse_row(trimmed, schema)?);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("ts", ValueType::Ts),
+            ("id", ValueType::Int),
+            ("score", ValueType::Double),
+            ("name", ValueType::Str),
+            ("ok", ValueType::Bool),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let row = vec![
+            Value::Ts(123456),
+            Value::Int(-9),
+            Value::Double(2.5),
+            Value::Str("hello world".into()),
+            Value::Bool(true),
+        ];
+        let line = format_row(&row);
+        let back = parse_row(&line, &schema()).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn null_roundtrip() {
+        let row = vec![
+            Value::Null,
+            Value::Int(1),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ];
+        let line = format_row(&row);
+        assert_eq!(line, "|1|||");
+        let back = parse_row(&line, &schema()).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let row = vec![
+            Value::Ts(0),
+            Value::Int(0),
+            Value::Double(0.0),
+            Value::Str("a|b\\c\nd".into()),
+            Value::Bool(false),
+        ];
+        let line = format_row(&row);
+        assert!(!line.contains('\n'));
+        let back = parse_row(&line, &schema()).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn arity_and_type_errors() {
+        assert!(parse_row("1|2", &schema()).is_err());
+        assert!(parse_row("x|1|1.0|s|true", &schema()).is_err());
+    }
+
+    #[test]
+    fn batch_io() {
+        let rel = Relation::from_columns(vec![
+            ("a".into(), Column::from_ints(vec![1, 2])),
+            ("b".into(), Column::from_strs(vec!["x".into(), "y".into()])),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        write_batch(&mut buf, &rel).unwrap();
+        let s = Schema::from_pairs(&[("a", ValueType::Int), ("b", ValueType::Str)]);
+        let mut reader = std::io::BufReader::new(&buf[..]);
+        let rows = read_rows(&mut reader, &s, 100).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec![Value::Int(2), Value::Str("y".into())]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Receptors — adapter threads feeding baskets (paper §3.1).
+//!
+//! A receptor continuously picks events off a communication channel,
+//! validates their structure and appends them to its basket(s). Two
+//! channel kinds are provided: in-process crossbeam channels (benchmarks,
+//! tests) and TCP text streams (the sensor experiments).
+
+use std::io::BufReader;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::Receiver;
+use monet::prelude::*;
+
+use crate::basket::Basket;
+use crate::clock::Clock;
+use crate::error::Result;
+use crate::net::read_rows;
+
+/// Handle to a running receptor thread.
+pub struct Receptor {
+    name: String,
+    handle: JoinHandle<ReceptorReport>,
+}
+
+/// Lifetime statistics returned when the receptor ends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReceptorReport {
+    /// Tuples successfully appended.
+    pub accepted: u64,
+    /// Tuples rejected (bad structure, disabled basket).
+    pub rejected: u64,
+}
+
+impl Receptor {
+    /// Receptor on an in-process channel. Each message is one tuple; the
+    /// receptor greedily batches whatever is queued before appending, so a
+    /// burst becomes a single columnar append.
+    pub fn spawn_channel(
+        name: impl Into<String>,
+        rx: Receiver<Vec<Value>>,
+        basket: Arc<Basket>,
+        clock: Arc<dyn Clock>,
+    ) -> Receptor {
+        let name = name.into();
+        let tname = name.clone();
+        let handle = std::thread::spawn(move || {
+            let mut report = ReceptorReport::default();
+            let mut batch: Vec<Vec<Value>> = Vec::new();
+            while let Ok(first) = rx.recv() {
+                batch.clear();
+                batch.push(first);
+                while let Ok(more) = rx.try_recv() {
+                    batch.push(more);
+                    if batch.len() >= 4096 {
+                        break;
+                    }
+                }
+                match basket.append_rows(&batch, clock.as_ref()) {
+                    Ok(n) => {
+                        report.accepted += n as u64;
+                        report.rejected += (batch.len() - n) as u64;
+                    }
+                    Err(_) => report.rejected += batch.len() as u64,
+                }
+            }
+            let _ = tname;
+            report
+        });
+        Receptor { name, handle }
+    }
+
+    /// Receptor listening on TCP: accepts one sensor connection and
+    /// consumes newline-framed tuples until EOF.
+    pub fn spawn_tcp(
+        name: impl Into<String>,
+        listener: TcpListener,
+        basket: Arc<Basket>,
+        clock: Arc<dyn Clock>,
+    ) -> Receptor {
+        let name = name.into();
+        let schema = user_schema(&basket);
+        let handle = std::thread::spawn(move || {
+            let mut report = ReceptorReport::default();
+            let Ok((stream, _)) = listener.accept() else {
+                return report;
+            };
+            let mut reader = BufReader::new(stream);
+            loop {
+                match read_rows(&mut reader, &schema, 1024) {
+                    Ok(rows) if rows.is_empty() => break,
+                    Ok(rows) => match basket.append_rows(&rows, clock.as_ref()) {
+                        Ok(n) => {
+                            report.accepted += n as u64;
+                            report.rejected += (rows.len() - n) as u64;
+                        }
+                        Err(_) => report.rejected += rows.len() as u64,
+                    },
+                    Err(_) => {
+                        report.rejected += 1;
+                        break;
+                    }
+                }
+            }
+            report
+        });
+        Receptor { name, handle }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Wait for the feed to end and collect statistics.
+    pub fn join(self) -> Result<ReceptorReport> {
+        self.handle
+            .join()
+            .map_err(|_| crate::error::EngineError::Io("receptor thread panicked".into()))
+    }
+}
+
+/// The user-facing part of a basket schema (what travels on the wire).
+fn user_schema(basket: &Basket) -> Schema {
+    let fields = basket.schema().fields()[..basket.user_width()].to_vec();
+    Schema::new(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use std::io::Write;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("id", ValueType::Int), ("v", ValueType::Int)])
+    }
+
+    #[test]
+    fn channel_receptor_feeds_basket() {
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let basket = Basket::new("B", &schema(), true);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let receptor = Receptor::spawn_channel("r", rx, Arc::clone(&basket), clock);
+        for i in 0..100 {
+            tx.send(vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
+        }
+        drop(tx);
+        let report = receptor.join().unwrap();
+        assert_eq!(report.accepted, 100);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(basket.len(), 100);
+    }
+
+    #[test]
+    fn channel_receptor_counts_rejects() {
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let basket = Basket::new("B", &schema(), true);
+        basket.disable();
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let receptor = Receptor::spawn_channel("r", rx, Arc::clone(&basket), clock);
+        tx.send(vec![Value::Int(1), Value::Int(1)]).unwrap();
+        drop(tx);
+        let report = receptor.join().unwrap();
+        assert_eq!(report.accepted, 0);
+        assert_eq!(report.rejected, 1);
+    }
+
+    #[test]
+    fn tcp_receptor_parses_lines() {
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let basket = Basket::new("B", &schema(), true);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let receptor = Receptor::spawn_tcp("r", listener, Arc::clone(&basket), clock);
+
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        sock.write_all(b"1|10\n2|20\n3|30\n").unwrap();
+        drop(sock);
+
+        let report = receptor.join().unwrap();
+        assert_eq!(report.accepted, 3);
+        assert_eq!(basket.len(), 3);
+        let snap = basket.snapshot();
+        assert_eq!(snap.column("v").unwrap().ints().unwrap(), &[10, 20, 30]);
+    }
+}

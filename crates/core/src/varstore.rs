@@ -1,0 +1,133 @@
+//! Global variable store for `DECLARE` / `SET`.
+//!
+//! The paper's incremental-aggregation idiom keeps running totals in global
+//! variables updated by continuous queries; this is their home.
+
+use std::collections::HashMap;
+
+use monet::prelude::*;
+use parking_lot::RwLock;
+
+use crate::error::{EngineError, Result};
+
+/// Thread-safe variable registry.
+#[derive(Debug, Default)]
+pub struct VarStore {
+    vars: RwLock<HashMap<String, (ValueType, Value)>>,
+}
+
+impl VarStore {
+    pub fn new() -> Self {
+        VarStore::default()
+    }
+
+    /// Declare a variable with its type; initializes to NULL. Re-declaring
+    /// is an error.
+    pub fn declare(&self, name: &str, vtype: ValueType) -> Result<()> {
+        let mut vars = self.vars.write();
+        if vars.contains_key(name) {
+            return Err(EngineError::Duplicate(format!("variable {name}")));
+        }
+        vars.insert(name.to_string(), (vtype, Value::Null));
+        Ok(())
+    }
+
+    /// Assign; the value must match the declared type (NULL always fits,
+    /// Int coerces into Double/Ts slots).
+    pub fn set(&self, name: &str, value: Value) -> Result<()> {
+        let mut vars = self.vars.write();
+        let slot = vars
+            .get_mut(name)
+            .ok_or_else(|| EngineError::Unknown(format!("variable {name}")))?;
+        let coerced = coerce(slot.0, value)?;
+        slot.1 = coerced;
+        Ok(())
+    }
+
+    /// Current value, if declared.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.vars.read().get(name).map(|(_, v)| v.clone())
+    }
+
+    pub fn is_declared(&self, name: &str) -> bool {
+        self.vars.read().contains_key(name)
+    }
+
+    /// Names in sorted order (diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.vars.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+fn coerce(vtype: ValueType, value: Value) -> Result<Value> {
+    if value.is_null() {
+        return Ok(Value::Null);
+    }
+    let found = value.value_type().expect("non-null");
+    let ok = match (vtype, &value) {
+        _ if found == vtype => true,
+        (ValueType::Double, Value::Int(_)) => {
+            return Ok(Value::Double(value.as_double().expect("int")))
+        }
+        (ValueType::Ts, Value::Int(i)) => return Ok(Value::Ts(*i)),
+        (ValueType::Int, Value::Ts(t)) => return Ok(Value::Int(*t)),
+        _ => false,
+    };
+    if ok {
+        Ok(value)
+    } else {
+        Err(EngineError::Config(format!(
+            "variable type mismatch: declared {vtype}, got {found}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_set_get() {
+        let vs = VarStore::new();
+        vs.declare("cnt", ValueType::Int).unwrap();
+        assert_eq!(vs.get("cnt"), Some(Value::Null));
+        vs.set("cnt", Value::Int(5)).unwrap();
+        assert_eq!(vs.get("cnt"), Some(Value::Int(5)));
+        assert!(vs.is_declared("cnt"));
+        assert!(!vs.is_declared("other"));
+        assert_eq!(vs.get("other"), None);
+    }
+
+    #[test]
+    fn redeclare_and_unknown_set_fail() {
+        let vs = VarStore::new();
+        vs.declare("x", ValueType::Int).unwrap();
+        assert!(vs.declare("x", ValueType::Int).is_err());
+        assert!(vs.set("nope", Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn type_coercions() {
+        let vs = VarStore::new();
+        vs.declare("d", ValueType::Double).unwrap();
+        vs.set("d", Value::Int(3)).unwrap();
+        assert_eq!(vs.get("d"), Some(Value::Double(3.0)));
+        vs.declare("t", ValueType::Ts).unwrap();
+        vs.set("t", Value::Int(99)).unwrap();
+        assert_eq!(vs.get("t"), Some(Value::Ts(99)));
+        vs.declare("i", ValueType::Int).unwrap();
+        assert!(vs.set("i", Value::Str("x".into())).is_err());
+        vs.set("i", Value::Null).unwrap();
+        assert_eq!(vs.get("i"), Some(Value::Null));
+    }
+
+    #[test]
+    fn names_sorted() {
+        let vs = VarStore::new();
+        vs.declare("b", ValueType::Int).unwrap();
+        vs.declare("a", ValueType::Int).unwrap();
+        assert_eq!(vs.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

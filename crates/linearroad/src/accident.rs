@@ -1,0 +1,274 @@
+//! Accident detection: a car is *stopped* after four consecutive identical
+//! position reports; an *accident* exists at a location with at least two
+//! stopped cars; it clears when one of them moves away.
+
+use std::collections::HashMap;
+
+use crate::types::{InputKind, InputTuple, ACCIDENT_WARN_SEGS, STOPPED_REPORTS};
+
+/// A location on the road network (direction-aware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Location {
+    pub xway: i64,
+    pub lane: i64,
+    pub dir: i64,
+    pub pos: i64,
+}
+
+/// An active or cleared accident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Accident {
+    pub location: Location,
+    /// Second at which the second car was confirmed stopped.
+    pub detected_at: i64,
+    /// Second at which a participant moved away (None while active).
+    pub cleared_at: Option<i64>,
+    /// Vehicles confirmed stopped at the location.
+    pub vids: Vec<i64>,
+}
+
+impl Accident {
+    /// Is the accident visible to tolls/alerts at `time`? (Active from
+    /// detection until cleared.)
+    pub fn active_at(&self, time: i64) -> bool {
+        time >= self.detected_at && self.cleared_at.is_none_or(|c| time < c)
+    }
+
+    pub fn seg(&self) -> i64 {
+        self.location.pos / crate::types::SEGMENT_FEET
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CarTrack {
+    location: Location,
+    consecutive: usize,
+    last_time: i64,
+}
+
+/// Streaming accident detector.
+#[derive(Debug, Default)]
+pub struct AccidentDetector {
+    tracks: HashMap<i64, CarTrack>,
+    /// stopped cars per location
+    stopped: HashMap<Location, Vec<i64>>,
+    accidents: Vec<Accident>,
+}
+
+impl AccidentDetector {
+    pub fn new() -> Self {
+        AccidentDetector::default()
+    }
+
+    /// Feed one position report; returns a newly detected accident, if any.
+    pub fn observe(&mut self, t: &InputTuple) -> Option<usize> {
+        debug_assert_eq!(t.kind, InputKind::Position);
+        let here = Location {
+            xway: t.xway,
+            lane: t.lane,
+            dir: t.dir,
+            pos: t.pos,
+        };
+        let prev = self.tracks.insert(
+            t.vid,
+            CarTrack {
+                location: here,
+                consecutive: 1,
+                last_time: t.time,
+            },
+        );
+        match prev {
+            Some(old) if old.location == here => {
+                let track = self.tracks.get_mut(&t.vid).expect("just inserted");
+                track.consecutive = old.consecutive + 1;
+                if track.consecutive == STOPPED_REPORTS {
+                    return self.car_stopped(t.vid, here, t.time);
+                }
+            }
+            Some(old) => {
+                // moved: if it was a stopped participant, clear
+                self.car_moved(t.vid, old.location, t.time);
+            }
+            None => {}
+        }
+        None
+    }
+
+    fn car_stopped(&mut self, vid: i64, loc: Location, time: i64) -> Option<usize> {
+        let stopped_here = self.stopped.entry(loc).or_default();
+        if !stopped_here.contains(&vid) {
+            stopped_here.push(vid);
+        }
+        if stopped_here.len() >= 2 {
+            // already an active accident here?
+            let exists = self
+                .accidents
+                .iter()
+                .any(|a| a.location == loc && a.cleared_at.is_none());
+            if !exists {
+                self.accidents.push(Accident {
+                    location: loc,
+                    detected_at: time,
+                    cleared_at: None,
+                    vids: stopped_here.clone(),
+                });
+                return Some(self.accidents.len() - 1);
+            }
+        }
+        None
+    }
+
+    fn car_moved(&mut self, vid: i64, from: Location, time: i64) {
+        if let Some(stopped_here) = self.stopped.get_mut(&from) {
+            if let Some(i) = stopped_here.iter().position(|&v| v == vid) {
+                stopped_here.swap_remove(i);
+                // one participant moving clears the accident
+                for a in self.accidents.iter_mut() {
+                    if a.location == from && a.cleared_at.is_none() {
+                        a.cleared_at = Some(time);
+                    }
+                }
+            }
+            if stopped_here.is_empty() {
+                self.stopped.remove(&from);
+            }
+        }
+    }
+
+    /// All accidents seen so far (active and cleared).
+    pub fn accidents(&self) -> &[Accident] {
+        &self.accidents
+    }
+
+    /// Accident (if any) affecting a car at `(xway, dir, seg)` at `time`:
+    /// active, same expressway & direction, located within
+    /// [`ACCIDENT_WARN_SEGS`] segments downstream of the car.
+    pub fn affecting(&self, xway: i64, dir: i64, seg: i64, time: i64) -> Option<&Accident> {
+        self.accidents.iter().find(|a| {
+            if !(a.active_at(time) && a.location.xway == xway && a.location.dir == dir) {
+                return false;
+            }
+            let aseg = a.seg();
+            if dir == 0 {
+                // eastbound: accident ahead means larger segment number
+                aseg >= seg && aseg - seg <= ACCIDENT_WARN_SEGS
+            } else {
+                aseg <= seg && seg - aseg <= ACCIDENT_WARN_SEGS
+            }
+        })
+    }
+
+    /// Drop tracking state for cars silent since `before` (exited traffic).
+    pub fn evict_idle(&mut self, before: i64) {
+        self.tracks.retain(|_, t| t.last_time >= before);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{REPORT_INTERVAL_SECS, SEGMENT_FEET};
+
+    fn report(time: i64, vid: i64, pos: i64) -> InputTuple {
+        InputTuple::position(time, vid, 0, 0, 1, 0, pos)
+    }
+
+    fn stop_car(d: &mut AccidentDetector, vid: i64, pos: i64, from: i64) -> Option<usize> {
+        let mut found = None;
+        for i in 0..STOPPED_REPORTS as i64 {
+            found = d.observe(&report(from + i * REPORT_INTERVAL_SECS, vid, pos));
+        }
+        found
+    }
+
+    #[test]
+    fn four_identical_reports_mark_stopped_two_cars_make_accident() {
+        let mut d = AccidentDetector::new();
+        assert!(stop_car(&mut d, 1, 5280, 0).is_none(), "one stopped car is no accident");
+        let acc = stop_car(&mut d, 2, 5280, 0);
+        assert!(acc.is_some());
+        let a = &d.accidents()[acc.unwrap()];
+        assert_eq!(a.vids.len(), 2);
+        assert!(a.cleared_at.is_none());
+        assert_eq!(a.seg(), 1);
+    }
+
+    #[test]
+    fn three_reports_are_not_stopped() {
+        let mut d = AccidentDetector::new();
+        for i in 0..3i64 {
+            d.observe(&report(i * 30, 1, 100));
+            d.observe(&report(i * 30, 2, 100));
+        }
+        assert!(d.accidents().is_empty());
+    }
+
+    #[test]
+    fn different_positions_dont_accumulate() {
+        let mut d = AccidentDetector::new();
+        for i in 0..8i64 {
+            // alternate between two positions — never 4 consecutive
+            d.observe(&report(i * 30, 1, 100 + (i % 2) * 10));
+        }
+        assert!(d.accidents().is_empty());
+    }
+
+    #[test]
+    fn accident_clears_when_participant_moves() {
+        let mut d = AccidentDetector::new();
+        stop_car(&mut d, 1, 200, 0);
+        stop_car(&mut d, 2, 200, 0);
+        assert!(d.accidents()[0].active_at(130));
+        // car 1 moves away
+        d.observe(&report(150, 1, 999));
+        let a = &d.accidents()[0];
+        assert_eq!(a.cleared_at, Some(150));
+        assert!(!a.active_at(151));
+        assert!(a.active_at(149));
+    }
+
+    #[test]
+    fn affecting_respects_direction_and_range() {
+        let mut d = AccidentDetector::new();
+        // accident at segment 10 (pos 10*5280), eastbound
+        stop_car(&mut d, 1, 10 * SEGMENT_FEET, 0);
+        stop_car(&mut d, 2, 10 * SEGMENT_FEET, 0);
+        let t = 200;
+        // eastbound car at segment 7: accident 3 ahead → affected
+        assert!(d.affecting(0, 0, 7, t).is_some());
+        // segment 6: 4 ahead → still affected (≤ 4)
+        assert!(d.affecting(0, 0, 6, t).is_some());
+        // segment 5: 5 ahead → out of range
+        assert!(d.affecting(0, 0, 5, t).is_none());
+        // behind the accident → unaffected
+        assert!(d.affecting(0, 0, 12, t).is_none());
+        // westbound direction → unaffected
+        assert!(d.affecting(0, 1, 12, t).is_none());
+        // other expressway → unaffected
+        assert!(d.affecting(1, 0, 9, t).is_none());
+    }
+
+    #[test]
+    fn no_duplicate_accidents_same_location() {
+        let mut d = AccidentDetector::new();
+        stop_car(&mut d, 1, 300, 0);
+        stop_car(&mut d, 2, 300, 0);
+        // a third car stops at the same place: same accident, no new one
+        let r = stop_car(&mut d, 3, 300, 0);
+        assert!(r.is_none());
+        assert_eq!(d.accidents().len(), 1);
+    }
+
+    #[test]
+    fn evict_idle_trims_tracks() {
+        let mut d = AccidentDetector::new();
+        d.observe(&report(0, 1, 100));
+        d.observe(&report(500, 2, 200));
+        d.evict_idle(400);
+        // car 1 starts a fresh streak after eviction
+        for i in 0..STOPPED_REPORTS as i64 {
+            d.observe(&report(600 + i * 30, 1, 100));
+        }
+        assert!(d.accidents().is_empty(), "streak restarted after eviction");
+    }
+}

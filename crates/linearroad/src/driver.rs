@@ -1,0 +1,252 @@
+//! Benchmark driver: event-time replay of a generated workload through the
+//! DataCell query network, collecting the measurements behind Figures 7–9.
+//!
+//! The paper runs three wall-clock hours; we replay the same three
+//! simulated hours on a virtual clock — each simulated second ingests its
+//! tuple bucket and runs the scheduler to quiescence, recording how much
+//! *wall* time each query collection spent. Load shapes (Figure 7), input
+//! distribution (Figure 8) and response times (Figure 9) carry over.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use datacell::clock::{VirtualClock, MICROS_PER_SEC};
+use datacell::scheduler::Scheduler;
+use monet::prelude::*;
+use parking_lot::Mutex;
+
+use crate::gen::{generate, GenConfig, Workload};
+use crate::queries::{build_network, LrBaskets, LrState};
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    pub gen: GenConfig,
+    /// Sampling window for load/response series (seconds of stream time).
+    pub sample_every_secs: i64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            gen: GenConfig::default(),
+            sample_every_secs: 60,
+        }
+    }
+}
+
+/// One sample of a collection's load within a window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSample {
+    /// End of the window, in stream seconds.
+    pub time_sec: i64,
+    /// Wall-clock execution time spent in the window (ms).
+    pub busy_ms: f64,
+    /// Firings in the window.
+    pub firings: u64,
+    /// Tuples consumed in the window.
+    pub consumed: u64,
+}
+
+/// Everything a run produces.
+pub struct LrRun {
+    /// Per-collection load series (Figure 7): index 0..7 ↔ Q1..Q7.
+    pub load: Vec<(String, Vec<LoadSample>)>,
+    /// Input arrivals per second (Figure 8).
+    pub arrivals: Vec<usize>,
+    /// Final shared state (accounts, accidents, statistics).
+    pub state: Arc<Mutex<LrState>>,
+    /// Output relations.
+    pub tolls: Relation,
+    pub alerts: Relation,
+    pub balance_answers: Relation,
+    pub expenditure_answers: Relation,
+    /// The workload that was replayed (ground truth for validation).
+    pub workload: Workload,
+    /// Total tuples ingested.
+    pub total_input: usize,
+    /// Wall-clock duration of the replay (seconds).
+    pub wall_secs: f64,
+    /// Worst per-second processing time observed (ms) — the deadline
+    /// headroom measure.
+    pub max_second_ms: f64,
+}
+
+impl LrRun {
+    /// Q7 average response time per sample window (Figure 9's series):
+    /// mean wall-clock ms per activation.
+    pub fn q7_response_series(&self) -> Vec<(i64, f64)> {
+        let (_, samples) = &self.load[6];
+        samples
+            .iter()
+            .filter(|s| s.firings > 0)
+            .map(|s| (s.time_sec, s.busy_ms / s.firings as f64))
+            .collect()
+    }
+
+    /// Deadline compliance: fraction of sample windows whose Q-collection
+    /// processing stayed under `deadline_ms` per activation.
+    pub fn deadline_compliance(&self, collection: usize, deadline_ms: f64) -> f64 {
+        let (_, samples) = &self.load[collection];
+        let active: Vec<&LoadSample> = samples.iter().filter(|s| s.firings > 0).collect();
+        if active.is_empty() {
+            return 1.0;
+        }
+        let ok = active
+            .iter()
+            .filter(|s| s.busy_ms / s.firings as f64 <= deadline_ms)
+            .count();
+        ok as f64 / active.len() as f64
+    }
+}
+
+/// Replay `cfg` through the network.
+pub fn run(cfg: &DriverConfig) -> LrRun {
+    let workload = generate(&cfg.gen);
+    run_workload(cfg, workload)
+}
+
+/// Replay an explicit workload (used by tests with handcrafted traffic).
+pub fn run_workload(cfg: &DriverConfig, workload: Workload) -> LrRun {
+    let clock = Arc::new(VirtualClock::new());
+    let baskets = LrBaskets::new();
+    let state = Arc::new(Mutex::new(LrState::new(cfg.gen.seed)));
+    let mut sched = Scheduler::new();
+    for f in build_network(&baskets, Arc::clone(&state), clock.clone()) {
+        sched.add(f);
+    }
+    let names = sched.factory_names();
+
+    let buckets = workload.by_second(cfg.gen.duration_secs);
+    let arrivals: Vec<usize> = buckets.iter().map(|b| b.len()).collect();
+    let total_input: usize = arrivals.iter().sum();
+
+    let mut load: Vec<(String, Vec<LoadSample>)> =
+        names.iter().map(|n| (n.clone(), Vec::new())).collect();
+    let mut prev: Vec<(u64, u64, u64)> = vec![(0, 0, 0); names.len()];
+
+    let started = Instant::now();
+    let mut max_second_ms = 0.0f64;
+    for (sec, bucket) in buckets.iter().enumerate() {
+        let sec = sec as i64;
+        clock.set(sec * MICROS_PER_SEC + 1);
+        if !bucket.is_empty() {
+            let rows: Vec<Vec<Value>> = bucket.iter().map(|t| t.to_row()).collect();
+            baskets
+                .input
+                .append_rows(&rows, clock.as_ref())
+                .expect("ingest");
+        }
+        let sec_started = Instant::now();
+        sched.run_until_quiescent(1_000).expect("scheduler");
+        max_second_ms = max_second_ms.max(sec_started.elapsed().as_secs_f64() * 1e3);
+
+        if sec % cfg.sample_every_secs == cfg.sample_every_secs - 1
+            || sec == cfg.gen.duration_secs - 1
+        {
+            for (i, stats) in sched.stats().iter().enumerate() {
+                let cur = (stats.busy_micros, stats.firings, stats.consumed);
+                load[i].1.push(LoadSample {
+                    time_sec: sec + 1,
+                    busy_ms: (cur.0 - prev[i].0) as f64 / 1e3,
+                    firings: cur.1 - prev[i].1,
+                    consumed: cur.2 - prev[i].2,
+                });
+                prev[i] = cur;
+            }
+        }
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    LrRun {
+        load,
+        arrivals,
+        tolls: baskets.tolls.snapshot(),
+        alerts: baskets.accalerts.snapshot(),
+        balance_answers: baskets.balans.snapshot(),
+        expenditure_answers: baskets.expans.snapshot(),
+        state,
+        workload,
+        total_input,
+        wall_secs,
+        max_second_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DriverConfig {
+        DriverConfig {
+            gen: GenConfig {
+                scale: 0.02,
+                duration_secs: 900,
+                seed: 5,
+                xways: 1,
+                query_fraction: 0.02,
+            },
+            sample_every_secs: 60,
+        }
+    }
+
+    #[test]
+    fn replay_produces_all_output_kinds() {
+        let run = run(&tiny());
+        assert!(run.total_input > 500, "got {}", run.total_input);
+        assert!(!run.tolls.is_empty(), "toll notifications emitted");
+        assert!(!run.balance_answers.is_empty(), "balance answers emitted");
+        assert!(
+            !run.expenditure_answers.is_empty(),
+            "expenditure answers emitted"
+        );
+        assert_eq!(run.load.len(), 7);
+        assert_eq!(run.load[0].0, "Q1");
+        assert_eq!(run.load[6].0, "Q7");
+    }
+
+    #[test]
+    fn arrivals_match_workload() {
+        let run = run(&tiny());
+        let sum: usize = run.arrivals.iter().sum();
+        assert_eq!(sum, run.total_input);
+        assert_eq!(sum, run.workload.tuples.len());
+    }
+
+    #[test]
+    fn load_samples_cover_the_run() {
+        let cfg = tiny();
+        let run = run(&cfg);
+        for (name, samples) in &run.load {
+            assert!(
+                !samples.is_empty(),
+                "collection {name} must have load samples"
+            );
+            // windows are ordered and within the duration
+            assert!(samples.windows(2).all(|w| w[0].time_sec < w[1].time_sec));
+            assert!(samples.last().unwrap().time_sec <= cfg.gen.duration_secs);
+        }
+        // Q1 consumed every input tuple
+        let q1_total: u64 = run.load[0].1.iter().map(|s| s.consumed).sum();
+        assert_eq!(q1_total as usize, run.total_input);
+    }
+
+    #[test]
+    fn q7_response_series_nonempty() {
+        let run = run(&tiny());
+        let series = run.q7_response_series();
+        assert!(!series.is_empty());
+        assert!(series.iter().all(|(_, ms)| *ms >= 0.0));
+    }
+
+    #[test]
+    fn deadline_compliance_is_a_fraction() {
+        let run = run(&tiny());
+        for c in 0..7 {
+            let f = run.deadline_compliance(c, 5_000.0);
+            assert!((0.0..=1.0).contains(&f));
+        }
+        // with a generous deadline everything complies
+        assert_eq!(run.deadline_compliance(6, 60_000.0), 1.0);
+    }
+}

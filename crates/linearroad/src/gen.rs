@@ -1,0 +1,411 @@
+//! Traffic generator.
+//!
+//! Synthesizes the benchmark's three-hour workload: cars entering
+//! expressways at a ramping rate (Figure 8's shape — tens of tuples/sec at
+//! the start, ~1700·SF tuples/sec at the end), position reports every 30 s,
+//! forced accidents whose frequency grows after the first hour, and a 1%
+//! sprinkle of historical queries. Deterministic per seed.
+//!
+//! Substitution note (DESIGN.md): the original MIT traffic simulator is
+//! closed and its data files unavailable; this generator reproduces the
+//! *load shape* (ramp, accident schedule, report cadence, query mix) that
+//! the paper's evaluation depends on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::*;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Scale factor: 1.0 ≈ the paper's SF 1 (≈1.2·10⁷ tuples over 3 h).
+    pub scale: f64,
+    /// Simulated duration in seconds (the benchmark runs 10800).
+    pub duration_secs: i64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of expressways.
+    pub xways: i64,
+    /// Fraction of position reports shadowed by historical queries.
+    pub query_fraction: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            scale: 1.0,
+            duration_secs: 10_800,
+            seed: 42,
+            xways: 1,
+            query_fraction: 0.01,
+        }
+    }
+}
+
+impl GenConfig {
+    pub fn with_scale(scale: f64) -> Self {
+        GenConfig {
+            scale,
+            ..GenConfig::default()
+        }
+    }
+
+    /// Cars entering per second at simulation time `t` — linear ramp whose
+    /// integral over 3 h yields ≈ 10⁶·SF journeys ≈ 10⁷·SF reports, with
+    /// ≈ 51k·SF active cars (1700·SF reports/s) at the end, like Figure 8.
+    fn entry_rate(&self, t: i64) -> f64 {
+        let progress = t as f64 / self.duration_secs.max(1) as f64;
+        let base = 0.6 * self.scale;
+        let peak = 170.0 * self.scale;
+        base + (peak - base) * progress
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Car {
+    vid: i64,
+    xway: i64,
+    dir: i64,
+    lane: i64,
+    /// feet from expressway start (direction-normalized)
+    pos: i64,
+    /// mph
+    spd: i64,
+    /// seconds until exit
+    remaining: i64,
+    /// offset within the 30 s report cycle
+    phase: i64,
+    /// Some(until): car is stopped until that time (accident member)
+    stopped_until: Option<i64>,
+}
+
+/// One scheduled accident: two cars stopped at a shared location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccidentPlan {
+    pub start: i64,
+    pub clear: i64,
+    pub xway: i64,
+    pub dir: i64,
+    pub lane: i64,
+    pub pos: i64,
+    pub vid1: i64,
+    pub vid2: i64,
+}
+
+/// The generated workload.
+#[derive(Debug)]
+pub struct Workload {
+    /// Tuples in non-decreasing time order.
+    pub tuples: Vec<InputTuple>,
+    /// Ground-truth accident schedule (for validation).
+    pub accidents: Vec<AccidentPlan>,
+}
+
+impl Workload {
+    /// Tuples bucketed by second (index = second).
+    pub fn by_second(&self, duration_secs: i64) -> Vec<Vec<InputTuple>> {
+        let mut buckets = vec![Vec::new(); duration_secs as usize + 1];
+        for t in &self.tuples {
+            let s = (t.time.max(0) as usize).min(duration_secs as usize);
+            buckets[s].push(*t);
+        }
+        buckets
+    }
+
+    /// Arrival counts per second (Figure 8's series).
+    pub fn arrivals_per_second(&self, duration_secs: i64) -> Vec<usize> {
+        self.by_second(duration_secs)
+            .iter()
+            .map(|b| b.len())
+            .collect()
+    }
+}
+
+/// Generate a workload.
+pub fn generate(cfg: &GenConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut cars: Vec<Car> = Vec::new();
+    let mut tuples: Vec<InputTuple> = Vec::new();
+    let mut accidents: Vec<AccidentPlan> = Vec::new();
+    let mut next_vid: i64 = 1;
+    let mut next_qid: i64 = 1;
+    let mut entry_debt = 0.0f64;
+    let mut next_accident_check = 300i64; // first possible accident at 5 min
+
+    for t in 0..cfg.duration_secs {
+        // --- car arrivals -------------------------------------------------
+        entry_debt += cfg.entry_rate(t);
+        while entry_debt >= 1.0 {
+            entry_debt -= 1.0;
+            let dir = rng.gen_range(0..2i64);
+            let spd = rng.gen_range(40..=100i64);
+            cars.push(Car {
+                vid: next_vid,
+                xway: rng.gen_range(0..cfg.xways.max(1)),
+                dir,
+                lane: rng.gen_range(1..NUM_LANES - 1),
+                pos: rng.gen_range(0..NUM_SEGMENTS / 2) * SEGMENT_FEET,
+                spd,
+                remaining: rng.gen_range(4..=18) * REPORT_INTERVAL_SECS,
+                phase: t % REPORT_INTERVAL_SECS,
+                stopped_until: None,
+            });
+            next_vid += 1;
+        }
+
+        // --- accident scheduling (frequency grows after the first hour) ---
+        if t >= next_accident_check {
+            let hourly = if t < 3600 { 2.0 } else { 2.0 + 6.0 * ((t - 3600) as f64 / 7200.0) };
+            let gap = (3600.0 / hourly.max(0.1)) as i64;
+            next_accident_check = t + gap.max(60);
+            if cars.len() >= 2 {
+                // pick a victim car and plant a second one at its position
+                let i = rng.gen_range(0..cars.len());
+                let (xway, dir, lane, pos) =
+                    (cars[i].xway, cars[i].dir, cars[i].lane, cars[i].pos);
+                let clear = t + rng.gen_range(5..=15) * 60;
+                let vid1 = cars[i].vid;
+                cars[i].stopped_until = Some(clear);
+                cars[i].spd = 0;
+                let vid2 = next_vid;
+                next_vid += 1;
+                cars.push(Car {
+                    vid: vid2,
+                    xway,
+                    dir,
+                    lane,
+                    pos,
+                    spd: 0,
+                    remaining: (clear - t) + 4 * REPORT_INTERVAL_SECS,
+                    phase: t % REPORT_INTERVAL_SECS,
+                    stopped_until: Some(clear),
+                });
+                accidents.push(AccidentPlan {
+                    start: t,
+                    clear,
+                    xway,
+                    dir,
+                    lane,
+                    pos,
+                    vid1,
+                    vid2,
+                });
+            }
+        }
+
+        // --- congestion: per-segment densities drive speeds ---------------
+        // real traffic slows down as segments fill; this is what produces
+        // sub-40 LAVs and therefore tolls
+        let mut density: std::collections::HashMap<(i64, i64, i64), i64> =
+            std::collections::HashMap::new();
+        for car in &cars {
+            *density
+                .entry((car.xway, car.dir, car.pos / SEGMENT_FEET))
+                .or_insert(0) += 1;
+        }
+
+        // --- position reports & movement ---------------------------------
+        let mut exited: Vec<usize> = Vec::new();
+        for (i, car) in cars.iter_mut().enumerate() {
+            if t % REPORT_INTERVAL_SECS == car.phase {
+                if car.stopped_until.is_none() {
+                    let local = density
+                        .get(&(car.xway, car.dir, car.pos / SEGMENT_FEET))
+                        .copied()
+                        .unwrap_or(0);
+                    // free flow ~90 mph, congestion collapse past ~50 cars
+                    let target = (90 - local).clamp(12, 90);
+                    car.spd = (target + rng.gen_range(-8..=8)).clamp(5, 100);
+                }
+                tuples.push(InputTuple::position(
+                    t, car.vid, car.spd, car.xway, car.lane, car.dir, car.pos,
+                ));
+                // historical queries shadow a fraction of reports
+                if rng.gen_bool(cfg.query_fraction) {
+                    let q = if rng.gen_bool(0.5) {
+                        InputTuple::balance_request(t, car.vid, next_qid)
+                    } else {
+                        InputTuple::expenditure_request(
+                            t,
+                            car.vid,
+                            next_qid,
+                            car.xway,
+                            rng.gen_range(1..=HISTORY_DAYS),
+                        )
+                    };
+                    next_qid += 1;
+                    tuples.push(q);
+                }
+            }
+            // movement (feet per second = mph * 5280/3600 ≈ mph * 1.4667)
+            match car.stopped_until {
+                Some(until) if t < until => { /* stopped */ }
+                Some(_) => {
+                    car.stopped_until = None;
+                    car.spd = rng.gen_range(40..=80);
+                }
+                None => {
+                    car.pos += (car.spd as f64 * 1.4667) as i64;
+                }
+            }
+            car.remaining -= 1;
+            if car.remaining <= 0 || car.pos >= NUM_SEGMENTS * SEGMENT_FEET {
+                exited.push(i);
+            }
+        }
+        for &i in exited.iter().rev() {
+            cars.swap_remove(i);
+        }
+    }
+    Workload { tuples, accidents }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GenConfig {
+        GenConfig {
+            scale: 0.02,
+            duration_secs: 600,
+            seed: 7,
+            xways: 1,
+            query_fraction: 0.01,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.tuples, b.tuples);
+        assert_eq!(a.accidents, b.accidents);
+        let c = generate(&GenConfig {
+            seed: 8,
+            ..small()
+        });
+        assert_ne!(a.tuples, c.tuples);
+    }
+
+    #[test]
+    fn time_ordered_and_typed() {
+        let w = generate(&small());
+        assert!(!w.tuples.is_empty());
+        assert!(w.tuples.windows(2).all(|p| p[0].time <= p[1].time));
+        assert!(w
+            .tuples
+            .iter()
+            .all(|t| matches!(t.kind, InputKind::Position | InputKind::AccountBalance | InputKind::DailyExpenditure)));
+    }
+
+    #[test]
+    fn rate_ramps_up() {
+        let cfg = GenConfig {
+            scale: 0.05,
+            duration_secs: 1200,
+            ..small()
+        };
+        let w = generate(&cfg);
+        let rates = w.arrivals_per_second(cfg.duration_secs);
+        let early: usize = rates[60..240].iter().sum();
+        let late: usize = rates[960..1140].iter().sum();
+        assert!(
+            late > early * 2,
+            "arrival rate must ramp: early={early} late={late}"
+        );
+    }
+
+    #[test]
+    fn reports_every_thirty_seconds_per_car() {
+        let w = generate(&small());
+        use std::collections::HashMap;
+        let mut per_car: HashMap<i64, Vec<i64>> = HashMap::new();
+        for t in w.tuples.iter().filter(|t| t.kind == InputKind::Position) {
+            per_car.entry(t.vid).or_default().push(t.time);
+        }
+        let mut checked = 0;
+        for times in per_car.values() {
+            for pair in times.windows(2) {
+                assert_eq!(pair[1] - pair[0], REPORT_INTERVAL_SECS, "cadence");
+                checked += 1;
+            }
+        }
+        assert!(checked > 50, "enough cadence pairs checked");
+    }
+
+    #[test]
+    fn accidents_have_two_stopped_cars_reporting_same_position() {
+        let cfg = GenConfig {
+            scale: 0.05,
+            duration_secs: 1800,
+            seed: 3,
+            xways: 1,
+            query_fraction: 0.0,
+        };
+        let w = generate(&cfg);
+        assert!(!w.accidents.is_empty());
+        let acc = w.accidents[0];
+        // both cars must emit ≥ STOPPED_REPORTS reports at the shared pos
+        for vid in [acc.vid1, acc.vid2] {
+            let same_pos = w
+                .tuples
+                .iter()
+                .filter(|t| {
+                    t.kind == InputKind::Position
+                        && t.vid == vid
+                        && t.pos == acc.pos
+                        && t.time >= acc.start
+                        && t.time <= acc.clear
+                })
+                .count();
+            assert!(
+                same_pos >= STOPPED_REPORTS,
+                "vid {vid} reported {same_pos} times at accident position"
+            );
+        }
+    }
+
+    #[test]
+    fn query_fraction_respected_roughly() {
+        let cfg = GenConfig {
+            scale: 0.05,
+            duration_secs: 1200,
+            seed: 9,
+            xways: 1,
+            query_fraction: 0.05,
+        };
+        let w = generate(&cfg);
+        let positions = w
+            .tuples
+            .iter()
+            .filter(|t| t.kind == InputKind::Position)
+            .count() as f64;
+        let queries = w.tuples.len() as f64 - positions;
+        let ratio = queries / positions;
+        assert!(
+            (0.02..0.1).contains(&ratio),
+            "query ratio {ratio} out of expected band"
+        );
+    }
+
+    #[test]
+    fn scale_controls_volume() {
+        let lo = generate(&GenConfig {
+            scale: 0.01,
+            duration_secs: 600,
+            ..small()
+        });
+        let hi = generate(&GenConfig {
+            scale: 0.04,
+            duration_secs: 600,
+            ..small()
+        });
+        assert!(
+            hi.tuples.len() > lo.tuples.len() * 2,
+            "lo={} hi={}",
+            lo.tuples.len(),
+            hi.tuples.len()
+        );
+    }
+}

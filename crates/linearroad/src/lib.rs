@@ -1,0 +1,40 @@
+//! # linearroad — the Linear Road benchmark on DataCell
+//!
+//! A from-scratch implementation of the Linear Road stream benchmark
+//! (Arasu et al., VLDB 2004) as used in the paper's evaluation (§6.2):
+//!
+//! * [`gen`] — deterministic traffic generator (ramping arrival rate,
+//!   forced accidents, historical query mix);
+//! * [`segstats`], [`accident`], [`toll`], [`history`] — the benchmark's
+//!   domain logic (minute statistics + LAV, stopped-car/accident
+//!   detection, toll formula and accounts, 10-week toll history);
+//! * [`queries`] — the 38 continuous queries in 7 collections (Figure 6)
+//!   wired as DataCell factories over baskets;
+//! * [`driver`] — virtual-clock replay measuring per-collection load
+//!   (Figure 7), input distribution (Figure 8) and Q7 response times
+//!   (Figure 9);
+//! * [`validate`] — independent reference recomputation and invariant
+//!   checks, standing in for the benchmark's validator tool.
+//!
+//! ```
+//! use linearroad::driver::{run, DriverConfig};
+//! use linearroad::gen::GenConfig;
+//! use linearroad::validate::validate;
+//!
+//! let run = run(&DriverConfig {
+//!     gen: GenConfig { scale: 0.01, duration_secs: 300, seed: 1, xways: 1,
+//!                      query_fraction: 0.02 },
+//!     sample_every_secs: 60,
+//! });
+//! assert!(validate(&run).all_passed());
+//! ```
+
+pub mod accident;
+pub mod driver;
+pub mod gen;
+pub mod history;
+pub mod queries;
+pub mod segstats;
+pub mod toll;
+pub mod types;
+pub mod validate;

@@ -1,0 +1,172 @@
+//! Per-segment, per-minute traffic statistics: average speeds, car counts
+//! and the 5-minute Latest Average Velocity (LAV) that drives tolls.
+
+use std::collections::HashMap;
+
+use crate::types::{minute_of, InputKind, InputTuple};
+
+/// Key of a statistics cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegKey {
+    pub xway: i64,
+    pub dir: i64,
+    pub seg: i64,
+}
+
+/// Accumulated statistics for one (segment, minute).
+#[derive(Debug, Clone, Default)]
+struct MinuteCell {
+    speed_sum: i64,
+    reports: i64,
+    cars: std::collections::HashSet<i64>,
+}
+
+/// Rolling statistics store.
+#[derive(Debug, Default)]
+pub struct SegStats {
+    /// (key, minute) → cell
+    cells: HashMap<(SegKey, i64), MinuteCell>,
+}
+
+/// Minutes of history folded into the LAV.
+pub const LAV_WINDOW_MINS: i64 = 5;
+
+impl SegStats {
+    pub fn new() -> Self {
+        SegStats::default()
+    }
+
+    /// Fold one position report into the current minute.
+    pub fn observe(&mut self, t: &InputTuple) {
+        debug_assert_eq!(t.kind, InputKind::Position);
+        let key = SegKey {
+            xway: t.xway,
+            dir: t.dir,
+            seg: t.seg,
+        };
+        let cell = self.cells.entry((key, minute_of(t.time))).or_default();
+        cell.speed_sum += t.spd;
+        cell.reports += 1;
+        cell.cars.insert(t.vid);
+    }
+
+    /// Average speed observed in `minute` (None if no traffic).
+    pub fn avg_speed(&self, key: SegKey, minute: i64) -> Option<f64> {
+        self.cells
+            .get(&(key, minute))
+            .filter(|c| c.reports > 0)
+            .map(|c| c.speed_sum as f64 / c.reports as f64)
+    }
+
+    /// Distinct cars observed in `minute`.
+    pub fn cars(&self, key: SegKey, minute: i64) -> i64 {
+        self.cells
+            .get(&(key, minute))
+            .map_or(0, |c| c.cars.len() as i64)
+    }
+
+    /// Latest Average Velocity for `minute`: the mean of the available
+    /// per-minute averages over the previous [`LAV_WINDOW_MINS`] minutes.
+    pub fn lav(&self, key: SegKey, minute: i64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for m in (minute - LAV_WINDOW_MINS).max(1)..minute {
+            if let Some(v) = self.avg_speed(key, m) {
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Drop all cells older than `minute - keep_mins` (basket-style
+    /// garbage collection so the store doesn't grow with the run).
+    pub fn evict_before(&mut self, minute: i64, keep_mins: i64) {
+        let cutoff = minute - keep_mins;
+        self.cells.retain(|(_, m), _| *m >= cutoff);
+    }
+
+    /// Number of live cells (diagnostics).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SEGMENT_FEET;
+
+    fn report(time: i64, vid: i64, spd: i64, seg: i64) -> InputTuple {
+        InputTuple::position(time, vid, spd, 0, 1, 0, seg * SEGMENT_FEET)
+    }
+
+    fn key(seg: i64) -> SegKey {
+        SegKey {
+            xway: 0,
+            dir: 0,
+            seg,
+        }
+    }
+
+    #[test]
+    fn minute_averages() {
+        let mut s = SegStats::new();
+        s.observe(&report(0, 1, 50, 3));
+        s.observe(&report(30, 1, 60, 3));
+        s.observe(&report(10, 2, 40, 3));
+        assert_eq!(s.avg_speed(key(3), 1), Some(50.0));
+        assert_eq!(s.cars(key(3), 1), 2);
+        assert_eq!(s.avg_speed(key(3), 2), None);
+        assert_eq!(s.avg_speed(key(9), 1), None);
+    }
+
+    #[test]
+    fn lav_over_five_minutes() {
+        let mut s = SegStats::new();
+        // minutes 1..=5 with speeds 10,20,30,40,50
+        for m in 0..5i64 {
+            s.observe(&report(m * 60, 1, (m + 1) * 10, 2));
+        }
+        // LAV for minute 6 = mean(10..50) = 30
+        assert_eq!(s.lav(key(2), 6), Some(30.0));
+        // LAV for minute 3 = mean(min1,min2) = 15
+        assert_eq!(s.lav(key(2), 3), Some(15.0));
+        // LAV with no history
+        assert_eq!(s.lav(key(2), 1), None);
+    }
+
+    #[test]
+    fn lav_skips_empty_minutes() {
+        let mut s = SegStats::new();
+        s.observe(&report(0, 1, 30, 1)); // minute 1
+        s.observe(&report(180, 1, 60, 1)); // minute 4
+        assert_eq!(s.lav(key(1), 5), Some(45.0), "only minutes with traffic count");
+    }
+
+    #[test]
+    fn eviction_keeps_recent() {
+        let mut s = SegStats::new();
+        for m in 0..30i64 {
+            s.observe(&report(m * 60, 1, 50, 1));
+        }
+        assert_eq!(s.len(), 30);
+        s.evict_before(31, 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.avg_speed(key(1), 30).is_some());
+        assert!(s.avg_speed(key(1), 20).is_none());
+    }
+
+    #[test]
+    fn distinct_cars_counted_once() {
+        let mut s = SegStats::new();
+        for _ in 0..5 {
+            s.observe(&report(1, 7, 50, 0));
+        }
+        assert_eq!(s.cars(key(0), 1), 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Toll model: per-(segment, minute) toll computation and per-vehicle
+//! account bookkeeping.
+//!
+//! The benchmark's rule: when a car reports from a new segment it is
+//! *charged* the toll it was last notified of, and is *notified* of the
+//! toll for its new segment: `2·(cars − 50)²` cents unless the segment's
+//! LAV ≥ 40 mph, fewer than 50 cars used it in the previous minute, or an
+//! accident within 4 downstream segments makes it toll-free.
+
+use std::collections::HashMap;
+
+use crate::accident::AccidentDetector;
+use crate::segstats::{SegKey, SegStats};
+use crate::types::{minute_of, LAV_FREE_SPEED, TOLL_FREE_CARS};
+
+/// Toll for a segment at a given minute, from the statistics of preceding
+/// minutes. `accident_nearby` marks the accident exemption.
+pub fn compute_toll(
+    stats: &SegStats,
+    key: SegKey,
+    minute: i64,
+    accident_nearby: bool,
+) -> (i64, i64) {
+    let lav = stats.lav(key, minute).unwrap_or(0.0);
+    let cars = stats.cars(key, minute - 1);
+    let toll = if accident_nearby
+        || lav >= LAV_FREE_SPEED as f64
+        || cars <= TOLL_FREE_CARS
+    {
+        0
+    } else {
+        2 * (cars - TOLL_FREE_CARS) * (cars - TOLL_FREE_CARS)
+    };
+    (toll, lav.round() as i64)
+}
+
+/// Per-vehicle account state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Account {
+    /// Total charged so far (cents).
+    pub balance: i64,
+    /// Toll last notified but not yet charged, with its segment.
+    pub pending: Option<(i64, i64)>, // (seg, toll)
+    /// Last segment the car reported from.
+    pub last_seg: Option<i64>,
+    /// Time of the last charge or notification.
+    pub updated_at: i64,
+}
+
+/// Account table plus the charge-on-segment-crossing rule.
+#[derive(Debug, Default)]
+pub struct TollAssessor {
+    accounts: HashMap<i64, Account>,
+}
+
+/// What happened when a position report hit the assessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assessment {
+    /// Same segment as before — nothing due.
+    SameSegment,
+    /// New segment: `charged` was debited (0 if none pending) and the
+    /// caller should notify the car of the new segment's toll.
+    Crossed { charged: i64 },
+}
+
+impl TollAssessor {
+    pub fn new() -> Self {
+        TollAssessor::default()
+    }
+
+    /// Process a position report for `vid` now in `seg`.
+    pub fn on_report(&mut self, vid: i64, seg: i64, time: i64) -> Assessment {
+        let acct = self.accounts.entry(vid).or_default();
+        if acct.last_seg == Some(seg) {
+            return Assessment::SameSegment;
+        }
+        let charged = match acct.pending.take() {
+            Some((pseg, toll)) if pseg != seg => {
+                // left the segment it was notified about: charge
+                acct.balance += toll;
+                toll
+            }
+            other => {
+                acct.pending = other;
+                0
+            }
+        };
+        acct.last_seg = Some(seg);
+        acct.updated_at = time;
+        Assessment::Crossed { charged }
+    }
+
+    /// Record the toll notification sent to the car for its current
+    /// segment (charged when it leaves that segment).
+    pub fn notify(&mut self, vid: i64, seg: i64, toll: i64, time: i64) {
+        let acct = self.accounts.entry(vid).or_default();
+        acct.pending = Some((seg, toll));
+        acct.updated_at = time;
+    }
+
+    /// Current balance (0 for unknown vehicles, as in the benchmark).
+    pub fn balance(&self, vid: i64) -> i64 {
+        self.accounts.get(&vid).map_or(0, |a| a.balance)
+    }
+
+    pub fn account(&self, vid: i64) -> Option<&Account> {
+        self.accounts.get(&vid)
+    }
+
+    pub fn num_accounts(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Sum of all balances (validation invariant: equals total charges).
+    pub fn total_charged(&self) -> i64 {
+        self.accounts.values().map(|a| a.balance).sum()
+    }
+}
+
+/// Convenience: full toll decision for a crossing car.
+#[allow(clippy::too_many_arguments)]
+pub fn toll_for_crossing(
+    stats: &SegStats,
+    accidents: &AccidentDetector,
+    xway: i64,
+    dir: i64,
+    seg: i64,
+    time: i64,
+) -> (i64, i64, Option<i64>) {
+    let accident = accidents.affecting(xway, dir, seg, time);
+    let (toll, lav) = compute_toll(
+        stats,
+        SegKey { xway, dir, seg },
+        minute_of(time),
+        accident.is_some(),
+    );
+    (toll, lav, accident.map(|a| a.seg()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{InputTuple, SEGMENT_FEET};
+
+    fn stats_with_congestion(seg: i64, minute: i64, cars: i64, spd: i64) -> SegStats {
+        let mut s = SegStats::new();
+        for vid in 0..cars {
+            // one report per car in `minute`, plus speed history for LAV
+            s.observe(&InputTuple::position(
+                (minute - 1) * 60,
+                vid,
+                spd,
+                0,
+                1,
+                0,
+                seg * SEGMENT_FEET,
+            ));
+        }
+        s
+    }
+
+    fn key(seg: i64) -> SegKey {
+        SegKey { xway: 0, dir: 0, seg }
+    }
+
+    #[test]
+    fn toll_formula() {
+        // 60 cars in the previous minute at 30 mph → LAV 30 < 40 →
+        // toll = 2*(60-50)^2 = 200
+        let s = stats_with_congestion(4, 5, 60, 30);
+        let (toll, lav) = compute_toll(&s, key(4), 6, false);
+        assert_eq!(toll, 200);
+        assert_eq!(lav, 30);
+    }
+
+    #[test]
+    fn fast_roads_are_free() {
+        let s = stats_with_congestion(4, 5, 60, 80);
+        let (toll, lav) = compute_toll(&s, key(4), 6, false);
+        assert_eq!(toll, 0, "LAV ≥ 40 → free");
+        assert_eq!(lav, 80);
+    }
+
+    #[test]
+    fn light_traffic_is_free() {
+        let s = stats_with_congestion(4, 5, 50, 20);
+        let (toll, _) = compute_toll(&s, key(4), 6, false);
+        assert_eq!(toll, 0, "≤ 50 cars → free");
+        let s = stats_with_congestion(4, 5, 51, 20);
+        let (toll, _) = compute_toll(&s, key(4), 6, false);
+        assert_eq!(toll, 2);
+    }
+
+    #[test]
+    fn accident_exempts() {
+        let s = stats_with_congestion(4, 5, 60, 20);
+        let (toll, _) = compute_toll(&s, key(4), 6, true);
+        assert_eq!(toll, 0);
+    }
+
+    #[test]
+    fn no_history_means_free() {
+        let s = SegStats::new();
+        let (toll, lav) = compute_toll(&s, key(1), 10, false);
+        assert_eq!(toll, 0);
+        assert_eq!(lav, 0);
+    }
+
+    #[test]
+    fn charge_on_crossing_only() {
+        let mut a = TollAssessor::new();
+        // first report: segment 3 — a "crossing" into the system
+        assert_eq!(a.on_report(7, 3, 0), Assessment::Crossed { charged: 0 });
+        a.notify(7, 3, 150, 0);
+        // staying in segment 3: nothing happens
+        assert_eq!(a.on_report(7, 3, 30), Assessment::SameSegment);
+        assert_eq!(a.balance(7), 0);
+        // crossing into segment 4: the pending 150 is charged
+        assert_eq!(a.on_report(7, 4, 60), Assessment::Crossed { charged: 150 });
+        assert_eq!(a.balance(7), 150);
+        // crossing again with no new notification: nothing further
+        assert_eq!(a.on_report(7, 5, 90), Assessment::Crossed { charged: 0 });
+        assert_eq!(a.balance(7), 150);
+    }
+
+    #[test]
+    fn multiple_vehicles_tracked_independently() {
+        let mut a = TollAssessor::new();
+        a.on_report(1, 0, 0);
+        a.notify(1, 0, 10, 0);
+        a.on_report(2, 0, 0);
+        a.notify(2, 0, 20, 0);
+        a.on_report(1, 1, 30);
+        assert_eq!(a.balance(1), 10);
+        assert_eq!(a.balance(2), 0);
+        assert_eq!(a.total_charged(), 10);
+        assert_eq!(a.num_accounts(), 2);
+        assert_eq!(a.balance(99), 0, "unknown vid → zero balance");
+    }
+
+    #[test]
+    fn toll_for_crossing_includes_accident_segment() {
+        use crate::accident::AccidentDetector;
+        use crate::types::{REPORT_INTERVAL_SECS, STOPPED_REPORTS};
+        let mut d = AccidentDetector::new();
+        for vid in [100, 101] {
+            for i in 0..STOPPED_REPORTS as i64 {
+                d.observe(&InputTuple::position(
+                    i * REPORT_INTERVAL_SECS,
+                    vid,
+                    0,
+                    0,
+                    1,
+                    0,
+                    6 * SEGMENT_FEET,
+                ));
+            }
+        }
+        let s = stats_with_congestion(4, 5, 80, 10);
+        let (toll, _, acc_seg) = toll_for_crossing(&s, &d, 0, 0, 4, 300);
+        assert_eq!(toll, 0, "accident two segments ahead exempts");
+        assert_eq!(acc_seg, Some(6));
+    }
+}

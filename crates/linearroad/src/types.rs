@@ -1,0 +1,262 @@
+//! Linear Road tuple types and schemas.
+//!
+//! The benchmark models `L` expressways, each with 100 one-mile segments,
+//! travel in two directions over multiple lanes. Cars emit a position
+//! report every 30 seconds; a small fraction of input tuples are
+//! historical queries (account balance, daily expenditure).
+
+use monet::prelude::*;
+
+/// Seconds between consecutive position reports of one car.
+pub const REPORT_INTERVAL_SECS: i64 = 30;
+/// Segments per expressway.
+pub const NUM_SEGMENTS: i64 = 100;
+/// Feet per segment (LR uses 1-mile segments).
+pub const SEGMENT_FEET: i64 = 5280;
+/// Travel lanes per direction (lane 0 = entry ramp, 4 = exit ramp).
+pub const NUM_LANES: i64 = 5;
+/// Consecutive identical reports that mark a car as stopped.
+pub const STOPPED_REPORTS: usize = 4;
+/// Minutes an accident blocks its segment after clearing starts.
+pub const ACCIDENT_CLEAR_MINS: i64 = 20;
+/// Downstream segments warned of an accident.
+pub const ACCIDENT_WARN_SEGS: i64 = 4;
+/// LAV threshold (mph) above which no toll is charged.
+pub const LAV_FREE_SPEED: i64 = 40;
+/// Car-count threshold below which no toll is charged.
+pub const TOLL_FREE_CARS: i64 = 50;
+/// Days of toll history kept for daily-expenditure queries.
+pub const HISTORY_DAYS: i64 = 69;
+/// Response deadline for toll/accident/balance answers (seconds).
+pub const DEADLINE_SECS: i64 = 5;
+/// Response deadline for daily-expenditure answers (seconds).
+pub const DEADLINE_DAILY_SECS: i64 = 10;
+
+/// Input tuple kinds (the `type` attribute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// Type 0: position report.
+    Position,
+    /// Type 2: account balance request.
+    AccountBalance,
+    /// Type 3: daily expenditure request.
+    DailyExpenditure,
+}
+
+impl InputKind {
+    pub fn code(self) -> i64 {
+        match self {
+            InputKind::Position => 0,
+            InputKind::AccountBalance => 2,
+            InputKind::DailyExpenditure => 3,
+        }
+    }
+
+    pub fn from_code(c: i64) -> Option<InputKind> {
+        match c {
+            0 => Some(InputKind::Position),
+            2 => Some(InputKind::AccountBalance),
+            3 => Some(InputKind::DailyExpenditure),
+            _ => None,
+        }
+    }
+}
+
+/// One input tuple (union layout, unused fields are -1, as in the
+/// benchmark's flat file format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputTuple {
+    pub kind: InputKind,
+    /// Seconds since the start of the simulation.
+    pub time: i64,
+    pub vid: i64,
+    /// Speed in mph (position reports).
+    pub spd: i64,
+    pub xway: i64,
+    pub lane: i64,
+    /// 0 = eastbound, 1 = westbound.
+    pub dir: i64,
+    pub seg: i64,
+    /// Absolute position in feet from the expressway start.
+    pub pos: i64,
+    /// Query id (historical requests).
+    pub qid: i64,
+    /// Day (daily expenditure: 1 = yesterday … 69).
+    pub day: i64,
+}
+
+impl InputTuple {
+    pub fn position(time: i64, vid: i64, spd: i64, xway: i64, lane: i64, dir: i64, pos: i64) -> Self {
+        InputTuple {
+            kind: InputKind::Position,
+            time,
+            vid,
+            spd,
+            xway,
+            lane,
+            dir,
+            seg: pos / SEGMENT_FEET,
+            pos,
+            qid: -1,
+            day: -1,
+        }
+    }
+
+    pub fn balance_request(time: i64, vid: i64, qid: i64) -> Self {
+        InputTuple {
+            kind: InputKind::AccountBalance,
+            time,
+            vid,
+            spd: -1,
+            xway: -1,
+            lane: -1,
+            dir: -1,
+            seg: -1,
+            pos: -1,
+            qid,
+            day: -1,
+        }
+    }
+
+    pub fn expenditure_request(time: i64, vid: i64, qid: i64, xway: i64, day: i64) -> Self {
+        InputTuple {
+            kind: InputKind::DailyExpenditure,
+            time,
+            vid,
+            spd: -1,
+            xway,
+            lane: -1,
+            dir: -1,
+            seg: -1,
+            pos: -1,
+            qid,
+            day,
+        }
+    }
+
+    /// Row in [`input_schema`] order.
+    pub fn to_row(&self) -> Vec<Value> {
+        vec![
+            Value::Int(self.kind.code()),
+            Value::Int(self.time),
+            Value::Int(self.vid),
+            Value::Int(self.spd),
+            Value::Int(self.xway),
+            Value::Int(self.lane),
+            Value::Int(self.dir),
+            Value::Int(self.seg),
+            Value::Int(self.pos),
+            Value::Int(self.qid),
+            Value::Int(self.day),
+        ]
+    }
+}
+
+/// Schema of the input stream.
+pub fn input_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("type", ValueType::Int),
+        ("time", ValueType::Int),
+        ("vid", ValueType::Int),
+        ("spd", ValueType::Int),
+        ("xway", ValueType::Int),
+        ("lane", ValueType::Int),
+        ("dir", ValueType::Int),
+        ("seg", ValueType::Int),
+        ("pos", ValueType::Int),
+        ("qid", ValueType::Int),
+        ("day", ValueType::Int),
+    ])
+}
+
+/// Output: toll notification (benchmark type 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TollNotification {
+    pub vid: i64,
+    /// Input time that triggered the notification.
+    pub time: i64,
+    /// Emission time (seconds).
+    pub emit: i64,
+    /// Latest average velocity the toll was based on (mph).
+    pub lav: i64,
+    /// Toll (cents).
+    pub toll: i64,
+}
+
+/// Output: accident alert (benchmark type 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccidentAlert {
+    pub vid: i64,
+    pub time: i64,
+    pub emit: i64,
+    /// Segment of the accident the car is approaching.
+    pub seg: i64,
+}
+
+/// Output: account balance answer (benchmark type 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalanceAnswer {
+    pub qid: i64,
+    pub vid: i64,
+    pub time: i64,
+    pub emit: i64,
+    pub balance: i64,
+}
+
+/// Output: daily expenditure answer (benchmark type 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpenditureAnswer {
+    pub qid: i64,
+    pub vid: i64,
+    pub time: i64,
+    pub emit: i64,
+    pub expenditure: i64,
+}
+
+/// The minute of a benchmark second (LR minutes are 1-based).
+pub fn minute_of(time_secs: i64) -> i64 {
+    time_secs / 60 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for k in [InputKind::Position, InputKind::AccountBalance, InputKind::DailyExpenditure] {
+            assert_eq!(InputKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(InputKind::from_code(1), None);
+        assert_eq!(InputKind::from_code(4), None);
+    }
+
+    #[test]
+    fn position_derives_segment() {
+        let t = InputTuple::position(10, 7, 55, 0, 1, 0, 3 * SEGMENT_FEET + 17);
+        assert_eq!(t.seg, 3);
+        assert_eq!(t.qid, -1);
+        let row = t.to_row();
+        assert_eq!(row.len(), input_schema().width());
+        assert_eq!(row[0], Value::Int(0));
+        assert_eq!(row[7], Value::Int(3));
+    }
+
+    #[test]
+    fn requests_fill_union_fields() {
+        let b = InputTuple::balance_request(5, 9, 101);
+        assert_eq!(b.kind, InputKind::AccountBalance);
+        assert_eq!(b.spd, -1);
+        let d = InputTuple::expenditure_request(5, 9, 102, 0, 3);
+        assert_eq!(d.day, 3);
+        assert_eq!(d.xway, 0);
+    }
+
+    #[test]
+    fn minutes_are_one_based() {
+        assert_eq!(minute_of(0), 1);
+        assert_eq!(minute_of(59), 1);
+        assert_eq!(minute_of(60), 2);
+        assert_eq!(minute_of(10799), 180);
+    }
+}

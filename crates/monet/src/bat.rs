@@ -1,0 +1,224 @@
+//! Binary Association Tables.
+//!
+//! A BAT is the MonetDB storage unit: a two-column (head, tail) table where
+//! the head is a dense, ascending OID sequence. Because the sequence is
+//! dense it is never materialized — the head of the value at position `p`
+//! is `hseq + p`. Appends extend the tail; deletes compact it and the OIDs
+//! of survivors are *renumbered* (baskets are transient stream buffers, not
+//! versioned tables, so DataCell relies on positional alignment only within
+//! one locked processing step).
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::selvec::SelVec;
+use crate::value::{Value, ValueType};
+
+/// A single-attribute BAT: virtual OID head + typed tail column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bat {
+    /// OID of position 0. Advances as tuples are consumed from the front so
+    /// stream positions remain globally unique over the life of a basket.
+    hseq: u64,
+    /// Count of tuples ever appended (diagnostics / stream accounting).
+    total_appended: u64,
+    col: Column,
+}
+
+impl Bat {
+    /// New empty BAT with tail type `vtype` and head sequence starting at 0.
+    pub fn new(vtype: ValueType) -> Self {
+        Bat {
+            hseq: 0,
+            total_appended: 0,
+            col: Column::new(vtype),
+        }
+    }
+
+    /// Wrap an existing column (head sequence starts at 0).
+    pub fn from_column(col: Column) -> Self {
+        Bat {
+            hseq: 0,
+            total_appended: col.len() as u64,
+            col,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.col.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.col.is_empty()
+    }
+
+    pub fn vtype(&self) -> ValueType {
+        self.col.vtype()
+    }
+
+    /// OID of the first live position.
+    pub fn hseq(&self) -> u64 {
+        self.hseq
+    }
+
+    /// OID of live position `pos`.
+    pub fn oid_of(&self, pos: usize) -> u64 {
+        self.hseq + pos as u64
+    }
+
+    /// Tuples ever appended to this BAT.
+    pub fn total_appended(&self) -> u64 {
+        self.total_appended
+    }
+
+    /// The tail column.
+    pub fn col(&self) -> &Column {
+        &self.col
+    }
+
+    /// Mutable tail access (kernel-internal use).
+    pub fn col_mut(&mut self) -> &mut Column {
+        &mut self.col
+    }
+
+    /// Take the tail column out, leaving the BAT empty but with its head
+    /// sequence advanced past the drained tuples (used by basket drains).
+    pub fn take_col(&mut self) -> Column {
+        let vtype = self.col.vtype();
+        self.hseq += self.col.len() as u64;
+        std::mem::replace(&mut self.col, Column::new(vtype))
+    }
+
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        self.col.push(value)?;
+        self.total_appended += 1;
+        Ok(())
+    }
+
+    pub fn get(&self, pos: usize) -> Value {
+        self.col.get(pos)
+    }
+
+    /// Append all rows of a column.
+    pub fn append_column(&mut self, col: &Column) -> Result<()> {
+        self.col.append(col)?;
+        self.total_appended += col.len() as u64;
+        Ok(())
+    }
+
+    /// Gather the selected positions into a fresh BAT (head restarts at the
+    /// OID of the first selected tuple, preserving a dense head).
+    pub fn gather(&self, sel: &SelVec) -> Result<Bat> {
+        let col = self.col.gather(sel)?;
+        let hseq = sel.as_slice().first().map_or(self.hseq, |&p| self.oid_of(p as usize));
+        Ok(Bat {
+            hseq,
+            total_appended: col.len() as u64,
+            col,
+        })
+    }
+
+    /// In-place delete of the selected positions (single-pass shift).
+    /// If a prefix was deleted, the head sequence advances accordingly so
+    /// consumed stream positions are never reused.
+    pub fn delete_sel(&mut self, sel: &SelVec) -> Result<()> {
+        let prefix = sel
+            .as_slice()
+            .iter()
+            .enumerate()
+            .take_while(|&(i, &p)| i as u32 == p)
+            .count() as u64;
+        self.col.delete_sel(sel)?;
+        self.hseq += prefix;
+        Ok(())
+    }
+
+    /// Remove everything; head sequence advances past the dropped tuples.
+    pub fn clear(&mut self) {
+        self.hseq += self.col.len() as u64;
+        self.col.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bat(v: &[i64]) -> Bat {
+        Bat::from_column(Column::from_ints(v.to_vec()))
+    }
+
+    #[test]
+    fn new_bat_is_empty() {
+        let b = Bat::new(ValueType::Int);
+        assert!(b.is_empty());
+        assert_eq!(b.hseq(), 0);
+        assert_eq!(b.total_appended(), 0);
+        assert_eq!(b.vtype(), ValueType::Int);
+    }
+
+    #[test]
+    fn push_tracks_totals_and_oids() {
+        let mut b = Bat::new(ValueType::Int);
+        b.push(Value::Int(10)).unwrap();
+        b.push(Value::Int(20)).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.total_appended(), 2);
+        assert_eq!(b.oid_of(1), 1);
+        assert_eq!(b.get(1), Value::Int(20));
+    }
+
+    #[test]
+    fn clear_advances_hseq() {
+        let mut b = bat(&[1, 2, 3]);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.hseq(), 3);
+        b.push(Value::Int(4)).unwrap();
+        assert_eq!(b.oid_of(0), 3, "new tuples get fresh OIDs");
+    }
+
+    #[test]
+    fn take_col_drains() {
+        let mut b = bat(&[1, 2]);
+        let c = b.take_col();
+        assert_eq!(c.ints().unwrap(), &[1, 2]);
+        assert!(b.is_empty());
+        assert_eq!(b.hseq(), 2);
+        assert_eq!(b.vtype(), ValueType::Int);
+    }
+
+    #[test]
+    fn delete_prefix_advances_hseq() {
+        let mut b = bat(&[1, 2, 3, 4]);
+        // delete positions 0,1,3: prefix of length 2
+        b.delete_sel(&SelVec::from_sorted(vec![0, 1, 3]).unwrap())
+            .unwrap();
+        assert_eq!(b.col().ints().unwrap(), &[3]);
+        assert_eq!(b.hseq(), 2);
+    }
+
+    #[test]
+    fn delete_middle_keeps_hseq() {
+        let mut b = bat(&[1, 2, 3]);
+        b.delete_sel(&SelVec::from_sorted(vec![1]).unwrap()).unwrap();
+        assert_eq!(b.hseq(), 0);
+        assert_eq!(b.col().ints().unwrap(), &[1, 3]);
+    }
+
+    #[test]
+    fn gather_sets_head_to_first_selected() {
+        let b = bat(&[5, 6, 7, 8]);
+        let g = b.gather(&SelVec::from_sorted(vec![2, 3]).unwrap()).unwrap();
+        assert_eq!(g.hseq(), 2);
+        assert_eq!(g.col().ints().unwrap(), &[7, 8]);
+    }
+
+    #[test]
+    fn append_column_counts() {
+        let mut b = bat(&[1]);
+        b.append_column(&Column::from_ints(vec![2, 3])).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.total_appended(), 3);
+        assert!(b.append_column(&Column::from_strs(vec!["x".into()])).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! A compact bitmap used for column validity masks (NULL tracking).
+//!
+//! Columns are non-null in the overwhelmingly common case, so [`crate::column::Column`]
+//! keeps its validity as `Option<Bitset>` and only materializes the bitmap on
+//! the first NULL. The bitmap grows with the column and supports the word-wise
+//! operations the kernel needs (count, iteration over set/unset positions,
+//! compaction under a selection).
+
+/// Growable bitmap; bit `i` set means "position `i` is valid (non-NULL)".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Bitset::default()
+    }
+
+    /// A bitmap of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(64);
+        let mut words = vec![if value { u64::MAX } else { 0 }; nwords];
+        if value {
+            Self::mask_tail(&mut words, len);
+        }
+        Bitset { words, len }
+    }
+
+    fn mask_tail(words: &mut [u64], len: usize) {
+        let rem = len % 64;
+        if rem != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, value: bool) {
+        let word = self.len / 64;
+        let bit = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if value {
+            self.words[word] |= 1u64 << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Read bit `i`. Panics if out of range (validity masks are always
+    /// accessed through bounds-checked column positions).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bitset index {i} out of bounds ({})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bitset index {i} out of bounds ({})", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of unset bits (i.e. NULLs when used as a validity mask).
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// True if every bit is set — the mask is then redundant and callers
+    /// may drop it entirely.
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Append all bits of `other`.
+    pub fn extend_from(&mut self, other: &Bitset) {
+        // Bit-by-bit is fine: extension happens on the append path which is
+        // already O(n) in the number of appended values.
+        for i in 0..other.len {
+            self.push(other.get(i));
+        }
+    }
+
+    /// Append `n` copies of `value`.
+    pub fn extend_filled(&mut self, n: usize, value: bool) {
+        for _ in 0..n {
+            self.push(value);
+        }
+    }
+
+    /// Build a new bitmap containing the bits at `positions`, in order.
+    /// Used when a selection vector gathers rows out of a column.
+    pub fn gather(&self, positions: impl Iterator<Item = usize>) -> Bitset {
+        let mut out = Bitset::new();
+        for p in positions {
+            out.push(self.get(p));
+        }
+        out
+    }
+
+    /// Iterate over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let base = wi * 64;
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(base + tz)
+                }
+            })
+        })
+    }
+
+    /// Truncate to `new_len` bits.
+    pub fn truncate(&mut self, new_len: usize) {
+        if new_len >= self.len {
+            return;
+        }
+        self.len = new_len;
+        self.words.truncate(new_len.div_ceil(64));
+        Self::mask_tail(&mut self.words, new_len);
+    }
+
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_count() {
+        let b = Bitset::filled(100, true);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.count_ones(), 100);
+        assert!(b.all_set());
+        let z = Bitset::filled(100, false);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.count_zeros(), 100);
+    }
+
+    #[test]
+    fn push_get_set() {
+        let mut b = Bitset::new();
+        assert!(b.is_empty());
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        b.set(1, true);
+        assert!(b.get(1));
+        b.set(0, false);
+        assert!(!b.get(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let b = Bitset::filled(10, true);
+        b.get(10);
+    }
+
+    #[test]
+    fn tail_masking_keeps_counts_exact() {
+        // 65 bits all true: the second word must only contain one set bit.
+        let b = Bitset::filled(65, true);
+        assert_eq!(b.count_ones(), 65);
+        let mut c = b.clone();
+        c.truncate(64);
+        assert_eq!(c.count_ones(), 64);
+        c.truncate(1);
+        assert_eq!(c.count_ones(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn extend_and_gather() {
+        let mut a = Bitset::filled(3, true);
+        let mut b = Bitset::new();
+        b.push(false);
+        b.push(true);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 5);
+        assert!(!a.get(3));
+        assert!(a.get(4));
+
+        a.extend_filled(2, false);
+        assert_eq!(a.len(), 7);
+        assert!(!a.get(6));
+
+        let g = a.gather([4usize, 3, 0].into_iter());
+        assert_eq!(g.len(), 3);
+        assert!(g.get(0));
+        assert!(!g.get(1));
+        assert!(g.get(2));
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let mut b = Bitset::new();
+        let pattern = [0usize, 5, 63, 64, 65, 127, 128];
+        let max = 130;
+        for i in 0..max {
+            b.push(pattern.contains(&i));
+        }
+        let ones: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(ones, pattern.to_vec());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = Bitset::filled(10, true);
+        b.clear();
+        assert!(b.is_empty());
+        b.push(true);
+        assert_eq!(b.len(), 1);
+        assert!(b.get(0));
+    }
+}

@@ -1,0 +1,165 @@
+//! Named table catalog.
+//!
+//! DataCell continuous queries mix streams (baskets, owned by the engine)
+//! with ordinary persistent tables — Linear Road keeps toll history and
+//! account balances in such tables. The catalog is the shared registry of
+//! those tables; each table carries its own lock so factories touching
+//! disjoint tables never contend.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use crate::error::{MonetError, Result};
+use crate::relation::{Relation, Schema};
+
+/// A shared, individually locked table.
+pub type SharedTable = Arc<RwLock<Relation>>;
+
+/// Registry of persistent tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, SharedTable>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Create an empty table with the given schema.
+    pub fn create_table(&self, name: &str, schema: &Schema) -> Result<SharedTable> {
+        let mut tables = self.tables.write().expect("catalog lock poisoned");
+        if tables.contains_key(name) {
+            return Err(MonetError::Duplicate(name.to_string()));
+        }
+        let table = Arc::new(RwLock::new(Relation::new(schema)));
+        tables.insert(name.to_string(), Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Register an already-populated relation.
+    pub fn register(&self, name: &str, rel: Relation) -> Result<SharedTable> {
+        let mut tables = self.tables.write().expect("catalog lock poisoned");
+        if tables.contains_key(name) {
+            return Err(MonetError::Duplicate(name.to_string()));
+        }
+        let table = Arc::new(RwLock::new(rel));
+        tables.insert(name.to_string(), Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Result<SharedTable> {
+        self.tables
+            .read()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MonetError::NotFound(format!("table {name}")))
+    }
+
+    /// Does a table with this name exist?
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables
+            .read()
+            .expect("catalog lock poisoned")
+            .contains_key(name)
+    }
+
+    /// Drop a table; error if absent.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .expect("catalog lock poisoned")
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| MonetError::NotFound(format!("table {name}")))
+    }
+
+    /// Names of all registered tables (sorted for determinism).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tables
+            .read()
+            .expect("catalog lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Value, ValueType};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("id", ValueType::Int)])
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let cat = Catalog::new();
+        cat.create_table("t", &schema()).unwrap();
+        assert!(cat.contains("t"));
+        assert!(cat.get("t").is_ok());
+        assert!(matches!(
+            cat.create_table("t", &schema()),
+            Err(MonetError::Duplicate(_))
+        ));
+        cat.drop_table("t").unwrap();
+        assert!(!cat.contains("t"));
+        assert!(cat.drop_table("t").is_err());
+        assert!(cat.get("t").is_err());
+    }
+
+    #[test]
+    fn register_populated() {
+        let cat = Catalog::new();
+        let mut r = Relation::new(&schema());
+        r.append_row(&[Value::Int(42)]).unwrap();
+        cat.register("pre", r).unwrap();
+        let t = cat.get("pre").unwrap();
+        assert_eq!(t.read().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shared_mutation_visible() {
+        let cat = Catalog::new();
+        let t = cat.create_table("t", &schema()).unwrap();
+        t.write().unwrap().append_row(&[Value::Int(1)]).unwrap();
+        let again = cat.get("t").unwrap();
+        assert_eq!(again.read().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let cat = Catalog::new();
+        cat.create_table("b", &schema()).unwrap();
+        cat.create_table("a", &schema()).unwrap();
+        assert_eq!(cat.table_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let cat = Arc::new(Catalog::new());
+        cat.create_table("t", &schema()).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cat = Arc::clone(&cat);
+                std::thread::spawn(move || {
+                    let t = cat.get("t").unwrap();
+                    for _ in 0..100 {
+                        t.write().unwrap().append_row(&[Value::Int(1)]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cat.get("t").unwrap().read().unwrap().len(), 800);
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type shared by all kernel operations.
+
+use std::fmt;
+
+use crate::value::ValueType;
+
+/// Errors produced by the column-store kernel.
+///
+/// Kernel operators are strict: type mismatches and misaligned inputs are
+/// programming errors in the layer above (the SQL planner or the DataCell
+/// engine), so they surface as errors rather than panics, letting the upper
+/// layer decide whether to abort a continuous query or drop a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonetError {
+    /// An operator received a column of the wrong type.
+    TypeMismatch {
+        op: &'static str,
+        expected: ValueType,
+        found: ValueType,
+    },
+    /// Two inputs that must be aligned (same length) were not.
+    LengthMismatch {
+        op: &'static str,
+        left: usize,
+        right: usize,
+    },
+    /// A selection vector referenced a position beyond the column length.
+    SelectionOutOfBounds { pos: u32, len: usize },
+    /// A named column or table was not found.
+    NotFound(String),
+    /// A column with the same name already exists.
+    Duplicate(String),
+    /// Arithmetic error (division by zero on integers, overflow in strict ops).
+    Arithmetic(&'static str),
+    /// Catch-all for invalid arguments (empty schemas, zero group counts, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for MonetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonetError::TypeMismatch {
+                op,
+                expected,
+                found,
+            } => write!(f, "{op}: expected column of type {expected}, found {found}"),
+            MonetError::LengthMismatch { op, left, right } => {
+                write!(f, "{op}: misaligned inputs ({left} vs {right} rows)")
+            }
+            MonetError::SelectionOutOfBounds { pos, len } => {
+                write!(f, "selection position {pos} out of bounds for column of length {len}")
+            }
+            MonetError::NotFound(name) => write!(f, "not found: {name}"),
+            MonetError::Duplicate(name) => write!(f, "duplicate name: {name}"),
+            MonetError::Arithmetic(what) => write!(f, "arithmetic error: {what}"),
+            MonetError::Invalid(what) => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MonetError {}
+
+/// Convenient result alias used across the kernel.
+pub type Result<T> = std::result::Result<T, MonetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_all_variants() {
+        let cases: Vec<(MonetError, &str)> = vec![
+            (
+                MonetError::TypeMismatch {
+                    op: "select",
+                    expected: ValueType::Int,
+                    found: ValueType::Str,
+                },
+                "select: expected column of type int, found str",
+            ),
+            (
+                MonetError::LengthMismatch {
+                    op: "join",
+                    left: 3,
+                    right: 5,
+                },
+                "join: misaligned inputs (3 vs 5 rows)",
+            ),
+            (
+                MonetError::SelectionOutOfBounds { pos: 9, len: 4 },
+                "selection position 9 out of bounds for column of length 4",
+            ),
+            (MonetError::NotFound("t".into()), "not found: t"),
+            (MonetError::Duplicate("c".into()), "duplicate name: c"),
+            (
+                MonetError::Arithmetic("division by zero"),
+                "arithmetic error: division by zero",
+            ),
+            (MonetError::Invalid("empty".into()), "invalid argument: empty"),
+        ];
+        for (err, msg) in cases {
+            assert_eq!(err.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            MonetError::NotFound("x".into()),
+            MonetError::NotFound("x".into())
+        );
+        assert_ne!(
+            MonetError::NotFound("x".into()),
+            MonetError::Duplicate("x".into())
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! # monet — a mini column-store kernel
+//!
+//! The substrate of the DataCell reproduction: a from-scratch, MonetDB-style
+//! column-oriented execution kernel. Relational tables are collections of
+//! [`bat::Bat`]s (Binary Association Tables) — one typed column per
+//! attribute, with a *virtual* dense OID head, so tuple reconstruction is
+//! positional and free. Operators are whole-column ("vectorized") loops that
+//! communicate through [`selvec::SelVec`] candidate lists.
+//!
+//! What the paper uses from MonetDB, and where it lives here:
+//!
+//! | paper concept                  | module |
+//! |--------------------------------|--------|
+//! | BATs, (key, attr) pairs        | [`bat`], [`column`] |
+//! | `monetdb.select` range scans   | [`ops::select`] |
+//! | joins (equi, theta)            | [`ops::join`] |
+//! | grouping / aggregation         | [`ops::group`] |
+//! | `order by` / `top n`           | [`ops::sort`], [`ops::topn`] |
+//! | map-style projection math      | [`ops::arith`] |
+//! | bespoke basket-delete operator | [`ops::delete`] |
+//! | persistent tables              | [`catalog`] |
+//!
+//! The kernel is deliberately synchronous and single-threaded per operator
+//! call; concurrency lives one layer up, in the DataCell scheduler, exactly
+//! as in the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use monet::prelude::*;
+//!
+//! // Build a two-column relation and run: SELECT a FROM r WHERE 10 < a < 40
+//! let rel = Relation::from_columns(vec![
+//!     ("a".into(), Column::from_ints(vec![5, 15, 25, 35, 45])),
+//!     ("b".into(), Column::from_strs(
+//!         ["v", "w", "x", "y", "z"].iter().map(|s| s.to_string()).collect(),
+//!     )),
+//! ]).unwrap();
+//!
+//! let sel = monet::ops::select::select_range(
+//!     rel.column("a").unwrap(),
+//!     &Value::Int(10), &Value::Int(40),
+//!     false, false, None,
+//! ).unwrap();
+//! let hits = rel.gather(&sel).unwrap();
+//! assert_eq!(hits.column("a").unwrap().ints().unwrap(), &[15, 25, 35]);
+//! ```
+
+pub mod bat;
+pub mod bitset;
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod hashtab;
+pub mod ops;
+pub mod relation;
+pub mod selvec;
+pub mod value;
+
+/// Convenient re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::bat::Bat;
+    pub use crate::catalog::{Catalog, SharedTable};
+    pub use crate::column::{Column, ColumnData};
+    pub use crate::error::{MonetError, Result};
+    pub use crate::ops::arith::ArithOp;
+    pub use crate::ops::CmpOp;
+    pub use crate::relation::{Field, Relation, Schema};
+    pub use crate::selvec::SelVec;
+    pub use crate::value::{Value, ValueType};
+}

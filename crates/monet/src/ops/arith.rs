@@ -1,0 +1,467 @@
+//! Vectorized scalar computation: arithmetic, comparisons and three-valued
+//! boolean logic over whole columns. These back the map/projection
+//! expressions of the SQL layer.
+
+use crate::bitset::Bitset;
+use crate::column::{Column, ColumnData};
+use crate::error::{MonetError, Result};
+use crate::ops::CmpOp;
+use crate::value::{Value, ValueType};
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl std::fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        })
+    }
+}
+
+#[inline]
+fn apply_i64(op: ArithOp, a: i64, b: i64) -> Option<i64> {
+    match op {
+        ArithOp::Add => Some(a.wrapping_add(b)),
+        ArithOp::Sub => Some(a.wrapping_sub(b)),
+        ArithOp::Mul => Some(a.wrapping_mul(b)),
+        // Division by zero yields NULL: a continuous query must keep
+        // flowing, and SQL NULL is the honest result for an undefined value.
+        ArithOp::Div => {
+            if b == 0 {
+                None
+            } else {
+                Some(a.wrapping_div(b))
+            }
+        }
+        ArithOp::Mod => {
+            if b == 0 {
+                None
+            } else {
+                Some(a.wrapping_rem(b))
+            }
+        }
+    }
+}
+
+#[inline]
+fn apply_f64(op: ArithOp, a: f64, b: f64) -> f64 {
+    match op {
+        ArithOp::Add => a + b,
+        ArithOp::Sub => a - b,
+        ArithOp::Mul => a * b,
+        ArithOp::Div => a / b,
+        ArithOp::Mod => a % b,
+    }
+}
+
+enum NumSide<'a> {
+    Ints(&'a [i64]),
+    Doubles(&'a [f64]),
+}
+
+fn numeric_side<'a>(col: &'a Column, op: &'static str) -> Result<NumSide<'a>> {
+    match col.data() {
+        ColumnData::Int(v) | ColumnData::Ts(v) => Ok(NumSide::Ints(v)),
+        ColumnData::Double(v) => Ok(NumSide::Doubles(v)),
+        _ => Err(MonetError::TypeMismatch {
+            op,
+            expected: ValueType::Int,
+            found: col.vtype(),
+        }),
+    }
+}
+
+fn merged_validity(l: &Column, r: &Column) -> Option<Bitset> {
+    match (l.validity(), r.validity()) {
+        (None, None) => None,
+        _ => {
+            let mut m = Bitset::new();
+            for i in 0..l.len() {
+                m.push(l.is_valid(i) && r.is_valid(i));
+            }
+            Some(m)
+        }
+    }
+}
+
+/// Element-wise arithmetic between two aligned columns. Int⊕Int → Int,
+/// anything involving a Double → Double. NULL propagates; integer division
+/// by zero yields NULL.
+pub fn arith(op: ArithOp, l: &Column, r: &Column) -> Result<Column> {
+    if l.len() != r.len() {
+        return Err(MonetError::LengthMismatch {
+            op: "arith",
+            left: l.len(),
+            right: r.len(),
+        });
+    }
+    let n = l.len();
+    let (ls, rs) = (numeric_side(l, "arith")?, numeric_side(r, "arith")?);
+    let base_validity = merged_validity(l, r);
+    match (ls, rs) {
+        (NumSide::Ints(a), NumSide::Ints(b)) => {
+            let mut out = Vec::with_capacity(n);
+            let mut mask = base_validity.unwrap_or_else(|| Bitset::filled(n, true));
+            for i in 0..n {
+                if mask.get(i) {
+                    match apply_i64(op, a[i], b[i]) {
+                        Some(v) => out.push(v),
+                        None => {
+                            out.push(0);
+                            mask.set(i, false);
+                        }
+                    }
+                } else {
+                    out.push(0);
+                }
+            }
+            Column::from_parts(ColumnData::Int(out), Some(mask))
+        }
+        (ls, rs) => {
+            let mut out = Vec::with_capacity(n);
+            let get = |s: &NumSide<'_>, i: usize| -> f64 {
+                match s {
+                    NumSide::Ints(v) => v[i] as f64,
+                    NumSide::Doubles(v) => v[i],
+                }
+            };
+            for i in 0..n {
+                out.push(apply_f64(op, get(&ls, i), get(&rs, i)));
+            }
+            Column::from_parts(ColumnData::Double(out), base_validity)
+        }
+    }
+}
+
+/// Arithmetic against a constant (`col ⊕ k` or `k ⊕ col`).
+pub fn arith_const(op: ArithOp, col: &Column, k: &Value, col_on_left: bool) -> Result<Column> {
+    if k.is_null() {
+        // NULL constant poisons every row.
+        let data = match col.vtype() {
+            ValueType::Double => ColumnData::Double(vec![0.0; col.len()]),
+            _ => ColumnData::Int(vec![0; col.len()]),
+        };
+        return Column::from_parts(data, Some(Bitset::filled(col.len(), false)));
+    }
+    let kcol = broadcast(k, col.len())?;
+    if col_on_left {
+        arith(op, col, &kcol)
+    } else {
+        arith(op, &kcol, col)
+    }
+}
+
+fn broadcast(k: &Value, n: usize) -> Result<Column> {
+    match k {
+        Value::Int(v) | Value::Ts(v) => Ok(Column::from_ints(vec![*v; n])),
+        Value::Double(v) => Ok(Column::from_doubles(vec![*v; n])),
+        _ => Err(MonetError::TypeMismatch {
+            op: "arith_const",
+            expected: ValueType::Int,
+            found: k.value_type().unwrap_or(ValueType::Bool),
+        }),
+    }
+}
+
+/// Element-wise comparison producing a nullable Bool column (three-valued:
+/// NULL operand → NULL result).
+pub fn compare(op: CmpOp, l: &Column, r: &Column) -> Result<Column> {
+    if l.len() != r.len() {
+        return Err(MonetError::LengthMismatch {
+            op: "compare",
+            left: l.len(),
+            right: r.len(),
+        });
+    }
+    let n = l.len();
+    let mut out = Vec::with_capacity(n);
+    let mut any_null = false;
+    let mut mask = Bitset::filled(n, true);
+    for i in 0..n {
+        let (lv, rv) = (l.get(i), r.get(i));
+        match lv.sql_cmp(&rv) {
+            Some(ord) => out.push(op.eval(ord)),
+            None => {
+                if lv.is_null() || rv.is_null() {
+                    out.push(false);
+                    mask.set(i, false);
+                    any_null = true;
+                } else {
+                    return Err(MonetError::TypeMismatch {
+                        op: "compare",
+                        expected: l.vtype(),
+                        found: r.vtype(),
+                    });
+                }
+            }
+        }
+    }
+    Column::from_parts(ColumnData::Bool(out), any_null.then_some(mask))
+}
+
+/// Comparison against a constant.
+pub fn compare_const(op: CmpOp, col: &Column, k: &Value, col_on_left: bool) -> Result<Column> {
+    let n = col.len();
+    let mut out = Vec::with_capacity(n);
+    let mut any_null = false;
+    let mut mask = Bitset::filled(n, true);
+    for i in 0..n {
+        let v = col.get(i);
+        let ord = if col_on_left {
+            v.sql_cmp(k)
+        } else {
+            k.sql_cmp(&v)
+        };
+        match ord {
+            Some(o) => out.push(op.eval(o)),
+            None => {
+                if v.is_null() || k.is_null() {
+                    out.push(false);
+                    mask.set(i, false);
+                    any_null = true;
+                } else {
+                    return Err(MonetError::TypeMismatch {
+                        op: "compare_const",
+                        expected: col.vtype(),
+                        found: k.value_type().unwrap_or(ValueType::Bool),
+                    });
+                }
+            }
+        }
+    }
+    Column::from_parts(ColumnData::Bool(out), any_null.then_some(mask))
+}
+
+/// Three-valued AND over nullable bool columns.
+pub fn and3(l: &Column, r: &Column) -> Result<Column> {
+    bool3(l, r, |a, b| match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    })
+}
+
+/// Three-valued OR.
+pub fn or3(l: &Column, r: &Column) -> Result<Column> {
+    bool3(l, r, |a, b| match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    })
+}
+
+fn bool3(
+    l: &Column,
+    r: &Column,
+    f: impl Fn(Option<bool>, Option<bool>) -> Option<bool>,
+) -> Result<Column> {
+    if l.len() != r.len() {
+        return Err(MonetError::LengthMismatch {
+            op: "bool3",
+            left: l.len(),
+            right: r.len(),
+        });
+    }
+    let (lb, rb) = (l.bools()?, r.bools()?);
+    let n = l.len();
+    let mut out = Vec::with_capacity(n);
+    let mut mask = Bitset::filled(n, true);
+    let mut any_null = false;
+    for i in 0..n {
+        let a = l.is_valid(i).then(|| lb[i]);
+        let b = r.is_valid(i).then(|| rb[i]);
+        match f(a, b) {
+            Some(v) => out.push(v),
+            None => {
+                out.push(false);
+                mask.set(i, false);
+                any_null = true;
+            }
+        }
+    }
+    Column::from_parts(ColumnData::Bool(out), any_null.then_some(mask))
+}
+
+/// Three-valued NOT.
+pub fn not3(col: &Column) -> Result<Column> {
+    let b = col.bools()?;
+    let out: Vec<bool> = b.iter().map(|v| !v).collect();
+    Column::from_parts(ColumnData::Bool(out), col.validity().cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: &[i64]) -> Column {
+        Column::from_ints(v.to_vec())
+    }
+
+    #[test]
+    fn int_arith() {
+        let a = ints(&[10, 20, 30]);
+        let b = ints(&[3, 4, 5]);
+        assert_eq!(
+            arith(ArithOp::Add, &a, &b).unwrap().ints().unwrap(),
+            &[13, 24, 35]
+        );
+        assert_eq!(
+            arith(ArithOp::Sub, &a, &b).unwrap().ints().unwrap(),
+            &[7, 16, 25]
+        );
+        assert_eq!(
+            arith(ArithOp::Mul, &a, &b).unwrap().ints().unwrap(),
+            &[30, 80, 150]
+        );
+        assert_eq!(
+            arith(ArithOp::Div, &a, &b).unwrap().ints().unwrap(),
+            &[3, 5, 6]
+        );
+        assert_eq!(
+            arith(ArithOp::Mod, &a, &b).unwrap().ints().unwrap(),
+            &[1, 0, 0]
+        );
+    }
+
+    #[test]
+    fn division_by_zero_yields_null() {
+        let a = ints(&[10, 20]);
+        let b = ints(&[0, 5]);
+        let c = arith(ArithOp::Div, &a, &b).unwrap();
+        assert_eq!(c.get(0), Value::Null);
+        assert_eq!(c.get(1), Value::Int(4));
+        let m = arith(ArithOp::Mod, &a, &b).unwrap();
+        assert_eq!(m.get(0), Value::Null);
+    }
+
+    #[test]
+    fn mixed_promotes_to_double() {
+        let a = ints(&[1, 2]);
+        let b = Column::from_doubles(vec![0.5, 0.25]);
+        let c = arith(ArithOp::Mul, &a, &b).unwrap();
+        assert_eq!(c.doubles().unwrap(), &[0.5, 0.5]);
+        let d = arith(ArithOp::Div, &b, &a).unwrap();
+        assert_eq!(d.doubles().unwrap(), &[0.5, 0.125]);
+    }
+
+    #[test]
+    fn null_propagation() {
+        let mut a = Column::new(ValueType::Int);
+        a.push(Value::Null).unwrap();
+        a.push(Value::Int(2)).unwrap();
+        let b = ints(&[1, 1]);
+        let c = arith(ArithOp::Add, &a, &b).unwrap();
+        assert_eq!(c.get(0), Value::Null);
+        assert_eq!(c.get(1), Value::Int(3));
+    }
+
+    #[test]
+    fn const_variants() {
+        let a = ints(&[1, 2, 3]);
+        assert_eq!(
+            arith_const(ArithOp::Mul, &a, &Value::Int(2), true)
+                .unwrap()
+                .ints()
+                .unwrap(),
+            &[2, 4, 6]
+        );
+        assert_eq!(
+            arith_const(ArithOp::Sub, &a, &Value::Int(10), false)
+                .unwrap()
+                .ints()
+                .unwrap(),
+            &[9, 8, 7],
+            "k - col"
+        );
+        let n = arith_const(ArithOp::Add, &a, &Value::Null, true).unwrap();
+        assert!((0..3).all(|i| n.get(i) == Value::Null));
+        assert!(arith_const(ArithOp::Add, &a, &Value::Str("x".into()), true).is_err());
+    }
+
+    #[test]
+    fn compare_columns() {
+        let a = ints(&[1, 5, 3]);
+        let b = ints(&[2, 5, 1]);
+        let c = compare(CmpOp::Lt, &a, &b).unwrap();
+        assert_eq!(c.bools().unwrap(), &[true, false, false]);
+        let c = compare(CmpOp::Eq, &a, &b).unwrap();
+        assert_eq!(c.bools().unwrap(), &[false, true, false]);
+    }
+
+    #[test]
+    fn compare_with_nulls_is_three_valued() {
+        let mut a = Column::new(ValueType::Int);
+        a.push(Value::Null).unwrap();
+        a.push(Value::Int(1)).unwrap();
+        let c = compare_const(CmpOp::Eq, &a, &Value::Int(1), true).unwrap();
+        assert_eq!(c.get(0), Value::Null);
+        assert_eq!(c.get(1), Value::Bool(true));
+    }
+
+    #[test]
+    fn compare_type_error() {
+        let a = ints(&[1]);
+        let b = Column::from_strs(vec!["x".into()]);
+        assert!(compare(CmpOp::Eq, &a, &b).is_err());
+    }
+
+    #[test]
+    fn three_valued_logic_table() {
+        // encode T / F / N as columns
+        let mk = |vals: &[Option<bool>]| {
+            let mut c = Column::new(ValueType::Bool);
+            for v in vals {
+                c.push(v.map(Value::Bool).unwrap_or(Value::Null)).unwrap();
+            }
+            c
+        };
+        let t = Some(true);
+        let f = Some(false);
+        let n = None;
+        let l = mk(&[t, t, t, f, f, f, n, n, n]);
+        let r = mk(&[t, f, n, t, f, n, t, f, n]);
+        let and = and3(&l, &r).unwrap();
+        let or = or3(&l, &r).unwrap();
+        let expect_and = [t, f, n, f, f, f, n, f, n];
+        let expect_or = [t, t, t, t, f, n, t, n, n];
+        for i in 0..9 {
+            let got = and.is_valid(i).then(|| and.bools().unwrap()[i]);
+            assert_eq!(got, expect_and[i], "AND case {i}");
+            let got = or.is_valid(i).then(|| or.bools().unwrap()[i]);
+            assert_eq!(got, expect_or[i], "OR case {i}");
+        }
+        let negated = not3(&l).unwrap();
+        assert!(!negated.bools().unwrap()[0]);
+        assert_eq!(negated.get(6), Value::Null);
+    }
+
+    #[test]
+    fn length_mismatches() {
+        let a = ints(&[1]);
+        let b = ints(&[1, 2]);
+        assert!(arith(ArithOp::Add, &a, &b).is_err());
+        assert!(compare(CmpOp::Eq, &a, &b).is_err());
+        let ba = Column::from_bools(vec![true]);
+        let bb = Column::from_bools(vec![true, false]);
+        assert!(and3(&ba, &bb).is_err());
+    }
+
+    #[test]
+    fn ts_arithmetic_behaves_as_int() {
+        let t = Column::from_ts(vec![100, 200]);
+        let c = arith_const(ArithOp::Sub, &t, &Value::Int(50), true).unwrap();
+        assert_eq!(c.ints().unwrap(), &[50, 150]);
+    }
+}

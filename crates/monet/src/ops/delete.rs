@@ -1,0 +1,96 @@
+//! Tuple deletion strategies.
+//!
+//! The paper reports (§6.2) that adding bespoke kernel operators for basket
+//! maintenance — "in one go removes a set of tuples by shifting the
+//! remaining tuples in the positions of the deleted ones" — bought 20–30%
+//! over composing stock operators. Both paths live here so the ablation
+//! bench (`ablation_delete`) can measure exactly that difference:
+//!
+//! * [`delete_shift`]: the bespoke single-pass in-place compaction
+//!   (delegates to [`crate::relation::Relation::delete_sel`]).
+//! * [`delete_compose`]: the stock-operator route — complement the
+//!   selection, gather survivors into fresh columns, replace the relation.
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::selvec::SelVec;
+
+/// In-place single-pass delete (the paper's bespoke operator).
+pub fn delete_shift(rel: &mut Relation, sel: &SelVec) -> Result<()> {
+    rel.delete_sel(sel)
+}
+
+/// Composed delete: `complement` + `gather` + replace. Processes every
+/// column twice and allocates fresh storage — the baseline the bespoke
+/// operator beats.
+pub fn delete_compose(rel: &mut Relation, sel: &SelVec) -> Result<()> {
+    sel.check_bounds(rel.len())?;
+    let keep = sel.complement(rel.len());
+    let survivors = rel.gather(&keep)?;
+    *rel = survivors;
+    Ok(())
+}
+
+/// Delete everything *except* the selection (retain).
+pub fn retain_only(rel: &mut Relation, keep: &SelVec) -> Result<()> {
+    keep.check_bounds(rel.len())?;
+    let dead = keep.complement(rel.len());
+    rel.delete_sel(&dead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{Relation, Schema};
+    use crate::value::{Value, ValueType};
+
+    fn rel(n: i64) -> Relation {
+        let schema = Schema::from_pairs(&[("a", ValueType::Int), ("b", ValueType::Str)]);
+        let mut r = Relation::new(&schema);
+        for i in 0..n {
+            r.append_row(&[Value::Int(i), Value::Str(format!("s{i}"))]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn shift_and_compose_agree() {
+        for dead in [
+            vec![],
+            vec![0u32],
+            vec![9],
+            vec![0, 1, 2],
+            vec![3, 5, 7],
+            (0..10).collect::<Vec<u32>>(),
+        ] {
+            let sel = SelVec::from_sorted(dead.clone()).unwrap();
+            let mut a = rel(10);
+            let mut b = rel(10);
+            delete_shift(&mut a, &sel).unwrap();
+            delete_compose(&mut b, &sel).unwrap();
+            assert_eq!(a.len(), b.len(), "dead={dead:?}");
+            for i in 0..a.len() {
+                assert_eq!(a.row(i), b.row(i), "dead={dead:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn retain_keeps_only_selection() {
+        let mut r = rel(5);
+        retain_only(&mut r, &SelVec::from_sorted(vec![1, 4]).unwrap()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(0)[0], Value::Int(1));
+        assert_eq!(r.row(1)[0], Value::Int(4));
+    }
+
+    #[test]
+    fn bounds_errors() {
+        let mut r = rel(3);
+        let sel = SelVec::from_sorted(vec![5]).unwrap();
+        assert!(delete_shift(&mut r, &sel).is_err());
+        assert!(delete_compose(&mut r, &sel).is_err());
+        assert!(retain_only(&mut r, &sel).is_err());
+        assert_eq!(r.len(), 3, "failed ops must not mutate");
+    }
+}

@@ -1,0 +1,474 @@
+//! Grouping and aggregation.
+//!
+//! [`group_by`] assigns dense group ids over one or more key columns;
+//! the `agg_*` functions then fold a value column per group. Ungrouped
+//! (whole-column) aggregates are the `total_*` family.
+
+use std::collections::HashMap;
+
+use crate::column::{Column, ColumnData};
+use crate::error::{MonetError, Result};
+use crate::hashtab::I64GroupTable;
+use crate::selvec::SelVec;
+use crate::value::{Value, ValueType};
+
+/// Result of a grouping pass.
+#[derive(Debug, Clone)]
+pub struct Grouping {
+    /// Global row position of each grouped row (ascending).
+    pub rows: Vec<u32>,
+    /// Group id per entry of `rows` (dense, 0-based, first-seen order).
+    pub gids: Vec<u32>,
+    /// Number of groups.
+    pub ngroups: u32,
+    /// First row position of each group (index = group id).
+    pub representatives: Vec<u32>,
+}
+
+impl Grouping {
+    /// A single group covering all given rows (used for ungrouped
+    /// aggregation through the same code path).
+    pub fn single(rows: Vec<u32>) -> Self {
+        let n = rows.len();
+        Grouping {
+            representatives: rows.first().copied().into_iter().collect(),
+            gids: vec![0; n],
+            ngroups: if n == 0 { 0 } else { 1 },
+            rows,
+        }
+    }
+}
+
+/// Hashable group key for the generic multi-column path. Doubles key by
+/// bit pattern (exact-value grouping, NaN groups with NaN).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyPart {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Str(String),
+    Bits(u64),
+}
+
+fn key_part(col: &Column, pos: usize) -> KeyPart {
+    if !col.is_valid(pos) {
+        return KeyPart::Null;
+    }
+    match col.data() {
+        ColumnData::Bool(v) => KeyPart::Bool(v[pos]),
+        ColumnData::Int(v) | ColumnData::Ts(v) => KeyPart::Int(v[pos]),
+        ColumnData::Double(v) => KeyPart::Bits(v[pos].to_bits()),
+        ColumnData::Str(v) => KeyPart::Str(v[pos].clone()),
+    }
+}
+
+/// Group rows by the given key columns (all must be aligned). NULL is a
+/// regular group key, as in SQL `GROUP BY`.
+pub fn group_by(keys: &[&Column], cand: Option<&SelVec>) -> Result<Grouping> {
+    if keys.is_empty() {
+        return Err(MonetError::Invalid("group_by needs at least one key".into()));
+    }
+    let len = keys[0].len();
+    for k in keys {
+        if k.len() != len {
+            return Err(MonetError::LengthMismatch {
+                op: "group_by",
+                left: len,
+                right: k.len(),
+            });
+        }
+    }
+    if let Some(c) = cand {
+        c.check_bounds(len)?;
+    }
+    let rows: Vec<u32> = match cand {
+        Some(c) => c.iter().collect(),
+        None => (0..len as u32).collect(),
+    };
+
+    // Fast path: single non-null int key.
+    if keys.len() == 1 {
+        if let (ColumnData::Int(v) | ColumnData::Ts(v), None) =
+            (keys[0].data(), keys[0].validity())
+        {
+            let mut table = I64GroupTable::with_capacity(rows.len());
+            let mut gids = Vec::with_capacity(rows.len());
+            let mut representatives = Vec::new();
+            for &p in &rows {
+                let before = table.ngroups();
+                let gid = table.insert(v[p as usize]);
+                if table.ngroups() > before {
+                    representatives.push(p);
+                }
+                gids.push(gid);
+            }
+            return Ok(Grouping {
+                rows,
+                gids,
+                ngroups: table.ngroups(),
+                representatives,
+            });
+        }
+    }
+
+    let mut map: HashMap<Vec<KeyPart>, u32> = HashMap::with_capacity(rows.len());
+    let mut gids = Vec::with_capacity(rows.len());
+    let mut representatives = Vec::new();
+    for &p in &rows {
+        let key: Vec<KeyPart> = keys.iter().map(|k| key_part(k, p as usize)).collect();
+        let next = map.len() as u32;
+        let gid = *map.entry(key).or_insert_with(|| {
+            representatives.push(p);
+            next
+        });
+        gids.push(gid);
+    }
+    Ok(Grouping {
+        rows,
+        gids,
+        ngroups: map.len() as u32,
+        representatives,
+    })
+}
+
+/// COUNT(*) per group.
+pub fn agg_count_star(g: &Grouping) -> Vec<i64> {
+    let mut out = vec![0i64; g.ngroups as usize];
+    for &gid in &g.gids {
+        out[gid as usize] += 1;
+    }
+    out
+}
+
+/// COUNT(col) per group — non-NULL values only.
+pub fn agg_count(col: &Column, g: &Grouping) -> Result<Vec<i64>> {
+    check_agg_bounds(col, g)?;
+    let mut out = vec![0i64; g.ngroups as usize];
+    for (&p, &gid) in g.rows.iter().zip(&g.gids) {
+        if col.is_valid(p as usize) {
+            out[gid as usize] += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn check_agg_bounds(col: &Column, g: &Grouping) -> Result<()> {
+    if let Some(&m) = g.rows.iter().max() {
+        if m as usize >= col.len() {
+            return Err(MonetError::SelectionOutOfBounds {
+                pos: m,
+                len: col.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// SUM per group: Int/Ts sum to Int, Double sums to Double; all-NULL
+/// groups yield NULL (SQL semantics).
+pub fn agg_sum(col: &Column, g: &Grouping) -> Result<Column> {
+    check_agg_bounds(col, g)?;
+    match col.data() {
+        ColumnData::Int(v) | ColumnData::Ts(v) => {
+            let mut sums = vec![0i64; g.ngroups as usize];
+            let mut seen = vec![false; g.ngroups as usize];
+            for (&p, &gid) in g.rows.iter().zip(&g.gids) {
+                if col.is_valid(p as usize) {
+                    sums[gid as usize] = sums[gid as usize].wrapping_add(v[p as usize]);
+                    seen[gid as usize] = true;
+                }
+            }
+            nullable_from(sums.into_iter().map(Value::Int), &seen, ValueType::Int)
+        }
+        ColumnData::Double(v) => {
+            let mut sums = vec![0f64; g.ngroups as usize];
+            let mut seen = vec![false; g.ngroups as usize];
+            for (&p, &gid) in g.rows.iter().zip(&g.gids) {
+                if col.is_valid(p as usize) {
+                    sums[gid as usize] += v[p as usize];
+                    seen[gid as usize] = true;
+                }
+            }
+            nullable_from(sums.into_iter().map(Value::Double), &seen, ValueType::Double)
+        }
+        _ => Err(MonetError::TypeMismatch {
+            op: "agg_sum",
+            expected: ValueType::Int,
+            found: col.vtype(),
+        }),
+    }
+}
+
+/// AVG per group (always Double; all-NULL groups yield NULL).
+pub fn agg_avg(col: &Column, g: &Grouping) -> Result<Column> {
+    let sums = agg_sum(col, g)?;
+    let counts = agg_count(col, g)?;
+    let mut out = Column::with_capacity(ValueType::Double, g.ngroups as usize);
+    for i in 0..g.ngroups as usize {
+        let s = sums.get(i);
+        if counts[i] == 0 || s.is_null() {
+            out.push(Value::Null)?;
+        } else {
+            out.push(Value::Double(s.as_double().expect("numeric") / counts[i] as f64))?;
+        }
+    }
+    Ok(out)
+}
+
+/// MIN per group (input type preserved; all-NULL groups yield NULL).
+pub fn agg_min(col: &Column, g: &Grouping) -> Result<Column> {
+    agg_extreme(col, g, true)
+}
+
+/// MAX per group.
+pub fn agg_max(col: &Column, g: &Grouping) -> Result<Column> {
+    agg_extreme(col, g, false)
+}
+
+fn agg_extreme(col: &Column, g: &Grouping, min: bool) -> Result<Column> {
+    check_agg_bounds(col, g)?;
+    let mut best: Vec<Option<Value>> = vec![None; g.ngroups as usize];
+    for (&p, &gid) in g.rows.iter().zip(&g.gids) {
+        if !col.is_valid(p as usize) {
+            continue;
+        }
+        let v = col.get(p as usize);
+        let slot = &mut best[gid as usize];
+        let replace = match slot {
+            None => true,
+            Some(cur) => match v.sql_cmp(cur) {
+                Some(std::cmp::Ordering::Less) => min,
+                Some(std::cmp::Ordering::Greater) => !min,
+                _ => false,
+            },
+        };
+        if replace {
+            *slot = Some(v);
+        }
+    }
+    let mut out = Column::with_capacity(col.vtype(), g.ngroups as usize);
+    for b in best {
+        out.push(b.unwrap_or(Value::Null))?;
+    }
+    Ok(out)
+}
+
+/// COUNT(DISTINCT col) per group.
+pub fn agg_count_distinct(col: &Column, g: &Grouping) -> Result<Vec<i64>> {
+    check_agg_bounds(col, g)?;
+    let mut sets: Vec<std::collections::HashSet<KeyPart>> =
+        vec![std::collections::HashSet::new(); g.ngroups as usize];
+    for (&p, &gid) in g.rows.iter().zip(&g.gids) {
+        if col.is_valid(p as usize) {
+            sets[gid as usize].insert(key_part(col, p as usize));
+        }
+    }
+    Ok(sets.into_iter().map(|s| s.len() as i64).collect())
+}
+
+fn nullable_from(
+    values: impl Iterator<Item = Value>,
+    seen: &[bool],
+    vtype: ValueType,
+) -> Result<Column> {
+    let mut out = Column::with_capacity(vtype, seen.len());
+    for (v, &ok) in values.zip(seen.iter()) {
+        out.push(if ok { v } else { Value::Null })?;
+    }
+    Ok(out)
+}
+
+/// Whole-column COUNT of non-NULL values.
+pub fn total_count(col: &Column, cand: Option<&SelVec>) -> Result<i64> {
+    if let Some(c) = cand {
+        c.check_bounds(col.len())?;
+        Ok(c.iter().filter(|&p| col.is_valid(p as usize)).count() as i64)
+    } else {
+        Ok((col.len() - col.null_count()) as i64)
+    }
+}
+
+/// Whole-column SUM (`Value::Null` when no non-NULL input).
+pub fn total_sum(col: &Column, cand: Option<&SelVec>) -> Result<Value> {
+    let g = grouping_for(col, cand)?;
+    if g.ngroups == 0 {
+        return Ok(Value::Null);
+    }
+    Ok(agg_sum(col, &g)?.get(0))
+}
+
+/// Whole-column MIN.
+pub fn total_min(col: &Column, cand: Option<&SelVec>) -> Result<Value> {
+    let g = grouping_for(col, cand)?;
+    if g.ngroups == 0 {
+        return Ok(Value::Null);
+    }
+    Ok(agg_min(col, &g)?.get(0))
+}
+
+/// Whole-column MAX.
+pub fn total_max(col: &Column, cand: Option<&SelVec>) -> Result<Value> {
+    let g = grouping_for(col, cand)?;
+    if g.ngroups == 0 {
+        return Ok(Value::Null);
+    }
+    Ok(agg_max(col, &g)?.get(0))
+}
+
+/// Whole-column AVG.
+pub fn total_avg(col: &Column, cand: Option<&SelVec>) -> Result<Value> {
+    let g = grouping_for(col, cand)?;
+    if g.ngroups == 0 {
+        return Ok(Value::Null);
+    }
+    Ok(agg_avg(col, &g)?.get(0))
+}
+
+fn grouping_for(col: &Column, cand: Option<&SelVec>) -> Result<Grouping> {
+    if let Some(c) = cand {
+        c.check_bounds(col.len())?;
+        Ok(Grouping::single(c.iter().collect()))
+    } else {
+        Ok(Grouping::single((0..col.len() as u32).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: &[i64]) -> Column {
+        Column::from_ints(v.to_vec())
+    }
+
+    #[test]
+    fn single_int_key_fast_path() {
+        let k = ints(&[7, 8, 7, 9, 8]);
+        let g = group_by(&[&k], None).unwrap();
+        assert_eq!(g.ngroups, 3);
+        assert_eq!(g.gids, vec![0, 1, 0, 2, 1]);
+        assert_eq!(g.representatives, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn multi_key_grouping() {
+        let a = ints(&[1, 1, 2, 2]);
+        let b = Column::from_strs(vec!["x".into(), "y".into(), "x".into(), "x".into()]);
+        let g = group_by(&[&a, &b], None).unwrap();
+        assert_eq!(g.ngroups, 3);
+        assert_eq!(g.gids, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn null_is_a_group_key() {
+        let mut k = Column::new(ValueType::Int);
+        for v in [Value::Int(1), Value::Null, Value::Null, Value::Int(1)] {
+            k.push(v).unwrap();
+        }
+        // force the generic path (nullable column)
+        let g = group_by(&[&k], None).unwrap();
+        assert_eq!(g.ngroups, 2);
+        assert_eq!(g.gids, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn grouping_with_candidates() {
+        let k = ints(&[5, 6, 5, 6]);
+        let cand = SelVec::from_sorted(vec![1, 2, 3]).unwrap();
+        let g = group_by(&[&k], Some(&cand)).unwrap();
+        assert_eq!(g.rows, vec![1, 2, 3]);
+        assert_eq!(g.gids, vec![0, 1, 0]);
+        assert_eq!(g.ngroups, 2);
+    }
+
+    #[test]
+    fn count_and_sum() {
+        let k = ints(&[1, 1, 2]);
+        let mut v = Column::new(ValueType::Int);
+        for x in [Value::Int(10), Value::Null, Value::Int(30)] {
+            v.push(x).unwrap();
+        }
+        let g = group_by(&[&k], None).unwrap();
+        assert_eq!(agg_count_star(&g), vec![2, 1]);
+        assert_eq!(agg_count(&v, &g).unwrap(), vec![1, 1]);
+        let s = agg_sum(&v, &g).unwrap();
+        assert_eq!(s.get(0), Value::Int(10));
+        assert_eq!(s.get(1), Value::Int(30));
+    }
+
+    #[test]
+    fn sum_all_null_group_is_null() {
+        let k = ints(&[1, 2]);
+        let mut v = Column::new(ValueType::Int);
+        v.push(Value::Null).unwrap();
+        v.push(Value::Int(5)).unwrap();
+        let g = group_by(&[&k], None).unwrap();
+        let s = agg_sum(&v, &g).unwrap();
+        assert_eq!(s.get(0), Value::Null);
+        assert_eq!(s.get(1), Value::Int(5));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let k = ints(&[1, 1, 1, 2]);
+        let v = Column::from_doubles(vec![3.0, 1.0, 2.0, 9.0]);
+        let g = group_by(&[&k], None).unwrap();
+        assert_eq!(agg_min(&v, &g).unwrap().get(0), Value::Double(1.0));
+        assert_eq!(agg_max(&v, &g).unwrap().get(0), Value::Double(3.0));
+        assert_eq!(agg_avg(&v, &g).unwrap().get(0), Value::Double(2.0));
+        assert_eq!(agg_avg(&v, &g).unwrap().get(1), Value::Double(9.0));
+    }
+
+    #[test]
+    fn min_on_strings() {
+        let k = ints(&[1, 1]);
+        let v = Column::from_strs(vec!["pear".into(), "fig".into()]);
+        let g = group_by(&[&k], None).unwrap();
+        assert_eq!(agg_min(&v, &g).unwrap().get(0), Value::Str("fig".into()));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let k = ints(&[1, 1, 1, 2]);
+        let v = ints(&[5, 5, 6, 7]);
+        let g = group_by(&[&k], None).unwrap();
+        assert_eq!(agg_count_distinct(&v, &g).unwrap(), vec![2, 1]);
+    }
+
+    #[test]
+    fn totals() {
+        let v = ints(&[4, 2, 9]);
+        assert_eq!(total_count(&v, None).unwrap(), 3);
+        assert_eq!(total_sum(&v, None).unwrap(), Value::Int(15));
+        assert_eq!(total_min(&v, None).unwrap(), Value::Int(2));
+        assert_eq!(total_max(&v, None).unwrap(), Value::Int(9));
+        assert_eq!(total_avg(&v, None).unwrap(), Value::Double(5.0));
+
+        let cand = SelVec::from_sorted(vec![0, 2]).unwrap();
+        assert_eq!(total_sum(&v, Some(&cand)).unwrap(), Value::Int(13));
+
+        let empty = ints(&[]);
+        assert_eq!(total_sum(&empty, None).unwrap(), Value::Null);
+        assert_eq!(total_count(&empty, None).unwrap(), 0);
+    }
+
+    #[test]
+    fn double_keys_group_by_bit_pattern() {
+        let k = Column::from_doubles(vec![1.5, 1.5, 2.5]);
+        let g = group_by(&[&k], None).unwrap();
+        assert_eq!(g.ngroups, 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(group_by(&[], None).is_err());
+        let a = ints(&[1]);
+        let b = ints(&[1, 2]);
+        assert!(group_by(&[&a, &b], None).is_err());
+        let g = group_by(&[&b], None).unwrap();
+        let short = ints(&[1]);
+        assert!(agg_sum(&short, &g).is_err());
+        let s = Column::from_strs(vec!["x".into(), "y".into()]);
+        assert!(agg_sum(&s, &g).is_err());
+    }
+}

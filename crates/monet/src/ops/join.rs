@@ -1,0 +1,331 @@
+//! Join operators: hash equi-join and nested-loop theta-join.
+//!
+//! Joins return *position pair lists* `(left_positions, right_positions)` —
+//! the caller gathers whatever columns it needs from either side, which is
+//! how a column-store keeps joins narrow.
+
+use std::collections::HashMap;
+
+use crate::column::{Column, ColumnData};
+use crate::error::{MonetError, Result};
+use crate::hashtab::I64HashTable;
+use crate::ops::CmpOp;
+use crate::selvec::SelVec;
+
+/// Matching position pairs, parallel vectors.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JoinPairs {
+    pub left: Vec<u32>,
+    pub right: Vec<u32>,
+}
+
+impl JoinPairs {
+    pub fn len(&self) -> usize {
+        self.left.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty()
+    }
+}
+
+/// Hash equi-join between two key columns (Int/Ts or Str). Builds on the
+/// right, probes with the left, emits pairs in left-scan order. NULL keys
+/// never match. Optional candidate lists restrict either side.
+pub fn hash_join(
+    left: &Column,
+    right: &Column,
+    lcand: Option<&SelVec>,
+    rcand: Option<&SelVec>,
+) -> Result<JoinPairs> {
+    if let Some(c) = lcand {
+        c.check_bounds(left.len())?;
+    }
+    if let Some(c) = rcand {
+        c.check_bounds(right.len())?;
+    }
+    match (left.data(), right.data()) {
+        (ColumnData::Int(lk) | ColumnData::Ts(lk), ColumnData::Int(rk) | ColumnData::Ts(rk)) => {
+            Ok(hash_join_i64(lk, rk, left, right, lcand, rcand))
+        }
+        (ColumnData::Str(lk), ColumnData::Str(rk)) => {
+            Ok(hash_join_str(lk, rk, left, right, lcand, rcand))
+        }
+        _ => Err(MonetError::TypeMismatch {
+            op: "hash_join",
+            expected: left.vtype(),
+            found: right.vtype(),
+        }),
+    }
+}
+
+fn hash_join_i64(
+    lk: &[i64],
+    rk: &[i64],
+    left: &Column,
+    right: &Column,
+    lcand: Option<&SelVec>,
+    rcand: Option<&SelVec>,
+) -> JoinPairs {
+    // Build side: restrict to candidates and non-NULL keys.
+    let table = I64HashTable::build(rk, |i| {
+        !right.is_valid(i) || rcand.is_some_and(|c| !c.contains(i as u32))
+    });
+    let mut pairs = JoinPairs::default();
+    let mut probe_one = |p: u32| {
+        if !left.is_valid(p as usize) {
+            return;
+        }
+        for rpos in table.probe(lk[p as usize]) {
+            pairs.left.push(p);
+            pairs.right.push(rpos);
+        }
+    };
+    match lcand {
+        Some(c) => c.iter().for_each(&mut probe_one),
+        None => (0..lk.len() as u32).for_each(&mut probe_one),
+    }
+    pairs
+}
+
+fn hash_join_str(
+    lk: &[String],
+    rk: &[String],
+    left: &Column,
+    right: &Column,
+    lcand: Option<&SelVec>,
+    rcand: Option<&SelVec>,
+) -> JoinPairs {
+    let mut table: HashMap<&str, Vec<u32>> = HashMap::with_capacity(rk.len());
+    let mut build_one = |i: u32| {
+        if right.is_valid(i as usize) {
+            table.entry(rk[i as usize].as_str()).or_default().push(i);
+        }
+    };
+    match rcand {
+        Some(c) => c.iter().for_each(&mut build_one),
+        None => (0..rk.len() as u32).for_each(&mut build_one),
+    }
+    let mut pairs = JoinPairs::default();
+    let mut probe_one = |p: u32| {
+        if !left.is_valid(p as usize) {
+            return;
+        }
+        if let Some(matches) = table.get(lk[p as usize].as_str()) {
+            for &rpos in matches {
+                pairs.left.push(p);
+                pairs.right.push(rpos);
+            }
+        }
+    };
+    match lcand {
+        Some(c) => c.iter().for_each(&mut probe_one),
+        None => (0..lk.len() as u32).for_each(&mut probe_one),
+    }
+    pairs
+}
+
+/// Nested-loop theta-join: all pairs where `left[i] <op> right[j]`.
+/// Quadratic — used for the small windowed theta-joins in Linear Road,
+/// not for bulk equi-joins.
+pub fn theta_join(
+    left: &Column,
+    right: &Column,
+    op: CmpOp,
+    lcand: Option<&SelVec>,
+    rcand: Option<&SelVec>,
+) -> Result<JoinPairs> {
+    if let Some(c) = lcand {
+        c.check_bounds(left.len())?;
+    }
+    if let Some(c) = rcand {
+        c.check_bounds(right.len())?;
+    }
+    if !(left.vtype().is_numeric() && right.vtype().is_numeric())
+        && left.vtype() != right.vtype()
+    {
+        return Err(MonetError::TypeMismatch {
+            op: "theta_join",
+            expected: left.vtype(),
+            found: right.vtype(),
+        });
+    }
+    let lpos: Vec<u32> = match lcand {
+        Some(c) => c.iter().collect(),
+        None => (0..left.len() as u32).collect(),
+    };
+    let rpos: Vec<u32> = match rcand {
+        Some(c) => c.iter().collect(),
+        None => (0..right.len() as u32).collect(),
+    };
+    let mut pairs = JoinPairs::default();
+    for &i in &lpos {
+        if !left.is_valid(i as usize) {
+            continue;
+        }
+        let lv = left.get(i as usize);
+        for &j in &rpos {
+            if !right.is_valid(j as usize) {
+                continue;
+            }
+            let rv = right.get(j as usize);
+            if let Some(ord) = lv.sql_cmp(&rv) {
+                if op.eval(ord) {
+                    pairs.left.push(i);
+                    pairs.right.push(j);
+                }
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+/// Left semi-join: left positions having at least one match on the right.
+pub fn semi_join(
+    left: &Column,
+    right: &Column,
+    lcand: Option<&SelVec>,
+    rcand: Option<&SelVec>,
+) -> Result<SelVec> {
+    let pairs = hash_join(left, right, lcand, rcand)?;
+    let mut seen = pairs.left;
+    seen.dedup(); // probe order is ascending per left position
+    Ok(SelVec::from_unsorted(seen))
+}
+
+/// Left anti-join: left positions with no match on the right (NULL keys on
+/// the left are excluded, as in SQL `NOT IN` with non-null semantics).
+pub fn anti_join(
+    left: &Column,
+    right: &Column,
+    lcand: Option<&SelVec>,
+    rcand: Option<&SelVec>,
+) -> Result<SelVec> {
+    let matched = semi_join(left, right, lcand, rcand)?;
+    let universe = match lcand {
+        Some(c) => c.clone(),
+        None => SelVec::all(left.len()),
+    };
+    let mut no_null: Vec<u32> = Vec::with_capacity(universe.len());
+    for p in universe.iter() {
+        if left.is_valid(p as usize) {
+            no_null.push(p);
+        }
+    }
+    Ok(SelVec::from_sorted_unchecked(no_null).difference(&matched))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Value, ValueType};
+
+    fn ints(v: &[i64]) -> Column {
+        Column::from_ints(v.to_vec())
+    }
+
+    #[test]
+    fn equi_join_basic() {
+        let l = ints(&[1, 2, 3, 2]);
+        let r = ints(&[2, 4, 2]);
+        let p = hash_join(&l, &r, None, None).unwrap();
+        // left positions 1 and 3 (value 2) match right 0 and 2
+        let mut got: Vec<(u32, u32)> = p.left.iter().copied().zip(p.right.iter().copied()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 0), (1, 2), (3, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn equi_join_with_candidates() {
+        let l = ints(&[1, 2, 2]);
+        let r = ints(&[2, 2]);
+        let lc = SelVec::from_sorted(vec![1]).unwrap();
+        let rc = SelVec::from_sorted(vec![0]).unwrap();
+        let p = hash_join(&l, &r, Some(&lc), Some(&rc)).unwrap();
+        assert_eq!(p.left, vec![1]);
+        assert_eq!(p.right, vec![0]);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut l = Column::new(ValueType::Int);
+        l.push(Value::Null).unwrap();
+        l.push(Value::Int(0)).unwrap();
+        let mut r = Column::new(ValueType::Int);
+        r.push(Value::Int(0)).unwrap();
+        r.push(Value::Null).unwrap();
+        let p = hash_join(&l, &r, None, None).unwrap();
+        // NULL payload is stored as 0 — it must still not match key 0
+        assert_eq!(p.left, vec![1]);
+        assert_eq!(p.right, vec![0]);
+    }
+
+    #[test]
+    fn string_join() {
+        let l = Column::from_strs(vec!["a".into(), "b".into()]);
+        let r = Column::from_strs(vec!["b".into(), "b".into(), "c".into()]);
+        let p = hash_join(&l, &r, None, None).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.left.iter().all(|&x| x == 1));
+
+        let bad = hash_join(&l, &ints(&[1]), None, None);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn ts_joins_with_int() {
+        let l = Column::from_ts(vec![10, 20]);
+        let r = ints(&[20]);
+        let p = hash_join(&l, &r, None, None).unwrap();
+        assert_eq!(p.left, vec![1]);
+    }
+
+    #[test]
+    fn theta_join_less_than() {
+        let l = ints(&[1, 5]);
+        let r = ints(&[3, 6]);
+        let p = theta_join(&l, &r, CmpOp::Lt, None, None).unwrap();
+        let got: Vec<(u32, u32)> = p.left.into_iter().zip(p.right).collect();
+        assert_eq!(got, vec![(0, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn theta_join_skips_nulls() {
+        let mut l = Column::new(ValueType::Int);
+        l.push(Value::Null).unwrap();
+        l.push(Value::Int(1)).unwrap();
+        let r = ints(&[2]);
+        let p = theta_join(&l, &r, CmpOp::Lt, None, None).unwrap();
+        assert_eq!(p.left, vec![1]);
+    }
+
+    #[test]
+    fn semi_and_anti_partition() {
+        let l = ints(&[1, 2, 3, 4]);
+        let r = ints(&[2, 4, 4]);
+        let semi = semi_join(&l, &r, None, None).unwrap();
+        assert_eq!(semi.as_slice(), &[1, 3]);
+        let anti = anti_join(&l, &r, None, None).unwrap();
+        assert_eq!(anti.as_slice(), &[0, 2]);
+        // semi ∪ anti = all (when no NULLs)
+        assert_eq!(semi.union(&anti), SelVec::all(4));
+    }
+
+    #[test]
+    fn anti_join_excludes_null_probes() {
+        let mut l = Column::new(ValueType::Int);
+        l.push(Value::Int(9)).unwrap();
+        l.push(Value::Null).unwrap();
+        let r = ints(&[1]);
+        let anti = anti_join(&l, &r, None, None).unwrap();
+        assert_eq!(anti.as_slice(), &[0], "NULL is neither matched nor anti-matched");
+    }
+
+    #[test]
+    fn empty_sides() {
+        let l = ints(&[]);
+        let r = ints(&[1]);
+        assert!(hash_join(&l, &r, None, None).unwrap().is_empty());
+        assert!(hash_join(&r, &l, None, None).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Vectorized relational primitives.
+//!
+//! Each submodule wraps one family of MAL-style operators: whole-column
+//! loops that take columns + candidate lists and produce columns or
+//! selection vectors, never touching boxed values in the inner loop.
+
+pub mod arith;
+pub mod delete;
+pub mod group;
+pub mod join;
+pub mod select;
+pub mod sort;
+pub mod topn;
+
+/// Comparison operators shared by selects, theta-joins and expression
+/// evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an [`std::cmp::Ordering`].
+    #[inline]
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The operator with operand sides swapped (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Logical negation (`NOT (a op b)` ⇔ `a op.negate() b`).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn eval_covers_all_ops() {
+        assert!(CmpOp::Eq.eval(Ordering::Equal));
+        assert!(!CmpOp::Eq.eval(Ordering::Less));
+        assert!(CmpOp::Ne.eval(Ordering::Greater));
+        assert!(CmpOp::Lt.eval(Ordering::Less));
+        assert!(CmpOp::Le.eval(Ordering::Equal));
+        assert!(CmpOp::Gt.eval(Ordering::Greater));
+        assert!(CmpOp::Ge.eval(Ordering::Equal));
+        assert!(!CmpOp::Ge.eval(Ordering::Less));
+    }
+
+    #[test]
+    fn flip_is_an_involution_on_semantics() {
+        let pairs = [(1, 2), (2, 2), (3, 2)];
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for (a, b) in pairs {
+                let direct = op.eval(a.cmp(&b));
+                let flipped = op.flip().eval(b.cmp(&a));
+                assert_eq!(direct, flipped, "{op:?} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn negate_is_complement() {
+        let pairs = [(1, 2), (2, 2), (3, 2)];
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for (a, b) in pairs {
+                assert_ne!(op.eval(a.cmp(&b)), op.negate().eval(a.cmp(&b)));
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CmpOp::Le.to_string(), "<=");
+        assert_eq!(CmpOp::Ne.to_string(), "<>");
+    }
+}

@@ -1,0 +1,396 @@
+//! Selection scans: predicate evaluation producing selection vectors.
+//!
+//! These are the workhorses of DataCell query plans — `monetdb.select` in
+//! the paper's Algorithm 1. All scans accept an optional candidate list and
+//! only inspect those positions; NULLs never match any predicate.
+
+use crate::bitset::Bitset;
+use crate::column::{Column, ColumnData};
+use crate::error::{MonetError, Result};
+use crate::ops::CmpOp;
+use crate::selvec::SelVec;
+use crate::value::{Value, ValueType};
+
+/// Positions where `col <op> constant` holds.
+pub fn select_cmp(
+    col: &Column,
+    op: CmpOp,
+    constant: &Value,
+    cand: Option<&SelVec>,
+) -> Result<SelVec> {
+    if let Some(c) = cand {
+        c.check_bounds(col.len())?;
+    }
+    if constant.is_null() {
+        // SQL three-valued logic: nothing compares equal (or anything else)
+        // to NULL.
+        return Ok(SelVec::empty());
+    }
+    let validity = col.validity();
+    match col.data() {
+        ColumnData::Int(v) | ColumnData::Ts(v) => {
+            let k = constant.as_int().ok_or(MonetError::TypeMismatch {
+                op: "select_cmp",
+                expected: col.vtype(),
+                found: constant.value_type().unwrap_or(ValueType::Bool),
+            });
+            match k {
+                Ok(k) => Ok(scan(v, validity, cand, |x| op.eval(x.cmp(&k)))),
+                Err(_) => {
+                    // allow double constants against int columns
+                    let kd = constant.as_double().ok_or(MonetError::TypeMismatch {
+                        op: "select_cmp",
+                        expected: col.vtype(),
+                        found: constant.value_type().unwrap_or(ValueType::Bool),
+                    })?;
+                    Ok(scan(v, validity, cand, |x| {
+                        (*x as f64).partial_cmp(&kd).map(|o| op.eval(o)).unwrap_or(false)
+                    }))
+                }
+            }
+        }
+        ColumnData::Double(v) => {
+            let k = constant.as_double().ok_or(MonetError::TypeMismatch {
+                op: "select_cmp",
+                expected: ValueType::Double,
+                found: constant.value_type().unwrap_or(ValueType::Bool),
+            })?;
+            Ok(scan(v, validity, cand, |x| {
+                x.partial_cmp(&k).map(|o| op.eval(o)).unwrap_or(false)
+            }))
+        }
+        ColumnData::Str(v) => {
+            let k = constant.as_str().ok_or(MonetError::TypeMismatch {
+                op: "select_cmp",
+                expected: ValueType::Str,
+                found: constant.value_type().unwrap_or(ValueType::Bool),
+            })?;
+            Ok(scan(v, validity, cand, |x| op.eval(x.as_str().cmp(k))))
+        }
+        ColumnData::Bool(v) => {
+            let k = constant.as_bool().ok_or(MonetError::TypeMismatch {
+                op: "select_cmp",
+                expected: ValueType::Bool,
+                found: constant.value_type().unwrap_or(ValueType::Int),
+            })?;
+            Ok(scan(v, validity, cand, |x| op.eval(x.cmp(&k))))
+        }
+    }
+}
+
+/// Range select `lo < col < hi` with configurable bound inclusivity — the
+/// predicate-window primitive (`v1 < S.A < v2` in the micro-benchmarks).
+pub fn select_range(
+    col: &Column,
+    lo: &Value,
+    hi: &Value,
+    lo_incl: bool,
+    hi_incl: bool,
+    cand: Option<&SelVec>,
+) -> Result<SelVec> {
+    if let Some(c) = cand {
+        c.check_bounds(col.len())?;
+    }
+    if lo.is_null() || hi.is_null() {
+        return Ok(SelVec::empty());
+    }
+    let validity = col.validity();
+    match col.data() {
+        ColumnData::Int(v) | ColumnData::Ts(v) => {
+            let (a, b) = (
+                lo.as_int().ok_or(type_err(col, lo))?,
+                hi.as_int().ok_or(type_err(col, hi))?,
+            );
+            Ok(scan(v, validity, cand, |&x| {
+                (if lo_incl { x >= a } else { x > a }) && (if hi_incl { x <= b } else { x < b })
+            }))
+        }
+        ColumnData::Double(v) => {
+            let (a, b) = (
+                lo.as_double().ok_or(type_err(col, lo))?,
+                hi.as_double().ok_or(type_err(col, hi))?,
+            );
+            Ok(scan(v, validity, cand, |&x| {
+                (if lo_incl { x >= a } else { x > a }) && (if hi_incl { x <= b } else { x < b })
+            }))
+        }
+        ColumnData::Str(v) => {
+            let (a, b) = (
+                lo.as_str().ok_or(type_err(col, lo))?,
+                hi.as_str().ok_or(type_err(col, hi))?,
+            );
+            Ok(scan(v, validity, cand, |x| {
+                let s = x.as_str();
+                (if lo_incl { s >= a } else { s > a }) && (if hi_incl { s <= b } else { s < b })
+            }))
+        }
+        ColumnData::Bool(_) => Err(MonetError::TypeMismatch {
+            op: "select_range",
+            expected: ValueType::Int,
+            found: ValueType::Bool,
+        }),
+    }
+}
+
+fn type_err(col: &Column, v: &Value) -> MonetError {
+    MonetError::TypeMismatch {
+        op: "select_range",
+        expected: col.vtype(),
+        found: v.value_type().unwrap_or(ValueType::Bool),
+    }
+}
+
+/// Positions where a boolean column is TRUE (NULL is not TRUE).
+pub fn select_true(col: &Column, cand: Option<&SelVec>) -> Result<SelVec> {
+    if let Some(c) = cand {
+        c.check_bounds(col.len())?;
+    }
+    let v = col.bools()?;
+    Ok(scan(v, col.validity(), cand, |&b| b))
+}
+
+/// Positions holding NULL.
+pub fn select_null(col: &Column, cand: Option<&SelVec>) -> Result<SelVec> {
+    if let Some(c) = cand {
+        c.check_bounds(col.len())?;
+    }
+    let out: Vec<u32> = match cand {
+        Some(c) => c
+            .iter()
+            .filter(|&p| !col.is_valid(p as usize))
+            .collect(),
+        None => (0..col.len() as u32)
+            .filter(|&p| !col.is_valid(p as usize))
+            .collect(),
+    };
+    Ok(SelVec::from_sorted_unchecked(out))
+}
+
+/// Positions holding non-NULL values.
+pub fn select_not_null(col: &Column, cand: Option<&SelVec>) -> Result<SelVec> {
+    if let Some(c) = cand {
+        c.check_bounds(col.len())?;
+    }
+    let out: Vec<u32> = match cand {
+        Some(c) => c.iter().filter(|&p| col.is_valid(p as usize)).collect(),
+        None => (0..col.len() as u32)
+            .filter(|&p| col.is_valid(p as usize))
+            .collect(),
+    };
+    Ok(SelVec::from_sorted_unchecked(out))
+}
+
+/// Positions where `col IN (set)`.
+pub fn select_in(col: &Column, set: &[Value], cand: Option<&SelVec>) -> Result<SelVec> {
+    let mut acc = SelVec::empty();
+    for v in set {
+        acc = acc.union(&select_cmp(col, CmpOp::Eq, v, cand)?);
+    }
+    Ok(acc)
+}
+
+/// Shared typed scan loop: visit candidates (or everything), skip NULLs,
+/// emit qualifying positions in ascending order.
+#[inline]
+fn scan<T>(
+    data: &[T],
+    validity: Option<&Bitset>,
+    cand: Option<&SelVec>,
+    pred: impl Fn(&T) -> bool,
+) -> SelVec {
+    let mut out = Vec::new();
+    match (cand, validity) {
+        (None, None) => {
+            for (i, x) in data.iter().enumerate() {
+                if pred(x) {
+                    out.push(i as u32);
+                }
+            }
+        }
+        (None, Some(mask)) => {
+            for (i, x) in data.iter().enumerate() {
+                if mask.get(i) && pred(x) {
+                    out.push(i as u32);
+                }
+            }
+        }
+        (Some(c), None) => {
+            for p in c.iter() {
+                if pred(&data[p as usize]) {
+                    out.push(p);
+                }
+            }
+        }
+        (Some(c), Some(mask)) => {
+            for p in c.iter() {
+                if mask.get(p as usize) && pred(&data[p as usize]) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    SelVec::from_sorted_unchecked(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: &[i64]) -> Column {
+        Column::from_ints(v.to_vec())
+    }
+
+    #[test]
+    fn cmp_all_operators() {
+        let c = ints(&[1, 2, 3, 4, 5]);
+        let k = Value::Int(3);
+        assert_eq!(
+            select_cmp(&c, CmpOp::Eq, &k, None).unwrap().as_slice(),
+            &[2]
+        );
+        assert_eq!(
+            select_cmp(&c, CmpOp::Ne, &k, None).unwrap().as_slice(),
+            &[0, 1, 3, 4]
+        );
+        assert_eq!(
+            select_cmp(&c, CmpOp::Lt, &k, None).unwrap().as_slice(),
+            &[0, 1]
+        );
+        assert_eq!(
+            select_cmp(&c, CmpOp::Le, &k, None).unwrap().as_slice(),
+            &[0, 1, 2]
+        );
+        assert_eq!(
+            select_cmp(&c, CmpOp::Gt, &k, None).unwrap().as_slice(),
+            &[3, 4]
+        );
+        assert_eq!(
+            select_cmp(&c, CmpOp::Ge, &k, None).unwrap().as_slice(),
+            &[2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn cmp_with_candidates() {
+        let c = ints(&[1, 2, 3, 4, 5]);
+        let cand = SelVec::from_sorted(vec![0, 2, 4]).unwrap();
+        let r = select_cmp(&c, CmpOp::Gt, &Value::Int(1), Some(&cand)).unwrap();
+        assert_eq!(r.as_slice(), &[2, 4]);
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        let mut c = Column::new(ValueType::Int);
+        for v in [Value::Int(1), Value::Null, Value::Int(3)] {
+            c.push(v).unwrap();
+        }
+        let r = select_cmp(&c, CmpOp::Ne, &Value::Int(99), None).unwrap();
+        assert_eq!(r.as_slice(), &[0, 2], "NULL <> 99 is not TRUE");
+        let r = select_cmp(&c, CmpOp::Eq, &Value::Null, None).unwrap();
+        assert!(r.is_empty(), "nothing equals NULL");
+    }
+
+    #[test]
+    fn range_inclusivity() {
+        let c = ints(&[10, 20, 30, 40]);
+        let r = select_range(&c, &Value::Int(20), &Value::Int(40), false, false, None).unwrap();
+        assert_eq!(r.as_slice(), &[2]);
+        let r = select_range(&c, &Value::Int(20), &Value::Int(40), true, true, None).unwrap();
+        assert_eq!(r.as_slice(), &[1, 2, 3]);
+        let r = select_range(&c, &Value::Null, &Value::Int(40), true, true, None).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn range_on_doubles_and_strings() {
+        let d = Column::from_doubles(vec![0.5, 1.5, 2.5]);
+        let r = select_range(&d, &Value::Double(1.0), &Value::Double(3.0), true, false, None)
+            .unwrap();
+        assert_eq!(r.as_slice(), &[1, 2]);
+
+        let s = Column::from_strs(vec!["apple".into(), "cherry".into(), "fig".into()]);
+        let r = select_range(
+            &s,
+            &Value::Str("b".into()),
+            &Value::Str("e".into()),
+            true,
+            true,
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.as_slice(), &[1]);
+
+        let b = Column::from_bools(vec![true]);
+        assert!(select_range(&b, &Value::Int(0), &Value::Int(1), true, true, None).is_err());
+    }
+
+    #[test]
+    fn double_constant_against_int_column() {
+        let c = ints(&[1, 2, 3]);
+        let r = select_cmp(&c, CmpOp::Gt, &Value::Double(1.5), None).unwrap();
+        assert_eq!(r.as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn bool_and_string_selects() {
+        let b = Column::from_bools(vec![true, false, true]);
+        assert_eq!(select_true(&b, None).unwrap().as_slice(), &[0, 2]);
+        assert_eq!(
+            select_cmp(&b, CmpOp::Eq, &Value::Bool(false), None)
+                .unwrap()
+                .as_slice(),
+            &[1]
+        );
+
+        let s = Column::from_strs(vec!["x".into(), "y".into(), "x".into()]);
+        assert_eq!(
+            select_cmp(&s, CmpOp::Eq, &Value::Str("x".into()), None)
+                .unwrap()
+                .as_slice(),
+            &[0, 2]
+        );
+    }
+
+    #[test]
+    fn null_selects() {
+        let mut c = Column::new(ValueType::Int);
+        for v in [Value::Null, Value::Int(2), Value::Null] {
+            c.push(v).unwrap();
+        }
+        assert_eq!(select_null(&c, None).unwrap().as_slice(), &[0, 2]);
+        assert_eq!(select_not_null(&c, None).unwrap().as_slice(), &[1]);
+        let cand = SelVec::from_sorted(vec![1, 2]).unwrap();
+        assert_eq!(select_null(&c, Some(&cand)).unwrap().as_slice(), &[2]);
+    }
+
+    #[test]
+    fn in_list() {
+        let c = ints(&[1, 2, 3, 4]);
+        let r = select_in(&c, &[Value::Int(2), Value::Int(4), Value::Int(9)], None).unwrap();
+        assert_eq!(r.as_slice(), &[1, 3]);
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let c = ints(&[1]);
+        assert!(select_cmp(&c, CmpOp::Eq, &Value::Str("x".into()), None).is_err());
+        let s = Column::from_strs(vec!["x".into()]);
+        assert!(select_cmp(&s, CmpOp::Eq, &Value::Int(1), None).is_err());
+    }
+
+    #[test]
+    fn candidate_bounds_checked() {
+        let c = ints(&[1]);
+        let cand = SelVec::from_sorted(vec![5]).unwrap();
+        assert!(select_cmp(&c, CmpOp::Eq, &Value::Int(1), Some(&cand)).is_err());
+    }
+
+    #[test]
+    fn ts_columns_scan_as_ints() {
+        let t = Column::from_ts(vec![100, 200, 300]);
+        let r = select_cmp(&t, CmpOp::Ge, &Value::Int(200), None).unwrap();
+        assert_eq!(r.as_slice(), &[1, 2]);
+        let r = select_cmp(&t, CmpOp::Lt, &Value::Ts(300), None).unwrap();
+        assert_eq!(r.as_slice(), &[0, 1]);
+    }
+}

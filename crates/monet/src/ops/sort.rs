@@ -1,0 +1,157 @@
+//! Ordering: stable multi-key argsort producing position permutations.
+
+use crate::column::{Column, ColumnData};
+use crate::error::{MonetError, Result};
+use crate::selvec::SelVec;
+
+/// One sort key: column + direction.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey<'a> {
+    pub col: &'a Column,
+    pub ascending: bool,
+}
+
+/// Compare two positions under a full key list (first non-equal key wins).
+pub fn cmp_positions(keys: &[SortKey<'_>], a: usize, b: usize) -> std::cmp::Ordering {
+    for key in keys {
+        let ord = cmp_at(key, a, b);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Compare two positions under a single key. NULLs sort first (ascending),
+/// matching the usual NULLS FIRST default.
+fn cmp_at(key: &SortKey<'_>, a: usize, b: usize) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let (va, vb) = (key.col.is_valid(a), key.col.is_valid(b));
+    let ord = match (va, vb) {
+        (false, false) => Ordering::Equal,
+        (false, true) => Ordering::Less,
+        (true, false) => Ordering::Greater,
+        (true, true) => match key.col.data() {
+            ColumnData::Bool(v) => v[a].cmp(&v[b]),
+            ColumnData::Int(v) | ColumnData::Ts(v) => v[a].cmp(&v[b]),
+            ColumnData::Double(v) => v[a].partial_cmp(&v[b]).unwrap_or(Ordering::Equal),
+            ColumnData::Str(v) => v[a].cmp(&v[b]),
+        },
+    };
+    if key.ascending {
+        ord
+    } else {
+        ord.reverse()
+    }
+}
+
+/// Stable argsort: returns row positions in sorted order. With a candidate
+/// list, only those rows participate (and the permutation contains exactly
+/// those positions).
+pub fn sort_perm(keys: &[SortKey<'_>], cand: Option<&SelVec>) -> Result<Vec<u32>> {
+    if keys.is_empty() {
+        return Err(MonetError::Invalid("sort needs at least one key".into()));
+    }
+    let len = keys[0].col.len();
+    for k in keys {
+        if k.col.len() != len {
+            return Err(MonetError::LengthMismatch {
+                op: "sort_perm",
+                left: len,
+                right: k.col.len(),
+            });
+        }
+    }
+    if let Some(c) = cand {
+        c.check_bounds(len)?;
+    }
+    let mut perm: Vec<u32> = match cand {
+        Some(c) => c.iter().collect(),
+        None => (0..len as u32).collect(),
+    };
+    perm.sort_by(|&a, &b| cmp_positions(keys, a as usize, b as usize));
+    Ok(perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Value, ValueType};
+
+    fn ints(v: &[i64]) -> Column {
+        Column::from_ints(v.to_vec())
+    }
+
+    #[test]
+    fn single_key_ascending_descending() {
+        let c = ints(&[3, 1, 2]);
+        let p = sort_perm(&[SortKey { col: &c, ascending: true }], None).unwrap();
+        assert_eq!(p, vec![1, 2, 0]);
+        let p = sort_perm(&[SortKey { col: &c, ascending: false }], None).unwrap();
+        assert_eq!(p, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn stability_on_ties() {
+        let c = ints(&[1, 1, 0, 1]);
+        let p = sort_perm(&[SortKey { col: &c, ascending: true }], None).unwrap();
+        assert_eq!(p, vec![2, 0, 1, 3], "equal keys keep input order");
+    }
+
+    #[test]
+    fn multi_key() {
+        let a = ints(&[1, 1, 0]);
+        let b = Column::from_strs(vec!["z".into(), "a".into(), "m".into()]);
+        let p = sort_perm(
+            &[
+                SortKey { col: &a, ascending: true },
+                SortKey { col: &b, ascending: true },
+            ],
+            None,
+        )
+        .unwrap();
+        assert_eq!(p, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn nulls_first_ascending_last_descending() {
+        let mut c = Column::new(ValueType::Int);
+        for v in [Value::Int(2), Value::Null, Value::Int(1)] {
+            c.push(v).unwrap();
+        }
+        let p = sort_perm(&[SortKey { col: &c, ascending: true }], None).unwrap();
+        assert_eq!(p, vec![1, 2, 0]);
+        let p = sort_perm(&[SortKey { col: &c, ascending: false }], None).unwrap();
+        assert_eq!(p, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn candidates_restrict_domain() {
+        let c = ints(&[9, 3, 7, 1]);
+        let cand = SelVec::from_sorted(vec![0, 2, 3]).unwrap();
+        let p = sort_perm(&[SortKey { col: &c, ascending: true }], Some(&cand)).unwrap();
+        assert_eq!(p, vec![3, 2, 0]);
+    }
+
+    #[test]
+    fn doubles_sort() {
+        let c = Column::from_doubles(vec![0.5, -1.0, 2.0]);
+        let p = sort_perm(&[SortKey { col: &c, ascending: true }], None).unwrap();
+        assert_eq!(p, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn misaligned_keys_error() {
+        let a = ints(&[1, 2]);
+        let b = ints(&[1]);
+        assert!(sort_perm(
+            &[
+                SortKey { col: &a, ascending: true },
+                SortKey { col: &b, ascending: true }
+            ],
+            None
+        )
+        .is_err());
+        assert!(sort_perm(&[], None).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! TOP-N selection without a full sort.
+//!
+//! DataCell's `top n` clause (the paper's fixed-size window idiom:
+//! `[select top 20 from X order by tag]`) needs the first `n` rows under an
+//! ordering. A bounded binary heap does this in O(len · log n) instead of a
+//! full O(len · log len) sort.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::error::Result;
+use crate::ops::sort::{cmp_positions, SortKey};
+use crate::selvec::SelVec;
+
+/// Heap entry ordered by the sort keys; the heap keeps the *worst* entry at
+/// the top so it can be evicted when something better arrives.
+struct Entry<'k, 'c> {
+    pos: u32,
+    seq: u32, // tie-break on input order for stability
+    keys: &'k [SortKey<'c>],
+}
+
+impl Entry<'_, '_> {
+    fn order(&self, other: &Self) -> Ordering {
+        cmp_positions(self.keys, self.pos as usize, other.pos as usize)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialEq for Entry<'_, '_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.order(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry<'_, '_> {}
+impl PartialOrd for Entry<'_, '_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry<'_, '_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order(other)
+    }
+}
+
+/// Positions of the first `n` rows under `keys`, in sorted order.
+pub fn topn_perm(keys: &[SortKey<'_>], n: usize, cand: Option<&SelVec>) -> Result<Vec<u32>> {
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let len = keys.first().map_or(0, |k| k.col.len());
+    if let Some(c) = cand {
+        c.check_bounds(len)?;
+    }
+    let mut heap: BinaryHeap<Entry<'_, '_>> = BinaryHeap::with_capacity(n + 1);
+    let mut visit = |seq_pos: (u32, u32)| {
+        let (seq, pos) = seq_pos;
+        heap.push(Entry { pos, seq, keys });
+        if heap.len() > n {
+            heap.pop(); // evict current worst
+        }
+    };
+    match cand {
+        Some(c) => c
+            .iter()
+            .enumerate()
+            .for_each(|(s, p)| visit((s as u32, p))),
+        None => (0..len as u32).for_each(|p| visit((p, p))),
+    }
+    let mut out: Vec<Entry<'_, '_>> = heap.into_vec();
+    out.sort_by(|a, b| a.order(b));
+    Ok(out.into_iter().map(|e| e.pos).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn ints(v: &[i64]) -> Column {
+        Column::from_ints(v.to_vec())
+    }
+
+    #[test]
+    fn top3_ascending() {
+        let c = ints(&[5, 1, 4, 2, 3]);
+        let keys = [SortKey { col: &c, ascending: true }];
+        assert_eq!(topn_perm(&keys, 3, None).unwrap(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn top2_descending() {
+        let c = ints(&[5, 1, 4, 2, 3]);
+        let keys = [SortKey { col: &c, ascending: false }];
+        assert_eq!(topn_perm(&keys, 2, None).unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn n_larger_than_input_returns_full_sort() {
+        let c = ints(&[2, 1]);
+        let keys = [SortKey { col: &c, ascending: true }];
+        assert_eq!(topn_perm(&keys, 10, None).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn n_zero() {
+        let c = ints(&[1]);
+        let keys = [SortKey { col: &c, ascending: true }];
+        assert!(topn_perm(&keys, 0, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stability_matches_full_sort() {
+        let c = ints(&[1, 1, 1, 0]);
+        let keys = [SortKey { col: &c, ascending: true }];
+        let full = crate::ops::sort::sort_perm(&keys, None).unwrap();
+        let top = topn_perm(&keys, 3, None).unwrap();
+        assert_eq!(top, full[..3].to_vec());
+    }
+
+    #[test]
+    fn with_candidates() {
+        let c = ints(&[9, 1, 8, 2]);
+        let cand = SelVec::from_sorted(vec![0, 2, 3]).unwrap();
+        let keys = [SortKey { col: &c, ascending: true }];
+        assert_eq!(topn_perm(&keys, 2, Some(&cand)).unwrap(), vec![3, 2]);
+    }
+
+    #[test]
+    fn agrees_with_sort_on_random_data() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let data: Vec<i64> = (0..500).map(|_| rng.gen_range(0..100)).collect();
+        let c = ints(&data);
+        let keys = [SortKey { col: &c, ascending: true }];
+        let full = crate::ops::sort::sort_perm(&keys, None).unwrap();
+        for n in [1usize, 7, 100, 499] {
+            assert_eq!(
+                topn_perm(&keys, n, None).unwrap(),
+                full[..n].to_vec(),
+                "n={n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Relations: named collections of aligned BATs.
+//!
+//! A relational table with `k` attributes is `k` BATs whose positions line
+//! up — all attribute values of one tuple sit at the same position in their
+//! respective columns (Section 2.1 of the paper). Tuple reconstruction is
+//! therefore positional and free; every mutating operation here preserves
+//! the alignment invariant.
+
+use std::fmt;
+
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::error::{MonetError, Result};
+use crate::selvec::SelVec;
+use crate::value::{Value, ValueType};
+
+/// One attribute: name + type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub vtype: ValueType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, vtype: ValueType) -> Self {
+        Field {
+            name: name.into(),
+            vtype,
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, ValueType)]) -> Self {
+        Schema {
+            fields: pairs
+                .iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn width(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Index and type of the named field.
+    pub fn find(&self, name: &str) -> Option<(usize, ValueType)> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| (i, self.fields[i].vtype))
+    }
+
+    /// Positional type compatibility (names may differ — unions and inserts
+    /// match by position, like SQL).
+    pub fn compatible(&self, other: &Schema) -> bool {
+        self.width() == other.width()
+            && self
+                .fields
+                .iter()
+                .zip(other.fields.iter())
+                .all(|(a, b)| a.vtype == b.vtype)
+    }
+}
+
+/// A set of aligned, named BATs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    names: Vec<String>,
+    bats: Vec<Bat>,
+}
+
+impl Relation {
+    /// Empty relation with the given schema.
+    pub fn new(schema: &Schema) -> Self {
+        Relation {
+            names: schema.fields().iter().map(|f| f.name.clone()).collect(),
+            bats: schema
+                .fields()
+                .iter()
+                .map(|f| Bat::new(f.vtype))
+                .collect(),
+        }
+    }
+
+    /// Build from named columns; all columns must be the same length and
+    /// names must be unique.
+    pub fn from_columns(cols: Vec<(String, Column)>) -> Result<Self> {
+        if cols.is_empty() {
+            return Err(MonetError::Invalid("relation needs at least one column".into()));
+        }
+        let len = cols[0].1.len();
+        for (name, col) in &cols {
+            if col.len() != len {
+                return Err(MonetError::LengthMismatch {
+                    op: "from_columns",
+                    left: len,
+                    right: col.len(),
+                });
+            }
+            if cols.iter().filter(|(n, _)| n == name).count() > 1 {
+                return Err(MonetError::Duplicate(name.clone()));
+            }
+        }
+        let (names, columns): (Vec<_>, Vec<_>) = cols.into_iter().unzip();
+        Ok(Relation {
+            names,
+            bats: columns.into_iter().map(Bat::from_column).collect(),
+        })
+    }
+
+    pub fn schema(&self) -> Schema {
+        Schema::new(
+            self.names
+                .iter()
+                .zip(self.bats.iter())
+                .map(|(n, b)| Field::new(n.clone(), b.vtype()))
+                .collect(),
+        )
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.bats.first().map_or(0, |b| b.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of attributes.
+    pub fn width(&self) -> usize {
+        self.bats.len()
+    }
+
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Column index by name.
+    pub fn column_idx(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| MonetError::NotFound(format!("column {name}")))
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        Ok(self.bats[self.column_idx(name)?].col())
+    }
+
+    /// Column by position.
+    pub fn col_at(&self, idx: usize) -> &Column {
+        self.bats[idx].col()
+    }
+
+    /// BAT by position.
+    pub fn bat_at(&self, idx: usize) -> &Bat {
+        &self.bats[idx]
+    }
+
+    /// Append a tuple. The row must match the schema width; per-column type
+    /// checks apply (NULLs allowed anywhere).
+    pub fn append_row(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.width() {
+            return Err(MonetError::LengthMismatch {
+                op: "append_row",
+                left: self.width(),
+                right: row.len(),
+            });
+        }
+        // Validate all pushes up-front so a type error cannot leave the
+        // relation misaligned.
+        for (bat, v) in self.bats.iter().zip(row.iter()) {
+            if !v.is_null() {
+                let vt = v.value_type().expect("non-null");
+                let ok = vt == bat.vtype()
+                    || (bat.vtype() == ValueType::Double && vt == ValueType::Int)
+                    || (bat.vtype() == ValueType::Ts && vt == ValueType::Int)
+                    || (bat.vtype() == ValueType::Int && vt == ValueType::Ts);
+                if !ok {
+                    return Err(MonetError::TypeMismatch {
+                        op: "append_row",
+                        expected: bat.vtype(),
+                        found: vt,
+                    });
+                }
+            }
+        }
+        for (bat, v) in self.bats.iter_mut().zip(row.iter()) {
+            bat.push(v.clone()).expect("validated above");
+        }
+        Ok(())
+    }
+
+    /// Append many tuples.
+    pub fn append_rows<'a>(&mut self, rows: impl IntoIterator<Item = &'a [Value]>) -> Result<usize> {
+        let mut n = 0;
+        for row in rows {
+            self.append_row(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Append another relation (positional type compatibility required).
+    pub fn append_relation(&mut self, other: &Relation) -> Result<()> {
+        if !self.schema().compatible(&other.schema()) {
+            return Err(MonetError::Invalid(format!(
+                "incompatible schemas: {:?} vs {:?}",
+                self.schema(),
+                other.schema()
+            )));
+        }
+        for (bat, ocol) in self.bats.iter_mut().zip(other.bats.iter()) {
+            bat.append_column(ocol.col())?;
+        }
+        Ok(())
+    }
+
+    /// Gather the selected tuples into a new relation.
+    pub fn gather(&self, sel: &SelVec) -> Result<Relation> {
+        let bats = self
+            .bats
+            .iter()
+            .map(|b| b.gather(sel))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Relation {
+            names: self.names.clone(),
+            bats,
+        })
+    }
+
+    /// Gather by arbitrary (repeating) positions — join result assembly.
+    pub fn gather_positions(&self, positions: &[u32]) -> Result<Relation> {
+        let bats = self
+            .bats
+            .iter()
+            .map(|b| Ok(Bat::from_column(b.col().gather_positions(positions)?)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Relation {
+            names: self.names.clone(),
+            bats,
+        })
+    }
+
+    /// Delete the selected tuples in place across all columns.
+    pub fn delete_sel(&mut self, sel: &SelVec) -> Result<()> {
+        sel.check_bounds(self.len())?;
+        for bat in &mut self.bats {
+            bat.delete_sel(sel)?;
+        }
+        Ok(())
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        for bat in &mut self.bats {
+            bat.clear();
+        }
+    }
+
+    /// Copy out a subset of columns (by name) as a new relation.
+    pub fn project(&self, names: &[&str]) -> Result<Relation> {
+        let mut out_names = Vec::with_capacity(names.len());
+        let mut bats = Vec::with_capacity(names.len());
+        for &n in names {
+            let idx = self.column_idx(n)?;
+            out_names.push(n.to_string());
+            bats.push(self.bats[idx].clone());
+        }
+        Ok(Relation {
+            names: out_names,
+            bats,
+        })
+    }
+
+    /// Add a column (must match current length).
+    pub fn add_column(&mut self, name: impl Into<String>, col: Column) -> Result<()> {
+        let name = name.into();
+        if self.names.contains(&name) {
+            return Err(MonetError::Duplicate(name));
+        }
+        if !self.bats.is_empty() && col.len() != self.len() {
+            return Err(MonetError::LengthMismatch {
+                op: "add_column",
+                left: self.len(),
+                right: col.len(),
+            });
+        }
+        self.names.push(name);
+        self.bats.push(Bat::from_column(col));
+        Ok(())
+    }
+
+    /// Rename all columns (positional).
+    pub fn rename_columns(&mut self, names: Vec<String>) -> Result<()> {
+        if names.len() != self.width() {
+            return Err(MonetError::LengthMismatch {
+                op: "rename_columns",
+                left: self.width(),
+                right: names.len(),
+            });
+        }
+        self.names = names;
+        Ok(())
+    }
+
+    /// Materialize tuple `i`.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.bats.iter().map(|b| b.get(i)).collect()
+    }
+
+    /// Iterate materialized tuples (diagnostic path).
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+}
+
+impl fmt::Display for Relation {
+    /// Pipe-separated dump used by examples and debugging.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.names.join(" | "))?;
+        for row in self.iter_rows() {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_rel() -> Relation {
+        let schema = Schema::from_pairs(&[("id", ValueType::Int), ("name", ValueType::Str)]);
+        let mut r = Relation::new(&schema);
+        r.append_row(&[Value::Int(1), Value::Str("a".into())]).unwrap();
+        r.append_row(&[Value::Int(2), Value::Str("b".into())]).unwrap();
+        r.append_row(&[Value::Int(3), Value::Str("c".into())]).unwrap();
+        r
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::from_pairs(&[("a", ValueType::Int), ("b", ValueType::Str)]);
+        assert_eq!(s.find("b"), Some((1, ValueType::Str)));
+        assert_eq!(s.find("z"), None);
+        assert_eq!(s.width(), 2);
+    }
+
+    #[test]
+    fn schema_compatibility_is_positional() {
+        let a = Schema::from_pairs(&[("x", ValueType::Int)]);
+        let b = Schema::from_pairs(&[("y", ValueType::Int)]);
+        let c = Schema::from_pairs(&[("x", ValueType::Str)]);
+        assert!(a.compatible(&b));
+        assert!(!a.compatible(&c));
+    }
+
+    #[test]
+    fn append_and_read_rows() {
+        let r = test_rel();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.width(), 2);
+        assert_eq!(r.row(1), vec![Value::Int(2), Value::Str("b".into())]);
+        assert_eq!(r.column("id").unwrap().ints().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn append_row_validates_before_mutating() {
+        let mut r = test_rel();
+        // wrong arity
+        assert!(r.append_row(&[Value::Int(9)]).is_err());
+        // wrong type in second column — first column must NOT be extended
+        assert!(r
+            .append_row(&[Value::Int(9), Value::Int(10)])
+            .is_err());
+        assert_eq!(r.len(), 3, "failed append must not misalign columns");
+        assert_eq!(r.col_at(0).len(), r.col_at(1).len());
+    }
+
+    #[test]
+    fn nulls_allowed_anywhere() {
+        let mut r = test_rel();
+        r.append_row(&[Value::Null, Value::Null]).unwrap();
+        assert_eq!(r.row(3), vec![Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn gather_and_delete_stay_aligned() {
+        let mut r = test_rel();
+        let sel = SelVec::from_sorted(vec![0, 2]).unwrap();
+        let g = r.gather(&sel).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.row(1), vec![Value::Int(3), Value::Str("c".into())]);
+
+        r.delete_sel(&SelVec::from_sorted(vec![1]).unwrap()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(1), vec![Value::Int(3), Value::Str("c".into())]);
+    }
+
+    #[test]
+    fn project_and_add_column() {
+        let mut r = test_rel();
+        let p = r.project(&["name"]).unwrap();
+        assert_eq!(p.width(), 1);
+        assert_eq!(p.len(), 3);
+        assert!(r.project(&["missing"]).is_err());
+
+        r.add_column("score", Column::from_doubles(vec![0.1, 0.2, 0.3]))
+            .unwrap();
+        assert_eq!(r.width(), 3);
+        assert!(r
+            .add_column("score", Column::from_doubles(vec![0.0; 3]))
+            .is_err());
+        assert!(r
+            .add_column("short", Column::from_doubles(vec![0.0]))
+            .is_err());
+    }
+
+    #[test]
+    fn append_relation_positional() {
+        let mut r = test_rel();
+        let schema = Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Str)]);
+        let mut other = Relation::new(&schema);
+        other
+            .append_row(&[Value::Int(4), Value::Str("d".into())])
+            .unwrap();
+        r.append_relation(&other).unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.row(3), vec![Value::Int(4), Value::Str("d".into())]);
+
+        let bad = Relation::new(&Schema::from_pairs(&[("k", ValueType::Int)]));
+        assert!(r.append_relation(&bad).is_err());
+    }
+
+    #[test]
+    fn from_columns_checks_alignment_and_dups() {
+        let ok = Relation::from_columns(vec![
+            ("a".into(), Column::from_ints(vec![1, 2])),
+            ("b".into(), Column::from_ints(vec![3, 4])),
+        ]);
+        assert!(ok.is_ok());
+        let misaligned = Relation::from_columns(vec![
+            ("a".into(), Column::from_ints(vec![1])),
+            ("b".into(), Column::from_ints(vec![3, 4])),
+        ]);
+        assert!(misaligned.is_err());
+        let dup = Relation::from_columns(vec![
+            ("a".into(), Column::from_ints(vec![1])),
+            ("a".into(), Column::from_ints(vec![2])),
+        ]);
+        assert!(dup.is_err());
+    }
+
+    #[test]
+    fn gather_positions_repeats_rows() {
+        let r = test_rel();
+        let g = r.gather_positions(&[2, 2, 0]).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.row(0), vec![Value::Int(3), Value::Str("c".into())]);
+        assert_eq!(g.row(2), vec![Value::Int(1), Value::Str("a".into())]);
+    }
+
+    #[test]
+    fn display_dump() {
+        let r = test_rel();
+        let s = r.to_string();
+        assert!(s.starts_with("id | name"));
+        assert!(s.contains("2 | b"));
+    }
+
+    #[test]
+    fn clear_empties_all_columns() {
+        let mut r = test_rel();
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.width(), 2);
+    }
+
+    #[test]
+    fn rename_columns_positional() {
+        let mut r = test_rel();
+        r.rename_columns(vec!["x".into(), "y".into()]).unwrap();
+        assert!(r.column("x").is_ok());
+        assert!(r.rename_columns(vec!["only_one".into()]).is_err());
+    }
+}

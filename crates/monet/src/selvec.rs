@@ -1,0 +1,260 @@
+//! Selection vectors: sorted candidate lists of row positions.
+//!
+//! MonetDB-style kernels avoid materializing intermediate results by passing
+//! *candidate lists* between operators: a range select over a BAT returns the
+//! qualifying positions, the next operator only inspects those. [`SelVec`]
+//! is that structure — a strictly ascending list of `u32` positions.
+
+use crate::error::{MonetError, Result};
+
+/// A strictly ascending list of row positions within a column / relation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelVec {
+    positions: Vec<u32>,
+}
+
+impl SelVec {
+    /// Empty selection.
+    pub fn empty() -> Self {
+        SelVec::default()
+    }
+
+    /// Dense selection of every position in `0..len`.
+    pub fn all(len: usize) -> Self {
+        SelVec {
+            positions: (0..len as u32).collect(),
+        }
+    }
+
+    /// Selection of the half-open range `start..end`.
+    pub fn range(start: u32, end: u32) -> Self {
+        SelVec {
+            positions: (start..end).collect(),
+        }
+    }
+
+    /// Build from a vector that is already strictly ascending.
+    ///
+    /// Returns an error if the invariant does not hold; use
+    /// [`SelVec::from_unsorted`] to sort + dedup instead.
+    pub fn from_sorted(positions: Vec<u32>) -> Result<Self> {
+        if positions.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(MonetError::Invalid(
+                "selection vector must be strictly ascending".into(),
+            ));
+        }
+        Ok(SelVec { positions })
+    }
+
+    /// Build from arbitrary positions; sorts and removes duplicates.
+    pub fn from_unsorted(mut positions: Vec<u32>) -> Self {
+        positions.sort_unstable();
+        positions.dedup();
+        SelVec { positions }
+    }
+
+    /// Internal: construct without checking. Callers must uphold ordering.
+    pub(crate) fn from_sorted_unchecked(positions: Vec<u32>) -> Self {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        SelVec { positions }
+    }
+
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u32] {
+        &self.positions
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.positions.iter().copied()
+    }
+
+    /// Largest selected position, if any.
+    pub fn max(&self) -> Option<u32> {
+        self.positions.last().copied()
+    }
+
+    /// Binary-search membership test.
+    pub fn contains(&self, pos: u32) -> bool {
+        self.positions.binary_search(&pos).is_ok()
+    }
+
+    /// Keep only the first `n` positions (for LIMIT/TOP pushdown).
+    pub fn take_first(&self, n: usize) -> SelVec {
+        SelVec {
+            positions: self.positions.iter().take(n).copied().collect(),
+        }
+    }
+
+    /// Set intersection (both inputs ascending ⇒ linear merge).
+    pub fn intersect(&self, other: &SelVec) -> SelVec {
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (&self.positions, &other.positions);
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        SelVec { positions: out }
+    }
+
+    /// Set union (linear merge).
+    pub fn union(&self, other: &SelVec) -> SelVec {
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (&self.positions, &other.positions);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        SelVec { positions: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &SelVec) -> SelVec {
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (&self.positions, &other.positions);
+        let mut out = Vec::with_capacity(a.len());
+        while i < a.len() {
+            if j >= b.len() || a[i] < b[j] {
+                out.push(a[i]);
+                i += 1;
+            } else if a[i] == b[j] {
+                i += 1;
+                j += 1;
+            } else {
+                j += 1;
+            }
+        }
+        SelVec { positions: out }
+    }
+
+    /// Complement within a universe of `len` rows.
+    pub fn complement(&self, len: usize) -> SelVec {
+        let mut out = Vec::with_capacity(len - self.positions.len().min(len));
+        let mut next = self.positions.iter().peekable();
+        for pos in 0..len as u32 {
+            if next.peek() == Some(&&pos) {
+                next.next();
+            } else {
+                out.push(pos);
+            }
+        }
+        SelVec { positions: out }
+    }
+
+    /// Validate that every position is below `len`.
+    pub fn check_bounds(&self, len: usize) -> Result<()> {
+        match self.max() {
+            Some(m) if (m as usize) >= len => {
+                Err(MonetError::SelectionOutOfBounds { pos: m, len })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl FromIterator<u32> for SelVec {
+    /// Collects and normalizes (sorts + dedups) arbitrary positions.
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        SelVec::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[u32]) -> SelVec {
+        SelVec::from_sorted(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(SelVec::empty().len(), 0);
+        assert_eq!(SelVec::all(4).as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(SelVec::range(2, 5).as_slice(), &[2, 3, 4]);
+        assert!(SelVec::from_sorted(vec![3, 1]).is_err());
+        assert!(SelVec::from_sorted(vec![1, 1]).is_err());
+        assert_eq!(
+            SelVec::from_unsorted(vec![3, 1, 3, 2]).as_slice(),
+            &[1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn membership_and_max() {
+        let s = sv(&[1, 4, 9]);
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+        assert_eq!(s.max(), Some(9));
+        assert_eq!(SelVec::empty().max(), None);
+    }
+
+    #[test]
+    fn intersect_union_difference() {
+        let a = sv(&[1, 3, 5, 7]);
+        let b = sv(&[3, 4, 5, 8]);
+        assert_eq!(a.intersect(&b).as_slice(), &[3, 5]);
+        assert_eq!(a.union(&b).as_slice(), &[1, 3, 4, 5, 7, 8]);
+        assert_eq!(a.difference(&b).as_slice(), &[1, 7]);
+        assert_eq!(b.difference(&a).as_slice(), &[4, 8]);
+        assert_eq!(a.intersect(&SelVec::empty()).len(), 0);
+        assert_eq!(a.union(&SelVec::empty()), a);
+    }
+
+    #[test]
+    fn complement_partitions_universe() {
+        let a = sv(&[0, 2, 4]);
+        let c = a.complement(6);
+        assert_eq!(c.as_slice(), &[1, 3, 5]);
+        assert_eq!(a.union(&c), SelVec::all(6));
+        assert_eq!(a.intersect(&c).len(), 0);
+    }
+
+    #[test]
+    fn take_first_and_bounds() {
+        let a = sv(&[2, 5, 9]);
+        assert_eq!(a.take_first(2).as_slice(), &[2, 5]);
+        assert_eq!(a.take_first(10).as_slice(), &[2, 5, 9]);
+        assert!(a.check_bounds(10).is_ok());
+        assert!(matches!(
+            a.check_bounds(9),
+            Err(MonetError::SelectionOutOfBounds { pos: 9, len: 9 })
+        ));
+    }
+
+    #[test]
+    fn from_iterator_normalizes() {
+        let s: SelVec = [5u32, 1, 5, 0].into_iter().collect();
+        assert_eq!(s.as_slice(), &[0, 1, 5]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Scalar values and their types.
+//!
+//! The kernel stores data in typed columns ([`crate::column::Column`]); the
+//! [`Value`] enum is the boxed scalar used at the boundaries (row ingestion,
+//! constants in predicates, result inspection). Hot paths never touch
+//! `Value` — they run over the typed vectors directly.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a column or scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    Bool,
+    Int,
+    Double,
+    Str,
+    /// Timestamps are microseconds on a (possibly virtual) clock.
+    Ts,
+}
+
+impl ValueType {
+    /// Short lowercase name, used in error messages and schema dumps.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ValueType::Bool => "bool",
+            ValueType::Int => "int",
+            ValueType::Double => "double",
+            ValueType::Str => "str",
+            ValueType::Ts => "timestamp",
+        }
+    }
+
+    /// Whether values of this type support arithmetic.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, ValueType::Int | ValueType::Double | ValueType::Ts)
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single scalar value, possibly NULL.
+///
+/// NULL is typeless: it can be appended to a column of any type and is
+/// tracked by the column's validity bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Ts(i64),
+}
+
+impl Value {
+    /// The type of this value; `None` for NULL.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(ValueType::Bool),
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Double(_) => Some(ValueType::Double),
+            Value::Str(_) => Some(ValueType::Str),
+            Value::Ts(_) => Some(ValueType::Ts),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer view, coercing Ts; `None` for anything else.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) | Value::Ts(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Floating view, coercing Int and Ts.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            Value::Int(v) | Value::Ts(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL-style three-valued comparison: NULL compares as `None`.
+    ///
+    /// Numeric types compare across Int/Double/Ts; other cross-type
+    /// comparisons yield `None` (the planner rejects them earlier).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Ts(a), Ts(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Double(a), Double(b)) => a.partial_cmp(b),
+            // numeric cross-type
+            (Int(a), Double(b)) | (Ts(a), Double(b)) => (*a as f64).partial_cmp(b),
+            (Double(a), Int(b)) | (Double(a), Ts(b)) => a.partial_cmp(&(*b as f64)),
+            (Int(a), Ts(b)) | (Ts(a), Int(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Ts(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names() {
+        assert_eq!(ValueType::Bool.to_string(), "bool");
+        assert_eq!(ValueType::Int.to_string(), "int");
+        assert_eq!(ValueType::Double.to_string(), "double");
+        assert_eq!(ValueType::Str.to_string(), "str");
+        assert_eq!(ValueType::Ts.to_string(), "timestamp");
+    }
+
+    #[test]
+    fn numeric_types() {
+        assert!(ValueType::Int.is_numeric());
+        assert!(ValueType::Double.is_numeric());
+        assert!(ValueType::Ts.is_numeric());
+        assert!(!ValueType::Str.is_numeric());
+        assert!(!ValueType::Bool.is_numeric());
+    }
+
+    #[test]
+    fn value_type_of() {
+        assert_eq!(Value::Null.value_type(), None);
+        assert_eq!(Value::Int(1).value_type(), Some(ValueType::Int));
+        assert_eq!(Value::Ts(1).value_type(), Some(ValueType::Ts));
+    }
+
+    #[test]
+    fn coercing_views() {
+        assert_eq!(Value::Int(3).as_double(), Some(3.0));
+        assert_eq!(Value::Ts(5).as_int(), Some(5));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("ab".into()).as_str(), Some("ab"));
+    }
+
+    #[test]
+    fn sql_cmp_three_valued() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Double(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Double(2.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Str("a".into()).sql_cmp(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+        // cross-type non-numeric comparisons are undefined
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from(1.5f64), Value::Double(1.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(Value::from(String::from("t")), Value::Str("t".into()));
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Double(0.5).to_string(), "0.5");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+}

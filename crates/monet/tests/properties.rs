@@ -1,0 +1,244 @@
+//! Property-based tests for the kernel invariants.
+//!
+//! Each property pits a vectorized operator against a brute-force oracle
+//! over randomized inputs, or checks an algebraic law that the operator
+//! family must satisfy.
+
+use monet::ops::group::{agg_count_star, agg_sum, group_by};
+use monet::ops::join::{hash_join, theta_join};
+use monet::ops::select::{select_cmp, select_range};
+use monet::ops::sort::{sort_perm, SortKey};
+use monet::ops::topn::topn_perm;
+use monet::prelude::*;
+use proptest::prelude::*;
+
+/// Random nullable int column (None = NULL) plus its oracle representation.
+fn nullable_ints() -> impl Strategy<Value = Vec<Option<i64>>> {
+    prop::collection::vec(prop::option::weighted(0.9, -50i64..50), 0..200)
+}
+
+fn column_of(vals: &[Option<i64>]) -> Column {
+    let mut c = Column::new(ValueType::Int);
+    for v in vals {
+        c.push(v.map(Value::Int).unwrap_or(Value::Null)).unwrap();
+    }
+    c
+}
+
+/// Random strictly-ascending selection over a universe of size `len`.
+fn selection(len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0..len.max(1) as u32, 0..=len)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn select_range_matches_oracle(
+        vals in nullable_ints(),
+        lo in -60i64..60,
+        width in 0i64..40,
+        lo_incl in any::<bool>(),
+        hi_incl in any::<bool>(),
+    ) {
+        let hi = lo + width;
+        let col = column_of(&vals);
+        let got = select_range(&col, &Value::Int(lo), &Value::Int(hi), lo_incl, hi_incl, None)
+            .unwrap();
+        let want: Vec<u32> = vals.iter().enumerate().filter_map(|(i, v)| {
+            let v = (*v)?;
+            let okl = if lo_incl { v >= lo } else { v > lo };
+            let okh = if hi_incl { v <= hi } else { v < hi };
+            (okl && okh).then_some(i as u32)
+        }).collect();
+        prop_assert_eq!(got.as_slice(), &want[..]);
+    }
+
+    #[test]
+    fn select_cmp_matches_oracle(vals in nullable_ints(), k in -60i64..60) {
+        let col = column_of(&vals);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let got = select_cmp(&col, op, &Value::Int(k), None).unwrap();
+            let want: Vec<u32> = vals.iter().enumerate().filter_map(|(i, v)| {
+                let v = (*v)?;
+                op.eval(v.cmp(&k)).then_some(i as u32)
+            }).collect();
+            prop_assert_eq!(got.as_slice(), &want[..], "op {:?}", op);
+        }
+    }
+
+    #[test]
+    fn selvec_algebra(len in 0usize..100, a in selection(100), b in selection(100)) {
+        let universe = len.max(a.last().map_or(0, |&x| x as usize + 1))
+            .max(b.last().map_or(0, |&x| x as usize + 1));
+        let a = SelVec::from_sorted(a).unwrap();
+        let b = SelVec::from_sorted(b).unwrap();
+        // De Morgan: (A ∪ B)ᶜ = Aᶜ ∩ Bᶜ
+        prop_assert_eq!(
+            a.union(&b).complement(universe),
+            a.complement(universe).intersect(&b.complement(universe))
+        );
+        // A \ B = A ∩ Bᶜ
+        prop_assert_eq!(a.difference(&b), a.intersect(&b.complement(universe)));
+        // idempotence + commutativity
+        let self_union = a.union(&a);
+        prop_assert_eq!(self_union.as_slice(), a.as_slice());
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        // partition: |A ∩ B| + |A \ B| = |A|
+        prop_assert_eq!(a.intersect(&b).len() + a.difference(&b).len(), a.len());
+    }
+
+    #[test]
+    fn delete_shift_equals_compose(vals in nullable_ints(), dead in selection(200)) {
+        let dead: Vec<u32> = dead.into_iter().filter(|&p| (p as usize) < vals.len()).collect();
+        let sel = SelVec::from_sorted(dead).unwrap();
+        let col = column_of(&vals);
+        let rel = |c: &Column| Relation::from_columns(vec![("x".into(), c.clone())]).unwrap();
+        let mut a = rel(&col);
+        let mut b = rel(&col);
+        monet::ops::delete::delete_shift(&mut a, &sel).unwrap();
+        monet::ops::delete::delete_compose(&mut b, &sel).unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            prop_assert_eq!(a.row(i), b.row(i));
+        }
+        prop_assert_eq!(a.len(), vals.len() - sel.len());
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop(l in nullable_ints(), r in nullable_ints()) {
+        let (lc, rc) = (column_of(&l), column_of(&r));
+        let got = hash_join(&lc, &rc, None, None).unwrap();
+        let mut got_pairs: Vec<(u32, u32)> =
+            got.left.iter().copied().zip(got.right.iter().copied()).collect();
+        got_pairs.sort_unstable();
+        let mut want = Vec::new();
+        for (i, lv) in l.iter().enumerate() {
+            for (j, rv) in r.iter().enumerate() {
+                if let (Some(a), Some(b)) = (lv, rv) {
+                    if a == b {
+                        want.push((i as u32, j as u32));
+                    }
+                }
+            }
+        }
+        want.sort_unstable();
+        prop_assert_eq!(got_pairs, want);
+    }
+
+    #[test]
+    fn theta_join_matches_oracle(l in nullable_ints(), r in nullable_ints()) {
+        // keep it quadratic-friendly
+        let l = &l[..l.len().min(40)];
+        let r = &r[..r.len().min(40)];
+        let (lc, rc) = (column_of(l), column_of(r));
+        let got = theta_join(&lc, &rc, CmpOp::Lt, None, None).unwrap();
+        let got_pairs: Vec<(u32, u32)> =
+            got.left.iter().copied().zip(got.right.iter().copied()).collect();
+        let mut want = Vec::new();
+        for (i, lv) in l.iter().enumerate() {
+            for (j, rv) in r.iter().enumerate() {
+                if let (Some(a), Some(b)) = (lv, rv) {
+                    if a < b {
+                        want.push((i as u32, j as u32));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got_pairs, want);
+    }
+
+    #[test]
+    fn sort_perm_is_a_sorted_permutation(vals in nullable_ints(), asc in any::<bool>()) {
+        let col = column_of(&vals);
+        let perm = sort_perm(&[SortKey { col: &col, ascending: asc }], None).unwrap();
+        // permutation: each position exactly once
+        let mut seen = perm.clone();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..vals.len() as u32).collect::<Vec<_>>());
+        // sortedness under NULLS FIRST (asc) / NULLS LAST (desc)
+        let keyed: Vec<Option<i64>> = perm.iter().map(|&p| vals[p as usize]).collect();
+        for w in keyed.windows(2) {
+            let ord_ok = match (w[0], w[1]) {
+                (None, _) => asc || w[1].is_none(),
+                (_, None) => !asc || w[0].is_none(),
+                (Some(a), Some(b)) => if asc { a <= b } else { a >= b },
+            };
+            prop_assert!(ord_ok, "mis-ordered pair {:?}", w);
+        }
+    }
+
+    #[test]
+    fn topn_is_prefix_of_sort(vals in nullable_ints(), n in 0usize..50, asc in any::<bool>()) {
+        let col = column_of(&vals);
+        let keys = [SortKey { col: &col, ascending: asc }];
+        let full = sort_perm(&keys, None).unwrap();
+        let top = topn_perm(&keys, n, None).unwrap();
+        prop_assert_eq!(top, full[..n.min(vals.len())].to_vec());
+    }
+
+    #[test]
+    fn group_sums_match_oracle(vals in nullable_ints(), nkeys in 1i64..8) {
+        // key = value mod nkeys (over non-null rows); value column = vals
+        let keys: Vec<i64> = (0..vals.len() as i64).map(|i| i % nkeys).collect();
+        let kcol = Column::from_ints(keys.clone());
+        let vcol = column_of(&vals);
+        let g = group_by(&[&kcol], None).unwrap();
+        let counts = agg_count_star(&g);
+        let sums = agg_sum(&vcol, &g).unwrap();
+        // oracle
+        let mut want_count = std::collections::HashMap::new();
+        let mut want_sum: std::collections::HashMap<i64, Option<i64>> =
+            std::collections::HashMap::new();
+        for (i, v) in vals.iter().enumerate() {
+            let k = keys[i];
+            *want_count.entry(k).or_insert(0i64) += 1;
+            let slot = want_sum.entry(k).or_insert(None);
+            if let Some(x) = v {
+                *slot = Some(slot.unwrap_or(0) + x);
+            }
+        }
+        // map group ids back to keys via representatives
+        for (gid, &rep) in g.representatives.iter().enumerate() {
+            let k = keys[rep as usize];
+            prop_assert_eq!(counts[gid], want_count[&k]);
+            let got = sums.get(gid);
+            let want = want_sum[&k].map(Value::Int).unwrap_or(Value::Null);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn gather_then_delete_partition(vals in nullable_ints(), picks in selection(200)) {
+        // gather(S) ++ gather(Sᶜ) is a permutation-free partition of the column
+        let picks: Vec<u32> = picks.into_iter().filter(|&p| (p as usize) < vals.len()).collect();
+        let sel = SelVec::from_sorted(picks).unwrap();
+        let col = column_of(&vals);
+        let kept = col.gather(&sel).unwrap();
+        let rest = col.gather(&sel.complement(vals.len())).unwrap();
+        prop_assert_eq!(kept.len() + rest.len(), vals.len());
+        let mut merged: Vec<Value> = kept.iter_values().chain(rest.iter_values()).collect();
+        let mut original: Vec<Value> = col.iter_values().collect();
+        let keyfn = |v: &Value| match v { Value::Int(x) => *x, _ => i64::MIN };
+        merged.sort_by_key(keyfn);
+        original.sort_by_key(keyfn);
+        prop_assert_eq!(merged, original);
+    }
+
+    #[test]
+    fn bitset_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let mut b = monet::bitset::Bitset::new();
+        for &x in &bits {
+            b.push(x);
+        }
+        prop_assert_eq!(b.len(), bits.len());
+        for (i, &x) in bits.iter().enumerate() {
+            prop_assert_eq!(b.get(i), x);
+        }
+        prop_assert_eq!(b.count_ones(), bits.iter().filter(|&&x| x).count());
+        let ones: Vec<usize> = b.iter_ones().collect();
+        let want: Vec<usize> = bits.iter().enumerate().filter_map(|(i, &x)| x.then_some(i)).collect();
+        prop_assert_eq!(ones, want);
+    }
+}

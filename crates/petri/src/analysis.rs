@@ -1,0 +1,194 @@
+//! Structural and behavioural analysis on bounded nets.
+//!
+//! Small toolbox used to sanity-check DataCell topologies before running
+//! them: bounded reachability exploration, deadlock detection, and
+//! conservation (P-invariant) checking.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::marking::Marking;
+use crate::net::{Net, TransitionId};
+
+/// Outcome of a bounded reachability exploration.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    /// All distinct markings reached (including the initial one).
+    pub markings: Vec<Marking>,
+    /// Dead markings (no enabled transitions) among them.
+    pub deadlocks: Vec<Marking>,
+    /// True if exploration exhausted the state space within the limit.
+    pub complete: bool,
+}
+
+/// Breadth-first exploration of the reachability graph, stopping after
+/// `max_states` distinct markings.
+pub fn explore(net: &Net, initial: &Marking, max_states: usize) -> Reachability {
+    let mut seen: HashSet<Marking> = HashSet::new();
+    let mut queue: VecDeque<Marking> = VecDeque::new();
+    let mut deadlocks = Vec::new();
+    seen.insert(initial.clone());
+    queue.push_back(initial.clone());
+    let mut complete = true;
+    while let Some(m) = queue.pop_front() {
+        let enabled = m.enabled_set(net);
+        if enabled.is_empty() {
+            deadlocks.push(m.clone());
+        }
+        for t in enabled {
+            let mut next = m.clone();
+            next.fire(net, t);
+            if !seen.contains(&next) {
+                if seen.len() >= max_states {
+                    complete = false;
+                    continue;
+                }
+                seen.insert(next.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    Reachability {
+        markings: seen.into_iter().collect(),
+        deadlocks,
+        complete,
+    }
+}
+
+/// Can the net reach a dead marking from `initial` (within the bound)?
+pub fn has_deadlock(net: &Net, initial: &Marking, max_states: usize) -> Option<Marking> {
+    let r = explore(net, initial, max_states);
+    r.deadlocks.into_iter().next()
+}
+
+/// Check a conservation law: `weights · marking` must be invariant under
+/// every transition (a P-semiflow). Returns the transitions that violate it.
+pub fn conservation_violations(net: &Net, weights: &[i64]) -> Vec<TransitionId> {
+    assert_eq!(
+        weights.len(),
+        net.num_places(),
+        "one weight per place required"
+    );
+    let mut violators = Vec::new();
+    for (i, t) in net.transitions().iter().enumerate() {
+        let mut delta: i64 = 0;
+        for (p, w) in &t.inputs {
+            delta -= weights[p.0] * (*w as i64);
+        }
+        for (p, w) in &t.outputs {
+            delta += weights[p.0] * (*w as i64);
+        }
+        if delta != 0 {
+            violators.push(TransitionId(i));
+        }
+    }
+    violators
+}
+
+/// Is every place bounded by `bound` across the (bounded) reachable set?
+/// `None` means exploration was cut off before the answer was certain.
+pub fn bounded_by(net: &Net, initial: &Marking, bound: u64, max_states: usize) -> Option<bool> {
+    let r = explore(net, initial, max_states);
+    let all_within = r
+        .markings
+        .iter()
+        .all(|m| m.as_slice().iter().all(|&t| t <= bound));
+    if !all_within {
+        return Some(false); // a counterexample is definitive even when cut off
+    }
+    r.complete.then_some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{Net, PlaceId};
+
+    fn chain(n: u64) -> (Net, Marking, Vec<PlaceId>) {
+        let mut b = Net::builder();
+        let p0 = b.place("p0");
+        let p1 = b.place("p1");
+        let p2 = b.place("p2");
+        b.transition("t0", vec![(p0, 1)], vec![(p1, 1)]).unwrap();
+        b.transition("t1", vec![(p1, 1)], vec![(p2, 1)]).unwrap();
+        let net = b.build();
+        let mut m = Marking::empty(&net);
+        m.set_tokens(p0, n);
+        (net, m, vec![p0, p1, p2])
+    }
+
+    #[test]
+    fn explore_counts_states() {
+        // 3 tokens through a 2-transition chain: markings are the
+        // compositions of 3 into 3 ordered bins = C(5,2) = 10
+        let (net, m, _) = chain(3);
+        let r = explore(&net, &m, 1000);
+        assert!(r.complete);
+        assert_eq!(r.markings.len(), 10);
+        assert_eq!(r.deadlocks.len(), 1, "all tokens in p2 is the only dead state");
+        assert_eq!(r.deadlocks[0].as_slice(), &[0, 0, 3]);
+    }
+
+    #[test]
+    fn deadlock_detection() {
+        let (net, m, _) = chain(1);
+        let d = has_deadlock(&net, &m, 100).unwrap();
+        assert_eq!(d.as_slice(), &[0, 0, 1]);
+
+        // a cycle never deadlocks
+        let mut b = Net::builder();
+        let p = b.place("p");
+        let q = b.place("q");
+        b.transition("t0", vec![(p, 1)], vec![(q, 1)]).unwrap();
+        b.transition("t1", vec![(q, 1)], vec![(p, 1)]).unwrap();
+        let net = b.build();
+        let mut m = Marking::empty(&net);
+        m.set_tokens(p, 1);
+        assert!(has_deadlock(&net, &m, 100).is_none());
+    }
+
+    #[test]
+    fn conservation_unit_weights() {
+        let (net, _, _) = chain(1);
+        // every transition moves exactly one token: unit weights conserved
+        assert!(conservation_violations(&net, &[1, 1, 1]).is_empty());
+        // weighting p1 double breaks it
+        assert_eq!(conservation_violations(&net, &[1, 2, 1]).len(), 2);
+    }
+
+    #[test]
+    fn conservation_catches_amplifiers() {
+        let mut b = Net::builder();
+        let p = b.place("p");
+        let q = b.place("q");
+        // produces two tokens per one consumed — a replicating stream
+        b.transition("dup", vec![(p, 1)], vec![(q, 2)]).unwrap();
+        let net = b.build();
+        assert_eq!(conservation_violations(&net, &[1, 1]).len(), 1);
+        // but weighted 2:1 it conserves
+        assert!(conservation_violations(&net, &[2, 1]).is_empty());
+    }
+
+    #[test]
+    fn boundedness() {
+        let (net, m, _) = chain(2);
+        assert_eq!(bounded_by(&net, &m, 2, 1000), Some(true));
+        assert_eq!(bounded_by(&net, &m, 1, 1000), Some(false));
+
+        // unbounded generator: exploration cut off, counterexample found
+        let mut b = Net::builder();
+        let p = b.place("p");
+        b.transition("gen", vec![], vec![(p, 1)]).unwrap();
+        let net = b.build();
+        let m = Marking::empty(&net);
+        assert_eq!(bounded_by(&net, &m, 5, 100), Some(false));
+        // tiny exploration bound with no violation found within it → unknown
+        assert_eq!(bounded_by(&net, &m, 10_000, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per place")]
+    fn conservation_arity_checked() {
+        let (net, _, _) = chain(1);
+        conservation_violations(&net, &[1]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # petri — the Petri-net processing model
+//!
+//! DataCell's scheduler follows the Petri-net abstraction (paper §2.2 and
+//! §4.1): **baskets are places**, **receptors/factories/emitters are
+//! transitions**, and a transition fires when all of its input places hold
+//! tokens, consuming inputs and producing outputs in one atomic step. The
+//! firing order is deliberately left to the scheduler.
+//!
+//! This crate is the standalone model: structure ([`net`]), state
+//! ([`marking`]), execution ([`sim`]) and analysis ([`analysis`]). The
+//! `datacell` crate mirrors its continuous-query network into one of these
+//! nets to validate topologies (deadlock freedom, boundedness under
+//! thresholds) and to drive its scheduler tests.
+//!
+//! ```
+//! use petri::net::Net;
+//! use petri::marking::Marking;
+//! use petri::sim::{run, FifoPolicy};
+//!
+//! // Figure 1 of the paper: R -> B1 -> Q -> B2 -> E
+//! let mut b = Net::builder();
+//! let stream = b.place("stream");
+//! let b1 = b.place("B1");
+//! let b2 = b.place("B2");
+//! let client = b.place("client");
+//! b.transition("R", vec![(stream, 1)], vec![(b1, 1)]).unwrap();
+//! b.transition("Q", vec![(b1, 1)], vec![(b2, 1)]).unwrap();
+//! b.transition("E", vec![(b2, 1)], vec![(client, 1)]).unwrap();
+//! let net = b.build();
+//!
+//! let mut m = Marking::empty(&net);
+//! m.set_tokens(stream, 3);
+//! let result = run(&net, m, &mut FifoPolicy, 1_000);
+//! assert!(result.quiescent);
+//! assert_eq!(result.final_marking.tokens(client), 3);
+//! ```
+
+pub mod analysis;
+pub mod marking;
+pub mod net;
+pub mod sim;
+
+pub use marking::Marking;
+pub use net::{Net, NetBuilder, NetError, Place, PlaceId, Transition, TransitionId};

@@ -1,0 +1,197 @@
+//! Markings: the token state of a net, with enablement and firing rules.
+
+use crate::net::{Net, PlaceId, TransitionId};
+
+/// Token counts per place. A marking is the Petri net's "computational
+/// state" — the paper leans on this to reason about DataCell scheduling.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Marking {
+    tokens: Vec<u64>,
+}
+
+impl Marking {
+    /// All-empty marking for `net`.
+    pub fn empty(net: &Net) -> Self {
+        Marking {
+            tokens: vec![0; net.num_places()],
+        }
+    }
+
+    /// Marking from explicit counts (must match the place count).
+    pub fn from_tokens(tokens: Vec<u64>) -> Self {
+        Marking { tokens }
+    }
+
+    pub fn tokens(&self, place: PlaceId) -> u64 {
+        self.tokens[place.0]
+    }
+
+    pub fn set_tokens(&mut self, place: PlaceId, n: u64) {
+        self.tokens[place.0] = n;
+    }
+
+    pub fn add_tokens(&mut self, place: PlaceId, n: u64) {
+        self.tokens[place.0] += n;
+    }
+
+    pub fn as_slice(&self) -> &[u64] {
+        &self.tokens
+    }
+
+    /// Total tokens across all places.
+    pub fn total(&self) -> u64 {
+        self.tokens.iter().sum()
+    }
+
+    /// A transition is enabled iff every input place holds at least the arc
+    /// weight *and* firing would not overflow any bounded output place.
+    pub fn enabled(&self, net: &Net, t: TransitionId) -> bool {
+        let tr = net.transition(t);
+        let inputs_ok = tr
+            .inputs
+            .iter()
+            .all(|(p, w)| self.tokens[p.0] >= *w);
+        if !inputs_ok {
+            return false;
+        }
+        tr.outputs.iter().all(|(p, w)| {
+            match net.place(*p).capacity {
+                Some(cap) => {
+                    // self-loops: tokens consumed on the input side free room
+                    let consumed = tr
+                        .inputs
+                        .iter()
+                        .find(|(q, _)| q == p)
+                        .map(|(_, w)| *w)
+                        .unwrap_or(0);
+                    self.tokens[p.0] - consumed + w <= cap
+                }
+                None => true,
+            }
+        })
+    }
+
+    /// All currently enabled transitions.
+    pub fn enabled_set(&self, net: &Net) -> Vec<TransitionId> {
+        (0..net.num_transitions())
+            .map(TransitionId)
+            .filter(|&t| self.enabled(net, t))
+            .collect()
+    }
+
+    /// Fire `t`: consume input tokens, produce output tokens. This is the
+    /// atomic, non-interruptible step of the model. Returns `false` (and
+    /// leaves the marking untouched) if `t` is not enabled.
+    pub fn fire(&mut self, net: &Net, t: TransitionId) -> bool {
+        if !self.enabled(net, t) {
+            return false;
+        }
+        let tr = net.transition(t);
+        for (p, w) in &tr.inputs {
+            self.tokens[p.0] -= w;
+        }
+        for (p, w) in &tr.outputs {
+            self.tokens[p.0] += w;
+        }
+        true
+    }
+
+    /// Is the marking dead (no transition enabled)?
+    pub fn is_dead(&self, net: &Net) -> bool {
+        self.enabled_set(net).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Net;
+
+    fn chain() -> (Net, Vec<PlaceId>, Vec<TransitionId>) {
+        let mut b = Net::builder();
+        let p0 = b.place("p0");
+        let p1 = b.place("p1");
+        let p2 = b.place("p2");
+        let t0 = b.transition("t0", vec![(p0, 1)], vec![(p1, 1)]).unwrap();
+        let t1 = b.transition("t1", vec![(p1, 2)], vec![(p2, 1)]).unwrap();
+        (b.build(), vec![p0, p1, p2], vec![t0, t1])
+    }
+
+    #[test]
+    fn enablement_respects_weights() {
+        let (net, p, t) = chain();
+        let mut m = Marking::empty(&net);
+        m.set_tokens(p[0], 1);
+        assert!(m.enabled(&net, t[0]));
+        assert!(!m.enabled(&net, t[1]), "t1 needs 2 tokens in p1");
+        assert!(m.fire(&net, t[0]));
+        assert_eq!(m.tokens(p[1]), 1);
+        assert!(!m.enabled(&net, t[1]));
+        m.add_tokens(p[1], 1);
+        assert!(m.enabled(&net, t[1]));
+        assert!(m.fire(&net, t[1]));
+        assert_eq!(m.as_slice(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn firing_disabled_is_a_noop() {
+        let (net, _, t) = chain();
+        let mut m = Marking::empty(&net);
+        let before = m.clone();
+        assert!(!m.fire(&net, t[0]));
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn token_conservation_on_unit_chain() {
+        let (net, p, t) = chain();
+        let mut m = Marking::empty(&net);
+        m.set_tokens(p[0], 4);
+        while m.fire(&net, t[0]) {}
+        assert_eq!(m.tokens(p[1]), 4);
+        while m.fire(&net, t[1]) {}
+        // t1 merges two tokens into one
+        assert_eq!(m.as_slice(), &[0, 0, 2]);
+        assert!(m.is_dead(&net));
+    }
+
+    #[test]
+    fn capacity_blocks_firing() {
+        let mut b = Net::builder();
+        let src = b.place("src");
+        let dst = b.place_with_capacity("dst", Some(2));
+        let t = b.transition("t", vec![(src, 1)], vec![(dst, 1)]).unwrap();
+        let net = b.build();
+        let mut m = Marking::empty(&net);
+        m.set_tokens(src, 5);
+        assert!(m.fire(&net, t));
+        assert!(m.fire(&net, t));
+        assert!(!m.enabled(&net, t), "dst at capacity");
+        assert_eq!(m.tokens(dst), 2);
+    }
+
+    #[test]
+    fn self_loop_with_capacity() {
+        // transition consumes and reproduces a token in a bounded place:
+        // always enabled as long as one token is present
+        let mut b = Net::builder();
+        let p = b.place_with_capacity("p", Some(1));
+        let t = b.transition("t", vec![(p, 1)], vec![(p, 1)]).unwrap();
+        let net = b.build();
+        let mut m = Marking::empty(&net);
+        m.set_tokens(p, 1);
+        assert!(m.enabled(&net, t));
+        assert!(m.fire(&net, t));
+        assert_eq!(m.tokens(p), 1);
+    }
+
+    #[test]
+    fn enabled_set_lists_all() {
+        let (net, p, t) = chain();
+        let mut m = Marking::empty(&net);
+        m.set_tokens(p[0], 1);
+        m.set_tokens(p[1], 2);
+        assert_eq!(m.enabled_set(&net), vec![t[0], t[1]]);
+        assert_eq!(m.total(), 3);
+    }
+}

@@ -1,0 +1,283 @@
+//! Petri-net structure: places, transitions, weighted arcs.
+//!
+//! The DataCell processing model *is* a Petri net (paper §4.1): baskets are
+//! places, factories/receptors/emitters are transitions, and the scheduler
+//! repeatedly fires enabled transitions. This module provides the net
+//! structure; [`crate::marking::Marking`] carries the token state and
+//! [`crate::sim`] executes firing sequences.
+
+use std::fmt;
+
+/// Index of a place within a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(pub usize);
+
+/// Index of a transition within a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionId(pub usize);
+
+/// A place: token holder with an optional capacity bound.
+#[derive(Debug, Clone)]
+pub struct Place {
+    pub name: String,
+    /// Maximum tokens the place may hold (`None` = unbounded). Firing a
+    /// transition that would overflow a bounded output place is disabled.
+    pub capacity: Option<u64>,
+}
+
+/// A transition with weighted input and output arcs.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    pub name: String,
+    /// `(place, weight)`: tokens consumed per firing.
+    pub inputs: Vec<(PlaceId, u64)>,
+    /// `(place, weight)`: tokens produced per firing.
+    pub outputs: Vec<(PlaceId, u64)>,
+}
+
+/// An immutable Petri-net structure, built via [`NetBuilder`].
+#[derive(Debug, Clone, Default)]
+pub struct Net {
+    places: Vec<Place>,
+    transitions: Vec<Transition>,
+}
+
+impl Net {
+    pub fn builder() -> NetBuilder {
+        NetBuilder::default()
+    }
+
+    pub fn places(&self) -> &[Place] {
+        &self.places
+    }
+
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    pub fn place(&self, id: PlaceId) -> &Place {
+        &self.places[id.0]
+    }
+
+    pub fn transition(&self, id: TransitionId) -> &Transition {
+        &self.transitions[id.0]
+    }
+
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Transitions that read from `place`.
+    pub fn consumers_of(&self, place: PlaceId) -> Vec<TransitionId> {
+        self.transitions
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.inputs.iter().any(|(p, _)| *p == place))
+            .map(|(i, _)| TransitionId(i))
+            .collect()
+    }
+
+    /// Transitions that write to `place`.
+    pub fn producers_of(&self, place: PlaceId) -> Vec<TransitionId> {
+        self.transitions
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.outputs.iter().any(|(p, _)| *p == place))
+            .map(|(i, _)| TransitionId(i))
+            .collect()
+    }
+
+    /// Places with no producing transition (net sources — stream entry
+    /// points in DataCell).
+    pub fn source_places(&self) -> Vec<PlaceId> {
+        (0..self.places.len())
+            .map(PlaceId)
+            .filter(|&p| self.producers_of(p).is_empty())
+            .collect()
+    }
+
+    /// Places with no consuming transition (net sinks — emitter outputs).
+    pub fn sink_places(&self) -> Vec<PlaceId> {
+        (0..self.places.len())
+            .map(PlaceId)
+            .filter(|&p| self.consumers_of(p).is_empty())
+            .collect()
+    }
+}
+
+impl fmt::Display for Net {
+    /// Dot-ish dump for debugging DataCell topologies.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "petri net: {} places, {} transitions", self.places.len(), self.transitions.len())?;
+        for (i, t) in self.transitions.iter().enumerate() {
+            let ins: Vec<String> = t
+                .inputs
+                .iter()
+                .map(|(p, w)| format!("{}×{}", self.places[p.0].name, w))
+                .collect();
+            let outs: Vec<String> = t
+                .outputs
+                .iter()
+                .map(|(p, w)| format!("{}×{}", self.places[p.0].name, w))
+                .collect();
+            writeln!(f, "  t{i} {}: [{}] -> [{}]", t.name, ins.join(", "), outs.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised while assembling a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    UnknownPlace(usize),
+    ZeroWeightArc,
+    DuplicateArc { transition: String, place: String },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownPlace(i) => write!(f, "unknown place id {i}"),
+            NetError::ZeroWeightArc => write!(f, "arc weight must be positive"),
+            NetError::DuplicateArc { transition, place } => {
+                write!(f, "duplicate arc between {transition} and {place}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Incremental net constructor.
+#[derive(Debug, Default)]
+pub struct NetBuilder {
+    net: Net,
+}
+
+impl NetBuilder {
+    /// Add an unbounded place.
+    pub fn place(&mut self, name: impl Into<String>) -> PlaceId {
+        self.place_with_capacity(name, None)
+    }
+
+    /// Add a place with a token capacity.
+    pub fn place_with_capacity(
+        &mut self,
+        name: impl Into<String>,
+        capacity: Option<u64>,
+    ) -> PlaceId {
+        self.net.places.push(Place {
+            name: name.into(),
+            capacity,
+        });
+        PlaceId(self.net.places.len() - 1)
+    }
+
+    /// Add a transition with weighted input/output arcs.
+    pub fn transition(
+        &mut self,
+        name: impl Into<String>,
+        inputs: Vec<(PlaceId, u64)>,
+        outputs: Vec<(PlaceId, u64)>,
+    ) -> Result<TransitionId, NetError> {
+        let name = name.into();
+        for (p, w) in inputs.iter().chain(outputs.iter()) {
+            if p.0 >= self.net.places.len() {
+                return Err(NetError::UnknownPlace(p.0));
+            }
+            if *w == 0 {
+                return Err(NetError::ZeroWeightArc);
+            }
+        }
+        for list in [&inputs, &outputs] {
+            for (i, (p, _)) in list.iter().enumerate() {
+                if list.iter().skip(i + 1).any(|(q, _)| q == p) {
+                    return Err(NetError::DuplicateArc {
+                        transition: name.clone(),
+                        place: self.net.places[p.0].name.clone(),
+                    });
+                }
+            }
+        }
+        self.net.transitions.push(Transition {
+            name,
+            inputs,
+            outputs,
+        });
+        Ok(TransitionId(self.net.transitions.len() - 1))
+    }
+
+    pub fn build(self) -> Net {
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 topology: R → B1 → Q → B2 → E.
+    pub(crate) fn figure1() -> (Net, Vec<PlaceId>, Vec<TransitionId>) {
+        let mut b = Net::builder();
+        let stream = b.place("stream");
+        let b1 = b.place("B1");
+        let b2 = b.place("B2");
+        let out = b.place("client");
+        let r = b.transition("R", vec![(stream, 1)], vec![(b1, 1)]).unwrap();
+        let q = b.transition("Q", vec![(b1, 1)], vec![(b2, 1)]).unwrap();
+        let e = b.transition("E", vec![(b2, 1)], vec![(out, 1)]).unwrap();
+        (b.build(), vec![stream, b1, b2, out], vec![r, q, e])
+    }
+
+    #[test]
+    fn build_figure1() {
+        let (net, places, trans) = figure1();
+        assert_eq!(net.num_places(), 4);
+        assert_eq!(net.num_transitions(), 3);
+        assert_eq!(net.consumers_of(places[1]), vec![trans[1]]);
+        assert_eq!(net.producers_of(places[1]), vec![trans[0]]);
+        assert_eq!(net.source_places(), vec![places[0]]);
+        assert_eq!(net.sink_places(), vec![places[3]]);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let mut b = Net::builder();
+        let p = b.place("p");
+        assert_eq!(
+            b.transition("t", vec![(PlaceId(9), 1)], vec![]),
+            Err(NetError::UnknownPlace(9))
+        );
+        assert_eq!(
+            b.transition("t", vec![(p, 0)], vec![]),
+            Err(NetError::ZeroWeightArc)
+        );
+        assert!(matches!(
+            b.transition("t", vec![(p, 1), (p, 1)], vec![]),
+            Err(NetError::DuplicateArc { .. })
+        ));
+        // source/sink transitions (empty side) are fine
+        assert!(b.transition("gen", vec![], vec![(p, 1)]).is_ok());
+        assert!(b.transition("sink", vec![(p, 1)], vec![]).is_ok());
+    }
+
+    #[test]
+    fn display_dump() {
+        let (net, _, _) = figure1();
+        let s = net.to_string();
+        assert!(s.contains("t1 Q: [B1×1] -> [B2×1]"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(NetError::UnknownPlace(3).to_string(), "unknown place id 3");
+        assert_eq!(
+            NetError::ZeroWeightArc.to_string(),
+            "arc weight must be positive"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Firing-sequence simulation.
+//!
+//! The Petri-net model leaves firing order explicitly undefined (§2.2);
+//! schedulers pick an order. The simulator runs a net under a pluggable
+//! [`FiringPolicy`] and records the trace — this is the reference model the
+//! DataCell scheduler is tested against.
+
+use crate::marking::Marking;
+use crate::net::{Net, TransitionId};
+
+/// Chooses which enabled transition fires next.
+pub trait FiringPolicy {
+    fn choose(&mut self, net: &Net, marking: &Marking, enabled: &[TransitionId])
+        -> Option<TransitionId>;
+}
+
+/// Always fires the lowest-numbered enabled transition — deterministic and
+/// equivalent to a round-robin scheduler that restarts from the top.
+#[derive(Debug, Default, Clone)]
+pub struct FifoPolicy;
+
+impl FiringPolicy for FifoPolicy {
+    fn choose(
+        &mut self,
+        _net: &Net,
+        _marking: &Marking,
+        enabled: &[TransitionId],
+    ) -> Option<TransitionId> {
+        enabled.first().copied()
+    }
+}
+
+/// Round-robin over transitions, remembering the last fired index so every
+/// transition gets a turn (fair scheduling, like the DataCell scheduler's
+/// loop over factories).
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobinPolicy {
+    cursor: usize,
+}
+
+impl FiringPolicy for RoundRobinPolicy {
+    fn choose(
+        &mut self,
+        net: &Net,
+        _marking: &Marking,
+        enabled: &[TransitionId],
+    ) -> Option<TransitionId> {
+        if enabled.is_empty() {
+            return None;
+        }
+        let n = net.num_transitions();
+        for off in 1..=n {
+            let cand = TransitionId((self.cursor + off) % n);
+            if enabled.contains(&cand) {
+                self.cursor = cand.0;
+                return Some(cand);
+            }
+        }
+        None
+    }
+}
+
+/// Pseudo-random policy with an embedded linear congruential generator —
+/// deterministic per seed without external dependencies.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    state: u64,
+}
+
+impl RandomPolicy {
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            state: seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+impl FiringPolicy for RandomPolicy {
+    fn choose(
+        &mut self,
+        _net: &Net,
+        _marking: &Marking,
+        enabled: &[TransitionId],
+    ) -> Option<TransitionId> {
+        if enabled.is_empty() {
+            None
+        } else {
+            Some(enabled[(self.next_u64() % enabled.len() as u64) as usize])
+        }
+    }
+}
+
+/// Result of a bounded simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// Sequence of fired transitions.
+    pub trace: Vec<TransitionId>,
+    /// Final marking.
+    pub final_marking: Marking,
+    /// True if the run stopped because no transition was enabled (as
+    /// opposed to hitting the step limit).
+    pub quiescent: bool,
+}
+
+/// Run at most `max_steps` firings under `policy`.
+pub fn run(
+    net: &Net,
+    initial: Marking,
+    policy: &mut dyn FiringPolicy,
+    max_steps: usize,
+) -> SimResult {
+    let mut marking = initial;
+    let mut trace = Vec::new();
+    for _ in 0..max_steps {
+        let enabled = marking.enabled_set(net);
+        match policy.choose(net, &marking, &enabled) {
+            Some(t) if marking.fire(net, t) => trace.push(t),
+            _ => {
+                return SimResult {
+                    trace,
+                    final_marking: marking,
+                    quiescent: true,
+                };
+            }
+        }
+    }
+    let quiescent = marking.is_dead(net);
+    SimResult {
+        trace,
+        final_marking: marking,
+        quiescent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{Net, PlaceId};
+
+    /// R → B1 → Q → B2 → E pipeline with `n` initial stream tokens.
+    fn pipeline(n: u64) -> (Net, Marking, Vec<PlaceId>) {
+        let mut b = Net::builder();
+        let stream = b.place("stream");
+        let b1 = b.place("B1");
+        let b2 = b.place("B2");
+        let out = b.place("out");
+        b.transition("R", vec![(stream, 1)], vec![(b1, 1)]).unwrap();
+        b.transition("Q", vec![(b1, 1)], vec![(b2, 1)]).unwrap();
+        b.transition("E", vec![(b2, 1)], vec![(out, 1)]).unwrap();
+        let net = b.build();
+        let mut m = Marking::empty(&net);
+        m.set_tokens(stream, n);
+        (net, m, vec![stream, b1, b2, out])
+    }
+
+    #[test]
+    fn fifo_drains_pipeline() {
+        let (net, m, p) = pipeline(5);
+        let mut policy = FifoPolicy;
+        let res = run(&net, m, &mut policy, 1000);
+        assert!(res.quiescent);
+        assert_eq!(res.final_marking.tokens(p[3]), 5);
+        assert_eq!(res.trace.len(), 15, "5 tokens × 3 stages");
+    }
+
+    #[test]
+    fn round_robin_drains_pipeline_fairly() {
+        let (net, m, p) = pipeline(5);
+        let mut policy = RoundRobinPolicy::default();
+        let res = run(&net, m, &mut policy, 1000);
+        assert!(res.quiescent);
+        assert_eq!(res.final_marking.tokens(p[3]), 5);
+        // fairness: no transition fires twice before another enabled one
+        // (weak check: trace alternates in the steady state)
+        assert_eq!(res.trace.len(), 15);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_seed() {
+        let (net, m, _) = pipeline(10);
+        let r1 = run(&net, m.clone(), &mut RandomPolicy::new(7), 1000);
+        let r2 = run(&net, m.clone(), &mut RandomPolicy::new(7), 1000);
+        assert_eq!(r1.trace, r2.trace);
+        let r3 = run(&net, m, &mut RandomPolicy::new(8), 1000);
+        // different seed almost surely gives a different order (same length)
+        assert_eq!(r3.trace.len(), r1.trace.len());
+    }
+
+    #[test]
+    fn all_policies_reach_same_final_marking() {
+        // Confluence on a conflict-free net: final marking is policy-independent.
+        let (net, m, _) = pipeline(8);
+        let f = run(&net, m.clone(), &mut FifoPolicy, 10_000).final_marking;
+        let rr = run(&net, m.clone(), &mut RoundRobinPolicy::default(), 10_000).final_marking;
+        let rnd = run(&net, m, &mut RandomPolicy::new(1), 10_000).final_marking;
+        assert_eq!(f, rr);
+        assert_eq!(f, rnd);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_nets() {
+        // a generator transition with no inputs never quiesces
+        let mut b = Net::builder();
+        let p = b.place("p");
+        b.transition("gen", vec![], vec![(p, 1)]).unwrap();
+        let net = b.build();
+        let res = run(&net, Marking::empty(&net), &mut FifoPolicy, 100);
+        assert_eq!(res.trace.len(), 100);
+        assert!(!res.quiescent);
+        assert_eq!(res.final_marking.tokens(p), 100);
+    }
+}

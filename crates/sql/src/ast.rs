@@ -1,0 +1,313 @@
+//! Abstract syntax for the DataCell SQL dialect.
+//!
+//! The dialect is the SQL'03 select-from-where-groupby core plus the
+//! paper's orthogonal extensions:
+//!
+//! * **basket expressions** — `[select ...]` in a FROM clause: a consuming
+//!   sub-query whose referenced tuples are removed from their baskets;
+//! * **`TOP n`** — result-set size constraint (the paper's fixed-size
+//!   window idiom);
+//! * **`WITH x AS [..] BEGIN stmt; ... END`** — compound split blocks that
+//!   route one basket binding to several inserts;
+//! * **`DECLARE` / `SET`** — global variables for incremental aggregates.
+
+use monet::value::{Value, ValueType};
+
+/// A full statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Select(SelectStmt),
+    /// `INSERT INTO t [(cols)] <select>`
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        source: SelectStmt,
+    },
+    /// `WITH name AS [select ...] BEGIN stmt; ... END`
+    With {
+        binding: String,
+        /// The basket expression bound to `binding` (consuming).
+        source: SelectStmt,
+        body: Vec<Stmt>,
+    },
+    /// `DECLARE name type`
+    Declare { name: String, vtype: ValueType },
+    /// `SET name = expr`
+    Set { name: String, expr: Expr },
+    /// `CREATE TABLE/BASKET/STREAM name (col type, ...)`
+    Create {
+        kind: CreateKind,
+        name: String,
+        fields: Vec<(String, ValueType)>,
+    },
+}
+
+/// What a CREATE statement creates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateKind {
+    Table,
+    Basket,
+    Stream,
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    /// `TOP n` — precise result-set size constraint.
+    pub top: Option<u64>,
+    pub projection: Vec<SelectItem>,
+    pub from: Vec<FromItem>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    /// `(expr, ascending)`
+    pub order_by: Vec<(Expr, bool)>,
+    pub limit: Option<u64>,
+    /// `UNION [ALL] <select>` continuation.
+    pub union: Option<(bool, Box<SelectStmt>)>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// `alias.*`
+    QualifiedStar(String),
+    /// expression with optional output alias
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// One FROM-clause source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    /// Plain table or basket reference (non-consuming outside brackets).
+    Table { name: String, alias: Option<String> },
+    /// `[select ...] AS alias` — consuming basket expression.
+    Basket {
+        query: Box<SelectStmt>,
+        alias: Option<String>,
+    },
+    /// `(select ...) AS alias` — ordinary derived table (non-consuming).
+    Subquery {
+        query: Box<SelectStmt>,
+        alias: String,
+    },
+}
+
+impl FromItem {
+    /// The name this item binds in the enclosing scope.
+    pub fn binding(&self) -> Option<&str> {
+        match self {
+            FromItem::Table { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            FromItem::Basket { alias, .. } => alias.as_deref(),
+            FromItem::Subquery { alias, .. } => Some(alias),
+        }
+    }
+}
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `a` or `t.a`
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Literal(Value),
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Between {
+        expr: Box<Expr>,
+        lo: Box<Expr>,
+        hi: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    /// `f(args)`; `star` marks `f(*)` (e.g. `count(*)`, the paper's
+    /// `sum(*)`).
+    FuncCall {
+        name: String,
+        args: Vec<Expr>,
+        star: bool,
+    },
+    /// `(select ...)` used as a scalar.
+    ScalarSubquery(Box<SelectStmt>),
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn qcol(q: &str, name: &str) -> Expr {
+        Expr::Column {
+            qualifier: Some(q.to_string()),
+            name: name.to_string(),
+        }
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    /// Does this expression (recursively) contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::FuncCall { name, args, .. } => {
+                is_aggregate_name(name) || args.iter().any(|a| a.contains_aggregate())
+            }
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Column { .. } | Expr::Literal(_) | Expr::ScalarSubquery(_) => false,
+        }
+    }
+
+    /// Split an expression into its top-level AND conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                let mut v = left.conjuncts();
+                v.extend(right.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+}
+
+/// Aggregate function names recognized by the executor.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(name, "count" | "sum" | "avg" | "min" | "max" | "count_distinct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_splitting() {
+        let e = Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::And, Expr::col("a"), Expr::col("b")),
+            Expr::bin(BinOp::Or, Expr::col("c"), Expr::col("d")),
+        );
+        let c = e.conjuncts();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], &Expr::col("a"));
+        // the OR stays intact
+        assert!(matches!(c[2], Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::FuncCall {
+            name: "sum".into(),
+            args: vec![Expr::col("x")],
+            star: false,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::bin(BinOp::Add, Expr::lit(1i64), agg);
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+        let func = Expr::FuncCall {
+            name: "abs".into(),
+            args: vec![Expr::col("x")],
+            star: false,
+        };
+        assert!(!func.contains_aggregate());
+    }
+
+    #[test]
+    fn from_item_binding() {
+        let t = FromItem::Table {
+            name: "R".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding(), Some("R"));
+        let t = FromItem::Table {
+            name: "R".into(),
+            alias: Some("x".into()),
+        };
+        assert_eq!(t.binding(), Some("x"));
+        let b = FromItem::Basket {
+            query: Box::new(SelectStmt::default()),
+            alias: Some("S".into()),
+        };
+        assert_eq!(b.binding(), Some("S"));
+    }
+}

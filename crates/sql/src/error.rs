@@ -1,0 +1,74 @@
+//! Errors for the SQL front-end and executor.
+
+use std::fmt;
+
+use monet::error::MonetError;
+
+/// Errors across lexing, parsing and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error at a byte offset.
+    Lex { offset: usize, message: String },
+    /// Syntax error at a byte offset.
+    Parse { offset: usize, message: String },
+    /// Semantic/runtime error while executing a statement.
+    Exec(String),
+    /// Unknown column reference.
+    UnknownColumn(String),
+    /// Ambiguous unqualified column reference.
+    AmbiguousColumn(String),
+    /// Unknown table/basket/variable.
+    Unknown(String),
+    /// Kernel error bubbled up.
+    Kernel(MonetError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => write!(f, "lex error at {offset}: {message}"),
+            SqlError::Parse { offset, message } => {
+                write!(f, "parse error at {offset}: {message}")
+            }
+            SqlError::Exec(m) => write!(f, "execution error: {m}"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SqlError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            SqlError::Unknown(n) => write!(f, "unknown name: {n}"),
+            SqlError::Kernel(e) => write!(f, "kernel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<MonetError> for SqlError {
+    fn from(e: MonetError) -> Self {
+        SqlError::Kernel(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            SqlError::Lex {
+                offset: 3,
+                message: "x".into()
+            }
+            .to_string(),
+            "lex error at 3: x"
+        );
+        assert_eq!(
+            SqlError::UnknownColumn("a.b".into()).to_string(),
+            "unknown column: a.b"
+        );
+        let k: SqlError = MonetError::NotFound("t".into()).into();
+        assert_eq!(k.to_string(), "kernel error: not found: t");
+    }
+}

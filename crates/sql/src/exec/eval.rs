@@ -1,0 +1,513 @@
+//! Vectorized expression evaluation.
+//!
+//! `eval_expr` turns an AST expression into a column of the same length as
+//! the input relation. Column references resolve against the relation's
+//! (possibly alias-qualified) names; names that resolve nowhere fall back
+//! to global variables — that is how the paper's parameterized continuous
+//! queries (`where S.a > v1`) read their thresholds.
+
+use monet::column::Column;
+use monet::ops::arith::{self, ArithOp};
+use monet::ops::CmpOp;
+use monet::prelude::*;
+
+use crate::ast::{BinOp, Expr, SelectItem, UnaryOp};
+use crate::error::{Result, SqlError};
+use crate::exec::select::run_select;
+use crate::exec::{ExecEnv, QueryContext};
+
+/// Resolve a column reference against qualified relation names.
+///
+/// Relation columns are stored as `alias.col` (or bare `col` for scans
+/// without alias). Resolution rules:
+/// * qualified `t.a` → exact `t.a`;
+/// * unqualified `a` → exact `a`, else unique suffix `*.a` (ambiguity is
+///   an error).
+pub fn resolve_column(rel: &Relation, qualifier: Option<&str>, name: &str) -> Result<usize> {
+    let names = rel.names();
+    if let Some(q) = qualifier {
+        let want = format!("{q}.{name}");
+        if let Some(i) = names.iter().position(|n| *n == want) {
+            return Ok(i);
+        }
+        return Err(SqlError::UnknownColumn(want));
+    }
+    if let Some(i) = names.iter().position(|n| n == name) {
+        return Ok(i);
+    }
+    let suffix = format!(".{name}");
+    let mut hits = names.iter().enumerate().filter(|(_, n)| n.ends_with(&suffix));
+    match (hits.next(), hits.next()) {
+        (Some((i, _)), None) => Ok(i),
+        (Some(_), Some(_)) => Err(SqlError::AmbiguousColumn(name.to_string())),
+        (None, _) => Err(SqlError::UnknownColumn(name.to_string())),
+    }
+}
+
+fn broadcast(v: &Value, n: usize) -> Result<Column> {
+    let vtype = v.value_type().unwrap_or(ValueType::Int);
+    let mut col = Column::with_capacity(vtype, n);
+    for _ in 0..n {
+        col.push(v.clone())?;
+    }
+    Ok(col)
+}
+
+/// Evaluate `expr` over every row of `rel`.
+pub fn eval_expr(
+    expr: &Expr,
+    rel: &Relation,
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+) -> Result<Column> {
+    let n = rel.len();
+    match expr {
+        Expr::Column { qualifier, name } => {
+            match resolve_column(rel, qualifier.as_deref(), name) {
+                Ok(i) => Ok(rel.col_at(i).clone()),
+                Err(SqlError::UnknownColumn(_)) if qualifier.is_none() => {
+                    // fall back to a global variable broadcast
+                    match env.lookup_var(ctx, name) {
+                        Some(v) => broadcast(&v, n),
+                        None => Err(SqlError::UnknownColumn(name.clone())),
+                    }
+                }
+                Err(e) => Err(e),
+            }
+        }
+        Expr::Literal(v) => broadcast(v, n),
+        Expr::Unary { op, expr } => {
+            let c = eval_expr(expr, rel, ctx, env)?;
+            match op {
+                UnaryOp::Neg => Ok(arith::arith_const(ArithOp::Sub, &c, &Value::Int(0), false)?),
+                UnaryOp::Not => Ok(arith::not3(&c)?),
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval_expr(left, rel, ctx, env)?;
+            let r = eval_expr(right, rel, ctx, env)?;
+            eval_binary(*op, &l, &r)
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            let c = eval_expr(expr, rel, ctx, env)?;
+            let lo = eval_expr(lo, rel, ctx, env)?;
+            let hi = eval_expr(hi, rel, ctx, env)?;
+            let ge = arith::compare(CmpOp::Ge, &c, &lo)?;
+            let le = arith::compare(CmpOp::Le, &c, &hi)?;
+            let within = arith::and3(&ge, &le)?;
+            if *negated {
+                Ok(arith::not3(&within)?)
+            } else {
+                Ok(within)
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let c = eval_expr(expr, rel, ctx, env)?;
+            let mut acc: Option<Column> = None;
+            for item in list {
+                let item_col = eval_expr(item, rel, ctx, env)?;
+                let eq = arith::compare(CmpOp::Eq, &c, &item_col)?;
+                acc = Some(match acc {
+                    None => eq,
+                    Some(prev) => arith::or3(&prev, &eq)?,
+                });
+            }
+            let any = acc.ok_or_else(|| SqlError::Exec("empty IN list".into()))?;
+            if *negated {
+                Ok(arith::not3(&any)?)
+            } else {
+                Ok(any)
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let c = eval_expr(expr, rel, ctx, env)?;
+            let mut out = Column::with_capacity(ValueType::Bool, n);
+            for i in 0..c.len() {
+                let is_null = !c.is_valid(i);
+                out.push(Value::Bool(is_null != *negated))?;
+            }
+            Ok(out)
+        }
+        Expr::FuncCall { name, args, star } => eval_func(name, args, *star, rel, ctx, env),
+        Expr::ScalarSubquery(sub) => {
+            let v = scalar_subquery(sub, ctx, env)?;
+            broadcast(&v, n)
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
+    let arith_op = match op {
+        BinOp::Add => Some(ArithOp::Add),
+        BinOp::Sub => Some(ArithOp::Sub),
+        BinOp::Mul => Some(ArithOp::Mul),
+        BinOp::Div => Some(ArithOp::Div),
+        BinOp::Mod => Some(ArithOp::Mod),
+        _ => None,
+    };
+    if let Some(aop) = arith_op {
+        return Ok(arith::arith(aop, l, r)?);
+    }
+    let cmp = match op {
+        BinOp::Eq => Some(CmpOp::Eq),
+        BinOp::Ne => Some(CmpOp::Ne),
+        BinOp::Lt => Some(CmpOp::Lt),
+        BinOp::Le => Some(CmpOp::Le),
+        BinOp::Gt => Some(CmpOp::Gt),
+        BinOp::Ge => Some(CmpOp::Ge),
+        _ => None,
+    };
+    if let Some(cop) = cmp {
+        return Ok(arith::compare(cop, l, r)?);
+    }
+    match op {
+        BinOp::And => Ok(arith::and3(l, r)?),
+        BinOp::Or => Ok(arith::or3(l, r)?),
+        _ => unreachable!("all operators covered"),
+    }
+}
+
+/// Scalar (non-aggregate) builtin functions.
+fn eval_func(
+    name: &str,
+    args: &[Expr],
+    star: bool,
+    rel: &Relation,
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+) -> Result<Column> {
+    let n = rel.len();
+    match name {
+        // Aggregates reaching this path means the query had no GROUP BY
+        // handling for them — the select pipeline intercepts them first.
+        _ if crate::ast::is_aggregate_name(name) => Err(SqlError::Exec(format!(
+            "aggregate {name} not allowed in this position"
+        ))),
+        "now" => broadcast(&Value::Ts(ctx.now()), n),
+        // The metronome's pacing is enforced by the engine's metronome
+        // component; as an expression it evaluates to the current tick.
+        "metronome" => {
+            if star || args.len() != 1 {
+                return Err(SqlError::Exec("metronome(interval) takes one argument".into()));
+            }
+            let interval = eval_scalar(&args[0], ctx, env)?
+                .as_int()
+                .ok_or_else(|| SqlError::Exec("metronome interval must be numeric".into()))?;
+            if interval <= 0 {
+                return Err(SqlError::Exec("metronome interval must be positive".into()));
+            }
+            let tick = ctx.now() - ctx.now().rem_euclid(interval);
+            broadcast(&Value::Ts(tick), n)
+        }
+        "abs" | "floor" | "ceil" | "sqrt" => {
+            if args.len() != 1 {
+                return Err(SqlError::Exec(format!("{name} takes one argument")));
+            }
+            let c = eval_expr(&args[0], rel, ctx, env)?;
+            map_numeric(name, &c)
+        }
+        other => Err(SqlError::Exec(format!("unknown function {other}"))),
+    }
+}
+
+fn map_numeric(name: &str, c: &Column) -> Result<Column> {
+    let out_type = match (name, c.vtype()) {
+        ("abs", ValueType::Int | ValueType::Ts) => ValueType::Int,
+        ("abs", ValueType::Double) => ValueType::Double,
+        ("sqrt", _) => ValueType::Double,
+        ("floor" | "ceil", _) => ValueType::Int,
+        _ => {
+            return Err(SqlError::Exec(format!(
+                "{name} not defined on {}",
+                c.vtype()
+            )))
+        }
+    };
+    let mut out = Column::with_capacity(out_type, c.len());
+    for i in 0..c.len() {
+        if !c.is_valid(i) {
+            out.push(Value::Null)?;
+            continue;
+        }
+        let v = c.get(i);
+        let result = match name {
+            "abs" => match v {
+                Value::Int(x) | Value::Ts(x) => Value::Int(x.abs()),
+                Value::Double(x) => Value::Double(x.abs()),
+                _ => return Err(SqlError::Exec("abs on non-numeric".into())),
+            },
+            "sqrt" => Value::Double(
+                v.as_double()
+                    .ok_or_else(|| SqlError::Exec("sqrt on non-numeric".into()))?
+                    .sqrt(),
+            ),
+            "floor" => Value::Int(
+                v.as_double()
+                    .ok_or_else(|| SqlError::Exec("floor on non-numeric".into()))?
+                    .floor() as i64,
+            ),
+            "ceil" => Value::Int(
+                v.as_double()
+                    .ok_or_else(|| SqlError::Exec("ceil on non-numeric".into()))?
+                    .ceil() as i64,
+            ),
+            _ => unreachable!(),
+        };
+        out.push(result)?;
+    }
+    Ok(out)
+}
+
+/// Evaluate an expression in scalar position (SET, metronome intervals,
+/// scalar subqueries). Uses a one-row unit relation so literals and
+/// variables work uniformly.
+pub fn eval_scalar(expr: &Expr, ctx: &dyn QueryContext, env: &ExecEnv) -> Result<Value> {
+    let unit = unit_relation();
+    let col = eval_expr(expr, &unit, ctx, env)?;
+    if col.is_empty() {
+        return Ok(Value::Null);
+    }
+    Ok(col.get(0))
+}
+
+/// Single-row, single-dummy-column relation for scalar evaluation and
+/// FROM-less selects.
+pub fn unit_relation() -> Relation {
+    Relation::from_columns(vec![("#unit".into(), Column::from_ints(vec![0]))])
+        .expect("unit relation construction cannot fail")
+}
+
+/// Evaluate a scalar subquery: run the select, require ≤1 row and exactly
+/// one (visible) column; empty result is NULL (SQL semantics).
+pub fn scalar_subquery(
+    sub: &crate::ast::SelectStmt,
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+) -> Result<Value> {
+    let mut env = env.clone();
+    let out = run_select(sub, ctx, &mut env, false)?;
+    let rel = out.rel;
+    if rel.width() != 1 {
+        return Err(SqlError::Exec(format!(
+            "scalar subquery must return one column, got {}",
+            rel.width()
+        )));
+    }
+    match rel.len() {
+        0 => Ok(Value::Null),
+        1 => Ok(rel.col_at(0).get(0)),
+        n => Err(SqlError::Exec(format!(
+            "scalar subquery returned {n} rows"
+        ))),
+    }
+}
+
+/// Human-readable name for an unaliased projection expression.
+pub fn display_name(item: &SelectItem, ordinal: usize) -> String {
+    match item {
+        SelectItem::Star => "*".into(),
+        SelectItem::QualifiedStar(q) => format!("{q}.*"),
+        SelectItem::Expr { expr, alias } => match alias {
+            Some(a) => a.clone(),
+            None => match expr {
+                Expr::Column { qualifier, name } => match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.clone(),
+                },
+                Expr::FuncCall { name, star, .. } => {
+                    if *star {
+                        format!("{name}(*)")
+                    } else {
+                        format!("{name}()")
+                    }
+                }
+                _ => format!("col{ordinal}"),
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::StaticContext;
+    use crate::parser::parse_statement;
+
+    fn rel() -> Relation {
+        Relation::from_columns(vec![
+            ("t.a".into(), Column::from_ints(vec![1, 2, 3])),
+            ("t.b".into(), Column::from_doubles(vec![0.5, 1.5, 2.5])),
+            (
+                "t.s".into(),
+                Column::from_strs(vec!["x".into(), "y".into(), "z".into()]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn where_of(src: &str) -> Expr {
+        match parse_statement(src).unwrap() {
+            crate::ast::Stmt::Select(s) => s.where_clause.unwrap(),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn resolve_qualified_and_suffix() {
+        let r = rel();
+        assert_eq!(resolve_column(&r, Some("t"), "a").unwrap(), 0);
+        assert_eq!(resolve_column(&r, None, "b").unwrap(), 1);
+        assert!(matches!(
+            resolve_column(&r, Some("u"), "a"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            resolve_column(&r, None, "zz"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguity_detected() {
+        let r = Relation::from_columns(vec![
+            ("x.a".into(), Column::from_ints(vec![1])),
+            ("y.a".into(), Column::from_ints(vec![2])),
+        ])
+        .unwrap();
+        assert!(matches!(
+            resolve_column(&r, None, "a"),
+            Err(SqlError::AmbiguousColumn(_))
+        ));
+        assert_eq!(resolve_column(&r, Some("y"), "a").unwrap(), 1);
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let r = rel();
+        let ctx = StaticContext::new();
+        let env = ExecEnv::default();
+        let e = where_of("select * from t where a * 2 + 1 >= 5");
+        let c = eval_expr(&e, &r, &ctx, &env).unwrap();
+        assert_eq!(c.bools().unwrap(), &[false, true, true]);
+    }
+
+    #[test]
+    fn variables_fall_back() {
+        let r = rel();
+        let ctx = StaticContext::new().with_var("v1", Value::Int(2));
+        let env = ExecEnv::default();
+        let e = where_of("select * from t where a > v1");
+        let c = eval_expr(&e, &r, &ctx, &env).unwrap();
+        assert_eq!(c.bools().unwrap(), &[false, false, true]);
+    }
+
+    #[test]
+    fn overlay_wins_over_ctx_var() {
+        let r = rel();
+        let ctx = StaticContext::new().with_var("v", Value::Int(100));
+        let mut env = ExecEnv::default();
+        env.var_overlay.insert("v".into(), Value::Int(1));
+        let e = where_of("select * from t where a > v");
+        let c = eval_expr(&e, &r, &ctx, &env).unwrap();
+        assert_eq!(c.bools().unwrap(), &[false, true, true]);
+    }
+
+    #[test]
+    fn between_in_isnull() {
+        let r = rel();
+        let ctx = StaticContext::new();
+        let env = ExecEnv::default();
+        let e = where_of("select * from t where a between 2 and 3");
+        assert_eq!(
+            eval_expr(&e, &r, &ctx, &env).unwrap().bools().unwrap(),
+            &[false, true, true]
+        );
+        let e = where_of("select * from t where s in ('x', 'z')");
+        assert_eq!(
+            eval_expr(&e, &r, &ctx, &env).unwrap().bools().unwrap(),
+            &[true, false, true]
+        );
+        let e = where_of("select * from t where a is null");
+        assert_eq!(
+            eval_expr(&e, &r, &ctx, &env).unwrap().bools().unwrap(),
+            &[false, false, false]
+        );
+        let e = where_of("select * from t where a is not null");
+        assert_eq!(
+            eval_expr(&e, &r, &ctx, &env).unwrap().bools().unwrap(),
+            &[true, true, true]
+        );
+    }
+
+    #[test]
+    fn now_and_metronome() {
+        let r = rel();
+        let ctx = StaticContext {
+            now_micros: 10_500_000,
+            ..StaticContext::new()
+        };
+        let env = ExecEnv::default();
+        let e = where_of("select * from t where a < now()");
+        let c = eval_expr(&e, &r, &ctx, &env).unwrap();
+        assert_eq!(c.bools().unwrap(), &[true, true, true]);
+
+        // metronome(1 second) at t=10.5s → tick at 10s
+        let expr = Expr::FuncCall {
+            name: "metronome".into(),
+            args: vec![Expr::lit(1_000_000i64)],
+            star: false,
+        };
+        let c = eval_expr(&expr, &r, &ctx, &env).unwrap();
+        assert_eq!(c.get(0), Value::Ts(10_000_000));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let r = rel();
+        let ctx = StaticContext::new();
+        let env = ExecEnv::default();
+        let abs = Expr::FuncCall {
+            name: "abs".into(),
+            args: vec![Expr::bin(BinOp::Sub, Expr::lit(0i64), Expr::col("a"))],
+            star: false,
+        };
+        let c = eval_expr(&abs, &r, &ctx, &env).unwrap();
+        assert_eq!(c.ints().unwrap(), &[1, 2, 3]);
+
+        let fl = Expr::FuncCall {
+            name: "floor".into(),
+            args: vec![Expr::col("b")],
+            star: false,
+        };
+        let c = eval_expr(&fl, &r, &ctx, &env).unwrap();
+        assert_eq!(c.ints().unwrap(), &[0, 1, 2]);
+
+        let unknown = Expr::FuncCall {
+            name: "nonsense".into(),
+            args: vec![],
+            star: false,
+        };
+        assert!(eval_expr(&unknown, &r, &ctx, &env).is_err());
+    }
+
+    #[test]
+    fn scalar_eval() {
+        let ctx = StaticContext::new().with_var("x", Value::Int(4));
+        let env = ExecEnv::default();
+        let e = where_of("select * from t where 1 + x * 2 > 0");
+        // use the full expression? just eval the arithmetic part instead:
+        let v = eval_scalar(&Expr::bin(BinOp::Add, Expr::lit(1i64), Expr::col("x")), &ctx, &env)
+            .unwrap();
+        assert_eq!(v, Value::Int(5));
+        drop(e);
+    }
+}

@@ -1,0 +1,281 @@
+//! Statement execution.
+//!
+//! The executor is deliberately *pure*: it reads relations through a
+//! [`QueryContext`] and returns [`Effects`] describing what should change
+//! (result rows, inserts, basket consumptions, variable updates). The
+//! DataCell engine applies those effects under its own locking/strategy
+//! regime — which is exactly how the paper separates query plans
+//! (factories) from basket maintenance.
+
+mod eval;
+mod select;
+
+pub use eval::{eval_expr, eval_scalar};
+pub use select::run_select;
+
+use std::collections::HashMap;
+
+use monet::prelude::*;
+
+use crate::ast::{CreateKind, Stmt};
+use crate::error::{Result, SqlError};
+
+/// Read-only world view for the executor.
+pub trait QueryContext {
+    /// Snapshot of a named relation (basket or persistent table).
+    fn relation(&self, name: &str) -> Result<Relation>;
+
+    /// Global variable lookup (`DECLARE`d names).
+    fn get_var(&self, name: &str) -> Option<Value>;
+
+    /// Current engine time in microseconds (virtual or wall clock).
+    fn now(&self) -> i64;
+}
+
+/// A static, in-memory context — the reference implementation used by
+/// tests, examples and the engine's snapshot execution.
+#[derive(Debug, Default)]
+pub struct StaticContext {
+    pub relations: HashMap<String, Relation>,
+    pub vars: HashMap<String, Value>,
+    pub now_micros: i64,
+}
+
+impl StaticContext {
+    pub fn new() -> Self {
+        StaticContext::default()
+    }
+
+    pub fn with_relation(mut self, name: &str, rel: Relation) -> Self {
+        self.relations.insert(name.to_string(), rel);
+        self
+    }
+
+    pub fn with_var(mut self, name: &str, v: Value) -> Self {
+        self.vars.insert(name.to_string(), v);
+        self
+    }
+}
+
+impl QueryContext for StaticContext {
+    fn relation(&self, name: &str) -> Result<Relation> {
+        self.relations
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SqlError::Unknown(name.to_string()))
+    }
+
+    fn get_var(&self, name: &str) -> Option<Value> {
+        self.vars.get(name).cloned()
+    }
+
+    fn now(&self) -> i64 {
+        self.now_micros
+    }
+}
+
+/// Everything a statement wants to change, reported back to the engine.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// SELECT result rows (if the statement was a query).
+    pub result: Option<Relation>,
+    /// `(table, explicit column list, rows)` pending inserts.
+    pub inserts: Vec<(String, Option<Vec<String>>, Relation)>,
+    /// `(basket, positions)` consumed by basket expressions; the engine
+    /// deletes these under its strategy's regime.
+    pub consumed: Vec<(String, SelVec)>,
+    /// Variable assignments from SET.
+    pub var_updates: Vec<(String, Value)>,
+    /// New variables from DECLARE.
+    pub declares: Vec<(String, ValueType)>,
+    /// New tables/baskets/streams from CREATE.
+    pub creates: Vec<(CreateKind, String, Schema)>,
+}
+
+impl Effects {
+    fn merge(&mut self, other: Effects) {
+        if other.result.is_some() {
+            self.result = other.result;
+        }
+        self.inserts.extend(other.inserts);
+        merge_consumed(&mut self.consumed, other.consumed);
+        self.var_updates.extend(other.var_updates);
+        self.declares.extend(other.declares);
+        self.creates.extend(other.creates);
+    }
+}
+
+/// Union consumption sets per basket.
+pub(crate) fn merge_consumed(acc: &mut Vec<(String, SelVec)>, more: Vec<(String, SelVec)>) {
+    for (name, sel) in more {
+        if let Some((_, existing)) = acc.iter_mut().find(|(n, _)| *n == name) {
+            *existing = existing.union(&sel);
+        } else {
+            acc.push((name, sel));
+        }
+    }
+}
+
+/// Per-execution environment: WITH bindings and variable overlays that
+/// accumulate across the statements of one block.
+#[derive(Debug, Default, Clone)]
+pub struct ExecEnv {
+    pub bindings: HashMap<String, Relation>,
+    pub var_overlay: HashMap<String, Value>,
+}
+
+impl ExecEnv {
+    pub fn lookup_var(&self, ctx: &dyn QueryContext, name: &str) -> Option<Value> {
+        self.var_overlay
+            .get(name)
+            .cloned()
+            .or_else(|| ctx.get_var(name))
+    }
+}
+
+/// Execute one statement against `ctx`.
+pub fn execute(stmt: &Stmt, ctx: &dyn QueryContext) -> Result<Effects> {
+    execute_in_env(stmt, ctx, &mut ExecEnv::default())
+}
+
+/// Execute a parsed script in order, accumulating effects. Later statements
+/// see variable updates from earlier ones (via the overlay), but *not*
+/// inserts/consumptions — those are applied by the engine afterwards.
+pub fn execute_script(stmts: &[Stmt], ctx: &dyn QueryContext) -> Result<Effects> {
+    let mut env = ExecEnv::default();
+    let mut all = Effects::default();
+    for stmt in stmts {
+        let fx = execute_in_env(stmt, ctx, &mut env)?;
+        all.merge(fx);
+    }
+    Ok(all)
+}
+
+fn execute_in_env(stmt: &Stmt, ctx: &dyn QueryContext, env: &mut ExecEnv) -> Result<Effects> {
+    match stmt {
+        Stmt::Select(sel) => {
+            let out = run_select(sel, ctx, env, false)?;
+            Ok(Effects {
+                result: Some(out.rel),
+                consumed: out.consumed,
+                ..Effects::default()
+            })
+        }
+        Stmt::Insert {
+            table,
+            columns,
+            source,
+        } => {
+            let out = run_select(source, ctx, env, false)?;
+            Ok(Effects {
+                inserts: vec![(table.clone(), columns.clone(), out.rel)],
+                consumed: out.consumed,
+                ..Effects::default()
+            })
+        }
+        Stmt::With {
+            binding,
+            source,
+            body,
+        } => {
+            // Materialize the basket expression once (consuming), bind it,
+            // then run the body statements against the binding.
+            let out = run_select(source, ctx, env, true)?;
+            let mut fx = Effects {
+                consumed: out.consumed,
+                ..Effects::default()
+            };
+            env.bindings.insert(binding.clone(), out.rel);
+            for s in body {
+                let sub = execute_in_env(s, ctx, env)?;
+                fx.merge(sub);
+            }
+            env.bindings.remove(binding);
+            Ok(fx)
+        }
+        Stmt::Declare { name, vtype } => Ok(Effects {
+            declares: vec![(name.clone(), *vtype)],
+            ..Effects::default()
+        }),
+        Stmt::Set { name, expr } => {
+            let v = eval_scalar(expr, ctx, env)?;
+            env.var_overlay.insert(name.clone(), v.clone());
+            Ok(Effects {
+                var_updates: vec![(name.clone(), v)],
+                ..Effects::default()
+            })
+        }
+        Stmt::Create { kind, name, fields } => {
+            let schema = Schema::new(
+                fields
+                    .iter()
+                    .map(|(n, t)| Field::new(n.clone(), *t))
+                    .collect(),
+            );
+            Ok(Effects {
+                creates: vec![(*kind, name.clone(), schema)],
+                ..Effects::default()
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statements;
+
+    fn sample_ctx() -> StaticContext {
+        let r = Relation::from_columns(vec![
+            ("a".into(), Column::from_ints(vec![1, 2, 3, 4])),
+            (
+                "b".into(),
+                Column::from_strs(vec!["w".into(), "x".into(), "y".into(), "z".into()]),
+            ),
+        ])
+        .unwrap();
+        StaticContext::new().with_relation("R", r)
+    }
+
+    #[test]
+    fn declare_and_set_flow_through_env() {
+        let ctx = sample_ctx();
+        let stmts = parse_statements("declare n int; set n = 5; set n = n + 1").unwrap();
+        let fx = execute_script(&stmts, &ctx).unwrap();
+        assert_eq!(fx.declares, vec![("n".to_string(), ValueType::Int)]);
+        assert_eq!(fx.var_updates.last().unwrap().1, Value::Int(6));
+    }
+
+    #[test]
+    fn create_effect() {
+        let ctx = sample_ctx();
+        let stmts = parse_statements("create basket B (x int, t timestamp)").unwrap();
+        let fx = execute_script(&stmts, &ctx).unwrap();
+        assert_eq!(fx.creates.len(), 1);
+        assert_eq!(fx.creates[0].1, "B");
+        assert_eq!(fx.creates[0].2.width(), 2);
+    }
+
+    #[test]
+    fn merge_consumed_unions() {
+        let mut acc = vec![("X".to_string(), SelVec::from_sorted(vec![0, 1]).unwrap())];
+        merge_consumed(
+            &mut acc,
+            vec![
+                ("X".to_string(), SelVec::from_sorted(vec![1, 2]).unwrap()),
+                ("Y".to_string(), SelVec::from_sorted(vec![5]).unwrap()),
+            ],
+        );
+        assert_eq!(acc[0].1.as_slice(), &[0, 1, 2]);
+        assert_eq!(acc[1].0, "Y");
+    }
+
+    #[test]
+    fn static_context_lookups() {
+        let ctx = sample_ctx().with_var("v", Value::Int(9));
+        assert!(ctx.relation("R").is_ok());
+        assert!(ctx.relation("missing").is_err());
+        assert_eq!(ctx.get_var("v"), Some(Value::Int(9)));
+        assert_eq!(ctx.get_var("w"), None);
+    }
+}

@@ -1,0 +1,1028 @@
+//! The SELECT pipeline.
+//!
+//! Logical stage order: FROM (scans + joins) → WHERE → [lineage capture] →
+//! GROUP BY/aggregates → HAVING → projection → DISTINCT → ORDER BY →
+//! TOP/LIMIT → UNION.
+//!
+//! **Basket consumption via lineage.** When a select runs as a basket
+//! expression (`track_lineage = true`), every base-table scan appends a
+//! hidden `#rid:` column carrying the scanned positions. Filters, joins,
+//! ordering and TOP all carry those columns along for free (they are just
+//! columns), so whatever rows remain when the pipeline reaches its capture
+//! point are exactly the *referenced* tuples the paper says must be removed
+//! from their baskets:
+//!
+//! * plain selects capture after ORDER BY/TOP — `[select top 20 …]`
+//!   consumes precisely the 20 returned tuples;
+//! * grouped/aggregate selects capture before grouping — every row that
+//!   fed the aggregate was referenced.
+
+use std::collections::HashMap;
+
+use monet::ops::group::{
+    agg_avg, agg_count, agg_count_distinct, agg_count_star, agg_max, agg_min, agg_sum, group_by,
+    Grouping,
+};
+use monet::ops::join::hash_join;
+use monet::ops::select::select_true;
+use monet::ops::sort::{sort_perm, SortKey};
+use monet::ops::topn::topn_perm;
+use monet::prelude::*;
+
+use crate::ast::{is_aggregate_name, Expr, FromItem, SelectItem, SelectStmt};
+use crate::error::{Result, SqlError};
+use crate::exec::eval::{display_name, eval_expr, resolve_column, unit_relation};
+use crate::exec::{merge_consumed, ExecEnv, QueryContext};
+
+/// Result of running a select: rows plus the basket positions it consumed.
+#[derive(Debug)]
+pub struct SelectOutput {
+    pub rel: Relation,
+    pub consumed: Vec<(String, SelVec)>,
+}
+
+const RID_PREFIX: &str = "#rid:";
+
+/// Run a select statement. `track_lineage` is set when this select is the
+/// body of a basket expression.
+pub fn run_select(
+    stmt: &SelectStmt,
+    ctx: &dyn QueryContext,
+    env: &mut ExecEnv,
+    track_lineage: bool,
+) -> Result<SelectOutput> {
+    let mut consumed: Vec<(String, SelVec)> = Vec::new();
+    let mut rid_counter = 0usize;
+
+    // ---- FROM: resolve sources --------------------------------------------
+    let mut sources: Vec<Relation> = Vec::new();
+    for item in &stmt.from {
+        let rel = resolve_from_item(
+            item,
+            ctx,
+            env,
+            track_lineage,
+            &mut consumed,
+            &mut rid_counter,
+        )?;
+        sources.push(rel);
+    }
+
+    // ---- joins -------------------------------------------------------------
+    let conjuncts: Vec<Expr> = stmt
+        .where_clause
+        .as_ref()
+        .map(|w| w.conjuncts().into_iter().cloned().collect())
+        .unwrap_or_default();
+    let mut used = vec![false; conjuncts.len()];
+
+    let mut rel = match sources.len() {
+        0 => unit_relation(),
+        _ => {
+            let mut iter = sources.into_iter();
+            let mut acc = iter.next().expect("non-empty");
+            for src in iter {
+                acc = join_pair(acc, src, &conjuncts, &mut used, ctx, env)?;
+            }
+            acc
+        }
+    };
+
+    // ---- WHERE (remaining conjuncts) ---------------------------------------
+    for (i, c) in conjuncts.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let mask = eval_expr(c, &rel, ctx, env)?;
+        let sel = select_true(&mask, None)?;
+        rel = rel.gather(&sel)?;
+    }
+
+    let has_aggregates = stmt
+        .projection
+        .iter()
+        .any(|p| matches!(p, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || stmt
+            .having
+            .as_ref()
+            .is_some_and(|h| h.contains_aggregate())
+        || !stmt.group_by.is_empty();
+
+    let mut output = if has_aggregates {
+        if track_lineage {
+            merge_consumed(&mut consumed, extract_consumption(&rel));
+        }
+        grouped_pipeline(stmt, rel, ctx, env)?
+    } else {
+        plain_pipeline(stmt, rel, ctx, env, track_lineage, &mut consumed)?
+    };
+
+    // ---- UNION --------------------------------------------------------------
+    if let Some((all, rhs)) = &stmt.union {
+        let rhs_out = run_select(rhs, ctx, env, track_lineage)?;
+        merge_consumed(&mut consumed, rhs_out.consumed);
+        if !output.schema().compatible(&rhs_out.rel.schema()) {
+            return Err(SqlError::Exec(
+                "UNION sides have incompatible schemas".into(),
+            ));
+        }
+        output.append_relation(&rhs_out.rel)?;
+        if !all {
+            output = distinct(output)?;
+        }
+    }
+
+    Ok(SelectOutput {
+        rel: output,
+        consumed,
+    })
+}
+
+/// Resolve one FROM item into a relation with qualified column names.
+fn resolve_from_item(
+    item: &FromItem,
+    ctx: &dyn QueryContext,
+    env: &mut ExecEnv,
+    track_lineage: bool,
+    consumed: &mut Vec<(String, SelVec)>,
+    rid_counter: &mut usize,
+) -> Result<Relation> {
+    match item {
+        FromItem::Table { name, alias } => {
+            let binding = alias.as_deref().unwrap_or(name);
+            // WITH bindings are materialized snapshots, never consumable.
+            let (mut rel, is_binding) = match env.bindings.get(name) {
+                Some(r) => (r.clone(), true),
+                None => (ctx.relation(name)?, false),
+            };
+            let n = rel.len();
+            let names: Vec<String> = rel
+                .names()
+                .iter()
+                .map(|c| qualify(binding, c))
+                .collect();
+            rel.rename_columns(names)?;
+            if track_lineage && !is_binding {
+                let rid_name = format!("{RID_PREFIX}{rid_counter}:{name}");
+                *rid_counter += 1;
+                rel.add_column(rid_name, Column::from_ints((0..n as i64).collect()))?;
+            }
+            Ok(rel)
+        }
+        FromItem::Basket { query, alias } => {
+            // The bracketed query is the consuming scan.
+            let out = run_select(query, ctx, env, true)?;
+            merge_consumed(consumed, out.consumed);
+            rebind(out.rel, alias.as_deref())
+        }
+        FromItem::Subquery { query, alias } => {
+            // Ordinary derived table: non-consuming read.
+            let out = run_select(query, ctx, env, false)?;
+            merge_consumed(consumed, out.consumed);
+            rebind(out.rel, Some(alias))
+        }
+    }
+}
+
+/// Strip any existing qualifier and re-qualify under `binding`.
+fn qualify(binding: &str, col: &str) -> String {
+    if col.starts_with('#') {
+        return col.to_string();
+    }
+    let base = col.rsplit('.').next().unwrap_or(col);
+    format!("{binding}.{base}")
+}
+
+fn rebind(mut rel: Relation, alias: Option<&str>) -> Result<Relation> {
+    if let Some(alias) = alias {
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        let names: Vec<String> = rel
+            .names()
+            .iter()
+            .map(|c| {
+                let q = qualify(alias, c);
+                let n = seen.entry(q.clone()).or_insert(0);
+                *n += 1;
+                if *n > 1 {
+                    format!("{q}#{n}")
+                } else {
+                    q
+                }
+            })
+            .collect();
+        rel.rename_columns(names)?;
+    }
+    Ok(rel)
+}
+
+/// Join `left` with `right`, preferring an unused `col = col` conjunct that
+/// spans the two sides (hash join); otherwise a cross product.
+fn join_pair(
+    left: Relation,
+    right: Relation,
+    conjuncts: &[Expr],
+    used: &mut [bool],
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+) -> Result<Relation> {
+    let mut key: Option<(usize, usize, usize)> = None; // (conjunct, lcol, rcol)
+    for (i, c) in conjuncts.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        if let Expr::Binary {
+            op: crate::ast::BinOp::Eq,
+            left: a,
+            right: b,
+        } = c
+        {
+            if let (
+                Expr::Column {
+                    qualifier: qa,
+                    name: na,
+                },
+                Expr::Column {
+                    qualifier: qb,
+                    name: nb,
+                },
+            ) = (a.as_ref(), b.as_ref())
+            {
+                let la = resolve_column(&left, qa.as_deref(), na);
+                let ra = resolve_column(&right, qa.as_deref(), na);
+                let lb = resolve_column(&left, qb.as_deref(), nb);
+                let rb = resolve_column(&right, qb.as_deref(), nb);
+                // a on left, b on right
+                if let (Ok(lc), Err(_), Err(_), Ok(rc)) = (&la, &ra, &lb, &rb) {
+                    key = Some((i, *lc, *rc));
+                    break;
+                }
+                // b on left, a on right
+                if let (Err(_), Ok(rc), Ok(lc), Err(_)) = (&la, &ra, &lb, &rb) {
+                    key = Some((i, *lc, *rc));
+                    break;
+                }
+            }
+        }
+    }
+    let (lpos, rpos): (Vec<u32>, Vec<u32>) = match key {
+        Some((ci, lc, rc)) => {
+            used[ci] = true;
+            let pairs = hash_join(left.col_at(lc), right.col_at(rc), None, None)?;
+            (pairs.left, pairs.right)
+        }
+        None => {
+            // cross product (small inputs only in practice)
+            let (ln, rn) = (left.len(), right.len());
+            let mut lp = Vec::with_capacity(ln * rn);
+            let mut rp = Vec::with_capacity(ln * rn);
+            for i in 0..ln as u32 {
+                for j in 0..rn as u32 {
+                    lp.push(i);
+                    rp.push(j);
+                }
+            }
+            (lp, rp)
+        }
+    };
+    let lgath = left.gather_positions(&lpos)?;
+    let rgath = right.gather_positions(&rpos)?;
+    let mut combined = lgath;
+    for (name, idx) in rgath
+        .names()
+        .to_vec()
+        .into_iter()
+        .zip(0..rgath.width())
+    {
+        let final_name = if combined.names().contains(&name) {
+            format!("{name}#2")
+        } else {
+            name
+        };
+        combined.add_column(final_name, rgath.col_at(idx).clone())?;
+    }
+    // silence unused-variable warnings for ctx/env (kept for future
+    // non-column equi-keys)
+    let _ = (ctx, env);
+    Ok(combined)
+}
+
+/// Pull `(table, positions)` consumption out of `#rid:` columns.
+fn extract_consumption(rel: &Relation) -> Vec<(String, SelVec)> {
+    let mut out: Vec<(String, SelVec)> = Vec::new();
+    for (i, name) in rel.names().iter().enumerate() {
+        if let Some(rest) = name.strip_prefix(RID_PREFIX) {
+            let table = rest.split_once(':').map(|(_, t)| t).unwrap_or(rest);
+            let positions: Vec<u32> = rel
+                .col_at(i)
+                .ints()
+                .map(|v| v.iter().map(|&x| x as u32).collect())
+                .unwrap_or_default();
+            merge_consumed(
+                &mut out,
+                vec![(table.to_string(), SelVec::from_unsorted(positions))],
+            );
+        }
+    }
+    out
+}
+
+/// Non-aggregate pipeline: ORDER BY → TOP/LIMIT → [lineage capture] →
+/// projection → DISTINCT.
+fn plain_pipeline(
+    stmt: &SelectStmt,
+    mut rel: Relation,
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+    track_lineage: bool,
+    consumed: &mut Vec<(String, SelVec)>,
+) -> Result<Relation> {
+    // ORDER BY over source columns; bare names that don't resolve against
+    // the source fall back to projection aliases (SQL lets you order by an
+    // output column)
+    if !stmt.order_by.is_empty() {
+        let alias_map: Vec<(&str, &Expr)> = stmt
+            .projection
+            .iter()
+            .filter_map(|item| match item {
+                SelectItem::Expr {
+                    expr,
+                    alias: Some(a),
+                } => Some((a.as_str(), expr)),
+                _ => None,
+            })
+            .collect();
+        let key_cols: Vec<(Column, bool)> = stmt
+            .order_by
+            .iter()
+            .map(|(e, asc)| {
+                let col = match eval_expr(e, &rel, ctx, env) {
+                    Ok(c) => c,
+                    Err(SqlError::UnknownColumn(_)) => {
+                        let substituted = match e {
+                            Expr::Column {
+                                qualifier: None,
+                                name,
+                            } => alias_map
+                                .iter()
+                                .find(|(a, _)| a == name)
+                                .map(|(_, expr)| (*expr).clone()),
+                            _ => None,
+                        };
+                        match substituted {
+                            Some(expr) => eval_expr(&expr, &rel, ctx, env)?,
+                            None => return Err(SqlError::UnknownColumn(format!("{e:?}"))),
+                        }
+                    }
+                    Err(other) => return Err(other),
+                };
+                Ok((col, *asc))
+            })
+            .collect::<Result<_>>()?;
+        let keys: Vec<SortKey<'_>> = key_cols
+            .iter()
+            .map(|(c, asc)| SortKey {
+                col: c,
+                ascending: *asc,
+            })
+            .collect();
+        let n_bound = effective_top(stmt);
+        let perm = match n_bound {
+            Some(n) => topn_perm(&keys, n, None)?,
+            None => sort_perm(&keys, None)?,
+        };
+        rel = rel.gather_positions(&perm)?;
+    } else if let Some(n) = effective_top(stmt) {
+        // TOP without ORDER BY: first n in arrival order
+        let n = n.min(rel.len());
+        rel = rel.gather(&SelVec::range(0, n as u32))?;
+    }
+    if stmt.order_by.is_empty() {
+        // nothing more to trim
+    } else if let Some(n) = effective_top(stmt) {
+        if rel.len() > n {
+            rel = rel.gather(&SelVec::range(0, n as u32))?;
+        }
+    }
+
+    if track_lineage {
+        merge_consumed(consumed, extract_consumption(&rel));
+    }
+
+    let mut out = project(stmt, &rel, ctx, env)?;
+    if stmt.distinct {
+        out = distinct(out)?;
+    }
+    Ok(out)
+}
+
+fn effective_top(stmt: &SelectStmt) -> Option<usize> {
+    match (stmt.top, stmt.limit) {
+        (Some(t), Some(l)) => Some(t.min(l) as usize),
+        (Some(t), None) => Some(t as usize),
+        (None, Some(l)) => Some(l as usize),
+        (None, None) => None,
+    }
+}
+
+/// Grouped pipeline: GROUP BY keys → aggregates → HAVING → projection →
+/// DISTINCT → ORDER BY → TOP.
+fn grouped_pipeline(
+    stmt: &SelectStmt,
+    rel: Relation,
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+) -> Result<Relation> {
+    // Group keys (no GROUP BY + aggregates = one global group).
+    let grouping = if stmt.group_by.is_empty() {
+        Grouping::single((0..rel.len() as u32).collect())
+    } else {
+        let key_cols: Vec<Column> = stmt
+            .group_by
+            .iter()
+            .map(|e| eval_expr(e, &rel, ctx, env))
+            .collect::<Result<_>>()?;
+        let refs: Vec<&Column> = key_cols.iter().collect();
+        group_by(&refs, None)?
+    };
+
+    // Representative rows carry the group-key values.
+    let mut grouped = if grouping.ngroups == 0 {
+        // empty input: zero groups; an ungrouped aggregate over an empty
+        // relation still yields one row (count=0, sum=NULL)
+        if stmt.group_by.is_empty() {
+            let mut g = rel.gather(&SelVec::empty())?;
+            // one synthetic representative row of NULLs so aggregates can
+            // attach length-1 columns
+            let row: Vec<Value> = vec![Value::Null; g.width()];
+            g.append_row(&row)?;
+            g
+        } else {
+            rel.gather(&SelVec::empty())?
+        }
+    } else {
+        rel.gather_positions(&grouping.representatives)?
+    };
+
+    // Rewrite aggregate sub-expressions to references over computed columns.
+    let mut agg_exprs: Vec<Expr> = Vec::new();
+    let projection: Vec<SelectItem> = stmt
+        .projection
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                expr: rewrite_aggregates(expr, &mut agg_exprs),
+                alias: alias.clone(),
+            },
+            SelectItem::Star | SelectItem::QualifiedStar(_) => item.clone(),
+        })
+        .collect();
+    // With no GROUP BY, every projected column must live inside an
+    // aggregate — `select a, count(*) from R` is an error in SQL.
+    if stmt.group_by.is_empty() {
+        for item in &projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                if references_plain_column(expr) {
+                    return Err(SqlError::Exec(
+                        "column reference outside aggregates requires GROUP BY".into(),
+                    ));
+                }
+            }
+        }
+    }
+    let having = stmt
+        .having
+        .as_ref()
+        .map(|h| rewrite_aggregates(h, &mut agg_exprs));
+    let order_by: Vec<(Expr, bool)> = stmt
+        .order_by
+        .iter()
+        .map(|(e, asc)| (rewrite_aggregates(e, &mut agg_exprs), *asc))
+        .collect();
+
+    for (k, agg) in agg_exprs.iter().enumerate() {
+        let col = compute_aggregate(agg, &rel, &grouping, ctx, env)?;
+        let col = if grouping.ngroups == 0 && stmt.group_by.is_empty() {
+            // align with the synthetic representative row
+            empty_aggregate_value(agg, col.vtype())?
+        } else {
+            col
+        };
+        grouped.add_column(format!("#agg:{k}"), col)?;
+    }
+
+    // HAVING
+    if let Some(h) = &having {
+        let mask = eval_expr(h, &grouped, ctx, env)?;
+        let sel = select_true(&mask, None)?;
+        grouped = grouped.gather(&sel)?;
+    }
+
+    // Projection over the grouped relation.
+    let grouped_stmt = SelectStmt {
+        projection,
+        ..SelectStmt::default()
+    };
+    let mut out = project(&grouped_stmt, &grouped, ctx, env)?;
+    if stmt.distinct {
+        out = distinct(out)?;
+    }
+
+    // ORDER BY: keys may name projection aliases or grouped columns.
+    if !order_by.is_empty() {
+        let key_cols: Vec<(Column, bool)> = order_by
+            .iter()
+            .map(|(e, asc)| {
+                // try output aliases first, then the grouped relation
+                let col = match e {
+                    Expr::Column { qualifier: None, name }
+                        if out.column(name.as_str()).is_ok() =>
+                    {
+                        out.column(name)?.clone()
+                    }
+                    _ => eval_expr(e, &grouped, ctx, env)?,
+                };
+                if col.len() != out.len() {
+                    return Err(SqlError::Exec(
+                        "ORDER BY expression misaligned with grouped output".into(),
+                    ));
+                }
+                Ok((col, *asc))
+            })
+            .collect::<Result<_>>()?;
+        let keys: Vec<SortKey<'_>> = key_cols
+            .iter()
+            .map(|(c, asc)| SortKey {
+                col: c,
+                ascending: *asc,
+            })
+            .collect();
+        let perm = sort_perm(&keys, None)?;
+        out = out.gather_positions(&perm)?;
+    }
+    if let Some(n) = effective_top(stmt) {
+        if out.len() > n {
+            out = out.gather(&SelVec::range(0, n as u32))?;
+        }
+    }
+    Ok(out)
+}
+
+/// For an ungrouped aggregate over zero rows: COUNT → 0, others → NULL.
+fn empty_aggregate_value(agg: &Expr, vtype: ValueType) -> Result<Column> {
+    let mut col = Column::new(vtype);
+    match agg {
+        Expr::FuncCall { name, .. } if name == "count" || name == "count_distinct" => {
+            col.push(Value::Int(0))?;
+        }
+        _ => col.push(Value::Null)?,
+    }
+    Ok(col)
+}
+
+/// Does a rewritten expression still reference a non-`#agg:` column?
+fn references_plain_column(expr: &Expr) -> bool {
+    match expr {
+        Expr::Column { name, .. } => !name.starts_with("#agg:"),
+        Expr::Literal(_) | Expr::ScalarSubquery(_) => false,
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => references_plain_column(expr),
+        Expr::Binary { left, right, .. } => {
+            references_plain_column(left) || references_plain_column(right)
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            references_plain_column(expr)
+                || references_plain_column(lo)
+                || references_plain_column(hi)
+        }
+        Expr::InList { expr, list, .. } => {
+            references_plain_column(expr) || list.iter().any(references_plain_column)
+        }
+        Expr::FuncCall { args, .. } => args.iter().any(references_plain_column),
+    }
+}
+
+/// Replace aggregate calls with `#agg:k` references, collecting the
+/// original expressions (deduplicated).
+fn rewrite_aggregates(expr: &Expr, aggs: &mut Vec<Expr>) -> Expr {
+    match expr {
+        Expr::FuncCall { name, .. } if is_aggregate_name(name) => {
+            let idx = match aggs.iter().position(|a| a == expr) {
+                Some(i) => i,
+                None => {
+                    aggs.push(expr.clone());
+                    aggs.len() - 1
+                }
+            };
+            Expr::Column {
+                qualifier: None,
+                name: format!("#agg:{idx}"),
+            }
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_aggregates(expr, aggs)),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(rewrite_aggregates(left, aggs)),
+            right: Box::new(rewrite_aggregates(right, aggs)),
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(rewrite_aggregates(expr, aggs)),
+            lo: Box::new(rewrite_aggregates(lo, aggs)),
+            hi: Box::new(rewrite_aggregates(hi, aggs)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(rewrite_aggregates(expr, aggs)),
+            list: list.iter().map(|e| rewrite_aggregates(e, aggs)).collect(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite_aggregates(expr, aggs)),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Compute one aggregate over the pre-grouped relation.
+fn compute_aggregate(
+    agg: &Expr,
+    rel: &Relation,
+    grouping: &Grouping,
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+) -> Result<Column> {
+    let Expr::FuncCall { name, args, star } = agg else {
+        return Err(SqlError::Exec("not an aggregate".into()));
+    };
+    // `f(*)`: count(*) counts rows; the paper's sum(*) folds the first
+    // visible column.
+    let arg_col: Option<Column> = if *star {
+        if name == "count" {
+            None
+        } else {
+            let first_visible = rel
+                .names()
+                .iter()
+                .position(|n| !n.starts_with('#'))
+                .ok_or_else(|| SqlError::Exec(format!("{name}(*) with no columns")))?;
+            Some(rel.col_at(first_visible).clone())
+        }
+    } else {
+        let arg = args
+            .first()
+            .ok_or_else(|| SqlError::Exec(format!("{name} needs an argument")))?;
+        Some(eval_expr(arg, rel, ctx, env)?)
+    };
+    match (name.as_str(), arg_col) {
+        ("count", None) => Ok(Column::from_ints(agg_count_star(grouping))),
+        ("count", Some(c)) => Ok(Column::from_ints(agg_count(&c, grouping)?)),
+        ("count_distinct", Some(c)) => Ok(Column::from_ints(agg_count_distinct(&c, grouping)?)),
+        ("sum", Some(c)) => Ok(agg_sum(&c, grouping)?),
+        ("avg", Some(c)) => Ok(agg_avg(&c, grouping)?),
+        ("min", Some(c)) => Ok(agg_min(&c, grouping)?),
+        ("max", Some(c)) => Ok(agg_max(&c, grouping)?),
+        (other, _) => Err(SqlError::Exec(format!("unknown aggregate {other}"))),
+    }
+}
+
+/// Evaluate the projection list over `rel`.
+fn project(
+    stmt: &SelectStmt,
+    rel: &Relation,
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+) -> Result<Relation> {
+    let mut cols: Vec<(String, Column)> = Vec::new();
+    for (ordinal, item) in stmt.projection.iter().enumerate() {
+        match item {
+            SelectItem::Star => {
+                for (i, name) in rel.names().iter().enumerate() {
+                    if name.starts_with('#') {
+                        continue;
+                    }
+                    cols.push((name.clone(), rel.col_at(i).clone()));
+                }
+            }
+            SelectItem::QualifiedStar(q) => {
+                let prefix = format!("{q}.");
+                let mut found = false;
+                for (i, name) in rel.names().iter().enumerate() {
+                    if name.starts_with(&prefix) {
+                        cols.push((name.clone(), rel.col_at(i).clone()));
+                        found = true;
+                    }
+                }
+                if !found {
+                    return Err(SqlError::Unknown(format!("{q}.*")));
+                }
+            }
+            SelectItem::Expr { expr, .. } => {
+                let col = eval_expr(expr, rel, ctx, env)?;
+                cols.push((display_name(item, ordinal), col));
+            }
+        }
+    }
+    if cols.is_empty() {
+        return Err(SqlError::Exec("SELECT * requires a FROM clause".into()));
+    }
+    // Strip qualifiers when the short names stay unique.
+    let shorts: Vec<String> = cols
+        .iter()
+        .map(|(n, _)| n.rsplit('.').next().unwrap_or(n).to_string())
+        .collect();
+    let unique = shorts
+        .iter()
+        .collect::<std::collections::HashSet<_>>()
+        .len()
+        == shorts.len();
+    let named: Vec<(String, Column)> = cols
+        .into_iter()
+        .zip(shorts)
+        .map(|((long, col), short)| (if unique { short } else { long }, col))
+        .collect();
+    Ok(Relation::from_columns(named)?)
+}
+
+/// DISTINCT: group by every column, keep first-seen representatives.
+fn distinct(rel: Relation) -> Result<Relation> {
+    if rel.is_empty() {
+        return Ok(rel);
+    }
+    let refs: Vec<&Column> = (0..rel.width()).map(|i| rel.col_at(i)).collect();
+    let grouping = group_by(&refs, None)?;
+    Ok(rel.gather_positions(&grouping.representatives)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Stmt;
+    use crate::exec::StaticContext;
+    use crate::parser::parse_statement;
+
+    fn ctx() -> StaticContext {
+        let r = Relation::from_columns(vec![
+            ("a".into(), Column::from_ints(vec![1, 2, 3, 4, 5])),
+            ("b".into(), Column::from_ints(vec![10, 20, 30, 40, 50])),
+            (
+                "s".into(),
+                Column::from_strs(
+                    ["p", "q", "p", "q", "p"].iter().map(|x| x.to_string()).collect(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let x = Relation::from_columns(vec![
+            ("id".into(), Column::from_ints(vec![1, 2, 3])),
+            ("vx".into(), Column::from_ints(vec![100, 200, 300])),
+        ])
+        .unwrap();
+        let y = Relation::from_columns(vec![
+            ("id".into(), Column::from_ints(vec![2, 3, 4])),
+            ("vy".into(), Column::from_ints(vec![2000, 3000, 4000])),
+        ])
+        .unwrap();
+        StaticContext::new()
+            .with_relation("R", r)
+            .with_relation("X", x)
+            .with_relation("Y", y)
+    }
+
+    fn run(src: &str) -> SelectOutput {
+        run_track(src, false)
+    }
+
+    fn run_track(src: &str, track: bool) -> SelectOutput {
+        let stmt = match parse_statement(src).unwrap() {
+            Stmt::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        let c = ctx();
+        let mut env = ExecEnv::default();
+        run_select(&stmt, &c, &mut env, track).unwrap()
+    }
+
+    #[test]
+    fn select_star() {
+        let out = run("select * from R");
+        assert_eq!(out.rel.len(), 5);
+        assert_eq!(out.rel.names(), &["a", "b", "s"]);
+        assert!(out.consumed.is_empty());
+    }
+
+    #[test]
+    fn where_filter() {
+        let out = run("select a from R where b > 25");
+        assert_eq!(out.rel.column("a").unwrap().ints().unwrap(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn projection_expressions_and_aliases() {
+        let out = run("select a * 10 as big, b - a from R where a <= 2");
+        assert_eq!(out.rel.column("big").unwrap().ints().unwrap(), &[10, 20]);
+        assert_eq!(out.rel.names()[1], "col1");
+    }
+
+    #[test]
+    fn order_and_top() {
+        let out = run("select a from R order by a desc");
+        assert_eq!(out.rel.column("a").unwrap().ints().unwrap(), &[5, 4, 3, 2, 1]);
+        let out = run("select top 2 a from R order by a desc");
+        assert_eq!(out.rel.column("a").unwrap().ints().unwrap(), &[5, 4]);
+        let out = run("select a from R limit 3");
+        assert_eq!(out.rel.len(), 3);
+    }
+
+    #[test]
+    fn distinct_rows() {
+        let out = run("select distinct s from R");
+        assert_eq!(out.rel.len(), 2);
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let out = run("select s, count(*) as n, sum(a) as t from R group by s");
+        assert_eq!(out.rel.len(), 2);
+        // groups in first-seen order: p, q
+        assert_eq!(out.rel.column("n").unwrap().ints().unwrap(), &[3, 2]);
+        assert_eq!(out.rel.column("t").unwrap().ints().unwrap(), &[9, 6]);
+    }
+
+    #[test]
+    fn ungrouped_aggregates() {
+        let out = run("select count(*), sum(b), min(a), max(a), avg(a) from R");
+        assert_eq!(out.rel.len(), 1);
+        assert_eq!(out.rel.col_at(0).get(0), Value::Int(5));
+        assert_eq!(out.rel.col_at(1).get(0), Value::Int(150));
+        assert_eq!(out.rel.col_at(2).get(0), Value::Int(1));
+        assert_eq!(out.rel.col_at(3).get(0), Value::Int(5));
+        assert_eq!(out.rel.col_at(4).get(0), Value::Double(3.0));
+    }
+
+    #[test]
+    fn empty_input_aggregates() {
+        let out = run("select count(*), sum(a) from R where a > 100");
+        assert_eq!(out.rel.len(), 1);
+        assert_eq!(out.rel.col_at(0).get(0), Value::Int(0));
+        assert_eq!(out.rel.col_at(1).get(0), Value::Null);
+        // grouped over empty input: no rows at all
+        let out = run("select s, count(*) from R where a > 100 group by s");
+        assert_eq!(out.rel.len(), 0);
+    }
+
+    #[test]
+    fn having_and_order_by_alias() {
+        let out = run(
+            "select s, count(*) as n from R group by s having count(*) > 2 order by n",
+        );
+        assert_eq!(out.rel.len(), 1);
+        assert_eq!(out.rel.column("s").unwrap().get(0), Value::Str("p".into()));
+    }
+
+    #[test]
+    fn aggregate_arithmetic() {
+        let out = run("select sum(a) + count(*) from R");
+        assert_eq!(out.rel.col_at(0).get(0), Value::Int(20));
+    }
+
+    #[test]
+    fn equi_join_via_where() {
+        let out = run("select X.vx, Y.vy from X, Y where X.id = Y.id");
+        assert_eq!(out.rel.len(), 2);
+        assert_eq!(out.rel.column("vx").unwrap().ints().unwrap(), &[200, 300]);
+        assert_eq!(out.rel.column("vy").unwrap().ints().unwrap(), &[2000, 3000]);
+    }
+
+    #[test]
+    fn cross_join_with_filter() {
+        let out = run("select X.vx from X, Y where X.id + 1 = Y.id and Y.vy = 2000");
+        // pairs where X.id+1 == Y.id: (1,2),(2,3),(3,4); filtered Y.vy=2000 → X.id=1
+        assert_eq!(out.rel.column("vx").unwrap().ints().unwrap(), &[100]);
+    }
+
+    #[test]
+    fn basket_expression_consumes_all_referenced() {
+        // q1 of the paper: outer filter does NOT reduce consumption
+        let out = run_track("select * from [select * from R] as S where S.a > 3", false);
+        assert_eq!(out.rel.len(), 2);
+        assert_eq!(out.consumed.len(), 1);
+        assert_eq!(out.consumed[0].0, "R");
+        assert_eq!(out.consumed[0].1.len(), 5, "all 5 tuples referenced");
+    }
+
+    #[test]
+    fn basket_expression_predicate_window() {
+        // q2: the inner WHERE is the predicate window — only matching
+        // tuples are consumed
+        let out = run_track(
+            "select * from [select * from R where R.b < 25] as S where S.a > 1",
+            false,
+        );
+        assert_eq!(out.rel.len(), 1);
+        let (name, sel) = &out.consumed[0];
+        assert_eq!(name, "R");
+        assert_eq!(sel.as_slice(), &[0, 1]);
+    }
+
+    #[test]
+    fn basket_top_consumes_exactly_n() {
+        let out = run_track("select * from [select top 2 from R order by a desc] as S", false);
+        assert_eq!(out.rel.len(), 2);
+        let (_, sel) = &out.consumed[0];
+        assert_eq!(sel.as_slice(), &[3, 4], "positions of a=4,5");
+    }
+
+    #[test]
+    fn basket_join_consumes_matching_sides() {
+        // the paper's merge/gather example
+        let out = run_track("select A.* from [select * from X, Y where X.id = Y.id] as A", false);
+        assert_eq!(out.rel.len(), 2);
+        let x = out.consumed.iter().find(|(n, _)| n == "X").unwrap();
+        let y = out.consumed.iter().find(|(n, _)| n == "Y").unwrap();
+        assert_eq!(x.1.as_slice(), &[1, 2], "X ids 2,3 matched");
+        assert_eq!(y.1.as_slice(), &[0, 1], "Y ids 2,3 matched");
+    }
+
+    #[test]
+    fn aggregate_over_basket_consumes_inputs() {
+        let out = run_track(
+            "select count(*) from [select * from R where a >= 4] as Z",
+            false,
+        );
+        assert_eq!(out.rel.col_at(0).get(0), Value::Int(2));
+        assert_eq!(out.consumed[0].1.as_slice(), &[3, 4]);
+    }
+
+    #[test]
+    fn union_all_and_distinct() {
+        let out = run("select a from R where a <= 2 union all select a from R where a <= 1");
+        assert_eq!(out.rel.len(), 3);
+        let out = run("select a from R where a <= 2 union select a from R where a <= 1");
+        assert_eq!(out.rel.len(), 2);
+    }
+
+    #[test]
+    fn subquery_is_not_consuming() {
+        let out = run_track("select * from (select a from R) as T where T.a > 4", false);
+        assert_eq!(out.rel.len(), 1);
+        assert!(out.consumed.is_empty());
+    }
+
+    #[test]
+    fn scalar_subquery_in_where() {
+        let out = run("select a from R where a = (select max(a) from R)");
+        assert_eq!(out.rel.column("a").unwrap().ints().unwrap(), &[5]);
+    }
+
+    #[test]
+    fn qualified_star_projection() {
+        let out = run("select X.* from X, Y where X.id = Y.id");
+        assert_eq!(out.rel.names(), &["id", "vx"]);
+        assert_eq!(out.rel.len(), 2);
+    }
+
+    #[test]
+    fn fromless_select() {
+        let out = run("select 1 + 1 as two, 'hi' as greeting");
+        assert_eq!(out.rel.len(), 1);
+        assert_eq!(out.rel.column("two").unwrap().get(0), Value::Int(2));
+        assert_eq!(
+            out.rel.column("greeting").unwrap().get(0),
+            Value::Str("hi".into())
+        );
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let out = run("select l.a, r.a from R l, R r where l.a = r.b / 10 and r.a = 1");
+        // l.a == r.b/10 and r.a == 1 → r is row (1,10,p): l.a == 1
+        assert_eq!(out.rel.len(), 1);
+        assert_eq!(out.rel.names().len(), 2);
+    }
+
+    #[test]
+    fn top_zero_rows() {
+        let out = run("select top 0 from R");
+        assert_eq!(out.rel.len(), 0);
+    }
+
+    #[test]
+    fn group_by_expression_key() {
+        let out = run("select a % 2 as parity, count(*) as n from R group by a % 2");
+        assert_eq!(out.rel.len(), 2);
+        // first-seen order: a=1 → parity 1, then parity 0
+        assert_eq!(out.rel.column("parity").unwrap().ints().unwrap(), &[1, 0]);
+        assert_eq!(out.rel.column("n").unwrap().ints().unwrap(), &[3, 2]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Hand-written lexer for the DataCell SQL dialect.
+
+use crate::error::SqlError;
+use crate::token::{Keyword, Spanned, Token};
+
+/// Tokenize `src`, producing spanned tokens. Comments (`-- ...` to end of
+/// line) and whitespace are skipped.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, SqlError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push(&mut out, Token::LParen, start, &mut i),
+            ')' => push(&mut out, Token::RParen, start, &mut i),
+            '[' => push(&mut out, Token::LBracket, start, &mut i),
+            ']' => push(&mut out, Token::RBracket, start, &mut i),
+            ',' => push(&mut out, Token::Comma, start, &mut i),
+            ';' => push(&mut out, Token::Semicolon, start, &mut i),
+            '.' => push(&mut out, Token::Dot, start, &mut i),
+            '*' => push(&mut out, Token::Star, start, &mut i),
+            '+' => push(&mut out, Token::Plus, start, &mut i),
+            '-' => push(&mut out, Token::Minus, start, &mut i),
+            '/' => push(&mut out, Token::Slash, start, &mut i),
+            '%' => push(&mut out, Token::Percent, start, &mut i),
+            '=' => push(&mut out, Token::Eq, start, &mut i),
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Spanned {
+                    token: Token::Ne,
+                    offset: start,
+                });
+                i += 2;
+            }
+            '<' => {
+                let token = match bytes.get(i + 1) {
+                    Some(&b'=') => {
+                        i += 1;
+                        Token::Le
+                    }
+                    Some(&b'>') => {
+                        i += 1;
+                        Token::Ne
+                    }
+                    _ => Token::Lt,
+                };
+                push(&mut out, token, start, &mut i);
+            }
+            '>' => {
+                let token = match bytes.get(i + 1) {
+                    Some(&b'=') => {
+                        i += 1;
+                        Token::Ge
+                    }
+                    _ => Token::Gt,
+                };
+                push(&mut out, token, start, &mut i);
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b'\'') => {
+                            // '' escapes a quote
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
+            }
+            '0'..='9' => {
+                let mut end = i;
+                let mut is_float = false;
+                while end < bytes.len() {
+                    match bytes[end] {
+                        b'0'..=b'9' => end += 1,
+                        b'.' if !is_float
+                            && bytes.get(end + 1).is_some_and(|b| b.is_ascii_digit()) =>
+                        {
+                            is_float = true;
+                            end += 1;
+                        }
+                        b'e' | b'E'
+                            if bytes.get(end + 1).is_some_and(|b| {
+                                b.is_ascii_digit() || *b == b'-' || *b == b'+'
+                            }) =>
+                        {
+                            is_float = true;
+                            end += 2;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &src[i..end];
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        message: format!("bad float literal {text}"),
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        message: format!("bad integer literal {text}"),
+                    })?)
+                };
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                let word = &src[i..end];
+                let lowered = word.to_ascii_lowercase();
+                let token = match Keyword::from_str(&lowered) {
+                    Some(k) => Token::Keyword(k),
+                    None => Token::Ident(word.to_string()),
+                };
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
+                i = end;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    offset: start,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push(out: &mut Vec<Spanned>, token: Token, offset: usize, i: &mut usize) {
+    out.push(Spanned { token, offset });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_select() {
+        assert_eq!(
+            toks("SELECT * FROM t WHERE a >= 10"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Star,
+                Token::Keyword(Keyword::From),
+                Token::Ident("t".into()),
+                Token::Keyword(Keyword::Where),
+                Token::Ident("a".into()),
+                Token::Ge,
+                Token::Int(10),
+            ]
+        );
+    }
+
+    #[test]
+    fn basket_brackets_and_operators() {
+        assert_eq!(
+            toks("[select x from S where v1<x and x<>2]"),
+            vec![
+                Token::LBracket,
+                Token::Keyword(Keyword::Select),
+                Token::Ident("x".into()),
+                Token::Keyword(Keyword::From),
+                Token::Ident("S".into()),
+                Token::Keyword(Keyword::Where),
+                Token::Ident("v1".into()),
+                Token::Lt,
+                Token::Ident("x".into()),
+                Token::Keyword(Keyword::And),
+                Token::Ident("x".into()),
+                Token::Ne,
+                Token::Int(2),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("1 2.5 1e3 10.25 007"),
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Float(1000.0),
+                Token::Float(10.25),
+                Token::Int(7),
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_qualifier_vs_float() {
+        assert_eq!(
+            toks("S.a"),
+            vec![
+                Token::Ident("S".into()),
+                Token::Dot,
+                Token::Ident("a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks("'hello' 'it''s'"),
+            vec![Token::Str("hello".into()), Token::Str("it's".into())]
+        );
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("select -- the projection\n 1"),
+            vec![Token::Keyword(Keyword::Select), Token::Int(1)]
+        );
+    }
+
+    #[test]
+    fn ne_spellings() {
+        assert_eq!(toks("a <> b"), toks("a != b"));
+    }
+
+    #[test]
+    fn keywords_case_insensitive_idents_preserved() {
+        assert_eq!(
+            toks("SeLeCt MyTable"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("MyTable".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_char_reports_offset() {
+        let err = lex("select ?").unwrap_err();
+        match err {
+            SqlError::Lex { offset, .. } => assert_eq!(offset, 7),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # dcsql — the DataCell query language
+//!
+//! SQL'03-subset front-end plus the paper's orthogonal extensions: basket
+//! expressions (`[select ...]`), `TOP n`, `WITH ... BEGIN ... END` split
+//! blocks and global variables. See `parser` for the grammar and `exec`
+//! for the evaluation pipeline.
+
+pub mod ast;
+pub mod exec;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use error::{Result, SqlError};
+pub use parser::{parse_statement, parse_statements};

@@ -1,0 +1,1090 @@
+//! Recursive-descent parser for the DataCell dialect.
+//!
+//! Notable dialect points (all from the paper's examples):
+//!
+//! * `[select ...]` in FROM position (or as an INSERT source) is a
+//!   **basket expression** — square brackets mark consuming scans.
+//! * `select top 20 from X order by tag` — projection may be omitted
+//!   (implicit `*`), and `TOP n` bounds the result set.
+//! * `select all from X ...` — `ALL` is an explicit "every column".
+//! * Interval literals: `1 hour`, `30 seconds` — parsed into microsecond
+//!   integer literals (the engine clock is microseconds).
+//! * `WITH a AS [..] BEGIN insert ...; insert ...; END` — split blocks.
+
+use monet::value::{Value, ValueType};
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::lexer::lex;
+use crate::token::{Keyword, Spanned, Token};
+
+/// Microseconds per unit, for interval literals.
+fn interval_unit(word: &str) -> Option<i64> {
+    match word.to_ascii_lowercase().as_str() {
+        "microsecond" | "microseconds" | "usec" | "usecs" => Some(1),
+        "millisecond" | "milliseconds" | "msec" | "msecs" => Some(1_000),
+        "second" | "seconds" | "sec" | "secs" => Some(1_000_000),
+        "minute" | "minutes" | "min" | "mins" => Some(60_000_000),
+        "hour" | "hours" => Some(3_600_000_000),
+        "day" | "days" => Some(86_400_000_000),
+        _ => None,
+    }
+}
+
+/// Parse one statement (a trailing semicolon is allowed).
+pub fn parse_statement(src: &str) -> Result<Stmt> {
+    let mut stmts = parse_statements(src)?;
+    match stmts.len() {
+        1 => Ok(stmts.pop().expect("len checked")),
+        n => Err(SqlError::Parse {
+            offset: 0,
+            message: format!("expected exactly one statement, found {n}"),
+        }),
+    }
+}
+
+/// Parse a semicolon-separated script.
+pub fn parse_statements(src: &str) -> Result<Vec<Stmt>> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&Token::Semicolon) {}
+        if p.at_end() {
+            break;
+        }
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |s| s.offset)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Keyword) -> bool {
+        self.eat(&Token::Keyword(k))
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {t}, found {}", self.found())))
+        }
+    }
+
+    fn expect_kw(&mut self, k: Keyword) -> Result<()> {
+        self.expect(&Token::Keyword(k))
+    }
+
+    fn found(&self) -> String {
+        self.peek()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "end of input".into())
+    }
+
+    fn error(&self, message: String) -> SqlError {
+        SqlError::Parse {
+            offset: self.offset(),
+            message,
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::Ident(_)) => {
+                if let Some(Token::Ident(s)) = self.next() {
+                    Ok(s)
+                } else {
+                    unreachable!()
+                }
+            }
+            _ => Err(self.error(format!("expected identifier, found {}", self.found()))),
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Stmt> {
+        match self.peek() {
+            Some(Token::Keyword(Keyword::Select)) | Some(Token::LBracket) => {
+                Ok(Stmt::Select(self.select()?))
+            }
+            Some(Token::Keyword(Keyword::Insert)) => self.insert(),
+            Some(Token::Keyword(Keyword::With)) => self.with_block(),
+            Some(Token::Keyword(Keyword::Declare)) => self.declare(),
+            Some(Token::Keyword(Keyword::Set)) => self.set_stmt(),
+            Some(Token::Keyword(Keyword::Create)) => self.create(),
+            _ => Err(self.error(format!("expected a statement, found {}", self.found()))),
+        }
+    }
+
+    fn insert(&mut self) -> Result<Stmt> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.ident()?;
+        let columns = if self.peek() == Some(&Token::LParen)
+            && matches!(self.peek2(), Some(Token::Ident(_)))
+            && self.looks_like_column_list()
+        {
+            self.expect(&Token::LParen)?;
+            let mut cols = vec![self.ident()?];
+            while self.eat(&Token::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect(&Token::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        let source = match self.peek() {
+            // `insert into t [select ...]`: basket-expression source.
+            Some(Token::LBracket) => self.bracketed_source()?,
+            Some(Token::Keyword(Keyword::Values)) => self.values_source()?,
+            Some(Token::Keyword(Keyword::Select)) => self.select()?,
+            Some(Token::LParen) => {
+                self.expect(&Token::LParen)?;
+                let s = self.select()?;
+                self.expect(&Token::RParen)?;
+                s
+            }
+            _ => {
+                return Err(self.error(format!(
+                    "expected SELECT, VALUES or basket expression, found {}",
+                    self.found()
+                )))
+            }
+        };
+        Ok(Stmt::Insert {
+            table,
+            columns,
+            source,
+        })
+    }
+
+    /// Disambiguate `insert into t (a, b) select...` from
+    /// `insert into t (select ...)`.
+    fn looks_like_column_list(&self) -> bool {
+        // scan forward: LParen Ident (Comma Ident)* RParen
+        let mut i = self.pos + 1;
+        loop {
+            match self.tokens.get(i).map(|s| &s.token) {
+                Some(Token::Ident(_)) => i += 1,
+                _ => return false,
+            }
+            match self.tokens.get(i).map(|s| &s.token) {
+                Some(Token::Comma) => i += 1,
+                Some(Token::RParen) => return true,
+                _ => return false,
+            }
+        }
+    }
+
+    /// `[select ...]` used as an INSERT source: desugars to
+    /// `SELECT * FROM [select ...] AS __src` so basket-consumption
+    /// semantics apply uniformly.
+    fn bracketed_source(&mut self) -> Result<SelectStmt> {
+        self.expect(&Token::LBracket)?;
+        let inner = self.select()?;
+        self.expect(&Token::RBracket)?;
+        Ok(SelectStmt {
+            projection: vec![SelectItem::Star],
+            from: vec![FromItem::Basket {
+                query: Box::new(inner),
+                alias: Some("__src".into()),
+            }],
+            ..SelectStmt::default()
+        })
+    }
+
+    /// `VALUES (a, b), (c, d)` desugars to FROM-less selects chained with
+    /// UNION ALL.
+    fn values_source(&mut self) -> Result<SelectStmt> {
+        self.expect_kw(Keyword::Values)?;
+        let mut rows: Vec<Vec<Expr>> = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.eat(&Token::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let mut iter = rows.into_iter().rev();
+        let mut acc: Option<SelectStmt> = None;
+        for row in iter.by_ref() {
+            let stmt = SelectStmt {
+                projection: row
+                    .into_iter()
+                    .map(|expr| SelectItem::Expr { expr, alias: None })
+                    .collect(),
+                union: acc.take().map(|s| (true, Box::new(s))),
+                ..SelectStmt::default()
+            };
+            acc = Some(stmt);
+        }
+        acc.ok_or_else(|| self.error("VALUES needs at least one row".into()))
+    }
+
+    fn with_block(&mut self) -> Result<Stmt> {
+        self.expect_kw(Keyword::With)?;
+        let binding = self.ident()?;
+        self.expect_kw(Keyword::As)?;
+        self.expect(&Token::LBracket)?;
+        let source = self.select()?;
+        self.expect(&Token::RBracket)?;
+        self.expect_kw(Keyword::Begin)?;
+        let mut body = Vec::new();
+        loop {
+            while self.eat(&Token::Semicolon) {}
+            if self.eat_kw(Keyword::End) {
+                break;
+            }
+            if self.at_end() {
+                return Err(self.error("unterminated WITH block (missing END)".into()));
+            }
+            body.push(self.statement()?);
+        }
+        Ok(Stmt::With {
+            binding,
+            source,
+            body,
+        })
+    }
+
+    fn declare(&mut self) -> Result<Stmt> {
+        self.expect_kw(Keyword::Declare)?;
+        let name = self.ident()?;
+        let vtype = self.type_name()?;
+        Ok(Stmt::Declare { name, vtype })
+    }
+
+    fn set_stmt(&mut self) -> Result<Stmt> {
+        self.expect_kw(Keyword::Set)?;
+        let name = self.ident()?;
+        self.expect(&Token::Eq)?;
+        let expr = self.expr()?;
+        Ok(Stmt::Set { name, expr })
+    }
+
+    fn create(&mut self) -> Result<Stmt> {
+        self.expect_kw(Keyword::Create)?;
+        let kind = if self.eat_kw(Keyword::Table) {
+            CreateKind::Table
+        } else if self.eat_kw(Keyword::Basket) {
+            CreateKind::Basket
+        } else if self.eat_kw(Keyword::Stream) {
+            CreateKind::Stream
+        } else {
+            return Err(self.error(format!(
+                "expected TABLE, BASKET or STREAM, found {}",
+                self.found()
+            )));
+        };
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut fields = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let vtype = self.type_name()?;
+            fields.push((col, vtype));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Stmt::Create { kind, name, fields })
+    }
+
+    fn type_name(&mut self) -> Result<ValueType> {
+        let t = self.next().ok_or_else(|| self.error("expected a type".into()))?;
+        match t {
+            Token::Keyword(Keyword::Int) | Token::Keyword(Keyword::Integer) => Ok(ValueType::Int),
+            Token::Keyword(Keyword::Double) | Token::Keyword(Keyword::Float) => {
+                Ok(ValueType::Double)
+            }
+            Token::Keyword(Keyword::Varchar) | Token::Keyword(Keyword::Text) => {
+                // optional length: varchar(20)
+                if self.eat(&Token::LParen) {
+                    self.next();
+                    self.expect(&Token::RParen)?;
+                }
+                Ok(ValueType::Str)
+            }
+            Token::Keyword(Keyword::Boolean) => Ok(ValueType::Bool),
+            Token::Keyword(Keyword::Timestamp) => Ok(ValueType::Ts),
+            other => Err(self.error(format!("expected a type, found {other}"))),
+        }
+    }
+
+    // ---- SELECT ----------------------------------------------------------
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw(Keyword::Select)?;
+        let mut stmt = SelectStmt::default();
+        if self.eat_kw(Keyword::Distinct) {
+            stmt.distinct = true;
+        } else {
+            // `select all from X` — explicit all-columns
+            let all_is_projection = self.peek() == Some(&Token::Keyword(Keyword::All))
+                && self.peek2() == Some(&Token::Keyword(Keyword::From));
+            if all_is_projection {
+                self.eat_kw(Keyword::All);
+                stmt.projection.push(SelectItem::Star);
+            }
+        }
+        if self.eat_kw(Keyword::Top) {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => stmt.top = Some(n as u64),
+                _ => return Err(self.error("TOP requires a non-negative integer".into())),
+            }
+        }
+        // projection (may be empty when FROM follows immediately)
+        if stmt.projection.is_empty() && self.peek() != Some(&Token::Keyword(Keyword::From)) {
+            loop {
+                stmt.projection.push(self.select_item()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if stmt.projection.is_empty() {
+            stmt.projection.push(SelectItem::Star);
+        }
+        if self.eat_kw(Keyword::From) {
+            loop {
+                stmt.from.push(self.from_item()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw(Keyword::Where) {
+            stmt.where_clause = Some(self.expr()?);
+        }
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                stmt.group_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw(Keyword::Having) {
+            stmt.having = Some(self.expr()?);
+        }
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.eat_kw(Keyword::Desc) {
+                    false
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    true
+                };
+                stmt.order_by.push((e, asc));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw(Keyword::Limit) {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => stmt.limit = Some(n as u64),
+                _ => return Err(self.error("LIMIT requires a non-negative integer".into())),
+            }
+        }
+        if self.eat_kw(Keyword::Union) {
+            let all = self.eat_kw(Keyword::All);
+            let rhs = self.select()?;
+            stmt.union = Some((all, Box::new(rhs)));
+        }
+        Ok(stmt)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Star);
+        }
+        // alias.*
+        if let (Some(Token::Ident(_)), Some(Token::Dot)) = (self.peek(), self.peek2()) {
+            if self.tokens.get(self.pos + 2).map(|s| &s.token) == Some(&Token::Star) {
+                let q = self.ident()?;
+                self.expect(&Token::Dot)?;
+                self.expect(&Token::Star)?;
+                return Ok(SelectItem::QualifiedStar(q));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else if matches!(self.peek(), Some(Token::Ident(_))) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn from_item(&mut self) -> Result<FromItem> {
+        match self.peek() {
+            Some(Token::LBracket) => {
+                self.expect(&Token::LBracket)?;
+                let q = self.select()?;
+                self.expect(&Token::RBracket)?;
+                let alias = self.optional_alias()?;
+                Ok(FromItem::Basket {
+                    query: Box::new(q),
+                    alias,
+                })
+            }
+            Some(Token::LParen) => {
+                self.expect(&Token::LParen)?;
+                let q = self.select()?;
+                self.expect(&Token::RParen)?;
+                let alias = self
+                    .optional_alias()?
+                    .ok_or_else(|| self.error("derived table requires an alias".into()))?;
+                Ok(FromItem::Subquery {
+                    query: Box::new(q),
+                    alias,
+                })
+            }
+            _ => {
+                let name = self.ident()?;
+                let alias = self.optional_alias()?;
+                Ok(FromItem::Table { name, alias })
+            }
+        }
+    }
+
+    fn optional_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw(Keyword::As) {
+            return Ok(Some(self.ident()?));
+        }
+        if matches!(self.peek(), Some(Token::Ident(_))) {
+            return Ok(Some(self.ident()?));
+        }
+        Ok(None)
+    }
+
+    // ---- expressions (precedence climbing) --------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw(Keyword::Not) {
+            let e = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let lhs = self.additive()?;
+        // BETWEEN / IN / IS [NOT] NULL / NOT BETWEEN / NOT IN
+        let negated = if self.peek() == Some(&Token::Keyword(Keyword::Not))
+            && matches!(
+                self.peek2(),
+                Some(Token::Keyword(Keyword::Between)) | Some(Token::Keyword(Keyword::In))
+            ) {
+            self.eat_kw(Keyword::Not);
+            true
+        } else {
+            false
+        };
+        if self.eat_kw(Keyword::Between) {
+            let lo = self.additive()?;
+            self.expect_kw(Keyword::And)?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::In) {
+            self.expect(&Token::LParen)?;
+            let mut list = vec![self.expr()?];
+            while self.eat(&Token::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::Is) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let rhs = self.additive()?;
+            // chained comparisons `v1 < x < v2` parse as range predicates
+            let chained_op = match self.peek() {
+                Some(Token::Lt) => Some(BinOp::Lt),
+                Some(Token::Le) => Some(BinOp::Le),
+                Some(Token::Gt) => Some(BinOp::Gt),
+                Some(Token::Ge) => Some(BinOp::Ge),
+                _ => None,
+            };
+            if let Some(op2) = chained_op {
+                self.next();
+                let third = self.additive()?;
+                // a op b op2 c  ==>  (a op b) AND (b op2 c)
+                return Ok(Expr::bin(
+                    BinOp::And,
+                    Expr::bin(op, lhs, rhs.clone()),
+                    Expr::bin(op2, rhs, third),
+                ));
+            }
+            return Ok(Expr::bin(op, lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            let e = self.unary()?;
+            // constant-fold negative literals for cleaner ASTs
+            if let Expr::Literal(Value::Int(v)) = e {
+                return Ok(Expr::Literal(Value::Int(-v)));
+            }
+            if let Expr::Literal(Value::Double(v)) = e {
+                return Ok(Expr::Literal(Value::Double(-v)));
+            }
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(v)) => {
+                self.next();
+                // interval literal: `1 hour`
+                if let Some(Token::Ident(unit)) = self.peek() {
+                    if let Some(mult) = interval_unit(unit) {
+                        self.next();
+                        return Ok(Expr::Literal(Value::Int(v.saturating_mul(mult))));
+                    }
+                }
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            Some(Token::Float(v)) => {
+                self.next();
+                Ok(Expr::Literal(Value::Double(v)))
+            }
+            Some(Token::Str(s)) => {
+                self.next();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Some(Token::Keyword(Keyword::Null)) => {
+                self.next();
+                Ok(Expr::Literal(Value::Null))
+            }
+            Some(Token::Keyword(Keyword::True)) => {
+                self.next();
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            Some(Token::Keyword(Keyword::False)) => {
+                self.next();
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            Some(Token::LParen) => {
+                self.next();
+                if self.peek() == Some(&Token::Keyword(Keyword::Select)) {
+                    let sub = self.select()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(sub)));
+                }
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(_)) => {
+                let name = self.ident()?;
+                // function call?
+                if self.peek() == Some(&Token::LParen) {
+                    return self.func_call(name);
+                }
+                // qualified column t.a
+                if self.eat(&Token::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            // aggregate-style keywords used as function names never clash
+            // with our keyword set, so anything else is an error
+            _ => Err(self.error(format!("expected an expression, found {}", self.found()))),
+        }
+    }
+
+    fn func_call(&mut self, name: String) -> Result<Expr> {
+        self.expect(&Token::LParen)?;
+        let lowered = name.to_ascii_lowercase();
+        if self.eat(&Token::Star) {
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::FuncCall {
+                name: lowered,
+                args: vec![],
+                star: true,
+            });
+        }
+        // count(distinct x)
+        if lowered == "count" && self.eat_kw(Keyword::Distinct) {
+            let arg = self.expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::FuncCall {
+                name: "count_distinct".into(),
+                args: vec![arg],
+                star: false,
+            });
+        }
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            args.push(self.expr()?);
+            while self.eat(&Token::Comma) {
+                args.push(self.expr()?);
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Expr::FuncCall {
+            name: lowered,
+            args,
+            star: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(src: &str) -> SelectStmt {
+        match parse_statement(src).unwrap() {
+            Stmt::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimal_select() {
+        let s = sel("select * from R");
+        assert_eq!(s.projection, vec![SelectItem::Star]);
+        assert_eq!(
+            s.from,
+            vec![FromItem::Table {
+                name: "R".into(),
+                alias: None
+            }]
+        );
+    }
+
+    #[test]
+    fn paper_query_q1() {
+        // q1 from §3.4
+        let s = sel("select * from [select * from R] as S where S.a > v1");
+        assert_eq!(s.from.len(), 1);
+        match &s.from[0] {
+            FromItem::Basket { query, alias } => {
+                assert_eq!(alias.as_deref(), Some("S"));
+                assert_eq!(query.projection, vec![SelectItem::Star]);
+            }
+            other => panic!("expected basket, got {other:?}"),
+        }
+        assert!(matches!(
+            s.where_clause,
+            Some(Expr::Binary { op: BinOp::Gt, .. })
+        ));
+    }
+
+    #[test]
+    fn paper_query_q2_nested_where() {
+        let s = sel("select * from [select * from R where R.b<v2] as S where S.a >v1");
+        match &s.from[0] {
+            FromItem::Basket { query, .. } => {
+                assert!(query.where_clause.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_range_predicate() {
+        // the micro-benchmark query: Where v1<S.A<v2
+        let s = sel("Select * From S Where 10 < S.A and S.A < 20");
+        let c = s.where_clause.unwrap();
+        assert_eq!(c.conjuncts().len(), 2);
+        let s = sel("Select * From S Where 10 < S.A < 20");
+        let c = s.where_clause.unwrap();
+        assert_eq!(c.conjuncts().len(), 2, "chained comparison splits");
+    }
+
+    #[test]
+    fn top_with_implicit_projection() {
+        // `select top 20 from X order by tag`
+        let s = sel("select top 20 from X order by tag");
+        assert_eq!(s.top, Some(20));
+        assert_eq!(s.projection, vec![SelectItem::Star]);
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].1, "default ascending");
+    }
+
+    #[test]
+    fn select_all_from() {
+        let s = sel("select all from X where X.tag < 5");
+        assert_eq!(s.projection, vec![SelectItem::Star]);
+    }
+
+    #[test]
+    fn group_by_having_order_limit() {
+        let s = sel(
+            "select seg, count(*) as n from R group by seg having count(*) > 2 \
+             order by n desc, seg limit 5",
+        );
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert_eq!(s.order_by.len(), 2);
+        assert!(!s.order_by[0].1);
+        assert!(s.order_by[1].1);
+        assert_eq!(s.limit, Some(5));
+    }
+
+    #[test]
+    fn aggregates_and_star_args() {
+        let s = sel("select count(*), sum(*), count(distinct vid) from R");
+        match &s.projection[0] {
+            SelectItem::Expr { expr, .. } => match expr {
+                Expr::FuncCall { name, star, .. } => {
+                    assert_eq!(name, "count");
+                    assert!(star);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        match &s.projection[2] {
+            SelectItem::Expr { expr, .. } => {
+                assert!(
+                    matches!(expr, Expr::FuncCall { name, .. } if name == "count_distinct")
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_in_basket_expression() {
+        // the merge/gather example
+        let s = sel("select A.* from [select * from X,Y where X.id=Y.id] as A");
+        assert_eq!(s.projection, vec![SelectItem::QualifiedStar("A".into())]);
+        match &s.from[0] {
+            FromItem::Basket { query, .. } => {
+                assert_eq!(query.from.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_variants() {
+        let s = parse_statement("insert into outliers select tag from b where payload > 100")
+            .unwrap();
+        assert!(matches!(s, Stmt::Insert { ref table, .. } if table == "outliers"));
+
+        let s = parse_statement("insert into trash [select all from X where X.tag < now()-1 hour]")
+            .unwrap();
+        match s {
+            Stmt::Insert { source, .. } => match &source.from[0] {
+                FromItem::Basket { query, .. } => {
+                    assert!(query.where_clause.is_some());
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+
+        let s = parse_statement("insert into t (a, b) values (1, 'x'), (2, 'y')").unwrap();
+        match s {
+            Stmt::Insert {
+                columns, source, ..
+            } => {
+                assert_eq!(columns, Some(vec!["a".into(), "b".into()]));
+                assert!(source.union.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_split_block() {
+        // the split example from §5
+        let src = "with A as [select * from X] begin \
+                   insert into Y select * from A where A.payload>100; \
+                   insert into Z select * from A where A.payload<=200; \
+                   end";
+        match parse_statement(src).unwrap() {
+            Stmt::With { binding, body, .. } => {
+                assert_eq!(binding, "A");
+                assert_eq!(body.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn declare_and_set() {
+        let stmts =
+            parse_statements("declare cnt integer; declare tot integer; set tot = 0; set cnt=0;")
+                .unwrap();
+        assert_eq!(stmts.len(), 4);
+        assert!(matches!(
+            stmts[0],
+            Stmt::Declare {
+                vtype: ValueType::Int,
+                ..
+            }
+        ));
+        match &stmts[2] {
+            Stmt::Set { name, expr } => {
+                assert_eq!(name, "tot");
+                assert_eq!(expr, &Expr::lit(0i64));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_with_scalar_subquery() {
+        let s = parse_statement("set cnt = cnt + (select count(*) from Z)").unwrap();
+        match s {
+            Stmt::Set { expr, .. } => {
+                assert!(matches!(expr, Expr::Binary { op: BinOp::Add, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_statements() {
+        let s = parse_statement("create basket X (tag timestamp, id int, payload double)")
+            .unwrap();
+        match s {
+            Stmt::Create { kind, fields, .. } => {
+                assert_eq!(kind, CreateKind::Basket);
+                assert_eq!(
+                    fields,
+                    vec![
+                        ("tag".into(), ValueType::Ts),
+                        ("id".into(), ValueType::Int),
+                        ("payload".into(), ValueType::Double),
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_statement("create view v (x int)").is_err());
+    }
+
+    #[test]
+    fn interval_literals() {
+        let s = parse_statement("set t = 1 hour").unwrap();
+        match s {
+            Stmt::Set { expr, .. } => assert_eq!(expr, Expr::lit(3_600_000_000i64)),
+            other => panic!("{other:?}"),
+        }
+        let s = parse_statement("set t = 30 seconds").unwrap();
+        match s {
+            Stmt::Set { expr, .. } => assert_eq!(expr, Expr::lit(30_000_000i64)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_and_scalar_subquery_in_where() {
+        // heartbeat example shape from §5
+        let s = sel(
+            "select * from X union select * from HB \
+             where X.tag < (select max(tag) from HB)",
+        );
+        assert!(s.union.is_some());
+    }
+
+    #[test]
+    fn between_in_isnull() {
+        let s = sel("select * from R where a between 1 and 5 and b in (1,2) and c is not null");
+        let w = s.where_clause.unwrap();
+        assert_eq!(w.conjuncts().len(), 3);
+        let s = sel("select * from R where a not between 1 and 5");
+        assert!(matches!(
+            s.where_clause.unwrap(),
+            Expr::Between { negated: true, .. }
+        ));
+        let s = sel("select * from R where a not in (1)");
+        assert!(matches!(
+            s.where_clause.unwrap(),
+            Expr::InList { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let s = sel("select -5, -2.5 from R");
+        match &s.projection[0] {
+            SelectItem::Expr { expr, .. } => assert_eq!(expr, &Expr::lit(-5i64)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse_statement("select from").is_err());
+        assert!(parse_statement("select * from").is_err());
+        assert!(parse_statement("insert into").is_err());
+        assert!(parse_statement("with a as [select * from X] begin").is_err());
+        assert!(parse_statement("select * from (select * from X)").is_err(), "derived table needs alias");
+        assert!(parse_statement("select * from R; select * from S").is_err(), "parse_statement rejects scripts");
+        assert_eq!(parse_statements("select * from R; select * from S").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn metronome_call_parses() {
+        let s = parse_statement(
+            "insert into X(tag,id,payload) [select null,metronome(1 hour),null]",
+        )
+        .unwrap();
+        match s {
+            Stmt::Insert { columns, .. } => {
+                assert_eq!(columns.unwrap().len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

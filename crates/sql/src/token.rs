@@ -1,0 +1,200 @@
+//! Token set for the DataCell SQL dialect.
+
+use std::fmt;
+
+/// Keywords are case-insensitive; the lexer normalizes to these variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Asc,
+    Desc,
+    Limit,
+    Top,
+    Distinct,
+    As,
+    And,
+    Or,
+    Not,
+    Between,
+    In,
+    Is,
+    Null,
+    True,
+    False,
+    Insert,
+    Into,
+    Values,
+    With,
+    Begin,
+    End,
+    Declare,
+    Set,
+    Create,
+    Table,
+    Basket,
+    Stream,
+    Union,
+    All,
+    // type names
+    Int,
+    Integer,
+    Double,
+    Float,
+    Varchar,
+    Text,
+    Boolean,
+    Timestamp,
+}
+
+impl Keyword {
+    /// Parse a (case-folded) identifier as a keyword.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "select" => Select,
+            "from" => From,
+            "where" => Where,
+            "group" => Group,
+            "by" => By,
+            "having" => Having,
+            "order" => Order,
+            "asc" => Asc,
+            "desc" => Desc,
+            "limit" => Limit,
+            "top" => Top,
+            "distinct" => Distinct,
+            "as" => As,
+            "and" => And,
+            "or" => Or,
+            "not" => Not,
+            "between" => Between,
+            "in" => In,
+            "is" => Is,
+            "null" => Null,
+            "true" => True,
+            "false" => False,
+            "insert" => Insert,
+            "into" => Into,
+            "values" => Values,
+            "with" => With,
+            "begin" => Begin,
+            "end" => End,
+            "declare" => Declare,
+            "set" => Set,
+            "create" => Create,
+            "table" => Table,
+            "basket" => Basket,
+            "stream" => Stream,
+            "union" => Union,
+            "all" => All,
+            "int" => Int,
+            "integer" => Integer,
+            "double" => Double,
+            "float" => Float,
+            "varchar" => Varchar,
+            "text" => Text,
+            "boolean" => Boolean,
+            "timestamp" => Timestamp,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Keyword(Keyword),
+    /// Unquoted identifier (original case preserved).
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    /// Single-quoted string literal (escapes resolved).
+    Str(String),
+    LParen,
+    RParen,
+    /// `[` — opens a basket expression.
+    LBracket,
+    /// `]` — closes a basket expression.
+    RBracket,
+    Comma,
+    Semicolon,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semicolon => write!(f, ";"),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_exhaustive_for_core_words() {
+        for w in [
+            "select", "from", "where", "group", "by", "having", "order", "top", "limit",
+            "insert", "into", "with", "begin", "end", "declare", "set", "union", "all",
+        ] {
+            assert!(Keyword::from_str(w).is_some(), "{w}");
+        }
+        assert_eq!(Keyword::from_str("nonsense"), None);
+    }
+
+    #[test]
+    fn display_roundtrips_symbols() {
+        assert_eq!(Token::Le.to_string(), "<=");
+        assert_eq!(Token::LBracket.to_string(), "[");
+        assert_eq!(Token::Str("a'b".into()).to_string(), "'a'b'");
+    }
+}

@@ -1,0 +1,291 @@
+//! A corpus of query ↔ expected-result cases exercising the full
+//! parse → plan → execute path, including the paper's own example queries.
+
+use dcsql::exec::{execute_script, run_select, ExecEnv, StaticContext};
+use dcsql::parse_statements;
+use monet::prelude::*;
+
+fn ctx() -> StaticContext {
+    let r = Relation::from_columns(vec![
+        ("a".into(), Column::from_ints(vec![3, 1, 4, 1, 5, 9, 2, 6])),
+        ("b".into(), Column::from_ints(vec![10, 20, 30, 40, 50, 60, 70, 80])),
+        (
+            "tag".into(),
+            Column::from_ts(vec![100, 200, 300, 400, 500, 600, 700, 800]),
+        ),
+    ])
+    .unwrap();
+    let x = Relation::from_columns(vec![
+        ("id".into(), Column::from_ints(vec![1, 2, 3, 4])),
+        ("payload".into(), Column::from_ints(vec![50, 150, 250, 350])),
+    ])
+    .unwrap();
+    let y = Relation::from_columns(vec![
+        ("id".into(), Column::from_ints(vec![2, 4, 6])),
+        ("score".into(), Column::from_doubles(vec![0.5, 1.5, 2.5])),
+    ])
+    .unwrap();
+    StaticContext::new()
+        .with_relation("R", r)
+        .with_relation("X", x)
+        .with_relation("Y", y)
+        .with_var("v1", Value::Int(100))
+}
+
+fn select(src: &str) -> Relation {
+    let stmts = parse_statements(src).unwrap();
+    let c = ctx();
+    let fx = execute_script(&stmts, &c).unwrap();
+    fx.result.expect("a select result")
+}
+
+fn consumed(src: &str) -> Vec<(String, Vec<u32>)> {
+    let stmts = parse_statements(src).unwrap();
+    let sel = match &stmts[0] {
+        dcsql::ast::Stmt::Select(s) => s.clone(),
+        other => panic!("{other:?}"),
+    };
+    let c = ctx();
+    let mut env = ExecEnv::default();
+    let out = run_select(&sel, &c, &mut env, false).unwrap();
+    out.consumed
+        .into_iter()
+        .map(|(n, s)| (n, s.as_slice().to_vec()))
+        .collect()
+}
+
+#[test]
+fn ordering_stability_and_multi_key() {
+    let r = select("select a, b from R order by a asc, b desc");
+    assert_eq!(r.column("a").unwrap().ints().unwrap(), &[1, 1, 2, 3, 4, 5, 6, 9]);
+    // ties on a=1 broken by b desc: 40 before 20
+    assert_eq!(&r.column("b").unwrap().ints().unwrap()[..2], &[40, 20]);
+}
+
+#[test]
+fn arithmetic_in_projection_and_where() {
+    let r = select("select a * b as ab from R where (a + b) % 2 = 1 order by ab");
+    // odd a+b: (3,10)=13✓,(1,20)=21✓,(1,40)=41✓,(5,50)=55✓,(9,60)=69✓,(2,70)=72✗...
+    assert_eq!(r.column("ab").unwrap().ints().unwrap(), &[20, 30, 40, 250, 540]);
+}
+
+#[test]
+fn distinct_and_count_distinct_agree() {
+    let distinct_rows = select("select distinct a from R");
+    let counted = select("select count(distinct a) from R");
+    assert_eq!(
+        distinct_rows.len() as i64,
+        counted.col_at(0).get(0).as_int().unwrap()
+    );
+}
+
+#[test]
+fn having_on_computed_aggregate() {
+    let r = select(
+        "select a % 2 as parity, sum(b) as s from R group by a % 2 \
+         having sum(b) > 150 order by s",
+    );
+    // parity 1: rows a∈{3,1,1,5,9} → b sum 10+20+40+50+60=180
+    // parity 0: rows a∈{4,2,6} → 30+70+80=180 — both > 150
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.column("s").unwrap().ints().unwrap(), &[180, 180]);
+}
+
+#[test]
+fn between_boundaries_inclusive() {
+    let r = select("select a from R where a between 2 and 5 order by a");
+    assert_eq!(r.column("a").unwrap().ints().unwrap(), &[2, 3, 4, 5]);
+}
+
+#[test]
+fn scalar_subquery_correlates_with_outer_constant() {
+    let r = select("select a from R where b = (select min(payload) from X where id > 1) + 20");
+    // min payload of id>1 is 150; b = 170 → none
+    assert_eq!(r.len(), 0);
+    let r = select("select a from R where b = (select min(payload) from X) - 20");
+    // 50 - 20 = 30 → a = 4
+    assert_eq!(r.column("a").unwrap().ints().unwrap(), &[4]);
+}
+
+#[test]
+fn join_with_expression_output() {
+    let r = select(
+        "select X.payload + 1 as p, Y.score from X, Y where X.id = Y.id order by p",
+    );
+    assert_eq!(r.column("p").unwrap().ints().unwrap(), &[151, 351]);
+    assert_eq!(r.column("score").unwrap().doubles().unwrap(), &[0.5, 1.5]);
+}
+
+#[test]
+fn union_all_preserves_duplicates_union_removes() {
+    let all = select("select a from R where a = 1 union all select a from R where a < 3");
+    assert_eq!(all.len(), 2 + 3); // two 1s + {1,1,2}
+    let dedup = select("select a from R where a = 1 union select a from R where a < 3");
+    assert_eq!(dedup.len(), 2); // {1, 2}
+}
+
+#[test]
+fn variable_thresholds_in_predicates() {
+    // v1 = 100 in the context
+    let r = select("select id from X where payload > v1 order by id");
+    assert_eq!(r.column("id").unwrap().ints().unwrap(), &[2, 3, 4]);
+}
+
+#[test]
+fn top_vs_limit_interaction() {
+    let top = select("select top 3 a from R order by a");
+    let limit = select("select a from R order by a limit 3");
+    assert_eq!(top.column("a").unwrap().ints().unwrap(), &[1, 1, 2]);
+    assert_eq!(
+        top.column("a").unwrap().ints().unwrap(),
+        limit.column("a").unwrap().ints().unwrap()
+    );
+    // both present: the tighter bound wins
+    let both = select("select top 5 a from R order by a limit 2");
+    assert_eq!(both.len(), 2);
+}
+
+#[test]
+fn nested_basket_expressions_consume_once() {
+    // a basket expression over a basket expression: inner-most scan is
+    // the consumed one
+    let c = consumed(
+        "select * from [select * from [select * from X where payload > 100] as inner1] as outer1",
+    );
+    assert_eq!(c.len(), 1);
+    assert_eq!(c[0].0, "X");
+    assert_eq!(c[0].1, vec![1, 2, 3]);
+}
+
+#[test]
+fn two_baskets_in_one_from_consume_independently() {
+    let c = consumed(
+        "select * from [select * from X where X.payload > 300] as A, \
+                       [select * from Y where Y.score > 2.0] as B",
+    );
+    let x = c.iter().find(|(n, _)| n == "X").unwrap();
+    let y = c.iter().find(|(n, _)| n == "Y").unwrap();
+    assert_eq!(x.1, vec![3]);
+    assert_eq!(y.1, vec![2]);
+}
+
+#[test]
+fn consumption_union_when_same_basket_twice() {
+    let c = consumed(
+        "select * from [select * from X where payload < 100] as A, \
+                       [select * from X where payload > 300] as B",
+    );
+    assert_eq!(c.len(), 1);
+    assert_eq!(c[0].1, vec![0, 3], "union of both windows");
+}
+
+#[test]
+fn order_by_inside_basket_affects_consumption() {
+    let c = consumed("select * from [select top 2 from R order by tag desc] as W");
+    assert_eq!(c[0].1, vec![6, 7], "latest two by tag");
+}
+
+#[test]
+fn script_with_declares_inserts_and_select() {
+    let stmts = parse_statements(
+        "declare thr int; set thr = 4; \
+         insert into sink select a from R where a > thr; \
+         select count(*) from R",
+    )
+    .unwrap();
+    let c = ctx();
+    let fx = execute_script(&stmts, &c).unwrap();
+    assert_eq!(fx.var_updates, vec![("thr".to_string(), Value::Int(4))]);
+    assert_eq!(fx.inserts.len(), 1);
+    assert_eq!(fx.inserts[0].0, "sink");
+    assert_eq!(fx.inserts[0].2.len(), 3, "a in 5,9,6");
+    assert_eq!(fx.result.unwrap().col_at(0).get(0), Value::Int(8));
+}
+
+#[test]
+fn error_paths_are_clean() {
+    let cases = [
+        "select nope from R",
+        "select a from NOPE",
+        "select a from R where a > 'text'",
+        "select sum(a) from R group by", // parse error
+        "select a, count(*) from R",     // mixed agg without group by → a must be grouped
+    ];
+    for src in cases {
+        let c = ctx();
+        let result = parse_statements(src).and_then(|stmts| execute_script(&stmts, &c));
+        assert!(result.is_err(), "{src} should fail");
+    }
+}
+
+#[test]
+fn is_null_filters_and_null_arithmetic() {
+    let stmts = parse_statements(
+        "select a + null as x, a is null as isn, a is not null as notn from R where a = 3",
+    )
+    .unwrap();
+    let c = ctx();
+    let r = execute_script(&stmts, &c).unwrap().result.unwrap();
+    assert_eq!(r.column("x").unwrap().get(0), Value::Null);
+    assert_eq!(r.column("isn").unwrap().get(0), Value::Bool(false));
+    assert_eq!(r.column("notn").unwrap().get(0), Value::Bool(true));
+}
+
+#[test]
+fn group_by_string_keys() {
+    let ctx2 = StaticContext::new().with_relation(
+        "T",
+        Relation::from_columns(vec![
+            (
+                "k".into(),
+                Column::from_strs(vec!["x".into(), "y".into(), "x".into()]),
+            ),
+            ("v".into(), Column::from_ints(vec![1, 2, 3])),
+        ])
+        .unwrap(),
+    );
+    let stmts = parse_statements("select k, sum(v) as s from T group by k order by s").unwrap();
+    let r = execute_script(&stmts, &ctx2).unwrap().result.unwrap();
+    assert_eq!(r.column("k").unwrap().get(0), Value::Str("y".into()));
+    assert_eq!(r.column("s").unwrap().ints().unwrap(), &[2, 4]);
+}
+
+#[test]
+fn min_max_over_timestamps() {
+    let r = select("select min(tag), max(tag) from R");
+    assert_eq!(r.col_at(0).get(0), Value::Ts(100));
+    assert_eq!(r.col_at(1).get(0), Value::Ts(800));
+}
+
+#[test]
+fn paper_heartbeat_union_query_shape() {
+    // the §5 heartbeat merge: union of a stream and filler markers
+    let ctx2 = StaticContext::new()
+        .with_relation(
+            "X",
+            Relation::from_columns(vec![
+                ("tag".into(), Column::from_ts(vec![10, 30])),
+                ("payload".into(), Column::from_ints(vec![1, 3])),
+            ])
+            .unwrap(),
+        )
+        .with_relation(
+            "HB",
+            Relation::from_columns(vec![
+                ("tag".into(), Column::from_ts(vec![20, 40])),
+                ("payload".into(), Column::from_values(
+                    ValueType::Int,
+                    &[Value::Null, Value::Null],
+                ).unwrap()),
+            ])
+            .unwrap(),
+        );
+    let stmts = parse_statements(
+        "select tag, payload from X where tag < (select max(tag) from HB) \
+         union all select tag, payload from HB",
+    )
+    .unwrap();
+    let r = execute_script(&stmts, &ctx2).unwrap().result.unwrap();
+    assert_eq!(r.len(), 4, "both real events plus both markers");
+    assert_eq!(r.col_at(1).null_count(), 2);
+}

@@ -1,0 +1,87 @@
+//! Metronome & heartbeat (paper §5): reacting to the *absence* of events.
+//!
+//! A metronome injects a marker tuple every second; a heartbeat watches a
+//! data stream and fills quiet epochs so a downstream windowed average
+//! always has one value per second.
+//!
+//! Run with: `cargo run --example heartbeat`
+
+use std::sync::Arc;
+
+use datacell::metronome::{Heartbeat, Metronome};
+use datacell::prelude::*;
+use datacell::scheduler::Scheduler;
+
+fn main() -> datacell::error::Result<()> {
+    let clock = Arc::new(VirtualClock::new());
+
+    let schema = Schema::from_pairs(&[("tag", ValueType::Ts), ("payload", ValueType::Int)]);
+    let sensor = Basket::new("sensor", &schema, false);
+    let ticks = Basket::new("ticks", &schema, false);
+    let uniform = Basket::new("uniform", &schema, false);
+
+    let mut sched = Scheduler::new();
+
+    // metronome: one marker per second into `ticks`
+    sched.add(Box::new(Metronome::new(
+        "metronome",
+        Arc::clone(&ticks),
+        clock.clone(),
+        MICROS_PER_SEC,
+        |t| vec![Value::Ts(t), Value::Null],
+    )));
+
+    // heartbeat: fill quiet sensor epochs into `uniform`
+    sched.add(Box::new(Heartbeat::new(
+        "heartbeat",
+        Arc::clone(&sensor),
+        Arc::clone(&uniform),
+        clock.clone(),
+        MICROS_PER_SEC,
+        |t| vec![Value::Ts(t), Value::Int(0)],
+    )));
+
+    // copy real sensor tuples into the uniform stream as well
+    {
+        let src = Arc::clone(&sensor);
+        let dst = Arc::clone(&uniform);
+        let clk = clock.clone();
+        sched.add(Box::new(ClosureFactory::new(
+            "merge_real",
+            vec![Arc::clone(&sensor)],
+            vec![Arc::clone(&uniform)],
+            move || {
+                let batch = src.drain();
+                let n = batch.len();
+                dst.append_relation(batch, clk.as_ref())?;
+                Ok(FireReport {
+                    consumed: n,
+                    produced: n,
+                    elapsed_micros: 0,
+                })
+            },
+        )));
+    }
+
+    // Simulate 10 seconds; the sensor only speaks in seconds 3 and 7.
+    for sec in 1..=10i64 {
+        clock.set(sec * MICROS_PER_SEC);
+        if sec == 3 || sec == 7 {
+            sensor.append_rows(
+                &[vec![Value::Ts(clock.now()), Value::Int(sec * 100)]],
+                clock.as_ref(),
+            )?;
+        }
+        sched.run_until_quiescent(16).unwrap();
+    }
+
+    println!("metronome ticks: {}", ticks.len());
+    println!("uniform stream: {} tuples", uniform.len());
+    let snapshot = uniform.snapshot();
+    println!("{snapshot}");
+
+    assert_eq!(ticks.len(), 10, "one tick per second");
+    // 2 real + at least 7 fillers (quiet epochs before/between/after)
+    assert!(uniform.len() >= 9, "uniform stream has no gaps");
+    Ok(())
+}

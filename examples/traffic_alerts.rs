@@ -1,0 +1,53 @@
+//! Traffic alerts: a pocket-sized Linear Road run (paper §6.2).
+//!
+//! Generates a few minutes of synthetic traffic, replays it through the
+//! full 38-query DataCell network, prints toll notifications and accident
+//! alerts, and validates the outputs against the reference implementation.
+//!
+//! Run with: `cargo run --example traffic_alerts`
+
+use linearroad::driver::{run, DriverConfig};
+use linearroad::gen::GenConfig;
+use linearroad::queries::query_inventory;
+use linearroad::validate::validate;
+
+fn main() {
+    let cfg = DriverConfig {
+        gen: GenConfig {
+            scale: 0.05,
+            duration_secs: 1200, // 20 minutes of traffic
+            seed: 2024,
+            xways: 1,
+            query_fraction: 0.02,
+        },
+        sample_every_secs: 60,
+    };
+
+    println!("query network:");
+    for (collection, queries) in query_inventory() {
+        println!("  {collection}: {} queries", queries.len());
+    }
+
+    let result = run(&cfg);
+    println!(
+        "\nreplayed {} input tuples ({} s of traffic) in {:.2} s wall",
+        result.total_input, cfg.gen.duration_secs, result.wall_secs
+    );
+    println!("toll notifications: {}", result.tolls.len());
+    println!("accident alerts:    {}", result.alerts.len());
+    println!("balance answers:    {}", result.balance_answers.len());
+    println!("expenditure answers:{}", result.expenditure_answers.len());
+
+    // a peek at the most expensive collection (the paper's Figure 9 lens)
+    println!("\nQ7 avg response per minute window:");
+    for (t, ms) in result.q7_response_series().iter().take(10) {
+        println!("  t={t:>5}s  {ms:.3} ms/activation");
+    }
+
+    let report = validate(&result);
+    println!("\nvalidation:\n{}", report.render());
+    assert!(report.all_passed(), "validation must pass");
+
+    let accidents = result.state.lock().accidents.accidents().len();
+    println!("accidents detected: {accidents}");
+}

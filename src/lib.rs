@@ -1,0 +1,18 @@
+//! Umbrella crate for the DataCell reproduction workspace.
+//!
+//! The real code lives in the member crates:
+//!
+//! * [`monet`] — mini column-store kernel (the MonetDB substrate);
+//! * [`petri`] — Petri-net processing model;
+//! * [`dcsql`] — SQL front-end with basket expressions;
+//! * [`datacell`] — the stream engine (baskets, factories, scheduler);
+//! * [`linearroad`] — the Linear Road benchmark.
+//!
+//! This crate only hosts the workspace-level examples and integration
+//! tests; it re-exports the member crates for convenience.
+
+pub use datacell;
+pub use dcsql;
+pub use linearroad;
+pub use monet;
+pub use petri;

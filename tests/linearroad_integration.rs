@@ -1,0 +1,209 @@
+//! Integration: Linear Road end-to-end on a reduced scale — the full
+//! 38-query network, driver, and validator working together.
+
+use linearroad::driver::{run, run_workload, DriverConfig};
+use linearroad::gen::{generate, GenConfig, Workload};
+use linearroad::types::*;
+use linearroad::validate::{reference_run, validate};
+
+fn small_cfg(scale: f64, secs: i64, seed: u64) -> DriverConfig {
+    DriverConfig {
+        gen: GenConfig {
+            scale,
+            duration_secs: secs,
+            seed,
+            xways: 1,
+            query_fraction: 0.02,
+        },
+        sample_every_secs: 60,
+    }
+}
+
+#[test]
+fn validated_run_at_two_scales() {
+    for (scale, seed) in [(0.02f64, 21u64), (0.05, 22)] {
+        let result = run(&small_cfg(scale, 600, seed));
+        let report = validate(&result);
+        assert!(
+            report.all_passed(),
+            "scale {scale}:\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn larger_scale_means_more_load_everywhere() {
+    let lo = run(&small_cfg(0.02, 600, 7));
+    let hi = run(&small_cfg(0.08, 600, 7));
+    assert!(hi.total_input > lo.total_input * 2);
+    assert!(hi.tolls.len() >= lo.tolls.len());
+    // work volume grows with scale for the ingest collection
+    // (tuples consumed is deterministic; wall-clock busy time is too noisy
+    // when the test suite runs in parallel)
+    let consumed = |r: &linearroad::driver::LrRun, c: usize| -> u64 {
+        r.load[c].1.iter().map(|s| s.consumed).sum()
+    };
+    assert!(
+        consumed(&hi, 0) > consumed(&lo, 0) * 2,
+        "Q1 work grows with scale"
+    );
+}
+
+#[test]
+fn accident_free_run_has_no_alerts() {
+    // a workload with freely flowing traffic (no forced accidents):
+    // handcraft moving cars only
+    let mut tuples = Vec::new();
+    for vid in 1..40i64 {
+        for r in 0..6i64 {
+            let pos = vid * 100 + r * 1500; // always moving
+            tuples.push(InputTuple::position(r * 30, vid, 60, 0, 1, 0, pos));
+        }
+    }
+    tuples.sort_by_key(|t| t.time);
+    let workload = Workload {
+        tuples,
+        accidents: vec![],
+    };
+    let cfg = small_cfg(0.01, 200, 1);
+    let result = run_workload(&cfg, workload);
+    assert_eq!(result.alerts.len(), 0, "no stopped cars → no alerts");
+    assert_eq!(result.state.lock().accidents.accidents().len(), 0);
+    let report = validate(&result);
+    assert!(report.all_passed(), "\n{}", report.render());
+}
+
+#[test]
+fn reference_and_network_agree_on_generated_traffic() {
+    let cfg = small_cfg(0.03, 900, 33);
+    let workload = generate(&cfg.gen);
+    let reference = reference_run(&workload);
+    let result = run_workload(&cfg, workload);
+    // same accidents, same crossings, same money
+    assert_eq!(
+        result.state.lock().accidents.accidents().len(),
+        reference.accidents_detected
+    );
+    assert_eq!(result.tolls.len(), reference.toll_notifications);
+    assert_eq!(
+        result.state.lock().assessor.total_charged(),
+        reference.total_charged
+    );
+}
+
+#[test]
+fn every_request_gets_exactly_one_answer() {
+    let cfg = small_cfg(0.03, 600, 44);
+    let result = run(&cfg);
+    let balance_requests: std::collections::HashSet<i64> = result
+        .workload
+        .tuples
+        .iter()
+        .filter(|t| t.kind == InputKind::AccountBalance)
+        .map(|t| t.qid)
+        .collect();
+    let answered: std::collections::HashSet<i64> = result
+        .balance_answers
+        .column("qid")
+        .unwrap()
+        .ints()
+        .unwrap()
+        .iter()
+        .copied()
+        .collect();
+    assert_eq!(balance_requests, answered, "balance answers 1:1 with requests");
+
+    let exp_requests: std::collections::HashSet<i64> = result
+        .workload
+        .tuples
+        .iter()
+        .filter(|t| t.kind == InputKind::DailyExpenditure)
+        .map(|t| t.qid)
+        .collect();
+    let exp_answered: std::collections::HashSet<i64> = result
+        .expenditure_answers
+        .column("qid")
+        .unwrap()
+        .ints()
+        .unwrap()
+        .iter()
+        .copied()
+        .collect();
+    assert_eq!(exp_requests, exp_answered);
+}
+
+#[test]
+fn q7_works_hard_under_congestion() {
+    // The paper's observation that Q7 dominates emerges under load: charges
+    // only exist when segments exceed 50 cars. Handcraft heavy congestion
+    // plus a stream of balance requests and check Q7 does real work.
+    let mut tuples = Vec::new();
+    let mut qid = 1i64;
+    // 60 resident cars keep segment 5 congested (slow, >50 distinct cars
+    // every minute, never at identical positions so no accident forms)
+    for minute in 0..12i64 {
+        for vid in 1..=60i64 {
+            for r in 0..2i64 {
+                let t = minute * 60 + r * 30;
+                tuples.push(InputTuple::position(
+                    t,
+                    vid,
+                    20,
+                    0,
+                    1,
+                    0,
+                    5 * SEGMENT_FEET + vid * 40 + r * 13 + minute, // always moving
+                ));
+            }
+        }
+    }
+    // probe cars cross 4 → 5 → 6: entering 5 is tolled (60 cars in the
+    // previous minute, LAV 20), leaving 5 charges the toll
+    for m in 2..10i64 {
+        let vid = 1000 + m;
+        tuples.push(InputTuple::position(m * 60, vid, 50, 0, 1, 0, 4 * SEGMENT_FEET));
+        tuples.push(InputTuple::position(m * 60 + 30, vid, 50, 0, 1, 0, 5 * SEGMENT_FEET));
+        tuples.push(InputTuple::position((m + 1) * 60, vid, 50, 0, 1, 0, 6 * SEGMENT_FEET));
+        tuples.push(InputTuple::balance_request((m + 1) * 60 + 45, vid, qid));
+        qid += 1;
+    }
+    tuples.sort_by_key(|t| t.time);
+    let workload = Workload {
+        tuples,
+        accidents: vec![],
+    };
+    let result = run_workload(&small_cfg(0.05, 750, 55), workload);
+
+    // congestion generated real charges...
+    assert!(
+        result.state.lock().assessor.total_charged() > 0,
+        "congested segments must produce charges"
+    );
+    // ...and Q7's relational pipeline fired on them
+    let totals: Vec<(String, f64)> = result
+        .load
+        .iter()
+        .map(|(n, s)| (n.clone(), s.iter().map(|x| x.busy_ms).sum()))
+        .collect();
+    let q7 = totals[6].1;
+    assert!(q7 > 0.0);
+    // Q7 outweighs the other two output collections (Q5 filter, Q6 daily
+    // expenditure), as in the paper's load breakdown
+    for light in [4usize, 5] {
+        assert!(
+            q7 >= totals[light].1,
+            "Q7 ({q7:.3} ms) should outweigh {} ({:.3} ms)",
+            totals[light].0,
+            totals[light].1
+        );
+    }
+    // and every balance answer is correct against the oracle
+    let answers = &result.balance_answers;
+    let st = result.state.lock();
+    for i in 0..answers.len() {
+        let vid = answers.column("vid").unwrap().ints().unwrap()[i];
+        let bal = answers.column("balance").unwrap().ints().unwrap()[i];
+        assert!(bal <= st.assessor.balance(vid), "answers never overstate");
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration: the §4.2 processing strategies agree with each other under
+//! randomized workloads, and batch thresholds behave per §4.1.
+
+use std::sync::Arc;
+
+use datacell::clock::VirtualClock;
+use datacell::prelude::*;
+use datacell::scheduler::Scheduler;
+use datacell::strategy::{
+    disjoint_ranges, partial_deletes, separate_baskets, shared_baskets, stream_schema,
+    StrategyNetwork,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn feed(stream: &Arc<Basket>, clock: &VirtualClock, values: &[i64]) {
+    let rows: Vec<Vec<Value>> = values
+        .iter()
+        .map(|&v| vec![Value::Ts(clock.now()), Value::Int(v)])
+        .collect();
+    stream.append_rows(&rows, clock).unwrap();
+}
+
+fn run_network(net: StrategyNetwork) -> Vec<usize> {
+    let outputs = net.outputs.clone();
+    let mut sched = Scheduler::new();
+    for f in net.factories {
+        sched.add(f);
+    }
+    sched.run_until_quiescent(100_000).unwrap();
+    outputs.iter().map(|b| b.len()).collect()
+}
+
+#[test]
+fn strategies_agree_on_uniform_data() {
+    let k = 16;
+    let queries = disjoint_ranges(k, 10_000, 0.001);
+    let mut rng = StdRng::seed_from_u64(99);
+    let data: Vec<i64> = (0..20_000).map(|_| rng.gen_range(0..10_000)).collect();
+    let clock = Arc::new(VirtualClock::new());
+
+    let mk = |name: &str| {
+        let s = Basket::new(name, &stream_schema(), false);
+        feed(&s, &clock, &data);
+        s
+    };
+    let sep = run_network(separate_baskets(&mk("s1"), &queries, 1, clock.clone()));
+    let sha = run_network(shared_baskets(&mk("s2"), &queries, 1, clock.clone()));
+    let par = run_network(partial_deletes(&mk("s3"), &queries, 1, clock.clone()));
+    assert_eq!(sep, sha, "shared must produce identical per-query results");
+    assert_eq!(sep, par, "partial-deletes must produce identical results");
+    let total: usize = sep.iter().sum();
+    assert!(total > 0, "some tuples matched");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn strategies_agree_on_random_data(
+        seed in 0u64..1000,
+        k in 1usize..12,
+        n in 1usize..2000,
+    ) {
+        let queries = disjoint_ranges(k, 1_000, 0.01);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<i64> = (0..n).map(|_| rng.gen_range(0..1_000)).collect();
+        let clock = Arc::new(VirtualClock::new());
+        let mk = |name: String| {
+            let s = Basket::new(name, &stream_schema(), false);
+            feed(&s, &clock, &data);
+            s
+        };
+        let sep = run_network(separate_baskets(&mk(format!("a{seed}")), &queries, 1, clock.clone()));
+        let sha = run_network(shared_baskets(&mk(format!("b{seed}")), &queries, 1, clock.clone()));
+        let par = run_network(partial_deletes(&mk(format!("c{seed}")), &queries, 1, clock.clone()));
+        prop_assert_eq!(&sep, &sha);
+        prop_assert_eq!(&sep, &par);
+    }
+}
+
+#[test]
+fn batch_threshold_accumulates_across_rounds() {
+    // paper §4.1: "the system may explicitly require a basket to have a
+    // minimum of n tuples before the relevant factory may run"
+    let clock = Arc::new(VirtualClock::new());
+    let stream = Basket::new("t", &stream_schema(), false);
+    let queries = disjoint_ranges(1, 100, 0.5);
+    let net = separate_baskets(&stream, &queries, 100, clock.clone());
+    let outputs = net.outputs.clone();
+    let mut sched = Scheduler::new();
+    for f in net.factories {
+        sched.add(f);
+    }
+    // trickle in 99 tuples — nothing may fire
+    for i in 0..99 {
+        feed(&stream, &clock, &[i % 100]);
+        sched.run_until_quiescent(10).unwrap();
+    }
+    assert_eq!(outputs[0].len(), 0);
+    assert_eq!(stream.len(), 99);
+    // tuple 100 triggers the batch
+    feed(&stream, &clock, &[1]);
+    sched.run_until_quiescent(10).unwrap();
+    assert_eq!(stream.len(), 0);
+    assert!(!outputs[0].is_empty());
+}
+
+#[test]
+fn shared_strategy_survives_many_rounds() {
+    // locker/unlocker handshake across repeated batches
+    let clock = Arc::new(VirtualClock::new());
+    let stream = Basket::new("rounds", &stream_schema(), false);
+    let queries = disjoint_ranges(4, 1_000, 0.05);
+    let net = shared_baskets(&stream, &queries, 1, clock.clone());
+    let outputs = net.outputs.clone();
+    let mut sched = Scheduler::new();
+    for f in net.factories {
+        sched.add(f);
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut expected_total = 0usize;
+    for _round in 0..25 {
+        let data: Vec<i64> = (0..200).map(|_| rng.gen_range(0..1_000)).collect();
+        expected_total += data
+            .iter()
+            .filter(|&&v| queries.iter().any(|q| v > q.lo && v < q.hi))
+            .count();
+        feed(&stream, &clock, &data);
+        sched.run_until_quiescent(1_000).unwrap();
+        assert!(stream.is_empty(), "each round fully consumed");
+        assert!(stream.is_enabled(), "unlocker re-enabled the basket");
+    }
+    let got: usize = outputs.iter().map(|b| b.len()).sum();
+    assert_eq!(got, expected_total);
+}
