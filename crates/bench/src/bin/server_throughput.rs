@@ -1,0 +1,130 @@
+//! End-to-end throughput through the `datacelld` server.
+//!
+//! Boots the daemon in-process on ephemeral ports, registers a
+//! passthrough continuous query and a selective (10%) one, then measures
+//! tuples/sec for the full §3.1 loop: client → receptor socket → basket →
+//! factory → emitter socket → client. The "wire only" row pumps the same
+//! tuples through a bare TCP echo to isolate protocol + loopback cost
+//! from engine cost.
+//!
+//! `cargo run -p dc_bench --release --bin server_throughput [--tuples N]`
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+use dc_bench::{arg, Figure};
+use dcserver::client::Client;
+use dcserver::{bind, ServerConfig};
+use monet::prelude::*;
+
+/// Bare TCP loopback echo of n wire tuples (no engine).
+fn wire_only(n: usize) -> f64 {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let echo = std::thread::spawn(move || {
+        let (sock, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(sock.try_clone().unwrap());
+        let mut writer = BufWriter::new(sock);
+        let mut line = String::new();
+        for _ in 0..n {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            writer.write_all(line.as_bytes()).unwrap();
+        }
+        writer.flush().unwrap();
+    });
+    let sock = TcpStream::connect(addr).unwrap();
+    let mut writer = BufWriter::new(sock.try_clone().unwrap());
+    let reader_thread = std::thread::spawn(move || {
+        let mut reader = BufReader::new(sock);
+        let mut line = String::new();
+        for _ in 0..n {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+        }
+    });
+    let start = Instant::now();
+    for i in 0..n as i64 {
+        writeln!(writer, "{}|{}", i, i % 1000).unwrap();
+    }
+    writer.flush().unwrap();
+    reader_thread.join().unwrap();
+    echo.join().unwrap();
+    start.elapsed().as_secs_f64()
+}
+
+/// n tuples through the daemon; `selectivity_pct` of them reach the
+/// emitter. Returns elapsed seconds (send-first-tuple → last result).
+fn through_server(n: usize, selectivity_pct: i64) -> f64 {
+    let server = bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let daemon = std::thread::spawn(move || server.serve());
+
+    let mut c = Client::connect(addr).unwrap();
+    c.create_stream("S", "(id int, v int)").unwrap();
+    let sql = format!(
+        "select id, v from [select * from S] as Z where Z.v < {}",
+        selectivity_pct * 10 // v is uniform over 0..1000
+    );
+    c.register_query("q", &sql).unwrap();
+    let rport = c.attach_receptor("S", 0).unwrap();
+    let eport = c.attach_emitter("q", 0).unwrap();
+
+    let expected: usize = (0..n as i64)
+        .filter(|i| i % 1000 < selectivity_pct * 10)
+        .count();
+
+    let mut sink = c.open_receptor(rport).unwrap();
+    let mut tap = c.open_emitter(eport).unwrap();
+    let schema = Schema::from_pairs(&[("id", ValueType::Int), ("v", ValueType::Int)]);
+
+    let reader = std::thread::spawn(move || {
+        let mut got = 0usize;
+        while got < expected {
+            match tap.next_row(&schema).unwrap() {
+                Some(_) => got += 1,
+                None => break,
+            }
+        }
+        got
+    });
+
+    let start = Instant::now();
+    for i in 0..n as i64 {
+        sink.send_row(&[Value::Int(i), Value::Int(i % 1000)]).unwrap();
+    }
+    sink.flush().unwrap();
+    let got = reader.join().unwrap();
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(got, expected, "all matching tuples must arrive");
+
+    c.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+    elapsed
+}
+
+fn main() {
+    let n: usize = arg("--tuples", 100_000);
+    let mut fig = Figure::new(
+        "server_throughput",
+        &["path", "tuples", "elapsed_s", "tuples_per_s"],
+    );
+    let wire = wire_only(n);
+    fig.row(vec![
+        "wire only".into(),
+        n.to_string(),
+        format!("{wire:.3}"),
+        format!("{:.0}", n as f64 / wire),
+    ]);
+    for (label, pct) in [("passthrough (100%)", 100i64), ("selective (10%)", 10)] {
+        let elapsed = through_server(n, pct);
+        fig.row(vec![
+            format!("datacelld {label}"),
+            n.to_string(),
+            format!("{elapsed:.3}"),
+            format!("{:.0}", n as f64 / elapsed),
+        ]);
+    }
+    fig.finish();
+}

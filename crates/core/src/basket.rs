@@ -135,6 +135,12 @@ impl Basket {
         self.schema.width() - usize::from(self.stamps_arrival)
     }
 
+    /// The user-facing part of the schema — what travels on the wire
+    /// through receptors and emitters (excludes the auto timestamp column).
+    pub fn user_schema(&self) -> Schema {
+        Schema::new(self.schema.fields()[..self.user_width()].to_vec())
+    }
+
     pub fn stats(&self) -> &BasketStats {
         &self.stats
     }

@@ -77,6 +77,11 @@ impl Emitter {
         &self.name
     }
 
+    /// Whether the emitter thread has ended (stream closed or peer gone).
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
     /// Wait for the result stream to close and collect statistics.
     pub fn join(self) -> Result<EmitterReport> {
         self.handle

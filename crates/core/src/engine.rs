@@ -45,6 +45,17 @@ impl QueryOptions {
     }
 }
 
+/// One basket's introspection snapshot (see [`DataCell::basket_report`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasketReport {
+    pub name: String,
+    pub len: usize,
+    pub enabled: bool,
+    pub total_in: u64,
+    pub total_out: u64,
+    pub dropped: u64,
+}
+
 /// The engine.
 pub struct DataCell {
     clock: Arc<dyn Clock>,
@@ -222,6 +233,28 @@ impl DataCell {
     /// Run rounds until quiescent (bounded). Returns rounds executed.
     pub fn run_until_quiescent(&self, max_rounds: usize) -> Result<usize> {
         self.scheduler.lock().run_until_quiescent(max_rounds)
+    }
+
+    /// Per-basket introspection snapshot — the substrate of the server's
+    /// `STATS` command.
+    pub fn basket_report(&self) -> Vec<BasketReport> {
+        let baskets = self.baskets.read();
+        let mut v: Vec<BasketReport> = baskets
+            .values()
+            .map(|b| {
+                let (total_in, total_out, dropped) = b.stats().snapshot();
+                BasketReport {
+                    name: b.name().to_string(),
+                    len: b.len(),
+                    enabled: b.is_enabled(),
+                    total_in,
+                    total_out,
+                    dropped,
+                }
+            })
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
     }
 
     /// Per-factory statistics snapshot: (name, stats).

@@ -481,6 +481,7 @@ mod tests {
     use crate::clock::VirtualClock;
     use dcsql::parse_statements;
 
+    #[allow(clippy::type_complexity)]
     fn setup() -> (
         Arc<VirtualClock>,
         Arc<Catalog>,

@@ -72,7 +72,7 @@ pub mod prelude {
     pub use crate::basket::{Basket, TS_COLUMN};
     pub use crate::clock::{Clock, SystemClock, VirtualClock, MICROS_PER_SEC};
     pub use crate::emitter::Emitter;
-    pub use crate::engine::{DataCell, QueryOptions};
+    pub use crate::engine::{BasketReport, DataCell, QueryOptions};
     pub use crate::error::{EngineError, Result};
     pub use crate::factory::{ClosureFactory, ConsumeMode, Factory, FireReport, QueryFactory};
     pub use crate::metronome::{Heartbeat, Metronome};

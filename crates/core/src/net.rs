@@ -20,12 +20,18 @@ pub fn format_row(row: &[Value]) -> String {
         }
         match v {
             Value::Null => {}
+            Value::Str(s) if s.is_empty() => {
+                // an empty field means NULL on the wire, so the empty
+                // string needs an explicit escape to stay distinguishable
+                out.push_str("\\e");
+            }
             Value::Str(s) => {
                 // escape the separator and newlines
                 for c in s.chars() {
                     match c {
                         '|' => out.push_str("\\p"),
                         '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
                         '\\' => out.push_str("\\\\"),
                         other => out.push(other),
                     }
@@ -77,6 +83,8 @@ fn unescape(s: &str) -> String {
             match chars.next() {
                 Some('p') => out.push('|'),
                 Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('e') => {} // explicit empty string
                 Some('\\') => out.push('\\'),
                 Some(other) => {
                     out.push('\\');
@@ -168,11 +176,26 @@ mod tests {
             Value::Ts(0),
             Value::Int(0),
             Value::Double(0.0),
-            Value::Str("a|b\\c\nd".into()),
+            Value::Str("a|b\\c\nd\re".into()),
             Value::Bool(false),
         ];
         let line = format_row(&row);
-        assert!(!line.contains('\n'));
+        assert!(!line.contains('\n') && !line.contains('\r'));
+        let back = parse_row(&line, &schema()).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn empty_string_distinct_from_null() {
+        let row = vec![
+            Value::Ts(1),
+            Value::Int(2),
+            Value::Double(3.0),
+            Value::Str(String::new()),
+            Value::Bool(true),
+        ];
+        let line = format_row(&row);
+        assert_eq!(line, "1|2|3|\\e|true");
         let back = parse_row(&line, &schema()).unwrap();
         assert_eq!(back, row);
     }

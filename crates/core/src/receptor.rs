@@ -80,7 +80,7 @@ impl Receptor {
         clock: Arc<dyn Clock>,
     ) -> Receptor {
         let name = name.into();
-        let schema = user_schema(&basket);
+        let schema = basket.user_schema();
         let handle = std::thread::spawn(move || {
             let mut report = ReceptorReport::default();
             let Ok((stream, _)) = listener.accept() else {
@@ -118,12 +118,6 @@ impl Receptor {
             .join()
             .map_err(|_| crate::error::EngineError::Io("receptor thread panicked".into()))
     }
-}
-
-/// The user-facing part of a basket schema (what travels on the wire).
-fn user_schema(basket: &Basket) -> Schema {
-    let fields = basket.schema().fields()[..basket.user_width()].to_vec();
-    Schema::new(fields)
 }
 
 #[cfg(test)]

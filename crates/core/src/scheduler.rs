@@ -173,6 +173,10 @@ impl Scheduler {
 }
 
 /// Handle to a running thread-per-factory deployment.
+///
+/// Factories can be added dynamically while the deployment runs — the
+/// `datacelld` server registers continuous queries at any point in the
+/// server's lifetime and hands each new factory to the live scheduler.
 pub struct ThreadedScheduler {
     stop: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<FactoryStats>>,
@@ -180,6 +184,19 @@ pub struct ThreadedScheduler {
 }
 
 impl ThreadedScheduler {
+    /// An empty deployment; factories are added with [`ThreadedScheduler::add`].
+    pub fn new() -> Self {
+        Self::with_backoff(Duration::from_micros(50))
+    }
+
+    pub fn with_backoff(idle_backoff: Duration) -> Self {
+        ThreadedScheduler {
+            stop: Arc::new(AtomicBool::new(false)),
+            handles: Vec::new(),
+            idle_backoff,
+        }
+    }
+
     /// Spawn one thread per factory. Each thread loops: fire when ready,
     /// otherwise back off briefly — the multi-threaded architecture of
     /// §3.3 ("every single component is an independent thread").
@@ -188,39 +205,61 @@ impl ThreadedScheduler {
     }
 
     pub fn spawn_with_backoff(factories: Vec<Box<dyn Factory>>, idle_backoff: Duration) -> Self {
-        let stop = Arc::new(AtomicBool::new(false));
-        let handles = factories
-            .into_iter()
-            .map(|mut f| {
-                let stop = Arc::clone(&stop);
-                std::thread::spawn(move || {
-                    let mut stats = FactoryStats::default();
-                    while !stop.load(Ordering::Acquire) {
-                        if f.ready() {
-                            match f.fire() {
-                                Ok(r) => stats.absorb(&r),
-                                Err(_) => break,
-                            }
-                        } else {
-                            std::thread::sleep(idle_backoff);
-                        }
-                    }
-                    // drain once after stop so no input is stranded
-                    while f.ready() {
-                        match f.fire() {
-                            Ok(r) => stats.absorb(&r),
-                            Err(_) => break,
-                        }
-                    }
-                    stats
-                })
-            })
-            .collect();
-        ThreadedScheduler {
-            stop,
-            handles,
-            idle_backoff,
+        let mut sched = Self::with_backoff(idle_backoff);
+        for f in factories {
+            sched.add(f);
         }
+        sched
+    }
+
+    /// Add a factory to the running deployment (its thread starts at once).
+    pub fn add(&mut self, factory: Box<dyn Factory>) {
+        self.add_shared(factory);
+    }
+
+    /// Add a factory and get a live handle to its cumulative stats — the
+    /// server's `STATS` command reads these while the threads run.
+    pub fn add_shared(&mut self, mut f: Box<dyn Factory>) -> Arc<Mutex<FactoryStats>> {
+        let shared = Arc::new(Mutex::new(FactoryStats::default()));
+        let live = Arc::clone(&shared);
+        let stop = Arc::clone(&self.stop);
+        let idle_backoff = self.idle_backoff;
+        self.handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                if f.ready() {
+                    match f.fire() {
+                        Ok(r) => shared.lock().absorb(&r),
+                        Err(_) => break,
+                    }
+                } else {
+                    std::thread::sleep(idle_backoff);
+                }
+            }
+            // drain once after stop so no input is stranded
+            while f.ready() {
+                match f.fire() {
+                    Ok(r) => shared.lock().absorb(&r),
+                    Err(_) => break,
+                }
+            }
+            let final_stats = shared.lock().clone();
+            final_stats
+        }));
+        live
+    }
+
+    /// The shared stop flag (e.g. to wire into a server-wide shutdown).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Number of factory threads spawned so far.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
     }
 
     /// Signal shutdown and collect per-factory stats.
@@ -235,25 +274,9 @@ impl ThreadedScheduler {
     }
 }
 
-/// Wrapper making any factory observable through shared stats — used when
-/// the threaded scheduler must expose progress while running.
-pub struct SharedStats {
-    inner: Arc<Mutex<FactoryStats>>,
-}
-
-impl SharedStats {
-    pub fn new() -> (Self, Arc<Mutex<FactoryStats>>) {
-        let inner = Arc::new(Mutex::new(FactoryStats::default()));
-        (
-            SharedStats {
-                inner: Arc::clone(&inner),
-            },
-            inner,
-        )
-    }
-
-    pub fn absorb(&self, r: &FireReport) {
-        self.inner.lock().absorb(r);
+impl Default for ThreadedScheduler {
+    fn default() -> Self {
+        ThreadedScheduler::new()
     }
 }
 

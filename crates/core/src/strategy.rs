@@ -186,7 +186,7 @@ pub fn shared_baskets(
                     b.disable();
                     let row = vec![Value::Bool(true)];
                     for f in &flags2 {
-                        f.append_rows(&[row.clone()], clk.as_ref())?;
+                        f.append_rows(std::slice::from_ref(&row), clk.as_ref())?;
                     }
                     Ok(FireReport {
                         consumed: 0,

@@ -147,7 +147,7 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                 lane: rng.gen_range(1..NUM_LANES - 1),
                 pos: rng.gen_range(0..NUM_SEGMENTS / 2) * SEGMENT_FEET,
                 spd,
-                remaining: rng.gen_range(4..=18) * REPORT_INTERVAL_SECS,
+                remaining: rng.gen_range(4i64..=18) * REPORT_INTERVAL_SECS,
                 phase: t % REPORT_INTERVAL_SECS,
                 stopped_until: None,
             });
@@ -164,7 +164,7 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                 let i = rng.gen_range(0..cars.len());
                 let (xway, dir, lane, pos) =
                     (cars[i].xway, cars[i].dir, cars[i].lane, cars[i].pos);
-                let clear = t + rng.gen_range(5..=15) * 60;
+                let clear = t + rng.gen_range(5i64..=15) * 60;
                 let vid1 = cars[i].vid;
                 cars[i].stopped_until = Some(clear);
                 cars[i].spd = 0;
@@ -216,7 +216,7 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                         .unwrap_or(0);
                     // free flow ~90 mph, congestion collapse past ~50 cars
                     let target = (90 - local).clamp(12, 90);
-                    car.spd = (target + rng.gen_range(-8..=8)).clamp(5, 100);
+                    car.spd = (target + rng.gen_range(-8i64..=8)).clamp(5, 100);
                 }
                 tuples.push(InputTuple::position(
                     t, car.vid, car.spd, car.xway, car.lane, car.dir, car.pos,

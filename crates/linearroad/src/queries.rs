@@ -284,15 +284,15 @@ pub fn build_network(
     state: Arc<Mutex<LrState>>,
     clock: Arc<dyn Clock>,
 ) -> Vec<Box<dyn Factory>> {
-    let mut factories: Vec<Box<dyn Factory>> = Vec::with_capacity(7);
-    factories.push(q1_ingest(baskets, Arc::clone(&state), Arc::clone(&clock)));
-    factories.push(q2_accidents(baskets, Arc::clone(&state), Arc::clone(&clock)));
-    factories.push(q3_statistics(baskets, Arc::clone(&state), Arc::clone(&clock)));
-    factories.push(q4_tolls(baskets, Arc::clone(&state), Arc::clone(&clock)));
-    factories.push(q5_filter(baskets, Arc::clone(&state), Arc::clone(&clock)));
-    factories.push(q6_expenditure(baskets, Arc::clone(&state), Arc::clone(&clock)));
-    factories.push(q7_balance(baskets, state, clock));
-    factories
+    vec![
+        q1_ingest(baskets, Arc::clone(&state), Arc::clone(&clock)),
+        q2_accidents(baskets, Arc::clone(&state), Arc::clone(&clock)),
+        q3_statistics(baskets, Arc::clone(&state), Arc::clone(&clock)),
+        q4_tolls(baskets, Arc::clone(&state), Arc::clone(&clock)),
+        q5_filter(baskets, Arc::clone(&state), Arc::clone(&clock)),
+        q6_expenditure(baskets, Arc::clone(&state), Arc::clone(&clock)),
+        q7_balance(baskets, state, clock),
+    ]
 }
 
 /// Q1 — ingest & route (3 queries).

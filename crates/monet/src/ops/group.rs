@@ -204,12 +204,12 @@ pub fn agg_avg(col: &Column, g: &Grouping) -> Result<Column> {
     let sums = agg_sum(col, g)?;
     let counts = agg_count(col, g)?;
     let mut out = Column::with_capacity(ValueType::Double, g.ngroups as usize);
-    for i in 0..g.ngroups as usize {
+    for (i, &count) in counts.iter().enumerate() {
         let s = sums.get(i);
-        if counts[i] == 0 || s.is_null() {
+        if count == 0 || s.is_null() {
             out.push(Value::Null)?;
         } else {
-            out.push(Value::Double(s.as_double().expect("numeric") / counts[i] as f64))?;
+            out.push(Value::Double(s.as_double().expect("numeric") / count as f64))?;
         }
     }
     Ok(out)

@@ -1,0 +1,85 @@
+//! `datacelld` — the DataCell stream-server daemon.
+//!
+//! ```text
+//! datacelld [--listen HOST:PORT] [--data-host HOST] [--backoff-us N]
+//! ```
+//!
+//! Binds the control plane on `--listen` (default `127.0.0.1:7077`) and
+//! serves until a client sends `SHUTDOWN`. Data-plane receptor/emitter
+//! ports are opened on `--data-host` (default `127.0.0.1`) by `ATTACH`
+//! commands. See the crate docs for the command grammar.
+
+use std::time::Duration;
+
+use dcserver::{bind, ServerConfig};
+
+fn main() {
+    let mut listen = "127.0.0.1:7077".to_string();
+    let mut config = ServerConfig::default();
+    let mut data_host_explicit = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(v) => listen = v,
+                None => die("--listen requires HOST:PORT"),
+            },
+            "--data-host" => match args.next() {
+                Some(v) => {
+                    config.data_host = v;
+                    data_host_explicit = true;
+                }
+                None => die("--data-host requires HOST"),
+            },
+            "--backoff-us" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(us) => config.idle_backoff = Duration::from_micros(us),
+                None => die("--backoff-us requires a number"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "datacelld [--listen HOST:PORT] [--data-host HOST] [--backoff-us N]\n\n\
+                     Control-plane commands (one per line):\n  \
+                     PING | CREATE STREAM/TABLE/BASKET ... | EXEC <sql> |\n  \
+                     REGISTER QUERY <name> AS <sql> |\n  \
+                     ATTACH RECEPTOR <stream> ON PORT <p> |\n  \
+                     ATTACH EMITTER <query> ON PORT <p> | STATS | QUIT | SHUTDOWN"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    // data-plane ports follow the control-plane interface unless
+    // overridden — clients derive data addresses from the host they
+    // dialed, so a diverging default would strand ATTACHed ports
+    if !data_host_explicit {
+        if let Some(host) = listen.rsplit_once(':').map(|(h, _)| h) {
+            // IPv6 literals arrive bracketed ([::1]:7077) but bind takes
+            // the bare address
+            let host = host.trim_start_matches('[').trim_end_matches(']');
+            if !host.is_empty() {
+                config.data_host = host.to_string();
+            }
+        }
+    }
+
+    let server = match bind(&listen, config) {
+        Ok(s) => s,
+        Err(e) => die(&format!("cannot bind {listen}: {e}")),
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!("datacelld: control plane on {addr}"),
+        Err(_) => eprintln!("datacelld: control plane on {listen}"),
+    }
+    if let Err(e) = server.serve() {
+        die(&format!("server error: {e}"));
+    }
+    eprintln!("datacelld: shut down cleanly");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("datacelld: {msg}");
+    std::process::exit(2);
+}

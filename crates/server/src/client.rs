@@ -1,0 +1,245 @@
+//! `dcclient` — the client library for `datacelld`.
+//!
+//! Three connection kinds mirror the server's port layout:
+//!
+//! * [`Client`] speaks the control-plane protocol (DDL, query
+//!   registration, port attachment, stats, shutdown);
+//! * [`ReceptorSink`] writes wire-format tuples into a receptor port;
+//! * [`EmitterTap`] reads result tuples from an emitter port.
+//!
+//! ```no_run
+//! use dcserver::client::Client;
+//! use monet::prelude::*;
+//!
+//! let mut c = Client::connect("127.0.0.1:7077").unwrap();
+//! c.create_stream("S", "(id int, v int)").unwrap();
+//! c.register_query("hot", "select id from [select * from S where S.v > 10] as W")
+//!     .unwrap();
+//! let rport = c.attach_receptor("S", 0).unwrap();
+//! let eport = c.attach_emitter("hot", 0).unwrap();
+//! let mut sink = c.open_receptor(rport).unwrap();
+//! let mut tap = c.open_emitter(eport).unwrap();
+//! sink.send_row(&[Value::Int(1), Value::Int(99)]).unwrap();
+//! sink.flush().unwrap();
+//! let row = tap
+//!     .next_row(&Schema::from_pairs(&[("id", ValueType::Int)]))
+//!     .unwrap();
+//! assert_eq!(row, Some(vec![Value::Int(1)]));
+//! ```
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use datacell::net::{format_row, parse_row};
+use monet::prelude::*;
+
+use crate::error::{Result, ServerError};
+use crate::protocol::Response;
+
+/// A control-plane connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    server: SocketAddr,
+}
+
+impl Client {
+    /// Connect to a `datacelld` control port.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let server = stream.peer_addr()?;
+        let write_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            server,
+        })
+    }
+
+    /// The server's control-plane address.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.server
+    }
+
+    /// Send one raw command line; return the response body on success.
+    pub fn request(&mut self, line: &str) -> Result<Vec<String>> {
+        if line.contains(['\n', '\r']) {
+            // the control protocol is line-oriented: a newline here would
+            // be parsed as a second command, desyncing every later
+            // request/response pair (or injecting commands like SHUTDOWN)
+            return Err(ServerError::Protocol(
+                "control commands must be a single line (flatten SQL before sending)".into(),
+            ));
+        }
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        match Response::read_from(&mut self.reader)? {
+            Response::Ok(body) => Ok(body),
+            Response::Err(msg) => Err(ServerError::Protocol(msg)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        self.request("PING").map(|_| ())
+    }
+
+    /// `CREATE STREAM name (col type, ...)`.
+    pub fn create_stream(&mut self, name: &str, columns: &str) -> Result<()> {
+        self.request(&format!("CREATE STREAM {name} {columns}"))
+            .map(|_| ())
+    }
+
+    /// `CREATE TABLE name (col type, ...)`.
+    pub fn create_table(&mut self, name: &str, columns: &str) -> Result<()> {
+        self.request(&format!("CREATE TABLE {name} {columns}"))
+            .map(|_| ())
+    }
+
+    /// One-shot SQL; returns result lines (`# col|col` header then wire
+    /// rows) when the script ends in a SELECT.
+    pub fn exec(&mut self, sql: &str) -> Result<Vec<String>> {
+        self.request(&format!("EXEC {sql}"))
+    }
+
+    /// Register a continuous query.
+    pub fn register_query(&mut self, name: &str, sql: &str) -> Result<()> {
+        self.request(&format!("REGISTER QUERY {name} AS {sql}"))
+            .map(|_| ())
+    }
+
+    /// Open a receptor port for `stream` (0 = ephemeral); returns the
+    /// bound port.
+    pub fn attach_receptor(&mut self, stream: &str, port: u16) -> Result<u16> {
+        let body = self.request(&format!("ATTACH RECEPTOR {stream} ON PORT {port}"))?;
+        parse_port(&body)
+    }
+
+    /// Open an emitter port for `query` (0 = ephemeral); returns the
+    /// bound port.
+    pub fn attach_emitter(&mut self, query: &str, port: u16) -> Result<u16> {
+        let body = self.request(&format!("ATTACH EMITTER {query} ON PORT {port}"))?;
+        parse_port(&body)
+    }
+
+    /// The server's `STATS` report.
+    pub fn stats(&mut self) -> Result<Vec<String>> {
+        self.request("STATS")
+    }
+
+    /// Gracefully stop the server.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.request("SHUTDOWN").map(|_| ())
+    }
+
+    /// Open a data-plane connection to a receptor port on this server's
+    /// host.
+    pub fn open_receptor(&self, port: u16) -> Result<ReceptorSink> {
+        ReceptorSink::connect((self.server.ip(), port))
+    }
+
+    /// Open a data-plane connection to an emitter port on this server's
+    /// host.
+    pub fn open_emitter(&self, port: u16) -> Result<EmitterTap> {
+        EmitterTap::connect((self.server.ip(), port))
+    }
+}
+
+fn parse_port(body: &[String]) -> Result<u16> {
+    body.first()
+        .and_then(|l| l.strip_prefix("port="))
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| ServerError::Protocol(format!("malformed port response {body:?}")))
+}
+
+/// Data-plane writer: pushes tuples into a receptor port.
+pub struct ReceptorSink {
+    writer: BufWriter<TcpStream>,
+}
+
+impl ReceptorSink {
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ReceptorSink> {
+        Ok(ReceptorSink {
+            writer: BufWriter::new(TcpStream::connect(addr)?),
+        })
+    }
+
+    /// Queue one tuple (schema order, user columns only).
+    pub fn send_row(&mut self, row: &[Value]) -> Result<()> {
+        writeln!(self.writer, "{}", format_row(row))?;
+        Ok(())
+    }
+
+    /// Queue many tuples.
+    pub fn send_rows<'a>(&mut self, rows: impl IntoIterator<Item = &'a [Value]>) -> Result<usize> {
+        let mut n = 0;
+        for row in rows {
+            self.send_row(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Push buffered tuples to the server.
+    pub fn flush(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+}
+
+/// Data-plane reader: consumes result tuples from an emitter port.
+pub struct EmitterTap {
+    reader: BufReader<TcpStream>,
+}
+
+impl EmitterTap {
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<EmitterTap> {
+        Ok(EmitterTap {
+            reader: BufReader::new(TcpStream::connect(addr)?),
+        })
+    }
+
+    /// Bound how long [`EmitterTap::next_line`] blocks waiting for a
+    /// result.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Next raw wire line; `None` once the server closes the stream.
+    pub fn next_line(&mut self) -> Result<Option<String>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if !trimmed.is_empty() {
+                return Ok(Some(trimmed.to_string()));
+            }
+        }
+    }
+
+    /// Next tuple, parsed against the result schema.
+    pub fn next_row(&mut self, schema: &Schema) -> Result<Option<Vec<Value>>> {
+        match self.next_line()? {
+            Some(line) => Ok(Some(parse_row(&line, schema)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Collect rows until `n` arrive or the stream ends.
+    pub fn take_rows(&mut self, schema: &Schema, n: usize) -> Result<Vec<Vec<Value>>> {
+        let mut rows = Vec::with_capacity(n);
+        while rows.len() < n {
+            match self.next_row(schema)? {
+                Some(row) => rows.push(row),
+                None => break,
+            }
+        }
+        Ok(rows)
+    }
+}

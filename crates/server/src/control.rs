@@ -1,0 +1,175 @@
+//! The control-plane listener: accepts client connections, parses
+//! commands (see [`crate::protocol`]) and dispatches them onto the
+//! [`ServerRuntime`]. One thread per control connection; the accept loop
+//! polls the runtime's stop flag so `SHUTDOWN` (from any session) tears
+//! the whole server down gracefully.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::error::Result;
+use crate::protocol::{parse_command, Command, Response};
+use crate::runtime::ServerRuntime;
+
+use std::time::Duration;
+
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// Upper bound on a control-plane response write — a client that stops
+/// reading must not wedge its connection thread (and thereby shutdown).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The control-plane server.
+pub struct ControlServer {
+    listener: TcpListener,
+    runtime: Arc<ServerRuntime>,
+}
+
+impl ControlServer {
+    /// Bind the control listener (e.g. `127.0.0.1:7077`, port 0 for
+    /// ephemeral).
+    pub fn bind(addr: &str, runtime: Arc<ServerRuntime>) -> Result<ControlServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(ControlServer { listener, runtime })
+    }
+
+    /// The bound control-plane address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    pub fn runtime(&self) -> &Arc<ServerRuntime> {
+        &self.runtime
+    }
+
+    /// Serve until a `SHUTDOWN` command arrives (or the stop flag is set
+    /// externally), then tear the runtime down. Blocks the caller.
+    pub fn serve(self) -> Result<()> {
+        let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+        while !self.runtime.is_stopping() {
+            match self.listener.accept() {
+                Ok((sock, peer)) => {
+                    let rt = Arc::clone(&self.runtime);
+                    conn_threads.push(
+                        std::thread::Builder::new()
+                            .name("dc-control-conn".into())
+                            .spawn(move || control_connection(rt, sock, peer.to_string()))
+                            .expect("spawn control connection thread"),
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(_) => {
+                    // transient accept failures (ECONNABORTED, EMFILE, ...)
+                    // must not take the whole daemon down — back off, retry
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+            }
+            conn_threads.retain(|t| !t.is_finished());
+        }
+        for t in conn_threads {
+            let _ = t.join();
+        }
+        self.runtime.shutdown();
+        Ok(())
+    }
+}
+
+/// Serve one control connection until QUIT/SHUTDOWN/EOF/stop.
+fn control_connection(rt: Arc<ServerRuntime>, sock: TcpStream, peer: String) {
+    let session = rt.sessions.open(&peer);
+    let _ = sock.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = sock.set_write_timeout(Some(WRITE_TIMEOUT));
+    let Ok(write_half) = sock.try_clone() else {
+        rt.sessions.close(session);
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut reader = BufReader::new(sock);
+    let mut line = String::new();
+    loop {
+        use std::io::BufRead;
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client hung up
+            Ok(_) => {
+                let request = line.trim().to_string();
+                line.clear();
+                if request.is_empty() {
+                    continue;
+                }
+                rt.sessions.note_command(session);
+                let (response, end) = dispatch(&rt, &request);
+                if response.write_to(&mut writer).is_err() {
+                    break;
+                }
+                let _ = writer.flush();
+                // `end` covers QUIT/SHUTDOWN from this session; the stop
+                // check covers a shutdown requested elsewhere while this
+                // client pipelines commands back-to-back (it would never
+                // take the idle branch below)
+                if end || rt.is_stopping() {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if rt.is_stopping() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    rt.sessions.close(session);
+}
+
+/// Execute one command; the bool says "close this connection afterwards".
+fn dispatch(rt: &Arc<ServerRuntime>, request: &str) -> (Response, bool) {
+    let cmd = match parse_command(request) {
+        Ok(c) => c,
+        Err(e) => return (Response::Err(e), false),
+    };
+    match cmd {
+        Command::Ping => (Response::one("pong"), false),
+        Command::Ddl(sql) | Command::Exec(sql) => (result_response(rt.exec(&sql)), false),
+        Command::RegisterQuery { name, sql } => {
+            match rt.register_query(&name, &sql) {
+                Ok(handle) => {
+                    let kind = if handle.broadcast.is_some() {
+                        "subscribable"
+                    } else {
+                        "sink"
+                    };
+                    (Response::one(format!("query={name} kind={kind}")), false)
+                }
+                Err(e) => (Response::Err(e.to_string()), false),
+            }
+        }
+        Command::AttachReceptor { stream, port } => match rt.attach_receptor(&stream, port) {
+            Ok(p) => (Response::one(format!("port={p}")), false),
+            Err(e) => (Response::Err(e.to_string()), false),
+        },
+        Command::AttachEmitter { query, port } => match rt.attach_emitter(&query, port) {
+            Ok(p) => (Response::one(format!("port={p}")), false),
+            Err(e) => (Response::Err(e.to_string()), false),
+        },
+        Command::Stats => (Response::Ok(rt.stats()), false),
+        Command::Quit => (Response::ok(), true),
+        Command::Shutdown => {
+            rt.request_shutdown();
+            (Response::ok(), true)
+        }
+    }
+}
+
+fn result_response(r: Result<Vec<String>>) -> Response {
+    match r {
+        Ok(body) => Response::Ok(body),
+        Err(e) => Response::Err(e.to_string()),
+    }
+}

@@ -1,0 +1,84 @@
+//! # dcserver — the standalone DataCell stream server
+//!
+//! The paper's architecture (§3.1) connects a relational kernel to the
+//! outside world through receptors and emitters. This crate assembles the
+//! `datacell` engine into a long-running daemon, `datacelld`, that real
+//! clients talk to over TCP:
+//!
+//! * a **control plane** (one listener, line-oriented commands — see
+//!   [`protocol`]) for DDL, continuous-query registration and
+//!   introspection;
+//! * a **data plane** of per-stream receptor ports (ingest) and per-query
+//!   emitter ports (result delivery), attached on demand;
+//! * a **session manager** ([`session`]) tracking client connections and
+//!   per-query result fan-out;
+//! * a **runtime** ([`runtime`]) supervising the thread-per-factory
+//!   scheduler, accept loops and pumps, with graceful shutdown.
+//!
+//! The [`client`] module is the matching client library (`dcclient`).
+//!
+//! ## Port layout
+//!
+//! ```text
+//!                 ┌──────────────────────────────────────┐
+//!  control :7077  │ CREATE STREAM / REGISTER QUERY /     │
+//!  ─────────────▶ │ ATTACH ... / STATS / SHUTDOWN        │
+//!                 │                                      │
+//!  receptor :p1   │ S ──▶ [baskets] ──▶ factories ──▶ Q  │  emitter :p2
+//!  tuples in ───▶ │          (ThreadedScheduler)         │ ───▶ tuples out
+//!                 └──────────────────────────────────────┘
+//! ```
+//!
+//! Receptor/emitter ports use the engine's textual tuple format
+//! ([`datacell::net`]): `|`-separated fields, one tuple per line.
+
+pub mod client;
+pub mod control;
+pub mod error;
+pub mod protocol;
+pub mod runtime;
+pub mod session;
+
+pub use client::Client;
+pub use control::ControlServer;
+pub use error::{Result, ServerError};
+pub use runtime::{ServerConfig, ServerRuntime};
+
+use std::sync::Arc;
+
+use datacell::engine::DataCell;
+
+/// Build a server on a fresh engine and bind its control plane.
+///
+/// Returns the bound control server; call [`ControlServer::serve`] to run
+/// it (blocking) and use [`ControlServer::local_addr`] for the actual
+/// port when binding ephemeral.
+pub fn bind(control_addr: &str, config: ServerConfig) -> Result<ControlServer> {
+    let engine = Arc::new(DataCell::new());
+    bind_with_engine(control_addr, config, engine)
+}
+
+/// Build a server around an existing engine (tests, embedded use).
+pub fn bind_with_engine(
+    control_addr: &str,
+    config: ServerConfig,
+    engine: Arc<DataCell>,
+) -> Result<ControlServer> {
+    let runtime = ServerRuntime::new(engine, config);
+    ControlServer::bind(control_addr, runtime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_on_ephemeral_port() {
+        let server = bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        assert_ne!(addr.port(), 0);
+        // tear down without serving
+        server.runtime().request_shutdown();
+        server.runtime().shutdown();
+    }
+}

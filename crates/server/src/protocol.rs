@@ -1,0 +1,324 @@
+//! The `datacelld` control-plane wire protocol.
+//!
+//! Line-oriented text, one request per line, mirroring the paper's choice
+//! of "a textual interface for exchanging flat relational tuples" (§3.1)
+//! for the control plane as well. Command grammar (keywords are
+//! case-insensitive, names and SQL are verbatim):
+//!
+//! ```text
+//! PING
+//! CREATE STREAM <name> (<col> <type>, ...)      -- also CREATE TABLE / CREATE BASKET
+//! EXEC <sql>                                    -- one-shot statement(s)
+//! REGISTER QUERY <name> AS <sql>                -- continuous query
+//! ATTACH RECEPTOR <stream> ON PORT <port>       -- 0 picks an ephemeral port
+//! ATTACH EMITTER <query> ON PORT <port>         -- 0 picks an ephemeral port
+//! STATS
+//! QUIT
+//! SHUTDOWN
+//! ```
+//!
+//! Every response is either
+//!
+//! ```text
+//! OK <n>\n        followed by exactly n body lines, or
+//! ERR <message>\n
+//! ```
+//!
+//! so clients can parse all replies with one loop.
+
+use std::io::{BufRead, Write};
+
+/// A parsed control-plane request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    Ping,
+    /// CREATE STREAM/TABLE/BASKET — the raw SQL line, passed through to
+    /// the engine's DDL executor.
+    Ddl(String),
+    /// One-shot SQL script execution.
+    Exec(String),
+    RegisterQuery {
+        name: String,
+        sql: String,
+    },
+    AttachReceptor {
+        stream: String,
+        port: u16,
+    },
+    AttachEmitter {
+        query: String,
+        port: u16,
+    },
+    Stats,
+    /// Close this control session (the server keeps running).
+    Quit,
+    /// Stop the whole server gracefully.
+    Shutdown,
+}
+
+/// Split one leading whitespace-delimited word off `input`.
+fn take_word(input: &str) -> (&str, &str) {
+    let input = input.trim_start();
+    match input.find(char::is_whitespace) {
+        Some(i) => (&input[..i], input[i..].trim_start()),
+        None => (input, ""),
+    }
+}
+
+fn expect_kw<'a>(input: &'a str, kw: &str) -> Result<&'a str, String> {
+    let (word, rest) = take_word(input);
+    if word.eq_ignore_ascii_case(kw) {
+        Ok(rest)
+    } else {
+        Err(format!("expected {kw}, got {word:?}"))
+    }
+}
+
+fn parse_name(input: &str) -> Result<(String, &str), String> {
+    let (word, rest) = take_word(input);
+    if word.is_empty() {
+        return Err("missing name".into());
+    }
+    if !word
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return Err(format!("invalid name {word:?}"));
+    }
+    Ok((word.to_string(), rest))
+}
+
+/// Parse one request line.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim();
+    let (head, rest) = take_word(line);
+    match head.to_ascii_uppercase().as_str() {
+        "" => Err("empty command".into()),
+        "PING" => Ok(Command::Ping),
+        "STATS" => Ok(Command::Stats),
+        "QUIT" => Ok(Command::Quit),
+        "SHUTDOWN" => Ok(Command::Shutdown),
+        "CREATE" => {
+            let (kind, _) = take_word(rest);
+            match kind.to_ascii_uppercase().as_str() {
+                "STREAM" | "TABLE" | "BASKET" => Ok(Command::Ddl(line.to_string())),
+                other => Err(format!("CREATE {other} is not supported")),
+            }
+        }
+        "EXEC" => {
+            if rest.is_empty() {
+                Err("EXEC requires a SQL statement".into())
+            } else {
+                Ok(Command::Exec(rest.to_string()))
+            }
+        }
+        "REGISTER" => {
+            let rest = expect_kw(rest, "QUERY")?;
+            let (name, rest) = parse_name(rest)?;
+            let sql = expect_kw(rest, "AS")?;
+            if sql.is_empty() {
+                return Err("REGISTER QUERY requires SQL after AS".into());
+            }
+            Ok(Command::RegisterQuery {
+                name,
+                sql: sql.to_string(),
+            })
+        }
+        "ATTACH" => {
+            let (kind, rest) = take_word(rest);
+            let (name, rest) = parse_name(rest)?;
+            let rest = expect_kw(rest, "ON")?;
+            let rest = expect_kw(rest, "PORT")?;
+            let (port_word, trailing) = take_word(rest);
+            if !trailing.is_empty() {
+                return Err(format!("unexpected trailing input {trailing:?}"));
+            }
+            let port: u16 = port_word
+                .parse()
+                .map_err(|_| format!("invalid port {port_word:?}"))?;
+            match kind.to_ascii_uppercase().as_str() {
+                "RECEPTOR" => Ok(Command::AttachReceptor { stream: name, port }),
+                "EMITTER" => Ok(Command::AttachEmitter { query: name, port }),
+                other => Err(format!("ATTACH {other} is not supported")),
+            }
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+/// A control-plane reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success, with zero or more body lines.
+    Ok(Vec<String>),
+    /// Failure, with a single-line message.
+    Err(String),
+}
+
+impl Response {
+    pub fn ok() -> Response {
+        Response::Ok(Vec::new())
+    }
+
+    pub fn one(line: impl Into<String>) -> Response {
+        Response::Ok(vec![line.into()])
+    }
+
+    /// Encode onto a writer. Body lines have embedded newlines replaced so
+    /// framing always holds.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        match self {
+            Response::Ok(body) => {
+                writeln!(w, "OK {}", body.len())?;
+                for line in body {
+                    writeln!(w, "{}", line.replace(['\n', '\r'], " "))?;
+                }
+            }
+            Response::Err(msg) => {
+                writeln!(w, "ERR {}", msg.replace(['\n', '\r'], " "))?;
+            }
+        }
+        w.flush()
+    }
+
+    /// Decode from a reader (the client side).
+    pub fn read_from<R: BufRead>(r: &mut R) -> std::io::Result<Response> {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        let line = line.trim_end_matches(['\n', '\r']);
+        if let Some(msg) = line.strip_prefix("ERR ") {
+            return Ok(Response::Err(msg.to_string()));
+        }
+        let Some(count) = line
+            .strip_prefix("OK")
+            .map(str::trim)
+            .and_then(|n| n.parse::<usize>().ok())
+        else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed response header {line:?}"),
+            ));
+        };
+        let mut body = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut body_line = String::new();
+            if r.read_line(&mut body_line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            body.push(body_line.trim_end_matches(['\n', '\r']).to_string());
+        }
+        Ok(Response::Ok(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(parse_command("ping"), Ok(Command::Ping));
+        assert_eq!(parse_command("  STATS  "), Ok(Command::Stats));
+        assert_eq!(parse_command("quit"), Ok(Command::Quit));
+        assert_eq!(parse_command("Shutdown"), Ok(Command::Shutdown));
+    }
+
+    #[test]
+    fn ddl_passes_through_verbatim() {
+        let line = "create stream S (id int, payload int)";
+        assert_eq!(parse_command(line), Ok(Command::Ddl(line.into())));
+        assert!(parse_command("CREATE INDEX i").is_err());
+    }
+
+    #[test]
+    fn register_query_keeps_sql_verbatim() {
+        let cmd = parse_command(
+            "REGISTER QUERY hot AS select id from [select * from S where v > 10] as W",
+        )
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::RegisterQuery {
+                name: "hot".into(),
+                sql: "select id from [select * from S where v > 10] as W".into(),
+            }
+        );
+        // string literals keep their inner spacing
+        let cmd = parse_command("register query q as select 'a  b' from T").unwrap();
+        assert_eq!(
+            cmd,
+            Command::RegisterQuery {
+                name: "q".into(),
+                sql: "select 'a  b' from T".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn attach_commands() {
+        assert_eq!(
+            parse_command("ATTACH RECEPTOR S ON PORT 0"),
+            Ok(Command::AttachReceptor {
+                stream: "S".into(),
+                port: 0
+            })
+        );
+        assert_eq!(
+            parse_command("attach emitter hot on port 9999"),
+            Ok(Command::AttachEmitter {
+                query: "hot".into(),
+                port: 9999
+            })
+        );
+        assert!(parse_command("ATTACH RECEPTOR S ON PORT banana").is_err());
+        assert!(parse_command("ATTACH RECEPTOR S ON PORT 1 extra").is_err());
+        assert!(parse_command("ATTACH TAP S ON PORT 1").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!(parse_command("REGISTER QUERY bad-name AS select 1").is_err());
+        assert!(parse_command("REGISTER QUERY q WITHOUT select 1").is_err());
+        assert!(parse_command("frobnicate").is_err());
+        assert!(parse_command("").is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut buf = Vec::new();
+        Response::Ok(vec!["a=1".into(), "b|2".into()])
+            .write_to(&mut buf)
+            .unwrap();
+        Response::Err("boom".into()).write_to(&mut buf).unwrap();
+        Response::ok().write_to(&mut buf).unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        assert_eq!(
+            Response::read_from(&mut r).unwrap(),
+            Response::Ok(vec!["a=1".into(), "b|2".into()])
+        );
+        assert_eq!(
+            Response::read_from(&mut r).unwrap(),
+            Response::Err("boom".into())
+        );
+        assert_eq!(Response::read_from(&mut r).unwrap(), Response::Ok(vec![]));
+    }
+
+    #[test]
+    fn response_newline_injection_is_neutralized() {
+        let mut buf = Vec::new();
+        Response::one("evil\nOK 0").write_to(&mut buf).unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        assert_eq!(
+            Response::read_from(&mut r).unwrap(),
+            Response::Ok(vec!["evil OK 0".into()])
+        );
+    }
+}

@@ -1,0 +1,484 @@
+//! The server runtime: engine + scheduler + data-plane supervision.
+//!
+//! Wires the pieces of the paper's Figure 1 into one supervised process:
+//! a [`DataCell`] engine, a thread-per-factory [`ThreadedScheduler`] that
+//! accepts factories dynamically as clients register queries, receptor
+//! accept loops feeding stream baskets from TCP sensors, and emitter
+//! fan-out threads delivering query results to TCP subscribers — with a
+//! single stop flag driving graceful shutdown of the whole tree.
+
+use std::io::BufRead;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use datacell::emitter::Emitter;
+use datacell::engine::{DataCell, QueryOptions};
+use datacell::net::parse_row;
+use datacell::scheduler::ThreadedScheduler;
+use monet::prelude::*;
+use parking_lot::Mutex;
+
+use crate::error::{Result, ServerError};
+use crate::session::{QueryHandle, QueryRegistry, SessionManager};
+
+/// How long blocking reads/accepts wait before re-checking the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// Upper bound on a single emitter socket write (a stalled subscriber is
+/// disconnected rather than allowed to wedge delivery and shutdown).
+const EMITTER_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Receptor batching: flush after this many buffered rows.
+const RECEPTOR_BATCH: usize = 4096;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Host data-plane listeners bind to (control plane binds separately).
+    pub data_host: String,
+    /// Idle backoff for factory threads.
+    pub idle_backoff: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            data_host: "127.0.0.1".into(),
+            idle_backoff: Duration::from_micros(100),
+        }
+    }
+}
+
+/// A receptor data-plane port: accept loop + per-connection reader threads.
+pub struct ReceptorPort {
+    pub stream: String,
+    pub port: u16,
+    pub connections: AtomicU64,
+    pub accepted: AtomicU64,
+    pub rejected: AtomicU64,
+}
+
+/// An emitter data-plane port: accept loop + per-subscriber emitter threads.
+pub struct EmitterPort {
+    pub query: String,
+    pub port: u16,
+    pub connections: AtomicU64,
+    emitters: Mutex<Vec<Emitter>>,
+}
+
+/// The running server: owns every supervised thread.
+pub struct ServerRuntime {
+    engine: Arc<DataCell>,
+    config: ServerConfig,
+    sched: Mutex<Option<ThreadedScheduler>>,
+    pub queries: QueryRegistry,
+    pub sessions: SessionManager,
+    receptors: Mutex<Vec<Arc<ReceptorPort>>>,
+    emitters: Mutex<Vec<Arc<EmitterPort>>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes register_query's engine-registration + factory-takeover
+    /// sequence: a concurrent registration from another control session
+    /// must not interleave between `register_query` and `take_factories`,
+    /// or it would steal the other session's factory.
+    registration: Mutex<()>,
+    stop: Arc<AtomicBool>,
+    started_at: Instant,
+}
+
+impl ServerRuntime {
+    pub fn new(engine: Arc<DataCell>, config: ServerConfig) -> Arc<ServerRuntime> {
+        let sched = ThreadedScheduler::with_backoff(config.idle_backoff);
+        Arc::new(ServerRuntime {
+            engine,
+            config,
+            sched: Mutex::new(Some(sched)),
+            queries: QueryRegistry::new(),
+            sessions: SessionManager::new(),
+            receptors: Mutex::new(Vec::new()),
+            emitters: Mutex::new(Vec::new()),
+            threads: Mutex::new(Vec::new()),
+            registration: Mutex::new(()),
+            stop: Arc::new(AtomicBool::new(false)),
+            started_at: Instant::now(),
+        })
+    }
+
+    pub fn engine(&self) -> &Arc<DataCell> {
+        &self.engine
+    }
+
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    pub fn uptime(&self) -> Duration {
+        self.started_at.elapsed()
+    }
+
+    fn ensure_running(&self) -> Result<()> {
+        if self.is_stopping() {
+            Err(ServerError::ShuttingDown)
+        } else {
+            Ok(())
+        }
+    }
+
+    // ---- control-plane operations ---------------------------------------
+
+    /// Execute DDL or a one-shot script; returns result rows (wire text)
+    /// for a trailing SELECT, prefixed with a `#`-marked header line.
+    pub fn exec(&self, sql: &str) -> Result<Vec<String>> {
+        self.ensure_running()?;
+        let result = self.engine.execute(sql)?;
+        let mut body = Vec::new();
+        if let Some(rel) = result {
+            body.push(format!("# {}", rel.names().join("|")));
+            for row in rel.iter_rows() {
+                body.push(datacell::net::format_row(&row));
+            }
+        }
+        Ok(body)
+    }
+
+    /// Register a continuous query: parse, build the factory, hand it to
+    /// the live scheduler, and set up result fan-out.
+    pub fn register_query(&self, name: &str, sql: &str) -> Result<Arc<QueryHandle>> {
+        self.ensure_running()?;
+        let _reg = self.registration.lock();
+        if self.queries.contains(name) {
+            return Err(ServerError::Duplicate(name.to_string()));
+        }
+        let rx = self
+            .engine
+            .register_query(name, sql, QueryOptions::subscribed())?;
+        // move the freshly built factory into the running scheduler
+        let factories = self.engine.take_factories();
+        let mut sched_guard = self.sched.lock();
+        let sched = sched_guard.as_mut().ok_or(ServerError::ShuttingDown)?;
+        let mut stats = None;
+        for f in factories {
+            let is_this = f.name() == name;
+            let live = sched.add_shared(f);
+            if is_this {
+                stats = Some(live);
+            }
+        }
+        drop(sched_guard);
+        let stats = stats.ok_or_else(|| {
+            ServerError::Io("registered factory did not surface in scheduler".into())
+        })?;
+        let handle = QueryHandle::new(name, sql, stats, rx);
+        if !self.queries.insert(Arc::clone(&handle)) {
+            return Err(ServerError::Duplicate(name.to_string()));
+        }
+        Ok(handle)
+    }
+
+    /// Open a receptor port for `stream`; port 0 picks an ephemeral port.
+    /// Returns the bound port.
+    pub fn attach_receptor(self: &Arc<Self>, stream: &str, port: u16) -> Result<u16> {
+        self.ensure_running()?;
+        let basket = self
+            .engine
+            .basket(stream)
+            .map_err(|_| ServerError::Unknown(format!("stream {stream}")))?;
+        let listener = TcpListener::bind((self.config.data_host.as_str(), port))?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?.port();
+        let rport = Arc::new(ReceptorPort {
+            stream: stream.to_string(),
+            port: bound,
+            connections: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        self.receptors.lock().push(Arc::clone(&rport));
+
+        let rt = Arc::clone(self);
+        let accept_port = Arc::clone(&rport);
+        let handle = std::thread::Builder::new()
+            .name(format!("dc-rcpt-{stream}"))
+            .spawn(move || {
+                let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+                while !rt.is_stopping() {
+                    match listener.accept() {
+                        Ok((sock, _peer)) => {
+                            accept_port.connections.fetch_add(1, Ordering::AcqRel);
+                            let rt2 = Arc::clone(&rt);
+                            let port2 = Arc::clone(&accept_port);
+                            let basket2 = Arc::clone(&basket);
+                            conn_threads.retain(|t| !t.is_finished());
+                            conn_threads.push(
+                                std::thread::Builder::new()
+                                    .name(format!("dc-rcpt-{}-conn", port2.stream))
+                                    .spawn(move || {
+                                        receptor_connection(&rt2, &port2, &basket2, sock)
+                                    })
+                                    .expect("spawn receptor connection thread"),
+                            );
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => {
+                            // transient accept failures (ECONNABORTED,
+                            // EMFILE, ...) must not kill the port — back
+                            // off and retry
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                    }
+                }
+                for t in conn_threads {
+                    let _ = t.join();
+                }
+            })
+            .expect("spawn receptor accept thread");
+        self.threads.lock().push(handle);
+        Ok(bound)
+    }
+
+    /// Open an emitter port for `query`; port 0 picks an ephemeral port.
+    /// Returns the bound port.
+    pub fn attach_emitter(self: &Arc<Self>, query: &str, port: u16) -> Result<u16> {
+        self.ensure_running()?;
+        let handle = self
+            .queries
+            .get(query)
+            .ok_or_else(|| ServerError::Unknown(format!("query {query}")))?;
+        let broadcast = handle
+            .broadcast
+            .as_ref()
+            .ok_or_else(|| {
+                ServerError::Protocol(format!(
+                    "query {query} has no subscription output (no bare SELECT)"
+                ))
+            })?
+            .clone();
+        let listener = TcpListener::bind((self.config.data_host.as_str(), port))?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?.port();
+        let eport = Arc::new(EmitterPort {
+            query: query.to_string(),
+            port: bound,
+            connections: AtomicU64::new(0),
+            emitters: Mutex::new(Vec::new()),
+        });
+        self.emitters.lock().push(Arc::clone(&eport));
+
+        let rt = Arc::clone(self);
+        let accept_port = Arc::clone(&eport);
+        let thread = std::thread::Builder::new()
+            .name(format!("dc-emit-{query}"))
+            .spawn(move || {
+                while !rt.is_stopping() {
+                    match listener.accept() {
+                        Ok((sock, _peer)) => {
+                            accept_port.connections.fetch_add(1, Ordering::AcqRel);
+                            // a subscriber that stops reading must not be
+                            // able to wedge shutdown behind a full send
+                            // buffer — bound the emitter's writes
+                            let _ = sock.set_write_timeout(Some(EMITTER_WRITE_TIMEOUT));
+                            let rx = broadcast.subscribe();
+                            let emitter = Emitter::spawn_tcp(
+                                format!("{}@{}", accept_port.query, accept_port.port),
+                                rx,
+                                sock,
+                            );
+                            let mut emitters = accept_port.emitters.lock();
+                            emitters.retain(|e| !e.is_finished());
+                            emitters.push(emitter);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => {
+                            // transient accept failures must not kill the
+                            // port — back off and retry
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                    }
+                }
+            })
+            .expect("spawn emitter accept thread");
+        self.threads.lock().push(thread);
+        Ok(bound)
+    }
+
+    /// The `STATS` report: one line per server object.
+    pub fn stats(&self) -> Vec<String> {
+        let mut body = Vec::new();
+        body.push(format!(
+            "server uptime_micros={} sessions={} queries={} receptor_ports={} emitter_ports={}",
+            self.uptime().as_micros(),
+            self.sessions.live_count(),
+            self.queries.len(),
+            self.receptors.lock().len(),
+            self.emitters.lock().len(),
+        ));
+        for b in self.engine.basket_report() {
+            body.push(format!(
+                "basket {} len={} enabled={} in={} out={} dropped={}",
+                b.name, b.len, b.enabled, b.total_in, b.total_out, b.dropped
+            ));
+        }
+        for q in self.queries.snapshot() {
+            let s = q.stats.lock().clone();
+            let (subs, batches, tuples, dropped) = match &q.broadcast {
+                Some(bc) => {
+                    let (b, t) = bc.delivered();
+                    (bc.subscriber_count(), b, t, bc.dropped_batches())
+                }
+                None => (0, 0, 0, 0),
+            };
+            body.push(format!(
+                "query {} firings={} consumed={} produced={} busy_micros={} \
+                 subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={}",
+                q.name, s.firings, s.consumed, s.produced, s.busy_micros,
+                subs, batches, tuples, dropped
+            ));
+        }
+        for r in self.receptors.lock().iter() {
+            body.push(format!(
+                "receptor {} port={} connections={} accepted={} rejected={}",
+                r.stream,
+                r.port,
+                r.connections.load(Ordering::Acquire),
+                r.accepted.load(Ordering::Acquire),
+                r.rejected.load(Ordering::Acquire),
+            ));
+        }
+        for e in self.emitters.lock().iter() {
+            body.push(format!(
+                "emitter {} port={} connections={}",
+                e.query,
+                e.port,
+                e.connections.load(Ordering::Acquire),
+            ));
+        }
+        for s in self.sessions.snapshot() {
+            body.push(format!(
+                "session {} peer={} commands={}",
+                s.id, s.peer, s.commands
+            ));
+        }
+        body
+    }
+
+    /// Request a graceful stop (idempotent; actual teardown happens in
+    /// [`ServerRuntime::shutdown`]).
+    pub fn request_shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Graceful teardown, in dependency order: stop ingest, drain the
+    /// scheduler, flush result pumps and emitters, join every thread.
+    pub fn shutdown(&self) {
+        self.request_shutdown();
+        // 1. receptor accept loops + connection readers observe the flag
+        //    and flush their final batches into the baskets; emitter accept
+        //    loops stop taking subscribers
+        let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
+        // 2. stop the scheduler — each factory thread drains remaining
+        //    input once, then drops its factory (disconnecting result
+        //    channels)
+        if let Some(sched) = self.sched.lock().take() {
+            sched.stop();
+        }
+        // 3. pumps see the disconnect after forwarding everything; then
+        //    broadcasts drop, disconnecting subscriber channels, and the
+        //    emitter threads flush and exit
+        for q in self.queries.drain() {
+            q.join_pump();
+        }
+        for eport in self.emitters.lock().drain(..) {
+            // other clones of the Arc only read stats; the emitter vec is
+            // drained through the lock
+            for emitter in eport.emitters.lock().drain(..) {
+                let _ = emitter.join();
+            }
+        }
+    }
+}
+
+/// One receptor TCP connection: greedily batch wire rows into the basket.
+fn receptor_connection(
+    rt: &ServerRuntime,
+    port: &ReceptorPort,
+    basket: &Arc<datacell::basket::Basket>,
+    sock: TcpStream,
+) {
+    let schema = basket.user_schema();
+    let clock = Arc::clone(rt.engine.clock());
+    let _ = sock.set_read_timeout(Some(POLL_INTERVAL));
+    let mut reader = std::io::BufReader::new(sock);
+    let mut line = String::new();
+    let mut batch: Vec<Vec<Value>> = Vec::new();
+    let mut eof = false;
+    while !eof {
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(_) => {
+                    let trimmed = line.trim_end_matches(['\n', '\r']);
+                    if !trimmed.is_empty() {
+                        match parse_row(trimmed, &schema) {
+                            Ok(row) => batch.push(row),
+                            Err(_) => {
+                                port.rejected.fetch_add(1, Ordering::AcqRel);
+                            }
+                        }
+                    }
+                    line.clear();
+                    if batch.len() >= RECEPTOR_BATCH {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // idle: flush what we have, re-check the stop flag;
+                    // a partially read line stays in `line` for the next
+                    // read_line call to complete
+                    if rt.is_stopping() {
+                        eof = true;
+                    }
+                    break;
+                }
+                Err(_) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            match basket.append_rows(&batch, clock.as_ref()) {
+                Ok(n) => {
+                    port.accepted.fetch_add(n as u64, Ordering::AcqRel);
+                    port.rejected
+                        .fetch_add((batch.len() - n) as u64, Ordering::AcqRel);
+                }
+                Err(_) => {
+                    port.rejected.fetch_add(batch.len() as u64, Ordering::AcqRel);
+                }
+            }
+            batch.clear();
+        }
+        // also honor shutdown between batch flushes — a client streaming
+        // continuously never takes the idle branch above
+        if rt.is_stopping() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Client sessions and result subscriptions.
+//!
+//! The control plane tracks every connected client as a session; each
+//! registered continuous query owns a [`Broadcast`] that fans its result
+//! batches out to all subscribed emitter sockets. A broadcast with no
+//! subscribers buffers a bounded backlog so that results produced between
+//! `REGISTER QUERY` and the first `ATTACH EMITTER` are not lost.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use datacell::scheduler::FactoryStats;
+use monet::prelude::*;
+use parking_lot::Mutex;
+
+/// Batches a subscriber-less broadcast will hold before dropping oldest.
+pub const BACKLOG_CAP: usize = 1024;
+
+// ---- sessions ---------------------------------------------------------------
+
+/// One control-plane connection.
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    pub id: u64,
+    pub peer: String,
+    pub commands: u64,
+}
+
+/// Registry of live control sessions.
+#[derive(Default)]
+pub struct SessionManager {
+    next: AtomicU64,
+    sessions: Mutex<HashMap<u64, SessionInfo>>,
+    opened_total: AtomicU64,
+}
+
+impl SessionManager {
+    pub fn new() -> Self {
+        SessionManager::default()
+    }
+
+    /// Register a new session, returning its id.
+    pub fn open(&self, peer: impl Into<String>) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::AcqRel) + 1;
+        self.opened_total.fetch_add(1, Ordering::AcqRel);
+        self.sessions.lock().insert(
+            id,
+            SessionInfo {
+                id,
+                peer: peer.into(),
+                commands: 0,
+            },
+        );
+        id
+    }
+
+    /// Count one executed command against a session.
+    pub fn note_command(&self, id: u64) {
+        if let Some(s) = self.sessions.lock().get_mut(&id) {
+            s.commands += 1;
+        }
+    }
+
+    pub fn close(&self, id: u64) {
+        self.sessions.lock().remove(&id);
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    pub fn opened_total(&self) -> u64 {
+        self.opened_total.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of live sessions, sorted by id.
+    pub fn snapshot(&self) -> Vec<SessionInfo> {
+        let mut v: Vec<SessionInfo> = self.sessions.lock().values().cloned().collect();
+        v.sort_by_key(|s| s.id);
+        v
+    }
+}
+
+// ---- result fan-out ---------------------------------------------------------
+
+/// Fan-out of one query's result batches to a dynamic set of subscribers.
+pub struct Broadcast {
+    subs: Mutex<Vec<Sender<Relation>>>,
+    backlog: Mutex<VecDeque<Relation>>,
+    delivered_batches: AtomicU64,
+    delivered_tuples: AtomicU64,
+    dropped_batches: AtomicU64,
+}
+
+impl Broadcast {
+    pub fn new() -> Arc<Broadcast> {
+        Arc::new(Broadcast {
+            subs: Mutex::new(Vec::new()),
+            backlog: Mutex::new(VecDeque::new()),
+            delivered_batches: AtomicU64::new(0),
+            delivered_tuples: AtomicU64::new(0),
+            dropped_batches: AtomicU64::new(0),
+        })
+    }
+
+    /// Add a subscriber. Any backlog accumulated while no subscriber was
+    /// attached is replayed to the new subscriber first.
+    pub fn subscribe(self: &Arc<Self>) -> Receiver<Relation> {
+        let (tx, rx) = unbounded();
+        let mut subs = self.subs.lock();
+        // replay under the subs lock so publish() cannot interleave a new
+        // batch between the backlog and the live stream
+        let backlog: Vec<Relation> = self.backlog.lock().drain(..).collect();
+        for batch in backlog {
+            self.count(&batch);
+            let _ = tx.send(batch);
+        }
+        subs.push(tx);
+        rx
+    }
+
+    /// Publish one result batch to all live subscribers (or the backlog
+    /// when there are none). Subscribers whose emitter hung up are reaped.
+    /// The last live subscriber receives the owned batch — only N-1
+    /// clones for N subscribers, and none for the common single-
+    /// subscriber case.
+    pub fn publish(self: &Arc<Self>, batch: Relation) {
+        let tuples = batch.len() as u64;
+        let mut subs = self.subs.lock();
+        let mut pending = Some(batch);
+        if !subs.is_empty() {
+            let old = std::mem::take(&mut *subs);
+            let total = old.len();
+            let mut live = Vec::with_capacity(total);
+            for (i, tx) in old.into_iter().enumerate() {
+                let payload = if i + 1 == total {
+                    pending.take().expect("owned batch available for last send")
+                } else {
+                    pending.as_ref().expect("owned batch").clone()
+                };
+                match tx.send(payload) {
+                    Ok(()) => live.push(tx),
+                    Err(crossbeam::channel::SendError(p)) => {
+                        if i + 1 == total {
+                            pending = Some(p);
+                        }
+                    }
+                }
+            }
+            let delivered = !live.is_empty();
+            *subs = live;
+            if delivered {
+                self.delivered_batches.fetch_add(1, Ordering::AcqRel);
+                self.delivered_tuples.fetch_add(tuples, Ordering::AcqRel);
+                return;
+            }
+        }
+        let batch = pending.expect("undelivered batch returns to the caller");
+        let mut backlog = self.backlog.lock();
+        if backlog.len() >= BACKLOG_CAP {
+            backlog.pop_front();
+            self.dropped_batches.fetch_add(1, Ordering::AcqRel);
+        }
+        backlog.push_back(batch);
+    }
+
+    fn count(&self, batch: &Relation) {
+        self.delivered_batches.fetch_add(1, Ordering::AcqRel);
+        self.delivered_tuples
+            .fetch_add(batch.len() as u64, Ordering::AcqRel);
+    }
+
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.lock().len()
+    }
+
+    pub fn delivered(&self) -> (u64, u64) {
+        (
+            self.delivered_batches.load(Ordering::Acquire),
+            self.delivered_tuples.load(Ordering::Acquire),
+        )
+    }
+
+    pub fn dropped_batches(&self) -> u64 {
+        self.dropped_batches.load(Ordering::Acquire)
+    }
+}
+
+/// One registered continuous query and its delivery machinery.
+pub struct QueryHandle {
+    pub name: String,
+    pub sql: String,
+    pub registered_at: Instant,
+    /// Live scheduler-side statistics (shared with the factory thread).
+    pub stats: Arc<Mutex<FactoryStats>>,
+    /// Fan-out of result batches; `None` for queries with no bare SELECT
+    /// (e.g. INSERT chains) — those cannot take emitters.
+    pub broadcast: Option<Arc<Broadcast>>,
+    /// The pump thread moving batches from the factory channel into the
+    /// broadcast; joined at shutdown.
+    pump: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl QueryHandle {
+    pub fn new(
+        name: impl Into<String>,
+        sql: impl Into<String>,
+        stats: Arc<Mutex<FactoryStats>>,
+        results: Option<Receiver<Relation>>,
+    ) -> Arc<QueryHandle> {
+        let name = name.into();
+        let (broadcast, pump) = match results {
+            Some(rx) => {
+                let bc = Broadcast::new();
+                let bc2 = Arc::clone(&bc);
+                let handle = std::thread::Builder::new()
+                    .name(format!("dc-pump-{name}"))
+                    .spawn(move || {
+                        while let Ok(batch) = rx.recv() {
+                            bc2.publish(batch);
+                        }
+                    })
+                    .expect("spawn pump thread");
+                (Some(bc), Some(handle))
+            }
+            None => (None, None),
+        };
+        Arc::new(QueryHandle {
+            name,
+            sql: sql.into(),
+            registered_at: Instant::now(),
+            stats,
+            broadcast,
+            pump: Mutex::new(pump),
+        })
+    }
+
+    /// Wait for the pump to flush (valid once the factory's sender side
+    /// has been dropped, i.e. after the scheduler stopped).
+    pub fn join_pump(&self) {
+        if let Some(h) = self.pump.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Registry of continuous queries by name.
+#[derive(Default)]
+pub struct QueryRegistry {
+    queries: Mutex<HashMap<String, Arc<QueryHandle>>>,
+}
+
+impl QueryRegistry {
+    pub fn new() -> Self {
+        QueryRegistry::default()
+    }
+
+    pub fn insert(&self, handle: Arc<QueryHandle>) -> bool {
+        let mut q = self.queries.lock();
+        if q.contains_key(&handle.name) {
+            return false;
+        }
+        q.insert(handle.name.clone(), handle);
+        true
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.queries.lock().contains_key(name)
+    }
+
+    pub fn get(&self, name: &str) -> Option<Arc<QueryHandle>> {
+        self.queries.lock().get(name).cloned()
+    }
+
+    pub fn len(&self) -> usize {
+        self.queries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queries.lock().is_empty()
+    }
+
+    /// Snapshot sorted by name.
+    pub fn snapshot(&self) -> Vec<Arc<QueryHandle>> {
+        let mut v: Vec<Arc<QueryHandle>> = self.queries.lock().values().cloned().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Drain all handles (shutdown path).
+    pub fn drain(&self) -> Vec<Arc<QueryHandle>> {
+        self.queries.lock().drain().map(|(_, h)| h).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(vals: &[i64]) -> Relation {
+        Relation::from_columns(vec![("x".into(), Column::from_ints(vals.to_vec()))]).unwrap()
+    }
+
+    #[test]
+    fn sessions_open_count_close() {
+        let m = SessionManager::new();
+        let a = m.open("1.2.3.4:5");
+        let b = m.open("6.7.8.9:10");
+        assert_ne!(a, b);
+        m.note_command(a);
+        m.note_command(a);
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].commands, 2);
+        m.close(a);
+        assert_eq!(m.live_count(), 1);
+        assert_eq!(m.opened_total(), 2);
+    }
+
+    #[test]
+    fn broadcast_delivers_to_all_subscribers() {
+        let bc = Broadcast::new();
+        let rx1 = bc.subscribe();
+        let rx2 = bc.subscribe();
+        bc.publish(batch(&[1, 2]));
+        assert_eq!(rx1.recv().unwrap().len(), 2);
+        assert_eq!(rx2.recv().unwrap().len(), 2);
+        assert_eq!(bc.delivered(), (1, 2));
+    }
+
+    #[test]
+    fn broadcast_backlog_replays_to_first_subscriber() {
+        let bc = Broadcast::new();
+        bc.publish(batch(&[1]));
+        bc.publish(batch(&[2, 3]));
+        assert_eq!(bc.delivered(), (0, 0), "nothing delivered yet");
+        let rx = bc.subscribe();
+        assert_eq!(rx.recv().unwrap().len(), 1);
+        assert_eq!(rx.recv().unwrap().len(), 2);
+        assert_eq!(bc.delivered(), (2, 3));
+    }
+
+    #[test]
+    fn broadcast_backlog_is_bounded() {
+        let bc = Broadcast::new();
+        for i in 0..(BACKLOG_CAP + 10) {
+            bc.publish(batch(&[i as i64]));
+        }
+        assert_eq!(bc.dropped_batches(), 10);
+        let rx = bc.subscribe();
+        // oldest 10 dropped: first replayed batch holds value 10
+        assert_eq!(
+            rx.recv().unwrap().column("x").unwrap().ints().unwrap(),
+            &[10]
+        );
+    }
+
+    #[test]
+    fn dead_subscribers_are_reaped() {
+        let bc = Broadcast::new();
+        let rx = bc.subscribe();
+        drop(rx);
+        bc.publish(batch(&[1]));
+        assert_eq!(bc.subscriber_count(), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! End-to-end test of the daemon: boot `datacelld` on ephemeral ports,
+//! drive the paper's §3.1 loop entirely over TCP — ingest through a
+//! receptor socket, a continuous query fires inside the engine, results
+//! arrive on an emitter socket — then shut down gracefully.
+
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dcserver::client::Client;
+use dcserver::{bind, ServerConfig};
+use monet::prelude::*;
+
+/// Boot a daemon on an ephemeral control port; returns (control addr,
+/// serve-thread handle).
+fn boot() -> (std::net::SocketAddr, JoinHandle<()>) {
+    let server = bind("127.0.0.1:0", ServerConfig::default()).expect("bind control plane");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        server.serve().expect("serve");
+    });
+    (addr, handle)
+}
+
+#[test]
+fn full_section_3_1_loop_over_sockets() {
+    let (addr, server_thread) = boot();
+    let mut c = Client::connect(addr).unwrap();
+    c.ping().unwrap();
+
+    // control plane: DDL + continuous query + port attachment
+    c.create_stream("S", "(id int, payload int)").unwrap();
+    c.register_query(
+        "hot",
+        "select id, payload from [select * from S] as Z where Z.payload > 100",
+    )
+    .unwrap();
+    let rport = c.attach_receptor("S", 0).unwrap();
+    let eport = c.attach_emitter("hot", 0).unwrap();
+    assert_ne!(rport, 0);
+    assert_ne!(eport, 0);
+    assert_ne!(rport, eport);
+
+    // data plane: ingest over the receptor socket
+    let mut sink = c.open_receptor(rport).unwrap();
+    let mut tap = c.open_emitter(eport).unwrap();
+    tap.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    for i in 0..200i64 {
+        sink.send_row(&[Value::Int(i), Value::Int(i * 10)]).unwrap();
+    }
+    sink.flush().unwrap();
+
+    // results: payload > 100 keeps ids 11..=199
+    let schema = Schema::from_pairs(&[("id", ValueType::Int), ("payload", ValueType::Int)]);
+    let rows = tap.take_rows(&schema, 189).unwrap();
+    assert_eq!(rows.len(), 189);
+    let mut ids: Vec<i64> = rows
+        .iter()
+        .map(|r| match r[0] {
+            Value::Int(v) => v,
+            ref other => panic!("unexpected value {other:?}"),
+        })
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (11..=199).collect::<Vec<i64>>());
+    for r in &rows {
+        match (&r[0], &r[1]) {
+            (Value::Int(id), Value::Int(p)) => assert_eq!(*p, id * 10),
+            other => panic!("unexpected row {other:?}"),
+        }
+    }
+
+    // STATS reflects the run
+    let stats = c.stats().unwrap();
+    let query_line = stats
+        .iter()
+        .find(|l| l.starts_with("query hot "))
+        .expect("query line in STATS");
+    assert!(query_line.contains("delivered_tuples=189"), "{query_line}");
+    assert!(
+        stats.iter().any(|l| l.starts_with("receptor S ")),
+        "{stats:?}"
+    );
+
+    // graceful shutdown from the control plane
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+
+    // the emitter stream closes after the final flush
+    assert_eq!(tap.next_row(&schema).unwrap(), None);
+}
+
+#[test]
+fn results_survive_between_register_and_attach() {
+    // tuples ingested before any emitter attaches are buffered in the
+    // query's broadcast backlog and replayed to the first subscriber
+    let (addr, server_thread) = boot();
+    let mut c = Client::connect(addr).unwrap();
+    c.create_stream("S", "(id int, v int)").unwrap();
+    c.register_query("all", "select id from [select * from S] as Z")
+        .unwrap();
+    let rport = c.attach_receptor("S", 0).unwrap();
+    let mut sink = c.open_receptor(rport).unwrap();
+    sink.send_row(&[Value::Int(7), Value::Int(1)]).unwrap();
+    sink.flush().unwrap();
+
+    // wait until the engine consumed the tuple
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = c.stats().unwrap();
+        let consumed = stats
+            .iter()
+            .find(|l| l.starts_with("query all "))
+            .map(|l| l.contains("delivered_batches=0") && l.contains("consumed=1"))
+            .unwrap_or(false);
+        if consumed {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "engine never consumed the tuple: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // only now attach the emitter: the backlog must replay
+    let eport = c.attach_emitter("all", 0).unwrap();
+    let mut tap = c.open_emitter(eport).unwrap();
+    tap.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let schema = Schema::from_pairs(&[("id", ValueType::Int)]);
+    assert_eq!(tap.next_row(&schema).unwrap(), Some(vec![Value::Int(7)]));
+
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn two_clients_fan_out_same_query() {
+    let (addr, server_thread) = boot();
+    let mut c = Client::connect(addr).unwrap();
+    c.create_stream("S", "(id int, v int)").unwrap();
+    c.register_query("all", "select id from [select * from S] as Z")
+        .unwrap();
+    let rport = c.attach_receptor("S", 0).unwrap();
+    let eport = c.attach_emitter("all", 0).unwrap();
+
+    // a second control session sees the same server
+    let mut c2 = Client::connect(addr).unwrap();
+    let stats = c2.stats().unwrap();
+    assert!(stats[0].contains("sessions=2"), "{}", stats[0]);
+
+    // two subscribers on one emitter port each get every result
+    let mut tap1 = c.open_emitter(eport).unwrap();
+    let mut tap2 = c2.open_emitter(eport).unwrap();
+    tap1.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    tap2.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    // give the emitter accept loop a moment to register both subscribers
+    // before results flow (subscription later than delivery only costs
+    // the backlog replay, but both-subscribed is the interesting case)
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = c.stats().unwrap();
+        let ready = stats
+            .iter()
+            .find(|l| l.starts_with("query all "))
+            .map(|l| l.contains("subscribers=2"))
+            .unwrap_or(false);
+        if ready {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "subscribers never registered: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut sink = c.open_receptor(rport).unwrap();
+    for i in 0..50i64 {
+        sink.send_row(&[Value::Int(i), Value::Int(0)]).unwrap();
+    }
+    sink.flush().unwrap();
+
+    let schema = Schema::from_pairs(&[("id", ValueType::Int)]);
+    let rows1 = tap1.take_rows(&schema, 50).unwrap();
+    let rows2 = tap2.take_rows(&schema, 50).unwrap();
+    assert_eq!(rows1.len(), 50);
+    assert_eq!(rows1, rows2);
+
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn control_plane_rejects_bad_requests() {
+    let (addr, server_thread) = boot();
+    let mut c = Client::connect(addr).unwrap();
+    c.create_stream("S", "(id int)").unwrap();
+
+    // duplicate stream
+    let err = c.create_stream("S", "(id int)").unwrap_err();
+    assert!(err.to_string().contains("duplicate"), "{err}");
+    // unknown stream/query on ATTACH
+    assert!(c.attach_receptor("nosuch", 0).is_err());
+    assert!(c.attach_emitter("nosuch", 0).is_err());
+    // bad SQL in REGISTER
+    assert!(c.register_query("broken", "selectt nonsense").is_err());
+    // duplicate query name
+    c.register_query("q", "select id from [select * from S] as Z")
+        .unwrap();
+    let err = c
+        .register_query("q", "select id from [select * from S] as Z")
+        .unwrap_err();
+    assert!(err.to_string().contains("duplicate"), "{err}");
+    // unparseable command line
+    assert!(c.request("FROBNICATE THE BASKETS").is_err());
+    // the session survives all of the above
+    c.ping().unwrap();
+
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn exec_one_shot_round_trip() {
+    let (addr, server_thread) = boot();
+    let mut c = Client::connect(addr).unwrap();
+    c.create_table("T", "(a int, b varchar)").unwrap();
+    assert_eq!(c.exec("insert into T values (1, 'x'), (2, 'y')").unwrap(), Vec::<String>::new());
+    let body = c.exec("select a, b from T where b = 'y'").unwrap();
+    assert_eq!(body, vec!["# a|b".to_string(), "2|y".to_string()]);
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+}

@@ -1,0 +1,324 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace vendors the subset of the criterion API its benches use.
+//! Statistical machinery (outlier detection, regression, HTML reports) is
+//! replaced by a plain timed loop: a short warm-up to calibrate the
+//! per-iteration cost, then a measured run printing mean time per
+//! iteration plus derived throughput. Benches keep `harness = false` and
+//! `criterion_group!`/`criterion_main!` exactly as with real criterion.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How the measured run is scaled relative to the input size.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (advisory in this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measurement: Duration,
+    warm_up: Duration,
+    /// (total elapsed, iterations) of the measured run.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // warm-up + calibration
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target = ((self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), target));
+    }
+
+    /// Measure `routine` on fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // calibrate on a few iterations
+        let mut warm_iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while spent < self.warm_up && warm_iters < 1000 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            spent += t0.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = spent.as_secs_f64() / warm_iters.max(1) as f64;
+        let target = ((self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+        let mut total = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.result = Some((total, target));
+    }
+}
+
+fn fmt_time(t: f64) -> String {
+    if t < 1e-6 {
+        format!("{:.2} ns", t * 1e9)
+    } else if t < 1e-3 {
+        format!("{:.2} µs", t * 1e6)
+    } else if t < 1.0 {
+        format!("{:.2} ms", t * 1e3)
+    } else {
+        format!("{t:.2} s")
+    }
+}
+
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+    warm_up: Duration,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        measurement,
+        warm_up,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) => {
+            let per = elapsed.as_secs_f64() / iters as f64;
+            let mut line = format!("{label:<40} {:>12}/iter  ({iters} iters)", fmt_time(per));
+            match throughput {
+                Some(Throughput::Elements(n)) => {
+                    line.push_str(&format!("  {:.3} Melem/s", n as f64 / per / 1e6));
+                }
+                Some(Throughput::Bytes(n)) => {
+                    line.push_str(&format!("  {:.3} MiB/s", n as f64 / per / (1 << 20) as f64));
+                }
+                None => {}
+            }
+            println!("{line}");
+        }
+        None => println!("{label:<40} (no measurement recorded)"),
+    }
+}
+
+/// Entry point: owns global settings and spawns groups.
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+            warm_up: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Criterion API compat: sample counts are folded into one timed loop.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, None, self.measurement, self.warm_up, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.throughput, self.measurement, self.warm_up, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.throughput, self.measurement, self.warm_up, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declare a group function running each target benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = quick();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &vec![1, 2, 3, 4], |b, v| {
+            b.iter(|| v.iter().sum::<i32>())
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

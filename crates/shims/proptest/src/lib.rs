@@ -1,0 +1,379 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace vendors the subset of the proptest API its test suites use:
+//! the `proptest!` macro, `prop_assert*`, integer-range strategies,
+//! `prop::collection::{vec, btree_set}`, `prop::option::weighted`,
+//! `any::<T>()` and `Strategy::prop_map`.
+//!
+//! Unlike real proptest this shim does **not shrink** failing inputs — a
+//! failure panics with the generated values left to the assertion message
+//! — and cases are generated from a seed derived from the test's module
+//! path, so runs are deterministic per test.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng;
+pub use rand::{Rng, SeedableRng};
+
+/// Per-proptest-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic seed for a named test (FNV-1a over the name).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Constant "strategy" — generates the same value every time (proptest's
+/// `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! arb_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+arb_ints!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+/// Whole-domain strategy for an [`Arbitrary`] type.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Inclusive size bound for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use super::super::{SizeRange, StdRng, Strategy};
+        use std::collections::BTreeSet;
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `Vec` of values from `element`, with a random length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `BTreeSet` of values from `element`. The target size is capped
+        /// by the number of distinct values the element strategy yields in
+        /// a bounded number of attempts.
+        pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+                let target = self.size.pick(rng);
+                let mut out = BTreeSet::new();
+                let mut attempts = 0usize;
+                while out.len() < target && attempts < target * 8 + 32 {
+                    out.insert(self.element.generate(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+    }
+
+    pub mod option {
+        use super::super::{Rng, StdRng, Strategy};
+
+        pub struct Weighted<S> {
+            some_probability: f64,
+            inner: S,
+        }
+
+        /// `Some(inner)` with probability `some_probability`, else `None`.
+        pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> Weighted<S> {
+            Weighted {
+                some_probability,
+                inner,
+            }
+        }
+
+        impl<S: Strategy> Strategy for Weighted<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+                rng.gen_bool(self.some_probability)
+                    .then(|| self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// keep the BTreeSet import used (the re-exported module path above is the
+// public surface; this silences an unused-import lint on some toolchains)
+#[allow(unused)]
+fn _btree_marker(_: BTreeSet<u8>) {}
+
+/// `prop_assert!` — in this shim, a plain `assert!` (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!` — in this shim, a plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!` — in this shim, a plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = <$crate::StdRng as $crate::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for _case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// The `proptest!` block: each contained `#[test] fn name(arg in strategy,
+/// ...) { .. }` becomes a test running `cases` random instantiations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_sizes_in_bounds(v in prop::collection::vec(0i64..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
+        }
+
+        #[test]
+        fn mapped_strategy(x in (0u32..50).prop_map(|x| x * 2)) {
+            prop_assert!(x % 2 == 0 && x < 100);
+        }
+
+        #[test]
+        fn sets_are_sets(s in prop::collection::btree_set(0u32..8, 0..=8)) {
+            prop_assert!(s.len() <= 8);
+        }
+
+        #[test]
+        fn weighted_options(o in prop::option::weighted(0.5, 0i64..5), b in any::<bool>()) {
+            if let Some(v) = o {
+                prop_assert!((0..5).contains(&v));
+            }
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        assert_eq!(super::seed_for("a::b"), super::seed_for("a::b"));
+        assert_ne!(super::seed_for("a::b"), super::seed_for("a::c"));
+    }
+}

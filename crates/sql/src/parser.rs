@@ -461,9 +461,7 @@ impl Parser {
             }
         }
         let expr = self.expr()?;
-        let alias = if self.eat_kw(Keyword::As) {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), Some(Token::Ident(_))) {
+        let alias = if self.eat_kw(Keyword::As) || matches!(self.peek(), Some(Token::Ident(_))) {
             Some(self.ident()?)
         } else {
             None
@@ -471,6 +469,8 @@ impl Parser {
         Ok(SelectItem::Expr { expr, alias })
     }
 
+    // grammar-production name, not a conversion constructor
+    #[allow(clippy::wrong_self_convention)]
     fn from_item(&mut self) -> Result<FromItem> {
         match self.peek() {
             Some(Token::LBracket) => {

@@ -54,6 +54,8 @@ pub enum Keyword {
 
 impl Keyword {
     /// Parse a (case-folded) identifier as a keyword.
+    // not the trait method: misses are normal identifiers, not errors
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {

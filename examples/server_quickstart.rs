@@ -1,0 +1,70 @@
+//! Quickstart against a live `datacelld` daemon.
+//!
+//! Unlike `examples/quickstart.rs` (in-process engine), everything here
+//! goes through the server's TCP surface, exactly as an external client
+//! would: the control plane registers schema and a continuous query, the
+//! data plane pushes sensor readings through a receptor socket and reads
+//! alerts back from an emitter socket.
+//!
+//! The daemon is booted inside this process for convenience; point
+//! `Client::connect` at any reachable `datacelld` (e.g. started with
+//! `cargo run --bin datacelld -- --listen 127.0.0.1:7077`) and the rest
+//! of the code is unchanged.
+//!
+//! Run with: `cargo run --example server_quickstart`
+
+use std::time::Duration;
+
+use datacell_repro::dcserver::client::Client;
+use datacell_repro::dcserver::{bind, ServerConfig};
+use datacell_repro::monet::prelude::*;
+
+fn main() -> datacell_repro::dcserver::Result<()> {
+    // --- boot a daemon on an ephemeral control port ---------------------
+    let server = bind("127.0.0.1:0", ServerConfig::default())?;
+    let addr = server.local_addr()?;
+    let daemon = std::thread::spawn(move || server.serve());
+    println!("datacelld listening on {addr}");
+
+    // --- the client path ------------------------------------------------
+    let mut c = Client::connect(addr)?;
+    c.ping()?;
+
+    // schema + continuous query over the control plane
+    c.create_stream("readings", "(sensor int, temp double)")?;
+    c.register_query(
+        "hot_readings",
+        "select sensor, temp from [select * from readings] as W where W.temp > 30.0",
+    )?;
+
+    // data-plane ports (0 = server picks an ephemeral port)
+    let rport = c.attach_receptor("readings", 0)?;
+    let eport = c.attach_emitter("hot_readings", 0)?;
+    println!("receptor on :{rport}, emitter on :{eport}");
+
+    // simulate a sensor: ten readings, four of them hot
+    let mut sink = c.open_receptor(rport)?;
+    for i in 0..10i64 {
+        sink.send_row(&[Value::Int(i), Value::Double(25.0 + i as f64)])?;
+    }
+    sink.flush()?;
+
+    // subscribe to alerts
+    let mut tap = c.open_emitter(eport)?;
+    tap.set_timeout(Some(Duration::from_secs(10)))?;
+    let schema = Schema::from_pairs(&[("sensor", ValueType::Int), ("temp", ValueType::Double)]);
+    let alerts = tap.take_rows(&schema, 4)?;
+    for row in &alerts {
+        println!("ALERT sensor={} temp={}", row[0], row[1]);
+    }
+    assert_eq!(alerts.len(), 4, "temps 31..34 exceed the threshold");
+
+    // introspection, then graceful shutdown
+    for line in c.stats()? {
+        println!("stats: {line}");
+    }
+    c.shutdown()?;
+    daemon.join().expect("daemon thread")?;
+    println!("daemon shut down cleanly");
+    Ok(())
+}

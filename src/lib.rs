@@ -6,12 +6,14 @@
 //! * [`petri`] — Petri-net processing model;
 //! * [`dcsql`] — SQL front-end with basket expressions;
 //! * [`datacell`] — the stream engine (baskets, factories, scheduler);
+//! * [`dcserver`] — the `datacelld` daemon and `dcclient` client library;
 //! * [`linearroad`] — the Linear Road benchmark.
 //!
 //! This crate only hosts the workspace-level examples and integration
 //! tests; it re-exports the member crates for convenience.
 
 pub use datacell;
+pub use dcserver;
 pub use dcsql;
 pub use linearroad;
 pub use monet;
