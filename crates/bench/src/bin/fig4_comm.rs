@@ -113,6 +113,7 @@ fn with_kernel(n: usize, k: usize) -> (f64, f64) {
         "emit",
         results,
         TcpStream::connect(actuator_addr).unwrap(),
+        WireFormat::Text,
     );
 
     // receptor: TCP server fed by the sensor
@@ -123,6 +124,7 @@ fn with_kernel(n: usize, k: usize) -> (f64, f64) {
         rec_listener,
         engine.basket("B0").unwrap(),
         Arc::clone(engine.clock()),
+        WireFormat::Text,
     );
 
     // scheduler thread

@@ -7,12 +7,20 @@
 //! tuples through a bare TCP echo to isolate protocol + loopback cost
 //! from engine cost.
 //!
-//! `cargo run -p dc_bench --release --bin server_throughput [--tuples N]`
+//! The data plane runs in both wire formats so the text-vs-binary gap is
+//! a tracked number: `--format text|binary|both` (default `both`).
+//! Clients move batches of `--batch` tuples (default 4096) through
+//! `send_batch`/`next_batch` in either format, so the comparison
+//! isolates the codec, not the batching.
+//!
+//! `cargo run -p dc_bench --release --bin server_throughput
+//!     [--tuples N] [--batch B] [--format text|binary|both]`
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::Instant;
 
+use datacell::frame::WireFormat;
 use dc_bench::{arg, Figure};
 use dcserver::client::Client;
 use dcserver::{bind, ServerConfig};
@@ -54,9 +62,10 @@ fn wire_only(n: usize) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
-/// n tuples through the daemon; `selectivity_pct` of them reach the
-/// emitter. Returns elapsed seconds (send-first-tuple → last result).
-fn through_server(n: usize, selectivity_pct: i64) -> f64 {
+/// n tuples through the daemon in `format`; `selectivity_pct` of them
+/// reach the emitter. Returns elapsed seconds (send-first-batch → last
+/// result).
+fn through_server(n: usize, selectivity_pct: i64, format: WireFormat, batch: usize) -> f64 {
     let server = bind("127.0.0.1:0", ServerConfig::default()).unwrap();
     let addr = server.local_addr().unwrap();
     let daemon = std::thread::spawn(move || server.serve());
@@ -68,22 +77,25 @@ fn through_server(n: usize, selectivity_pct: i64) -> f64 {
         selectivity_pct * 10 // v is uniform over 0..1000
     );
     c.register_query("q", &sql).unwrap();
-    let rport = c.attach_receptor("S", 0).unwrap();
-    let eport = c.attach_emitter("q", 0).unwrap();
+    let rport = c.attach_receptor_fmt("S", 0, format).unwrap();
+    let eport = c.attach_emitter_fmt("q", 0, format).unwrap();
 
     let expected: usize = (0..n as i64)
         .filter(|i| i % 1000 < selectivity_pct * 10)
         .count();
 
-    let mut sink = c.open_receptor(rport).unwrap();
-    let mut tap = c.open_emitter(eport).unwrap();
     let schema = Schema::from_pairs(&[("id", ValueType::Int), ("v", ValueType::Int)]);
+    let mut sink = c.open_receptor_with(rport, format, &schema).unwrap();
+    let mut tap = c.open_emitter_with(eport, format).unwrap();
+    // CI runs this binary as a codec regression gate: a lost tuple must
+    // fail loudly via this timeout, not hang the job
+    tap.set_timeout(Some(std::time::Duration::from_secs(60))).unwrap();
 
     let reader = std::thread::spawn(move || {
         let mut got = 0usize;
         while got < expected {
-            match tap.next_row(&schema).unwrap() {
-                Some(_) => got += 1,
+            match tap.next_batch(&schema).expect("results stalled >60s (lost tuples?)") {
+                Some(b) => got += b.len(),
                 None => break,
             }
         }
@@ -91,8 +103,16 @@ fn through_server(n: usize, selectivity_pct: i64) -> f64 {
     });
 
     let start = Instant::now();
-    for i in 0..n as i64 {
-        sink.send_row(&[Value::Int(i), Value::Int(i % 1000)]).unwrap();
+    let mut at = 0i64;
+    while (at as usize) < n {
+        let hi = (at + batch as i64).min(n as i64);
+        let rel = Relation::from_columns(vec![
+            ("id".into(), Column::from_ints((at..hi).collect())),
+            ("v".into(), Column::from_ints((at..hi).map(|i| i % 1000).collect())),
+        ])
+        .unwrap();
+        sink.send_batch(&rel).unwrap();
+        at = hi;
     }
     sink.flush().unwrap();
     let got = reader.join().unwrap();
@@ -106,25 +126,48 @@ fn through_server(n: usize, selectivity_pct: i64) -> f64 {
 
 fn main() {
     let n: usize = arg("--tuples", 100_000);
+    let batch: usize = arg("--batch", 4096);
+    let which: String = arg("--format", "both".to_string());
+    let formats: Vec<WireFormat> = match which.as_str() {
+        "text" => vec![WireFormat::Text],
+        "binary" => vec![WireFormat::Binary],
+        "both" => vec![WireFormat::Text, WireFormat::Binary],
+        other => {
+            eprintln!("unknown --format {other:?} (expected text|binary|both)");
+            std::process::exit(2);
+        }
+    };
     let mut fig = Figure::new(
         "server_throughput",
-        &["path", "tuples", "elapsed_s", "tuples_per_s"],
+        &["path", "format", "tuples", "elapsed_s", "tuples_per_s"],
     );
     let wire = wire_only(n);
     fig.row(vec![
         "wire only".into(),
+        "text".into(),
         n.to_string(),
         format!("{wire:.3}"),
         format!("{:.0}", n as f64 / wire),
     ]);
-    for (label, pct) in [("passthrough (100%)", 100i64), ("selective (10%)", 10)] {
-        let elapsed = through_server(n, pct);
-        fig.row(vec![
-            format!("datacelld {label}"),
-            n.to_string(),
-            format!("{elapsed:.3}"),
-            format!("{:.0}", n as f64 / elapsed),
-        ]);
+    let mut per_format = std::collections::HashMap::new();
+    for &format in &formats {
+        for (label, pct) in [("passthrough (100%)", 100i64), ("selective (10%)", 10)] {
+            let elapsed = through_server(n, pct, format, batch);
+            let tput = n as f64 / elapsed;
+            if pct == 100 {
+                per_format.insert(format.as_str(), tput);
+            }
+            fig.row(vec![
+                format!("datacelld {label}"),
+                format.to_string(),
+                n.to_string(),
+                format!("{elapsed:.3}"),
+                format!("{tput:.0}"),
+            ]);
+        }
     }
     fig.finish();
+    if let (Some(t), Some(b)) = (per_format.get("text"), per_format.get("binary")) {
+        println!("\nbinary/text passthrough speedup: {:.2}x", b / t);
+    }
 }

@@ -14,7 +14,7 @@
 //! * **Basket control** — a disabled basket blocks its stream: appends are
 //!   rejected until re-enabled.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use dcsql::ast::Expr;
@@ -38,6 +38,8 @@ pub struct BasketStats {
     pub total_out: AtomicU64,
     /// Tuples silently dropped by integrity constraints.
     pub dropped: AtomicU64,
+    /// Largest buffered tuple count ever observed after an append.
+    pub high_water: AtomicU64,
 }
 
 impl BasketStats {
@@ -47,6 +49,10 @@ impl BasketStats {
             self.total_out.load(Ordering::Relaxed),
             self.dropped.load(Ordering::Relaxed),
         )
+    }
+
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
     }
 }
 
@@ -74,6 +80,10 @@ pub struct Basket {
     schema: Schema,
     stamps_arrival: bool,
     enabled: AtomicBool,
+    /// Receptor backpressure: buffered tuples above which feeders should
+    /// block (0 = unbounded). Appends themselves are never rejected by
+    /// the cap — cooperating producers gate on [`Basket::has_capacity`].
+    pending_cap: AtomicUsize,
     constraints: Mutex<Vec<Expr>>,
     inner: Mutex<BasketInner>,
     stats: BasketStats,
@@ -107,6 +117,7 @@ impl Basket {
             schema: full.clone(),
             stamps_arrival: stamp_arrivals,
             enabled: AtomicBool::new(true),
+            pending_cap: AtomicUsize::new(0),
             constraints: Mutex::new(Vec::new()),
             inner: Mutex::new(BasketInner {
                 rel: Relation::new(&full),
@@ -158,6 +169,41 @@ impl Basket {
 
     pub fn enable(&self) {
         self.enabled.store(true, Ordering::Release);
+    }
+
+    // ---- backpressure -------------------------------------------------------
+
+    /// Set the pending-batch cap (buffered tuples) above which feeders
+    /// should stop appending; 0 removes the cap.
+    pub fn set_pending_cap(&self, cap: usize) {
+        self.pending_cap.store(cap, Ordering::Release);
+    }
+
+    /// The configured pending cap (0 = unbounded).
+    pub fn pending_cap(&self) -> usize {
+        self.pending_cap.load(Ordering::Acquire)
+    }
+
+    /// Whether a cooperating feeder may append right now.
+    pub fn has_capacity(&self) -> bool {
+        let cap = self.pending_cap();
+        cap == 0 || self.len() < cap
+    }
+
+    /// Block until the basket drains below its cap (receptor
+    /// backpressure). Polls; `abort` is checked each round so server
+    /// shutdown can interrupt a blocked feeder, and a *disabled* basket
+    /// always aborts the wait — `disable()` is the caller-independent
+    /// lever to unwedge a blocked feeder whose consumer died. Returns
+    /// `false` when aborted, `true` when capacity is available.
+    pub fn wait_for_capacity(&self, abort: impl Fn() -> bool) -> bool {
+        while !self.has_capacity() {
+            if abort() || !self.is_enabled() {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        true
     }
 
     // ---- integrity ----------------------------------------------------------
@@ -231,6 +277,7 @@ impl Basket {
             let mut inner = self.inner.lock();
             inner.rel.append_relation(&accepted)?;
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
+            self.note_high_water(inner.rel.len());
         }
         Ok(n)
     }
@@ -248,8 +295,13 @@ impl Basket {
         if n > 0 {
             inner.rel.append_relation(&accepted)?;
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
+            self.note_high_water(inner.rel.len());
         }
         Ok(n)
+    }
+
+    fn note_high_water(&self, len: usize) {
+        self.stats.high_water.fetch_max(len as u64, Ordering::Relaxed);
     }
 
     /// Stamp, validate and constraint-filter a batch (no locking).
@@ -284,6 +336,7 @@ impl Basket {
             // positional compatibility was just validated
             inner.rel.append_relation(&accepted)?;
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
+            self.note_high_water(inner.rel.len());
         }
         Ok(n)
     }
@@ -481,6 +534,62 @@ mod tests {
         let bad = Relation::from_columns(vec![("x".into(), Column::from_strs(vec!["s".into()]))])
             .unwrap();
         assert!(b.append_relation(bad, &clock).is_err());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let clock = VirtualClock::new();
+        let b = Basket::new("B", &schema(), false);
+        b.append_rows(
+            &[
+                vec![Value::Int(1), Value::Int(1)],
+                vec![Value::Int(2), Value::Int(2)],
+            ],
+            &clock,
+        )
+        .unwrap();
+        assert_eq!(b.stats().high_water(), 2);
+        let _ = b.drain();
+        b.append_rows(&[vec![Value::Int(3), Value::Int(3)]], &clock)
+            .unwrap();
+        assert_eq!(b.stats().high_water(), 2, "high water is a lifetime max");
+        b.append_rows(
+            &[
+                vec![Value::Int(4), Value::Int(4)],
+                vec![Value::Int(5), Value::Int(5)],
+            ],
+            &clock,
+        )
+        .unwrap();
+        assert_eq!(b.stats().high_water(), 3);
+    }
+
+    #[test]
+    fn pending_cap_gates_capacity() {
+        let clock = VirtualClock::new();
+        let b = Basket::new("B", &schema(), false);
+        assert!(b.has_capacity(), "unbounded by default");
+        b.set_pending_cap(2);
+        assert_eq!(b.pending_cap(), 2);
+        b.append_rows(
+            &[
+                vec![Value::Int(1), Value::Int(1)],
+                vec![Value::Int(2), Value::Int(2)],
+            ],
+            &clock,
+        )
+        .unwrap();
+        assert!(!b.has_capacity());
+        assert!(!b.wait_for_capacity(|| true), "abort unblocks the wait");
+        b.disable();
+        assert!(
+            !b.wait_for_capacity(|| false),
+            "disabling the basket unblocks a waiting feeder"
+        );
+        b.enable();
+        let _ = b.drain();
+        assert!(b.has_capacity());
+        assert!(b.wait_for_capacity(|| false));
     }
 
     #[test]

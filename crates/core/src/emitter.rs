@@ -2,17 +2,20 @@
 //!
 //! An emitter picks up result batches prepared by the kernel (factory
 //! result channels or output baskets) and ships them to subscribed
-//! clients, over TCP or to an in-process callback.
+//! clients, over TCP or to an in-process callback. TCP emitters speak a
+//! negotiated [`WireFormat`]; whole batches are encoded into one frame
+//! buffer and written with a single call.
 
-use std::io::BufWriter;
+use std::io::{BufWriter, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::Receiver;
 use monet::prelude::*;
 
 use crate::error::Result;
-use crate::net::write_batch;
+use crate::frame::{SharedFrame, WireFormat};
 
 /// Handle to a running emitter thread.
 pub struct Emitter {
@@ -30,24 +33,64 @@ pub struct EmitterReport {
 }
 
 impl Emitter {
-    /// Deliver result batches to a TCP peer as wire text.
+    /// Deliver result batches to a TCP peer in the given wire format.
+    /// Each batch is encoded once into a reused frame buffer.
     pub fn spawn_tcp(
         name: impl Into<String>,
         rx: Receiver<Relation>,
         stream: TcpStream,
+        format: WireFormat,
     ) -> Emitter {
         let name = name.into();
         let handle = std::thread::spawn(move || {
             let mut report = EmitterReport::default();
             let mut writer = BufWriter::new(stream);
+            let mut codec = format.new_codec();
+            let mut buf: Vec<u8> = Vec::new();
             while let Ok(batch) = rx.recv() {
-                match write_batch(&mut writer, &batch) {
-                    Ok(n) => {
-                        report.delivered += n as u64;
-                        report.batches += 1;
-                    }
-                    Err(_) => break,
+                buf.clear();
+                if codec.encode(&batch, &mut buf).is_err() {
+                    break;
                 }
+                if writer.write_all(&buf).and_then(|()| writer.flush()).is_err() {
+                    break;
+                }
+                report.delivered += batch.len() as u64;
+                report.batches += 1;
+            }
+            report
+        });
+        Emitter { name, handle }
+    }
+
+    /// Deliver pre-shared result frames to a TCP peer. The encoding is
+    /// produced once per [`SharedFrame`] per format, no matter how many
+    /// subscriber emitters deliver it — the server fan-out path.
+    pub fn spawn_tcp_shared(
+        name: impl Into<String>,
+        rx: Receiver<Arc<SharedFrame>>,
+        stream: TcpStream,
+        format: WireFormat,
+    ) -> Emitter {
+        let name = name.into();
+        let handle = std::thread::spawn(move || {
+            let mut report = EmitterReport::default();
+            let mut writer = BufWriter::new(stream);
+            while let Ok(frame) = rx.recv() {
+                // unframeable batch (over the size limit): drop the
+                // subscriber rather than ship a corrupt stream
+                let Ok(bytes) = frame.bytes(format) else {
+                    break;
+                };
+                if writer
+                    .write_all(&bytes)
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                report.delivered += frame.len() as u64;
+                report.batches += 1;
             }
             report
         });
@@ -93,6 +136,7 @@ impl Emitter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::read_frame;
     use std::io::{BufRead, BufReader};
     use std::net::TcpListener;
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -129,12 +173,92 @@ mod tests {
             reader.lines().map(|l| l.unwrap()).collect::<Vec<_>>()
         });
         let (tx, rx) = crossbeam::channel::unbounded();
-        let emitter = Emitter::spawn_tcp("e", rx, TcpStream::connect(addr).unwrap());
+        let emitter = Emitter::spawn_tcp(
+            "e",
+            rx,
+            TcpStream::connect(addr).unwrap(),
+            WireFormat::Text,
+        );
         tx.send(batch(&[7, 8])).unwrap();
         drop(tx);
         let report = emitter.join().unwrap();
         assert_eq!(report.delivered, 2);
         let lines = client.join().unwrap();
         assert_eq!(lines, vec!["7".to_string(), "8".to_string()]);
+    }
+
+    #[test]
+    fn tcp_emitter_writes_binary_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let schema = Schema::from_pairs(&[("x", ValueType::Int)]);
+        let schema2 = schema.clone();
+        let client = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(sock);
+            let mut batches = Vec::new();
+            while let Some(rel) = read_frame(&mut reader, &schema2).unwrap() {
+                batches.push(rel);
+            }
+            batches
+        });
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let emitter = Emitter::spawn_tcp(
+            "e",
+            rx,
+            TcpStream::connect(addr).unwrap(),
+            WireFormat::Binary,
+        );
+        tx.send(batch(&[7, 8])).unwrap();
+        tx.send(batch(&[9])).unwrap();
+        drop(tx);
+        let report = emitter.join().unwrap();
+        assert_eq!(report.delivered, 3);
+        assert_eq!(report.batches, 2);
+        let batches = client.join().unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].column("x").unwrap().ints().unwrap(), &[7, 8]);
+        assert_eq!(batches[1].column("x").unwrap().ints().unwrap(), &[9]);
+    }
+
+    #[test]
+    fn shared_emitters_reuse_one_encoding() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let collector = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            for _ in 0..2 {
+                let (sock, _) = listener.accept().unwrap();
+                out.push(std::thread::spawn(move || {
+                    let reader = BufReader::new(sock);
+                    reader.lines().map(|l| l.unwrap()).collect::<Vec<_>>()
+                }));
+            }
+            out.into_iter().map(|t| t.join().unwrap()).collect::<Vec<_>>()
+        });
+        let (tx1, rx1) = crossbeam::channel::unbounded();
+        let (tx2, rx2) = crossbeam::channel::unbounded();
+        let e1 = Emitter::spawn_tcp_shared(
+            "e1",
+            rx1,
+            TcpStream::connect(addr).unwrap(),
+            WireFormat::Text,
+        );
+        let e2 = Emitter::spawn_tcp_shared(
+            "e2",
+            rx2,
+            TcpStream::connect(addr).unwrap(),
+            WireFormat::Text,
+        );
+        let frame = SharedFrame::new(batch(&[1, 2, 3]));
+        tx1.send(Arc::clone(&frame)).unwrap();
+        tx2.send(Arc::clone(&frame)).unwrap();
+        drop(tx1);
+        drop(tx2);
+        assert_eq!(e1.join().unwrap().delivered, 3);
+        assert_eq!(e2.join().unwrap().delivered, 3);
+        let received = collector.join().unwrap();
+        assert_eq!(received[0], received[1]);
+        assert_eq!(received[0], vec!["1", "2", "3"]);
     }
 }

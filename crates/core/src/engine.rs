@@ -54,6 +54,10 @@ pub struct BasketReport {
     pub total_in: u64,
     pub total_out: u64,
     pub dropped: u64,
+    /// Lifetime peak of buffered tuples (backpressure telemetry).
+    pub high_water: u64,
+    /// Configured pending-batch cap (0 = unbounded).
+    pub pending_cap: usize,
 }
 
 /// The engine.
@@ -250,6 +254,8 @@ impl DataCell {
                     total_in,
                     total_out,
                     dropped,
+                    high_water: b.stats().high_water(),
+                    pending_cap: b.pending_cap(),
                 }
             })
             .collect();

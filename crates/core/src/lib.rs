@@ -16,7 +16,7 @@
 //!
 //! | paper | module |
 //! |-------|--------|
-//! | §3.1 receptors/emitters      | [`receptor`], [`emitter`], [`net`] |
+//! | §3.1 receptors/emitters      | [`receptor`], [`emitter`], [`net`], [`frame`] |
 //! | §3.2 baskets                 | [`basket`] |
 //! | §3.3 factories (Algorithm 1) | [`factory`] |
 //! | §3.4 basket expressions      | `dcsql` crate |
@@ -60,6 +60,7 @@ pub mod emitter;
 pub mod engine;
 pub mod error;
 pub mod factory;
+pub mod frame;
 pub mod metronome;
 pub mod net;
 pub mod receptor;
@@ -75,6 +76,7 @@ pub mod prelude {
     pub use crate::engine::{BasketReport, DataCell, QueryOptions};
     pub use crate::error::{EngineError, Result};
     pub use crate::factory::{ClosureFactory, ConsumeMode, Factory, FireReport, QueryFactory};
+    pub use crate::frame::{FrameCodec, SharedFrame, WireFormat};
     pub use crate::metronome::{Heartbeat, Metronome};
     pub use crate::receptor::Receptor;
     pub use crate::scheduler::{Scheduler, ThreadedScheduler};

@@ -11,36 +11,79 @@ use monet::prelude::*;
 
 use crate::error::{EngineError, Result};
 
-/// Render one tuple as a wire line (no trailing newline).
-pub fn format_row(row: &[Value]) -> String {
-    let mut out = String::new();
+/// Escape one string field onto a wire buffer.
+fn escape_str_into(out: &mut String, s: &str) {
+    if s.is_empty() {
+        // an empty field means NULL on the wire, so the empty string
+        // needs an explicit escape to stay distinguishable
+        out.push_str("\\e");
+        return;
+    }
+    // escape the separator and newlines
+    for c in s.chars() {
+        match c {
+            '|' => out.push_str("\\p"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\\' => out.push_str("\\\\"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Render one tuple onto an existing buffer (no trailing newline).
+pub fn format_row_into(out: &mut String, row: &[Value]) {
+    use std::fmt::Write as _;
     for (i, v) in row.iter().enumerate() {
         if i > 0 {
             out.push('|');
         }
         match v {
             Value::Null => {}
-            Value::Str(s) if s.is_empty() => {
-                // an empty field means NULL on the wire, so the empty
-                // string needs an explicit escape to stay distinguishable
-                out.push_str("\\e");
+            Value::Str(s) => escape_str_into(out, s),
+            other => {
+                let _ = write!(out, "{other}");
             }
-            Value::Str(s) => {
-                // escape the separator and newlines
-                for c in s.chars() {
-                    match c {
-                        '|' => out.push_str("\\p"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\\' => out.push_str("\\\\"),
-                        other => out.push(other),
-                    }
-                }
-            }
-            other => out.push_str(&other.to_string()),
         }
     }
+}
+
+/// Render one tuple as a wire line (no trailing newline).
+pub fn format_row(row: &[Value]) -> String {
+    let mut out = String::new();
+    format_row_into(&mut out, row);
     out
+}
+
+/// Render a whole batch into `out`, one line per tuple, reading the
+/// columns directly — no per-row `Vec<Value>` materialization and no
+/// per-row `String`. This is the hot path of every text emitter.
+pub fn encode_batch_text(out: &mut String, rel: &Relation) {
+    use std::fmt::Write as _;
+    for i in 0..rel.len() {
+        for c in 0..rel.width() {
+            if c > 0 {
+                out.push('|');
+            }
+            let col = rel.col_at(c);
+            if !col.is_valid(i) {
+                continue; // NULL is the empty field
+            }
+            match col.data() {
+                ColumnData::Bool(v) => {
+                    let _ = write!(out, "{}", v[i]);
+                }
+                ColumnData::Int(v) | ColumnData::Ts(v) => {
+                    let _ = write!(out, "{}", v[i]);
+                }
+                ColumnData::Double(v) => {
+                    let _ = write!(out, "{}", v[i]);
+                }
+                ColumnData::Str(v) => escape_str_into(out, &v[i]),
+            }
+        }
+        out.push('\n');
+    }
 }
 
 /// Parse one wire line against a schema (user columns only).
@@ -99,11 +142,12 @@ fn unescape(s: &str) -> String {
     out
 }
 
-/// Write a batch of rows to a writer, one line per tuple.
+/// Write a batch of rows to a writer, one line per tuple. The whole
+/// batch is rendered into a single buffer and written with one call.
 pub fn write_batch<W: Write>(w: &mut W, rel: &Relation) -> Result<usize> {
-    for row in rel.iter_rows() {
-        writeln!(w, "{}", format_row(&row))?;
-    }
+    let mut buf = String::new();
+    encode_batch_text(&mut buf, rel);
+    w.write_all(buf.as_bytes())?;
     w.flush()?;
     Ok(rel.len())
 }
@@ -204,6 +248,30 @@ mod tests {
     fn arity_and_type_errors() {
         assert!(parse_row("1|2", &schema()).is_err());
         assert!(parse_row("x|1|1.0|s|true", &schema()).is_err());
+    }
+
+    #[test]
+    fn columnar_text_encoding_matches_row_path() {
+        let mut rel = Relation::from_columns(vec![
+            ("a".into(), Column::from_ints(vec![1, -7])),
+            (
+                "s".into(),
+                Column::from_strs(vec!["a|b\nc".into(), String::new()]),
+            ),
+            ("d".into(), Column::from_doubles(vec![2.5, -0.75])),
+            ("b".into(), Column::from_bools(vec![true, false])),
+        ])
+        .unwrap();
+        rel.append_row(&[Value::Null, Value::Null, Value::Null, Value::Null])
+            .unwrap();
+        let mut columnar = String::new();
+        encode_batch_text(&mut columnar, &rel);
+        let mut by_rows = String::new();
+        for row in rel.iter_rows() {
+            by_rows.push_str(&format_row(&row));
+            by_rows.push('\n');
+        }
+        assert_eq!(columnar, by_rows);
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! A receptor continuously picks events off a communication channel,
 //! validates their structure and appends them to its basket(s). Two
 //! channel kinds are provided: in-process crossbeam channels (benchmarks,
-//! tests) and TCP text streams (the sensor experiments).
+//! tests) and TCP streams speaking a negotiated [`WireFormat`] — the §3.1
+//! textual protocol or the columnar binary frames of [`crate::frame`].
+//! Receptors honor their basket's pending cap: a full basket blocks the
+//! feed (backpressure) instead of growing without bound.
 
 use std::io::BufReader;
 use std::net::TcpListener;
@@ -16,7 +19,7 @@ use monet::prelude::*;
 use crate::basket::Basket;
 use crate::clock::Clock;
 use crate::error::Result;
-use crate::net::read_rows;
+use crate::frame::WireFormat;
 
 /// Handle to a running receptor thread.
 pub struct Receptor {
@@ -71,13 +74,53 @@ impl Receptor {
         Receptor { name, handle }
     }
 
+    /// Receptor on an in-process channel of ready-made columnar batches —
+    /// the batch-first twin of [`Receptor::spawn_channel`]. Each message
+    /// is appended as one columnar batch.
+    ///
+    /// A basket with a pending cap blocks this feed while full
+    /// (backpressure). If the consumer is gone for good, call
+    /// `basket.disable()` to unblock the wait — the pending batch is
+    /// then rejected and the loop resumes, ending at channel close.
+    pub fn spawn_channel_batches(
+        name: impl Into<String>,
+        rx: Receiver<Relation>,
+        basket: Arc<Basket>,
+        clock: Arc<dyn Clock>,
+    ) -> Receptor {
+        let name = name.into();
+        let handle = std::thread::spawn(move || {
+            let mut report = ReceptorReport::default();
+            while let Ok(batch) = rx.recv() {
+                let total = batch.len() as u64;
+                basket.wait_for_capacity(|| false);
+                match basket.append_relation(batch, clock.as_ref()) {
+                    Ok(n) => {
+                        report.accepted += n as u64;
+                        report.rejected += total - n as u64;
+                    }
+                    Err(_) => report.rejected += total,
+                }
+            }
+            report
+        });
+        Receptor { name, handle }
+    }
+
     /// Receptor listening on TCP: accepts one sensor connection and
-    /// consumes newline-framed tuples until EOF.
+    /// consumes batches in the given wire format until EOF. Text streams
+    /// are chopped into batches of up to 1024 tuples; binary streams
+    /// arrive pre-framed. When the basket has a pending cap, the loop
+    /// blocks (backpressure onto the peer's send buffer) instead of
+    /// growing the basket unboundedly; `basket.disable()` unblocks a
+    /// wait whose consumer died (the batch is rejected and the loop
+    /// resumes, ending at EOF).
     pub fn spawn_tcp(
         name: impl Into<String>,
         listener: TcpListener,
         basket: Arc<Basket>,
         clock: Arc<dyn Clock>,
+        format: WireFormat,
     ) -> Receptor {
         let name = name.into();
         let schema = basket.user_schema();
@@ -87,16 +130,21 @@ impl Receptor {
                 return report;
             };
             let mut reader = BufReader::new(stream);
+            let mut codec = format.new_codec();
             loop {
-                match read_rows(&mut reader, &schema, 1024) {
-                    Ok(rows) if rows.is_empty() => break,
-                    Ok(rows) => match basket.append_rows(&rows, clock.as_ref()) {
-                        Ok(n) => {
-                            report.accepted += n as u64;
-                            report.rejected += (rows.len() - n) as u64;
+                match codec.read_batch(&mut reader, &schema, 1024) {
+                    Ok(None) => break,
+                    Ok(Some(batch)) => {
+                        let total = batch.len() as u64;
+                        basket.wait_for_capacity(|| false);
+                        match basket.append_relation(batch, clock.as_ref()) {
+                            Ok(n) => {
+                                report.accepted += n as u64;
+                                report.rejected += total - n as u64;
+                            }
+                            Err(_) => report.rejected += total,
                         }
-                        Err(_) => report.rejected += rows.len() as u64,
-                    },
+                    }
                     Err(_) => {
                         report.rejected += 1;
                         break;
@@ -166,7 +214,13 @@ mod tests {
         let basket = Basket::new("B", &schema(), true);
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let receptor = Receptor::spawn_tcp("r", listener, Arc::clone(&basket), clock);
+        let receptor = Receptor::spawn_tcp(
+            "r",
+            listener,
+            Arc::clone(&basket),
+            clock,
+            WireFormat::Text,
+        );
 
         let mut sock = std::net::TcpStream::connect(addr).unwrap();
         sock.write_all(b"1|10\n2|20\n3|30\n").unwrap();
@@ -177,5 +231,104 @@ mod tests {
         assert_eq!(basket.len(), 3);
         let snap = basket.snapshot();
         assert_eq!(snap.column("v").unwrap().ints().unwrap(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn tcp_receptor_consumes_binary_frames() {
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let basket = Basket::new("B", &schema(), true);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let receptor = Receptor::spawn_tcp(
+            "r",
+            listener,
+            Arc::clone(&basket),
+            clock,
+            WireFormat::Binary,
+        );
+
+        let batch = Relation::from_columns(vec![
+            ("id".into(), Column::from_ints(vec![1, 2, 3])),
+            ("v".into(), Column::from_ints(vec![10, 20, 30])),
+        ])
+        .unwrap();
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        crate::frame::write_frame(&mut sock, &batch).unwrap();
+        drop(sock);
+
+        let report = receptor.join().unwrap();
+        assert_eq!(report.accepted, 3);
+        assert_eq!(report.rejected, 0);
+        let snap = basket.snapshot();
+        assert_eq!(snap.column("v").unwrap().ints().unwrap(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn batch_channel_receptor_appends_columnar() {
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let basket = Basket::new("B", &schema(), true);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let receptor =
+            Receptor::spawn_channel_batches("r", rx, Arc::clone(&basket), clock);
+        let batch = Relation::from_columns(vec![
+            ("id".into(), Column::from_ints(vec![1, 2])),
+            ("v".into(), Column::from_ints(vec![7, 8])),
+        ])
+        .unwrap();
+        tx.send(batch).unwrap();
+        drop(tx);
+        let report = receptor.join().unwrap();
+        assert_eq!(report.accepted, 2);
+        assert_eq!(basket.len(), 2);
+    }
+
+    #[test]
+    fn tcp_receptor_blocks_on_full_basket() {
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let basket = Basket::new("B", &schema(), false);
+        basket.set_pending_cap(8);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let receptor = Receptor::spawn_tcp(
+            "r",
+            listener,
+            Arc::clone(&basket),
+            clock,
+            WireFormat::Binary,
+        );
+
+        // 20 frames of 5 tuples: the basket (cap 8) can hold at most
+        // cap-1 tuples when an append is admitted, so occupancy never
+        // exceeds 7 + 5 = 12
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        for f in 0..20i64 {
+            let batch = Relation::from_columns(vec![
+                ("id".into(), Column::from_ints((0..5).map(|i| f * 5 + i).collect())),
+                ("v".into(), Column::from_ints(vec![0; 5])),
+            ])
+            .unwrap();
+            crate::frame::write_frame(&mut sock, &batch).unwrap();
+        }
+        drop(sock);
+
+        let mut total = 0usize;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while total < 100 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "receptor stalled: {total} tuples after 10s"
+            );
+            let drained = basket.drain();
+            total += drained.len();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(total, 100);
+        let report = receptor.join().unwrap();
+        assert_eq!(report.accepted, 100);
+        assert!(
+            basket.stats().high_water() <= 12,
+            "backpressure must bound occupancy, saw high water {}",
+            basket.stats().high_water()
+        );
     }
 }

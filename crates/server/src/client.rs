@@ -4,8 +4,15 @@
 //!
 //! * [`Client`] speaks the control-plane protocol (DDL, query
 //!   registration, port attachment, stats, shutdown);
-//! * [`ReceptorSink`] writes wire-format tuples into a receptor port;
-//! * [`EmitterTap`] reads result tuples from an emitter port.
+//! * [`ReceptorSink`] writes tuple batches into a receptor port;
+//! * [`EmitterTap`] reads result batches from an emitter port.
+//!
+//! The data plane is **batch-first**: [`ReceptorSink::send_batch`] and
+//! [`EmitterTap::next_batch`] move whole [`Relation`]s, in either the
+//! §3.1 text protocol or the columnar binary frame format
+//! ([`datacell::frame`]); the per-row methods are thin convenience
+//! wrappers that buffer into batches. Text is the default everywhere, so
+//! pre-existing sessions run unmodified.
 //!
 //! ```no_run
 //! use dcserver::client::Client;
@@ -26,16 +33,47 @@
 //!     .unwrap();
 //! assert_eq!(row, Some(vec![Value::Int(1)]));
 //! ```
+//!
+//! The binary fast path negotiates the format at `ATTACH` time and moves
+//! columnar batches end-to-end:
+//!
+//! ```no_run
+//! use dcserver::client::Client;
+//! use datacell::frame::WireFormat;
+//! use monet::prelude::*;
+//!
+//! let mut c = Client::connect("127.0.0.1:7077").unwrap();
+//! c.create_stream("S", "(id int, v int)").unwrap();
+//! c.register_query("all", "select id, v from [select * from S] as Z").unwrap();
+//! let schema = Schema::from_pairs(&[("id", ValueType::Int), ("v", ValueType::Int)]);
+//! let rport = c.attach_receptor_fmt("S", 0, WireFormat::Binary).unwrap();
+//! let eport = c.attach_emitter_fmt("all", 0, WireFormat::Binary).unwrap();
+//! let mut sink = c.open_receptor_with(rport, WireFormat::Binary, &schema).unwrap();
+//! let mut tap = c.open_emitter_with(eport, WireFormat::Binary).unwrap();
+//! let batch = Relation::from_columns(vec![
+//!     ("id".into(), Column::from_ints(vec![1, 2])),
+//!     ("v".into(), Column::from_ints(vec![10, 20])),
+//! ]).unwrap();
+//! sink.send_batch(&batch).unwrap();
+//! sink.flush().unwrap();
+//! let result = tap.next_batch(&schema).unwrap().unwrap();
+//! assert_eq!(result.len(), 2);
+//! ```
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use datacell::net::{format_row, parse_row};
+use datacell::frame::{self, WireFormat};
+use datacell::net::{encode_batch_text, parse_row};
 use monet::prelude::*;
 
 use crate::error::{Result, ServerError};
 use crate::protocol::Response;
+
+/// Rows a [`ReceptorSink`] buffers before `send_row` auto-flushes them
+/// as one batch.
+const SINK_BATCH: usize = 4096;
 
 /// A control-plane connection.
 pub struct Client {
@@ -109,17 +147,43 @@ impl Client {
             .map(|_| ())
     }
 
-    /// Open a receptor port for `stream` (0 = ephemeral); returns the
-    /// bound port.
+    /// Open a text receptor port for `stream` (0 = ephemeral); returns
+    /// the bound port.
     pub fn attach_receptor(&mut self, stream: &str, port: u16) -> Result<u16> {
-        let body = self.request(&format!("ATTACH RECEPTOR {stream} ON PORT {port}"))?;
+        self.attach_receptor_fmt(stream, port, WireFormat::Text)
+    }
+
+    /// Open a receptor port with an explicit wire format.
+    pub fn attach_receptor_fmt(
+        &mut self,
+        stream: &str,
+        port: u16,
+        format: WireFormat,
+    ) -> Result<u16> {
+        let body = self.request(&format!(
+            "ATTACH RECEPTOR {stream} ON PORT {port}{}",
+            format_clause(format)
+        ))?;
         parse_port(&body)
     }
 
-    /// Open an emitter port for `query` (0 = ephemeral); returns the
+    /// Open a text emitter port for `query` (0 = ephemeral); returns the
     /// bound port.
     pub fn attach_emitter(&mut self, query: &str, port: u16) -> Result<u16> {
-        let body = self.request(&format!("ATTACH EMITTER {query} ON PORT {port}"))?;
+        self.attach_emitter_fmt(query, port, WireFormat::Text)
+    }
+
+    /// Open an emitter port with an explicit wire format.
+    pub fn attach_emitter_fmt(
+        &mut self,
+        query: &str,
+        port: u16,
+        format: WireFormat,
+    ) -> Result<u16> {
+        let body = self.request(&format!(
+            "ATTACH EMITTER {query} ON PORT {port}{}",
+            format_clause(format)
+        ))?;
         parse_port(&body)
     }
 
@@ -133,16 +197,44 @@ impl Client {
         self.request("SHUTDOWN").map(|_| ())
     }
 
-    /// Open a data-plane connection to a receptor port on this server's
-    /// host.
+    /// Open a text data-plane connection to a receptor port on this
+    /// server's host.
     pub fn open_receptor(&self, port: u16) -> Result<ReceptorSink> {
         ReceptorSink::connect((self.server.ip(), port))
     }
 
-    /// Open a data-plane connection to an emitter port on this server's
-    /// host.
+    /// Open a data-plane connection to a receptor port with an explicit
+    /// format. The schema (user columns, wire order) lets the sink
+    /// buffer rows into columnar batches.
+    pub fn open_receptor_with(
+        &self,
+        port: u16,
+        format: WireFormat,
+        schema: &Schema,
+    ) -> Result<ReceptorSink> {
+        ReceptorSink::connect_with((self.server.ip(), port), format, schema)
+    }
+
+    /// Open a text data-plane connection to an emitter port on this
+    /// server's host.
     pub fn open_emitter(&self, port: u16) -> Result<EmitterTap> {
         EmitterTap::connect((self.server.ip(), port))
+    }
+
+    /// Open a data-plane connection to an emitter port with an explicit
+    /// format.
+    pub fn open_emitter_with(&self, port: u16, format: WireFormat) -> Result<EmitterTap> {
+        EmitterTap::connect_with((self.server.ip(), port), format)
+    }
+}
+
+/// TEXT is the wire default, so it is requested by *omitting* the
+/// clause — keeping text-only sessions compatible with daemons that
+/// predate the FORMAT grammar.
+fn format_clause(format: WireFormat) -> String {
+    match format {
+        WireFormat::Text => String::new(),
+        other => format!(" FORMAT {other}"),
     }
 }
 
@@ -153,21 +245,100 @@ fn parse_port(body: &[String]) -> Result<u16> {
         .ok_or_else(|| ServerError::Protocol(format!("malformed port response {body:?}")))
 }
 
-/// Data-plane writer: pushes tuples into a receptor port.
+/// Data-plane writer: pushes tuple batches into a receptor port.
 pub struct ReceptorSink {
     writer: BufWriter<TcpStream>,
+    format: WireFormat,
+    /// Row buffer for the convenience `send_row` path; present when the
+    /// sink was opened with a schema.
+    pending: Option<Relation>,
+    /// Reused per-frame scratch buffers.
+    text_buf: String,
+    bin_buf: Vec<u8>,
 }
 
 impl ReceptorSink {
+    /// Connect in text mode without a schema. `send_batch` works;
+    /// `send_row` writes wire lines directly (the pre-batch behavior).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<ReceptorSink> {
         Ok(ReceptorSink {
             writer: BufWriter::new(TcpStream::connect(addr)?),
+            format: WireFormat::Text,
+            pending: None,
+            text_buf: String::new(),
+            bin_buf: Vec::new(),
         })
     }
 
-    /// Queue one tuple (schema order, user columns only).
+    /// Connect with an explicit wire format. The schema (user columns,
+    /// wire order) backs the row-buffering convenience methods.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        format: WireFormat,
+        schema: &Schema,
+    ) -> Result<ReceptorSink> {
+        Ok(ReceptorSink {
+            writer: BufWriter::new(TcpStream::connect(addr)?),
+            format,
+            pending: Some(Relation::new(schema)),
+            text_buf: String::new(),
+            bin_buf: Vec::new(),
+        })
+    }
+
+    /// The sink's wire format.
+    pub fn format(&self) -> WireFormat {
+        self.format
+    }
+
+    /// Send one columnar batch as a single frame. Any rows buffered by
+    /// `send_row` are flushed first to preserve order.
+    pub fn send_batch(&mut self, batch: &Relation) -> Result<usize> {
+        self.flush_pending()?;
+        self.write_frame_of(batch)?;
+        Ok(batch.len())
+    }
+
+    fn write_frame_of(&mut self, batch: &Relation) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        match self.format {
+            WireFormat::Text => {
+                self.text_buf.clear();
+                encode_batch_text(&mut self.text_buf, batch);
+                self.writer.write_all(self.text_buf.as_bytes())?;
+            }
+            WireFormat::Binary => {
+                self.bin_buf.clear();
+                frame::encode_frame(&mut self.bin_buf, batch)
+                    .map_err(|e| ServerError::Protocol(e.to_string()))?;
+                self.writer.write_all(&self.bin_buf)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Queue one tuple (schema order, user columns only). With a schema
+    /// the row lands in a columnar buffer that auto-flushes as one frame
+    /// every [`SINK_BATCH`] rows; without one (text mode) it is written
+    /// as a wire line immediately.
     pub fn send_row(&mut self, row: &[Value]) -> Result<()> {
-        writeln!(self.writer, "{}", format_row(row))?;
+        match &mut self.pending {
+            Some(rel) => {
+                rel.append_row(row)
+                    .map_err(|e| ServerError::Protocol(format!("row rejected: {e}")))?;
+                if rel.len() >= SINK_BATCH {
+                    self.flush_pending()?;
+                }
+            }
+            None => {
+                self.text_buf.clear();
+                datacell::net::format_row_into(&mut self.text_buf, row);
+                self.text_buf.push('\n');
+                self.writer.write_all(self.text_buf.as_bytes())?;
+            }
+        }
         Ok(())
     }
 
@@ -181,53 +352,199 @@ impl ReceptorSink {
         Ok(n)
     }
 
+    fn flush_pending(&mut self) -> Result<()> {
+        let Some(rel) = &mut self.pending else {
+            return Ok(());
+        };
+        if rel.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::replace(rel, Relation::new(&rel.schema()));
+        self.write_frame_of(&batch)
+    }
+
     /// Push buffered tuples to the server.
     pub fn flush(&mut self) -> Result<()> {
+        self.flush_pending()?;
         self.writer.flush()?;
         Ok(())
     }
 }
 
-/// Data-plane reader: consumes result tuples from an emitter port.
+/// Data-plane reader: consumes result batches from an emitter port.
+///
+/// Reads are timeout-safe in both formats: when a read timeout fires
+/// mid-frame (binary) or mid-line (text), the partial input stays
+/// buffered and the next call resumes where it left off.
 pub struct EmitterTap {
     reader: BufReader<TcpStream>,
+    format: WireFormat,
+    /// Rows decoded but not yet handed out by `next_row`.
+    pending: std::collections::VecDeque<Vec<Value>>,
+    /// Bytes received but not yet forming a complete frame (binary) or
+    /// a complete newline-terminated line (text). Kept as raw bytes so
+    /// a timeout can never land "inside" a multi-byte UTF-8 character
+    /// from the decoder's point of view.
+    wire_buf: Vec<u8>,
 }
 
 impl EmitterTap {
+    /// Connect in text mode.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<EmitterTap> {
+        EmitterTap::connect_with(addr, WireFormat::Text)
+    }
+
+    /// Connect with an explicit wire format.
+    pub fn connect_with(addr: impl ToSocketAddrs, format: WireFormat) -> Result<EmitterTap> {
         Ok(EmitterTap {
             reader: BufReader::new(TcpStream::connect(addr)?),
+            format,
+            pending: std::collections::VecDeque::new(),
+            wire_buf: Vec::new(),
         })
     }
 
-    /// Bound how long [`EmitterTap::next_line`] blocks waiting for a
-    /// result.
+    /// The tap's wire format.
+    pub fn format(&self) -> WireFormat {
+        self.format
+    }
+
+    /// Bound how long reads block waiting for a result.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
         self.reader.get_ref().set_read_timeout(timeout)?;
         Ok(())
     }
 
-    /// Next raw wire line; `None` once the server closes the stream.
+    /// Next raw wire line (text format only); `None` once the server
+    /// closes the stream.
     pub fn next_line(&mut self) -> Result<Option<String>> {
-        let mut line = String::new();
+        if self.format != WireFormat::Text {
+            return Err(ServerError::Protocol(
+                "next_line reads the text protocol; this tap is binary".into(),
+            ));
+        }
+        self.read_line_blocking()
+    }
+
+    /// Pop the next complete, non-blank line out of `wire_buf`, if one
+    /// is fully buffered. Never touches the socket.
+    fn take_buffered_line(&mut self) -> Result<Option<String>> {
         loop {
-            line.clear();
-            let n = self.reader.read_line(&mut line)?;
-            if n == 0 {
+            let Some(pos) = self.wire_buf.iter().position(|&b| b == b'\n') else {
                 return Ok(None);
-            }
-            let trimmed = line.trim_end_matches(['\n', '\r']);
-            if !trimmed.is_empty() {
-                return Ok(Some(trimmed.to_string()));
+            };
+            let raw: Vec<u8> = self.wire_buf.drain(..=pos).collect();
+            if let Some(line) = finish_line(&raw)? {
+                return Ok(Some(line));
             }
         }
     }
 
-    /// Next tuple, parsed against the result schema.
+    /// Pull whatever the reader has already buffered into `wire_buf`
+    /// without a syscall.
+    fn slurp_readahead(&mut self) {
+        let buffered = self.reader.buffer();
+        if !buffered.is_empty() {
+            let n = buffered.len();
+            self.wire_buf.extend_from_slice(buffered);
+            self.reader.consume(n);
+        }
+    }
+
+    /// Block for the next complete line. Timeout-safe: a timeout error
+    /// leaves all received bytes in `wire_buf` and the next call resumes
+    /// — even when the cut lands inside a multi-byte UTF-8 character
+    /// (bytes are only decoded once a full line is present).
+    fn read_line_blocking(&mut self) -> Result<Option<String>> {
+        loop {
+            if let Some(line) = self.take_buffered_line()? {
+                return Ok(Some(line));
+            }
+            let chunk = self.reader.fill_buf()?;
+            if chunk.is_empty() {
+                // EOF: surface a trailing unterminated line, then end
+                let raw = std::mem::take(&mut self.wire_buf);
+                return finish_line(&raw);
+            }
+            let n = chunk.len();
+            self.wire_buf.extend_from_slice(chunk);
+            self.reader.consume(n);
+        }
+    }
+
+    /// A complete line already received, if any — no blocking, no
+    /// syscall.
+    fn buffered_line(&mut self) -> Result<Option<String>> {
+        if let Some(line) = self.take_buffered_line()? {
+            return Ok(Some(line));
+        }
+        self.slurp_readahead();
+        self.take_buffered_line()
+    }
+
+    /// Next result batch, parsed against the result schema; `None` once
+    /// the server closes the stream.
+    ///
+    /// Binary taps return exactly one wire frame (the batch boundary the
+    /// server chose). Text taps block for the first tuple, then greedily
+    /// take every further tuple already buffered — one batch per burst.
+    pub fn next_batch(&mut self, schema: &Schema) -> Result<Option<Relation>> {
+        match self.format {
+            WireFormat::Binary => self.next_frame(schema),
+            WireFormat::Text => {
+                let Some(first) = self.read_line_blocking()? else {
+                    return Ok(None);
+                };
+                let mut rel = Relation::new(schema);
+                append_parsed(&mut rel, &first, schema)?;
+                while let Some(line) = self.buffered_line()? {
+                    append_parsed(&mut rel, &line, schema)?;
+                }
+                Ok(Some(rel))
+            }
+        }
+    }
+
+    /// Accumulate bytes until one complete binary frame is buffered,
+    /// then decode it. A read timeout mid-frame leaves the partial frame
+    /// in `wire_buf`; the next call resumes accumulating.
+    fn next_frame(&mut self, schema: &Schema) -> Result<Option<Relation>> {
+        loop {
+            if let Some((rel, used)) =
+                frame::decode_frame(&self.wire_buf, schema).map_err(ServerError::Engine)?
+            {
+                self.wire_buf.drain(..used);
+                return Ok(Some(rel));
+            }
+            let chunk = self.reader.fill_buf()?;
+            if chunk.is_empty() {
+                if self.wire_buf.is_empty() {
+                    return Ok(None); // clean EOF between frames
+                }
+                return Err(ServerError::Protocol(
+                    "stream closed mid-frame".into(),
+                ));
+            }
+            let n = chunk.len();
+            self.wire_buf.extend_from_slice(chunk);
+            self.reader.consume(n);
+        }
+    }
+
+    /// Next tuple, parsed against the result schema. A convenience
+    /// wrapper over [`EmitterTap::next_batch`]: decoded batches are
+    /// buffered and handed out row by row.
     pub fn next_row(&mut self, schema: &Schema) -> Result<Option<Vec<Value>>> {
-        match self.next_line()? {
-            Some(line) => Ok(Some(parse_row(&line, schema)?)),
-            None => Ok(None),
+        loop {
+            if let Some(row) = self.pending.pop_front() {
+                return Ok(Some(row));
+            }
+            match self.next_batch(schema)? {
+                Some(batch) => {
+                    self.pending.extend(batch.iter_rows());
+                }
+                None => return Ok(None),
+            }
         }
     }
 
@@ -242,4 +559,23 @@ impl EmitterTap {
         }
         Ok(rows)
     }
+}
+
+/// Decode one raw wire line (terminator included, if any): validate
+/// UTF-8, strip the terminator, map blank lines to `None`.
+fn finish_line(raw: &[u8]) -> Result<Option<String>> {
+    let s = std::str::from_utf8(raw)
+        .map_err(|_| ServerError::Protocol("wire line is not UTF-8".into()))?;
+    let trimmed = s.trim_end_matches(['\n', '\r']);
+    if trimmed.is_empty() {
+        Ok(None)
+    } else {
+        Ok(Some(trimmed.to_string()))
+    }
+}
+
+fn append_parsed(rel: &mut Relation, line: &str, schema: &Schema) -> Result<()> {
+    let row = parse_row(line, schema)?;
+    rel.append_row(&row)
+        .map_err(|e| ServerError::Protocol(format!("result row rejected: {e}")))
 }

@@ -150,11 +150,19 @@ fn dispatch(rt: &Arc<ServerRuntime>, request: &str) -> (Response, bool) {
                 Err(e) => (Response::Err(e.to_string()), false),
             }
         }
-        Command::AttachReceptor { stream, port } => match rt.attach_receptor(&stream, port) {
+        Command::AttachReceptor {
+            stream,
+            port,
+            format,
+        } => match rt.attach_receptor(&stream, port, format) {
             Ok(p) => (Response::one(format!("port={p}")), false),
             Err(e) => (Response::Err(e.to_string()), false),
         },
-        Command::AttachEmitter { query, port } => match rt.attach_emitter(&query, port) {
+        Command::AttachEmitter {
+            query,
+            port,
+            format,
+        } => match rt.attach_emitter(&query, port, format) {
             Ok(p) => (Response::one(format!("port={p}")), false),
             Err(e) => (Response::Err(e.to_string()), false),
         },

@@ -29,8 +29,11 @@
 //!                 └──────────────────────────────────────┘
 //! ```
 //!
-//! Receptor/emitter ports use the engine's textual tuple format
-//! ([`datacell::net`]): `|`-separated fields, one tuple per line.
+//! Receptor/emitter ports speak a per-port wire format negotiated at
+//! `ATTACH` time: the engine's textual tuple format ([`datacell::net`],
+//! `|`-separated fields, one tuple per line — the default) or columnar
+//! binary frames ([`datacell::frame`]) that move whole `Relation`
+//! batches end-to-end.
 
 pub mod client;
 pub mod control;

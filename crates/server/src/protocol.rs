@@ -10,12 +10,17 @@
 //! CREATE STREAM <name> (<col> <type>, ...)      -- also CREATE TABLE / CREATE BASKET
 //! EXEC <sql>                                    -- one-shot statement(s)
 //! REGISTER QUERY <name> AS <sql>                -- continuous query
-//! ATTACH RECEPTOR <stream> ON PORT <port>       -- 0 picks an ephemeral port
-//! ATTACH EMITTER <query> ON PORT <port>         -- 0 picks an ephemeral port
+//! ATTACH RECEPTOR <stream> ON PORT <port> [FORMAT TEXT|BINARY]
+//! ATTACH EMITTER <query> ON PORT <port> [FORMAT TEXT|BINARY]
 //! STATS
 //! QUIT
 //! SHUTDOWN
 //! ```
+//!
+//! Port 0 picks an ephemeral port. `FORMAT` selects the data-plane
+//! encoding of the attached port: `TEXT` (the default — §3.1 lines,
+//! wire-compatible with every pre-existing client) or `BINARY` (columnar
+//! frames, see [`datacell::frame`]).
 //!
 //! Every response is either
 //!
@@ -27,6 +32,8 @@
 //! so clients can parse all replies with one loop.
 
 use std::io::{BufRead, Write};
+
+use datacell::frame::WireFormat;
 
 /// A parsed control-plane request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,10 +51,12 @@ pub enum Command {
     AttachReceptor {
         stream: String,
         port: u16,
+        format: WireFormat,
     },
     AttachEmitter {
         query: String,
         port: u16,
+        format: WireFormat,
     },
     Stats,
     /// Close this control session (the server keeps running).
@@ -129,16 +138,31 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             let (name, rest) = parse_name(rest)?;
             let rest = expect_kw(rest, "ON")?;
             let rest = expect_kw(rest, "PORT")?;
-            let (port_word, trailing) = take_word(rest);
-            if !trailing.is_empty() {
-                return Err(format!("unexpected trailing input {trailing:?}"));
-            }
+            let (port_word, rest) = take_word(rest);
             let port: u16 = port_word
                 .parse()
                 .map_err(|_| format!("invalid port {port_word:?}"))?;
+            let format = if rest.is_empty() {
+                WireFormat::Text
+            } else {
+                let rest = expect_kw(rest, "FORMAT")?;
+                let (fmt_word, trailing) = take_word(rest);
+                if !trailing.is_empty() {
+                    return Err(format!("unexpected trailing input {trailing:?}"));
+                }
+                fmt_word.parse::<WireFormat>()?
+            };
             match kind.to_ascii_uppercase().as_str() {
-                "RECEPTOR" => Ok(Command::AttachReceptor { stream: name, port }),
-                "EMITTER" => Ok(Command::AttachEmitter { query: name, port }),
+                "RECEPTOR" => Ok(Command::AttachReceptor {
+                    stream: name,
+                    port,
+                    format,
+                }),
+                "EMITTER" => Ok(Command::AttachEmitter {
+                    query: name,
+                    port,
+                    format,
+                }),
                 other => Err(format!("ATTACH {other} is not supported")),
             }
         }
@@ -268,19 +292,45 @@ mod tests {
             parse_command("ATTACH RECEPTOR S ON PORT 0"),
             Ok(Command::AttachReceptor {
                 stream: "S".into(),
-                port: 0
+                port: 0,
+                format: WireFormat::Text,
             })
         );
         assert_eq!(
             parse_command("attach emitter hot on port 9999"),
             Ok(Command::AttachEmitter {
                 query: "hot".into(),
-                port: 9999
+                port: 9999,
+                format: WireFormat::Text,
             })
         );
         assert!(parse_command("ATTACH RECEPTOR S ON PORT banana").is_err());
         assert!(parse_command("ATTACH RECEPTOR S ON PORT 1 extra").is_err());
         assert!(parse_command("ATTACH TAP S ON PORT 1").is_err());
+    }
+
+    #[test]
+    fn attach_with_format() {
+        assert_eq!(
+            parse_command("ATTACH RECEPTOR S ON PORT 0 FORMAT BINARY"),
+            Ok(Command::AttachReceptor {
+                stream: "S".into(),
+                port: 0,
+                format: WireFormat::Binary,
+            })
+        );
+        assert_eq!(
+            parse_command("attach emitter hot on port 7 format text"),
+            Ok(Command::AttachEmitter {
+                query: "hot".into(),
+                port: 7,
+                format: WireFormat::Text,
+            })
+        );
+        assert!(parse_command("ATTACH RECEPTOR S ON PORT 0 FORMAT csv").is_err());
+        assert!(parse_command("ATTACH RECEPTOR S ON PORT 0 FORMAT").is_err());
+        assert!(parse_command("ATTACH RECEPTOR S ON PORT 0 BINARY").is_err());
+        assert!(parse_command("ATTACH RECEPTOR S ON PORT 0 FORMAT BINARY extra").is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 use datacell::emitter::Emitter;
 use datacell::engine::{DataCell, QueryOptions};
+use datacell::frame::{decode_frame, WireFormat};
 use datacell::net::parse_row;
 use datacell::scheduler::ThreadedScheduler;
 use monet::prelude::*;
@@ -39,6 +40,12 @@ pub struct ServerConfig {
     pub data_host: String,
     /// Idle backoff for factory threads.
     pub idle_backoff: Duration,
+    /// Pending-batch cap applied to every receptor-fed basket: when a
+    /// basket holds this many buffered tuples, its receptor connections
+    /// block (backpressure onto the sender's socket) instead of growing
+    /// the basket unboundedly. 0 = unbounded (the pre-backpressure
+    /// behavior).
+    pub receptor_basket_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +53,7 @@ impl Default for ServerConfig {
         ServerConfig {
             data_host: "127.0.0.1".into(),
             idle_backoff: Duration::from_micros(100),
+            receptor_basket_cap: 0,
         }
     }
 }
@@ -54,6 +62,7 @@ impl Default for ServerConfig {
 pub struct ReceptorPort {
     pub stream: String,
     pub port: u16,
+    pub format: WireFormat,
     pub connections: AtomicU64,
     pub accepted: AtomicU64,
     pub rejected: AtomicU64,
@@ -63,6 +72,7 @@ pub struct ReceptorPort {
 pub struct EmitterPort {
     pub query: String,
     pub port: u16,
+    pub format: WireFormat,
     pub connections: AtomicU64,
     emitters: Mutex<Vec<Emitter>>,
 }
@@ -181,18 +191,27 @@ impl ServerRuntime {
 
     /// Open a receptor port for `stream`; port 0 picks an ephemeral port.
     /// Returns the bound port.
-    pub fn attach_receptor(self: &Arc<Self>, stream: &str, port: u16) -> Result<u16> {
+    pub fn attach_receptor(
+        self: &Arc<Self>,
+        stream: &str,
+        port: u16,
+        format: WireFormat,
+    ) -> Result<u16> {
         self.ensure_running()?;
         let basket = self
             .engine
             .basket(stream)
             .map_err(|_| ServerError::Unknown(format!("stream {stream}")))?;
+        if self.config.receptor_basket_cap > 0 {
+            basket.set_pending_cap(self.config.receptor_basket_cap);
+        }
         let listener = TcpListener::bind((self.config.data_host.as_str(), port))?;
         listener.set_nonblocking(true)?;
         let bound = listener.local_addr()?.port();
         let rport = Arc::new(ReceptorPort {
             stream: stream.to_string(),
             port: bound,
+            format,
             connections: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -244,7 +263,12 @@ impl ServerRuntime {
 
     /// Open an emitter port for `query`; port 0 picks an ephemeral port.
     /// Returns the bound port.
-    pub fn attach_emitter(self: &Arc<Self>, query: &str, port: u16) -> Result<u16> {
+    pub fn attach_emitter(
+        self: &Arc<Self>,
+        query: &str,
+        port: u16,
+        format: WireFormat,
+    ) -> Result<u16> {
         self.ensure_running()?;
         let handle = self
             .queries
@@ -265,6 +289,7 @@ impl ServerRuntime {
         let eport = Arc::new(EmitterPort {
             query: query.to_string(),
             port: bound,
+            format,
             connections: AtomicU64::new(0),
             emitters: Mutex::new(Vec::new()),
         });
@@ -284,10 +309,13 @@ impl ServerRuntime {
                             // buffer — bound the emitter's writes
                             let _ = sock.set_write_timeout(Some(EMITTER_WRITE_TIMEOUT));
                             let rx = broadcast.subscribe();
-                            let emitter = Emitter::spawn_tcp(
+                            // shared frames: one encoding per batch per
+                            // format, shared across every subscriber
+                            let emitter = Emitter::spawn_tcp_shared(
                                 format!("{}@{}", accept_port.query, accept_port.port),
                                 rx,
                                 sock,
+                                accept_port.format,
                             );
                             let mut emitters = accept_port.emitters.lock();
                             emitters.retain(|e| !e.is_finished());
@@ -322,8 +350,9 @@ impl ServerRuntime {
         ));
         for b in self.engine.basket_report() {
             body.push(format!(
-                "basket {} len={} enabled={} in={} out={} dropped={}",
-                b.name, b.len, b.enabled, b.total_in, b.total_out, b.dropped
+                "basket {} len={} enabled={} in={} out={} dropped={} high_water={} cap={}",
+                b.name, b.len, b.enabled, b.total_in, b.total_out, b.dropped,
+                b.high_water, b.pending_cap
             ));
         }
         for q in self.queries.snapshot() {
@@ -344,9 +373,10 @@ impl ServerRuntime {
         }
         for r in self.receptors.lock().iter() {
             body.push(format!(
-                "receptor {} port={} connections={} accepted={} rejected={}",
+                "receptor {} port={} format={} connections={} accepted={} rejected={}",
                 r.stream,
                 r.port,
+                r.format,
                 r.connections.load(Ordering::Acquire),
                 r.accepted.load(Ordering::Acquire),
                 r.rejected.load(Ordering::Acquire),
@@ -354,9 +384,10 @@ impl ServerRuntime {
         }
         for e in self.emitters.lock().iter() {
             body.push(format!(
-                "emitter {} port={} connections={}",
+                "emitter {} port={} format={} connections={}",
                 e.query,
                 e.port,
+                e.format,
                 e.connections.load(Ordering::Acquire),
             ));
         }
@@ -408,8 +439,21 @@ impl ServerRuntime {
     }
 }
 
-/// One receptor TCP connection: greedily batch wire rows into the basket.
+/// One receptor TCP connection, dispatched on the port's wire format.
 fn receptor_connection(
+    rt: &ServerRuntime,
+    port: &ReceptorPort,
+    basket: &Arc<datacell::basket::Basket>,
+    sock: TcpStream,
+) {
+    match port.format {
+        WireFormat::Text => receptor_connection_text(rt, port, basket, sock),
+        WireFormat::Binary => receptor_connection_binary(rt, port, basket, sock),
+    }
+}
+
+/// Text data plane: greedily batch wire rows into the basket.
+fn receptor_connection_text(
     rt: &ServerRuntime,
     port: &ReceptorPort,
     basket: &Arc<datacell::basket::Basket>,
@@ -463,6 +507,14 @@ fn receptor_connection(
             }
         }
         if !batch.is_empty() {
+            // backpressure: a capped basket blocks this connection (and
+            // thereby the peer's socket) until the factory drains it. A
+            // false return also covers "disabled while full" — then fall
+            // through so the append soft-rejects exactly like a disabled
+            // basket below cap; only shutdown drops the connection.
+            if !basket.wait_for_capacity(|| rt.is_stopping()) && rt.is_stopping() {
+                break;
+            }
             match basket.append_rows(&batch, clock.as_ref()) {
                 Ok(n) => {
                     port.accepted.fetch_add(n as u64, Ordering::AcqRel);
@@ -477,6 +529,76 @@ fn receptor_connection(
         }
         // also honor shutdown between batch flushes — a client streaming
         // continuously never takes the idle branch above
+        if rt.is_stopping() {
+            break;
+        }
+    }
+}
+
+/// Binary data plane: accumulate bytes, peel off complete columnar
+/// frames, append each frame as one columnar basket insert. Frames are
+/// self-delimiting, so read timeouts never corrupt the stream — a
+/// partial frame just waits in the buffer for its tail.
+fn receptor_connection_binary(
+    rt: &ServerRuntime,
+    port: &ReceptorPort,
+    basket: &Arc<datacell::basket::Basket>,
+    mut sock: TcpStream,
+) {
+    use std::io::Read;
+
+    let schema = basket.user_schema();
+    let clock = Arc::clone(rt.engine.clock());
+    let _ = sock.set_read_timeout(Some(POLL_INTERVAL));
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let mut eof = false;
+    while !eof {
+        match sock.read(&mut chunk) {
+            Ok(0) => eof = true,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => eof = true,
+        }
+        // drain every complete frame that has landed
+        let mut consumed = 0usize;
+        loop {
+            match decode_frame(&pending[consumed..], &schema) {
+                Ok(Some((rel, used))) => {
+                    consumed += used;
+                    let total = rel.len() as u64;
+                    // as in the text path: only shutdown drops the
+                    // connection; a disabled-while-full basket falls
+                    // through to a soft-reject append
+                    if !basket.wait_for_capacity(|| rt.is_stopping()) && rt.is_stopping() {
+                        eof = true;
+                        break;
+                    }
+                    match basket.append_relation(rel, clock.as_ref()) {
+                        Ok(n) => {
+                            port.accepted.fetch_add(n as u64, Ordering::AcqRel);
+                            port.rejected
+                                .fetch_add(total - n as u64, Ordering::AcqRel);
+                        }
+                        Err(_) => {
+                            port.rejected.fetch_add(total, Ordering::AcqRel);
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // corrupt stream: count one reject, drop the peer
+                    port.rejected.fetch_add(1, Ordering::AcqRel);
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        if consumed > 0 {
+            pending.drain(..consumed);
+        }
         if rt.is_stopping() {
             break;
         }

@@ -13,6 +13,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use datacell::frame::SharedFrame;
 use datacell::scheduler::FactoryStats;
 use monet::prelude::*;
 use parking_lot::Mutex;
@@ -88,9 +89,13 @@ impl SessionManager {
 // ---- result fan-out ---------------------------------------------------------
 
 /// Fan-out of one query's result batches to a dynamic set of subscribers.
+///
+/// Batches travel as [`SharedFrame`]s: the wire encoding of a batch is
+/// produced at most once per format no matter how many subscriber
+/// emitters (or how many backlog replays) deliver it.
 pub struct Broadcast {
-    subs: Mutex<Vec<Sender<Relation>>>,
-    backlog: Mutex<VecDeque<Relation>>,
+    subs: Mutex<Vec<Sender<Arc<SharedFrame>>>>,
+    backlog: Mutex<VecDeque<Arc<SharedFrame>>>,
     delivered_batches: AtomicU64,
     delivered_tuples: AtomicU64,
     dropped_batches: AtomicU64,
@@ -109,69 +114,56 @@ impl Broadcast {
 
     /// Add a subscriber. Any backlog accumulated while no subscriber was
     /// attached is replayed to the new subscriber first.
-    pub fn subscribe(self: &Arc<Self>) -> Receiver<Relation> {
+    pub fn subscribe(self: &Arc<Self>) -> Receiver<Arc<SharedFrame>> {
         let (tx, rx) = unbounded();
         let mut subs = self.subs.lock();
         // replay under the subs lock so publish() cannot interleave a new
         // batch between the backlog and the live stream
-        let backlog: Vec<Relation> = self.backlog.lock().drain(..).collect();
-        for batch in backlog {
-            self.count(&batch);
-            let _ = tx.send(batch);
+        let backlog: Vec<Arc<SharedFrame>> = self.backlog.lock().drain(..).collect();
+        for frame in backlog {
+            self.count(&frame);
+            let _ = tx.send(frame);
         }
         subs.push(tx);
         rx
     }
 
     /// Publish one result batch to all live subscribers (or the backlog
-    /// when there are none). Subscribers whose emitter hung up are reaped.
-    /// The last live subscriber receives the owned batch — only N-1
-    /// clones for N subscribers, and none for the common single-
-    /// subscriber case.
+    /// when there are none). Subscribers whose emitter hung up are
+    /// reaped. The batch is wrapped in one [`SharedFrame`]; subscribers
+    /// share it by `Arc`, so fan-out never clones tuple data and the
+    /// wire encoding happens once per format for the whole subscriber
+    /// set.
     pub fn publish(self: &Arc<Self>, batch: Relation) {
-        let tuples = batch.len() as u64;
+        let frame = SharedFrame::new(batch);
         let mut subs = self.subs.lock();
-        let mut pending = Some(batch);
         if !subs.is_empty() {
             let old = std::mem::take(&mut *subs);
-            let total = old.len();
-            let mut live = Vec::with_capacity(total);
-            for (i, tx) in old.into_iter().enumerate() {
-                let payload = if i + 1 == total {
-                    pending.take().expect("owned batch available for last send")
-                } else {
-                    pending.as_ref().expect("owned batch").clone()
-                };
-                match tx.send(payload) {
-                    Ok(()) => live.push(tx),
-                    Err(crossbeam::channel::SendError(p)) => {
-                        if i + 1 == total {
-                            pending = Some(p);
-                        }
-                    }
+            let mut live = Vec::with_capacity(old.len());
+            for tx in old {
+                if tx.send(Arc::clone(&frame)).is_ok() {
+                    live.push(tx);
                 }
             }
             let delivered = !live.is_empty();
             *subs = live;
             if delivered {
-                self.delivered_batches.fetch_add(1, Ordering::AcqRel);
-                self.delivered_tuples.fetch_add(tuples, Ordering::AcqRel);
+                self.count(&frame);
                 return;
             }
         }
-        let batch = pending.expect("undelivered batch returns to the caller");
         let mut backlog = self.backlog.lock();
         if backlog.len() >= BACKLOG_CAP {
             backlog.pop_front();
             self.dropped_batches.fetch_add(1, Ordering::AcqRel);
         }
-        backlog.push_back(batch);
+        backlog.push_back(frame);
     }
 
-    fn count(&self, batch: &Relation) {
+    fn count(&self, frame: &SharedFrame) {
         self.delivered_batches.fetch_add(1, Ordering::AcqRel);
         self.delivered_tuples
-            .fetch_add(batch.len() as u64, Ordering::AcqRel);
+            .fetch_add(frame.len() as u64, Ordering::AcqRel);
     }
 
     pub fn subscriber_count(&self) -> usize {
@@ -327,8 +319,14 @@ mod tests {
         let rx1 = bc.subscribe();
         let rx2 = bc.subscribe();
         bc.publish(batch(&[1, 2]));
-        assert_eq!(rx1.recv().unwrap().len(), 2);
-        assert_eq!(rx2.recv().unwrap().len(), 2);
+        let f1 = rx1.recv().unwrap();
+        let f2 = rx2.recv().unwrap();
+        assert_eq!(f1.len(), 2);
+        assert_eq!(f2.len(), 2);
+        assert!(
+            Arc::ptr_eq(&f1, &f2),
+            "subscribers share one frame, not clones"
+        );
         assert_eq!(bc.delivered(), (1, 2));
     }
 
@@ -354,7 +352,13 @@ mod tests {
         let rx = bc.subscribe();
         // oldest 10 dropped: first replayed batch holds value 10
         assert_eq!(
-            rx.recv().unwrap().column("x").unwrap().ints().unwrap(),
+            rx.recv()
+                .unwrap()
+                .relation()
+                .column("x")
+                .unwrap()
+                .ints()
+                .unwrap(),
             &[10]
         );
     }

@@ -6,6 +6,7 @@
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use datacell::frame::WireFormat;
 use dcserver::client::Client;
 use dcserver::{bind, ServerConfig};
 use monet::prelude::*;
@@ -218,6 +219,270 @@ fn control_plane_rejects_bad_requests() {
 
     c.shutdown().unwrap();
     server_thread.join().unwrap();
+}
+
+#[test]
+fn binary_data_plane_round_trip() {
+    // the full §3.1 loop with columnar frames on both sides, including
+    // strings with framing hazards, NULLs and empty strings
+    let (addr, server_thread) = boot();
+    let mut c = Client::connect(addr).unwrap();
+    c.create_stream("S", "(id int, tag varchar)").unwrap();
+    c.register_query("all", "select id, tag from [select * from S] as Z")
+        .unwrap();
+    let rport = c.attach_receptor_fmt("S", 0, WireFormat::Binary).unwrap();
+    let eport = c.attach_emitter_fmt("all", 0, WireFormat::Binary).unwrap();
+
+    let schema = Schema::from_pairs(&[("id", ValueType::Int), ("tag", ValueType::Str)]);
+    let mut sink = c.open_receptor_with(rport, WireFormat::Binary, &schema).unwrap();
+    let mut tap = c.open_emitter_with(eport, WireFormat::Binary).unwrap();
+    tap.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let mut batch = Relation::from_columns(vec![
+        ("id".into(), Column::from_ints(vec![1, 2, 3])),
+        (
+            "tag".into(),
+            Column::from_strs(vec!["a|b".into(), String::new(), "line\n2 ☂".into()]),
+        ),
+    ])
+    .unwrap();
+    batch.append_row(&[Value::Int(4), Value::Null]).unwrap();
+    sink.send_batch(&batch).unwrap();
+    sink.flush().unwrap();
+
+    let rows = tap.take_rows(&schema, 4).unwrap();
+    assert_eq!(rows.len(), 4);
+    assert_eq!(rows[0], vec![Value::Int(1), Value::Str("a|b".into())]);
+    assert_eq!(rows[1], vec![Value::Int(2), Value::Str(String::new())]);
+    assert_eq!(rows[2], vec![Value::Int(3), Value::Str("line\n2 ☂".into())]);
+    assert_eq!(rows[3], vec![Value::Int(4), Value::Null]);
+
+    // STATS names the formats
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.iter().any(|l| l.starts_with("receptor S ") && l.contains("format=binary")),
+        "{stats:?}"
+    );
+    assert!(
+        stats.iter().any(|l| l.starts_with("emitter all ") && l.contains("format=binary")),
+        "{stats:?}"
+    );
+
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn cross_format_sessions_interoperate() {
+    // BINARY receptor feeding a TEXT emitter, and a second TEXT receptor
+    // feeding a BINARY emitter on the same query — formats are per-port,
+    // results identical
+    let (addr, server_thread) = boot();
+    let mut c = Client::connect(addr).unwrap();
+    c.create_stream("S", "(id int, v int)").unwrap();
+    c.register_query("all", "select id, v from [select * from S] as Z")
+        .unwrap();
+    let rport_bin = c.attach_receptor_fmt("S", 0, WireFormat::Binary).unwrap();
+    let rport_txt = c.attach_receptor("S", 0).unwrap();
+    let eport_txt = c.attach_emitter_fmt("all", 0, WireFormat::Text).unwrap();
+    let eport_bin = c.attach_emitter_fmt("all", 0, WireFormat::Binary).unwrap();
+
+    let schema = Schema::from_pairs(&[("id", ValueType::Int), ("v", ValueType::Int)]);
+    let mut tap_txt = c.open_emitter_with(eport_txt, WireFormat::Text).unwrap();
+    let mut tap_bin = c.open_emitter_with(eport_bin, WireFormat::Binary).unwrap();
+    tap_txt.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    tap_bin.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // wait for both subscribers so each sees every result
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = c.stats().unwrap();
+        if stats
+            .iter()
+            .find(|l| l.starts_with("query all "))
+            .map(|l| l.contains("subscribers=2"))
+            .unwrap_or(false)
+        {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "{stats:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // half the tuples over the binary receptor...
+    let mut sink_bin = c
+        .open_receptor_with(rport_bin, WireFormat::Binary, &schema)
+        .unwrap();
+    let batch = Relation::from_columns(vec![
+        ("id".into(), Column::from_ints((0..25).collect())),
+        ("v".into(), Column::from_ints((0..25).map(|i| i * 2).collect())),
+    ])
+    .unwrap();
+    sink_bin.send_batch(&batch).unwrap();
+    sink_bin.flush().unwrap();
+    // ...half over the text receptor (row convenience path)
+    let mut sink_txt = c.open_receptor(rport_txt).unwrap();
+    for i in 25..50i64 {
+        sink_txt.send_row(&[Value::Int(i), Value::Int(i * 2)]).unwrap();
+    }
+    sink_txt.flush().unwrap();
+
+    let mut rows_txt = tap_txt.take_rows(&schema, 50).unwrap();
+    let mut rows_bin = tap_bin.take_rows(&schema, 50).unwrap();
+    assert_eq!(rows_txt.len(), 50);
+    assert_eq!(rows_bin.len(), 50);
+    let key = |r: &Vec<Value>| match r[0] {
+        Value::Int(v) => v,
+        _ => panic!("unexpected row"),
+    };
+    rows_txt.sort_by_key(key);
+    rows_bin.sort_by_key(key);
+    assert_eq!(rows_txt, rows_bin, "formats must agree on content");
+    for (i, r) in rows_txt.iter().enumerate() {
+        assert_eq!(r[0], Value::Int(i as i64));
+        assert_eq!(r[1], Value::Int(i as i64 * 2));
+    }
+
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn receptor_backpressure_caps_basket_growth() {
+    // a server with a tiny receptor cap: the basket never grows far past
+    // the cap, everything still arrives, and STATS reports the high-water
+    let config = ServerConfig {
+        receptor_basket_cap: 256,
+        ..ServerConfig::default()
+    };
+    let server = bind("127.0.0.1:0", config).expect("bind control plane");
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || {
+        server.serve().expect("serve");
+    });
+
+    let mut c = Client::connect(addr).unwrap();
+    c.create_stream("S", "(id int, v int)").unwrap();
+    c.register_query("all", "select id from [select * from S] as Z")
+        .unwrap();
+    let rport = c.attach_receptor_fmt("S", 0, WireFormat::Binary).unwrap();
+    let eport = c.attach_emitter("all", 0).unwrap();
+
+    let schema = Schema::from_pairs(&[("id", ValueType::Int), ("v", ValueType::Int)]);
+    let mut sink = c.open_receptor_with(rport, WireFormat::Binary, &schema).unwrap();
+    let mut tap = c.open_emitter(eport).unwrap();
+    tap.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    // wait until the tap's subscription registered, so no result batch
+    // can age out of the broadcast backlog during the flood below
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = c.stats().unwrap();
+        if stats
+            .iter()
+            .find(|l| l.starts_with("query all "))
+            .map(|l| l.contains("subscribers=1"))
+            .unwrap_or(false)
+        {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "{stats:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    const N: i64 = 20_000;
+    let writer = std::thread::spawn(move || {
+        for start in (0..N).step_by(100) {
+            let batch = Relation::from_columns(vec![
+                ("id".into(), Column::from_ints((start..start + 100).collect())),
+                ("v".into(), Column::from_ints(vec![0; 100])),
+            ])
+            .unwrap();
+            sink.send_batch(&batch).unwrap();
+        }
+        sink.flush().unwrap();
+    });
+
+    let out_schema = Schema::from_pairs(&[("id", ValueType::Int)]);
+    let rows = tap.take_rows(&out_schema, N as usize).unwrap();
+    assert_eq!(rows.len(), N as usize, "backpressure must not lose tuples");
+    writer.join().unwrap();
+
+    let stats = c.stats().unwrap();
+    let basket_line = stats
+        .iter()
+        .find(|l| l.starts_with("basket S "))
+        .expect("basket line in STATS");
+    assert!(basket_line.contains("cap=256"), "{basket_line}");
+    let high_water: u64 = basket_line
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("high_water="))
+        .and_then(|v| v.parse().ok())
+        .expect("high_water in basket line");
+    assert!(high_water > 0, "{basket_line}");
+    assert!(
+        high_water <= 256 + 100,
+        "occupancy bounded by cap + one in-flight batch: {basket_line}"
+    );
+
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn tap_survives_read_timeouts_mid_frame() {
+    // a frame (binary) and a line (text) delivered byte-dribbled across
+    // read timeouts must decode intact once complete — partial input
+    // stays buffered in the tap between calls
+    use dcserver::client::EmitterTap;
+    use std::io::Write as _;
+
+    for format in [WireFormat::Binary, WireFormat::Text] {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let schema = Schema::from_pairs(&[("id", ValueType::Int), ("tag", ValueType::Str)]);
+        let rel = Relation::from_columns(vec![
+            ("id".into(), Column::from_ints(vec![1, 2])),
+            ("tag".into(), Column::from_strs(vec!["a".into(), "b|c".into()])),
+        ])
+        .unwrap();
+        let wire = match format {
+            WireFormat::Binary => {
+                let mut buf = Vec::new();
+                datacell::frame::encode_frame(&mut buf, &rel).unwrap();
+                buf
+            }
+            WireFormat::Text => b"1|a\n2|b\\pc\n".to_vec(),
+        };
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            for chunk in wire.chunks(3) {
+                sock.write_all(chunk).unwrap();
+                sock.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        });
+        let mut tap = EmitterTap::connect_with(addr, format).unwrap();
+        tap.set_timeout(Some(Duration::from_millis(5))).unwrap();
+        let mut rows = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while rows.len() < 2 {
+            assert!(std::time::Instant::now() < deadline, "{format}: tap stalled");
+            match tap.next_row(&schema) {
+                Ok(Some(row)) => rows.push(row),
+                Ok(None) => break,
+                Err(_) => continue, // timeout fired mid-frame/mid-line: retry
+            }
+        }
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Int(2), Value::Str("b|c".into())],
+            ],
+            "{format}: dribbled input must decode intact"
+        );
+        server.join().unwrap();
+    }
 }
 
 #[test]

@@ -59,6 +59,41 @@ fn main() -> datacell_repro::dcserver::Result<()> {
     }
     assert_eq!(alerts.len(), 4, "temps 31..34 exceed the threshold");
 
+    // --- the batch-first binary fast path -------------------------------
+    // same server, second stream + query: ports attached with FORMAT
+    // BINARY move whole columnar batches instead of text lines (a fresh
+    // stream, because a consuming query owns its input basket's tuples)
+    use datacell_repro::datacell::frame::WireFormat;
+    c.create_stream("probes", "(sensor int, temp double)")?;
+    c.register_query(
+        "cold_readings",
+        "select sensor, temp from [select * from probes] as W where W.temp < 27.0",
+    )?;
+    let rport_bin = c.attach_receptor_fmt("probes", 0, WireFormat::Binary)?;
+    let eport_bin = c.attach_emitter_fmt("cold_readings", 0, WireFormat::Binary)?;
+    let mut bsink = c.open_receptor_with(rport_bin, WireFormat::Binary, &schema)?;
+    let mut btap = c.open_emitter_with(eport_bin, WireFormat::Binary)?;
+    btap.set_timeout(Some(Duration::from_secs(10)))?;
+    let batch = Relation::from_columns(vec![
+        ("sensor".into(), Column::from_ints((100..110).collect())),
+        (
+            "temp".into(),
+            Column::from_doubles((0..10).map(|i| 22.0 + i as f64).collect()),
+        ),
+    ])
+    .unwrap();
+    bsink.send_batch(&batch)?;
+    bsink.flush()?;
+    let mut cold = 0usize;
+    while cold < 5 {
+        let Some(result) = btap.next_batch(&schema)? else {
+            break;
+        };
+        cold += result.len();
+        println!("cold batch: {} tuples", result.len());
+    }
+    assert_eq!(cold, 5, "temps 22..26 are below the threshold");
+
     // introspection, then graceful shutdown
     for line in c.stats()? {
         println!("stats: {line}");
