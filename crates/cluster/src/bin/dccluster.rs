@@ -1,0 +1,84 @@
+//! `dccluster` — the DataCell shard-router daemon.
+//!
+//! ```text
+//! dccluster [--listen HOST:PORT] [--shards N] [--engine HOST:PORT]...
+//!           [--data-host HOST] [--backoff-us N]
+//! ```
+//!
+//! Fronts N `datacelld` engines behind one control plane speaking the
+//! standard `datacelld` protocol. Without `--engine` arguments, `--shards
+//! N` (default 2) in-process engines are spawned on ephemeral ports; each
+//! `--engine` adds an already-running remote `datacelld` as a shard
+//! instead.
+
+use std::time::Duration;
+
+use dccluster::{bind_cluster, ClusterConfig, ShardSpec};
+
+fn main() {
+    let mut listen = "127.0.0.1:7071".to_string();
+    let mut shards = 2usize;
+    let mut remotes: Vec<String> = Vec::new();
+    let mut config = ClusterConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(v) => listen = v,
+                None => die("--listen requires HOST:PORT"),
+            },
+            "--shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => die("--shards requires a number >= 1"),
+            },
+            "--engine" => match args.next() {
+                Some(v) => remotes.push(v),
+                None => die("--engine requires HOST:PORT"),
+            },
+            "--data-host" => match args.next() {
+                Some(v) => config.data_host = v,
+                None => die("--data-host requires HOST"),
+            },
+            "--backoff-us" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(us) => config.engine.idle_backoff = Duration::from_micros(us),
+                None => die("--backoff-us requires a number"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "dccluster [--listen HOST:PORT] [--shards N] [--engine HOST:PORT]...\n          \
+                     [--data-host HOST] [--backoff-us N]\n\n\
+                     Same control protocol as datacelld, plus:\n  \
+                     CREATE STREAM <name> (cols) SHARD BY (<col>) [SHARDS <n>]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    config.shards = if remotes.is_empty() {
+        vec![ShardSpec::InProcess; shards]
+    } else {
+        remotes.into_iter().map(ShardSpec::Remote).collect()
+    };
+
+    let n = config.shards.len();
+    let cluster = match bind_cluster(&listen, config) {
+        Ok(c) => c,
+        Err(e) => die(&format!("cannot bind {listen}: {e}")),
+    };
+    match cluster.local_addr() {
+        Ok(addr) => eprintln!("dccluster: control plane on {addr} fronting {n} engines"),
+        Err(_) => eprintln!("dccluster: control plane on {listen} fronting {n} engines"),
+    }
+    if let Err(e) = cluster.serve() {
+        die(&format!("cluster error: {e}"));
+    }
+    eprintln!("dccluster: shut down cleanly");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("dccluster: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,102 @@
+//! The router's control-plane listener.
+//!
+//! Speaks exactly the `datacelld` wire protocol ([`dcserver::protocol`])
+//! — same commands, same `OK n`/`ERR` framing — so every existing client
+//! (including `dcserver::client::Client`) talks to a cluster unchanged.
+//! The accept/read/respond plumbing *is* the engine's
+//! ([`dcserver::control::serve_loop`]); only the dispatch differs: DDL
+//! places streams on shards, `SHARD BY` is honored instead of rejected,
+//! `ATTACH` opens logical ports fronting the whole cluster, and `STATS`
+//! aggregates.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use dcserver::control::serve_loop;
+use dcserver::error::Result;
+use dcserver::protocol::{parse_command, Command, Response};
+
+use crate::router::ClusterRuntime;
+
+/// The cluster's control-plane server.
+pub struct ClusterControl {
+    listener: TcpListener,
+    runtime: Arc<ClusterRuntime>,
+}
+
+impl ClusterControl {
+    /// Bind the router control listener (port 0 for ephemeral).
+    pub fn bind(addr: &str, runtime: Arc<ClusterRuntime>) -> Result<ClusterControl> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(ClusterControl { listener, runtime })
+    }
+
+    /// The bound control-plane address.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    pub fn runtime(&self) -> &Arc<ClusterRuntime> {
+        &self.runtime
+    }
+
+    /// Serve until `SHUTDOWN` (or an external stop), then tear the whole
+    /// cluster down. Blocks the caller.
+    pub fn serve(self) -> Result<()> {
+        let rt = &self.runtime;
+        serve_loop(
+            &self.listener,
+            &rt.sessions,
+            &|| rt.is_stopping(),
+            &|request| dispatch(rt, request),
+        );
+        self.runtime.shutdown();
+        Ok(())
+    }
+}
+
+/// Execute one command; the bool says "close this connection afterwards".
+fn dispatch(rt: &Arc<ClusterRuntime>, request: &str) -> (Response, bool) {
+    let cmd = match parse_command(request) {
+        Ok(c) => c,
+        Err(e) => return (Response::Err(e), false),
+    };
+    let result = match cmd {
+        Command::Ping => Ok((Response::one("pong"), false)),
+        Command::Ddl(sql) => rt.ddl(&sql).map(|b| (Response::Ok(b), false)),
+        Command::DdlSharded {
+            ddl,
+            stream,
+            key,
+            shards,
+        } => rt
+            .create_sharded(&ddl, &stream, &key, shards)
+            .map(|b| (Response::Ok(b), false)),
+        Command::Exec(sql) => rt.exec(&sql).map(|b| (Response::Ok(b), false)),
+        Command::RegisterQuery { name, sql } => rt
+            .register_query(&name, &sql)
+            .map(|b| (Response::Ok(b), false)),
+        Command::AttachReceptor {
+            stream,
+            port,
+            format,
+        } => rt
+            .attach_receptor(&stream, port, format)
+            .map(|p| (Response::one(format!("port={p}")), false)),
+        Command::AttachEmitter {
+            query,
+            port,
+            format,
+        } => rt
+            .attach_emitter(&query, port, format)
+            .map(|p| (Response::one(format!("port={p}")), false)),
+        Command::Stats => Ok((Response::Ok(rt.stats()), false)),
+        Command::Quit => Ok((Response::ok(), true)),
+        Command::Shutdown => {
+            rt.request_shutdown();
+            Ok((Response::ok(), true))
+        }
+    };
+    result.unwrap_or_else(|e| (Response::Err(e.to_string()), false))
+}

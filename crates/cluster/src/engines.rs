@@ -1,0 +1,147 @@
+//! Shard engines — the N `datacelld` instances behind the router.
+//!
+//! A shard engine is a full, independent DataCell server: its own
+//! baskets, factories, scheduler and data-plane ports. The router talks
+//! to it exclusively through the public control-plane protocol, so an
+//! **in-process** engine (spawned and supervised by the router) and a
+//! **remote** engine (a `datacelld` already running elsewhere) are
+//! indistinguishable past construction.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dcserver::client::Client;
+use dcserver::error::{Result, ServerError};
+use dcserver::stats::StatsReport;
+use dcserver::ServerConfig;
+use parking_lot::Mutex;
+
+/// Where one shard engine runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardSpec {
+    /// Spawn a `datacelld` inside the router process (ephemeral ports,
+    /// shut down with the cluster).
+    InProcess,
+    /// Connect to an already-running `datacelld` control plane at
+    /// `host:port`. The router never shuts a remote engine down.
+    Remote(String),
+}
+
+/// Upper bound on one control round-trip to a shard engine. A wedged
+/// engine (network partition, hung process) must fail the request —
+/// control operations serialize per shard, so an unbounded block here
+/// would freeze the router's whole control plane.
+const CONTROL_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One supervised shard engine.
+pub struct ShardEngine {
+    id: usize,
+    addr: SocketAddr,
+    /// The router's control session to this engine. Control operations
+    /// are serialized per shard; data-plane connections are separate
+    /// sockets and never wait on this lock.
+    control: Mutex<Client>,
+    /// Serve thread of an in-process engine (`None` for remote).
+    serve: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ShardEngine {
+    /// Boot an in-process `datacelld` on an ephemeral control port.
+    pub fn spawn_in_process(id: usize, config: ServerConfig) -> Result<ShardEngine> {
+        let server = dcserver::bind("127.0.0.1:0", config)?;
+        let addr = server
+            .local_addr()
+            .map_err(|e| ServerError::Io(format!("shard {id} control addr: {e}")))?;
+        let serve = std::thread::Builder::new()
+            .name(format!("dc-shard-{id}"))
+            .spawn(move || {
+                let _ = server.serve();
+            })
+            .map_err(|e| ServerError::Io(format!("spawn shard {id}: {e}")))?;
+        let mut control = Client::connect(addr)?;
+        control.set_io_timeout(Some(CONTROL_IO_TIMEOUT))?;
+        Ok(ShardEngine {
+            id,
+            addr,
+            control: Mutex::new(control),
+            serve: Mutex::new(Some(serve)),
+        })
+    }
+
+    /// Adopt a running `datacelld` at `addr` as a shard.
+    pub fn connect_remote(id: usize, addr: &str) -> Result<ShardEngine> {
+        let mut control = Client::connect(addr)?;
+        control.set_io_timeout(Some(CONTROL_IO_TIMEOUT))?;
+        let addr = control.server_addr();
+        Ok(ShardEngine {
+            id,
+            addr,
+            control: Mutex::new(control),
+            serve: Mutex::new(None),
+        })
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The engine's control-plane address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Address of a data-plane port this engine reported (its data ports
+    /// live on the same host as its control plane).
+    pub fn data_addr(&self, port: u16) -> SocketAddr {
+        SocketAddr::new(self.addr.ip(), port)
+    }
+
+    /// Run one control-plane operation against this engine.
+    pub fn control<T>(&self, f: impl FnOnce(&mut Client) -> Result<T>) -> Result<T> {
+        f(&mut self.control.lock())
+    }
+
+    /// This engine's typed `STATS` — the placement signal.
+    pub fn stats(&self) -> Result<StatsReport> {
+        self.control(|c| c.stats_report())
+    }
+
+    /// Stop an in-process engine (graceful `SHUTDOWN` + join). Remote
+    /// engines are left running.
+    pub fn shutdown(&self) {
+        let Some(handle) = self.serve.lock().take() else {
+            return;
+        };
+        let _ = self.control(|c| c.shutdown());
+        let _ = handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_engine_boots_and_shuts_down() {
+        let e = ShardEngine::spawn_in_process(0, ServerConfig::default()).unwrap();
+        assert_eq!(e.id(), 0);
+        e.control(|c| c.ping()).unwrap();
+        e.control(|c| c.create_stream("S", "(id int)")).unwrap();
+        let stats = e.stats().unwrap();
+        assert!(stats.basket("S").is_some());
+        e.shutdown();
+        // idempotent
+        e.shutdown();
+    }
+
+    #[test]
+    fn remote_engine_is_not_shut_down() {
+        let inner = ShardEngine::spawn_in_process(0, ServerConfig::default()).unwrap();
+        let remote = ShardEngine::connect_remote(1, &inner.addr().to_string()).unwrap();
+        remote.control(|c| c.ping()).unwrap();
+        remote.shutdown(); // no-op for remote
+        inner.control(|c| c.ping()).unwrap();
+        inner.shutdown();
+    }
+}

@@ -1,0 +1,121 @@
+//! Byte-level fan-in/fan-out of result frames.
+//!
+//! The router's emitter side never decodes results: shard engines are
+//! asked for the same wire format the subscriber negotiated, so merging
+//! per-shard result streams into one subscriber stream is a **relay** of
+//! self-delimiting chunks — complete binary frames (peeled with
+//! [`datacell::frame::frame_len`], no schema needed) or complete text
+//! lines. One chunk may carry several frames; subscribers just write
+//! bytes.
+//!
+//! The delivery skeleton (subscribe with backlog replay, reaping,
+//! counters) is the same [`FanOut`] that backs the single-engine
+//! `Broadcast` — only the payload differs: encoded bytes instead of
+//! [`datacell::frame::SharedFrame`] batches, weighted by byte count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use dcserver::session::FanOut;
+
+/// Chunks a subscriber-less relay holds before dropping oldest.
+pub const RELAY_BACKLOG_CAP: usize = 1024;
+
+/// Fan-in of encoded result chunks from N shard taps, fanned out to a
+/// dynamic set of subscriber sockets.
+pub struct FrameRelay {
+    inner: FanOut<Vec<u8>>,
+    /// Shard taps that ended abnormally (corrupt stream, socket error):
+    /// from then on the merged stream is silently missing that shard's
+    /// results, so the count is surfaced in `STATS` per emitter port.
+    lost_sources: AtomicU64,
+}
+
+impl FrameRelay {
+    pub fn new() -> Arc<FrameRelay> {
+        Arc::new(FrameRelay {
+            inner: FanOut::new(RELAY_BACKLOG_CAP, |chunk| chunk.len() as u64),
+            lost_sources: AtomicU64::new(0),
+        })
+    }
+
+    /// Record one source stream lost before its natural end.
+    pub fn mark_source_lost(&self) {
+        self.lost_sources.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub fn lost_sources(&self) -> u64 {
+        self.lost_sources.load(Ordering::Acquire)
+    }
+
+    /// Add a subscriber; any backlog is replayed first.
+    pub fn subscribe(&self) -> Receiver<Arc<Vec<u8>>> {
+        self.inner.subscribe()
+    }
+
+    /// Publish one encoded chunk to all live subscribers (or the backlog
+    /// when there are none).
+    pub fn publish(&self, chunk: Vec<u8>) {
+        self.inner.publish(Arc::new(chunk));
+    }
+
+    /// Disconnect every subscriber channel (they drain what they already
+    /// received, then end) — the shutdown path.
+    pub fn close(&self) {
+        self.inner.close();
+    }
+
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.subscriber_count()
+    }
+
+    /// (chunks, bytes) relayed to at least one subscriber.
+    pub fn relayed(&self) -> (u64, u64) {
+        self.inner.delivered()
+    }
+
+    pub fn dropped_chunks(&self) -> u64 {
+        self.inner.dropped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_shared_chunks_to_all_subscribers() {
+        let relay = FrameRelay::new();
+        let a = relay.subscribe();
+        let b = relay.subscribe();
+        relay.publish(vec![1, 2, 3]);
+        let ca = a.recv().unwrap();
+        let cb = b.recv().unwrap();
+        assert!(Arc::ptr_eq(&ca, &cb), "one chunk, shared");
+        assert_eq!(*ca, vec![1, 2, 3]);
+        assert_eq!(relay.relayed(), (1, 3));
+    }
+
+    #[test]
+    fn backlog_replays_to_first_subscriber_and_is_bounded() {
+        let relay = FrameRelay::new();
+        for i in 0..(RELAY_BACKLOG_CAP + 5) {
+            relay.publish(vec![i as u8]);
+        }
+        assert_eq!(relay.dropped_chunks(), 5);
+        let rx = relay.subscribe();
+        assert_eq!(*rx.recv().unwrap(), vec![5u8]);
+    }
+
+    #[test]
+    fn close_disconnects_subscribers() {
+        let relay = FrameRelay::new();
+        let rx = relay.subscribe();
+        relay.publish(vec![9]);
+        relay.close();
+        assert_eq!(*rx.recv().unwrap(), vec![9], "drains buffered first");
+        assert!(rx.recv().is_err(), "then disconnects");
+        assert_eq!(relay.subscriber_count(), 0);
+    }
+}

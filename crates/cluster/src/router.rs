@@ -1,0 +1,1288 @@
+//! The cluster runtime: shard map, ingest splitting, result merging.
+//!
+//! One logical stream, N physical engines. The router owns:
+//!
+//! * the **shard map** — which engines host which stream, and the
+//!   [`Partitioner`] for `SHARD BY` streams;
+//! * **placement** — unsharded streams (and sub-cluster `SHARDS n`
+//!   declarations) land on the least-loaded engines, judged by each
+//!   engine's typed `STATS` report;
+//! * **ingest splitting** — one logical receptor port per stream; every
+//!   arriving batch is sliced column-wise into per-shard sub-batches
+//!   ([`Partitioner::split`] — no row materialization) and forwarded to
+//!   the shard engines as binary frames over per-shard sockets;
+//! * **result merging** — one logical emitter port per query; per-shard
+//!   result streams are relayed byte-for-byte (frames are peeled with
+//!   `frame_len`, never decoded) into every subscriber socket.
+//!
+//! Control operations fan out over the engines' ordinary control planes,
+//! so a shard is just a `datacelld` — in this process or on another host.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use datacell::frame::{self, WireFormat};
+use datacell::net::parse_row;
+use datacell::partition::Partitioner;
+use dcsql::ast::{CreateKind, Stmt};
+use dcserver::error::{Result, ServerError};
+use dcserver::session::SessionManager;
+use dcserver::stats::StatsReport;
+use dcserver::ServerConfig;
+use monet::prelude::*;
+use parking_lot::Mutex;
+
+use crate::engines::{ShardEngine, ShardSpec};
+use crate::relay::FrameRelay;
+
+/// How long blocking reads/accepts wait before re-checking the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// Upper bound on a subscriber socket write.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Text-ingest batching: split + forward after this many buffered rows.
+const ROUTER_BATCH: usize = 4096;
+/// Batches a shard forwarder queues before the splitter backs off —
+/// backpressure from a slow shard propagates to the sender's socket.
+const FORWARD_QUEUE_CAP: usize = 64;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Host the router's logical data-plane ports bind to.
+    pub data_host: String,
+    /// The shard engines, in shard order.
+    pub shards: Vec<ShardSpec>,
+    /// Configuration for in-process shard engines.
+    pub engine: ServerConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::in_process(2)
+    }
+}
+
+impl ClusterConfig {
+    /// `n` in-process shard engines with default settings.
+    pub fn in_process(n: usize) -> ClusterConfig {
+        ClusterConfig {
+            data_host: "127.0.0.1".into(),
+            shards: vec![ShardSpec::InProcess; n],
+            engine: ServerConfig::default(),
+        }
+    }
+}
+
+/// One logical stream in the shard map.
+pub struct StreamEntry {
+    pub name: String,
+    /// User schema (wire order), parsed from the DDL.
+    pub schema: Schema,
+    /// `None` for unsharded (single-engine) streams.
+    pub partitioner: Option<Partitioner>,
+    pub key: Option<String>,
+    /// Engine ids hosting this stream; index = shard index.
+    pub engines: Vec<usize>,
+}
+
+/// One registered continuous query.
+pub struct QueryEntry {
+    pub name: String,
+    pub sql: String,
+    /// Engines where registration succeeded (a query over an unsharded
+    /// stream only resolves on the engine hosting it).
+    pub engines: Vec<usize>,
+    pub kind: String,
+}
+
+/// A logical receptor port (router side).
+pub struct ClusterReceptorPort {
+    pub stream: String,
+    pub port: u16,
+    pub format: WireFormat,
+    pub connections: AtomicU64,
+    pub accepted: AtomicU64,
+    pub rejected: AtomicU64,
+}
+
+/// A logical emitter port (router side).
+pub struct ClusterEmitterPort {
+    pub query: String,
+    pub port: u16,
+    pub format: WireFormat,
+    pub connections: AtomicU64,
+    pub relay: Arc<FrameRelay>,
+    writers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The running cluster: shard engines + router state.
+pub struct ClusterRuntime {
+    config: ClusterConfig,
+    engines: Vec<ShardEngine>,
+    pub sessions: SessionManager,
+    streams: Mutex<HashMap<String, Arc<StreamEntry>>>,
+    queries: Mutex<HashMap<String, Arc<QueryEntry>>>,
+    /// Names whose CREATE fanned out partially before failing, with the
+    /// exact DDL and the engine set chosen for that attempt. A retry may
+    /// see "duplicate" from engines that already created the object, and
+    /// only then — with byte-identical DDL, on the same engine set — is
+    /// that tolerable (a different DDL colliding with the leftover would
+    /// silently adopt a wrong-schema basket).
+    failed_creates: Mutex<HashMap<String, (String, Vec<usize>)>>,
+    /// Stream names with a CREATE currently fanning out: concurrent
+    /// same-name CREATEs must serialize here (without wedging the whole
+    /// stream map), or the loser could place an orphan basket on engines
+    /// the winner did not choose.
+    in_flight_creates: Mutex<std::collections::HashSet<String>>,
+    /// Query names whose REGISTER fanned out partially before failing,
+    /// with the exact SQL — mirrors `failed_creates`: a retry may see
+    /// "duplicate" from engines that already registered, and only the
+    /// byte-identical SQL makes that tolerable.
+    failed_registers: Mutex<HashMap<String, String>>,
+    receptors: Mutex<Vec<Arc<ClusterReceptorPort>>>,
+    emitters: Mutex<Vec<Arc<ClusterEmitterPort>>>,
+    /// Receptor accept loops (joined before the engines shut down, so
+    /// final batches reach the shard baskets).
+    ingress_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Emitter accept loops + shard taps (joined after the engines shut
+    /// down, so final results drain through the relays).
+    egress_threads: Mutex<Vec<JoinHandle<()>>>,
+    stop: Arc<AtomicBool>,
+    /// Set only AFTER the shard engines shut down (and thus flushed
+    /// their final results): shard taps must not stop on the earlier
+    /// `stop` flag, or tail results racing the shutdown would be lost.
+    drain_taps: AtomicBool,
+    started_at: Instant,
+}
+
+impl ClusterRuntime {
+    /// Boot/adopt every shard engine and assemble the router.
+    pub fn new(config: ClusterConfig) -> Result<Arc<ClusterRuntime>> {
+        if config.shards.is_empty() {
+            return Err(ServerError::Protocol(
+                "cluster needs at least one shard engine".into(),
+            ));
+        }
+        let engines = config
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| match spec {
+                ShardSpec::InProcess => ShardEngine::spawn_in_process(i, config.engine.clone()),
+                ShardSpec::Remote(addr) => ShardEngine::connect_remote(i, addr),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Arc::new(ClusterRuntime {
+            config,
+            engines,
+            sessions: SessionManager::new(),
+            streams: Mutex::new(HashMap::new()),
+            queries: Mutex::new(HashMap::new()),
+            failed_creates: Mutex::new(HashMap::new()),
+            in_flight_creates: Mutex::new(std::collections::HashSet::new()),
+            failed_registers: Mutex::new(HashMap::new()),
+            receptors: Mutex::new(Vec::new()),
+            emitters: Mutex::new(Vec::new()),
+            ingress_threads: Mutex::new(Vec::new()),
+            egress_threads: Mutex::new(Vec::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+            drain_taps: AtomicBool::new(false),
+            started_at: Instant::now(),
+        }))
+    }
+
+    pub fn engine_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    pub fn request_shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    pub fn uptime(&self) -> Duration {
+        self.started_at.elapsed()
+    }
+
+    fn ensure_running(&self) -> Result<()> {
+        if self.is_stopping() {
+            Err(ServerError::ShuttingDown)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Engine ids ordered by current ingest load (ascending) — the
+    /// placement policy. Engines whose STATS cannot be read sort last.
+    fn least_loaded(&self, n: usize) -> Vec<usize> {
+        let mut loads: Vec<(u64, usize)> = self
+            .engines
+            .iter()
+            .map(|e| {
+                (
+                    e.stats().map(|s| s.ingest_load()).unwrap_or(u64::MAX),
+                    e.id(),
+                )
+            })
+            .collect();
+        loads.sort_unstable();
+        loads.truncate(n);
+        let mut ids: Vec<usize> = loads.into_iter().map(|(_, id)| id).collect();
+        ids.sort_unstable(); // stable shard-index → engine mapping
+        ids
+    }
+
+    // ---- control-plane operations ---------------------------------------
+
+    /// Plain (unsharded) DDL. `CREATE TABLE`/`CREATE BASKET` fan out to
+    /// every engine (reference data must resolve everywhere); a plain
+    /// `CREATE STREAM` becomes a single-shard stream placed on the
+    /// least-loaded engine.
+    pub fn ddl(&self, sql: &str) -> Result<Vec<String>> {
+        self.ensure_running()?;
+        let (kind, name, schema) = parse_create(sql)?;
+        match kind {
+            CreateKind::Stream => self.create_stream_entry(sql, &name, schema, None, Some(1)),
+            CreateKind::Table | CreateKind::Basket => {
+                let all: Vec<usize> = self.engines.iter().map(|e| e.id()).collect();
+                self.forward_create(&name, sql, sql, &all)?;
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    /// Engine set recorded by a failed partial CREATE of `name` with
+    /// this exact signature (DDL **plus** shard clause), if any — a
+    /// retry must repeat the whole declaration and target the same
+    /// engines, or the leftover baskets of the first attempt would be
+    /// stranded outside the retried stream's entry.
+    fn recorded_create(&self, name: &str, signature: &str) -> Option<Vec<usize>> {
+        self.failed_creates
+            .lock()
+            .get(name)
+            .filter(|(prev_sig, _)| prev_sig == signature)
+            .map(|(_, engines)| engines.clone())
+    }
+
+    /// Forward one CREATE to the given engines, with retry idempotency:
+    /// "duplicate" from an engine is tolerable ONLY on a retry of the
+    /// byte-identical declaration (`signature` = DDL + shard clause)
+    /// after a recorded partial failure (the engine kept the object from
+    /// our earlier attempt) — never on a first attempt or a changed
+    /// declaration, where it means the name collides with an object of
+    /// unknown or known-different shape.
+    fn forward_create(
+        &self,
+        name: &str,
+        signature: &str,
+        ddl: &str,
+        engines: &[usize],
+    ) -> Result<()> {
+        let retrying = self.recorded_create(name, signature).is_some();
+        let mut any_created = false;
+        for &eid in engines {
+            match self.engines[eid].control(|c| c.request(ddl)) {
+                Ok(_) => any_created = true,
+                Err(e) if retrying && e.to_string().contains("duplicate") => {}
+                Err(e) => {
+                    if any_created || retrying {
+                        self.failed_creates
+                            .lock()
+                            .insert(name.to_string(), (signature.to_string(), engines.to_vec()));
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.failed_creates.lock().remove(name);
+        Ok(())
+    }
+
+    /// `CREATE STREAM ... SHARD BY (key) [SHARDS n]`.
+    pub fn create_sharded(
+        &self,
+        ddl: &str,
+        stream: &str,
+        key: &str,
+        shards: Option<usize>,
+    ) -> Result<Vec<String>> {
+        self.ensure_running()?;
+        let (kind, name, schema) = parse_create(ddl)?;
+        if kind != CreateKind::Stream || name != stream {
+            return Err(ServerError::Protocol(format!(
+                "SHARD BY applies to CREATE STREAM {stream}, got {ddl:?}"
+            )));
+        }
+        self.create_stream_entry(ddl, stream, schema, Some(key), shards)
+    }
+
+    /// Shared CREATE STREAM path. `key = None` → unsharded; `shards =
+    /// None` → one shard per engine.
+    fn create_stream_entry(
+        &self,
+        ddl: &str,
+        stream: &str,
+        schema: Schema,
+        key: Option<&str>,
+        shards: Option<usize>,
+    ) -> Result<Vec<String>> {
+        let n = shards.unwrap_or(self.engines.len());
+        if n == 0 || n > self.engines.len() {
+            return Err(ServerError::Protocol(format!(
+                "SHARDS {n} out of range (cluster has {} engines)",
+                self.engines.len()
+            )));
+        }
+        let partitioner = match key {
+            None => None,
+            Some(k) => {
+                let (idx, _) = schema.find(k).ok_or_else(|| {
+                    ServerError::Protocol(format!(
+                        "SHARD BY key {k} is not a column of {stream}"
+                    ))
+                })?;
+                Some(Partitioner::new(idx, n).map_err(ServerError::Engine)?)
+            }
+        };
+        // duplicate pre-check + in-flight claim, WITHOUT holding the map
+        // lock across the engine round-trips below — a slow shard must
+        // only stall this CREATE, not every control command touching the
+        // stream map; the in-flight claim makes a racing same-name
+        // CREATE fail here, before it can place baskets anywhere
+        {
+            let streams = self.streams.lock();
+            let mut in_flight = self.in_flight_creates.lock();
+            if streams.contains_key(stream) || !in_flight.insert(stream.to_string()) {
+                return Err(ServerError::Duplicate(stream.to_string()));
+            }
+        }
+        let result = (|| {
+            // the retry signature covers the shard clause too: a retry
+            // with a different key or SHARDS count is a NEW declaration
+            // colliding with the old attempt's leftovers, not a retry
+            let signature = format!("{ddl}#key={key:?}#shards={n}");
+            // a same-declaration retry reuses the engine set of the
+            // recorded partial attempt (fresh placement could strand its
+            // baskets)
+            let engines = match self.recorded_create(stream, &signature) {
+                Some(prev) if prev.len() == n => prev,
+                _ => self.least_loaded(n),
+            };
+            self.forward_create(stream, &signature, ddl, &engines)?;
+            let entry = Arc::new(StreamEntry {
+                name: stream.to_string(),
+                schema,
+                partitioner,
+                key: key.map(str::to_string),
+                engines: engines.clone(),
+            });
+            self.streams.lock().insert(stream.to_string(), entry);
+            let engine_list: Vec<String> = engines.iter().map(usize::to_string).collect();
+            Ok(vec![format!(
+                "stream={stream} shards={n} key={} engines={}",
+                key.unwrap_or("-"),
+                engine_list.join(",")
+            )])
+        })();
+        self.in_flight_creates.lock().remove(stream);
+        result
+    }
+
+    /// One-shot SQL, fanned out to every engine. Only statements whose
+    /// N-way execution is equivalent to single-engine execution are
+    /// allowed (CREATE / DECLARE / SET — the setup surface); INSERTs and
+    /// SELECTs are rejected with a pointer to the data plane, because
+    /// fanning them out would duplicate data N× or return one shard's
+    /// slice as if it were the whole answer.
+    pub fn exec(&self, sql: &str) -> Result<Vec<String>> {
+        self.ensure_running()?;
+        let stmts = dcsql::parse_statements(sql)
+            .map_err(|e| ServerError::Protocol(format!("EXEC: {e}")))?;
+        // every CREATE goes through the ddl() path: streams need the
+        // shard map (placement + routing entry), and tables/baskets need
+        // forward_create's partial-failure retry idempotency
+        if stmts.iter().any(|s| matches!(s, Stmt::Create { .. })) {
+            if stmts.len() == 1 {
+                return self.ddl(sql);
+            }
+            return Err(ServerError::Protocol(
+                "EXEC scripts may not mix CREATE with other statements \
+                 on a cluster — issue each CREATE as its own command so \
+                 the router can place and track it"
+                    .into(),
+            ));
+        }
+        let fan_out_safe = stmts
+            .iter()
+            .all(|s| matches!(s, Stmt::Declare { .. } | Stmt::Set { .. }));
+        if !fan_out_safe {
+            return Err(ServerError::Protocol(
+                "EXEC on a cluster is limited to CREATE/DECLARE/SET \
+                 (data statements would run once per engine — use receptor \
+                 and emitter ports, or EXEC against a single engine)"
+                    .into(),
+            ));
+        }
+        let mut first: Option<Vec<String>> = None;
+        for e in &self.engines {
+            let body = e.control(|c| c.exec(sql))?;
+            if first.is_none() {
+                first = Some(body);
+            }
+        }
+        Ok(first.unwrap_or_default())
+    }
+
+    /// Register a continuous query on every engine that can resolve it.
+    pub fn register_query(&self, name: &str, sql: &str) -> Result<Vec<String>> {
+        self.ensure_running()?;
+        // as in create_stream_entry: never hold the map lock across the
+        // engine round-trips — a slow shard stalls this registration only
+        if self.queries.lock().contains_key(name) {
+            return Err(ServerError::Duplicate(name.to_string()));
+        }
+        let retrying = self
+            .failed_registers
+            .lock()
+            .get(name)
+            .is_some_and(|prev| prev == sql);
+        let mut engines = Vec::new();
+        let mut kind = String::new();
+        let mut first_err = None;
+        for e in &self.engines {
+            match e.control(|c| c.request(&format!("REGISTER QUERY {name} AS {sql}"))) {
+                Ok(body) => {
+                    engines.push(e.id());
+                    if kind.is_empty() {
+                        kind = body
+                            .first()
+                            .and_then(|l| l.split("kind=").nth(1))
+                            .unwrap_or("unknown")
+                            .to_string();
+                    }
+                }
+                Err(err) => {
+                    let msg = err.to_string();
+                    if msg.contains("unknown name") {
+                        // expected: this engine does not host a stream
+                        // the query references (unsharded, placed
+                        // elsewhere) — the query has no results there
+                        if first_err.is_none() {
+                            first_err = Some(err);
+                        }
+                    } else if retrying && msg.contains("duplicate") {
+                        // a recorded same-SQL partial fan-out already
+                        // registered it here — count the engine. A
+                        // changed-SQL retry is NOT tolerated: it would
+                        // merge two different queries under one name.
+                        engines.push(e.id());
+                    } else {
+                        // ANY other failure (socket error, engine fault)
+                        // must abort: tolerating it would silently drop
+                        // that shard's results from every subscriber
+                        if !engines.is_empty() || retrying {
+                            self.failed_registers
+                                .lock()
+                                .insert(name.to_string(), sql.to_string());
+                        }
+                        return Err(err);
+                    }
+                }
+            }
+        }
+        if engines.is_empty() {
+            return Err(first_err
+                .unwrap_or_else(|| ServerError::Unknown(format!("query {name}"))));
+        }
+        self.failed_registers.lock().remove(name);
+        let engine_list: Vec<String> = engines.iter().map(usize::to_string).collect();
+        let mut queries = self.queries.lock();
+        if queries.contains_key(name) {
+            // raced with a concurrent identical registration; the shard
+            // engines themselves rejected one of the two fan-outs as
+            // duplicate, so nothing dangles
+            return Err(ServerError::Duplicate(name.to_string()));
+        }
+        queries.insert(
+            name.to_string(),
+            Arc::new(QueryEntry {
+                name: name.to_string(),
+                sql: sql.to_string(),
+                engines,
+                kind: kind.clone(),
+            }),
+        );
+        Ok(vec![format!(
+            "query={name} kind={kind} engines={}",
+            engine_list.join(",")
+        )])
+    }
+
+    // ---- ingest: one logical receptor port ------------------------------
+
+    /// Open a logical receptor port for `stream`; port 0 picks an
+    /// ephemeral port. Behind it, one binary receptor per shard engine.
+    pub fn attach_receptor(
+        self: &Arc<Self>,
+        stream: &str,
+        port: u16,
+        format: WireFormat,
+    ) -> Result<u16> {
+        self.ensure_running()?;
+        let entry = self
+            .streams
+            .lock()
+            .get(stream)
+            .cloned()
+            .ok_or_else(|| ServerError::Unknown(format!("stream {stream}")))?;
+        // bind the logical port FIRST: a bad local port (in use,
+        // privileged) must fail before any engine-side port is attached.
+        // This covers the common local failure only — a failure partway
+        // through the per-engine loop below still leaks already-attached
+        // shard-side ports (no DETACH in the protocol yet; see ROADMAP)
+        let listener = TcpListener::bind((self.config.data_host.as_str(), port))?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?.port();
+        // shard-side ingest is always binary: the router has columnar
+        // batches in hand, whatever the client-facing format
+        let mut shard_addrs = Vec::with_capacity(entry.engines.len());
+        for &eid in &entry.engines {
+            let p = self.engines[eid]
+                .control(|c| c.attach_receptor_fmt(stream, 0, WireFormat::Binary))?;
+            shard_addrs.push(self.engines[eid].data_addr(p));
+        }
+        let rport = Arc::new(ClusterReceptorPort {
+            stream: stream.to_string(),
+            port: bound,
+            format,
+            connections: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        self.receptors.lock().push(Arc::clone(&rport));
+
+        let rt = Arc::clone(self);
+        let accept_port = Arc::clone(&rport);
+        let handle = std::thread::Builder::new()
+            .name(format!("dcc-rcpt-{stream}"))
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                while !rt.is_stopping() {
+                    match listener.accept() {
+                        Ok((sock, _peer)) => {
+                            accept_port.connections.fetch_add(1, Ordering::AcqRel);
+                            let rt2 = Arc::clone(&rt);
+                            let port2 = Arc::clone(&accept_port);
+                            let entry2 = Arc::clone(&entry);
+                            let addrs = shard_addrs.clone();
+                            conns.retain(|t| !t.is_finished());
+                            conns.push(
+                                std::thread::Builder::new()
+                                    .name(format!("dcc-rcpt-{}-conn", port2.stream))
+                                    .spawn(move || {
+                                        ingest_connection(&rt2, &port2, &entry2, &addrs, sock)
+                                    })
+                                    .expect("spawn router ingest thread"),
+                            );
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => std::thread::sleep(POLL_INTERVAL),
+                    }
+                }
+                for t in conns {
+                    let _ = t.join();
+                }
+            })
+            .expect("spawn router receptor accept thread");
+        self.ingress_threads.lock().push(handle);
+        Ok(bound)
+    }
+
+    // ---- results: one logical emitter port ------------------------------
+
+    /// Open a logical emitter port for `query`; port 0 picks an ephemeral
+    /// port. Behind it, one emitter subscription per shard engine, all
+    /// merged into every subscriber.
+    pub fn attach_emitter(
+        self: &Arc<Self>,
+        query: &str,
+        port: u16,
+        format: WireFormat,
+    ) -> Result<u16> {
+        self.ensure_running()?;
+        let entry = self
+            .queries
+            .lock()
+            .get(query)
+            .cloned()
+            .ok_or_else(|| ServerError::Unknown(format!("query {query}")))?;
+        // bind the logical port FIRST (see attach_receptor): local bind
+        // failures must not leak engine-side ports or tap threads
+        let listener = TcpListener::bind((self.config.data_host.as_str(), port))?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?.port();
+        let relay = FrameRelay::new();
+        // subscribe to each shard in the *client's* format, so merging is
+        // a byte relay — frames are never decoded in the router; attach
+        // every shard port before spawning taps so a failure mid-list
+        // leaves no thread behind
+        let mut shard_socks = Vec::with_capacity(entry.engines.len());
+        for &eid in &entry.engines {
+            let p = self.engines[eid].control(|c| c.attach_emitter_fmt(query, 0, format))?;
+            shard_socks.push((eid, TcpStream::connect(self.engines[eid].data_addr(p))?));
+        }
+        for (eid, sock) in shard_socks {
+            let rt = Arc::clone(self);
+            let relay2 = Arc::clone(&relay);
+            let tap = std::thread::Builder::new()
+                .name(format!("dcc-tap-{query}-{eid}"))
+                .spawn(move || shard_tap(&rt, &relay2, sock, format))
+                .map_err(|e| ServerError::Io(format!("spawn shard tap: {e}")))?;
+            self.egress_threads.lock().push(tap);
+        }
+        let eport = Arc::new(ClusterEmitterPort {
+            query: query.to_string(),
+            port: bound,
+            format,
+            connections: AtomicU64::new(0),
+            relay,
+            writers: Mutex::new(Vec::new()),
+        });
+        self.emitters.lock().push(Arc::clone(&eport));
+
+        let rt = Arc::clone(self);
+        let accept_port = Arc::clone(&eport);
+        let handle = std::thread::Builder::new()
+            .name(format!("dcc-emit-{query}"))
+            .spawn(move || {
+                while !rt.is_stopping() {
+                    match listener.accept() {
+                        Ok((sock, _peer)) => {
+                            accept_port.connections.fetch_add(1, Ordering::AcqRel);
+                            let _ = sock.set_write_timeout(Some(WRITE_TIMEOUT));
+                            let rx = accept_port.relay.subscribe();
+                            let writer = std::thread::Builder::new()
+                                .name(format!("dcc-sub-{}", accept_port.query))
+                                .spawn(move || subscriber_writer(rx, sock))
+                                .expect("spawn subscriber writer");
+                            let mut writers = accept_port.writers.lock();
+                            writers.retain(|w| !w.is_finished());
+                            writers.push(writer);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => std::thread::sleep(POLL_INTERVAL),
+                    }
+                }
+            })
+            .expect("spawn router emitter accept thread");
+        self.egress_threads.lock().push(handle);
+        Ok(bound)
+    }
+
+    // ---- introspection ---------------------------------------------------
+
+    /// Aggregated `STATS`: cluster-level lines in the same `kind name
+    /// k=v` shape as a single engine (so [`StatsReport`] parses them),
+    /// with per-stream/per-query metrics **summed across shards**, plus
+    /// one `shard` summary line per engine.
+    pub fn stats(&self) -> Vec<String> {
+        let reports: Vec<Option<StatsReport>> =
+            self.engines.iter().map(|e| e.stats().ok()).collect();
+        let streams = self.streams.lock();
+        let queries = self.queries.lock();
+        let receptors = self.receptors.lock();
+        let emitters = self.emitters.lock();
+        let mut body = Vec::new();
+        body.push(format!(
+            "server uptime_micros={} sessions={} queries={} receptor_ports={} \
+             emitter_ports={} engines={} streams={}",
+            self.uptime().as_micros(),
+            self.sessions.live_count(),
+            queries.len(),
+            receptors.len(),
+            emitters.len(),
+            self.engines.len(),
+            streams.len(),
+        ));
+        let mut stream_names: Vec<&String> = streams.keys().collect();
+        stream_names.sort();
+        for name in stream_names {
+            let s = &streams[name];
+            let engine_list: Vec<String> = s.engines.iter().map(usize::to_string).collect();
+            body.push(format!(
+                "stream {} shards={} key={} engines={}",
+                s.name,
+                s.engines.len(),
+                s.key.as_deref().unwrap_or("-"),
+                engine_list.join(","),
+            ));
+            // aggregate the per-shard basket rows
+            let (mut len, mut total_in, mut total_out, mut dropped) = (0u64, 0u64, 0u64, 0u64);
+            let (mut high_water, mut cap) = (0u64, 0u64);
+            for &eid in &s.engines {
+                if let Some(b) = reports[eid].as_ref().and_then(|r| r.basket(&s.name)) {
+                    len += b.len;
+                    total_in += b.total_in;
+                    total_out += b.total_out;
+                    dropped += b.dropped;
+                    high_water = high_water.max(b.high_water);
+                    cap = cap.max(b.cap);
+                }
+            }
+            body.push(format!(
+                "basket {} len={len} enabled=true in={total_in} out={total_out} \
+                 dropped={dropped} high_water={high_water} cap={cap}",
+                s.name
+            ));
+        }
+        let mut query_names: Vec<&String> = queries.keys().collect();
+        query_names.sort();
+        for name in query_names {
+            let q = &queries[name];
+            let mut agg = dcserver::stats::QueryStats {
+                name: q.name.clone(),
+                ..Default::default()
+            };
+            for &eid in &q.engines {
+                if let Some(row) = reports[eid].as_ref().and_then(|r| r.query(&q.name)) {
+                    agg.firings += row.firings;
+                    agg.consumed += row.consumed;
+                    agg.produced += row.produced;
+                    agg.busy_micros += row.busy_micros;
+                    agg.delivered_batches += row.delivered_batches;
+                    agg.delivered_tuples += row.delivered_tuples;
+                    agg.dropped_batches += row.dropped_batches;
+                }
+            }
+            // subscribers are router-side: sockets on this query's
+            // logical emitter ports
+            let subscribers: usize = emitters
+                .iter()
+                .filter(|e| e.query == q.name)
+                .map(|e| e.relay.subscriber_count())
+                .sum();
+            body.push(format!(
+                "query {} firings={} consumed={} produced={} busy_micros={} \
+                 subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={}",
+                agg.name,
+                agg.firings,
+                agg.consumed,
+                agg.produced,
+                agg.busy_micros,
+                subscribers,
+                agg.delivered_batches,
+                agg.delivered_tuples,
+                agg.dropped_batches,
+            ));
+        }
+        for r in receptors.iter() {
+            body.push(format!(
+                "receptor {} port={} format={} connections={} accepted={} rejected={}",
+                r.stream,
+                r.port,
+                r.format,
+                r.connections.load(Ordering::Acquire),
+                r.accepted.load(Ordering::Acquire),
+                r.rejected.load(Ordering::Acquire),
+            ));
+        }
+        for e in emitters.iter() {
+            let (chunks, bytes) = e.relay.relayed();
+            body.push(format!(
+                "emitter {} port={} format={} connections={} relayed_chunks={chunks} \
+                 relayed_bytes={bytes} dropped_chunks={} lost_sources={}",
+                e.query,
+                e.port,
+                e.format,
+                e.connections.load(Ordering::Acquire),
+                e.relay.dropped_chunks(),
+                e.relay.lost_sources(),
+            ));
+        }
+        for (eid, report) in reports.iter().enumerate() {
+            match report {
+                Some(r) => body.push(format!(
+                    "shard {eid} addr={} baskets_in={} delivered_tuples={} sessions={}",
+                    self.engines[eid].addr(),
+                    r.ingest_load(),
+                    r.delivered_tuples(),
+                    r.server.sessions,
+                )),
+                None => body.push(format!(
+                    "shard {eid} addr={} unreachable=true",
+                    self.engines[eid].addr()
+                )),
+            }
+        }
+        for s in self.sessions.snapshot() {
+            body.push(format!(
+                "session {} peer={} commands={}",
+                s.id, s.peer, s.commands
+            ));
+        }
+        body
+    }
+
+    // ---- shutdown --------------------------------------------------------
+
+    /// Graceful teardown in dependency order: stop taking ingest, flush
+    /// final batches into the shards, shut the shard engines down (they
+    /// drain and close their emitter streams), drain the relays, join
+    /// everything.
+    pub fn shutdown(&self) {
+        self.request_shutdown();
+        // 1. receptor accept loops + ingest connections wind down; their
+        //    per-shard forwarders flush and close, so the shard engines
+        //    see EOF on every router ingest socket
+        for t in std::mem::take(&mut *self.ingress_threads.lock()) {
+            let _ = t.join();
+        }
+        // 2. in-process shard engines shut down gracefully (factories
+        //    drain, final results flush, emitter sockets close)
+        for e in &self.engines {
+            e.shutdown();
+        }
+        // 3. shard taps see EOF and publish their final chunks (the
+        //    drain flag releases taps on remote engines that never
+        //    close); emitter accept loops observe the stop flag
+        self.drain_taps.store(true, Ordering::Release);
+        for t in std::mem::take(&mut *self.egress_threads.lock()) {
+            let _ = t.join();
+        }
+        // 4. disconnect subscriber channels and join the writers
+        let eports: Vec<Arc<ClusterEmitterPort>> = self.emitters.lock().clone();
+        for eport in &eports {
+            eport.relay.close();
+        }
+        for eport in &eports {
+            for w in std::mem::take(&mut *eport.writers.lock()) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+/// Parse a single CREATE statement; returns (kind, name, user schema).
+fn parse_create(sql: &str) -> Result<(CreateKind, String, Schema)> {
+    let stmts = dcsql::parse_statements(sql)
+        .map_err(|e| ServerError::Protocol(format!("DDL: {e}")))?;
+    match stmts.as_slice() {
+        [Stmt::Create { kind, name, fields }] => Ok((
+            *kind,
+            name.clone(),
+            Schema::new(
+                fields
+                    .iter()
+                    .map(|(n, t)| Field::new(n.clone(), *t))
+                    .collect(),
+            ),
+        )),
+        _ => Err(ServerError::Protocol(
+            "expected a single CREATE statement".into(),
+        )),
+    }
+}
+
+// ---- ingest plumbing --------------------------------------------------------
+
+/// Sending half of one shard forwarder: the queue plus a liveness flag
+/// (the queue length never drains once the forwarder thread dies, so
+/// depth alone cannot signal "gone").
+struct Forwarder {
+    tx: Sender<Relation>,
+    dead: Arc<AtomicBool>,
+}
+
+/// Forward sub-batches to one shard engine as binary frames.
+fn shard_forwarder(rx: Receiver<Relation>, sock: TcpStream, dead: Arc<AtomicBool>) {
+    let mut writer = std::io::BufWriter::new(sock);
+    let mut buf: Vec<u8> = Vec::new();
+    while let Ok(rel) = rx.recv() {
+        buf.clear();
+        if frame::encode_frame(&mut buf, &rel).is_err() {
+            break;
+        }
+        if writer.write_all(&buf).is_err() {
+            break;
+        }
+        // flush on queue drain: latency when idle, batching under load
+        if rx.is_empty() && writer.flush().is_err() {
+            break;
+        }
+    }
+    let _ = writer.flush();
+    dead.store(true, Ordering::Release);
+}
+
+/// Send one sub-batch to a shard forwarder, backing off while its queue
+/// is deep (poor-man's bounded channel: backpressure reaches the
+/// client's socket through this thread). Returns false when the
+/// forwarder is gone or the router is stopping.
+fn forward(rt: &ClusterRuntime, f: &Forwarder, rel: Relation) -> bool {
+    while f.tx.len() >= FORWARD_QUEUE_CAP {
+        if rt.is_stopping() || f.dead.load(Ordering::Acquire) {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    f.tx.send(rel).is_ok()
+}
+
+/// Split one decoded batch and forward the non-empty parts. Returns
+/// false when a shard forwarder is gone (or the router is stopping): the
+/// caller must then drop the client connection, so the sender's next
+/// write fails — as it would against a dead single engine — instead of
+/// tuples black-holing for one shard while the socket looks healthy.
+fn route_batch(
+    rt: &ClusterRuntime,
+    port: &ClusterReceptorPort,
+    entry: &StreamEntry,
+    txs: &[Forwarder],
+    rel: Relation,
+) -> bool {
+    let total = rel.len() as u64;
+    let mut sent = 0u64;
+    let mut alive = true;
+    match &entry.partitioner {
+        None => {
+            if forward(rt, &txs[0], rel) {
+                sent = total;
+            } else {
+                alive = false;
+            }
+        }
+        Some(p) => match p.split(&rel) {
+            Ok(parts) => {
+                for (i, part) in parts.into_iter().enumerate() {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let n = part.len() as u64;
+                    if forward(rt, &txs[i], part) {
+                        sent += n;
+                    } else {
+                        alive = false;
+                    }
+                }
+            }
+            // a split failure is structural (schema/key drift), not a
+            // bad row: per the contract above, drop the connection
+            // rather than silently rejecting every batch from now on
+            Err(_) => alive = false,
+        },
+    }
+    port.accepted.fetch_add(sent, Ordering::AcqRel);
+    port.rejected.fetch_add(total - sent, Ordering::AcqRel);
+    alive
+}
+
+/// One client connection on a logical receptor port: decode batches in
+/// the port's format, split by partition key, fan out to the shards.
+fn ingest_connection(
+    rt: &ClusterRuntime,
+    port: &ClusterReceptorPort,
+    entry: &StreamEntry,
+    shard_addrs: &[std::net::SocketAddr],
+    sock: TcpStream,
+) {
+    // single-shard binary ingest never needs the split: relay frames
+    // verbatim (schema-free peel, no decode/re-encode on the hot path)
+    if shard_addrs.len() == 1 && port.format == WireFormat::Binary {
+        let Ok(shard_sock) = TcpStream::connect(shard_addrs[0]) else {
+            return;
+        };
+        ingest_binary_passthrough(rt, port, sock, shard_sock);
+        return;
+    }
+    let mut txs = Vec::with_capacity(shard_addrs.len());
+    let mut forwarders = Vec::with_capacity(shard_addrs.len());
+    for addr in shard_addrs {
+        let Ok(shard_sock) = TcpStream::connect(addr) else {
+            return; // shard unreachable: refuse the connection outright
+        };
+        let (tx, rx) = unbounded::<Relation>();
+        let dead = Arc::new(AtomicBool::new(false));
+        let dead2 = Arc::clone(&dead);
+        forwarders.push(
+            std::thread::Builder::new()
+                .name(format!("dcc-fwd-{}", port.stream))
+                .spawn(move || shard_forwarder(rx, shard_sock, dead2))
+                .expect("spawn shard forwarder"),
+        );
+        txs.push(Forwarder { tx, dead });
+    }
+    match port.format {
+        WireFormat::Text => ingest_text(rt, port, entry, &txs, sock),
+        WireFormat::Binary => ingest_binary(rt, port, entry, &txs, sock),
+    }
+    drop(txs); // disconnect the forwarders: they flush and exit
+    for f in forwarders {
+        let _ = f.join();
+    }
+}
+
+/// Text ingest: batch wire lines, then split columnar.
+fn ingest_text(
+    rt: &ClusterRuntime,
+    port: &ClusterReceptorPort,
+    entry: &StreamEntry,
+    txs: &[Forwarder],
+    sock: TcpStream,
+) {
+    let _ = sock.set_read_timeout(Some(POLL_INTERVAL));
+    let mut reader = std::io::BufReader::new(sock);
+    let mut line = String::new();
+    let mut batch = Relation::new(&entry.schema);
+    let mut eof = false;
+    while !eof {
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(_) => {
+                    let trimmed = line.trim_end_matches(['\n', '\r']);
+                    if !trimmed.is_empty() {
+                        match parse_row(trimmed, &entry.schema) {
+                            Ok(row) => {
+                                if batch.append_row(&row).is_err() {
+                                    port.rejected.fetch_add(1, Ordering::AcqRel);
+                                }
+                            }
+                            Err(_) => {
+                                port.rejected.fetch_add(1, Ordering::AcqRel);
+                            }
+                        }
+                    }
+                    line.clear();
+                    if batch.len() >= ROUTER_BATCH {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if rt.is_stopping() {
+                        eof = true;
+                    }
+                    break;
+                }
+                Err(_) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            let full = std::mem::replace(&mut batch, Relation::new(&entry.schema));
+            if !route_batch(rt, port, entry, txs, full) {
+                break; // shard gone: drop the client connection
+            }
+        }
+        if rt.is_stopping() {
+            break;
+        }
+    }
+}
+
+/// Binary ingest: peel complete frames, split each columnar.
+fn ingest_binary(
+    rt: &ClusterRuntime,
+    port: &ClusterReceptorPort,
+    entry: &StreamEntry,
+    txs: &[Forwarder],
+    mut sock: TcpStream,
+) {
+    let _ = sock.set_read_timeout(Some(POLL_INTERVAL));
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let mut eof = false;
+    while !eof {
+        match sock.read(&mut chunk) {
+            Ok(0) => eof = true,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => eof = true,
+        }
+        let mut consumed = 0usize;
+        loop {
+            match frame::decode_frame(&pending[consumed..], &entry.schema) {
+                Ok(Some((rel, used))) => {
+                    consumed += used;
+                    if !route_batch(rt, port, entry, txs, rel) {
+                        eof = true; // shard gone: drop the client connection
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // corrupt stream: count one reject, drop the peer
+                    port.rejected.fetch_add(1, Ordering::AcqRel);
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        if consumed > 0 {
+            pending.drain(..consumed);
+        }
+        if rt.is_stopping() {
+            break;
+        }
+    }
+}
+
+/// Single-shard binary ingest: peel complete frames off the client
+/// socket with the schema-free [`frame::frame_meta`] and write them to
+/// the one shard engine byte-for-byte — tuple counters without a decode.
+fn ingest_binary_passthrough(
+    rt: &ClusterRuntime,
+    port: &ClusterReceptorPort,
+    mut sock: TcpStream,
+    shard_sock: TcpStream,
+) {
+    let _ = sock.set_read_timeout(Some(POLL_INTERVAL));
+    let mut writer = std::io::BufWriter::new(shard_sock);
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let mut eof = false;
+    while !eof {
+        match sock.read(&mut chunk) {
+            Ok(0) => eof = true,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => eof = true,
+        }
+        let mut consumed = 0usize;
+        let mut rows = 0u64;
+        loop {
+            match frame::frame_meta(&pending[consumed..]) {
+                Ok(Some((total, n))) => {
+                    consumed += total;
+                    rows += n;
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // corrupt stream: count one reject, drop the peer
+                    port.rejected.fetch_add(1, Ordering::AcqRel);
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        if consumed > 0 {
+            if writer
+                .write_all(&pending[..consumed])
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break; // shard gone: drop the client connection
+            }
+            port.accepted.fetch_add(rows, Ordering::AcqRel);
+            pending.drain(..consumed);
+        }
+        if rt.is_stopping() {
+            break;
+        }
+    }
+    let _ = writer.flush();
+}
+
+// ---- result plumbing --------------------------------------------------------
+
+/// Read one shard's result stream and publish complete frames (binary)
+/// or complete lines (text) into the relay, byte-for-byte.
+fn shard_tap(rt: &ClusterRuntime, relay: &Arc<FrameRelay>, mut sock: TcpStream, format: WireFormat) {
+    let _ = sock.set_read_timeout(Some(POLL_INTERVAL));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match sock.read(&mut chunk) {
+            Ok(0) => break, // natural end of the shard's result stream
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // in-process shards end with EOF after their graceful
+                // drain; the drain flag (set after engine shutdown) only
+                // unsticks taps on remote engines that never close
+                if rt.drain_taps.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => {
+                // abnormal end: the merged stream is now missing this
+                // shard — surfaced in STATS as lost_sources
+                relay.mark_source_lost();
+                break;
+            }
+        }
+        // forward every complete, self-delimiting unit in one chunk
+        let mut corrupt = false;
+        let cut = match format {
+            WireFormat::Binary => {
+                let mut consumed = 0usize;
+                loop {
+                    match frame::frame_len(&buf[consumed..]) {
+                        Ok(Some(total)) => consumed += total,
+                        Ok(None) => break consumed,
+                        Err(_) => {
+                            // corrupt shard stream: relay the complete
+                            // frames peeled before the corruption, then
+                            // stop
+                            corrupt = true;
+                            break consumed;
+                        }
+                    }
+                }
+            }
+            WireFormat::Text => buf
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |p| p + 1),
+        };
+        if cut > 0 {
+            relay.publish(buf[..cut].to_vec());
+            buf.drain(..cut);
+        }
+        if corrupt {
+            relay.mark_source_lost();
+            return;
+        }
+    }
+}
+
+/// Write relayed chunks to one subscriber socket.
+fn subscriber_writer(rx: Receiver<Arc<Vec<u8>>>, sock: TcpStream) {
+    let mut writer = std::io::BufWriter::new(sock);
+    while let Ok(chunk) = rx.recv() {
+        if writer.write_all(&chunk).is_err() {
+            break;
+        }
+        if rx.is_empty() && writer.flush().is_err() {
+            break;
+        }
+    }
+    let _ = writer.flush();
+}

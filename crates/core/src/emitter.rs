@@ -8,6 +8,7 @@
 
 use std::io::{BufWriter, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -16,6 +17,13 @@ use monet::prelude::*;
 
 use crate::error::Result;
 use crate::frame::{SharedFrame, WireFormat};
+
+/// Coalescing bound: stop merging queued result batches into one frame
+/// once the merged batch holds this many tuples, so a wedged-then-
+/// recovered subscriber is not handed one enormous frame. Wide rows can
+/// still push a merge past [`crate::frame::MAX_FRAME_LEN`]; that case
+/// falls back to delivering the queued frames individually.
+const COALESCE_MAX_ROWS: usize = 64 * 1024;
 
 /// Handle to a running emitter thread.
 pub struct Emitter {
@@ -72,25 +80,100 @@ impl Emitter {
         stream: TcpStream,
         format: WireFormat,
     ) -> Emitter {
+        Emitter::spawn_tcp_shared_counted(name, rx, stream, format, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// [`Emitter::spawn_tcp_shared`] with adaptive frame coalescing and an
+    /// externally owned coalesce counter (surfaced per emitter port in the
+    /// server's `STATS`).
+    ///
+    /// When the subscriber socket is the bottleneck, result batches queue
+    /// up behind the blocked write; once the write completes, every queued
+    /// batch is merged into **one** frame (bounded by `COALESCE_MAX_ROWS`)
+    /// instead of paying a syscall + flush per small batch. A subscriber
+    /// that keeps up never sees a merged frame — the queue is empty, and
+    /// the pre-encoded shared frame is written as-is.
+    ///
+    /// A merged frame is built and encoded per subscriber — unlike the
+    /// single-batch fast path, which writes the shared encode-once
+    /// bytes. That is inherent: which batches queued up is a property of
+    /// one subscriber's socket, so no shared encoding can exist. The
+    /// cost only arises on subscribers already too slow to keep up, and
+    /// replaces a syscall+flush per small batch.
+    ///
+    /// `coalesced` counts the batches that were absorbed into a merged
+    /// frame (i.e. delivered without their own write).
+    pub fn spawn_tcp_shared_counted(
+        name: impl Into<String>,
+        rx: Receiver<Arc<SharedFrame>>,
+        stream: TcpStream,
+        format: WireFormat,
+        coalesced: Arc<AtomicU64>,
+    ) -> Emitter {
         let name = name.into();
         let handle = std::thread::spawn(move || {
             let mut report = EmitterReport::default();
             let mut writer = BufWriter::new(stream);
-            while let Ok(frame) = rx.recv() {
-                // unframeable batch (over the size limit): drop the
-                // subscriber rather than ship a corrupt stream
-                let Ok(bytes) = frame.bytes(format) else {
-                    break;
+            let mut codec = format.new_codec();
+            let mut buf: Vec<u8> = Vec::new();
+            // reused across iterations: empty-queue (keep-up) deliveries
+            // must not pay an allocation per frame
+            let mut queued: Vec<Arc<SharedFrame>> = Vec::new();
+            'deliver: while let Ok(frame) = rx.recv() {
+                // the socket was slow enough for more results to queue —
+                // absorb them into one frame before the next write
+                queued.clear();
+                let mut rows = frame.len();
+                queued.push(frame);
+                while rows < COALESCE_MAX_ROWS {
+                    let Ok(next) = rx.try_recv() else {
+                        break;
+                    };
+                    rows += next.len();
+                    queued.push(next);
+                }
+                // try the merged encoding; `None` = deliver individually
+                // (single frame, schema drift, or a merge too big to
+                // frame — each queued frame alone is known-deliverable)
+                let merged: Option<&[u8]> = if queued.len() > 1 {
+                    let mut rel = queued[0].relation().clone();
+                    let mergeable = queued[1..]
+                        .iter()
+                        .all(|f| rel.append_relation(f.relation()).is_ok());
+                    buf.clear();
+                    if mergeable && codec.encode(&rel, &mut buf).is_ok() {
+                        Some(&buf)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
                 };
-                if writer
-                    .write_all(&bytes)
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
+                match merged {
+                    Some(bytes) => {
+                        if writer.write_all(bytes).is_err() {
+                            break;
+                        }
+                        coalesced.fetch_add(queued.len() as u64 - 1, Ordering::AcqRel);
+                    }
+                    None => {
+                        for f in &queued {
+                            // unframeable single batch: drop the
+                            // subscriber rather than ship a corrupt stream
+                            let Ok(bytes) = f.bytes(format) else {
+                                break 'deliver;
+                            };
+                            if writer.write_all(&bytes).is_err() {
+                                break 'deliver;
+                            }
+                        }
+                    }
+                }
+                if writer.flush().is_err() {
                     break;
                 }
-                report.delivered += frame.len() as u64;
-                report.batches += 1;
+                report.delivered += rows as u64;
+                report.batches += queued.len() as u64;
             }
             report
         });
@@ -219,6 +302,54 @@ mod tests {
         assert_eq!(batches.len(), 2);
         assert_eq!(batches[0].column("x").unwrap().ints().unwrap(), &[7, 8]);
         assert_eq!(batches[1].column("x").unwrap().ints().unwrap(), &[9]);
+    }
+
+    #[test]
+    fn queued_frames_coalesce_into_one_write() {
+        // frames already queued when the emitter gets to them (socket was
+        // the bottleneck) are merged: every tuple arrives, in order, in
+        // fewer wire frames, and the absorbed batches are counted
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let schema = Schema::from_pairs(&[("x", ValueType::Int)]);
+        let schema2 = schema.clone();
+        let client = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(sock);
+            let mut frames = Vec::new();
+            while let Some(rel) = read_frame(&mut reader, &schema2).unwrap() {
+                frames.push(rel);
+            }
+            frames
+        });
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for i in 0..10i64 {
+            tx.send(SharedFrame::new(batch(&[i * 2, i * 2 + 1]))).unwrap();
+        }
+        drop(tx);
+        let coalesced = Arc::new(AtomicU64::new(0));
+        let emitter = Emitter::spawn_tcp_shared_counted(
+            "e",
+            rx,
+            TcpStream::connect(addr).unwrap(),
+            WireFormat::Binary,
+            Arc::clone(&coalesced),
+        );
+        let report = emitter.join().unwrap();
+        assert_eq!(report.delivered, 20);
+        assert_eq!(report.batches, 10);
+        let frames = client.join().unwrap();
+        assert!(frames.len() < 10, "queued batches must merge");
+        let values: Vec<i64> = frames
+            .iter()
+            .flat_map(|f| f.column("x").unwrap().ints().unwrap().to_vec())
+            .collect();
+        assert_eq!(values, (0..20).collect::<Vec<i64>>(), "order preserved");
+        assert_eq!(
+            coalesced.load(Ordering::Acquire),
+            10 - frames.len() as u64,
+            "absorbed batches counted"
+        );
     }
 
     #[test]

@@ -277,6 +277,24 @@ pub fn write_frame<W: Write>(w: &mut W, rel: &Relation) -> Result<usize> {
 /// * `Ok(None)` — the buffer holds only a partial frame (or is empty).
 /// * `Err(_)` — corrupt stream (bad version/tag/UTF-8/lengths).
 pub fn decode_frame(bytes: &[u8], schema: &Schema) -> Result<Option<(Relation, usize)>> {
+    let Some(total) = frame_len(bytes)? else {
+        return Ok(None);
+    };
+    let rel = decode_payload(&bytes[HEADER_LEN..total], schema)?;
+    Ok(Some((rel, total)))
+}
+
+/// Total byte length (header + payload) of the frame at the front of
+/// `bytes`, without decoding it.
+///
+/// * `Ok(Some(len))` — a complete frame of `len` bytes is buffered.
+/// * `Ok(None)` — only a partial frame (or nothing) so far.
+/// * `Err(_)` — bad version or over-limit declared length.
+///
+/// This is the schema-free half of [`decode_frame`]: relays (e.g. the
+/// cluster router's emitter merge) use it to peel whole frames off a
+/// byte stream and forward them verbatim, never paying a decode.
+pub fn frame_len(bytes: &[u8]) -> Result<Option<usize>> {
     let Some(&version) = bytes.first() else {
         return Ok(None);
     };
@@ -296,8 +314,22 @@ pub fn decode_frame(bytes: &[u8], schema: &Schema) -> Result<Option<(Relation, u
     if bytes.len() < total {
         return Ok(None);
     }
-    let rel = decode_payload(&bytes[HEADER_LEN..total], schema)?;
-    Ok(Some((rel, total)))
+    Ok(Some(total))
+}
+
+/// Like [`frame_len`], additionally returning the frame's declared row
+/// count — decoded from the first two payload varints, without touching
+/// the column data. Relays use it to keep tuple counters while
+/// forwarding frames verbatim.
+pub fn frame_meta(bytes: &[u8]) -> Result<Option<(usize, u64)>> {
+    let Some(total) = frame_len(bytes)? else {
+        return Ok(None);
+    };
+    let payload = &bytes[HEADER_LEN..total];
+    let truncated = || EngineError::Io("truncated frame payload".into());
+    let (_ncols, at) = get_varint(payload, 0)?.ok_or_else(truncated)?;
+    let (rows, _) = get_varint(payload, at)?.ok_or_else(truncated)?;
+    Ok(Some((total, rows)))
 }
 
 fn frame_too_big(len: usize) -> EngineError {
@@ -658,6 +690,30 @@ mod tests {
         let (second, used2) = decode_frame(&buf[used..], &schema).unwrap().unwrap();
         assert!(second.is_empty());
         assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn frame_len_peels_without_schema() {
+        let rel = sample();
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &rel).unwrap();
+        encode_frame(&mut buf, &rel).unwrap();
+        let first = frame_len(&buf).unwrap().unwrap();
+        assert_eq!(frame_len(&buf[first..]).unwrap().unwrap(), buf.len() - first);
+        for cut in 0..first {
+            assert!(frame_len(&buf[..cut]).unwrap().is_none());
+        }
+        let mut bad = buf.clone();
+        bad[0] = 99;
+        assert!(frame_len(&bad).is_err());
+        let mut huge = vec![FRAME_VERSION];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(frame_len(&huge).is_err());
+        // frame_meta reports (total, rows) without a schema
+        let (total, rows) = frame_meta(&buf).unwrap().unwrap();
+        assert_eq!(total, first);
+        assert_eq!(rows, rel.len() as u64);
+        assert!(frame_meta(&buf[..3]).unwrap().is_none());
     }
 
     #[test]

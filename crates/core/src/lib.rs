@@ -23,6 +23,7 @@
 //! | §4.1 Petri-net scheduling    | [`scheduler`] (model in `petri`) |
 //! | §4.2 processing strategies   | [`strategy`] |
 //! | §5 metronome & heartbeat     | [`metronome`], [`varstore`] |
+//! | scale-out (ROADMAP)          | [`partition`], `dccluster` crate (`crates/cluster`) |
 //!
 //! ## Quick start
 //!
@@ -63,6 +64,7 @@ pub mod factory;
 pub mod frame;
 pub mod metronome;
 pub mod net;
+pub mod partition;
 pub mod receptor;
 pub mod scheduler;
 pub mod strategy;
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use crate::factory::{ClosureFactory, ConsumeMode, Factory, FireReport, QueryFactory};
     pub use crate::frame::{FrameCodec, SharedFrame, WireFormat};
     pub use crate::metronome::{Heartbeat, Metronome};
+    pub use crate::partition::Partitioner;
     pub use crate::receptor::Receptor;
     pub use crate::scheduler::{Scheduler, ThreadedScheduler};
     pub use crate::varstore::VarStore;

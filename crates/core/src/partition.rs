@@ -1,0 +1,308 @@
+//! Hash partitioning of batches across shards.
+//!
+//! The cluster layer (`dccluster`) scales one logical stream across N
+//! independent engines by hash-partitioning arriving batches on a key
+//! column. This module is the kernel-side half of that: a [`Partitioner`]
+//! maps each row of a [`Relation`] to a shard and slices the batch into
+//! per-shard sub-batches **column-wise** (via `gather_positions`, a
+//! handful of typed-vector gathers) — rows are never materialized or
+//! re-encoded on the way through the router.
+//!
+//! Routing is deterministic: the same key value always lands on the same
+//! shard (for a fixed shard count), NULL keys included — so a continuous
+//! query whose state is keyed by the partition column sees every tuple of
+//! one key on one engine.
+
+use monet::prelude::*;
+
+use crate::error::{EngineError, Result};
+
+/// Shard a NULL key routes to. Any fixed choice works — what matters is
+/// that it is deterministic, so all NULL-keyed tuples co-locate.
+pub const NULL_SHARD: usize = 0;
+
+/// A hash partitioner over one key column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioner {
+    key_col: usize,
+    shards: usize,
+}
+
+impl Partitioner {
+    /// Partition on column index `key_col` (user-schema order) across
+    /// `shards` shards. `shards` must be ≥ 1.
+    pub fn new(key_col: usize, shards: usize) -> Result<Partitioner> {
+        if shards == 0 {
+            return Err(EngineError::Config(
+                "partitioner needs at least one shard".into(),
+            ));
+        }
+        Ok(Partitioner { key_col, shards })
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// The shard row `i` of `rel` belongs to.
+    ///
+    /// Hashes the key column's typed value directly (no `Value` boxing).
+    /// Int and Ts hash identically (they compare equal in SQL); Double
+    /// normalizes `-0.0` to `0.0` so numerically equal keys co-locate.
+    pub fn shard_of(&self, rel: &Relation, i: usize) -> Result<usize> {
+        if self.key_col >= rel.width() {
+            return Err(EngineError::Config(format!(
+                "partition key column {} out of range (batch has {} columns)",
+                self.key_col,
+                rel.width()
+            )));
+        }
+        let col = rel.col_at(self.key_col);
+        if !col.is_valid(i) {
+            return Ok(NULL_SHARD % self.shards);
+        }
+        let h = match col.data() {
+            ColumnData::Bool(v) => mix(v[i] as u64),
+            ColumnData::Int(v) | ColumnData::Ts(v) => mix(v[i] as u64),
+            ColumnData::Double(v) => {
+                let x = if v[i] == 0.0 { 0.0 } else { v[i] };
+                mix(x.to_bits())
+            }
+            ColumnData::Str(v) => mix(fnv1a(v[i].as_bytes())),
+        };
+        Ok((h % self.shards as u64) as usize)
+    }
+
+    /// Per-row shard assignment for a whole batch — the router's hot
+    /// path. The bounds check, column lookup and type dispatch are
+    /// loop-invariant, so they happen once per batch here; only the hash
+    /// itself runs per row.
+    pub fn assignments(&self, rel: &Relation) -> Result<Vec<usize>> {
+        if self.key_col >= rel.width() {
+            return Err(EngineError::Config(format!(
+                "partition key column {} out of range (batch has {} columns)",
+                self.key_col,
+                rel.width()
+            )));
+        }
+        let col = rel.col_at(self.key_col);
+        let validity = col.validity();
+        let shards = self.shards as u64;
+        let null_shard = NULL_SHARD % self.shards;
+        let mut out = Vec::with_capacity(rel.len());
+        // the same per-type formulas as `shard_of`, hoisted out of the
+        // row loop (equality is pinned by the partition property tests)
+        macro_rules! fill {
+            ($values:expr, $hash:expr) => {
+                for (i, v) in $values.iter().enumerate() {
+                    let valid = validity.map_or(true, |m| m.get(i));
+                    out.push(if valid {
+                        (($hash)(v) % shards) as usize
+                    } else {
+                        null_shard
+                    });
+                }
+            };
+        }
+        match col.data() {
+            ColumnData::Bool(v) => fill!(v, |b: &bool| mix(*b as u64)),
+            ColumnData::Int(v) | ColumnData::Ts(v) => fill!(v, |x: &i64| mix(*x as u64)),
+            ColumnData::Double(v) => fill!(v, |x: &f64| {
+                let x = if *x == 0.0 { 0.0 } else { *x };
+                mix(x.to_bits())
+            }),
+            ColumnData::Str(v) => fill!(v, |s: &String| mix(fnv1a(s.as_bytes()))),
+        }
+        Ok(out)
+    }
+
+    /// Slice `rel` into one sub-batch per shard, preserving the relative
+    /// order of rows within each shard. Columns are gathered directly
+    /// (positional, typed memcpy-style) — no row materialization.
+    ///
+    /// The result always has exactly [`Partitioner::shards`] entries;
+    /// shards that received no rows get an empty relation.
+    pub fn split(&self, rel: &Relation) -> Result<Vec<Relation>> {
+        if self.shards == 1 {
+            // still validate: a misconfigured key column must error
+            // identically at 1 shard and N shards
+            if self.key_col >= rel.width() {
+                return Err(EngineError::Config(format!(
+                    "partition key column {} out of range (batch has {} columns)",
+                    self.key_col,
+                    rel.width()
+                )));
+            }
+            return Ok(vec![rel.clone()]);
+        }
+        let assignments = self.assignments(rel)?;
+        let mut positions: Vec<Vec<u32>> = vec![Vec::new(); self.shards];
+        for (i, &s) in assignments.iter().enumerate() {
+            positions[s].push(i as u32);
+        }
+        positions
+            .iter()
+            .map(|pos| {
+                if pos.is_empty() {
+                    Ok(Relation::new(&rel.schema()))
+                } else {
+                    rel.gather_positions(pos)
+                        .map_err(|e| EngineError::Io(format!("partition gather: {e}")))
+                }
+            })
+            .collect()
+    }
+}
+
+/// FNV-1a over raw bytes — the string key path.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer: full-avalanche mix so low bits (which `% shards`
+/// keeps) are uniform even for sequential integer keys.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        Relation::from_columns(vec![
+            ("id".into(), Column::from_ints((0..100).collect())),
+            ("v".into(), Column::from_ints((0..100).map(|i| i * 3).collect())),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(Partitioner::new(0, 0).is_err());
+        assert!(Partitioner::new(0, 1).is_ok());
+    }
+
+    #[test]
+    fn single_shard_split_is_identity() {
+        let rel = sample();
+        let p = Partitioner::new(0, 1).unwrap();
+        let parts = p.split(&rel).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], rel);
+    }
+
+    #[test]
+    fn split_conserves_rows_and_order_within_shards() {
+        let rel = sample();
+        let p = Partitioner::new(0, 4).unwrap();
+        let parts = p.split(&rel).unwrap();
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(|r| r.len()).sum();
+        assert_eq!(total, rel.len());
+        for (s, part) in parts.iter().enumerate() {
+            let ids = part.column("id").unwrap().ints().unwrap();
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "order preserved");
+            for i in 0..part.len() {
+                assert_eq!(p.shard_of(part, i).unwrap(), s, "row on its shard");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_value_based() {
+        let rel = sample();
+        let p = Partitioner::new(1, 3).unwrap();
+        let a = p.assignments(&rel).unwrap();
+        let b = p.assignments(&rel).unwrap();
+        assert_eq!(a, b);
+        // same key value in a different batch routes identically
+        let single = Relation::from_columns(vec![
+            ("x".into(), Column::from_ints(vec![42])),
+            ("k".into(), Column::from_ints(vec![21])),
+        ])
+        .unwrap();
+        let i = rel.column("v").unwrap().ints().unwrap().iter().position(|&v| v == 21).unwrap();
+        assert_eq!(p.shard_of(&single, 0).unwrap(), a[i]);
+    }
+
+    #[test]
+    fn null_keys_route_to_the_null_shard() {
+        let mut rel = Relation::new(&Schema::from_pairs(&[("k", ValueType::Str)]));
+        rel.append_row(&[Value::Null]).unwrap();
+        rel.append_row(&[Value::Str("x".into())]).unwrap();
+        rel.append_row(&[Value::Null]).unwrap();
+        let p = Partitioner::new(0, 5).unwrap();
+        let assignments = p.assignments(&rel).unwrap();
+        assert_eq!(assignments[0], NULL_SHARD % 5);
+        assert_eq!(assignments[2], NULL_SHARD % 5);
+    }
+
+    #[test]
+    fn int_and_ts_keys_agree() {
+        let ints = Relation::from_columns(vec![("k".into(), Column::from_ints(vec![7, 123456789]))])
+            .unwrap();
+        let ts = Relation::from_columns(vec![("k".into(), Column::from_ts(vec![7, 123456789]))])
+            .unwrap();
+        let p = Partitioner::new(0, 7).unwrap();
+        assert_eq!(p.assignments(&ints).unwrap(), p.assignments(&ts).unwrap());
+    }
+
+    #[test]
+    fn negative_zero_co_locates_with_zero() {
+        let rel = Relation::from_columns(vec![(
+            "k".into(),
+            Column::from_doubles(vec![0.0, -0.0]),
+        )])
+        .unwrap();
+        let p = Partitioner::new(0, 8).unwrap();
+        let a = p.assignments(&rel).unwrap();
+        assert_eq!(a[0], a[1]);
+    }
+
+    #[test]
+    fn uniform_int_keys_balance_within_2x() {
+        let rel = Relation::from_columns(vec![(
+            "k".into(),
+            Column::from_ints((0..10_000).collect()),
+        )])
+        .unwrap();
+        for shards in [2usize, 3, 5, 8] {
+            let p = Partitioner::new(0, shards).unwrap();
+            let parts = p.split(&rel).unwrap();
+            let ideal = rel.len() / shards;
+            for part in &parts {
+                assert!(
+                    part.len() * 2 >= ideal && part.len() <= ideal * 2,
+                    "shard holds {} of {} rows across {} shards",
+                    part.len(),
+                    rel.len(),
+                    shards
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_out_of_range_is_an_error() {
+        let rel = sample();
+        for shards in [1, 2] {
+            let p = Partitioner::new(9, shards).unwrap();
+            assert!(p.shard_of(&rel, 0).is_err());
+            assert!(p.assignments(&rel).is_err());
+            assert!(p.split(&rel).is_err(), "shards={shards}");
+        }
+    }
+}

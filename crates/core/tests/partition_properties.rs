@@ -1,0 +1,188 @@
+//! Property tests for the hash partitioner — the correctness contract
+//! the `dccluster` router's ingest split rests on:
+//!
+//! * every row lands on exactly one shard;
+//! * concatenating the per-shard splits is a permutation of the input
+//!   batch (nothing lost, nothing duplicated, nothing mutated);
+//! * key balance stays within 2× of ideal on uniform keys;
+//! * NULL keys route deterministically (all to one shard).
+
+use datacell::partition::{Partitioner, NULL_SHARD};
+use monet::prelude::*;
+use proptest::prelude::*;
+
+/// Characters biased toward hashing hazards: shared prefixes, empties,
+/// multibyte UTF-8.
+const PALETTE: &[char] = &['a', 'b', 'A', '0', '|', ' ', 'é', '☂'];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..PALETTE.len(), 0..10)
+        .prop_map(|picks| picks.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+fn arb_key_type() -> impl Strategy<Value = ValueType> {
+    (0u8..5).prop_map(|k| match k {
+        0 => ValueType::Int,
+        1 => ValueType::Ts,
+        2 => ValueType::Double,
+        3 => ValueType::Bool,
+        _ => ValueType::Str,
+    })
+}
+
+fn key_value(t: ValueType, null_pick: bool, i: i64, s: &str, b: bool) -> Value {
+    if null_pick {
+        return Value::Null;
+    }
+    match t {
+        ValueType::Int => Value::Int(i),
+        ValueType::Ts => Value::Ts(i.abs()),
+        ValueType::Double => Value::Double(i as f64 / 8.0),
+        ValueType::Bool => Value::Bool(b),
+        ValueType::Str => Value::Str(s.to_string()),
+    }
+}
+
+/// Build a (tag, key) relation: `tag` uniquely identifies each row so a
+/// permutation check is exact even with duplicate keys.
+fn build_rel(
+    key_type: ValueType,
+    rows: usize,
+    ints: &[i64],
+    strs: &[String],
+    bools: &[bool],
+    null_bias: &[u8],
+) -> Relation {
+    let schema = Schema::from_pairs(&[("tag", ValueType::Int), ("key", key_type)]);
+    let mut rel = Relation::new(&schema);
+    for r in 0..rows {
+        let k = r % ints.len();
+        let key = key_value(key_type, null_bias[k] == 0, ints[k], &strs[k], bools[k]);
+        rel.append_row(&[Value::Int(r as i64), key]).unwrap();
+    }
+    rel
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Exactly-one-shard: the per-row assignment is a total function
+    /// into 0..shards, and `split` places each row on its assigned
+    /// shard and nowhere else.
+    #[test]
+    fn every_row_lands_on_exactly_one_shard(
+        key_type in arb_key_type(),
+        rows in 0usize..60,
+        shards in 1usize..7,
+        ints in prop::collection::vec(-1_000i64..1_000, 24),
+        strs in prop::collection::vec(arb_string(), 24),
+        bools in prop::collection::vec(any::<bool>(), 24),
+        null_bias in prop::collection::vec(0u8..4, 24),
+    ) {
+        let rel = build_rel(key_type, rows, &ints, &strs, &bools, &null_bias);
+        let p = Partitioner::new(1, shards).unwrap();
+        let assignments = p.assignments(&rel).unwrap();
+        prop_assert_eq!(assignments.len(), rel.len());
+        for &s in &assignments {
+            prop_assert!(s < shards);
+        }
+        let parts = p.split(&rel).unwrap();
+        prop_assert_eq!(parts.len(), shards);
+        // each tag appears on exactly the shard its row was assigned
+        let mut seen = vec![None::<usize>; rel.len()];
+        for (s, part) in parts.iter().enumerate() {
+            for tag in part.column("tag").unwrap().ints().unwrap() {
+                let tag = *tag as usize;
+                prop_assert!(seen[tag].is_none(), "tag {} on two shards", tag);
+                seen[tag] = Some(s);
+            }
+        }
+        for (tag, s) in seen.iter().enumerate() {
+            prop_assert_eq!(*s, Some(assignments[tag]), "tag {} misplaced", tag);
+        }
+    }
+
+    /// Permutation: concatenating the splits yields the input rows,
+    /// values intact (checked via the unique tag → full row mapping).
+    #[test]
+    fn concatenated_splits_are_a_permutation_of_the_input(
+        key_type in arb_key_type(),
+        rows in 0usize..60,
+        shards in 1usize..7,
+        ints in prop::collection::vec(-1_000i64..1_000, 24),
+        strs in prop::collection::vec(arb_string(), 24),
+        bools in prop::collection::vec(any::<bool>(), 24),
+        null_bias in prop::collection::vec(0u8..4, 24),
+    ) {
+        let rel = build_rel(key_type, rows, &ints, &strs, &bools, &null_bias);
+        let p = Partitioner::new(1, shards).unwrap();
+        let parts = p.split(&rel).unwrap();
+        let mut concat = Relation::new(&rel.schema());
+        for part in &parts {
+            prop_assert_eq!(part.schema(), rel.schema(), "schema preserved");
+            concat.append_relation(part).unwrap();
+        }
+        prop_assert_eq!(concat.len(), rel.len(), "nothing lost or duplicated");
+        let mut got: Vec<Vec<Value>> = concat.iter_rows().collect();
+        let mut want: Vec<Vec<Value>> = rel.iter_rows().collect();
+        let tag_of = |row: &Vec<Value>| match row[0] {
+            Value::Int(t) => t,
+            _ => unreachable!("tag column is int"),
+        };
+        got.sort_by_key(tag_of);
+        want.sort_by_key(tag_of);
+        prop_assert_eq!(got, want, "rows survive the split bit-for-bit");
+    }
+
+    /// Balance: over many distinct uniform keys, every shard holds at
+    /// most 2× the ideal share (and at least something).
+    #[test]
+    fn uniform_keys_balance_within_2x_of_ideal(
+        shards in 2usize..9,
+        base in -1_000_000i64..1_000_000,
+    ) {
+        const N: i64 = 8192;
+        let rel = Relation::from_columns(vec![(
+            "key".into(),
+            Column::from_ints((base..base + N).collect()),
+        )])
+        .unwrap();
+        let p = Partitioner::new(0, shards).unwrap();
+        let parts = p.split(&rel).unwrap();
+        let ideal = N as usize / shards;
+        for (s, part) in parts.iter().enumerate() {
+            prop_assert!(
+                part.len() <= ideal * 2,
+                "shard {} overloaded: {} rows vs ideal {}", s, part.len(), ideal
+            );
+            prop_assert!(
+                part.len() * 2 >= ideal,
+                "shard {} starved: {} rows vs ideal {}", s, part.len(), ideal
+            );
+        }
+    }
+
+    /// NULL keys: deterministic, and co-located on a single shard no
+    /// matter the key type or shard count.
+    #[test]
+    fn null_keys_route_deterministically(
+        key_type in arb_key_type(),
+        shards in 1usize..9,
+        rows in 1usize..40,
+    ) {
+        let schema = Schema::from_pairs(&[("tag", ValueType::Int), ("key", key_type)]);
+        let mut rel = Relation::new(&schema);
+        for r in 0..rows {
+            rel.append_row(&[Value::Int(r as i64), Value::Null]).unwrap();
+        }
+        let p = Partitioner::new(1, shards).unwrap();
+        let a = p.assignments(&rel).unwrap();
+        let b = p.assignments(&rel).unwrap();
+        prop_assert_eq!(&a, &b, "same input, same routing");
+        for &s in &a {
+            prop_assert_eq!(s, NULL_SHARD % shards, "all NULLs on the null shard");
+        }
+        let parts = p.split(&rel).unwrap();
+        prop_assert_eq!(parts[NULL_SHARD % shards].len(), rows);
+    }
+}

@@ -70,6 +70,7 @@ use monet::prelude::*;
 
 use crate::error::{Result, ServerError};
 use crate::protocol::Response;
+use crate::stats::StatsReport;
 
 /// Rows a [`ReceptorSink`] buffers before `send_row` auto-flushes them
 /// as one batch.
@@ -98,6 +99,17 @@ impl Client {
     /// The server's control-plane address.
     pub fn server_addr(&self) -> SocketAddr {
         self.server
+    }
+
+    /// Bound how long control-plane reads and writes may block. The
+    /// cluster router sets this on its per-shard control sessions so one
+    /// hung engine fails requests instead of wedging the whole control
+    /// plane. After a timeout fires mid-response the connection may be
+    /// desynced — treat the peer as broken.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.reader.get_ref().set_write_timeout(timeout)?;
+        Ok(())
     }
 
     /// Send one raw command line; return the response body on success.
@@ -187,9 +199,15 @@ impl Client {
         parse_port(&body)
     }
 
-    /// The server's `STATS` report.
+    /// The server's `STATS` report, raw lines.
     pub fn stats(&mut self) -> Result<Vec<String>> {
         self.request("STATS")
+    }
+
+    /// The server's `STATS` report, parsed into typed rows — the form
+    /// machine consumers (the cluster router's placement, tests) want.
+    pub fn stats_report(&mut self) -> Result<StatsReport> {
+        StatsReport::parse(&self.stats()?)
     }
 
     /// Gracefully stop the server.
@@ -225,6 +243,75 @@ impl Client {
     /// format.
     pub fn open_emitter_with(&self, port: u16, format: WireFormat) -> Result<EmitterTap> {
         EmitterTap::connect_with((self.server.ip(), port), format)
+    }
+}
+
+/// A control-plane connection to a `dccluster` shard router.
+///
+/// The router speaks the same wire protocol as a single engine, so this
+/// is a thin wrapper over [`Client`] (every plain method is available via
+/// `Deref`) adding the cluster-only surface: the `SHARD BY` DDL helper.
+///
+/// ```no_run
+/// use dcserver::client::ShardedClient;
+///
+/// let mut c = ShardedClient::connect("127.0.0.1:7071").unwrap();
+/// c.create_sharded_stream("S", "(id int, v int)", "id", None).unwrap();
+/// c.register_query("hot", "select id from [select * from S] as Z where Z.v > 10")
+///     .unwrap();
+/// let rport = c.attach_receptor("S", 0).unwrap();   // one logical port,
+/// let eport = c.attach_emitter("hot", 0).unwrap();  // all shards behind it
+/// # let _ = (rport, eport);
+/// ```
+pub struct ShardedClient {
+    inner: Client,
+}
+
+impl ShardedClient {
+    /// Connect to a `dccluster` control port.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ShardedClient> {
+        Ok(ShardedClient {
+            inner: Client::connect(addr)?,
+        })
+    }
+
+    /// Wrap an existing control connection (e.g. one already pointed at a
+    /// router).
+    pub fn from_client(inner: Client) -> ShardedClient {
+        ShardedClient { inner }
+    }
+
+    /// `CREATE STREAM name (cols) SHARD BY (key) [SHARDS n]` — declare a
+    /// hash-partitioned stream. `shards = None` lets the router place one
+    /// shard per engine.
+    pub fn create_sharded_stream(
+        &mut self,
+        name: &str,
+        columns: &str,
+        key: &str,
+        shards: Option<usize>,
+    ) -> Result<()> {
+        let clause = match shards {
+            Some(n) => format!(" SHARDS {n}"),
+            None => String::new(),
+        };
+        self.inner
+            .request(&format!("CREATE STREAM {name} {columns} SHARD BY ({key}){clause}"))
+            .map(|_| ())
+    }
+}
+
+impl std::ops::Deref for ShardedClient {
+    type Target = Client;
+
+    fn deref(&self) -> &Client {
+        &self.inner
+    }
+}
+
+impl std::ops::DerefMut for ShardedClient {
+    fn deref_mut(&mut self) -> &mut Client {
+        &mut self.inner
     }
 }
 

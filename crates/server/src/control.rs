@@ -3,15 +3,19 @@
 //! [`ServerRuntime`]. One thread per control connection; the accept loop
 //! polls the runtime's stop flag so `SHUTDOWN` (from any session) tears
 //! the whole server down gracefully.
+//!
+//! The accept/read/dispatch/respond plumbing is generic ([`serve_loop`])
+//! — the `dccluster` router serves the identical wire protocol with a
+//! different dispatch table, so the two daemons share one loop.
 
 use std::io::{BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use crate::error::Result;
 use crate::protocol::{parse_command, Command, Response};
 use crate::runtime::ServerRuntime;
+use crate::session::SessionManager;
 
 use std::time::Duration;
 
@@ -47,15 +51,45 @@ impl ControlServer {
     /// Serve until a `SHUTDOWN` command arrives (or the stop flag is set
     /// externally), then tear the runtime down. Blocks the caller.
     pub fn serve(self) -> Result<()> {
-        let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
-        while !self.runtime.is_stopping() {
-            match self.listener.accept() {
+        let rt = &self.runtime;
+        serve_loop(
+            &self.listener,
+            &rt.sessions,
+            &|| rt.is_stopping(),
+            &|request| dispatch(rt, request),
+        );
+        self.runtime.shutdown();
+        Ok(())
+    }
+}
+
+/// The generic control-plane serve loop: accept connections until
+/// `is_stopping`, read one command line at a time per connection,
+/// hand it to `dispatch`, write the framed [`Response`]. Session
+/// bookkeeping (open / per-command count / close) is handled here.
+/// Connection threads are scoped, so the loop returns only after every
+/// connection wound down.
+pub fn serve_loop<S, D>(
+    listener: &TcpListener,
+    sessions: &SessionManager,
+    is_stopping: &S,
+    dispatch: &D,
+) where
+    S: Fn() -> bool + Sync,
+    D: Fn(&str) -> (Response, bool) + Sync,
+{
+    std::thread::scope(|scope| {
+        let mut conns: Vec<std::thread::ScopedJoinHandle<'_, ()>> = Vec::new();
+        while !is_stopping() {
+            match listener.accept() {
                 Ok((sock, peer)) => {
-                    let rt = Arc::clone(&self.runtime);
-                    conn_threads.push(
+                    let peer = peer.to_string();
+                    conns.push(
                         std::thread::Builder::new()
                             .name("dc-control-conn".into())
-                            .spawn(move || control_connection(rt, sock, peer.to_string()))
+                            .spawn_scoped(scope, move || {
+                                control_connection(sessions, is_stopping, dispatch, sock, peer)
+                            })
                             .expect("spawn control connection thread"),
                     );
                 }
@@ -68,23 +102,28 @@ impl ControlServer {
                     std::thread::sleep(POLL_INTERVAL);
                 }
             }
-            conn_threads.retain(|t| !t.is_finished());
+            conns.retain(|t| !t.is_finished());
         }
-        for t in conn_threads {
-            let _ = t.join();
-        }
-        self.runtime.shutdown();
-        Ok(())
-    }
+        // leaving the scope joins the remaining connection threads
+    });
 }
 
 /// Serve one control connection until QUIT/SHUTDOWN/EOF/stop.
-fn control_connection(rt: Arc<ServerRuntime>, sock: TcpStream, peer: String) {
-    let session = rt.sessions.open(&peer);
+fn control_connection<S, D>(
+    sessions: &SessionManager,
+    is_stopping: &S,
+    dispatch: &D,
+    sock: TcpStream,
+    peer: String,
+) where
+    S: Fn() -> bool,
+    D: Fn(&str) -> (Response, bool),
+{
+    let session = sessions.open(&peer);
     let _ = sock.set_read_timeout(Some(POLL_INTERVAL));
     let _ = sock.set_write_timeout(Some(WRITE_TIMEOUT));
     let Ok(write_half) = sock.try_clone() else {
-        rt.sessions.close(session);
+        sessions.close(session);
         return;
     };
     let mut writer = std::io::BufWriter::new(write_half);
@@ -100,8 +139,8 @@ fn control_connection(rt: Arc<ServerRuntime>, sock: TcpStream, peer: String) {
                 if request.is_empty() {
                     continue;
                 }
-                rt.sessions.note_command(session);
-                let (response, end) = dispatch(&rt, &request);
+                sessions.note_command(session);
+                let (response, end) = dispatch(&request);
                 if response.write_to(&mut writer).is_err() {
                     break;
                 }
@@ -110,7 +149,7 @@ fn control_connection(rt: Arc<ServerRuntime>, sock: TcpStream, peer: String) {
                 // check covers a shutdown requested elsewhere while this
                 // client pipelines commands back-to-back (it would never
                 // take the idle branch below)
-                if end || rt.is_stopping() {
+                if end || is_stopping() {
                     break;
                 }
             }
@@ -118,14 +157,14 @@ fn control_connection(rt: Arc<ServerRuntime>, sock: TcpStream, peer: String) {
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if rt.is_stopping() {
+                if is_stopping() {
                     break;
                 }
             }
             Err(_) => break,
         }
     }
-    rt.sessions.close(session);
+    sessions.close(session);
 }
 
 /// Execute one command; the bool says "close this connection afterwards".
@@ -137,6 +176,13 @@ fn dispatch(rt: &Arc<ServerRuntime>, request: &str) -> (Response, bool) {
     match cmd {
         Command::Ping => (Response::one("pong"), false),
         Command::Ddl(sql) | Command::Exec(sql) => (result_response(rt.exec(&sql)), false),
+        Command::DdlSharded { stream, .. } => (
+            Response::Err(format!(
+                "stream {stream}: SHARD BY needs a dccluster shard router \
+                 (this is a single datacelld engine)"
+            )),
+            false,
+        ),
         Command::RegisterQuery { name, sql } => {
             match rt.register_query(&name, &sql) {
                 Ok(handle) => {

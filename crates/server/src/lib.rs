@@ -41,11 +41,13 @@ pub mod error;
 pub mod protocol;
 pub mod runtime;
 pub mod session;
+pub mod stats;
 
-pub use client::Client;
+pub use client::{Client, ShardedClient};
 pub use control::ControlServer;
 pub use error::{Result, ServerError};
 pub use runtime::{ServerConfig, ServerRuntime};
+pub use stats::StatsReport;
 
 use std::sync::Arc;
 

@@ -8,6 +8,7 @@
 //! ```text
 //! PING
 //! CREATE STREAM <name> (<col> <type>, ...)      -- also CREATE TABLE / CREATE BASKET
+//!     [SHARD BY (<col>) [SHARDS <n>]]           -- hash-partitioned stream (dccluster only)
 //! EXEC <sql>                                    -- one-shot statement(s)
 //! REGISTER QUERY <name> AS <sql>                -- continuous query
 //! ATTACH RECEPTOR <stream> ON PORT <port> [FORMAT TEXT|BINARY]
@@ -16,6 +17,12 @@
 //! QUIT
 //! SHUTDOWN
 //! ```
+//!
+//! The `SHARD BY` clause declares a hash-partitioned stream. The grammar
+//! is parsed here (shared with the `dccluster` router, which fronts N
+//! engines behind this same protocol); a single `datacelld` engine has
+//! nothing to shard across and rejects the clause with a pointer to the
+//! router.
 //!
 //! Port 0 picks an ephemeral port. `FORMAT` selects the data-plane
 //! encoding of the attached port: `TEXT` (the default — §3.1 lines,
@@ -42,6 +49,19 @@ pub enum Command {
     /// CREATE STREAM/TABLE/BASKET — the raw SQL line, passed through to
     /// the engine's DDL executor.
     Ddl(String),
+    /// `CREATE STREAM ... SHARD BY (col) [SHARDS n]` — a hash-partitioned
+    /// stream. Only a `dccluster` router can honor this; a single engine
+    /// rejects it.
+    DdlSharded {
+        /// The plain `CREATE STREAM` DDL with the shard clause stripped —
+        /// what the router forwards to each shard engine.
+        ddl: String,
+        stream: String,
+        /// Partition key column name.
+        key: String,
+        /// Explicit shard count; `None` = one shard per engine.
+        shards: Option<usize>,
+    },
     /// One-shot SQL script execution.
     Exec(String),
     RegisterQuery {
@@ -97,6 +117,94 @@ fn parse_name(input: &str) -> Result<(String, &str), String> {
     Ok((word.to_string(), rest))
 }
 
+/// `CREATE STREAM <name> (<cols>) [SHARD BY (<col>) [SHARDS <n>]]`.
+///
+/// `line` is the whole (trimmed) request, `after_kind` the text after the
+/// STREAM keyword. Without a shard clause the line passes through as
+/// [`Command::Ddl`], byte-identical to the pre-sharding grammar.
+fn parse_create_stream(line: &str, after_kind: &str) -> Result<Command, String> {
+    // the name may be glued to the column list ("S(id int)") — the SQL
+    // lexer has always accepted that, so the shard-clause scan must too
+    let after_kind = after_kind.trim_start();
+    let name_end = after_kind
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_alphanumeric() && *c != '_')
+        .map_or(after_kind.len(), |(i, _)| i);
+    if name_end == 0 {
+        return Err("missing stream name".into());
+    }
+    let stream = after_kind[..name_end].to_string();
+    let cols = after_kind[name_end..].trim_start();
+    if !cols.starts_with('(') {
+        return Err("CREATE STREAM requires a (col type, ...) list".into());
+    }
+    // depth-matched close: column types may carry their own parens
+    // (e.g. varchar(20))
+    let mut depth = 0usize;
+    let mut close = None;
+    for (i, c) in cols.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(close) = close else {
+        return Err("unterminated column list".into());
+    };
+    let after_cols_raw = cols[close + 1..].trim();
+    // a trailing semicolon was always a legal DDL terminator
+    let after_cols = after_cols_raw.trim_end_matches(';').trim_end();
+    if after_cols.is_empty() {
+        return Ok(Command::Ddl(line.to_string()));
+    }
+    // SHARD BY (<col>) [SHARDS <n>]
+    let tail = expect_kw(after_cols, "SHARD")?;
+    let tail = expect_kw(tail, "BY")?;
+    let tail = tail.trim_start();
+    let key_body = tail
+        .strip_prefix('(')
+        .ok_or("SHARD BY requires a parenthesized key column")?;
+    let Some(key_close) = key_body.find(')') else {
+        return Err("unterminated SHARD BY key".into());
+    };
+    let (key, extra) = parse_name(&key_body[..key_close])?;
+    if !extra.is_empty() {
+        return Err("SHARD BY takes exactly one key column".into());
+    }
+    let tail = key_body[key_close + 1..].trim();
+    let shards = if tail.is_empty() {
+        None
+    } else {
+        let tail = expect_kw(tail, "SHARDS")?;
+        let (n_word, trailing) = take_word(tail);
+        if !trailing.is_empty() {
+            return Err(format!("unexpected trailing input {trailing:?}"));
+        }
+        let n: usize = n_word
+            .parse()
+            .map_err(|_| format!("invalid shard count {n_word:?}"))?;
+        if n == 0 {
+            return Err("SHARDS must be at least 1".into());
+        }
+        Some(n)
+    };
+    // the DDL each shard engine executes: the line up to the column list
+    let clause_at = line.len() - after_cols_raw.len();
+    Ok(Command::DdlSharded {
+        ddl: line[..clause_at].trim_end().to_string(),
+        stream,
+        key,
+        shards,
+    })
+}
+
 /// Parse one request line.
 pub fn parse_command(line: &str) -> Result<Command, String> {
     let line = line.trim();
@@ -108,9 +216,10 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "QUIT" => Ok(Command::Quit),
         "SHUTDOWN" => Ok(Command::Shutdown),
         "CREATE" => {
-            let (kind, _) = take_word(rest);
+            let (kind, after_kind) = take_word(rest);
             match kind.to_ascii_uppercase().as_str() {
-                "STREAM" | "TABLE" | "BASKET" => Ok(Command::Ddl(line.to_string())),
+                "STREAM" => parse_create_stream(line, after_kind),
+                "TABLE" | "BASKET" => Ok(Command::Ddl(line.to_string())),
                 other => Err(format!("CREATE {other} is not supported")),
             }
         }
@@ -260,6 +369,72 @@ mod tests {
         let line = "create stream S (id int, payload int)";
         assert_eq!(parse_command(line), Ok(Command::Ddl(line.into())));
         assert!(parse_command("CREATE INDEX i").is_err());
+    }
+
+    #[test]
+    fn shard_clause_parses_and_strips() {
+        assert_eq!(
+            parse_command("create stream S (id int, v int) shard by (id)"),
+            Ok(Command::DdlSharded {
+                ddl: "create stream S (id int, v int)".into(),
+                stream: "S".into(),
+                key: "id".into(),
+                shards: None,
+            })
+        );
+        assert_eq!(
+            parse_command("CREATE STREAM trades (sym varchar, px double) SHARD BY (sym) SHARDS 4"),
+            Ok(Command::DdlSharded {
+                ddl: "CREATE STREAM trades (sym varchar, px double)".into(),
+                stream: "trades".into(),
+                key: "sym".into(),
+                shards: Some(4),
+            })
+        );
+        // trailing semicolons remain legal, with and without the clause
+        let line = "create stream S (id int);";
+        assert_eq!(parse_command(line), Ok(Command::Ddl(line.into())));
+        assert_eq!(
+            parse_command("create stream S (id int) shard by (id) shards 2;"),
+            Ok(Command::DdlSharded {
+                ddl: "create stream S (id int)".into(),
+                stream: "S".into(),
+                key: "id".into(),
+                shards: Some(2),
+            })
+        );
+        // parenthesized column types stay inside the column list
+        let line = "create stream S (name varchar(20), v int)";
+        assert_eq!(parse_command(line), Ok(Command::Ddl(line.into())));
+        assert_eq!(
+            parse_command("create stream S (name varchar(20), v int) shard by (v)"),
+            Ok(Command::DdlSharded {
+                ddl: "create stream S (name varchar(20), v int)".into(),
+                stream: "S".into(),
+                key: "v".into(),
+                shards: None,
+            })
+        );
+        // name glued to the column list parses as it always did
+        assert_eq!(
+            parse_command("create stream S(id int)"),
+            Ok(Command::Ddl("create stream S(id int)".into()))
+        );
+        assert_eq!(
+            parse_command("create stream S(id int) shard by (id)"),
+            Ok(Command::DdlSharded {
+                ddl: "create stream S(id int)".into(),
+                stream: "S".into(),
+                key: "id".into(),
+                shards: None,
+            })
+        );
+        assert!(parse_command("CREATE STREAM S (id int) SHARD BY id").is_err());
+        assert!(parse_command("CREATE STREAM S (id int) SHARD BY (id, v)").is_err());
+        assert!(parse_command("CREATE STREAM S (id int) SHARD BY (id) SHARDS 0").is_err());
+        assert!(parse_command("CREATE STREAM S (id int) SHARD BY (id) SHARDS x").is_err());
+        assert!(parse_command("CREATE STREAM S (id int) SHARD BY (id) SHARDS 2 junk").is_err());
+        assert!(parse_command("CREATE STREAM S (id int) FROBNICATE").is_err());
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub struct EmitterPort {
     pub port: u16,
     pub format: WireFormat,
     pub connections: AtomicU64,
+    /// Result batches absorbed into a merged frame across this port's
+    /// subscribers (adaptive coalescing when a socket is the bottleneck).
+    pub coalesced: Arc<AtomicU64>,
     emitters: Mutex<Vec<Emitter>>,
 }
 
@@ -291,6 +294,7 @@ impl ServerRuntime {
             port: bound,
             format,
             connections: AtomicU64::new(0),
+            coalesced: Arc::new(AtomicU64::new(0)),
             emitters: Mutex::new(Vec::new()),
         });
         self.emitters.lock().push(Arc::clone(&eport));
@@ -310,12 +314,15 @@ impl ServerRuntime {
                             let _ = sock.set_write_timeout(Some(EMITTER_WRITE_TIMEOUT));
                             let rx = broadcast.subscribe();
                             // shared frames: one encoding per batch per
-                            // format, shared across every subscriber
-                            let emitter = Emitter::spawn_tcp_shared(
+                            // format, shared across every subscriber;
+                            // batches queued behind a slow socket coalesce
+                            // into one frame (counted per port for STATS)
+                            let emitter = Emitter::spawn_tcp_shared_counted(
                                 format!("{}@{}", accept_port.query, accept_port.port),
                                 rx,
                                 sock,
                                 accept_port.format,
+                                Arc::clone(&accept_port.coalesced),
                             );
                             let mut emitters = accept_port.emitters.lock();
                             emitters.retain(|e| !e.is_finished());
@@ -384,11 +391,12 @@ impl ServerRuntime {
         }
         for e in self.emitters.lock().iter() {
             body.push(format!(
-                "emitter {} port={} format={} connections={}",
+                "emitter {} port={} format={} connections={} coalesced_batches={}",
                 e.query,
                 e.port,
                 e.format,
                 e.connections.load(Ordering::Acquire),
+                e.coalesced.load(Ordering::Acquire),
             ));
         }
         for s in self.sessions.snapshot() {

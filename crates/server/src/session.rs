@@ -88,97 +88,149 @@ impl SessionManager {
 
 // ---- result fan-out ---------------------------------------------------------
 
-/// Fan-out of one query's result batches to a dynamic set of subscribers.
+/// Generic fan-out of `Arc<T>` items to a dynamic set of subscribers,
+/// with a bounded backlog while no subscriber is attached.
 ///
-/// Batches travel as [`SharedFrame`]s: the wire encoding of a batch is
-/// produced at most once per format no matter how many subscriber
-/// emitters (or how many backlog replays) deliver it.
-pub struct Broadcast {
-    subs: Mutex<Vec<Sender<Arc<SharedFrame>>>>,
-    backlog: Mutex<VecDeque<Arc<SharedFrame>>>,
-    delivered_batches: AtomicU64,
-    delivered_tuples: AtomicU64,
-    dropped_batches: AtomicU64,
+/// The delivery skeleton shared by [`Broadcast`] (result batches to
+/// emitter sockets) and the cluster router's byte relay: subscribe with
+/// backlog replay, publish with dead-subscriber reaping, item/weight
+/// counters. `weight_of` defines the second counter (tuples for
+/// batches, bytes for wire chunks).
+pub struct FanOut<T> {
+    subs: Mutex<Vec<Sender<Arc<T>>>>,
+    backlog: Mutex<VecDeque<Arc<T>>>,
+    backlog_cap: usize,
+    weight_of: fn(&T) -> u64,
+    delivered_items: AtomicU64,
+    delivered_weight: AtomicU64,
+    dropped: AtomicU64,
 }
 
-impl Broadcast {
-    pub fn new() -> Arc<Broadcast> {
-        Arc::new(Broadcast {
+impl<T> FanOut<T> {
+    pub fn new(backlog_cap: usize, weight_of: fn(&T) -> u64) -> FanOut<T> {
+        FanOut {
             subs: Mutex::new(Vec::new()),
             backlog: Mutex::new(VecDeque::new()),
-            delivered_batches: AtomicU64::new(0),
-            delivered_tuples: AtomicU64::new(0),
-            dropped_batches: AtomicU64::new(0),
-        })
+            backlog_cap,
+            weight_of,
+            delivered_items: AtomicU64::new(0),
+            delivered_weight: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
     }
 
     /// Add a subscriber. Any backlog accumulated while no subscriber was
-    /// attached is replayed to the new subscriber first.
-    pub fn subscribe(self: &Arc<Self>) -> Receiver<Arc<SharedFrame>> {
+    /// attached is replayed to the new subscriber first, under the subs
+    /// lock so `publish` cannot interleave a new item between the backlog
+    /// and the live stream.
+    pub fn subscribe(&self) -> Receiver<Arc<T>> {
         let (tx, rx) = unbounded();
         let mut subs = self.subs.lock();
-        // replay under the subs lock so publish() cannot interleave a new
-        // batch between the backlog and the live stream
-        let backlog: Vec<Arc<SharedFrame>> = self.backlog.lock().drain(..).collect();
-        for frame in backlog {
-            self.count(&frame);
-            let _ = tx.send(frame);
+        let backlog: Vec<Arc<T>> = self.backlog.lock().drain(..).collect();
+        for item in backlog {
+            self.count(&item);
+            let _ = tx.send(item);
         }
         subs.push(tx);
         rx
     }
 
-    /// Publish one result batch to all live subscribers (or the backlog
-    /// when there are none). Subscribers whose emitter hung up are
-    /// reaped. The batch is wrapped in one [`SharedFrame`]; subscribers
-    /// share it by `Arc`, so fan-out never clones tuple data and the
-    /// wire encoding happens once per format for the whole subscriber
-    /// set.
-    pub fn publish(self: &Arc<Self>, batch: Relation) {
-        let frame = SharedFrame::new(batch);
+    /// Publish one item to all live subscribers (or the backlog when
+    /// there are none, dropping oldest beyond the cap). Subscribers
+    /// whose receiver hung up are reaped. Items are shared by `Arc` —
+    /// fan-out never clones payloads.
+    pub fn publish(&self, item: Arc<T>) {
         let mut subs = self.subs.lock();
         if !subs.is_empty() {
             let old = std::mem::take(&mut *subs);
             let mut live = Vec::with_capacity(old.len());
             for tx in old {
-                if tx.send(Arc::clone(&frame)).is_ok() {
+                if tx.send(Arc::clone(&item)).is_ok() {
                     live.push(tx);
                 }
             }
             let delivered = !live.is_empty();
             *subs = live;
             if delivered {
-                self.count(&frame);
+                self.count(&item);
                 return;
             }
         }
         let mut backlog = self.backlog.lock();
-        if backlog.len() >= BACKLOG_CAP {
+        if backlog.len() >= self.backlog_cap {
             backlog.pop_front();
-            self.dropped_batches.fetch_add(1, Ordering::AcqRel);
+            self.dropped.fetch_add(1, Ordering::AcqRel);
         }
-        backlog.push_back(frame);
+        backlog.push_back(item);
     }
 
-    fn count(&self, frame: &SharedFrame) {
-        self.delivered_batches.fetch_add(1, Ordering::AcqRel);
-        self.delivered_tuples
-            .fetch_add(frame.len() as u64, Ordering::AcqRel);
+    fn count(&self, item: &Arc<T>) {
+        self.delivered_items.fetch_add(1, Ordering::AcqRel);
+        self.delivered_weight
+            .fetch_add((self.weight_of)(item), Ordering::AcqRel);
+    }
+
+    /// Disconnect every subscriber channel (each drains what it already
+    /// received, then ends) — the shutdown path.
+    pub fn close(&self) {
+        self.subs.lock().clear();
     }
 
     pub fn subscriber_count(&self) -> usize {
         self.subs.lock().len()
     }
 
+    /// (items, total weight) delivered to at least one subscriber.
     pub fn delivered(&self) -> (u64, u64) {
         (
-            self.delivered_batches.load(Ordering::Acquire),
-            self.delivered_tuples.load(Ordering::Acquire),
+            self.delivered_items.load(Ordering::Acquire),
+            self.delivered_weight.load(Ordering::Acquire),
         )
     }
 
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Acquire)
+    }
+}
+
+/// Fan-out of one query's result batches to a dynamic set of subscribers.
+///
+/// Batches travel as [`SharedFrame`]s: the wire encoding of a batch is
+/// produced at most once per format no matter how many subscriber
+/// emitters (or how many backlog replays) deliver it.
+pub struct Broadcast {
+    inner: FanOut<SharedFrame>,
+}
+
+impl Broadcast {
+    pub fn new() -> Arc<Broadcast> {
+        Arc::new(Broadcast {
+            inner: FanOut::new(BACKLOG_CAP, |f| f.len() as u64),
+        })
+    }
+
+    /// Add a subscriber (backlog replayed first).
+    pub fn subscribe(&self) -> Receiver<Arc<SharedFrame>> {
+        self.inner.subscribe()
+    }
+
+    /// Publish one result batch, wrapped in one [`SharedFrame`] shared
+    /// across the whole subscriber set.
+    pub fn publish(&self, batch: Relation) {
+        self.inner.publish(SharedFrame::new(batch));
+    }
+
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.subscriber_count()
+    }
+
+    /// (batches, tuples) delivered.
+    pub fn delivered(&self) -> (u64, u64) {
+        self.inner.delivered()
+    }
+
     pub fn dropped_batches(&self) -> u64 {
-        self.dropped_batches.load(Ordering::Acquire)
+        self.inner.dropped()
     }
 }
 

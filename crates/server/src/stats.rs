@@ -1,0 +1,274 @@
+//! Typed parsing of the `STATS` report.
+//!
+//! The control-plane `STATS` command replies with one line per server
+//! object (`kind [name] k=v k=v ...` — see [`crate::runtime::ServerRuntime::stats`]).
+//! [`StatsReport::parse`] turns that body into typed rows so machine
+//! consumers — the `dccluster` router's placement logic, tests, dashboards
+//! — read fields instead of scraping strings.
+//!
+//! Parsing is deliberately lenient: unknown line kinds and unknown keys
+//! are ignored, missing numeric keys default to zero. A newer server can
+//! add telemetry without breaking older clients.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, ServerError};
+
+/// The `server ...` summary line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub uptime_micros: u64,
+    pub sessions: u64,
+    pub queries: u64,
+    pub receptor_ports: u64,
+    pub emitter_ports: u64,
+}
+
+/// One `basket <name> ...` line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BasketStats {
+    pub name: String,
+    pub len: u64,
+    pub enabled: bool,
+    pub total_in: u64,
+    pub total_out: u64,
+    pub dropped: u64,
+    pub high_water: u64,
+    pub cap: u64,
+}
+
+/// One `query <name> ...` line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    pub name: String,
+    pub firings: u64,
+    pub consumed: u64,
+    pub produced: u64,
+    pub busy_micros: u64,
+    pub subscribers: u64,
+    pub delivered_batches: u64,
+    pub delivered_tuples: u64,
+    pub dropped_batches: u64,
+}
+
+/// One `receptor <stream> ...` line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReceptorStats {
+    pub stream: String,
+    pub port: u16,
+    pub format: String,
+    pub connections: u64,
+    pub accepted: u64,
+    pub rejected: u64,
+}
+
+/// One `emitter <query> ...` line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EmitterStats {
+    pub query: String,
+    pub port: u16,
+    pub format: String,
+    pub connections: u64,
+    pub coalesced_batches: u64,
+}
+
+/// One `session <id> ...` line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    pub id: u64,
+    pub peer: String,
+    pub commands: u64,
+}
+
+/// The whole `STATS` body, typed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    pub server: ServerStats,
+    pub baskets: Vec<BasketStats>,
+    pub queries: Vec<QueryStats>,
+    pub receptors: Vec<ReceptorStats>,
+    pub emitters: Vec<EmitterStats>,
+    pub sessions: Vec<SessionStats>,
+}
+
+/// Split one report line into (kind, name, key→value map). The `server`
+/// line has no name.
+fn tokenize(line: &str) -> Option<(&str, &str, HashMap<&str, &str>)> {
+    let mut words = line.split_whitespace();
+    let kind = words.next()?;
+    let mut name = "";
+    let mut kv = HashMap::new();
+    for w in words {
+        match w.split_once('=') {
+            Some((k, v)) => {
+                kv.insert(k, v);
+            }
+            // the first bare word after the kind is the object name
+            None if name.is_empty() => name = w,
+            None => return None,
+        }
+    }
+    Some((kind, name, kv))
+}
+
+fn num(kv: &HashMap<&str, &str>, key: &str) -> u64 {
+    kv.get(key).and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+fn text(kv: &HashMap<&str, &str>, key: &str) -> String {
+    kv.get(key).map(|v| v.to_string()).unwrap_or_default()
+}
+
+impl StatsReport {
+    /// Parse a `STATS` response body. Unknown kinds/keys are ignored;
+    /// a line that fails to tokenize at all is an error.
+    pub fn parse(lines: &[String]) -> Result<StatsReport> {
+        let mut report = StatsReport::default();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some((kind, name, kv)) = tokenize(line) else {
+                return Err(ServerError::Protocol(format!(
+                    "malformed STATS line {line:?}"
+                )));
+            };
+            match kind {
+                "server" => {
+                    report.server = ServerStats {
+                        uptime_micros: num(&kv, "uptime_micros"),
+                        sessions: num(&kv, "sessions"),
+                        queries: num(&kv, "queries"),
+                        receptor_ports: num(&kv, "receptor_ports"),
+                        emitter_ports: num(&kv, "emitter_ports"),
+                    };
+                }
+                "basket" => report.baskets.push(BasketStats {
+                    name: name.to_string(),
+                    len: num(&kv, "len"),
+                    enabled: kv.get("enabled").is_some_and(|v| *v == "true"),
+                    total_in: num(&kv, "in"),
+                    total_out: num(&kv, "out"),
+                    dropped: num(&kv, "dropped"),
+                    high_water: num(&kv, "high_water"),
+                    cap: num(&kv, "cap"),
+                }),
+                "query" => report.queries.push(QueryStats {
+                    name: name.to_string(),
+                    firings: num(&kv, "firings"),
+                    consumed: num(&kv, "consumed"),
+                    produced: num(&kv, "produced"),
+                    busy_micros: num(&kv, "busy_micros"),
+                    subscribers: num(&kv, "subscribers"),
+                    delivered_batches: num(&kv, "delivered_batches"),
+                    delivered_tuples: num(&kv, "delivered_tuples"),
+                    dropped_batches: num(&kv, "dropped_batches"),
+                }),
+                "receptor" => report.receptors.push(ReceptorStats {
+                    stream: name.to_string(),
+                    port: num(&kv, "port") as u16,
+                    format: text(&kv, "format"),
+                    connections: num(&kv, "connections"),
+                    accepted: num(&kv, "accepted"),
+                    rejected: num(&kv, "rejected"),
+                }),
+                "emitter" => report.emitters.push(EmitterStats {
+                    query: name.to_string(),
+                    port: num(&kv, "port") as u16,
+                    format: text(&kv, "format"),
+                    connections: num(&kv, "connections"),
+                    coalesced_batches: num(&kv, "coalesced_batches"),
+                }),
+                "session" => report.sessions.push(SessionStats {
+                    id: name.parse().unwrap_or(0),
+                    peer: text(&kv, "peer"),
+                    commands: num(&kv, "commands"),
+                }),
+                _ => {} // forward compatibility: skip unknown kinds
+            }
+        }
+        Ok(report)
+    }
+
+    /// Basket row by name.
+    pub fn basket(&self, name: &str) -> Option<&BasketStats> {
+        self.baskets.iter().find(|b| b.name == name)
+    }
+
+    /// Query row by name.
+    pub fn query(&self, name: &str) -> Option<&QueryStats> {
+        self.queries.iter().find(|q| q.name == name)
+    }
+
+    /// Lifetime tuples ingested across all baskets — the load signal the
+    /// cluster router's placement uses.
+    pub fn ingest_load(&self) -> u64 {
+        self.baskets.iter().map(|b| b.total_in).sum()
+    }
+
+    /// Lifetime tuples delivered to subscribers across all queries.
+    pub fn delivered_tuples(&self) -> u64 {
+        self.queries.iter().map(|q| q.delivered_tuples).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_report() {
+        let body = lines(&[
+            "server uptime_micros=1234 sessions=2 queries=1 receptor_ports=1 emitter_ports=1",
+            "basket S len=3 enabled=true in=100 out=97 dropped=0 high_water=50 cap=256",
+            "query hot firings=7 consumed=100 produced=42 busy_micros=999 \
+             subscribers=2 delivered_batches=5 delivered_tuples=42 dropped_batches=0",
+            "receptor S port=5001 format=binary connections=1 accepted=100 rejected=2",
+            "emitter hot port=5002 format=text connections=2 coalesced_batches=3",
+            "session 1 peer=127.0.0.1:9 commands=12",
+        ]);
+        let r = StatsReport::parse(&body).unwrap();
+        assert_eq!(r.server.sessions, 2);
+        assert_eq!(r.basket("S").unwrap().total_in, 100);
+        assert_eq!(r.basket("S").unwrap().high_water, 50);
+        assert!(r.basket("S").unwrap().enabled);
+        let q = r.query("hot").unwrap();
+        assert_eq!(q.delivered_tuples, 42);
+        assert_eq!(q.subscribers, 2);
+        assert_eq!(r.receptors[0].port, 5001);
+        assert_eq!(r.receptors[0].format, "binary");
+        assert_eq!(r.emitters[0].coalesced_batches, 3);
+        assert_eq!(r.sessions[0].id, 1);
+        assert_eq!(r.sessions[0].commands, 12);
+        assert_eq!(r.ingest_load(), 100);
+        assert_eq!(r.delivered_tuples(), 42);
+    }
+
+    #[test]
+    fn unknown_kinds_and_keys_are_ignored() {
+        let body = lines(&[
+            "wormhole X flux=9",
+            "basket S len=1 enabled=false in=5 out=4 dropped=0 high_water=1 cap=0 shiny=yes",
+        ]);
+        let r = StatsReport::parse(&body).unwrap();
+        assert_eq!(r.baskets.len(), 1);
+        assert!(!r.baskets[0].enabled);
+        assert_eq!(r.baskets[0].total_in, 5);
+    }
+
+    #[test]
+    fn missing_keys_default_to_zero() {
+        let r = StatsReport::parse(&lines(&["query q firings=3"])).unwrap();
+        assert_eq!(r.query("q").unwrap().firings, 3);
+        assert_eq!(r.query("q").unwrap().delivered_tuples, 0);
+    }
+
+    #[test]
+    fn stray_bare_words_are_errors() {
+        assert!(StatsReport::parse(&lines(&["basket S whoops extra"])).is_err());
+    }
+}

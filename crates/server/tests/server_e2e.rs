@@ -70,15 +70,12 @@ fn full_section_3_1_loop_over_sockets() {
         }
     }
 
-    // STATS reflects the run
-    let stats = c.stats().unwrap();
-    let query_line = stats
-        .iter()
-        .find(|l| l.starts_with("query hot "))
-        .expect("query line in STATS");
-    assert!(query_line.contains("delivered_tuples=189"), "{query_line}");
+    // STATS reflects the run (typed report — no string scraping)
+    let stats = c.stats_report().unwrap();
+    let hot = stats.query("hot").expect("query row in STATS");
+    assert_eq!(hot.delivered_tuples, 189, "{hot:?}");
     assert!(
-        stats.iter().any(|l| l.starts_with("receptor S ")),
+        stats.receptors.iter().any(|r| r.stream == "S"),
         "{stats:?}"
     );
 
@@ -107,11 +104,10 @@ fn results_survive_between_register_and_attach() {
     // wait until the engine consumed the tuple
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
-        let stats = c.stats().unwrap();
+        let stats = c.stats_report().unwrap();
         let consumed = stats
-            .iter()
-            .find(|l| l.starts_with("query all "))
-            .map(|l| l.contains("delivered_batches=0") && l.contains("consumed=1"))
+            .query("all")
+            .map(|q| q.delivered_batches == 0 && q.consumed == 1)
             .unwrap_or(false);
         if consumed {
             break;
@@ -146,8 +142,8 @@ fn two_clients_fan_out_same_query() {
 
     // a second control session sees the same server
     let mut c2 = Client::connect(addr).unwrap();
-    let stats = c2.stats().unwrap();
-    assert!(stats[0].contains("sessions=2"), "{}", stats[0]);
+    let stats = c2.stats_report().unwrap();
+    assert_eq!(stats.server.sessions, 2, "{stats:?}");
 
     // two subscribers on one emitter port each get every result
     let mut tap1 = c.open_emitter(eport).unwrap();
@@ -159,13 +155,8 @@ fn two_clients_fan_out_same_query() {
     // the backlog replay, but both-subscribed is the interesting case)
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
-        let stats = c.stats().unwrap();
-        let ready = stats
-            .iter()
-            .find(|l| l.starts_with("query all "))
-            .map(|l| l.contains("subscribers=2"))
-            .unwrap_or(false);
-        if ready {
+        let stats = c.stats_report().unwrap();
+        if stats.query("all").map(|q| q.subscribers) == Some(2) {
             break;
         }
         assert!(
@@ -214,6 +205,11 @@ fn control_plane_rejects_bad_requests() {
     assert!(err.to_string().contains("duplicate"), "{err}");
     // unparseable command line
     assert!(c.request("FROBNICATE THE BASKETS").is_err());
+    // SHARD BY parses, but a single engine cannot honor it
+    let err = c
+        .request("CREATE STREAM P (id int) SHARD BY (id) SHARDS 2")
+        .unwrap_err();
+    assert!(err.to_string().contains("dccluster"), "{err}");
     // the session survives all of the above
     c.ping().unwrap();
 
@@ -258,13 +254,19 @@ fn binary_data_plane_round_trip() {
     assert_eq!(rows[3], vec![Value::Int(4), Value::Null]);
 
     // STATS names the formats
-    let stats = c.stats().unwrap();
+    let stats = c.stats_report().unwrap();
     assert!(
-        stats.iter().any(|l| l.starts_with("receptor S ") && l.contains("format=binary")),
+        stats
+            .receptors
+            .iter()
+            .any(|r| r.stream == "S" && r.format == "binary"),
         "{stats:?}"
     );
     assert!(
-        stats.iter().any(|l| l.starts_with("emitter all ") && l.contains("format=binary")),
+        stats
+            .emitters
+            .iter()
+            .any(|e| e.query == "all" && e.format == "binary"),
         "{stats:?}"
     );
 
@@ -296,13 +298,8 @@ fn cross_format_sessions_interoperate() {
     // wait for both subscribers so each sees every result
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
-        let stats = c.stats().unwrap();
-        if stats
-            .iter()
-            .find(|l| l.starts_with("query all "))
-            .map(|l| l.contains("subscribers=2"))
-            .unwrap_or(false)
-        {
+        let stats = c.stats_report().unwrap();
+        if stats.query("all").map(|q| q.subscribers) == Some(2) {
             break;
         }
         assert!(std::time::Instant::now() < deadline, "{stats:?}");
@@ -376,13 +373,8 @@ fn receptor_backpressure_caps_basket_growth() {
     // can age out of the broadcast backlog during the flood below
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
-        let stats = c.stats().unwrap();
-        if stats
-            .iter()
-            .find(|l| l.starts_with("query all "))
-            .map(|l| l.contains("subscribers=1"))
-            .unwrap_or(false)
-        {
+        let stats = c.stats_report().unwrap();
+        if stats.query("all").map(|q| q.subscribers) == Some(1) {
             break;
         }
         assert!(std::time::Instant::now() < deadline, "{stats:?}");
@@ -407,21 +399,13 @@ fn receptor_backpressure_caps_basket_growth() {
     assert_eq!(rows.len(), N as usize, "backpressure must not lose tuples");
     writer.join().unwrap();
 
-    let stats = c.stats().unwrap();
-    let basket_line = stats
-        .iter()
-        .find(|l| l.starts_with("basket S "))
-        .expect("basket line in STATS");
-    assert!(basket_line.contains("cap=256"), "{basket_line}");
-    let high_water: u64 = basket_line
-        .split_whitespace()
-        .find_map(|t| t.strip_prefix("high_water="))
-        .and_then(|v| v.parse().ok())
-        .expect("high_water in basket line");
-    assert!(high_water > 0, "{basket_line}");
+    let stats = c.stats_report().unwrap();
+    let basket = stats.basket("S").expect("basket row in STATS");
+    assert_eq!(basket.cap, 256, "{basket:?}");
+    assert!(basket.high_water > 0, "{basket:?}");
     assert!(
-        high_water <= 256 + 100,
-        "occupancy bounded by cap + one in-flight batch: {basket_line}"
+        basket.high_water <= 256 + 100,
+        "occupancy bounded by cap + one in-flight batch: {basket:?}"
     );
 
     c.shutdown().unwrap();
