@@ -1,0 +1,232 @@
+//! Figure 5(c) (beyond the paper) — zero-copy basket snapshots.
+//!
+//! Two measurements around the copy-on-write firing path:
+//!
+//! * **Snapshot scaling**: microseconds per `Basket::snapshot()` as the
+//!   buffered row count grows. With `Arc`-backed columns the cost is
+//!   O(width) — flat in the row count — where it used to be a full
+//!   O(rows × width) deep copy.
+//! * **Shared-basket query scaling**: K standing queries over ONE shared
+//!   stream basket (deferred consumption, the §4.2 shared strategy as
+//!   registered SQL queries). Every firing snapshots the same basket, so
+//!   pre-copy-on-write each round paid K full copies serialized under the
+//!   basket lock; now each pays a refcount bump. Reports rounds/s plus
+//!   the average per-firing lock-held and busy time from
+//!   [`datacell::scheduler::FactoryStats`].
+//!
+//! The stream schema is deliberately wide (`--payload` extra columns,
+//! default 14): queries select on one attribute while the basket carries
+//! many, which is exactly where eager per-firing copies hurt — the old
+//! path cloned every column of every involved basket under the lock,
+//! O(rows × width) per firing, regardless of what the query touched.
+//!
+//! `cargo run --release -p dc_bench --bin fig5c_snapshot
+//!     [--rows N] [--rounds R] [--payload W] [--queries "1,4,16,64"]
+//!     [--snap-rows "1000,10000,100000,1000000"]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use datacell::basket::{Basket, TS_COLUMN};
+use datacell::clock::VirtualClock;
+use datacell::engine::{DataCell, QueryOptions};
+use datacell::factory::{ConsumeMode, PendingDeletes};
+use dc_bench::{arg, Figure};
+use monet::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DOMAIN: i64 = 10_000;
+
+fn list(key: &str, default: &str) -> Vec<usize> {
+    arg::<String>(key, default.to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+/// The key attribute plus `payload` opaque columns.
+fn stream_schema(payload: usize) -> Schema {
+    let mut fields = vec![("a".to_string(), ValueType::Int)];
+    fields.extend((0..payload).map(|i| (format!("p{i}"), ValueType::Int)));
+    Schema::new(
+        fields
+            .into_iter()
+            .map(|(n, t)| Field::new(n, t))
+            .collect(),
+    )
+}
+
+/// One pre-stamped ingest batch (full schema incl. the arrival column, so
+/// the driver's refill adds no per-round stamping work).
+fn make_batch(rows: usize, payload: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..DOMAIN)).collect();
+    let filler: Vec<i64> = (0..rows as i64).collect();
+    let mut cols = vec![("a".to_string(), Column::from_ints(a))];
+    for i in 0..payload {
+        cols.push((format!("p{i}"), Column::from_ints(filler.clone())));
+    }
+    cols.push((TS_COLUMN.into(), Column::from_ts(vec![0; rows])));
+    Relation::from_columns(cols).unwrap()
+}
+
+/// Microseconds per snapshot of a basket holding `rows` tuples.
+fn snapshot_micros(rows: usize, payload: usize) -> f64 {
+    let clock = VirtualClock::new();
+    let basket = Basket::new("S", &stream_schema(payload), true);
+    basket
+        .append_relation(make_batch(rows, payload, 7), &clock)
+        .unwrap();
+    // warm up, then time enough iterations to be measurable
+    let iters = 2_000usize;
+    let mut keep = 0usize;
+    for _ in 0..100 {
+        keep = keep.wrapping_add(basket.snapshot().len());
+    }
+    let t = Instant::now();
+    for _ in 0..iters {
+        keep = keep.wrapping_add(basket.snapshot().len());
+    }
+    let us = t.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    assert!(keep > 0, "snapshots observed");
+    us
+}
+
+struct SharedRun {
+    rounds_per_s: f64,
+    fire_lock_us: f64,
+    fire_busy_us: f64,
+    matched: u64,
+}
+
+/// K standing queries with deferred consumption over one shared basket;
+/// the driver plays the unlocker (applies the union of consumption sets
+/// after each scheduling round, then refills the basket).
+fn shared_queries(k: usize, rows: usize, rounds: usize, payload: usize) -> SharedRun {
+    let engine = DataCell::with_clock(Arc::new(VirtualClock::new()));
+    engine.create_stream("S", &stream_schema(payload)).unwrap();
+    let out_schema = Schema::from_pairs(&[("a", ValueType::Int)]);
+    let pending = PendingDeletes::new();
+    for i in 0..k {
+        // each query watches one point of the key domain — cheap per-query
+        // work (one selection on one column) against a wide shared basket
+        let watch = (i * DOMAIN as usize / k.max(1)) as i64;
+        engine.create_basket(&format!("OUT{i}"), &out_schema).unwrap();
+        engine
+            .register_query(
+                &format!("q{i}"),
+                &format!(
+                    "insert into OUT{i} select a from [select * from S] as Z \
+                     where Z.a = {watch}"
+                ),
+                QueryOptions {
+                    consume: Some(ConsumeMode::Defer(Arc::clone(&pending))),
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+    }
+    let basket = engine.basket("S").unwrap();
+    let outs: Vec<_> = (0..k)
+        .map(|i| engine.basket(&format!("OUT{i}")).unwrap())
+        .collect();
+    let batch = make_batch(rows, payload, 11);
+
+    let mut matched = 0u64;
+    let wall = Instant::now();
+    for _ in 0..rounds {
+        engine.ingest_relation("S", batch.clone()).unwrap();
+        engine.run_round().unwrap();
+        // unlocker role: apply the union of the K consumption sets
+        for (name, sel) in pending.take() {
+            debug_assert_eq!(name, "S");
+            basket.delete_sel(&sel).unwrap();
+        }
+        for out in &outs {
+            matched += out.drain().len() as u64;
+        }
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    let (mut firings, mut lock_us, mut busy_us) = (0u64, 0u64, 0u64);
+    for (_, s) in engine.factory_stats() {
+        firings += s.firings;
+        lock_us += s.lock_micros;
+        busy_us += s.busy_micros;
+    }
+    SharedRun {
+        rounds_per_s: rounds as f64 / elapsed,
+        fire_lock_us: lock_us as f64 / firings.max(1) as f64,
+        fire_busy_us: busy_us as f64 / firings.max(1) as f64,
+        matched,
+    }
+}
+
+fn main() {
+    let rows: usize = arg("--rows", 100_000);
+    let rounds: usize = arg("--rounds", 50);
+    let payload: usize = arg("--payload", 14);
+    let ks = list("--queries", "1,4,16,64");
+    let snap_rows = list("--snap-rows", "1000,10000,100000,1000000");
+
+    let mut snap_fig = Figure::new("fig5c_snapshot_scaling", &["rows", "snapshot_us"]);
+    let mut first = f64::NAN;
+    let mut last = f64::NAN;
+    for &n in &snap_rows {
+        let us = snapshot_micros(n, payload);
+        if first.is_nan() {
+            first = us;
+        }
+        last = us;
+        snap_fig.row(vec![n.to_string(), format!("{us:.3}")]);
+        println!("[snapshot rows={n}] {us:.3} µs/op");
+    }
+    snap_fig.finish();
+    if let (Some(&lo), Some(&hi)) = (snap_rows.first(), snap_rows.last()) {
+        if hi > lo {
+            let ratio = last / first;
+            println!(
+                "snapshot scaling {hi}/{lo} rows: {ratio:.2}x time (1.0x = perfectly flat / O(width))"
+            );
+            // The regression gate: with copy-on-write columns this ratio
+            // sits near 1.0 whatever the row count; a deep-copy snapshot
+            // would scale with hi/lo (e.g. ~1000x for 1k→1M rows). The
+            // generous bound only absorbs sub-µs timer noise.
+            if hi / lo >= 10 {
+                assert!(
+                    ratio < 5.0,
+                    "snapshot cost scales with rows ({ratio:.2}x from {lo} to {hi}): \
+                     the zero-copy (O(width)) snapshot property regressed"
+                );
+            }
+        }
+    }
+
+    let mut fig = Figure::new(
+        "fig5c_shared_queries",
+        &["queries", "rows", "rounds_per_s", "fire_lock_us", "fire_busy_us", "matched"],
+    );
+    for &k in &ks {
+        let r = shared_queries(k, rows, rounds, payload);
+        fig.row(vec![
+            k.to_string(),
+            rows.to_string(),
+            format!("{:.2}", r.rounds_per_s),
+            format!("{:.1}", r.fire_lock_us),
+            format!("{:.1}", r.fire_busy_us),
+            r.matched.to_string(),
+        ]);
+        println!(
+            "[k={k} rows={rows}] {:.2} rounds/s, lock {:.1} µs / busy {:.1} µs per firing, \
+             {} matches",
+            r.rounds_per_s, r.fire_lock_us, r.fire_busy_us, r.matched
+        );
+    }
+    fig.finish();
+    println!(
+        "\nExpected shape: snapshot µs flat in rows (copy-on-write, O(width)); \
+         rounds/s degrades sub-linearly in K because each extra query adds only \
+         a scan, not a basket copy held under the lock."
+    );
+}

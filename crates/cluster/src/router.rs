@@ -732,6 +732,7 @@ impl ClusterRuntime {
             // aggregate the per-shard basket rows
             let (mut len, mut total_in, mut total_out, mut dropped) = (0u64, 0u64, 0u64, 0u64);
             let (mut high_water, mut cap) = (0u64, 0u64);
+            let (mut pending_deletes, mut compactions) = (0u64, 0u64);
             for &eid in &s.engines {
                 if let Some(b) = reports[eid].as_ref().and_then(|r| r.basket(&s.name)) {
                     len += b.len;
@@ -740,11 +741,14 @@ impl ClusterRuntime {
                     dropped += b.dropped;
                     high_water = high_water.max(b.high_water);
                     cap = cap.max(b.cap);
+                    pending_deletes += b.pending_deletes;
+                    compactions += b.compactions;
                 }
             }
             body.push(format!(
                 "basket {} len={len} enabled=true in={total_in} out={total_out} \
-                 dropped={dropped} high_water={high_water} cap={cap}",
+                 dropped={dropped} high_water={high_water} cap={cap} \
+                 pending_deletes={pending_deletes} compactions={compactions}",
                 s.name
             ));
         }
@@ -762,6 +766,7 @@ impl ClusterRuntime {
                     agg.consumed += row.consumed;
                     agg.produced += row.produced;
                     agg.busy_micros += row.busy_micros;
+                    agg.lock_micros += row.lock_micros;
                     agg.delivered_batches += row.delivered_batches;
                     agg.delivered_tuples += row.delivered_tuples;
                     agg.dropped_batches += row.dropped_batches;
@@ -775,13 +780,14 @@ impl ClusterRuntime {
                 .map(|e| e.relay.subscriber_count())
                 .sum();
             body.push(format!(
-                "query {} firings={} consumed={} produced={} busy_micros={} \
+                "query {} firings={} consumed={} produced={} busy_micros={} lock_micros={} \
                  subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={}",
                 agg.name,
                 agg.firings,
                 agg.consumed,
                 agg.produced,
                 agg.busy_micros,
+                agg.lock_micros,
                 subscribers,
                 agg.delivered_batches,
                 agg.delivered_tuples,

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use dcsql::ast::Expr;
 use dcsql::exec::{eval_expr, ExecEnv, QueryContext, StaticContext};
+use monet::bitset::Bitset;
 use monet::ops::select::select_true;
 use monet::prelude::*;
 use parking_lot::{Mutex, MutexGuard};
@@ -56,20 +57,152 @@ impl BasketStats {
     }
 }
 
+/// Logically-deleted rows below this count never trigger compaction on
+/// their own (they still compact when they reach half the physical store).
+pub const DEFAULT_COMPACT_THRESHOLD: usize = 1024;
+
 /// The lock-protected contents.
+///
+/// Deletes are *logical*: consumption marks rows in a deleted-bitmap
+/// instead of eagerly rewriting every column, and the physical store is
+/// compacted lazily once enough rows are dead (the bounded-memory,
+/// compact-lazily discipline). Physical row positions therefore stay
+/// stable across marks, which is what lets a firing record consumption
+/// positions against a snapshot taken earlier — guarded by the
+/// generation counters below.
 #[derive(Debug)]
 pub struct BasketInner {
+    /// Physical store; may contain logically-deleted rows.
     rel: Relation,
+    /// Bit `i` set ⇒ physical row `i` is logically deleted. `None` ⇔ clean.
+    deleted: Option<Bitset>,
+    deleted_count: usize,
+    /// Bumped whenever live-row numbering could have changed: logical
+    /// marks, compaction, drains. A firing that snapshotted at generation
+    /// `g` may apply its consumption positions only while `delete_gen`
+    /// still reads `g`. Appends need no counter — they extend the store
+    /// without renumbering existing rows, so snapshot positions survive
+    /// them.
+    delete_gen: u64,
+    /// Lifetime count of physical compactions.
+    compactions: u64,
+    /// Memoized live gather for dirty snapshots, keyed on
+    /// `(delete_gen, physical len)` — both change whenever the live view
+    /// does (marks/compaction/drain bump the generation, appends grow the
+    /// store), so repeated snapshots between mutations cost O(width).
+    live_cache: Option<(u64, usize, Relation)>,
 }
 
 impl BasketInner {
-    /// Direct access to the stored relation (under the basket lock).
+    /// The physical store (under the basket lock). May contain
+    /// logically-deleted rows — use [`BasketInner::live_snapshot`] for the
+    /// visible contents.
     pub fn relation(&self) -> &Relation {
         &self.rel
     }
 
-    pub fn relation_mut(&mut self) -> &mut Relation {
-        &mut self.rel
+    /// Buffered (live) tuples.
+    pub fn live_len(&self) -> usize {
+        self.rel.len() - self.deleted_count
+    }
+
+    /// Logically-deleted rows awaiting compaction.
+    pub fn pending_deletes(&self) -> usize {
+        self.deleted_count
+    }
+
+    /// Lifetime physical compactions.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    pub fn delete_gen(&self) -> u64 {
+        self.delete_gen
+    }
+
+    /// The visible contents. O(width) when no deletes are pending (a
+    /// copy-on-write share of every column); a gather of the live rows
+    /// otherwise — memoized, so only the first snapshot after a mutation
+    /// pays the gather.
+    pub fn live_snapshot(&mut self) -> Relation {
+        let Some(live) = self.live_sel() else {
+            return self.rel.clone();
+        };
+        if let Some((gen, len, cached)) = &self.live_cache {
+            if *gen == self.delete_gen && *len == self.rel.len() {
+                return cached.clone();
+            }
+        }
+        let snap = self
+            .rel
+            .gather(&live)
+            .expect("live positions are in bounds by construction");
+        self.live_cache = Some((self.delete_gen, self.rel.len(), snap.clone()));
+        snap
+    }
+
+    /// Ascending physical positions of the live rows; `None` when the
+    /// identity mapping applies (no pending deletes).
+    fn live_sel(&self) -> Option<SelVec> {
+        let deleted = self.deleted.as_ref()?;
+        let live: Vec<u32> = (0..self.rel.len() as u32)
+            .filter(|&p| !deleted.get(p as usize))
+            .collect();
+        Some(SelVec::from_sorted(live).expect("ascending by construction"))
+    }
+
+    /// Translate live-view positions (ascending) to physical positions.
+    fn to_physical(&self, live: &SelVec) -> Vec<u32> {
+        match &self.deleted {
+            None => live.as_slice().to_vec(),
+            Some(deleted) => {
+                let mut out = Vec::with_capacity(live.len());
+                let mut want = live.iter();
+                let mut next = want.next();
+                let mut live_idx = 0u32;
+                for phys in 0..self.rel.len() as u32 {
+                    if deleted.get(phys as usize) {
+                        continue;
+                    }
+                    match next {
+                        Some(n) if n == live_idx => {
+                            out.push(phys);
+                            next = want.next();
+                        }
+                        _ => {}
+                    }
+                    live_idx += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// Keep the deleted-bitmap aligned after `appended` new rows.
+    fn note_append(&mut self, appended: usize) {
+        if let Some(d) = &mut self.deleted {
+            d.extend_filled(appended, false);
+        }
+    }
+
+    /// Physically drop the marked rows and reset the bitmap.
+    fn compact(&mut self) {
+        self.live_cache = None;
+        let Some(deleted) = self.deleted.take() else {
+            return;
+        };
+        if self.deleted_count == self.rel.len() {
+            self.rel.clear();
+        } else {
+            let dead: Vec<u32> = deleted.iter_ones().map(|p| p as u32).collect();
+            let sel = SelVec::from_sorted(dead).expect("bitmap yields ascending positions");
+            self.rel
+                .delete_sel(&sel)
+                .expect("bitmap is aligned with the physical store");
+        }
+        self.deleted_count = 0;
+        self.delete_gen += 1;
+        self.compactions += 1;
     }
 }
 
@@ -84,6 +217,10 @@ pub struct Basket {
     /// block (0 = unbounded). Appends themselves are never rejected by
     /// the cap — cooperating producers gate on [`Basket::has_capacity`].
     pending_cap: AtomicUsize,
+    /// Compaction knob: minimum logically-deleted rows before a physical
+    /// rewrite is considered (0 = compact eagerly on every delete, the
+    /// pre-copy-on-write behavior).
+    compact_threshold: AtomicUsize,
     constraints: Mutex<Vec<Expr>>,
     inner: Mutex<BasketInner>,
     stats: BasketStats,
@@ -118,9 +255,15 @@ impl Basket {
             stamps_arrival: stamp_arrivals,
             enabled: AtomicBool::new(true),
             pending_cap: AtomicUsize::new(0),
+            compact_threshold: AtomicUsize::new(DEFAULT_COMPACT_THRESHOLD),
             constraints: Mutex::new(Vec::new()),
             inner: Mutex::new(BasketInner {
                 rel: Relation::new(&full),
+                deleted: None,
+                deleted_count: 0,
+                delete_gen: 0,
+                compactions: 0,
+                live_cache: None,
             }),
             stats: BasketStats::default(),
         })
@@ -188,6 +331,49 @@ impl Basket {
     pub fn has_capacity(&self) -> bool {
         let cap = self.pending_cap();
         cap == 0 || self.len() < cap
+    }
+
+    // ---- compaction ---------------------------------------------------------
+
+    /// Set the minimum pending logical deletes before compaction is
+    /// considered; 0 compacts eagerly on every delete.
+    pub fn set_compact_threshold(&self, rows: usize) {
+        self.compact_threshold.store(rows, Ordering::Release);
+    }
+
+    pub fn compact_threshold(&self) -> usize {
+        self.compact_threshold.load(Ordering::Acquire)
+    }
+
+    /// `(pending logical deletes, lifetime compactions)` — the
+    /// [`crate::engine::BasketReport`] telemetry.
+    pub fn compaction_stats(&self) -> (usize, u64) {
+        let inner = self.inner.lock();
+        (inner.pending_deletes(), inner.compactions())
+    }
+
+    /// Force a physical compaction now (rewrites columns if any rows are
+    /// marked deleted).
+    pub fn compact_now(&self) {
+        self.inner.lock().compact();
+    }
+
+    fn maybe_compact(&self, inner: &mut BasketInner) {
+        if inner.deleted_count == 0 {
+            return;
+        }
+        let threshold = self.compact_threshold();
+        // Compact once the dead rows clear the absolute threshold AND an
+        // eighth of the store: the rewrite is O(live), so this amortizes
+        // to ≤ 8 rows moved per deleted row while bounding how long
+        // snapshots/deletes stay in the dirty (gather/translate) regime.
+        let due = threshold == 0
+            || inner.deleted_count == inner.rel.len()
+            || (inner.deleted_count >= threshold
+                && inner.deleted_count * 8 >= inner.rel.len());
+        if due {
+            inner.compact();
+        }
     }
 
     /// Block until the basket drains below its cap (receptor
@@ -276,14 +462,15 @@ impl Basket {
         if n > 0 {
             let mut inner = self.inner.lock();
             inner.rel.append_relation(&accepted)?;
+            inner.note_append(n);
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
-            self.note_high_water(inner.rel.len());
+            self.note_high_water(inner.live_len());
         }
         Ok(n)
     }
 
     /// Append through an already-held guard (factory firing path, where
-    /// Algorithm 1 holds the output-basket lock for the whole cycle).
+    /// the apply phase holds the output-basket lock).
     pub fn append_relation_locked(
         &self,
         inner: &mut BasketInner,
@@ -294,8 +481,9 @@ impl Basket {
         let n = accepted.len();
         if n > 0 {
             inner.rel.append_relation(&accepted)?;
+            inner.note_append(n);
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
-            self.note_high_water(inner.rel.len());
+            self.note_high_water(inner.live_len());
         }
         Ok(n)
     }
@@ -335,27 +523,29 @@ impl Basket {
             let mut inner = self.inner.lock();
             // positional compatibility was just validated
             inner.rel.append_relation(&accepted)?;
+            inner.note_append(n);
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
-            self.note_high_water(inner.rel.len());
+            self.note_high_water(inner.live_len());
         }
         Ok(n)
     }
 
     // ---- reading & consumption ----------------------------------------------
 
-    /// Number of buffered tuples.
+    /// Number of buffered (live) tuples.
     pub fn len(&self) -> usize {
-        self.inner.lock().rel.len()
+        self.inner.lock().live_len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Copy of the current contents ("a basket can also be inspected
-    /// outside a basket expression; then it behaves as any table").
+    /// The visible contents ("a basket can also be inspected outside a
+    /// basket expression; then it behaves as any table"). O(width) when no
+    /// deletes are pending — every column is a copy-on-write share.
     pub fn snapshot(&self) -> Relation {
-        self.inner.lock().rel.clone()
+        self.inner.lock().live_snapshot()
     }
 
     /// Acquire the basket lock for a multi-step read-modify cycle (the
@@ -365,36 +555,87 @@ impl Basket {
         self.inner.lock()
     }
 
-    /// Delete the given positions (consumption after a basket expression).
+    /// Delete the given live-view positions (consumption after a basket
+    /// expression). Positions index the relation [`Basket::snapshot`]
+    /// returns; they stay valid as long as no other delete/drain runs
+    /// between snapshot and this call (appends are always safe). The
+    /// delete is logical — columns are rewritten only when the compaction
+    /// threshold trips.
     pub fn delete_sel(&self, sel: &SelVec) -> Result<()> {
         let mut inner = self.inner.lock();
-        inner.rel.delete_sel(sel)?;
-        self.stats
-            .total_out
-            .fetch_add(sel.len() as u64, Ordering::Relaxed);
-        Ok(())
+        self.delete_sel_locked(&mut inner, sel)
     }
 
-    /// Delete positions through an already-held guard (keeps snapshot
-    /// positions valid across the read-consume cycle).
+    /// Delete live-view positions through an already-held guard (keeps
+    /// snapshot positions valid across the read-consume cycle).
     pub fn delete_sel_locked(
         &self,
         inner: &mut BasketInner,
         sel: &SelVec,
     ) -> Result<()> {
-        inner.rel.delete_sel(sel)?;
+        if sel.is_empty() {
+            return Ok(());
+        }
+        sel.check_bounds(inner.live_len())?;
         self.stats
             .total_out
             .fetch_add(sel.len() as u64, Ordering::Relaxed);
+        match &mut inner.deleted {
+            None if sel.len() == inner.rel.len() => {
+                // consuming everything in a clean basket: release the
+                // storage wholesale, no bitmap needed (the common
+                // "whole batch referenced" firing)
+                inner.rel.clear();
+                inner.delete_gen += 1;
+                return Ok(());
+            }
+            None => {
+                // clean basket: live positions ARE physical positions
+                let mut deleted = Bitset::filled(inner.rel.len(), false);
+                for p in sel.iter() {
+                    deleted.set(p as usize, true);
+                }
+                inner.deleted = Some(deleted);
+                inner.deleted_count = sel.len();
+            }
+            Some(_) => {
+                let phys = inner.to_physical(sel);
+                let deleted = inner.deleted.as_mut().expect("matched Some");
+                for &p in &phys {
+                    deleted.set(p as usize, true);
+                }
+                inner.deleted_count += phys.len();
+            }
+        }
+        inner.delete_gen += 1;
+        self.maybe_compact(inner);
         Ok(())
     }
 
-    /// Remove and return everything (`basket.empty` in Algorithm 1).
+    /// Remove and return everything live (`basket.empty` in Algorithm 1).
     pub fn drain(&self) -> Relation {
         let mut inner = self.inner.lock();
-        let n = inner.rel.len();
-        let empty = Relation::new(&self.schema);
-        let full = std::mem::replace(&mut inner.rel, empty);
+        let n = inner.live_len();
+        let full = match inner.live_sel() {
+            None => {
+                let empty = Relation::new(&self.schema);
+                std::mem::replace(&mut inner.rel, empty)
+            }
+            Some(live) => {
+                let out = inner
+                    .rel
+                    .gather(&live)
+                    .expect("live positions are in bounds by construction");
+                inner.rel = Relation::new(&self.schema);
+                inner.deleted = None;
+                inner.deleted_count = 0;
+                inner.live_cache = None;
+                out
+            }
+        };
+        if !full.is_empty() {
+            inner.delete_gen += 1;
+        }
         self.stats.total_out.fetch_add(n as u64, Ordering::Relaxed);
         full
     }

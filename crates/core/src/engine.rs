@@ -58,6 +58,10 @@ pub struct BasketReport {
     pub high_water: u64,
     /// Configured pending-batch cap (0 = unbounded).
     pub pending_cap: usize,
+    /// Logically-deleted rows awaiting physical compaction.
+    pub pending_deletes: usize,
+    /// Lifetime physical compactions of the basket store.
+    pub compactions: u64,
 }
 
 /// The engine.
@@ -247,6 +251,7 @@ impl DataCell {
             .values()
             .map(|b| {
                 let (total_in, total_out, dropped) = b.stats().snapshot();
+                let (pending_deletes, compactions) = b.compaction_stats();
                 BasketReport {
                     name: b.name().to_string(),
                     len: b.len(),
@@ -256,6 +261,8 @@ impl DataCell {
                     dropped,
                     high_water: b.stats().high_water(),
                     pending_cap: b.pending_cap(),
+                    pending_deletes,
+                    compactions,
                 }
             })
             .collect();
@@ -315,40 +322,76 @@ impl DataCell {
         if rest.is_empty() {
             return Ok(None);
         }
-        let snapshot_ctx = self.snapshot_context();
-        let effects = execute_script(&rest, &snapshot_ctx)?;
-        self.apply_effects(effects)
-    }
-
-    fn snapshot_context(&self) -> EngineSnapshot {
-        let baskets = self.baskets.read();
-        let snapshots: HashMap<String, Relation> = baskets
-            .iter()
-            .map(|(n, b)| (n.clone(), b.snapshot()))
-            .collect();
-        EngineSnapshot {
-            snapshots,
-            catalog: Arc::clone(&self.catalog),
-            vars: Arc::clone(&self.vars),
-            now: self.clock.now(),
-        }
-    }
-
-    fn apply_effects(&self, effects: Effects) -> Result<Option<Relation>> {
-        for (name, sel) in effects.consumed {
-            if let Ok(b) = self.basket(&name) {
-                b.delete_sel(&sel)?;
+        // One-shot scripts hold the *consumed* baskets' locks for the
+        // whole snapshot → execute → apply-consumption cycle, so the
+        // recorded consumption positions cannot be invalidated by a
+        // concurrently firing factory. Everything else is snapshotted
+        // O(width) up front and released — read-heavy ad-hoc queries
+        // never stall receptors or factories — and no other basket lock
+        // is ever taken while the consumed guards are held (the locking
+        // discipline stays id-ordered, acquire-all-then-hold).
+        let shape = crate::analyze::analyze(&rest);
+        let mut consumed_baskets: Vec<Arc<Basket>> = Vec::new();
+        let mut snapshots: HashMap<String, Relation> = HashMap::new();
+        {
+            let baskets = self.baskets.read();
+            for name in &shape.consumed {
+                if let Some(b) = baskets.get(name) {
+                    consumed_baskets.push(Arc::clone(b));
+                }
+            }
+            // snapshot every *other* basket before taking any consumed
+            // guard (each snapshot briefly takes its own lock)
+            for (name, b) in baskets.iter() {
+                if !shape.consumed.contains(name) {
+                    snapshots.insert(name.clone(), b.snapshot());
+                }
             }
         }
+        consumed_baskets.sort_by_key(|b| b.id());
+        consumed_baskets.dedup_by_key(|b| b.id());
+        let mut guards: Vec<parking_lot::MutexGuard<'_, crate::basket::BasketInner>> =
+            consumed_baskets.iter().map(|b| b.lock()).collect();
+        for (b, g) in consumed_baskets.iter().zip(guards.iter_mut()) {
+            snapshots.insert(b.name().to_string(), g.live_snapshot());
+        }
+        let ctx = EngineSnapshot {
+            snapshots,
+            engine: self,
+            now: self.clock.now(),
+        };
+        let effects = execute_script(&rest, &ctx)?;
+        drop(ctx);
+
+        // apply consumption while the guards pin the live numbering ...
+        let index: HashMap<&str, usize> = consumed_baskets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.name(), i))
+            .collect();
+        for (name, sel) in &effects.consumed {
+            if let Some(&gi) = index.get(name.as_str()) {
+                consumed_baskets[gi].delete_sel_locked(&mut guards[gi], sel)?;
+            }
+            // consumption of a non-basket name (persistent table) is
+            // silently ignored, as before
+        }
+        drop(guards);
+
+        // ... then apply everything else through each target's own lock
+        self.apply_inserts_and_vars(effects)
+    }
+
+    fn apply_inserts_and_vars(&self, effects: Effects) -> Result<Option<Relation>> {
         for (table, columns, rows) in effects.inserts {
             let rows = match &columns {
                 Some(cols) => {
-                    let mut r = rows.clone();
-                    if cols.len() != r.width() {
+                    if cols.len() != rows.width() {
                         return Err(EngineError::Config(
                             "insert column list arity mismatch".into(),
                         ));
                     }
+                    let mut r = rows;
                     r.rename_columns(cols.clone())?;
                     r
                 }
@@ -381,27 +424,32 @@ impl Default for DataCell {
     }
 }
 
-/// Engine-wide snapshot context for one-shot execution.
-struct EngineSnapshot {
+/// Snapshot context for one-shot execution: every basket that existed at
+/// the start of the script (consumed ones under their held guards, the
+/// rest as cheap copy-on-write snapshots), falling back to catalog
+/// tables. Deliberately never locks a basket itself — the caller may be
+/// holding consumed-basket guards, and taking another basket's lock here
+/// would break the id-ordered locking discipline.
+struct EngineSnapshot<'a> {
     snapshots: HashMap<String, Relation>,
-    catalog: Arc<Catalog>,
-    vars: Arc<VarStore>,
+    engine: &'a DataCell,
     now: i64,
 }
 
-impl QueryContext for EngineSnapshot {
+impl QueryContext for EngineSnapshot<'_> {
     fn relation(&self, name: &str) -> dcsql::Result<Relation> {
         if let Some(r) = self.snapshots.get(name) {
             return Ok(r.clone());
         }
-        self.catalog
+        self.engine
+            .catalog
             .get(name)
             .map(|t| t.read().expect("catalog lock").clone())
             .map_err(|_| dcsql::SqlError::Unknown(name.to_string()))
     }
 
     fn get_var(&self, name: &str) -> Option<Value> {
-        self.vars.get(name)
+        self.engine.vars.get(name)
     }
 
     fn now(&self) -> i64 {

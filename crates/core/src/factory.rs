@@ -1,10 +1,22 @@
 //! Factories — stateful continuous-query execution units (paper §3.3).
 //!
 //! A factory wraps (part of) a query plan. Its execution state survives
-//! between calls; each call (`fire`) locks the involved baskets, evaluates
-//! the plan over their contents, removes consumed tuples and appends
-//! results — Algorithm 1 of the paper. The scheduler treats factories as
-//! Petri-net transitions: `ready()` is the firing condition.
+//! between calls; each call (`fire`) snapshots the involved baskets,
+//! evaluates the plan over the snapshots and applies the effects —
+//! Algorithm 1 of the paper, restructured so query execution happens
+//! *outside* the basket locks:
+//!
+//! 1. **snapshot under lock** — O(width) copy-on-write clones of every
+//!    involved basket, plus their delete-generation counters;
+//! 2. **execute unlocked** — other factories and receptors proceed
+//!    concurrently;
+//! 3. **reacquire and apply** — if no conflicting delete intervened
+//!    (generation check), consumption positions are still valid and the
+//!    effects apply as-is; otherwise fall back to re-executing under the
+//!    held locks (the original whole-firing-locked Algorithm 1).
+//!
+//! The scheduler treats factories as Petri-net transitions: `ready()` is
+//! the firing condition.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -32,6 +44,10 @@ pub struct FireReport {
     pub produced: usize,
     /// Wall-clock execution time of this firing, in microseconds.
     pub elapsed_micros: u64,
+    /// Time spent holding basket locks, in microseconds (contention
+    /// telemetry; ≤ `elapsed_micros`, and far below it when the
+    /// short-lock protocol is winning).
+    pub lock_micros: u64,
 }
 
 /// A Petri-net transition over baskets.
@@ -153,8 +169,13 @@ impl QueryContext for FiringContext<'_> {
 pub struct QueryFactory {
     name: String,
     stmts: Vec<Stmt>,
-    /// Baskets consumed by basket expressions — the firing inputs.
+    /// Baskets that gate firing (the consumed baskets, unless overridden
+    /// by `trigger_on`).
     inputs: Vec<Arc<Basket>>,
+    /// Baskets consumed by basket expressions — the only baskets whose
+    /// delete generation can invalidate this factory's recorded
+    /// consumption positions.
+    consumed_inputs: Vec<Arc<Basket>>,
     /// Baskets read non-consumingly (snapshotted, but don't gate firing).
     reads: Vec<Arc<Basket>>,
     /// Baskets inserted into.
@@ -215,11 +236,13 @@ impl QueryFactory {
                 return Err(EngineError::Unknown(name.clone()));
             }
         }
+        let consumed_inputs = inputs.clone();
         let inputs = trigger_on.unwrap_or(inputs);
         Ok(QueryFactory {
             name: name.into(),
             stmts,
             inputs,
+            consumed_inputs,
             reads,
             outputs,
             catalog,
@@ -250,6 +273,7 @@ impl QueryFactory {
         let mut v: Vec<Arc<Basket>> = self
             .inputs
             .iter()
+            .chain(self.consumed_inputs.iter())
             .chain(self.reads.iter())
             .chain(self.outputs.iter())
             .cloned()
@@ -262,24 +286,35 @@ impl QueryFactory {
     /// Apply the executor's effects under the held basket guards.
     fn apply_effects(
         &self,
-        effects: Effects,
+        mut effects: Effects,
         baskets: &HashMap<String, (Arc<Basket>, usize)>,
         guards: &mut [parking_lot::MutexGuard<'_, crate::basket::BasketInner>],
     ) -> Result<FireReport> {
         let mut consumed = 0usize;
         let mut produced = 0usize;
 
-        // deletions (basket-expression consumption)
-        for (name, sel) in &effects.consumed {
+        // deletions (basket-expression consumption). The executor unions
+        // selections per basket (`merge_consumed`), so each basket appears
+        // at most once — crucial, since every selection is positioned
+        // against the same snapshot and chained deletes would shift later
+        // positions.
+        debug_assert!(
+            {
+                let names: Vec<&String> = effects.consumed.iter().map(|(n, _)| n).collect();
+                names.iter().collect::<std::collections::HashSet<_>>().len() == names.len()
+            },
+            "executor must union consumption per basket"
+        );
+        for (name, sel) in std::mem::take(&mut effects.consumed) {
             match &self.consume {
                 ConsumeMode::Apply => {
-                    if let Some((basket, gi)) = baskets.get(name) {
-                        basket.delete_sel_locked(&mut guards[*gi], sel)?;
+                    if let Some((basket, gi)) = baskets.get(&name) {
+                        basket.delete_sel_locked(&mut guards[*gi], &sel)?;
                         consumed += sel.len();
                     }
                 }
                 ConsumeMode::Defer(pending) => {
-                    pending.record(name, sel);
+                    pending.record(&name, &sel);
                     consumed += sel.len();
                 }
             }
@@ -288,7 +323,7 @@ impl QueryFactory {
         // inserts
         for (table, columns, rows) in effects.inserts {
             let rows = match &columns {
-                Some(cols) => remap_columns(&rows, cols)?,
+                Some(cols) => remap_columns(rows, cols)?,
                 None => rows,
             };
             produced += rows.len();
@@ -330,14 +365,14 @@ impl QueryFactory {
         Ok(FireReport {
             consumed,
             produced,
-            elapsed_micros: 0,
+            ..FireReport::default()
         })
     }
 }
 
 /// Rename an insert batch to an explicit column list (positional payload,
-/// named targets).
-fn remap_columns(rows: &Relation, cols: &[String]) -> Result<Relation> {
+/// named targets). The batch is renamed in place — no column data moves.
+fn remap_columns(rows: Relation, cols: &[String]) -> Result<Relation> {
     if cols.len() != rows.width() {
         return Err(EngineError::Config(format!(
             "insert column list has {} names but select produced {} columns",
@@ -345,7 +380,7 @@ fn remap_columns(rows: &Relation, cols: &[String]) -> Result<Relation> {
             rows.width()
         )));
     }
-    let mut renamed = rows.clone();
+    let mut renamed = rows;
     renamed.rename_columns(cols.to_vec())?;
     Ok(renamed)
 }
@@ -369,32 +404,89 @@ impl Factory for QueryFactory {
 
     fn fire(&mut self) -> Result<FireReport> {
         let started = Instant::now();
-
-        // Algorithm 1: lock every involved basket for the whole firing.
         let involved = self.involved();
+
+        // Phase 1 — snapshot under a short lock. Only the baskets the
+        // script can actually *read* need snapshots (consumed + reads);
+        // pure outputs are locked later, in the apply phase, so a
+        // downstream consumer of our output is never serialized against
+        // our snapshot. With copy-on-write columns each snapshot is
+        // O(width); the delete generations (by basket id) pin the
+        // live-row numbering the consumed snapshots were taken at.
+        let mut scanned: Vec<Arc<Basket>> = self
+            .consumed_inputs
+            .iter()
+            .chain(self.reads.iter())
+            .cloned()
+            .collect();
+        scanned.sort_by_key(|b| b.id());
+        scanned.dedup_by_key(|b| b.id());
+        let lock_started = Instant::now();
         let mut guards: Vec<parking_lot::MutexGuard<'_, crate::basket::BasketInner>> =
-            Vec::with_capacity(involved.len());
+            scanned.iter().map(|b| b.lock()).collect();
+        let mut snapshots: HashMap<String, Relation> = HashMap::new();
+        let mut gens: HashMap<u64, u64> = HashMap::with_capacity(scanned.len());
+        for (i, b) in scanned.iter().enumerate() {
+            snapshots.insert(b.name().to_string(), guards[i].live_snapshot());
+            gens.insert(b.id(), guards[i].delete_gen());
+        }
+        drop(guards);
+        let mut lock_micros = lock_started.elapsed().as_micros() as u64;
+
+        // Phase 2 — execute with no basket locks held: other factories,
+        // receptors and emitters proceed concurrently.
+        let effects = {
+            let ctx = FiringContext {
+                snapshots: &snapshots,
+                catalog: &self.catalog,
+                vars: &self.vars,
+                now: self.clock.now(),
+            };
+            execute_script(&self.stmts, &ctx)?
+        };
+
+        // Phase 3 — reacquire and apply. Appends elsewhere are harmless
+        // (they never renumber existing rows); a delete/drain/compaction
+        // on a *consumed* basket shifts the live numbering our consumption
+        // positions refer to, so on a generation mismatch fall back to
+        // re-executing with every lock held (the original whole-firing-
+        // locked Algorithm 1) — conservative, rare, and guaranteed
+        // consistent. Only consumed baskets matter here: nothing positional
+        // is ever applied to read-only or output baskets, so a downstream
+        // consumer draining our output must not force a re-execution.
+        let lock_started = Instant::now();
+        let mut guards: Vec<parking_lot::MutexGuard<'_, crate::basket::BasketInner>> =
+            involved.iter().map(|b| b.lock()).collect();
         let mut index: HashMap<String, (Arc<Basket>, usize)> = HashMap::new();
         for (i, b) in involved.iter().enumerate() {
-            guards.push(b.lock());
             index.insert(b.name().to_string(), (Arc::clone(b), i));
         }
-
-        // Snapshot under lock so consumption positions stay valid.
-        let mut snapshots: HashMap<String, Relation> = HashMap::new();
-        for (name, (_, gi)) in &index {
-            snapshots.insert(name.clone(), guards[*gi].relation().clone());
-        }
-
-        let ctx = FiringContext {
-            snapshots: &snapshots,
-            catalog: &self.catalog,
-            vars: &self.vars,
-            now: self.clock.now(),
+        let consumed_ids: std::collections::HashSet<u64> =
+            self.consumed_inputs.iter().map(|b| b.id()).collect();
+        let unchanged = involved
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| consumed_ids.contains(&b.id()))
+            .all(|(i, b)| Some(&guards[i].delete_gen()) == gens.get(&b.id()));
+        let effects = if unchanged {
+            effects
+        } else {
+            let mut snapshots: HashMap<String, Relation> = HashMap::new();
+            for (i, b) in involved.iter().enumerate() {
+                snapshots.insert(b.name().to_string(), guards[i].live_snapshot());
+            }
+            let ctx = FiringContext {
+                snapshots: &snapshots,
+                catalog: &self.catalog,
+                vars: &self.vars,
+                now: self.clock.now(),
+            };
+            execute_script(&self.stmts, &ctx)?
         };
-        let effects = execute_script(&self.stmts, &ctx)?;
         let mut report = self.apply_effects(effects, &index, &mut guards)?;
+        lock_micros += lock_started.elapsed().as_micros() as u64;
         report.elapsed_micros = started.elapsed().as_micros() as u64;
+        report.lock_micros = lock_micros;
         Ok(report)
     }
 }
@@ -732,7 +824,7 @@ mod tests {
                 Ok(FireReport {
                     consumed: n,
                     produced: n,
-                    elapsed_micros: 0,
+                    ..FireReport::default()
                 })
             },
         );

@@ -83,7 +83,7 @@ impl Factory for Metronome {
         Ok(FireReport {
             consumed: 0,
             produced,
-            elapsed_micros: 0,
+            ..FireReport::default()
         })
     }
 }
@@ -159,7 +159,7 @@ impl Factory for Heartbeat {
         Ok(FireReport {
             consumed: 0,
             produced,
-            elapsed_micros: 0,
+            ..FireReport::default()
         })
     }
 }

@@ -27,6 +27,10 @@ pub struct FactoryStats {
     pub consumed: u64,
     pub produced: u64,
     pub busy_micros: u64,
+    /// Time spent holding basket locks, out of `busy_micros` — the
+    /// contention signal: a factory with `lock_micros` close to
+    /// `busy_micros` is serializing its peers on shared baskets.
+    pub lock_micros: u64,
 }
 
 impl FactoryStats {
@@ -35,6 +39,7 @@ impl FactoryStats {
         self.consumed += r.consumed as u64;
         self.produced += r.produced as u64;
         self.busy_micros += r.elapsed_micros;
+        self.lock_micros += r.lock_micros;
     }
 }
 
@@ -306,7 +311,7 @@ mod tests {
                 Ok(FireReport {
                     consumed: n,
                     produced: n,
-                    elapsed_micros: 0,
+                    ..FireReport::default()
                 })
             },
         ))

@@ -103,7 +103,7 @@ pub fn separate_baskets(
                     Ok(FireReport {
                         consumed: n,
                         produced,
-                        elapsed_micros: 0,
+                        ..FireReport::default()
                     })
                 },
             )
@@ -132,7 +132,7 @@ pub fn separate_baskets(
                     Ok(FireReport {
                         consumed: n,
                         produced,
-                        elapsed_micros: 0,
+                        ..FireReport::default()
                     })
                 },
             )
@@ -191,7 +191,7 @@ pub fn shared_baskets(
                     Ok(FireReport {
                         consumed: 0,
                         produced: flags2.len(),
-                        elapsed_micros: 0,
+                        ..FireReport::default()
                     })
                 },
             )
@@ -219,27 +219,24 @@ pub fn shared_baskets(
             vec![Arc::clone(&outputs[i]), Arc::clone(&dones[i])],
             move || {
                 let _ = flag.drain();
-                // Read in place under the basket lock — no copy is made;
-                // this is the whole point of the shared strategy. The
+                // Snapshot under the basket lock — with copy-on-write
+                // columns this is O(width), a refcount bump per column;
+                // the selection then runs with the lock released. The
                 // unlocker deletes later.
-                let (hits, batch_len) = {
-                    let guard = shared.lock();
-                    let rel = guard.relation();
-                    let sel = q.matches(rel.column("a")?)?;
-                    (rel.gather(&sel)?, rel.len())
-                };
+                let snap = shared.lock().live_snapshot();
+                let sel = q.matches(snap.column("a")?)?;
+                let hits = snap.gather(&sel)?;
                 let produced = output.append_relation(hits, clk.as_ref())?;
                 // every query's basket expression covers the whole locked
                 // batch, so the union the unlocker must delete is simply
                 // "everything present at lock time" — the basket is
                 // disabled, so its contents *are* the batch and no
                 // per-query selection bookkeeping is needed
-                let _ = batch_len;
                 done.append_rows(&[vec![Value::Bool(true)]], clk.as_ref())?;
                 Ok(FireReport {
                     consumed: 0,
                     produced,
-                    elapsed_micros: 0,
+                    ..FireReport::default()
                 })
             },
         )));
@@ -272,7 +269,7 @@ pub fn shared_baskets(
                 Ok(FireReport {
                     consumed,
                     produced: 0,
-                    elapsed_micros: 0,
+                    ..FireReport::default()
                 })
             },
         )));
@@ -347,20 +344,18 @@ pub fn partial_deletes(
                     } else {
                         flight.store(true, std::sync::atomic::Ordering::Release);
                     }
-                    // select + in-place delete: the per-query basket
-                    // modification the paper measures
+                    // select + per-query delete: the continuous basket
+                    // modification the paper measures. The delete is a
+                    // logical mark against the live view; the basket
+                    // compacts physically once enough rows are dead.
                     let (hits, sel_len) = {
-                        let guard = shared.lock();
-                        let rel = guard.relation();
-                        let sel = q.matches(rel.column("a")?)?;
-                        (rel.gather(&sel)?, sel.len())
-                    };
-                    {
                         let mut guard = shared.lock();
-                        let rel = guard.relation_mut();
-                        let sel = q.matches(rel.column("a")?)?;
-                        rel.delete_sel(&sel)?;
-                    }
+                        let view = guard.live_snapshot();
+                        let sel = q.matches(view.column("a")?)?;
+                        let hits = view.gather(&sel)?;
+                        shared.delete_sel_locked(&mut guard, &sel)?;
+                        (hits, sel.len())
+                    };
                     let produced = output.append_relation(hits, clk.as_ref())?;
                     let mut consumed = sel_len;
                     if is_last {
@@ -373,7 +368,7 @@ pub fn partial_deletes(
                     Ok(FireReport {
                         consumed,
                         produced,
-                        elapsed_micros: 0,
+                        ..FireReport::default()
                     })
                 },
             )
@@ -452,7 +447,7 @@ pub fn shared_selection(
             Ok(FireReport {
                 consumed: n,
                 produced,
-                elapsed_micros: 0,
+                ..FireReport::default()
             })
         },
     )

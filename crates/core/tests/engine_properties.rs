@@ -103,7 +103,7 @@ proptest! {
                     let batch = src.drain();
                     let n = batch.len();
                     dst.append_relation(batch, clk.as_ref())?;
-                    Ok(FireReport { consumed: n, produced: n, elapsed_micros: 0 })
+                    Ok(FireReport { consumed: n, produced: n, ..FireReport::default() })
                 },
             )));
         }

@@ -392,7 +392,7 @@ fn q1_ingest(
             Ok(FireReport {
                 consumed: n,
                 produced,
-                elapsed_micros: 0,
+                ..FireReport::default()
             })
         },
     ))
@@ -454,7 +454,7 @@ fn q2_accidents(
             Ok(FireReport {
                 consumed: n,
                 produced: new_accidents,
-                elapsed_micros: 0,
+                ..FireReport::default()
             })
         },
     ))
@@ -534,7 +534,7 @@ fn q3_statistics(
             Ok(FireReport {
                 consumed: n,
                 produced: lav_count,
-                elapsed_micros: 0,
+                ..FireReport::default()
             })
         },
     ))
@@ -621,7 +621,7 @@ fn q4_tolls(
             Ok(FireReport {
                 consumed: n,
                 produced,
-                elapsed_micros: 0,
+                ..FireReport::default()
             })
         },
     ))
@@ -663,7 +663,7 @@ fn q5_filter(
             Ok(FireReport {
                 consumed: n,
                 produced,
-                elapsed_micros: 0,
+                ..FireReport::default()
             })
         },
     ))
@@ -709,7 +709,7 @@ fn q6_expenditure(
             Ok(FireReport {
                 consumed: n,
                 produced,
-                elapsed_micros: 0,
+                ..FireReport::default()
             })
         },
     ))
@@ -875,7 +875,7 @@ fn q7_balance(
                 Ok(FireReport {
                     consumed: n,
                     produced,
-                    elapsed_micros: 0,
+                    ..FireReport::default()
                 })
             },
         )

@@ -3,6 +3,15 @@
 //! A [`Column`] is the tail of a MonetDB BAT: a dense, typed vector. The
 //! head (OID) column is virtual — a position *is* its OID — which is what
 //! makes positional tuple reconstruction across aligned columns free.
+//!
+//! Payloads are `Arc`-backed and copy-on-write: `Column::clone` (and hence
+//! `Relation::clone`) is a refcount bump per column, so snapshotting a
+//! basket costs O(width) instead of O(rows × width). Mutation goes through
+//! [`Arc::make_mut`], which deep-copies only when the payload is shared —
+//! a clone therefore behaves as an immutable snapshot of the column at
+//! clone time, no matter what happens to the source afterwards.
+
+use std::sync::Arc;
 
 use crate::bitset::Bitset;
 use crate::error::{MonetError, Result};
@@ -59,23 +68,36 @@ impl ColumnData {
             ColumnData::Ts(_) => ValueType::Ts,
         }
     }
+
+    fn clear(&mut self) {
+        match self {
+            ColumnData::Bool(v) => v.clear(),
+            ColumnData::Int(v) => v.clear(),
+            ColumnData::Double(v) => v.clear(),
+            ColumnData::Str(v) => v.clear(),
+            ColumnData::Ts(v) => v.clear(),
+        }
+    }
 }
 
 /// A typed column with an optional validity mask.
 ///
 /// `validity == None` means "no NULLs"; the mask is materialized lazily on
 /// the first NULL append so the common all-valid path stays mask-free.
+///
+/// Cloning is O(1): payload and mask are shared behind `Arc`s until either
+/// side mutates (copy-on-write).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Column {
-    data: ColumnData,
-    validity: Option<Bitset>,
+    data: Arc<ColumnData>,
+    validity: Option<Arc<Bitset>>,
 }
 
 impl Column {
     /// New empty column of the given type.
     pub fn new(vtype: ValueType) -> Self {
         Column {
-            data: ColumnData::new(vtype),
+            data: Arc::new(ColumnData::new(vtype)),
             validity: None,
         }
     }
@@ -83,42 +105,42 @@ impl Column {
     /// New empty column with reserved capacity.
     pub fn with_capacity(vtype: ValueType, cap: usize) -> Self {
         Column {
-            data: ColumnData::with_capacity(vtype, cap),
+            data: Arc::new(ColumnData::with_capacity(vtype, cap)),
             validity: None,
         }
     }
 
     pub fn from_ints(v: Vec<i64>) -> Self {
         Column {
-            data: ColumnData::Int(v),
+            data: Arc::new(ColumnData::Int(v)),
             validity: None,
         }
     }
 
     pub fn from_doubles(v: Vec<f64>) -> Self {
         Column {
-            data: ColumnData::Double(v),
+            data: Arc::new(ColumnData::Double(v)),
             validity: None,
         }
     }
 
     pub fn from_bools(v: Vec<bool>) -> Self {
         Column {
-            data: ColumnData::Bool(v),
+            data: Arc::new(ColumnData::Bool(v)),
             validity: None,
         }
     }
 
     pub fn from_strs(v: Vec<String>) -> Self {
         Column {
-            data: ColumnData::Str(v),
+            data: Arc::new(ColumnData::Str(v)),
             validity: None,
         }
     }
 
     pub fn from_ts(v: Vec<i64>) -> Self {
         Column {
-            data: ColumnData::Ts(v),
+            data: Arc::new(ColumnData::Ts(v)),
             validity: None,
         }
     }
@@ -145,12 +167,15 @@ impl Column {
             }
             if mask.all_set() {
                 return Ok(Column {
-                    data,
+                    data: Arc::new(data),
                     validity: None,
                 });
             }
         }
-        Ok(Column { data, validity })
+        Ok(Column {
+            data: Arc::new(data),
+            validity: validity.map(Arc::new),
+        })
     }
 
     pub fn len(&self) -> usize {
@@ -173,13 +198,27 @@ impl Column {
     /// Is position `i` non-NULL?
     #[inline]
     pub fn is_valid(&self, i: usize) -> bool {
-        self.validity.as_ref().is_none_or(|m| m.get(i))
+        self.validity.as_deref().is_none_or(|m| m.get(i))
+    }
+
+    /// Whether this column shares its payload storage with `other` (i.e.
+    /// both are copy-on-write views of the same allocation). Diagnostic
+    /// hook for the zero-copy snapshot tests and benches.
+    pub fn shares_data(&self, other: &Column) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Exclusive handle to the payload; deep-copies first if shared.
+    fn data_mut(&mut self) -> &mut ColumnData {
+        Arc::make_mut(&mut self.data)
     }
 
     fn ensure_mask(&mut self) -> &mut Bitset {
         let len = self.len();
-        self.validity
-            .get_or_insert_with(|| Bitset::filled(len, true))
+        Arc::make_mut(
+            self.validity
+                .get_or_insert_with(|| Arc::new(Bitset::filled(len, true))),
+        )
     }
 
     /// Append one value; NULLs store a type-default payload and clear the
@@ -189,7 +228,7 @@ impl Column {
             // Mask first: ensure_mask sizes itself off the current length,
             // which must not yet include the new slot.
             self.ensure_mask().push(false);
-            match &mut self.data {
+            match self.data_mut() {
                 ColumnData::Bool(v) => v.push(false),
                 ColumnData::Int(v) => v.push(0),
                 ColumnData::Double(v) => v.push(0.0),
@@ -198,7 +237,26 @@ impl Column {
             }
             return Ok(());
         }
-        match (&mut self.data, &value) {
+        if !matches!(
+            (self.vtype(), value.value_type()),
+            (ValueType::Bool, Some(ValueType::Bool))
+                | (ValueType::Int, Some(ValueType::Int))
+                | (ValueType::Double, Some(ValueType::Double))
+                | (ValueType::Double, Some(ValueType::Int))
+                | (ValueType::Str, Some(ValueType::Str))
+                | (ValueType::Ts, Some(ValueType::Ts))
+                | (ValueType::Ts, Some(ValueType::Int))
+                | (ValueType::Int, Some(ValueType::Ts))
+        ) {
+            // Reject before data_mut so a shared payload is not deep-copied
+            // just to report a type error.
+            return Err(MonetError::TypeMismatch {
+                op: "push",
+                expected: self.vtype(),
+                found: value.value_type().unwrap_or(ValueType::Bool),
+            });
+        }
+        match (self.data_mut(), &value) {
             (ColumnData::Bool(v), Value::Bool(b)) => v.push(*b),
             (ColumnData::Int(v), Value::Int(i)) => v.push(*i),
             (ColumnData::Double(v), Value::Double(d)) => v.push(*d),
@@ -207,6 +265,9 @@ impl Column {
             (ColumnData::Ts(v), Value::Ts(t)) => v.push(*t),
             (ColumnData::Ts(v), Value::Int(t)) => v.push(*t),
             (ColumnData::Int(v), Value::Ts(t)) => v.push(*t),
+            // the matches! above should have rejected everything else;
+            // degrade to the typed error (not a panic) if the two tables
+            // ever drift
             _ => {
                 return Err(MonetError::TypeMismatch {
                     op: "push",
@@ -216,7 +277,7 @@ impl Column {
             }
         }
         if let Some(mask) = &mut self.validity {
-            mask.push(true);
+            Arc::make_mut(mask).push(true);
         }
         Ok(())
     }
@@ -226,7 +287,7 @@ impl Column {
         if !self.is_valid(i) {
             return Value::Null;
         }
-        match &self.data {
+        match &*self.data {
             ColumnData::Bool(v) => Value::Bool(v[i]),
             ColumnData::Int(v) => Value::Int(v[i]),
             ColumnData::Double(v) => Value::Double(v[i]),
@@ -237,7 +298,7 @@ impl Column {
 
     /// Typed slice accessors — the vectorized operators go through these.
     pub fn ints(&self) -> Result<&[i64]> {
-        match &self.data {
+        match &*self.data {
             ColumnData::Int(v) | ColumnData::Ts(v) => Ok(v),
             _ => Err(MonetError::TypeMismatch {
                 op: "ints",
@@ -248,7 +309,7 @@ impl Column {
     }
 
     pub fn doubles(&self) -> Result<&[f64]> {
-        match &self.data {
+        match &*self.data {
             ColumnData::Double(v) => Ok(v),
             _ => Err(MonetError::TypeMismatch {
                 op: "doubles",
@@ -259,7 +320,7 @@ impl Column {
     }
 
     pub fn bools(&self) -> Result<&[bool]> {
-        match &self.data {
+        match &*self.data {
             ColumnData::Bool(v) => Ok(v),
             _ => Err(MonetError::TypeMismatch {
                 op: "bools",
@@ -270,7 +331,7 @@ impl Column {
     }
 
     pub fn strs(&self) -> Result<&[String]> {
-        match &self.data {
+        match &*self.data {
             ColumnData::Str(v) => Ok(v),
             _ => Err(MonetError::TypeMismatch {
                 op: "strs",
@@ -287,13 +348,13 @@ impl Column {
 
     /// Validity mask, if NULLs are present.
     pub fn validity(&self) -> Option<&Bitset> {
-        self.validity.as_ref()
+        self.validity.as_deref()
     }
 
     /// Gather rows at the selected positions into a new column.
     pub fn gather(&self, sel: &SelVec) -> Result<Column> {
         sel.check_bounds(self.len())?;
-        let data = match &self.data {
+        let data = match &*self.data {
             ColumnData::Bool(v) => {
                 ColumnData::Bool(sel.iter().map(|p| v[p as usize]).collect())
             }
@@ -308,10 +369,13 @@ impl Column {
         };
         let validity = self
             .validity
-            .as_ref()
+            .as_deref()
             .map(|m| m.gather(sel.iter().map(|p| p as usize)))
             .filter(|m| !m.all_set());
-        Ok(Column { data, validity })
+        Ok(Column {
+            data: Arc::new(data),
+            validity: validity.map(Arc::new),
+        })
     }
 
     /// Gather by an arbitrary (possibly repeating, unordered) position list.
@@ -325,7 +389,7 @@ impl Column {
                 });
             }
         }
-        let data = match &self.data {
+        let data = match &*self.data {
             ColumnData::Bool(v) => {
                 ColumnData::Bool(positions.iter().map(|&p| v[p as usize]).collect())
             }
@@ -344,10 +408,13 @@ impl Column {
         };
         let validity = self
             .validity
-            .as_ref()
+            .as_deref()
             .map(|m| m.gather(positions.iter().map(|&p| p as usize)))
             .filter(|m| !m.all_set());
-        Ok(Column { data, validity })
+        Ok(Column {
+            data: Arc::new(data),
+            validity: validity.map(Arc::new),
+        })
     }
 
     /// Append all rows of `other` (types must match exactly).
@@ -359,17 +426,29 @@ impl Column {
                 found: other.vtype(),
             });
         }
+        // Fast path: appending into an empty column is a zero-copy share of
+        // the source's storage — the firing path's output appends and
+        // basket refills hit this constantly.
+        if self.is_empty() {
+            self.data = Arc::clone(&other.data);
+            self.validity = other.validity.clone();
+            return Ok(());
+        }
         // Mask bookkeeping first (needs both lengths before mutation).
         match (&mut self.validity, &other.validity) {
             (None, None) => {}
-            (Some(mask), None) => mask.extend_filled(other.len(), true),
+            (Some(mask), None) => Arc::make_mut(mask).extend_filled(other.len(), true),
             (None, Some(om)) => {
+                let om = Arc::clone(om);
                 let mask = self.ensure_mask();
-                mask.extend_from(om);
+                mask.extend_from(&om);
             }
-            (Some(mask), Some(om)) => mask.extend_from(om),
+            (Some(mask), Some(om)) => {
+                let om = Arc::clone(om);
+                Arc::make_mut(mask).extend_from(&om);
+            }
         }
-        match (&mut self.data, &other.data) {
+        match (Arc::make_mut(&mut self.data), &*other.data) {
             (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
             (ColumnData::Int(a), ColumnData::Int(b)) => a.extend_from_slice(b),
             (ColumnData::Double(a), ColumnData::Double(b)) => a.extend_from_slice(b),
@@ -411,7 +490,7 @@ impl Column {
             v.truncate(write);
         }
 
-        match &mut self.data {
+        match self.data_mut() {
             ColumnData::Bool(v) => compact(v, dead),
             ColumnData::Int(v) => compact(v, dead),
             ColumnData::Double(v) => compact(v, dead),
@@ -426,7 +505,7 @@ impl Column {
                 }
             }
             if !new_mask.all_set() {
-                self.validity = Some(new_mask);
+                self.validity = Some(Arc::new(new_mask));
             }
         }
         Ok(())
@@ -434,7 +513,10 @@ impl Column {
 
     /// Truncate to the first `n` rows.
     pub fn truncate(&mut self, n: usize) {
-        match &mut self.data {
+        if n >= self.len() {
+            return;
+        }
+        match self.data_mut() {
             ColumnData::Bool(v) => v.truncate(n),
             ColumnData::Int(v) => v.truncate(n),
             ColumnData::Double(v) => v.truncate(n),
@@ -442,18 +524,16 @@ impl Column {
             ColumnData::Ts(v) => v.truncate(n),
         }
         if let Some(mask) = &mut self.validity {
-            mask.truncate(n);
+            Arc::make_mut(mask).truncate(n);
         }
     }
 
-    /// Remove all rows, keeping type and capacity.
+    /// Remove all rows, keeping type (and, when the storage is unshared,
+    /// capacity). A shared payload is released, not copied-then-cleared.
     pub fn clear(&mut self) {
-        match &mut self.data {
-            ColumnData::Bool(v) => v.clear(),
-            ColumnData::Int(v) => v.clear(),
-            ColumnData::Double(v) => v.clear(),
-            ColumnData::Str(v) => v.clear(),
-            ColumnData::Ts(v) => v.clear(),
+        match Arc::get_mut(&mut self.data) {
+            Some(d) => d.clear(),
+            None => self.data = Arc::new(ColumnData::new(self.vtype())),
         }
         self.validity = None;
     }

@@ -175,6 +175,55 @@ fn broadcast(k: &Value, n: usize) -> Result<Column> {
     }
 }
 
+/// Typed slice comparison (no NULLs on either side). `Err(())` means the
+/// type pairing has no vectorized kernel; NaN comparisons surface as the
+/// same `TypeMismatch` the boxed path raises.
+fn compare_slices(op: CmpOp, l: &Column, r: &Column) -> Option<Result<Vec<bool>>> {
+    use crate::column::ColumnData as CD;
+    let mismatch = || MonetError::TypeMismatch {
+        op: "compare",
+        expected: l.vtype(),
+        found: r.vtype(),
+    };
+    let out: Result<Vec<bool>> = match (l.data(), r.data()) {
+        (CD::Int(a) | CD::Ts(a), CD::Int(b) | CD::Ts(b)) => {
+            Ok(a.iter().zip(b).map(|(x, y)| op.eval(x.cmp(y))).collect())
+        }
+        (CD::Double(a), CD::Double(b)) => a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| x.partial_cmp(y).map(|o| op.eval(o)).ok_or_else(mismatch))
+            .collect(),
+        (CD::Int(a) | CD::Ts(a), CD::Double(b)) => a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| {
+                (*x as f64)
+                    .partial_cmp(y)
+                    .map(|o| op.eval(o))
+                    .ok_or_else(mismatch)
+            })
+            .collect(),
+        (CD::Double(a), CD::Int(b) | CD::Ts(b)) => a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| {
+                x.partial_cmp(&(*y as f64))
+                    .map(|o| op.eval(o))
+                    .ok_or_else(mismatch)
+            })
+            .collect(),
+        (CD::Str(a), CD::Str(b)) => {
+            Ok(a.iter().zip(b).map(|(x, y)| op.eval(x.cmp(y))).collect())
+        }
+        (CD::Bool(a), CD::Bool(b)) => {
+            Ok(a.iter().zip(b).map(|(x, y)| op.eval(x.cmp(y))).collect())
+        }
+        _ => return None,
+    };
+    Some(out)
+}
+
 /// Element-wise comparison producing a nullable Bool column (three-valued:
 /// NULL operand → NULL result).
 pub fn compare(op: CmpOp, l: &Column, r: &Column) -> Result<Column> {
@@ -184,6 +233,13 @@ pub fn compare(op: CmpOp, l: &Column, r: &Column) -> Result<Column> {
             left: l.len(),
             right: r.len(),
         });
+    }
+    // Vectorized kernels for the all-valid case — the WHERE-clause hot
+    // path; the boxed loop below is the NULL/mixed-type fallback.
+    if l.validity().is_none() && r.validity().is_none() {
+        if let Some(out) = compare_slices(op, l, r) {
+            return Column::from_parts(ColumnData::Bool(out?), None);
+        }
     }
     let n = l.len();
     let mut out = Vec::with_capacity(n);
@@ -213,6 +269,45 @@ pub fn compare(op: CmpOp, l: &Column, r: &Column) -> Result<Column> {
 
 /// Comparison against a constant.
 pub fn compare_const(op: CmpOp, col: &Column, k: &Value, col_on_left: bool) -> Result<Column> {
+    // Vectorized path: materialize nothing, compare the typed slice
+    // against the constant directly (`WHERE col <op> literal`).
+    if col.validity().is_none() && !k.is_null() {
+        use crate::column::ColumnData as CD;
+        let mismatch = || MonetError::TypeMismatch {
+            op: "compare_const",
+            expected: col.vtype(),
+            found: k.value_type().unwrap_or(ValueType::Bool),
+        };
+        let eval = |ord: Option<std::cmp::Ordering>| -> Result<bool> {
+            let ord = ord.ok_or_else(mismatch)?;
+            Ok(op.eval(if col_on_left { ord } else { ord.reverse() }))
+        };
+        let out: Option<Result<Vec<bool>>> = match (col.data(), k) {
+            (CD::Int(a) | CD::Ts(a), Value::Int(kk) | Value::Ts(kk)) => {
+                Some(a.iter().map(|x| eval(Some(x.cmp(kk)))).collect())
+            }
+            (CD::Int(a) | CD::Ts(a), Value::Double(kk)) => {
+                Some(a.iter().map(|x| eval((*x as f64).partial_cmp(kk))).collect())
+            }
+            (CD::Double(a), Value::Double(kk)) => {
+                Some(a.iter().map(|x| eval(x.partial_cmp(kk))).collect())
+            }
+            (CD::Double(a), Value::Int(kk)) => {
+                let kk = *kk as f64;
+                Some(a.iter().map(|x| eval(x.partial_cmp(&kk))).collect())
+            }
+            (CD::Str(a), Value::Str(kk)) => {
+                Some(a.iter().map(|x| eval(Some(x.as_str().cmp(kk.as_str())))).collect())
+            }
+            (CD::Bool(a), Value::Bool(kk)) => {
+                Some(a.iter().map(|x| eval(Some(x.cmp(kk)))).collect())
+            }
+            _ => None,
+        };
+        if let Some(out) = out {
+            return Column::from_parts(ColumnData::Bool(out?), None);
+        }
+    }
     let n = col.len();
     let mut out = Vec::with_capacity(n);
     let mut any_null = false;

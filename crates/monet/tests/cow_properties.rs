@@ -1,0 +1,167 @@
+//! Copy-on-write isolation properties.
+//!
+//! `Column::clone` / `Relation::clone` are refcount bumps (zero-copy
+//! snapshots). These properties pin the contract that makes that safe:
+//! a clone is an immutable snapshot of the source at clone time — no
+//! subsequent mutation of the source (appends, deletes, in-place ops,
+//! truncation, clearing) may show through — and storage really is shared
+//! until the first mutation.
+
+use monet::prelude::*;
+use proptest::prelude::*;
+
+fn nullable_ints() -> impl Strategy<Value = Vec<Option<i64>>> {
+    prop::collection::vec(prop::option::weighted(0.85, -50i64..50), 1..120)
+}
+
+fn column_of(vals: &[Option<i64>]) -> Column {
+    let mut c = Column::new(ValueType::Int);
+    for v in vals {
+        c.push(v.map(Value::Int).unwrap_or(Value::Null)).unwrap();
+    }
+    c
+}
+
+fn values(c: &Column) -> Vec<Value> {
+    c.iter_values().collect()
+}
+
+/// One random in-place mutation of a column, decoded from a raw seed (the
+/// offline proptest shim has no one-of/tuple combinators).
+#[derive(Debug, Clone)]
+enum ColOp {
+    Push(Option<i64>),
+    Append(Vec<Option<i64>>),
+    DeleteSel(Vec<u32>), // interpreted modulo the current length
+    Truncate(usize),
+    Clear,
+}
+
+fn decode_col_op(x: u64) -> ColOp {
+    let payload = x >> 4;
+    match x % 10 {
+        0..=2 => ColOp::Push((!payload.is_multiple_of(5)).then_some((payload % 19) as i64 - 9)),
+        3..=5 => ColOp::Append(
+            (0..payload % 8)
+                .map(|i| (!(payload.wrapping_mul(i + 3)).is_multiple_of(4))
+                    .then_some(((payload >> (i % 16)) % 17) as i64 - 8))
+                .collect(),
+        ),
+        6..=8 => ColOp::DeleteSel(
+            (0..payload % 6)
+                .map(|i| (payload.wrapping_mul(2 * i + 1) >> 3) as u32)
+                .collect(),
+        ),
+        _ if payload.is_multiple_of(4) => ColOp::Clear,
+        _ => ColOp::Truncate((payload % 40) as usize),
+    }
+}
+
+fn col_ops() -> impl Strategy<Value = Vec<ColOp>> {
+    prop::collection::vec(any::<u64>(), 1..12)
+        .prop_map(|seeds| seeds.into_iter().map(decode_col_op).collect())
+}
+
+fn apply(col: &mut Column, op: &ColOp) {
+    match op {
+        ColOp::Push(v) => col
+            .push(v.map(Value::Int).unwrap_or(Value::Null))
+            .unwrap(),
+        ColOp::Append(vs) => {
+            let other = column_of(vs);
+            col.append(&other).unwrap();
+        }
+        ColOp::DeleteSel(raw) => {
+            if col.is_empty() {
+                return;
+            }
+            let len = col.len() as u32;
+            let positions: Vec<u32> = raw.iter().map(|&p| p % len).collect();
+            col.delete_sel(&SelVec::from_unsorted(positions)).unwrap();
+        }
+        ColOp::Truncate(n) => col.truncate(*n),
+        ColOp::Clear => col.clear(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// A clone is frozen at clone time, whatever happens to the source.
+    #[test]
+    fn column_clone_is_isolated(vals in nullable_ints(), ops in col_ops()) {
+        let mut col = column_of(&vals);
+        let snapshot = col.clone();
+        prop_assert!(snapshot.shares_data(&col), "clone shares storage");
+        let frozen = values(&snapshot);
+        for op in &ops {
+            apply(&mut col, op);
+            prop_assert_eq!(&values(&snapshot), &frozen, "op {:?} leaked into snapshot", op);
+        }
+        prop_assert_eq!(snapshot.null_count(), frozen.iter().filter(|v| v.is_null()).count());
+    }
+
+    /// Symmetric direction: mutating the clone never touches the source.
+    #[test]
+    fn column_source_is_isolated_from_clone(vals in nullable_ints(), ops in col_ops()) {
+        let col = column_of(&vals);
+        let mut snapshot = col.clone();
+        let frozen = values(&col);
+        for op in &ops {
+            apply(&mut snapshot, op);
+            prop_assert_eq!(&values(&col), &frozen, "op {:?} leaked into source", op);
+        }
+    }
+
+    /// Relation-level: a snapshot survives appends and deletes on the source.
+    #[test]
+    fn relation_clone_is_isolated(
+        vals in nullable_ints(),
+        extra in prop::collection::vec(any::<u64>(), 0..20),
+        dead in prop::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let mut rel = Relation::from_columns(vec![
+            ("a".into(), column_of(&vals)),
+            ("b".into(), Column::from_ints((0..vals.len() as i64).collect())),
+        ]).unwrap();
+        let snapshot = rel.clone();
+        let frozen: Vec<Vec<Value>> = snapshot.iter_rows().collect();
+
+        for x in &extra {
+            let (a, b) = ((x % 19) as i64 - 9, ((x >> 8) % 19) as i64 - 9);
+            rel.append_row(&[Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        if !rel.is_empty() {
+            let len = rel.len() as u32;
+            let positions: Vec<u32> = dead.iter().map(|&p| (p as u32) % len).collect();
+            rel.delete_sel(&SelVec::from_unsorted(positions)).unwrap();
+        }
+        rel.clear();
+
+        let now: Vec<Vec<Value>> = snapshot.iter_rows().collect();
+        prop_assert_eq!(now, frozen);
+    }
+}
+
+#[test]
+fn storage_shared_until_first_mutation() {
+    let a = Column::from_ints(vec![1, 2, 3]);
+    let b = a.clone();
+    assert!(a.shares_data(&b));
+    let mut c = b.clone();
+    assert!(a.shares_data(&c));
+    c.push(Value::Int(4)).unwrap();
+    assert!(!a.shares_data(&c), "mutation un-shares");
+    assert!(a.shares_data(&b), "uninvolved clone still shared");
+    assert_eq!(a.ints().unwrap(), &[1, 2, 3]);
+    assert_eq!(c.ints().unwrap(), &[1, 2, 3, 4]);
+}
+
+#[test]
+fn append_into_empty_shares_storage() {
+    let src = Column::from_ints(vec![7, 8, 9]);
+    let mut dst = Column::new(ValueType::Int);
+    dst.append(&src).unwrap();
+    assert!(dst.shares_data(&src), "append into empty is zero-copy");
+    assert_eq!(dst.ints().unwrap(), &[7, 8, 9]);
+}

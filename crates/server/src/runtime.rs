@@ -357,9 +357,10 @@ impl ServerRuntime {
         ));
         for b in self.engine.basket_report() {
             body.push(format!(
-                "basket {} len={} enabled={} in={} out={} dropped={} high_water={} cap={}",
+                "basket {} len={} enabled={} in={} out={} dropped={} high_water={} cap={} \
+                 pending_deletes={} compactions={}",
                 b.name, b.len, b.enabled, b.total_in, b.total_out, b.dropped,
-                b.high_water, b.pending_cap
+                b.high_water, b.pending_cap, b.pending_deletes, b.compactions
             ));
         }
         for q in self.queries.snapshot() {
@@ -372,9 +373,9 @@ impl ServerRuntime {
                 None => (0, 0, 0, 0),
             };
             body.push(format!(
-                "query {} firings={} consumed={} produced={} busy_micros={} \
+                "query {} firings={} consumed={} produced={} busy_micros={} lock_micros={} \
                  subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={}",
-                q.name, s.firings, s.consumed, s.produced, s.busy_micros,
+                q.name, s.firings, s.consumed, s.produced, s.busy_micros, s.lock_micros,
                 subs, batches, tuples, dropped
             ));
         }

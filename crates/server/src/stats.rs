@@ -35,6 +35,10 @@ pub struct BasketStats {
     pub dropped: u64,
     pub high_water: u64,
     pub cap: u64,
+    /// Logically-deleted rows awaiting physical compaction.
+    pub pending_deletes: u64,
+    /// Lifetime physical compactions of the basket store.
+    pub compactions: u64,
 }
 
 /// One `query <name> ...` line.
@@ -45,6 +49,8 @@ pub struct QueryStats {
     pub consumed: u64,
     pub produced: u64,
     pub busy_micros: u64,
+    /// Time spent holding basket locks, out of `busy_micros` (contention).
+    pub lock_micros: u64,
     pub subscribers: u64,
     pub delivered_batches: u64,
     pub delivered_tuples: u64,
@@ -152,6 +158,8 @@ impl StatsReport {
                     dropped: num(&kv, "dropped"),
                     high_water: num(&kv, "high_water"),
                     cap: num(&kv, "cap"),
+                    pending_deletes: num(&kv, "pending_deletes"),
+                    compactions: num(&kv, "compactions"),
                 }),
                 "query" => report.queries.push(QueryStats {
                     name: name.to_string(),
@@ -159,6 +167,7 @@ impl StatsReport {
                     consumed: num(&kv, "consumed"),
                     produced: num(&kv, "produced"),
                     busy_micros: num(&kv, "busy_micros"),
+                    lock_micros: num(&kv, "lock_micros"),
                     subscribers: num(&kv, "subscribers"),
                     delivered_batches: num(&kv, "delivered_batches"),
                     delivered_tuples: num(&kv, "delivered_tuples"),
@@ -224,8 +233,9 @@ mod tests {
     fn parses_a_full_report() {
         let body = lines(&[
             "server uptime_micros=1234 sessions=2 queries=1 receptor_ports=1 emitter_ports=1",
-            "basket S len=3 enabled=true in=100 out=97 dropped=0 high_water=50 cap=256",
-            "query hot firings=7 consumed=100 produced=42 busy_micros=999 \
+            "basket S len=3 enabled=true in=100 out=97 dropped=0 high_water=50 cap=256 \
+             pending_deletes=4 compactions=2",
+            "query hot firings=7 consumed=100 produced=42 busy_micros=999 lock_micros=111 \
              subscribers=2 delivered_batches=5 delivered_tuples=42 dropped_batches=0",
             "receptor S port=5001 format=binary connections=1 accepted=100 rejected=2",
             "emitter hot port=5002 format=text connections=2 coalesced_batches=3",
@@ -235,9 +245,12 @@ mod tests {
         assert_eq!(r.server.sessions, 2);
         assert_eq!(r.basket("S").unwrap().total_in, 100);
         assert_eq!(r.basket("S").unwrap().high_water, 50);
+        assert_eq!(r.basket("S").unwrap().pending_deletes, 4);
+        assert_eq!(r.basket("S").unwrap().compactions, 2);
         assert!(r.basket("S").unwrap().enabled);
         let q = r.query("hot").unwrap();
         assert_eq!(q.delivered_tuples, 42);
+        assert_eq!(q.lock_micros, 111);
         assert_eq!(q.subscribers, 2);
         assert_eq!(r.receptors[0].port, 5001);
         assert_eq!(r.receptors[0].format, "binary");

@@ -84,6 +84,19 @@ pub fn eval_expr(
             }
         }
         Expr::Binary { op, left, right } => {
+            // `col <cmp> literal` (either side): compare against the
+            // constant directly instead of broadcasting it into an
+            // O(rows) column first — the WHERE-clause hot path.
+            if let Some(cop) = cmp_op(*op) {
+                if let Expr::Literal(k) = right.as_ref() {
+                    let l = eval_expr(left, rel, ctx, env)?;
+                    return Ok(arith::compare_const(cop, &l, k, true)?);
+                }
+                if let Expr::Literal(k) = left.as_ref() {
+                    let r = eval_expr(right, rel, ctx, env)?;
+                    return Ok(arith::compare_const(cop, &r, k, false)?);
+                }
+            }
             let l = eval_expr(left, rel, ctx, env)?;
             let r = eval_expr(right, rel, ctx, env)?;
             eval_binary(*op, &l, &r)
@@ -145,6 +158,18 @@ pub fn eval_expr(
     }
 }
 
+fn cmp_op(op: BinOp) -> Option<CmpOp> {
+    match op {
+        BinOp::Eq => Some(CmpOp::Eq),
+        BinOp::Ne => Some(CmpOp::Ne),
+        BinOp::Lt => Some(CmpOp::Lt),
+        BinOp::Le => Some(CmpOp::Le),
+        BinOp::Gt => Some(CmpOp::Gt),
+        BinOp::Ge => Some(CmpOp::Ge),
+        _ => None,
+    }
+}
+
 fn eval_binary(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
     let arith_op = match op {
         BinOp::Add => Some(ArithOp::Add),
@@ -157,16 +182,7 @@ fn eval_binary(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
     if let Some(aop) = arith_op {
         return Ok(arith::arith(aop, l, r)?);
     }
-    let cmp = match op {
-        BinOp::Eq => Some(CmpOp::Eq),
-        BinOp::Ne => Some(CmpOp::Ne),
-        BinOp::Lt => Some(CmpOp::Lt),
-        BinOp::Le => Some(CmpOp::Le),
-        BinOp::Gt => Some(CmpOp::Gt),
-        BinOp::Ge => Some(CmpOp::Ge),
-        _ => None,
-    };
-    if let Some(cop) = cmp {
+    if let Some(cop) = cmp_op(op) {
         return Ok(arith::compare(cop, l, r)?);
     }
     match op {

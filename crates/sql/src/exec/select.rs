@@ -170,6 +170,19 @@ fn resolve_from_item(
             Ok(rel)
         }
         FromItem::Basket { query, alias } => {
+            // Fast path for the canonical consuming scan `[select * from T]`:
+            // consumption is every current row, so the rid lineage column
+            // (an O(rows) materialization + extraction per firing) is
+            // unnecessary and the scan is a plain copy-on-write share of
+            // the snapshot.
+            if let Some(table) = trivial_scan(query, env) {
+                let rel = ctx.relation(table)?;
+                merge_consumed(
+                    consumed,
+                    vec![(table.to_string(), SelVec::all(rel.len()))],
+                );
+                return rebind(rel, alias.as_deref());
+            }
             // The bracketed query is the consuming scan.
             let out = run_select(query, ctx, env, true)?;
             merge_consumed(consumed, out.consumed);
@@ -181,6 +194,28 @@ fn resolve_from_item(
             merge_consumed(consumed, out.consumed);
             rebind(out.rel, Some(alias))
         }
+    }
+}
+
+/// `select * from <base table>` with no other clauses: the whole-relation
+/// scan whose consumption set is trivially "all rows". WITH bindings are
+/// excluded — they are materialized snapshots, never consumable.
+fn trivial_scan<'a>(stmt: &'a SelectStmt, env: &ExecEnv) -> Option<&'a str> {
+    let simple = !stmt.distinct
+        && stmt.top.is_none()
+        && stmt.where_clause.is_none()
+        && stmt.group_by.is_empty()
+        && stmt.having.is_none()
+        && stmt.order_by.is_empty()
+        && stmt.limit.is_none()
+        && stmt.union.is_none()
+        && matches!(stmt.projection.as_slice(), [SelectItem::Star]);
+    if !simple {
+        return None;
+    }
+    match stmt.from.as_slice() {
+        [FromItem::Table { name, .. }] if !env.bindings.contains_key(name) => Some(name),
+        _ => None,
     }
 }
 

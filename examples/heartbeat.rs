@@ -57,7 +57,7 @@ fn main() -> datacell::error::Result<()> {
                 Ok(FireReport {
                     consumed: n,
                     produced: n,
-                    elapsed_micros: 0,
+                    ..FireReport::default()
                 })
             },
         )));
