@@ -91,6 +91,10 @@ fn dispatch(rt: &Arc<ClusterRuntime>, request: &str) -> (Response, bool) {
         } => rt
             .attach_emitter(&query, port, format)
             .map(|p| (Response::one(format!("port={p}")), false)),
+        Command::Explain(sql) => rt.explain_sql(&sql).map(|b| (Response::Ok(b), false)),
+        Command::ExplainQuery { name } => {
+            rt.explain_query(&name).map(|b| (Response::Ok(b), false))
+        }
         Command::Stats => Ok((Response::Ok(rt.stats()), false)),
         Command::Quit => Ok((Response::ok(), true)),
         Command::Shutdown => {

@@ -527,6 +527,27 @@ impl ClusterRuntime {
         )])
     }
 
+    /// `EXPLAIN <sql>`: plan compilation is identical on every engine
+    /// (same binary, same compiler), so forward to the first one.
+    pub fn explain_sql(&self, sql: &str) -> Result<Vec<String>> {
+        self.ensure_running()?;
+        self.engines[0].control(|c| c.explain(sql))
+    }
+
+    /// `EXPLAIN QUERY <name>`: forward to an engine hosting the query
+    /// (registration fans out, so any resolving engine has the plan).
+    pub fn explain_query(&self, name: &str) -> Result<Vec<String>> {
+        self.ensure_running()?;
+        let eid = {
+            let queries = self.queries.lock();
+            let q = queries
+                .get(name)
+                .ok_or_else(|| ServerError::Unknown(format!("query {name}")))?;
+            *q.engines.first().expect("registered queries resolve somewhere")
+        };
+        self.engines[eid].control(|c| c.explain_query(name))
+    }
+
     // ---- ingest: one logical receptor port ------------------------------
 
     /// Open a logical receptor port for `stream`; port 0 picks an
@@ -767,6 +788,9 @@ impl ClusterRuntime {
                     agg.produced += row.produced;
                     agg.busy_micros += row.busy_micros;
                     agg.lock_micros += row.lock_micros;
+                    agg.rows_scanned += row.rows_scanned;
+                    agg.rows_out += row.rows_out;
+                    agg.plan_micros += row.plan_micros;
                     agg.delivered_batches += row.delivered_batches;
                     agg.delivered_tuples += row.delivered_tuples;
                     agg.dropped_batches += row.dropped_batches;
@@ -781,6 +805,7 @@ impl ClusterRuntime {
                 .sum();
             body.push(format!(
                 "query {} firings={} consumed={} produced={} busy_micros={} lock_micros={} \
+                 rows_scanned={} rows_out={} plan_micros={} \
                  subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={}",
                 agg.name,
                 agg.firings,
@@ -788,6 +813,9 @@ impl ClusterRuntime {
                 agg.produced,
                 agg.busy_micros,
                 agg.lock_micros,
+                agg.rows_scanned,
+                agg.rows_out,
+                agg.plan_micros,
                 subscribers,
                 agg.delivered_batches,
                 agg.delivered_tuples,

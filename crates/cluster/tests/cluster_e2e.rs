@@ -330,3 +330,37 @@ fn cluster_control_plane_rejects_bad_requests() {
     c.shutdown().unwrap();
     cluster_thread.join().unwrap();
 }
+
+#[test]
+fn explain_routes_through_the_router() {
+    let (addr, cluster_thread) = boot_cluster(2);
+    let mut c = ShardedClient::connect(addr).unwrap();
+    c.create_sharded_stream("S", "(id int, v int, w int)", "id", None)
+        .unwrap();
+    c.register_query(
+        "hot",
+        "select id from [select id, v from S where v > 10] as Z",
+    )
+    .unwrap();
+
+    // raw-script EXPLAIN forwards to a shard engine and comes back whole
+    let plan = c
+        .explain("select id from [select id, v from S where v > 10] as Z")
+        .unwrap()
+        .join("\n");
+    assert!(plan.contains("fast select"), "{plan}");
+    assert!(plan.contains("cols=id,v"), "pruned columns survive routing: {plan}");
+
+    // EXPLAIN QUERY resolves through the router's registry
+    let plan = c.explain_query("hot").unwrap().join("\n");
+    assert!(plan.starts_with("query hot AS "), "{plan}");
+    assert!(plan.contains("lineage=selection-vector"), "{plan}");
+    assert!(c.explain_query("nosuch").is_err());
+
+    // aggregated STATS still parses with the new plan fields in the line
+    let stats = c.stats_report().unwrap();
+    assert!(stats.query("hot").is_some(), "{stats:?}");
+
+    c.shutdown().unwrap();
+    cluster_thread.join().unwrap();
+}

@@ -6,9 +6,10 @@
 //! and which it *inserts into* (output places). The walk here mirrors the
 //! executor's lineage rules exactly.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use dcsql::ast::{Expr, FromItem, SelectStmt, Stmt};
+use dcsql::plan::{column_requirements, ScanRequirement};
 
 /// The basket/table footprint of a script.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -19,6 +20,20 @@ pub struct QueryShape {
     pub read: BTreeSet<String>,
     /// INSERT targets (outputs).
     pub inserted: BTreeSet<String>,
+    /// Exact per-table column footprint (plan-level pruning): which
+    /// columns each scan can touch, whether it consumes, and whether
+    /// consumption needs rid lineage. Snapshot providers use this to
+    /// hand out O(touched-columns) snapshots.
+    pub requirements: BTreeMap<String, ScanRequirement>,
+}
+
+impl QueryShape {
+    /// The pruned column set for one table; `None` = snapshot everything.
+    pub fn wanted_for(&self, table: &str) -> Option<&BTreeSet<String>> {
+        self.requirements
+            .get(table)
+            .and_then(|r| r.columns.as_cols())
+    }
 }
 
 /// Analyze a parsed script.
@@ -28,6 +43,7 @@ pub fn analyze(stmts: &[Stmt]) -> QueryShape {
     for stmt in stmts {
         walk_stmt(stmt, &mut shape, &mut bound);
     }
+    shape.requirements = column_requirements(stmts);
     shape
 }
 

@@ -141,6 +141,80 @@ impl BasketInner {
         snap
     }
 
+    /// Pruned visible contents: only the `wanted` columns (plus a first-
+    /// column row-count carrier when `wanted` names no stored column, so
+    /// the snapshot's length always matches the live row count). `None`
+    /// means everything — [`BasketInner::live_snapshot`]. O(wanted) Arc
+    /// bumps on a clean basket; a gather of only the wanted columns when
+    /// deletes are pending — the compiled-plan firing path's
+    /// O(touched-columns) incremental snapshot.
+    pub fn live_snapshot_cols(
+        &mut self,
+        wanted: Option<&std::collections::BTreeSet<String>>,
+    ) -> Relation {
+        let Some(wanted) = wanted else {
+            return self.live_snapshot();
+        };
+        if self.rel.width() == 0 || wanted.len() >= self.rel.width() {
+            // possibly everything wanted — the full snapshot is memoized
+            // and costs the same or less than re-filtering
+            if self.rel.width() == 0
+                || self.rel.names().iter().all(|n| wanted.contains(n))
+            {
+                return self.live_snapshot();
+            }
+        }
+        // iterate the (small) wanted set, not the (wide) schema: the
+        // touched-columns cost model holds even per firing
+        let names = self.rel.names();
+        let mut idx: Vec<usize> = Vec::with_capacity(wanted.len());
+        for w in wanted {
+            if let Some(i) = names.iter().position(|n| n == w) {
+                idx.push(i);
+            }
+        }
+        idx.sort_unstable(); // keep schema order
+        if idx.is_empty() {
+            idx.push(0); // row-count carrier
+        }
+        match self.live_sel() {
+            // clean store: column shares, O(wanted)
+            None => {
+                let cols: Vec<(String, Column)> = idx
+                    .iter()
+                    .map(|&i| (names[i].clone(), self.rel.col_at(i).clone()))
+                    .collect();
+                Relation::from_columns(cols).expect("non-empty aligned columns")
+            }
+            Some(live) => {
+                // dirty store: reuse the memoized full gather when one is
+                // current; otherwise gather only the wanted columns
+                if let Some((gen, len, cached)) = &self.live_cache {
+                    if *gen == self.delete_gen && *len == self.rel.len() {
+                        let cols: Vec<(String, Column)> = idx
+                            .iter()
+                            .map(|&i| (names[i].clone(), cached.col_at(i).clone()))
+                            .collect();
+                        return Relation::from_columns(cols)
+                            .expect("cache shares the store's schema");
+                    }
+                }
+                let cols: Vec<(String, Column)> = idx
+                    .iter()
+                    .map(|&i| {
+                        let col = self
+                            .rel
+                            .col_at(i)
+                            .gather(&live)
+                            .expect("live positions are in bounds by construction");
+                        (names[i].clone(), col)
+                    })
+                    .collect();
+                Relation::from_columns(cols).expect("non-empty aligned columns")
+            }
+        }
+    }
+
     /// Ascending physical positions of the live rows; `None` when the
     /// identity mapping applies (no pending deletes).
     fn live_sel(&self) -> Option<SelVec> {
@@ -548,6 +622,17 @@ impl Basket {
         self.inner.lock().live_snapshot()
     }
 
+    /// Pruned snapshot: only the `wanted` columns (`None` = everything).
+    /// Same visibility semantics as [`Basket::snapshot`], but a query
+    /// touching 2 of 32 columns pays 2 Arc bumps, not 32 — see
+    /// [`BasketInner::live_snapshot_cols`].
+    pub fn snapshot_cols(
+        &self,
+        wanted: Option<&std::collections::BTreeSet<String>>,
+    ) -> Relation {
+        self.inner.lock().live_snapshot_cols(wanted)
+    }
+
     /// Acquire the basket lock for a multi-step read-modify cycle (the
     /// factory firing path). Lock ordering by [`Basket::id`] is the
     /// caller's responsibility.
@@ -831,6 +916,50 @@ mod tests {
         let _ = b.drain();
         assert!(b.has_capacity());
         assert!(b.wait_for_capacity(|| false));
+    }
+
+    #[test]
+    fn pruned_snapshot_columns_and_fallbacks() {
+        let clock = VirtualClock::new();
+        let wide = Schema::from_pairs(&[
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+            ("c", ValueType::Int),
+        ]);
+        let b = Basket::new("B", &wide, false);
+        b.append_rows(
+            &[
+                vec![Value::Int(1), Value::Int(10), Value::Int(100)],
+                vec![Value::Int(2), Value::Int(20), Value::Int(200)],
+                vec![Value::Int(3), Value::Int(30), Value::Int(300)],
+            ],
+            &clock,
+        )
+        .unwrap();
+        let wanted: std::collections::BTreeSet<String> =
+            ["a".to_string(), "c".to_string()].into();
+        // clean basket: column shares of exactly the wanted columns
+        let snap = b.snapshot_cols(Some(&wanted));
+        assert_eq!(snap.names(), &["a", "c"]);
+        assert_eq!(snap.len(), 3);
+        assert!(snap.column("a").unwrap().shares_data(b.snapshot().column("a").unwrap()));
+        // None = full snapshot
+        assert_eq!(b.snapshot_cols(None).width(), 3);
+        // unknown names leave a row-count carrier
+        let ghost: std::collections::BTreeSet<String> = ["zz".to_string()].into();
+        let snap = b.snapshot_cols(Some(&ghost));
+        assert_eq!(snap.width(), 1);
+        assert_eq!(snap.len(), 3);
+
+        // dirty basket (pending logical delete): pruned gather sees only
+        // live rows, same numbering as the full snapshot
+        b.set_compact_threshold(1_000_000);
+        b.delete_sel(&SelVec::from_sorted(vec![1]).unwrap()).unwrap();
+        let full = b.snapshot();
+        let pruned = b.snapshot_cols(Some(&wanted));
+        assert_eq!(pruned.len(), full.len());
+        assert_eq!(pruned.column("a").unwrap().ints().unwrap(), &[1, 3]);
+        assert_eq!(pruned.column("c").unwrap().ints().unwrap(), &[100, 300]);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::Receiver;
 use dcsql::ast::{CreateKind, Stmt};
-use dcsql::exec::{execute_script, Effects, QueryContext};
+use dcsql::exec::{Effects, QueryContext};
 use dcsql::parse_statements;
 use monet::catalog::Catalog;
 use monet::prelude::*;
@@ -19,7 +19,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::basket::Basket;
 use crate::clock::{Clock, SystemClock};
 use crate::error::{EngineError, Result};
-use crate::factory::{ConsumeMode, Factory, QueryFactory};
+use crate::factory::{ConsumeMode, Factory, PlanMode, QueryFactory};
 use crate::scheduler::{RoundReport, Scheduler};
 use crate::varstore::VarStore;
 
@@ -34,6 +34,9 @@ pub struct QueryOptions {
     pub trigger_on: Option<Vec<String>>,
     /// Attach a result channel for bare SELECT output.
     pub subscribe: bool,
+    /// Execution path: compiled physical plan (default) or the legacy
+    /// AST interpreter (equivalence baseline / benchmarking).
+    pub plan_mode: Option<PlanMode>,
 }
 
 impl QueryOptions {
@@ -220,6 +223,9 @@ impl DataCell {
         if let Some(n) = opts.min_input {
             factory = factory.with_min_input(n);
         }
+        if let Some(mode) = opts.plan_mode {
+            factory = factory.with_plan_mode(mode);
+        }
         let rx = opts.subscribe.then(|| factory.result_channel());
         drop(baskets);
         self.scheduler.lock().add(Box::new(factory));
@@ -325,12 +331,16 @@ impl DataCell {
         // One-shot scripts hold the *consumed* baskets' locks for the
         // whole snapshot → execute → apply-consumption cycle, so the
         // recorded consumption positions cannot be invalidated by a
-        // concurrently firing factory. Everything else is snapshotted
-        // O(width) up front and released — read-heavy ad-hoc queries
-        // never stall receptors or factories — and no other basket lock
-        // is ever taken while the consumed guards are held (the locking
-        // discipline stays id-ordered, acquire-all-then-hold).
+        // concurrently firing factory. Everything else the script
+        // *references* is snapshotted up front — pruned to the plan's
+        // column requirements, O(touched-columns) per basket — and
+        // released; unreferenced baskets are never touched at all.
+        // Read-heavy ad-hoc queries never stall receptors or factories,
+        // and no other basket lock is ever taken while the consumed
+        // guards are held (the locking discipline stays id-ordered,
+        // acquire-all-then-hold).
         let shape = crate::analyze::analyze(&rest);
+        let plan = dcsql::plan::PhysicalPlan::compile(&rest);
         let mut consumed_baskets: Vec<Arc<Basket>> = Vec::new();
         let mut snapshots: HashMap<String, Relation> = HashMap::new();
         {
@@ -340,11 +350,20 @@ impl DataCell {
                     consumed_baskets.push(Arc::clone(b));
                 }
             }
-            // snapshot every *other* basket before taking any consumed
-            // guard (each snapshot briefly takes its own lock)
-            for (name, b) in baskets.iter() {
-                if !shape.consumed.contains(name) {
-                    snapshots.insert(name.clone(), b.snapshot());
+            // snapshot the non-consumed reads before taking any consumed
+            // guard (each snapshot briefly takes its own lock); a name
+            // that is also consumed gets its snapshot under the guard
+            // below instead
+            // `shape.wanted_for` and `plan.wanted_for` are the same
+            // `column_requirements` analysis; the shape is the engine's
+            // snapshot-side view of it
+            for name in &shape.read {
+                if shape.consumed.contains(name) {
+                    continue;
+                }
+                if let Some(b) = baskets.get(name) {
+                    snapshots
+                        .insert(name.clone(), b.snapshot_cols(shape.wanted_for(name)));
                 }
             }
         }
@@ -353,14 +372,17 @@ impl DataCell {
         let mut guards: Vec<parking_lot::MutexGuard<'_, crate::basket::BasketInner>> =
             consumed_baskets.iter().map(|b| b.lock()).collect();
         for (b, g) in consumed_baskets.iter().zip(guards.iter_mut()) {
-            snapshots.insert(b.name().to_string(), g.live_snapshot());
+            snapshots.insert(
+                b.name().to_string(),
+                g.live_snapshot_cols(shape.wanted_for(b.name())),
+            );
         }
         let ctx = EngineSnapshot {
             snapshots,
             engine: self,
             now: self.clock.now(),
         };
-        let effects = execute_script(&rest, &ctx)?;
+        let effects = plan.execute(&ctx)?;
         drop(ctx);
 
         // apply consumption while the guards pin the live numbering ...

@@ -48,6 +48,27 @@ pub struct FireReport {
     /// telemetry; ≤ `elapsed_micros`, and far below it when the
     /// short-lock protocol is winning).
     pub lock_micros: u64,
+    /// Live rows in the snapshots this firing executed over (the plan's
+    /// input cardinality).
+    pub rows_scanned: u64,
+    /// Rows the plan emitted (result rows + insert rows).
+    pub rows_out: u64,
+    /// Plan compile time, µs — reported once, on the factory's first
+    /// firing (0 afterwards), so cumulative stats carry the one-time
+    /// cost exactly once.
+    pub plan_micros: u64,
+}
+
+/// Which execution path a [`QueryFactory`] fires.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlanMode {
+    /// The compiled [`dcsql::plan::PhysicalPlan`]: pruned snapshots,
+    /// selection-vector filters, gather-at-projection.
+    #[default]
+    Compiled,
+    /// The legacy AST interpreter with full-width snapshots — kept as
+    /// the equivalence baseline (and the `fig6_pruning` comparison).
+    Interpreted,
 }
 
 /// A Petri-net transition over baskets.
@@ -169,6 +190,11 @@ impl QueryContext for FiringContext<'_> {
 pub struct QueryFactory {
     name: String,
     stmts: Vec<Stmt>,
+    /// Compiled once at registration; fired forever.
+    plan: dcsql::plan::PhysicalPlan,
+    plan_mode: PlanMode,
+    /// Compile time not yet surfaced through a `FireReport`.
+    plan_micros_pending: u64,
     /// Baskets that gate firing (the consumed baskets, unless overridden
     /// by `trigger_on`).
     inputs: Vec<Arc<Basket>>,
@@ -238,9 +264,14 @@ impl QueryFactory {
         }
         let consumed_inputs = inputs.clone();
         let inputs = trigger_on.unwrap_or(inputs);
+        let plan = dcsql::plan::PhysicalPlan::compile(&stmts);
+        let plan_micros_pending = plan.compile_micros;
         Ok(QueryFactory {
             name: name.into(),
             stmts,
+            plan,
+            plan_mode: PlanMode::default(),
+            plan_micros_pending,
             inputs,
             consumed_inputs,
             reads,
@@ -258,6 +289,39 @@ impl QueryFactory {
     pub fn with_min_input(mut self, n: usize) -> Self {
         self.min_input = n.max(1);
         self
+    }
+
+    /// Select the execution path (default: the compiled plan).
+    pub fn with_plan_mode(mut self, mode: PlanMode) -> Self {
+        self.plan_mode = mode;
+        self
+    }
+
+    /// The compiled plan (EXPLAIN introspection).
+    pub fn plan(&self) -> &dcsql::plan::PhysicalPlan {
+        &self.plan
+    }
+
+    /// Snapshot one scanned basket for a firing: pruned to the plan's
+    /// column requirements on the compiled path, full-width on the
+    /// interpreter path.
+    fn snapshot_for_fire(
+        &self,
+        basket: &Basket,
+        guard: &mut crate::basket::BasketInner,
+    ) -> Relation {
+        match self.plan_mode {
+            PlanMode::Compiled => guard.live_snapshot_cols(self.plan.wanted_for(basket.name())),
+            PlanMode::Interpreted => guard.live_snapshot(),
+        }
+    }
+
+    /// Run the script over the firing snapshots on the configured path.
+    fn run_script(&self, ctx: &FiringContext<'_>) -> dcsql::Result<Effects> {
+        match self.plan_mode {
+            PlanMode::Compiled => self.plan.execute(ctx),
+            PlanMode::Interpreted => execute_script(&self.stmts, ctx),
+        }
     }
 
     /// Attach a result channel; bare SELECT results are sent there batch
@@ -421,20 +485,26 @@ impl Factory for QueryFactory {
             .collect();
         scanned.sort_by_key(|b| b.id());
         scanned.dedup_by_key(|b| b.id());
+        let scanned_ids: std::collections::HashSet<u64> =
+            scanned.iter().map(|b| b.id()).collect();
         let lock_started = Instant::now();
         let mut guards: Vec<parking_lot::MutexGuard<'_, crate::basket::BasketInner>> =
             scanned.iter().map(|b| b.lock()).collect();
         let mut snapshots: HashMap<String, Relation> = HashMap::new();
         let mut gens: HashMap<u64, u64> = HashMap::with_capacity(scanned.len());
+        let mut rows_scanned = 0u64;
         for (i, b) in scanned.iter().enumerate() {
-            snapshots.insert(b.name().to_string(), guards[i].live_snapshot());
+            let snap = self.snapshot_for_fire(b, &mut guards[i]);
+            rows_scanned += snap.len() as u64;
+            snapshots.insert(b.name().to_string(), snap);
             gens.insert(b.id(), guards[i].delete_gen());
         }
         drop(guards);
         let mut lock_micros = lock_started.elapsed().as_micros() as u64;
 
         // Phase 2 — execute with no basket locks held: other factories,
-        // receptors and emitters proceed concurrently.
+        // receptors and emitters proceed concurrently. The compiled plan
+        // walks selection vectors; the interpreter re-walks the AST.
         let effects = {
             let ctx = FiringContext {
                 snapshots: &snapshots,
@@ -442,7 +512,7 @@ impl Factory for QueryFactory {
                 vars: &self.vars,
                 now: self.clock.now(),
             };
-            execute_script(&self.stmts, &ctx)?
+            self.run_script(&ctx)?
         };
 
         // Phase 3 — reacquire and apply. Appends elsewhere are harmless
@@ -472,8 +542,15 @@ impl Factory for QueryFactory {
             effects
         } else {
             let mut snapshots: HashMap<String, Relation> = HashMap::new();
+            rows_scanned = 0;
             for (i, b) in involved.iter().enumerate() {
-                snapshots.insert(b.name().to_string(), guards[i].live_snapshot());
+                let snap = self.snapshot_for_fire(b, &mut guards[i]);
+                // `involved` also carries pure output baskets — those
+                // are snapshotted for the context but are not plan input
+                if scanned_ids.contains(&b.id()) {
+                    rows_scanned += snap.len() as u64;
+                }
+                snapshots.insert(b.name().to_string(), snap);
             }
             let ctx = FiringContext {
                 snapshots: &snapshots,
@@ -481,12 +558,20 @@ impl Factory for QueryFactory {
                 vars: &self.vars,
                 now: self.clock.now(),
             };
-            execute_script(&self.stmts, &ctx)?
+            self.run_script(&ctx)?
         };
         let mut report = self.apply_effects(effects, &index, &mut guards)?;
         lock_micros += lock_started.elapsed().as_micros() as u64;
         report.elapsed_micros = started.elapsed().as_micros() as u64;
         report.lock_micros = lock_micros;
+        report.rows_scanned = rows_scanned;
+        // today the plan's output cardinality coincides with `produced`
+        // (everything the plan emits is applied); the field is the
+        // plan-boundary counter, so paths that apply less than they
+        // compute (e.g. future delta re-execution) report them apart
+        report.rows_out = report.produced as u64;
+        report.plan_micros = self.plan_micros_pending;
+        self.plan_micros_pending = 0;
         Ok(report)
     }
 }
@@ -837,6 +922,71 @@ mod tests {
         let always = ClosureFactory::new("gen", vec![], vec![], || Ok(FireReport::default()))
             .with_ready(|| true);
         assert!(always.ready());
+    }
+
+    #[test]
+    fn compiled_and_interpreted_paths_agree() {
+        for mode in [PlanMode::Compiled, PlanMode::Interpreted] {
+            let (clock, catalog, vars, input, output) = setup();
+            input
+                .append_rows(
+                    &[
+                        vec![Value::Int(1), Value::Int(50)],
+                        vec![Value::Int(2), Value::Int(150)],
+                        vec![Value::Int(3), Value::Int(250)],
+                    ],
+                    clock.as_ref(),
+                )
+                .unwrap();
+            let mut q = mkq(
+                "insert into OUT select id, payload from \
+                 [select id, payload from S where payload > 100] as Z where Z.id < 3",
+                &input,
+                &output,
+                clock,
+                catalog,
+                vars,
+                ConsumeMode::Apply,
+            )
+            .with_plan_mode(mode);
+            let r = q.fire().unwrap();
+            assert_eq!(r.consumed, 2, "inner filter defines consumption ({mode:?})");
+            assert_eq!(r.produced, 1, "outer filter bounds output ({mode:?})");
+            assert_eq!(r.rows_scanned, 3);
+            assert_eq!(r.rows_out, 1);
+            assert_eq!(input.len(), 1);
+            assert_eq!(output.len(), 1);
+            assert_eq!(
+                output.snapshot().column("id").unwrap().ints().unwrap(),
+                &[2]
+            );
+        }
+    }
+
+    #[test]
+    fn plan_micros_reported_once() {
+        let (clock, catalog, vars, input, output) = setup();
+        input
+            .append_rows(&[vec![Value::Int(1), Value::Int(5)]], clock.as_ref())
+            .unwrap();
+        let mut q = mkq(
+            "insert into OUT select * from [select * from S] as Z",
+            &input,
+            &output,
+            Arc::clone(&clock),
+            catalog,
+            vars,
+            ConsumeMode::Apply,
+        );
+        let first = q.fire().unwrap();
+        // compile time can legitimately round to 0µs; the invariant is
+        // that later firings never re-report it
+        assert_eq!(first.plan_micros, q.plan().compile_micros);
+        input
+            .append_rows(&[vec![Value::Int(2), Value::Int(6)]], clock.as_ref())
+            .unwrap();
+        let second = q.fire().unwrap();
+        assert_eq!(second.plan_micros, 0);
     }
 
     #[test]

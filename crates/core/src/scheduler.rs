@@ -31,6 +31,13 @@ pub struct FactoryStats {
     /// contention signal: a factory with `lock_micros` close to
     /// `busy_micros` is serializing its peers on shared baskets.
     pub lock_micros: u64,
+    /// Snapshot rows the plan executed over, lifetime.
+    pub rows_scanned: u64,
+    /// Rows the plan emitted (results + inserts), lifetime.
+    pub rows_out: u64,
+    /// One-time plan compile cost, µs (each firing reports it at most
+    /// once, so the cumulative sum equals the compile time).
+    pub plan_micros: u64,
 }
 
 impl FactoryStats {
@@ -40,6 +47,9 @@ impl FactoryStats {
         self.produced += r.produced as u64;
         self.busy_micros += r.elapsed_micros;
         self.lock_micros += r.lock_micros;
+        self.rows_scanned += r.rows_scanned;
+        self.rows_out += r.rows_out;
+        self.plan_micros += r.plan_micros;
     }
 }
 
@@ -233,17 +243,38 @@ impl ThreadedScheduler {
             while !stop.load(Ordering::Acquire) {
                 if f.ready() {
                     match f.fire() {
-                        Ok(r) => shared.lock().absorb(&r),
+                        Ok(r) => {
+                            shared.lock().absorb(&r);
+                            // a firing that neither consumed nor produced
+                            // left only tokens it will never take (e.g. a
+                            // selective inner predicate's residue) — back
+                            // off instead of spinning on them
+                            if r.consumed == 0 && r.produced == 0 {
+                                std::thread::sleep(idle_backoff);
+                            }
+                        }
                         Err(_) => break,
                     }
                 } else {
                     std::thread::sleep(idle_backoff);
                 }
             }
-            // drain once after stop so no input is stranded
+            // drain after stop so no input is stranded — but only while
+            // firings make progress: a factory whose predicate leaves
+            // rows behind stays `ready()` forever (tokens it will never
+            // consume), and an unbounded drain would wedge shutdown.
+            // (Per-thread drains were never coordinated: with an empty
+            // input, `ready()` exits the loop immediately whether or not
+            // an upstream drain is about to deliver — this break only
+            // adds the no-progress case to the same best-effort policy.)
             while f.ready() {
                 match f.fire() {
-                    Ok(r) => shared.lock().absorb(&r),
+                    Ok(r) => {
+                        shared.lock().absorb(&r);
+                        if r.consumed == 0 && r.produced == 0 {
+                            break;
+                        }
+                    }
                     Err(_) => break,
                 }
             }

@@ -180,6 +180,134 @@ pub fn select_not_null(col: &Column, cand: Option<&SelVec>) -> Result<SelVec> {
     Ok(SelVec::from_sorted_unchecked(out))
 }
 
+/// Positions where `left <op> right` holds between two aligned columns —
+/// the column-vs-column selection scan compiled plans use for
+/// `col <cmp> col` conjuncts (no boolean mask materialized). NULL on
+/// either side never matches; typed fast paths cover the homogeneous
+/// and numeric cross-type cases, everything else goes through
+/// [`crate::value::Value::sql_cmp`] with the same per-row type errors as
+/// [`crate::ops::arith::compare`].
+pub fn select_cmp_cols(
+    left: &Column,
+    right: &Column,
+    op: CmpOp,
+    cand: Option<&SelVec>,
+) -> Result<SelVec> {
+    if left.len() != right.len() {
+        return Err(MonetError::LengthMismatch {
+            op: "select_cmp_cols",
+            left: left.len(),
+            right: right.len(),
+        });
+    }
+    if let Some(c) = cand {
+        c.check_bounds(left.len())?;
+    }
+    let mut out: Vec<u32> = Vec::new();
+    let valid =
+        |i: usize| -> bool { left.is_valid(i) && right.is_valid(i) };
+    macro_rules! typed_scan {
+        ($a:expr, $b:expr, $cmp:expr) => {{
+            match cand {
+                None => {
+                    for i in 0..left.len() {
+                        if valid(i) && op.eval($cmp(&$a[i], &$b[i])) {
+                            out.push(i as u32);
+                        }
+                    }
+                }
+                Some(c) => {
+                    for p in c.iter() {
+                        let i = p as usize;
+                        if valid(i) && op.eval($cmp(&$a[i], &$b[i])) {
+                            out.push(p);
+                        }
+                    }
+                }
+            }
+            return Ok(SelVec::from_sorted_unchecked(out));
+        }};
+    }
+    use crate::column::ColumnData as CD;
+    match (left.data(), right.data()) {
+        (CD::Int(a) | CD::Ts(a), CD::Int(b) | CD::Ts(b)) => {
+            typed_scan!(a, b, |x: &i64, y: &i64| x.cmp(y))
+        }
+        (CD::Double(a), CD::Double(b)) => {
+            // NaN pairs are a type error, matching `compare`'s kernels
+            match cand {
+                None => {
+                    for i in 0..left.len() {
+                        if !valid(i) {
+                            continue;
+                        }
+                        let ord = a[i].partial_cmp(&b[i]).ok_or(MonetError::TypeMismatch {
+                            op: "select_cmp_cols",
+                            expected: ValueType::Double,
+                            found: ValueType::Double,
+                        })?;
+                        if op.eval(ord) {
+                            out.push(i as u32);
+                        }
+                    }
+                }
+                Some(c) => {
+                    for p in c.iter() {
+                        let i = p as usize;
+                        if !valid(i) {
+                            continue;
+                        }
+                        let ord = a[i].partial_cmp(&b[i]).ok_or(MonetError::TypeMismatch {
+                            op: "select_cmp_cols",
+                            expected: ValueType::Double,
+                            found: ValueType::Double,
+                        })?;
+                        if op.eval(ord) {
+                            out.push(p);
+                        }
+                    }
+                }
+            }
+            Ok(SelVec::from_sorted_unchecked(out))
+        }
+        (CD::Str(a), CD::Str(b)) => {
+            typed_scan!(a, b, |x: &String, y: &String| x.cmp(y))
+        }
+        (CD::Bool(a), CD::Bool(b)) => {
+            typed_scan!(a, b, |x: &bool, y: &bool| x.cmp(y))
+        }
+        _ => {
+            // mixed types: per-row SQL comparison; a non-NULL pair that
+            // cannot compare is a type error, exactly like `compare`
+            let positions: Box<dyn Iterator<Item = u32>> = match cand {
+                None => Box::new(0..left.len() as u32),
+                Some(c) => Box::new(c.iter()),
+            };
+            for p in positions {
+                let i = p as usize;
+                if !valid(i) {
+                    continue;
+                }
+                match left.get(i).sql_cmp(&right.get(i)) {
+                    Some(ord) => {
+                        if op.eval(ord) {
+                            out.push(p);
+                        }
+                    }
+                    None => {
+                        return Err(MonetError::TypeMismatch {
+                            op: "select_cmp_cols",
+                            expected: left.vtype(),
+                            found: right.vtype(),
+                        })
+                    }
+                }
+            }
+            Ok(SelVec::from_sorted_unchecked(out))
+        }
+    }
+}
+
 /// Positions where `col IN (set)`.
 pub fn select_in(col: &Column, set: &[Value], cand: Option<&SelVec>) -> Result<SelVec> {
     let mut acc = SelVec::empty();
@@ -383,6 +511,47 @@ mod tests {
         let c = ints(&[1]);
         let cand = SelVec::from_sorted(vec![5]).unwrap();
         assert!(select_cmp(&c, CmpOp::Eq, &Value::Int(1), Some(&cand)).is_err());
+    }
+
+    #[test]
+    fn cmp_cols_matches_compare_semantics() {
+        let a = ints(&[1, 5, 3, 9]);
+        let b = ints(&[2, 5, 1, 9]);
+        assert_eq!(
+            select_cmp_cols(&a, &b, CmpOp::Lt, None).unwrap().as_slice(),
+            &[0]
+        );
+        assert_eq!(
+            select_cmp_cols(&a, &b, CmpOp::Eq, None).unwrap().as_slice(),
+            &[1, 3]
+        );
+        let cand = SelVec::from_sorted(vec![1, 2]).unwrap();
+        assert_eq!(
+            select_cmp_cols(&a, &b, CmpOp::Ge, Some(&cand))
+                .unwrap()
+                .as_slice(),
+            &[1, 2]
+        );
+        // NULLs never match
+        let mut n = Column::new(ValueType::Int);
+        for v in [Value::Int(1), Value::Null, Value::Int(3), Value::Int(9)] {
+            n.push(v).unwrap();
+        }
+        assert_eq!(
+            select_cmp_cols(&n, &b, CmpOp::Ge, None).unwrap().as_slice(),
+            &[2, 3]
+        );
+        // numeric cross-type goes through the generic arm
+        let d = Column::from_doubles(vec![1.5, 4.0, 3.0, 8.0]);
+        assert_eq!(
+            select_cmp_cols(&a, &d, CmpOp::Gt, None).unwrap().as_slice(),
+            &[1, 3]
+        );
+        // incomparable pairs error
+        let s = Column::from_strs(vec!["x".into(); 4]);
+        assert!(select_cmp_cols(&a, &s, CmpOp::Eq, None).is_err());
+        // length mismatch errors
+        assert!(select_cmp_cols(&a, &ints(&[1]), CmpOp::Eq, None).is_err());
     }
 
     #[test]

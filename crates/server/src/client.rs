@@ -204,6 +204,18 @@ impl Client {
         self.request("STATS")
     }
 
+    /// `EXPLAIN <sql>`: the compiled physical plan of a script (pruned
+    /// column sets per scan, predicate order, materialization
+    /// boundaries), one line per plan row.
+    pub fn explain(&mut self, sql: &str) -> Result<Vec<String>> {
+        self.request(&format!("EXPLAIN {sql}"))
+    }
+
+    /// `EXPLAIN QUERY <name>`: the plan of a registered continuous query.
+    pub fn explain_query(&mut self, name: &str) -> Result<Vec<String>> {
+        self.request(&format!("EXPLAIN QUERY {name}"))
+    }
+
     /// The server's `STATS` report, parsed into typed rows — the form
     /// machine consumers (the cluster router's placement, tests) want.
     pub fn stats_report(&mut self) -> Result<StatsReport> {

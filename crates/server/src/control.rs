@@ -212,6 +212,8 @@ fn dispatch(rt: &Arc<ServerRuntime>, request: &str) -> (Response, bool) {
             Ok(p) => (Response::one(format!("port={p}")), false),
             Err(e) => (Response::Err(e.to_string()), false),
         },
+        Command::Explain(sql) => (result_response(rt.explain_sql(&sql)), false),
+        Command::ExplainQuery { name } => (result_response(rt.explain_query(&name)), false),
         Command::Stats => (Response::Ok(rt.stats()), false),
         Command::Quit => (Response::ok(), true),
         Command::Shutdown => {

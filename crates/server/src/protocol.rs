@@ -13,6 +13,8 @@
 //! REGISTER QUERY <name> AS <sql>                -- continuous query
 //! ATTACH RECEPTOR <stream> ON PORT <port> [FORMAT TEXT|BINARY]
 //! ATTACH EMITTER <query> ON PORT <port> [FORMAT TEXT|BINARY]
+//! EXPLAIN <sql>                                 -- compiled physical plan of a script
+//! EXPLAIN QUERY <name>                          -- plan of a registered continuous query
 //! STATS
 //! QUIT
 //! SHUTDOWN
@@ -78,6 +80,10 @@ pub enum Command {
         port: u16,
         format: WireFormat,
     },
+    /// `EXPLAIN <sql>` — print the compiled physical plan of a script.
+    Explain(String),
+    /// `EXPLAIN QUERY <name>` — plan of a registered continuous query.
+    ExplainQuery { name: String },
     Stats,
     /// Close this control session (the server keeps running).
     Quit,
@@ -229,6 +235,23 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             } else {
                 Ok(Command::Exec(rest.to_string()))
             }
+        }
+        "EXPLAIN" => {
+            if rest.is_empty() {
+                return Err("EXPLAIN requires SQL or QUERY <name>".into());
+            }
+            let (word, tail) = take_word(rest);
+            // `QUERY <name>` with nothing trailing names a registered
+            // query; anything else is a SQL script (no SQL statement
+            // starts with the QUERY keyword)
+            if word.eq_ignore_ascii_case("QUERY") {
+                let (name, trailing) = parse_name(tail)?;
+                if !trailing.is_empty() {
+                    return Err(format!("unexpected trailing input {trailing:?}"));
+                }
+                return Ok(Command::ExplainQuery { name });
+            }
+            Ok(Command::Explain(rest.to_string()))
         }
         "REGISTER" => {
             let rest = expect_kw(rest, "QUERY")?;
@@ -506,6 +529,22 @@ mod tests {
         assert!(parse_command("ATTACH RECEPTOR S ON PORT 0 FORMAT").is_err());
         assert!(parse_command("ATTACH RECEPTOR S ON PORT 0 BINARY").is_err());
         assert!(parse_command("ATTACH RECEPTOR S ON PORT 0 FORMAT BINARY extra").is_err());
+    }
+
+    #[test]
+    fn explain_commands() {
+        assert_eq!(
+            parse_command("EXPLAIN select a from R where a > 1"),
+            Ok(Command::Explain("select a from R where a > 1".into()))
+        );
+        assert_eq!(
+            parse_command("explain query hot"),
+            Ok(Command::ExplainQuery { name: "hot".into() })
+        );
+        assert!(parse_command("EXPLAIN").is_err());
+        assert!(parse_command("EXPLAIN QUERY").is_err());
+        assert!(parse_command("EXPLAIN QUERY hot extra").is_err());
+        assert!(parse_command("EXPLAIN QUERY bad-name").is_err());
     }
 
     #[test]

@@ -158,6 +158,27 @@ impl ServerRuntime {
         Ok(body)
     }
 
+    /// `EXPLAIN <sql>`: compile the script and render the physical plan
+    /// (pruned column sets per scan, predicate order, materialization
+    /// boundaries) without executing anything.
+    pub fn explain_sql(&self, sql: &str) -> Result<Vec<String>> {
+        self.ensure_running()?;
+        let stmts = dcsql::parse_statements(sql)
+            .map_err(|e| ServerError::Protocol(format!("EXPLAIN: {e}")))?;
+        Ok(dcsql::plan::PhysicalPlan::compile(&stmts).describe())
+    }
+
+    /// `EXPLAIN QUERY <name>`: the plan of a registered continuous query.
+    pub fn explain_query(&self, name: &str) -> Result<Vec<String>> {
+        let handle = self
+            .queries
+            .get(name)
+            .ok_or_else(|| ServerError::Unknown(format!("query {name}")))?;
+        let mut body = vec![format!("query {} AS {}", handle.name, handle.sql)];
+        body.extend(self.explain_sql(&handle.sql)?);
+        Ok(body)
+    }
+
     /// Register a continuous query: parse, build the factory, hand it to
     /// the live scheduler, and set up result fan-out.
     pub fn register_query(&self, name: &str, sql: &str) -> Result<Arc<QueryHandle>> {
@@ -374,8 +395,10 @@ impl ServerRuntime {
             };
             body.push(format!(
                 "query {} firings={} consumed={} produced={} busy_micros={} lock_micros={} \
+                 rows_scanned={} rows_out={} plan_micros={} \
                  subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={}",
                 q.name, s.firings, s.consumed, s.produced, s.busy_micros, s.lock_micros,
+                s.rows_scanned, s.rows_out, s.plan_micros,
                 subs, batches, tuples, dropped
             ));
         }

@@ -51,6 +51,12 @@ pub struct QueryStats {
     pub busy_micros: u64,
     /// Time spent holding basket locks, out of `busy_micros` (contention).
     pub lock_micros: u64,
+    /// Snapshot rows the plan executed over, lifetime.
+    pub rows_scanned: u64,
+    /// Rows the plan emitted (results + inserts), lifetime.
+    pub rows_out: u64,
+    /// One-time plan compile cost, µs (reported once per factory).
+    pub plan_micros: u64,
     pub subscribers: u64,
     pub delivered_batches: u64,
     pub delivered_tuples: u64,
@@ -168,6 +174,9 @@ impl StatsReport {
                     produced: num(&kv, "produced"),
                     busy_micros: num(&kv, "busy_micros"),
                     lock_micros: num(&kv, "lock_micros"),
+                    rows_scanned: num(&kv, "rows_scanned"),
+                    rows_out: num(&kv, "rows_out"),
+                    plan_micros: num(&kv, "plan_micros"),
                     subscribers: num(&kv, "subscribers"),
                     delivered_batches: num(&kv, "delivered_batches"),
                     delivered_tuples: num(&kv, "delivered_tuples"),
@@ -236,6 +245,7 @@ mod tests {
             "basket S len=3 enabled=true in=100 out=97 dropped=0 high_water=50 cap=256 \
              pending_deletes=4 compactions=2",
             "query hot firings=7 consumed=100 produced=42 busy_micros=999 lock_micros=111 \
+             rows_scanned=640 rows_out=42 plan_micros=17 \
              subscribers=2 delivered_batches=5 delivered_tuples=42 dropped_batches=0",
             "receptor S port=5001 format=binary connections=1 accepted=100 rejected=2",
             "emitter hot port=5002 format=text connections=2 coalesced_batches=3",
@@ -251,6 +261,9 @@ mod tests {
         let q = r.query("hot").unwrap();
         assert_eq!(q.delivered_tuples, 42);
         assert_eq!(q.lock_micros, 111);
+        assert_eq!(q.rows_scanned, 640);
+        assert_eq!(q.rows_out, 42);
+        assert_eq!(q.plan_micros, 17);
         assert_eq!(q.subscribers, 2);
         assert_eq!(r.receptors[0].port, 5001);
         assert_eq!(r.receptors[0].format, "binary");

@@ -480,3 +480,64 @@ fn exec_one_shot_round_trip() {
     c.shutdown().unwrap();
     server_thread.join().unwrap();
 }
+
+#[test]
+fn explain_shows_compiled_plan_and_stats_carry_plan_fields() {
+    let (addr, server_thread) = boot();
+    let mut c = Client::connect(addr).unwrap();
+    c.create_stream("S", "(a int, b int, c int, d int)").unwrap();
+    c.register_query(
+        "narrow",
+        "select a from [select a, b from S where b > 2] as Z where Z.a > 0",
+    )
+    .unwrap();
+
+    // EXPLAIN of a raw script
+    let plan = c
+        .explain("select a from [select a, b from S where b > 2] as Z where Z.a > 0")
+        .unwrap()
+        .join("\n");
+    assert!(plan.contains("fast select"), "{plan}");
+    assert!(plan.contains("scan S"), "{plan}");
+    assert!(plan.contains("[consume]"), "{plan}");
+    assert!(plan.contains("cols=a,b"), "pruned column set: {plan}");
+    assert!(plan.contains("lineage=selection-vector"), "{plan}");
+    assert!(plan.contains("b > 2"), "predicate order visible: {plan}");
+
+    // EXPLAIN QUERY of the registered query
+    let plan = c.explain_query("narrow").unwrap().join("\n");
+    assert!(plan.starts_with("query narrow AS "), "{plan}");
+    assert!(plan.contains("scan S"), "{plan}");
+    assert!(c.explain_query("nope").is_err());
+    assert!(c.explain("select ] nonsense").is_err());
+
+    // fire once over the receptor path so STATS carries plan telemetry
+    // (b > 2 everywhere: the firing consumes the whole batch and idles)
+    let rport = c.attach_receptor("S", 0).unwrap();
+    let mut sink = c.open_receptor(rport).unwrap();
+    for i in 0..10i64 {
+        sink.send_row(&[
+            Value::Int(i),
+            Value::Int(i + 3),
+            Value::Int(0),
+            Value::Int(0),
+        ])
+        .unwrap();
+    }
+    sink.flush().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let q = loop {
+        let stats = c.stats_report().unwrap();
+        let q = stats.query("narrow").expect("query row").clone();
+        if q.firings > 0 || std::time::Instant::now() > deadline {
+            break q;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(q.firings > 0, "query fired: {q:?}");
+    assert!(q.rows_scanned > 0, "rows_scanned threaded: {q:?}");
+    assert!(q.rows_out > 0, "rows_out threaded: {q:?}");
+
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+}

@@ -7,7 +7,7 @@
 //! regime — which is exactly how the paper separates query plans
 //! (factories) from basket maintenance.
 
-mod eval;
+pub(crate) mod eval;
 mod select;
 
 pub use eval::{eval_expr, eval_scalar};
@@ -24,6 +24,17 @@ use crate::error::{Result, SqlError};
 pub trait QueryContext {
     /// Snapshot of a named relation (basket or persistent table).
     fn relation(&self, name: &str) -> Result<Relation>;
+
+    /// Pruned snapshot: only the `wanted` columns of `name` need to be
+    /// present (compiled plans ask for exactly the columns they touch).
+    /// Implementations may return extra columns; they must return at
+    /// least one column so the row count survives even when `wanted`
+    /// names nothing (e.g. a literal-only projection). The default
+    /// falls back to the full [`QueryContext::relation`] snapshot.
+    fn columns(&self, name: &str, wanted: &[String]) -> Result<Relation> {
+        let _ = wanted;
+        self.relation(name)
+    }
 
     /// Global variable lookup (`DECLARE`d names).
     fn get_var(&self, name: &str) -> Option<Value>;
@@ -75,7 +86,7 @@ impl QueryContext for StaticContext {
 }
 
 /// Everything a statement wants to change, reported back to the engine.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct Effects {
     /// SELECT result rows (if the statement was a query).
     pub result: Option<Relation>,
@@ -93,7 +104,7 @@ pub struct Effects {
 }
 
 impl Effects {
-    fn merge(&mut self, other: Effects) {
+    pub(crate) fn merge(&mut self, other: Effects) {
         if other.result.is_some() {
             self.result = other.result;
         }
@@ -151,7 +162,11 @@ pub fn execute_script(stmts: &[Stmt], ctx: &dyn QueryContext) -> Result<Effects>
     Ok(all)
 }
 
-fn execute_in_env(stmt: &Stmt, ctx: &dyn QueryContext, env: &mut ExecEnv) -> Result<Effects> {
+pub(crate) fn execute_in_env(
+    stmt: &Stmt,
+    ctx: &dyn QueryContext,
+    env: &mut ExecEnv,
+) -> Result<Effects> {
     match stmt {
         Stmt::Select(sel) => {
             let out = run_select(sel, ctx, env, false)?;

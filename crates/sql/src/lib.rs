@@ -10,6 +10,7 @@ pub mod exec;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod token;
 
 pub use error::{Result, SqlError};

@@ -1,0 +1,211 @@
+//! Selection-vector execution of compiled [`FastQuery`] statements.
+//!
+//! Filter stages pass [`SelVec`] candidate lists; nothing is gathered
+//! until the projection boundary, and the materializing gather touches
+//! only the columns the projection resolves. Semantics mirror the
+//! interpreter ([`crate::exec::select::run_select`]) exactly — pinned by
+//! `tests/plan_equivalence.rs`.
+
+use monet::ops::select::{select_cmp, select_cmp_cols, select_range, select_true};
+use monet::prelude::*;
+
+use crate::error::{Result, SqlError};
+use crate::exec::eval::{eval_expr, resolve_column};
+use crate::exec::{merge_consumed, Effects, ExecEnv, QueryContext};
+use crate::plan::{FastQuery, InnerCols, Pred, PredKind, ProjItem, Sink};
+
+/// Execute one compiled statement.
+pub(crate) fn run_fast(
+    q: &FastQuery,
+    ctx: &dyn QueryContext,
+    env: &mut ExecEnv,
+) -> Result<Effects> {
+    // ---- scan (pruned when the context supports it) -----------------------
+    let base = match &q.wanted {
+        Some(cols) => ctx.columns(&q.table, cols)?,
+        None => ctx.relation(&q.table)?,
+    };
+
+    // ---- inner predicates: selection vectors over base positions ----------
+    let mut sel: Option<SelVec> = None;
+    for p in &q.inner_preds {
+        sel = Some(apply_pred(p, &base, ctx, env, sel.as_ref())?);
+    }
+    if let Some(n) = q.inner_top {
+        sel = Some(match sel {
+            Some(s) => s.take_first(n),
+            None => SelVec::range(0, n.min(base.len()) as u32),
+        });
+    }
+
+    // ---- consumption = the rows the basket expression *referenced* --------
+    let mut consumed: Vec<(String, SelVec)> = Vec::new();
+    if q.consuming {
+        let c = sel.clone().unwrap_or_else(|| SelVec::all(base.len()));
+        merge_consumed(&mut consumed, vec![(q.table.clone(), c)]);
+    }
+
+    // ---- the view the outer clauses see -----------------------------------
+    let view: Relation = match &q.inner_cols {
+        InnerCols::Star => base.clone(),
+        InnerCols::List(items) => {
+            let mut cols = Vec::with_capacity(items.len());
+            for (name, expr) in items {
+                // plain columns are O(1) Arc bumps; a name that is really
+                // a variable broadcasts, exactly like the interpreter's
+                // projection would
+                cols.push((name.clone(), eval_expr(expr, &base, ctx, env)?));
+            }
+            Relation::from_columns(cols)?
+        }
+    };
+
+    // ---- outer predicates (candidates carry over; positions align) --------
+    for p in &q.outer_preds {
+        sel = Some(apply_pred(p, &view, ctx, env, sel.as_ref())?);
+    }
+    if let Some(n) = q.outer_top {
+        sel = Some(match sel {
+            Some(s) => s.take_first(n),
+            None => SelVec::range(0, n.min(view.len()) as u32),
+        });
+    }
+    let final_sel = sel.unwrap_or_else(|| SelVec::all(view.len()));
+
+    // ---- materialize: one gather, only the projected columns --------------
+    let gathered = gather_for_projection(q, &view, &final_sel)?;
+    let out = project_fast(q, &gathered, ctx, env)?;
+
+    let mut fx = Effects {
+        consumed,
+        ..Effects::default()
+    };
+    match &q.sink {
+        Sink::Result => fx.result = Some(out),
+        Sink::Insert { table, columns } => {
+            fx.inserts.push((table.clone(), columns.clone(), out))
+        }
+    }
+    Ok(fx)
+}
+
+/// Reduce the candidate list by one conjunct. Indexable kinds run as
+/// typed selection scans; a named "column" that turns out not to exist
+/// (e.g. a global variable) falls back to mask evaluation, which
+/// reproduces the interpreter's resolution (and its errors) verbatim.
+fn apply_pred(
+    p: &Pred,
+    rel: &Relation,
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+    cand: Option<&SelVec>,
+) -> Result<SelVec> {
+    match &p.kind {
+        PredKind::ColConst { col, op, k } => {
+            if let Ok(i) = resolve_column(rel, None, col) {
+                return Ok(select_cmp(rel.col_at(i), *op, k, cand)?);
+            }
+            general(p, rel, ctx, env, cand)
+        }
+        PredKind::ColRange { col, lo, hi } => {
+            if let Ok(i) = resolve_column(rel, None, col) {
+                return Ok(select_range(rel.col_at(i), lo, hi, true, true, cand)?);
+            }
+            general(p, rel, ctx, env, cand)
+        }
+        PredKind::ColCol { left, right, op } => {
+            if let (Ok(i), Ok(j)) = (
+                resolve_column(rel, None, left),
+                resolve_column(rel, None, right),
+            ) {
+                return Ok(select_cmp_cols(rel.col_at(i), rel.col_at(j), *op, cand)?);
+            }
+            general(p, rel, ctx, env, cand)
+        }
+        PredKind::General => general(p, rel, ctx, env, cand),
+    }
+}
+
+fn general(
+    p: &Pred,
+    rel: &Relation,
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+    cand: Option<&SelVec>,
+) -> Result<SelVec> {
+    let mask = eval_expr(&p.expr, rel, ctx, env)?;
+    Ok(select_true(&mask, cand)?)
+}
+
+/// Gather only the view columns the projection touches (plus a row-count
+/// carrier when the projection is literal-only).
+fn gather_for_projection(q: &FastQuery, view: &Relation, sel: &SelVec) -> Result<Relation> {
+    let sub: Relation = match &q.proj_cols {
+        None => view.clone(),
+        Some(names) => {
+            let mut cols: Vec<(String, Column)> = Vec::new();
+            for n in names {
+                if let Ok(i) = view.column_idx(n) {
+                    cols.push((view.names()[i].clone(), view.col_at(i).clone()));
+                }
+            }
+            if cols.is_empty() {
+                if view.width() == 0 {
+                    return Err(SqlError::Exec("scan produced no columns".into()));
+                }
+                // literal-only projection still needs the row count
+                cols.push((view.names()[0].clone(), view.col_at(0).clone()));
+            }
+            Relation::from_columns(cols)?
+        }
+    };
+    Ok(sub.gather(sel)?)
+}
+
+/// Evaluate the projection, mirroring the interpreter's naming rules:
+/// long names first, short (qualifier-stripped) names when unique.
+fn project_fast(
+    q: &FastQuery,
+    rel: &Relation,
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+) -> Result<Relation> {
+    let mut cols: Vec<(String, Column)> = Vec::new();
+    for item in &q.projection {
+        match item {
+            ProjItem::Star => {
+                for (i, name) in rel.names().iter().enumerate() {
+                    if name.starts_with('#') {
+                        continue;
+                    }
+                    let long = match &q.binding {
+                        Some(b) => format!("{b}.{name}"),
+                        None => name.clone(),
+                    };
+                    cols.push((long, rel.col_at(i).clone()));
+                }
+            }
+            ProjItem::Expr { long, expr } => {
+                cols.push((long.clone(), eval_expr(expr, rel, ctx, env)?));
+            }
+        }
+    }
+    if cols.is_empty() {
+        return Err(SqlError::Exec("SELECT * requires a FROM clause".into()));
+    }
+    let shorts: Vec<String> = cols
+        .iter()
+        .map(|(n, _)| n.rsplit('.').next().unwrap_or(n).to_string())
+        .collect();
+    let unique = shorts
+        .iter()
+        .collect::<std::collections::HashSet<_>>()
+        .len()
+        == shorts.len();
+    let named: Vec<(String, Column)> = cols
+        .into_iter()
+        .zip(shorts)
+        .map(|((long, col), short)| (if unique { short } else { long }, col))
+        .collect();
+    Ok(Relation::from_columns(named)?)
+}

@@ -1,0 +1,1276 @@
+//! Compiled physical plans.
+//!
+//! A continuous query is parsed once but fired forever, so re-walking the
+//! AST on every firing (the interpreter in [`crate::exec`]) wastes the
+//! work a standing query could amortize. This module lowers a parsed
+//! script into a [`PhysicalPlan`] at registration time:
+//!
+//! * **Column requirements** — for every base table/basket scan, the
+//!   exact set of columns the script can touch ([`ScanRequirement`]).
+//!   The engine uses this to snapshot only those columns per firing
+//!   (O(touched-columns) `Arc` bumps instead of O(width)).
+//! * **Compiled statements** — statements matching the hot shape
+//!   (single-source SELECT / INSERT..SELECT over a plain scan or a
+//!   `[select ...]` basket expression) become a [`fast::FastQuery`]:
+//!   constant-folded, conjunction-split predicates ordered cheapest
+//!   first, executed as *selection vectors* passed between filter
+//!   stages — a materializing gather happens only once, at the
+//!   projection boundary. Everything else falls back to the interpreter
+//!   statement-by-statement, so for every script that executes without
+//!   error `PhysicalPlan::execute` produces exactly the
+//!   [`crate::exec::execute_script`] effects (pinned by
+//!   `tests/plan_equivalence.rs`). On *ill-typed* predicates (e.g. a
+//!   string/int column comparison) both paths reject well-typed-empty
+//!   inputs the same way, but — as in SQL generally — predicate
+//!   evaluation order and extent are unspecified, so one path may
+//!   short-circuit past a type error the other raises (candidate-
+//!   restricted scans inspect only surviving rows; interpreter masks
+//!   inspect whatever its gather order left live).
+//! * **Lazy rid lineage** — basket-expression consumption on the fast
+//!   path is the final inner selection vector itself; the hidden
+//!   `#rid:` column (an O(rows) materialization per firing) is only
+//!   needed for shapes the interpreter handles ([`ScanRequirement::
+//!   needs_lineage`]).
+//!
+//! Base-table column names must not contain `.` (the engine's DDL
+//! already guarantees this); qualified names are resolved against scan
+//! bindings at compile time.
+
+mod fast;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+use monet::ops::arith;
+use monet::ops::CmpOp;
+use monet::prelude::*;
+
+use crate::ast::{BinOp, Expr, FromItem, SelectItem, SelectStmt, Stmt};
+use crate::error::Result;
+use crate::exec::{Effects, ExecEnv, QueryContext};
+
+pub(crate) use fast::run_fast;
+
+// ---- column requirements ----------------------------------------------------
+
+/// Which columns of one base table a script's scans can touch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnsNeeded {
+    /// Everything (a `*` projection, or anything the analysis cannot
+    /// bound).
+    All,
+    /// Exactly these columns (conservative superset of what execution
+    /// resolves; may name variables that shadow no column — pruning
+    /// intersects with the schema).
+    Cols(BTreeSet<String>),
+}
+
+impl ColumnsNeeded {
+    fn add(&mut self, name: &str) {
+        if let ColumnsNeeded::Cols(set) = self {
+            set.insert(name.to_string());
+        }
+    }
+
+    fn set_all(&mut self) {
+        *self = ColumnsNeeded::All;
+    }
+
+    /// The explicit column set, `None` meaning "all".
+    pub fn as_cols(&self) -> Option<&BTreeSet<String>> {
+        match self {
+            ColumnsNeeded::All => None,
+            ColumnsNeeded::Cols(set) => Some(set),
+        }
+    }
+}
+
+impl Default for ColumnsNeeded {
+    fn default() -> Self {
+        ColumnsNeeded::Cols(BTreeSet::new())
+    }
+}
+
+/// Per-scan footprint of a script over one base table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanRequirement {
+    /// Columns any evaluation over this table can resolve.
+    pub columns: ColumnsNeeded,
+    /// Scanned inside a basket expression somewhere (consumption).
+    pub consuming: bool,
+    /// Consumption must go through materialized `#rid:` lineage columns
+    /// (an interpreter-shape basket expression); `false` means every
+    /// consuming scan of this table derives its consumption set from
+    /// selection vectors (or the trivial whole-basket fast path).
+    pub needs_lineage: bool,
+}
+
+/// Compute the per-table [`ScanRequirement`]s of a script (without the
+/// `needs_lineage` refinement — [`PhysicalPlan::compile`] fills that in
+/// from the statement shapes).
+pub fn column_requirements(stmts: &[Stmt]) -> BTreeMap<String, ScanRequirement> {
+    let mut reqs = BTreeMap::new();
+    let mut bound = BTreeSet::new();
+    for stmt in stmts {
+        req_stmt(stmt, &mut reqs, &mut bound);
+    }
+    reqs
+}
+
+fn entry<'a>(
+    reqs: &'a mut BTreeMap<String, ScanRequirement>,
+    table: &str,
+) -> &'a mut ScanRequirement {
+    reqs.entry(table.to_string()).or_default()
+}
+
+fn req_stmt(
+    stmt: &Stmt,
+    reqs: &mut BTreeMap<String, ScanRequirement>,
+    bound: &mut BTreeSet<String>,
+) {
+    match stmt {
+        Stmt::Select(s) => req_select(s, false, reqs, bound),
+        Stmt::Insert { source, .. } => req_select(source, false, reqs, bound),
+        Stmt::With {
+            binding,
+            source,
+            body,
+        } => {
+            req_select(source, true, reqs, bound);
+            let added = bound.insert(binding.clone());
+            for s in body {
+                req_stmt(s, reqs, bound);
+            }
+            if added {
+                bound.remove(binding);
+            }
+        }
+        Stmt::Set { expr, .. } => req_expr(expr, &[], reqs, bound),
+        Stmt::Declare { .. } | Stmt::Create { .. } => {}
+    }
+}
+
+fn req_select(
+    s: &SelectStmt,
+    consuming: bool,
+    reqs: &mut BTreeMap<String, ScanRequirement>,
+    bound: &mut BTreeSet<String>,
+) {
+    // the base scans visible in this select's scope: (binding, table)
+    let mut scope: Vec<(String, String)> = Vec::new();
+    for item in &s.from {
+        match item {
+            FromItem::Table { name, alias } => {
+                if bound.contains(name) {
+                    continue; // WITH binding, not a base table
+                }
+                entry(reqs, name).consuming |= consuming;
+                let binding = alias.clone().unwrap_or_else(|| name.clone());
+                scope.push((binding, name.clone()));
+            }
+            // derived sources: their own select determines base needs;
+            // outer references only see what they project
+            FromItem::Basket { query, .. } => req_select(query, true, reqs, bound),
+            FromItem::Subquery { query, .. } => req_select(query, false, reqs, bound),
+        }
+    }
+    for item in &s.projection {
+        match item {
+            SelectItem::Star => {
+                for (_, t) in &scope {
+                    entry(reqs, t).columns.set_all();
+                }
+            }
+            SelectItem::QualifiedStar(q) => {
+                if let Some((_, t)) = scope.iter().find(|(b, _)| b == q) {
+                    entry(reqs, t).columns.set_all();
+                }
+            }
+            SelectItem::Expr { expr, .. } => req_expr(expr, &scope, reqs, bound),
+        }
+    }
+    let exprs = s
+        .where_clause
+        .iter()
+        .chain(s.group_by.iter())
+        .chain(s.having.iter())
+        .chain(s.order_by.iter().map(|(e, _)| e));
+    for e in exprs {
+        req_expr(e, &scope, reqs, bound);
+    }
+    if let Some((_, rhs)) = &s.union {
+        req_select(rhs, consuming, reqs, bound);
+    }
+}
+
+fn req_expr(
+    e: &Expr,
+    scope: &[(String, String)],
+    reqs: &mut BTreeMap<String, ScanRequirement>,
+    bound: &mut BTreeSet<String>,
+) {
+    match e {
+        Expr::Column { qualifier, name } => match qualifier {
+            Some(q) => {
+                if let Some((_, t)) = scope.iter().find(|(b, _)| b == q) {
+                    entry(reqs, t).columns.add(name);
+                }
+            }
+            // an unqualified name may resolve against any source in
+            // scope (or a variable) — include it in every base scan
+            None => {
+                for (_, t) in scope {
+                    entry(reqs, t).columns.add(name);
+                }
+            }
+        },
+        Expr::Literal(_) => {}
+        Expr::ScalarSubquery(sub) => req_select(sub, false, reqs, bound),
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
+            req_expr(expr, scope, reqs, bound)
+        }
+        Expr::Binary { left, right, .. } => {
+            req_expr(left, scope, reqs, bound);
+            req_expr(right, scope, reqs, bound);
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            req_expr(expr, scope, reqs, bound);
+            req_expr(lo, scope, reqs, bound);
+            req_expr(hi, scope, reqs, bound);
+        }
+        Expr::InList { expr, list, .. } => {
+            req_expr(expr, scope, reqs, bound);
+            for i in list {
+                req_expr(i, scope, reqs, bound);
+            }
+        }
+        Expr::FuncCall { args, .. } => {
+            for a in args {
+                req_expr(a, scope, reqs, bound);
+            }
+        }
+    }
+}
+
+// ---- compiled predicates ----------------------------------------------------
+
+/// One conjunct, classified for selection-vector execution.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PredKind {
+    /// `col <cmp> const` — an indexable scan ([`monet::ops::select::select_cmp`]),
+    /// no boolean mask materialized.
+    ColConst { col: String, op: CmpOp, k: Value },
+    /// `col BETWEEN lo AND hi` with aligned literal bounds — one range scan.
+    ColRange { col: String, lo: Value, hi: Value },
+    /// `col <cmp> col` — a column-vs-column scan.
+    ColCol {
+        left: String,
+        right: String,
+        op: CmpOp,
+    },
+    /// Anything else: evaluate the expression as a boolean mask, then
+    /// reduce over the current candidates.
+    General,
+}
+
+/// A compiled conjunct: the classification plus the (rewritten) source
+/// expression — the fallback when a "column" turns out to be a variable.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Pred {
+    pub kind: PredKind,
+    pub expr: Expr,
+}
+
+impl Pred {
+    /// Scan-cost class for cheapest-first ordering (stable within a class).
+    fn cost(&self) -> u8 {
+        match self.kind {
+            PredKind::ColConst { .. } | PredKind::ColRange { .. } => 0,
+            PredKind::ColCol { .. } => 1,
+            PredKind::General => 2,
+        }
+    }
+}
+
+fn cmp_of(op: BinOp) -> Option<CmpOp> {
+    match op {
+        BinOp::Eq => Some(CmpOp::Eq),
+        BinOp::Ne => Some(CmpOp::Ne),
+        BinOp::Lt => Some(CmpOp::Lt),
+        BinOp::Le => Some(CmpOp::Le),
+        BinOp::Gt => Some(CmpOp::Gt),
+        BinOp::Ge => Some(CmpOp::Ge),
+        _ => None,
+    }
+}
+
+/// Fold literal-only binary subtrees through the *same* monet kernels the
+/// interpreter uses (1-row columns), so folded semantics — coercions,
+/// NULL propagation, division-by-zero → NULL — are identical by
+/// construction. Any kernel error leaves the subtree unfolded: the
+/// runtime then raises the same error the interpreter would.
+fn const_fold(e: &Expr) -> Expr {
+    match e {
+        Expr::Binary { op, left, right } => {
+            let l = const_fold(left);
+            let r = const_fold(right);
+            if let (Expr::Literal(a), Expr::Literal(b)) = (&l, &r) {
+                if let Some(v) = fold_binary(*op, a, b) {
+                    return Expr::Literal(v);
+                }
+            }
+            Expr::Binary {
+                op: *op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(const_fold(expr)),
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(const_fold(expr)),
+            lo: Box::new(const_fold(lo)),
+            hi: Box::new(const_fold(hi)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(const_fold(expr)),
+            list: list.iter().map(const_fold).collect(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(const_fold(expr)),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+fn one_row(v: &Value) -> Option<Column> {
+    let vtype = v.value_type().unwrap_or(ValueType::Int);
+    let mut col = Column::with_capacity(vtype, 1);
+    col.push(v.clone()).ok()?;
+    Some(col)
+}
+
+fn fold_binary(op: BinOp, a: &Value, b: &Value) -> Option<Value> {
+    let l = one_row(a)?;
+    let r = one_row(b)?;
+    let out = match op {
+        BinOp::Add => arith::arith(arith::ArithOp::Add, &l, &r),
+        BinOp::Sub => arith::arith(arith::ArithOp::Sub, &l, &r),
+        BinOp::Mul => arith::arith(arith::ArithOp::Mul, &l, &r),
+        BinOp::Div => arith::arith(arith::ArithOp::Div, &l, &r),
+        BinOp::Mod => arith::arith(arith::ArithOp::Mod, &l, &r),
+        BinOp::And => arith::and3(&l, &r),
+        BinOp::Or => arith::or3(&l, &r),
+        _ => cmp_of(op).map(|c| arith::compare(c, &l, &r)).unwrap(),
+    };
+    out.ok().map(|c| c.get(0))
+}
+
+/// Strip a scan-binding qualifier off column references (`Z.x` → `x`),
+/// leaving foreign qualifiers intact so they fail resolution exactly as
+/// the interpreter's would. Does not descend into scalar subqueries —
+/// those resolve in their own scope.
+fn strip_qualifier(e: &Expr, binding: Option<&str>) -> Expr {
+    let Some(b) = binding else { return e.clone() };
+    match e {
+        Expr::Column {
+            qualifier: Some(q),
+            name,
+        } if q == b => Expr::Column {
+            qualifier: None,
+            name: name.clone(),
+        },
+        Expr::Column { .. } | Expr::Literal(_) | Expr::ScalarSubquery(_) => e.clone(),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(strip_qualifier(expr, binding)),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(strip_qualifier(left, binding)),
+            right: Box::new(strip_qualifier(right, binding)),
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(strip_qualifier(expr, binding)),
+            lo: Box::new(strip_qualifier(lo, binding)),
+            hi: Box::new(strip_qualifier(hi, binding)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(strip_qualifier(expr, binding)),
+            list: list.iter().map(|i| strip_qualifier(i, binding)).collect(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(strip_qualifier(expr, binding)),
+            negated: *negated,
+        },
+        Expr::FuncCall { name, args, star } => Expr::FuncCall {
+            name: name.clone(),
+            args: args.iter().map(|a| strip_qualifier(a, binding)).collect(),
+            star: *star,
+        },
+    }
+}
+
+fn compile_pred(raw: &Expr, binding: Option<&str>) -> Pred {
+    let e = const_fold(&strip_qualifier(raw, binding));
+    let kind = match &e {
+        Expr::Binary { op, left, right } => match cmp_of(*op) {
+            Some(cop) => match (left.as_ref(), right.as_ref()) {
+                (
+                    Expr::Column {
+                        qualifier: None,
+                        name,
+                    },
+                    Expr::Literal(k),
+                ) => PredKind::ColConst {
+                    col: name.clone(),
+                    op: cop,
+                    k: k.clone(),
+                },
+                (
+                    Expr::Literal(k),
+                    Expr::Column {
+                        qualifier: None,
+                        name,
+                    },
+                ) => PredKind::ColConst {
+                    col: name.clone(),
+                    op: cop.flip(),
+                    k: k.clone(),
+                },
+                (
+                    Expr::Column {
+                        qualifier: None,
+                        name: l,
+                    },
+                    Expr::Column {
+                        qualifier: None,
+                        name: r,
+                    },
+                ) => PredKind::ColCol {
+                    left: l.clone(),
+                    right: r.clone(),
+                    op: cop,
+                },
+                _ => PredKind::General,
+            },
+            None => PredKind::General,
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated: false,
+        } => match (expr.as_ref(), lo.as_ref(), hi.as_ref()) {
+            (
+                Expr::Column {
+                    qualifier: None,
+                    name,
+                },
+                Expr::Literal(lo),
+                Expr::Literal(hi),
+            // only literal families select_range coerces exactly like
+            // the interpreter's compare: Int/Int and Str/Str bounds
+            ) if matches!((lo, hi), (Value::Int(_), Value::Int(_)) | (Value::Str(_), Value::Str(_))) => {
+                PredKind::ColRange {
+                    col: name.clone(),
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                }
+            }
+            _ => PredKind::General,
+        },
+        _ => PredKind::General,
+    };
+    Pred { kind, expr: e }
+}
+
+fn compile_conjuncts(where_clause: Option<&Expr>, binding: Option<&str>) -> Vec<Pred> {
+    let mut preds: Vec<Pred> = where_clause
+        .map(|w| w.conjuncts().into_iter().map(|c| compile_pred(c, binding)).collect())
+        .unwrap_or_default();
+    // cheapest-first; stable, so equal-cost conjuncts keep source order.
+    // Reordering never changes which rows qualify (conjunction is
+    // commutative and NULL never matches on any path); what it may
+    // change — as in SQL implementations generally — is *whether an
+    // ill-typed conjunct gets to raise*: a candidate-restricted scan
+    // only inspects surviving rows, so a type error behind an earlier
+    // filter can go unraised where the interpreter's source-order
+    // mask evaluation would surface it (see the module docs and
+    // `ill_typed_predicates_may_short_circuit` in plan_equivalence).
+    preds.sort_by_key(|p| p.cost());
+    preds
+}
+
+// ---- compiled statements ----------------------------------------------------
+
+/// Where a fast query's output goes.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Sink {
+    /// Bare SELECT: `Effects::result`.
+    Result,
+    /// `INSERT INTO table [(cols)]`.
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+    },
+}
+
+/// The columns the outer clauses see (the basket expression's output).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum InnerCols {
+    /// Pass the scan through whole (`[select * from T]` and plain scans).
+    Star,
+    /// An explicit inner projection: `(output name, expression over the
+    /// base scan)` — plain columns (or variables) only, so building the
+    /// view is O(1) Arc bumps per column.
+    List(Vec<(String, Expr)>),
+}
+
+/// One outer projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ProjItem {
+    /// `*` / `binding.*`: every view column, in order.
+    Star,
+    /// Expression with its interpreter-identical long output name.
+    Expr { long: String, expr: Expr },
+}
+
+/// A compiled single-scan query:
+/// `SELECT/INSERT ... FROM <scan | [inner]> WHERE ... [TOP n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FastQuery {
+    pub sink: Sink,
+    /// Base table/basket scanned.
+    pub table: String,
+    /// Scanned inside `[...]` — consumption = final inner selection.
+    pub consuming: bool,
+    /// Outer binding (FROM alias); qualifies star-expansion names.
+    pub binding: Option<String>,
+    /// Exact columns this statement needs from the scan (`None` = all).
+    pub wanted: Option<Vec<String>>,
+    /// Inner (basket-expression) conjuncts — these define consumption.
+    pub inner_preds: Vec<Pred>,
+    /// Inner `TOP`/`LIMIT`: consumption keeps the first n survivors.
+    pub inner_top: Option<usize>,
+    pub inner_cols: InnerCols,
+    /// Outer conjuncts — filter the result, never consumption.
+    pub outer_preds: Vec<Pred>,
+    pub outer_top: Option<usize>,
+    pub projection: Vec<ProjItem>,
+    /// View columns the projection resolves (`None` = all, e.g. `*`);
+    /// the materializing gather touches only these.
+    pub proj_cols: Option<Vec<String>>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PlannedStmt {
+    Fast(FastQuery),
+    Interpret(Stmt),
+}
+
+/// A compiled script: per-statement physical operators plus the union of
+/// scan requirements, ready to fire repeatedly.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    stmts: Vec<PlannedStmt>,
+    requirements: BTreeMap<String, ScanRequirement>,
+    /// Wall-clock compile time, µs (reported once through `FireReport`).
+    pub compile_micros: u64,
+}
+
+impl PhysicalPlan {
+    /// Lower a parsed script. Compilation never fails: statements outside
+    /// the fast shape are carried as interpreter fallbacks.
+    pub fn compile(stmts: &[Stmt]) -> PhysicalPlan {
+        let started = Instant::now();
+        let mut requirements = column_requirements(stmts);
+        let planned: Vec<PlannedStmt> = stmts
+            .iter()
+            .map(|s| match try_fast(s) {
+                Some(f) => PlannedStmt::Fast(f),
+                None => PlannedStmt::Interpret(s.clone()),
+            })
+            .collect();
+        for (ps, src) in planned.iter().zip(stmts) {
+            if matches!(ps, PlannedStmt::Interpret(_)) {
+                mark_lineage_stmt(src, &mut requirements);
+            }
+        }
+        PhysicalPlan {
+            stmts: planned,
+            requirements,
+            compile_micros: started.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Per-table scan requirements (union over all statements).
+    pub fn requirements(&self) -> &BTreeMap<String, ScanRequirement> {
+        &self.requirements
+    }
+
+    /// The pruned column set for one table; `None` = snapshot everything.
+    pub fn wanted_for(&self, table: &str) -> Option<&BTreeSet<String>> {
+        self.requirements.get(table).and_then(|r| r.columns.as_cols())
+    }
+
+    /// Statements compiled to the fast selection-vector path.
+    pub fn fast_count(&self) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| matches!(s, PlannedStmt::Fast(_)))
+            .count()
+    }
+
+    pub fn stmt_count(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Execute the compiled plan. Equivalent to
+    /// [`crate::exec::execute_script`] over the source statements.
+    pub fn execute(&self, ctx: &dyn QueryContext) -> Result<Effects> {
+        let mut env = ExecEnv::default();
+        let mut all = Effects::default();
+        for ps in &self.stmts {
+            let fx = match ps {
+                PlannedStmt::Fast(f) => run_fast(f, ctx, &mut env)?,
+                PlannedStmt::Interpret(s) => crate::exec::execute_in_env(s, ctx, &mut env)?,
+            };
+            all.merge(fx);
+        }
+        Ok(all)
+    }
+
+    /// Human-readable plan dump — the `EXPLAIN` body.
+    pub fn describe(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        out.push(format!(
+            "plan statements={} fast={} interpreted={} compile_micros={}",
+            self.stmts.len(),
+            self.fast_count(),
+            self.stmts.len() - self.fast_count(),
+            self.compile_micros,
+        ));
+        for (name, req) in &self.requirements {
+            let cols = match req.columns.as_cols() {
+                None => "*".to_string(),
+                Some(set) => {
+                    let v: Vec<&str> = set.iter().map(|s| s.as_str()).collect();
+                    if v.is_empty() {
+                        "(row-count only)".to_string()
+                    } else {
+                        v.join(",")
+                    }
+                }
+            };
+            let lineage = if !req.consuming {
+                "none"
+            } else if req.needs_lineage {
+                "rid"
+            } else {
+                "selection-vector"
+            };
+            out.push(format!(
+                "scan {name} cols={cols} consuming={} lineage={lineage}",
+                req.consuming
+            ));
+        }
+        for (i, ps) in self.stmts.iter().enumerate() {
+            match ps {
+                PlannedStmt::Interpret(s) => {
+                    out.push(format!("stmt {i}: interpret {}", stmt_label(s)));
+                }
+                PlannedStmt::Fast(f) => {
+                    let sink = match &f.sink {
+                        Sink::Result => "select".to_string(),
+                        Sink::Insert { table, .. } => format!("insert into {table}"),
+                    };
+                    out.push(format!("stmt {i}: fast {sink}"));
+                    out.push(format!(
+                        "  scan {}{}{}",
+                        f.table,
+                        if f.consuming { " [consume]" } else { "" },
+                        match &f.wanted {
+                            None => " cols=*".to_string(),
+                            Some(w) if w.is_empty() => " cols=(row-count only)".to_string(),
+                            Some(w) => format!(" cols={}", w.join(",")),
+                        }
+                    ));
+                    for p in &f.inner_preds {
+                        out.push(format!("  filter {} [{}]", expr_sql(&p.expr), pred_tag(p)));
+                    }
+                    if let Some(n) = f.inner_top {
+                        out.push(format!("  top {n} (inner: bounds consumption)"));
+                    }
+                    if let InnerCols::List(items) = &f.inner_cols {
+                        let names: Vec<&str> =
+                            items.iter().map(|(n, _)| n.as_str()).collect();
+                        out.push(format!("  view {}", names.join(",")));
+                    }
+                    for p in &f.outer_preds {
+                        out.push(format!("  filter {} [{}]", expr_sql(&p.expr), pred_tag(p)));
+                    }
+                    if let Some(n) = f.outer_top {
+                        out.push(format!("  top {n}"));
+                    }
+                    out.push(format!(
+                        "  materialize gather cols={} at projection",
+                        match &f.proj_cols {
+                            None => "*".to_string(),
+                            Some(c) if c.is_empty() => "(row-count only)".to_string(),
+                            Some(c) => c.join(","),
+                        }
+                    ));
+                    let proj: Vec<String> = f
+                        .projection
+                        .iter()
+                        .map(|p| match p {
+                            ProjItem::Star => "*".to_string(),
+                            ProjItem::Expr { long, .. } => long.clone(),
+                        })
+                        .collect();
+                    out.push(format!("  project {}", proj.join(", ")));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn pred_tag(p: &Pred) -> &'static str {
+    match p.kind {
+        PredKind::ColConst { .. } => "index",
+        PredKind::ColRange { .. } => "range",
+        PredKind::ColCol { .. } => "col-col",
+        PredKind::General => "general",
+    }
+}
+
+fn stmt_label(s: &Stmt) -> String {
+    match s {
+        Stmt::Select(_) => "select (general shape)".into(),
+        Stmt::Insert { table, .. } => format!("insert into {table} (general shape)"),
+        Stmt::With { binding, .. } => format!("with {binding} split block"),
+        Stmt::Declare { name, .. } => format!("declare {name}"),
+        Stmt::Set { name, .. } => format!("set {name}"),
+        Stmt::Create { name, .. } => format!("create {name}"),
+    }
+}
+
+/// Minimal SQL rendering for EXPLAIN output.
+fn expr_sql(e: &Expr) -> String {
+    match e {
+        Expr::Column { qualifier, name } => match qualifier {
+            Some(q) => format!("{q}.{name}"),
+            None => name.clone(),
+        },
+        Expr::Literal(v) => match v {
+            Value::Str(s) => format!("'{s}'"),
+            other => other.to_string(),
+        },
+        Expr::Unary { op, expr } => {
+            let op = match op {
+                crate::ast::UnaryOp::Neg => "-",
+                crate::ast::UnaryOp::Not => "not ",
+            };
+            format!("{op}{}", expr_sql(expr))
+        }
+        Expr::Binary { op, left, right } => {
+            let op = match op {
+                BinOp::Or => "or",
+                BinOp::And => "and",
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+            };
+            format!("{} {op} {}", expr_sql(left), expr_sql(right))
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => format!(
+            "{}{} between {} and {}",
+            expr_sql(expr),
+            if *negated { " not" } else { "" },
+            expr_sql(lo),
+            expr_sql(hi)
+        ),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let items: Vec<String> = list.iter().map(expr_sql).collect();
+            format!(
+                "{}{} in ({})",
+                expr_sql(expr),
+                if *negated { " not" } else { "" },
+                items.join(", ")
+            )
+        }
+        Expr::IsNull { expr, negated } => format!(
+            "{} is{} null",
+            expr_sql(expr),
+            if *negated { " not" } else { "" }
+        ),
+        Expr::FuncCall { name, args, star } => {
+            if *star {
+                format!("{name}(*)")
+            } else {
+                let args: Vec<String> = args.iter().map(expr_sql).collect();
+                format!("{name}({})", args.join(", "))
+            }
+        }
+        Expr::ScalarSubquery(_) => "(subquery)".into(),
+    }
+}
+
+// ---- fast-shape lowering ----------------------------------------------------
+
+fn clause_free(s: &SelectStmt) -> bool {
+    !s.distinct
+        && s.group_by.is_empty()
+        && s.having.is_none()
+        && s.order_by.is_empty()
+        && s.union.is_none()
+}
+
+fn effective_top(s: &SelectStmt) -> Option<usize> {
+    match (s.top, s.limit) {
+        (Some(t), Some(l)) => Some(t.min(l) as usize),
+        (Some(t), None) => Some(t as usize),
+        (None, Some(l)) => Some(l as usize),
+        (None, None) => None,
+    }
+}
+
+fn try_fast(stmt: &Stmt) -> Option<FastQuery> {
+    let (sink, s) = match stmt {
+        Stmt::Select(s) => (Sink::Result, s),
+        Stmt::Insert {
+            table,
+            columns,
+            source,
+        } => (
+            Sink::Insert {
+                table: table.clone(),
+                columns: columns.clone(),
+            },
+            source,
+        ),
+        _ => return None,
+    };
+    compile_select(sink, s, stmt)
+}
+
+fn compile_select(sink: Sink, s: &SelectStmt, src: &Stmt) -> Option<FastQuery> {
+    if !clause_free(s) || s.from.len() != 1 {
+        return None;
+    }
+    // aggregates route through the grouped pipeline — interpreter shape
+    if s.projection.iter().any(
+        |p| matches!(p, SelectItem::Expr { expr, .. } if expr.contains_aggregate()),
+    ) {
+        return None;
+    }
+    let (table, consuming, binding, inner_preds, inner_top, inner_cols) = match &s.from[0] {
+        FromItem::Table { name, alias } => (
+            name.clone(),
+            false,
+            Some(alias.clone().unwrap_or_else(|| name.clone())),
+            Vec::new(),
+            None,
+            InnerCols::Star,
+        ),
+        FromItem::Basket { query, alias } => {
+            let parts = compile_inner(query)?;
+            (parts.0, true, alias.clone(), parts.1, parts.2, parts.3)
+        }
+        FromItem::Subquery { query, alias } => {
+            let parts = compile_inner(query)?;
+            (
+                parts.0,
+                false,
+                Some(alias.clone()),
+                parts.1,
+                parts.2,
+                parts.3,
+            )
+        }
+    };
+
+    // outer projection, with interpreter-identical long names
+    let mut projection = Vec::with_capacity(s.projection.len());
+    let mut proj_cols: Option<Vec<String>> = Some(Vec::new());
+    for (ordinal, item) in s.projection.iter().enumerate() {
+        match item {
+            SelectItem::Star => {
+                projection.push(ProjItem::Star);
+                proj_cols = None;
+            }
+            SelectItem::QualifiedStar(q) => {
+                // only the single scan's binding can match; anything else
+                // is an interpreter-shape error path
+                if binding.as_deref() != Some(q.as_str()) {
+                    return None;
+                }
+                projection.push(ProjItem::Star);
+                proj_cols = None;
+            }
+            SelectItem::Expr { expr, .. } => {
+                let rewritten = const_fold(&strip_qualifier(expr, binding.as_deref()));
+                if let Some(cols) = &mut proj_cols {
+                    collect_view_cols(&rewritten, cols);
+                }
+                projection.push(ProjItem::Expr {
+                    long: crate::exec::eval::display_name(item, ordinal),
+                    expr: rewritten,
+                });
+            }
+        }
+    }
+
+    let outer_preds = compile_conjuncts(s.where_clause.as_ref(), binding.as_deref());
+
+    // exact columns this statement pulls from the base scan
+    let wanted = column_requirements(std::slice::from_ref(src))
+        .remove(&table)
+        .and_then(|r| {
+            r.columns
+                .as_cols()
+                .map(|set| set.iter().cloned().collect::<Vec<String>>())
+        });
+
+    Some(FastQuery {
+        sink,
+        table,
+        consuming,
+        binding,
+        wanted,
+        inner_preds,
+        inner_top,
+        inner_cols,
+        outer_preds,
+        outer_top: effective_top(s),
+        projection,
+        proj_cols: proj_cols.map(|mut v| {
+            v.sort();
+            v.dedup();
+            v
+        }),
+    })
+}
+
+type InnerParts = (String, Vec<Pred>, Option<usize>, InnerCols);
+
+/// Lower the inner query of a basket expression / derived table:
+/// a single plain scan with conjunctive predicates, TOP/LIMIT, and a
+/// `*` or plain-column projection.
+fn compile_inner(q: &SelectStmt) -> Option<InnerParts> {
+    if !clause_free(q) || q.from.len() != 1 {
+        return None;
+    }
+    let FromItem::Table { name, alias } = &q.from[0] else {
+        return None;
+    };
+    let inner_binding = alias.clone().unwrap_or_else(|| name.clone());
+    let cols = inner_cols(&q.projection, &inner_binding)?;
+    let preds = compile_conjuncts(q.where_clause.as_ref(), Some(&inner_binding));
+    Some((name.clone(), preds, effective_top(q), cols))
+}
+
+/// Inner projections: `*` alone, or a list of plain column references —
+/// anything else (expressions, aggregates, mixed stars) falls back.
+fn inner_cols(items: &[SelectItem], binding: &str) -> Option<InnerCols> {
+    if matches!(items, [SelectItem::Star]) {
+        return Some(InnerCols::Star);
+    }
+    let mut longs: Vec<String> = Vec::with_capacity(items.len());
+    let mut exprs: Vec<Expr> = Vec::with_capacity(items.len());
+    for (ordinal, item) in items.iter().enumerate() {
+        let SelectItem::Expr { expr, .. } = item else {
+            return None;
+        };
+        if !matches!(expr, Expr::Column { .. }) {
+            return None;
+        }
+        longs.push(crate::exec::eval::display_name(item, ordinal));
+        exprs.push(strip_qualifier(expr, Some(binding)));
+    }
+    if longs.is_empty() {
+        return None;
+    }
+    // the interpreter's qualifier-strip rule: short names when unique
+    let shorts: Vec<String> = longs
+        .iter()
+        .map(|n| n.rsplit('.').next().unwrap_or(n).to_string())
+        .collect();
+    let unique = shorts.iter().collect::<BTreeSet<_>>().len() == shorts.len();
+    let names = if unique { shorts } else { longs };
+    Some(InnerCols::List(names.into_iter().zip(exprs).collect()))
+}
+
+/// Bare column names an expression resolves against the view (stops at
+/// scalar subqueries — their scope is their own).
+fn collect_view_cols(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Column {
+            qualifier: None,
+            name,
+        } => out.push(name.clone()),
+        Expr::Column { .. } | Expr::Literal(_) | Expr::ScalarSubquery(_) => {}
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => collect_view_cols(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_view_cols(left, out);
+            collect_view_cols(right, out);
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            collect_view_cols(expr, out);
+            collect_view_cols(lo, out);
+            collect_view_cols(hi, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_view_cols(expr, out);
+            for i in list {
+                collect_view_cols(i, out);
+            }
+        }
+        Expr::FuncCall { args, .. } => {
+            for a in args {
+                collect_view_cols(a, out);
+            }
+        }
+    }
+}
+
+// ---- lineage marking --------------------------------------------------------
+
+/// For interpreter-shape statements, mark consumed tables whose basket
+/// expressions materialize `#rid:` lineage (everything except the
+/// trivial whole-basket `[select * from T]` scan).
+fn mark_lineage_stmt(stmt: &Stmt, reqs: &mut BTreeMap<String, ScanRequirement>) {
+    match stmt {
+        Stmt::Select(s) => mark_lineage_select(s, false, reqs),
+        Stmt::Insert { source, .. } => mark_lineage_select(source, false, reqs),
+        Stmt::With { source, body, .. } => {
+            mark_lineage_select(source, true, reqs);
+            for s in body {
+                mark_lineage_stmt(s, reqs);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn trivial_whole_scan(s: &SelectStmt) -> Option<&str> {
+    let simple = clause_free(s)
+        && s.top.is_none()
+        && s.limit.is_none()
+        && s.where_clause.is_none()
+        && matches!(s.projection.as_slice(), [SelectItem::Star]);
+    if !simple {
+        return None;
+    }
+    match s.from.as_slice() {
+        [FromItem::Table { name, .. }] => Some(name),
+        _ => None,
+    }
+}
+
+fn mark_lineage_select(
+    s: &SelectStmt,
+    consuming: bool,
+    reqs: &mut BTreeMap<String, ScanRequirement>,
+) {
+    if consuming && trivial_whole_scan(s).is_none() {
+        // every base scan inside this tracked select carries lineage
+        for item in &s.from {
+            match item {
+                FromItem::Table { name, .. } => {
+                    if let Some(r) = reqs.get_mut(name) {
+                        if r.consuming {
+                            r.needs_lineage = true;
+                        }
+                    }
+                }
+                FromItem::Basket { query, .. } | FromItem::Subquery { query, .. } => {
+                    mark_lineage_select(query, consuming, reqs)
+                }
+            }
+        }
+    } else {
+        for item in &s.from {
+            match item {
+                FromItem::Basket { query, .. } => mark_lineage_select(query, true, reqs),
+                FromItem::Subquery { query, .. } => mark_lineage_select(query, false, reqs),
+                FromItem::Table { .. } => {}
+            }
+        }
+    }
+    if let Some((_, rhs)) = &s.union {
+        mark_lineage_select(rhs, consuming, reqs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_statements;
+
+    fn plan_of(src: &str) -> PhysicalPlan {
+        PhysicalPlan::compile(&parse_statements(src).unwrap())
+    }
+
+    #[test]
+    fn fast_shapes_compile() {
+        let p = plan_of("select a, b from R where a > 3");
+        assert_eq!(p.fast_count(), 1);
+        let p = plan_of("insert into O select a from [select a, b from S where b = 1] as Z");
+        assert_eq!(p.fast_count(), 1);
+        let p = plan_of("select top 3 x from (select x from T) as d where d.x < 9");
+        assert_eq!(p.fast_count(), 1);
+    }
+
+    #[test]
+    fn general_shapes_fall_back() {
+        assert_eq!(plan_of("select count(*) from R").fast_count(), 0);
+        assert_eq!(plan_of("select a from R order by a").fast_count(), 0);
+        assert_eq!(plan_of("select distinct a from R").fast_count(), 0);
+        assert_eq!(
+            plan_of("select * from X, Y where X.id = Y.id").fast_count(),
+            0
+        );
+        assert_eq!(
+            plan_of("select a from R union all select a from R").fast_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn requirements_prune_and_widen() {
+        let p = plan_of("select a from R where b > 1 and R.c = 2");
+        let req = &p.requirements()["R"];
+        assert_eq!(
+            req.columns.as_cols().unwrap().iter().cloned().collect::<Vec<_>>(),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+        assert!(!req.consuming);
+
+        let p = plan_of("select * from R");
+        assert!(p.wanted_for("R").is_none(), "star requires everything");
+
+        // inner explicit projection bounds the base need even when the
+        // outer projection is a star
+        let p = plan_of("select * from [select a, b from S] as Z");
+        let cols = p.wanted_for("S").unwrap();
+        assert_eq!(cols.iter().cloned().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert!(p.requirements()["S"].consuming);
+    }
+
+    #[test]
+    fn unqualified_names_spread_to_all_scans() {
+        let p = plan_of("select vx from X, Y where X.id = Y.id and vy > 2");
+        let x = p.wanted_for("X").unwrap();
+        let y = p.wanted_for("Y").unwrap();
+        // vx/vy can resolve against either side; id is qualified
+        assert!(x.contains("vx") && x.contains("vy") && x.contains("id"));
+        assert!(y.contains("vx") && y.contains("vy") && y.contains("id"));
+    }
+
+    #[test]
+    fn scalar_subquery_scopes_are_isolated() {
+        let p = plan_of("select a from R where a = (select max(h) from HB)");
+        assert!(p.wanted_for("HB").unwrap().contains("h"));
+        assert!(!p.wanted_for("HB").unwrap().contains("a"));
+        assert!(p.wanted_for("R").unwrap().contains("a"));
+    }
+
+    #[test]
+    fn predicates_fold_and_order() {
+        let p = plan_of("select a from R where a + b > 0 and a > 10 + 5");
+        let PlannedStmt::Fast(f) = &p.stmts[0] else {
+            panic!("fast shape expected")
+        };
+        // folded `a > 15` ordered before the general conjunct
+        assert!(matches!(
+            &f.outer_preds[0].kind,
+            PredKind::ColConst { col, op: CmpOp::Gt, k: Value::Int(15) } if col == "a"
+        ));
+        assert!(matches!(&f.outer_preds[1].kind, PredKind::General));
+    }
+
+    #[test]
+    fn between_compiles_to_range() {
+        let p = plan_of("select a from R where a between 2 and 6");
+        let PlannedStmt::Fast(f) = &p.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(&f.outer_preds[0].kind, PredKind::ColRange { .. }));
+        // double bounds keep interpreter coercions — general shape
+        let p = plan_of("select a from R where a between 1.5 and 6.5");
+        let PlannedStmt::Fast(f) = &p.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(&f.outer_preds[0].kind, PredKind::General));
+    }
+
+    #[test]
+    fn lineage_flags() {
+        // fast consuming shape: selection-vector lineage
+        let p = plan_of("select a from [select a from S where a > 1] as Z");
+        assert!(!p.requirements()["S"].needs_lineage);
+        // interpreter consuming shape (join inside the brackets): rid
+        let p = plan_of("select A.id from [select * from X, Y where X.id = Y.id] as A");
+        assert!(p.requirements()["X"].needs_lineage);
+        assert!(p.requirements()["Y"].needs_lineage);
+    }
+
+    #[test]
+    fn describe_mentions_scans_and_filters() {
+        let p = plan_of(
+            "insert into O select a from [select a, b from S where b = 7] as Z where Z.a > 1",
+        );
+        let d = p.describe().join("\n");
+        assert!(d.contains("fast insert into O"));
+        assert!(d.contains("scan S"));
+        assert!(d.contains("[consume]"));
+        assert!(d.contains("b = 7"));
+        assert!(d.contains("selection-vector"));
+    }
+}

@@ -1,0 +1,406 @@
+//! Compiled ≡ interpreted: randomized queries over randomized relations
+//! must produce identical [`Effects`] (result rows, consumptions,
+//! inserts, variable updates) through `PhysicalPlan::execute` and
+//! `execute_script`. A second pass re-runs the interpreter against a
+//! context pruned to the plan's column requirements, pinning that the
+//! requirement analysis is a sound superset of what execution resolves.
+
+use std::collections::HashMap;
+
+use dcsql::exec::{execute_script, Effects, QueryContext, StaticContext};
+use dcsql::parse_statements;
+use dcsql::plan::PhysicalPlan;
+use dcsql::Result as SqlResult;
+use monet::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 64;
+
+/// Random test relation: ints (with NULLs), doubles, strings.
+fn random_relation(rng: &mut StdRng, rows: usize) -> Relation {
+    let mut a = Column::new(ValueType::Int);
+    let mut b = Column::new(ValueType::Int);
+    let mut d = Column::new(ValueType::Double);
+    let mut s = Column::new(ValueType::Str);
+    for _ in 0..rows {
+        let av = if rng.gen_range(0..10) == 0 {
+            Value::Null
+        } else {
+            Value::Int(rng.gen_range(-5..30))
+        };
+        a.push(av).unwrap();
+        b.push(Value::Int(rng.gen_range(0..8))).unwrap();
+        d.push(Value::Double(rng.gen_range(0..1000) as f64 / 100.0))
+            .unwrap();
+        let tag = ["p", "q", "r"][rng.gen_range(0..3usize)];
+        s.push(Value::Str(tag.to_string())).unwrap();
+    }
+    Relation::from_columns(vec![
+        ("a".into(), a),
+        ("b".into(), b),
+        ("d".into(), d),
+        ("s".into(), s),
+    ])
+    .unwrap()
+}
+
+fn make_ctx(rng: &mut StdRng) -> StaticContext {
+    let r_rows = rng.gen_range(0..ROWS);
+    let s_rows = rng.gen_range(1..ROWS);
+    let r = random_relation(rng, r_rows);
+    let s = random_relation(rng, s_rows);
+    StaticContext::new()
+        .with_relation("R", r)
+        .with_relation("S", s)
+        .with_var("v1", Value::Int(rng.gen_range(0..20i64)))
+}
+
+/// The query corpus: `{k}`-style holes are filled with random constants.
+/// Mix of fast shapes (the compiled path) and general shapes (the
+/// interpreter fallback inside `PhysicalPlan::execute`).
+const FAST_TEMPLATES: &[&str] = &[
+    "select * from R where a > {k}",
+    "select a, b from R where a >= {k} and b < {j}",
+    "select R.a from R where a between {j} and {k}",
+    "select a from R where a = b",
+    "select a from R where a > v1",
+    "select s, a from R where s = '{t}'",
+    "select top {n} a from R",
+    "select a from R limit {n}",
+    "select * from [select * from R] as Z where Z.a > {k}",
+    "select Z.* from [select * from R where a > {k}] as Z",
+    "select Z.a, Z.b from [select * from R where b <= {j}] as Z where Z.a > {k}",
+    "select x from [select a as x from R where a > {k}] as Z where Z.x < {j} + 10",
+    "select a, b from [select top {n} a, b from R where b > {j}] as Z",
+    "insert into OUT select a from [select a, b from R where b = {j}] as Z where Z.a > {k}",
+    "insert into OUT (y) select a from [select a from R where a > {k}] as W",
+    "select * from (select a, d from R) as t where t.a > {k}",
+    "select a + 1 as inc, d from R where d > {j} and a is not null",
+    "select 1 as one from R where a > {k}",
+    "select a from R where a in ({j}, {k}, 7)",
+    "select a from R where not (a > {k})",
+    "select a from R where a > (select min(a) from S)",
+];
+
+const GENERAL_TEMPLATES: &[&str] = &[
+    "select count(*), sum(a) from R where a > {k}",
+    "select s, count(*) as n from R group by s having count(*) > {j} order by n",
+    "select distinct s from R",
+    "select a from R order by a desc limit {n}",
+    "select R.a, S.b from R, S where R.b = S.b and S.a > {k}",
+    "select a from R where a <= {k} union all select a from R where a > {j}",
+    "select count(*) from [select * from R where a >= {k}] as Z",
+    "declare c int; set c = {k}; select a from R where a > c",
+    "with A as [select a, b from R] begin \
+     insert into OUT select a from A where A.b > {j}; \
+     insert into OUT2 select b from A; end",
+];
+
+fn instantiate(template: &str, rng: &mut StdRng) -> String {
+    template
+        .replace("{k}", &rng.gen_range(-3..25i64).to_string())
+        .replace("{j}", &rng.gen_range(0..8i64).to_string())
+        .replace("{n}", &rng.gen_range(0..10i64).to_string())
+        .replace("{t}", ["p", "q", "r"][rng.gen_range(0..3usize)])
+}
+
+fn run_both(sql: &str, ctx: &StaticContext) -> (SqlResult<Effects>, SqlResult<Effects>, usize) {
+    let stmts = parse_statements(sql).unwrap_or_else(|e| panic!("parse {sql}: {e}"));
+    let interp = execute_script(&stmts, ctx);
+    let plan = PhysicalPlan::compile(&stmts);
+    let compiled = plan.execute(ctx);
+    (interp, compiled, plan.fast_count())
+}
+
+fn assert_equivalent(sql: &str, interp: SqlResult<Effects>, compiled: SqlResult<Effects>) {
+    match (interp, compiled) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(
+                a, b,
+                "compiled effects diverge from interpreter for {sql}"
+            );
+        }
+        (Err(_), Err(_)) => {} // both fail — equivalent outcome
+        (a, b) => panic!(
+            "one path failed for {sql}: interpreter={:?} compiled={:?}",
+            a.map(|_| "ok"),
+            b.map(|_| "ok")
+        ),
+    }
+}
+
+#[test]
+fn compiled_matches_interpreter_on_random_inputs() {
+    let mut rng = StdRng::seed_from_u64(0xDC_5EED);
+    let mut fast_seen = 0usize;
+    for round in 0..60 {
+        let ctx = make_ctx(&mut rng);
+        for template in FAST_TEMPLATES.iter().chain(GENERAL_TEMPLATES) {
+            let sql = instantiate(template, &mut rng);
+            let (interp, compiled, fast) = run_both(&sql, &ctx);
+            fast_seen += fast;
+            assert_equivalent(&format!("[round {round}] {sql}"), interp, compiled);
+        }
+    }
+    assert!(
+        fast_seen > 60 * FAST_TEMPLATES.len() / 2,
+        "fast corpus mostly fell back to the interpreter ({fast_seen} fast executions)"
+    );
+}
+
+#[test]
+fn fast_templates_compile_to_fast_plans() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for template in FAST_TEMPLATES {
+        let sql = instantiate(template, &mut rng);
+        let stmts = parse_statements(&sql).unwrap();
+        let plan = PhysicalPlan::compile(&stmts);
+        assert_eq!(
+            plan.fast_count(),
+            1,
+            "expected the fast path for {sql}:\n{}",
+            plan.describe().join("\n")
+        );
+    }
+}
+
+/// Project every relation down to the columns the plan asked for — the
+/// factory's pruned-snapshot behavior, simulated. Running the FULL
+/// interpreter against the pruned context must still work: the
+/// requirement analysis has to be a superset of everything execution
+/// resolves.
+fn prune_relations(ctx: &StaticContext, plan: &PhysicalPlan) -> StaticContext {
+    let mut pruned = StaticContext::new();
+    pruned.vars = ctx.vars.clone();
+    pruned.now_micros = ctx.now_micros;
+    for (name, rel) in &ctx.relations {
+        let kept = match plan.wanted_for(name) {
+            None => rel.clone(),
+            Some(cols) => {
+                let names: Vec<&str> = rel
+                    .names()
+                    .iter()
+                    .filter(|n| cols.contains(*n))
+                    .map(|n| n.as_str())
+                    .collect();
+                if names.is_empty() {
+                    // row-count carrier, mirroring the engine's guard
+                    rel.project(&[rel.names()[0].as_str()]).unwrap()
+                } else {
+                    rel.project(&names).unwrap()
+                }
+            }
+        };
+        pruned.relations.insert(name.clone(), kept);
+    }
+    pruned
+}
+
+#[test]
+fn pruned_snapshots_are_sufficient_for_both_paths() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..40 {
+        let ctx = make_ctx(&mut rng);
+        for template in FAST_TEMPLATES.iter().chain(GENERAL_TEMPLATES) {
+            let sql = instantiate(template, &mut rng);
+            let stmts = parse_statements(&sql).unwrap();
+            let plan = PhysicalPlan::compile(&stmts);
+            let full = execute_script(&stmts, &ctx);
+            let pruned_ctx = prune_relations(&ctx, &plan);
+            let interp_pruned = execute_script(&stmts, &pruned_ctx);
+            let compiled_pruned = plan.execute(&pruned_ctx);
+            assert_equivalent(&format!("(interp/pruned) {sql}"), full, interp_pruned);
+            let full = execute_script(&stmts, &ctx);
+            assert_equivalent(&format!("(compiled/pruned) {sql}"), full, compiled_pruned);
+        }
+    }
+}
+
+/// Hand-picked regressions: exact consumption sets, TOP interplay,
+/// variables, and the column-pruned `columns()` entry point.
+#[test]
+fn targeted_consumption_and_pruning_cases() {
+    let r = Relation::from_columns(vec![
+        ("a".into(), Column::from_ints(vec![1, 2, 3, 4, 5])),
+        ("b".into(), Column::from_ints(vec![10, 20, 30, 40, 50])),
+        ("c".into(), Column::from_ints(vec![7; 5])),
+    ])
+    .unwrap();
+    let ctx = StaticContext::new().with_relation("R", r);
+
+    // inner filter bounds consumption; outer filter does not
+    let stmts =
+        parse_statements("select * from [select a, b from R where a <= 3] as Z where Z.b > 10")
+            .unwrap();
+    let plan = PhysicalPlan::compile(&stmts);
+    assert_eq!(plan.fast_count(), 1);
+    let fx = plan.execute(&ctx).unwrap();
+    assert_eq!(fx.consumed.len(), 1);
+    assert_eq!(fx.consumed[0].0, "R");
+    assert_eq!(fx.consumed[0].1.as_slice(), &[0, 1, 2]);
+    assert_eq!(fx.result.as_ref().unwrap().len(), 2);
+    // pruning: only a and b are required
+    let cols = plan.wanted_for("R").unwrap();
+    assert!(cols.contains("a") && cols.contains("b") && !cols.contains("c"));
+
+    // top bounds consumption to the first n survivors
+    let stmts = parse_statements("select a from [select top 2 a from R where a > 1] as Z").unwrap();
+    let plan = PhysicalPlan::compile(&stmts);
+    let fx = plan.execute(&ctx).unwrap();
+    assert_eq!(fx.consumed[0].1.as_slice(), &[1, 2]);
+
+    // explicit columns() contract: extra columns are fine, row count must
+    // survive a literal-only projection
+    struct Narrow(StaticContext);
+    impl QueryContext for Narrow {
+        fn relation(&self, name: &str) -> dcsql::Result<Relation> {
+            self.0.relation(name)
+        }
+        fn columns(&self, name: &str, wanted: &[String]) -> dcsql::Result<Relation> {
+            let rel = self.0.relation(name)?;
+            let keep: Vec<&str> = rel
+                .names()
+                .iter()
+                .filter(|n| wanted.contains(n))
+                .map(|n| n.as_str())
+                .collect();
+            if keep.is_empty() {
+                return Ok(rel.project(&[rel.names()[0].as_str()]).unwrap());
+            }
+            Ok(rel.project(&keep).unwrap())
+        }
+        fn get_var(&self, name: &str) -> Option<Value> {
+            self.0.get_var(name)
+        }
+        fn now(&self) -> i64 {
+            self.0.now()
+        }
+    }
+    let narrow = Narrow(
+        StaticContext::new().with_relation(
+            "R",
+            Relation::from_columns(vec![
+                ("a".into(), Column::from_ints(vec![1, 2, 3])),
+                ("b".into(), Column::from_ints(vec![9, 9, 9])),
+            ])
+            .unwrap(),
+        ),
+    );
+    let stmts = parse_statements("select 1 as one from R where a > 1").unwrap();
+    let plan = PhysicalPlan::compile(&stmts);
+    let fx = plan.execute(&narrow).unwrap();
+    assert_eq!(fx.result.unwrap().len(), 2);
+}
+
+/// Multi-statement scripts interleaving fast and interpreted statements
+/// share one environment (SET overlays feed later fast statements).
+#[test]
+fn mixed_scripts_share_environment() {
+    let r = Relation::from_columns(vec![(
+        "a".into(),
+        Column::from_ints(vec![1, 5, 9]),
+    )])
+    .unwrap();
+    let ctx = StaticContext::new().with_relation("R", r);
+    let sql = "declare th int; set th = 4; select a from R where a > th";
+    let stmts = parse_statements(sql).unwrap();
+    let plan = PhysicalPlan::compile(&stmts);
+    assert_eq!(plan.fast_count(), 1, "the select compiles fast");
+    let a = execute_script(&stmts, &ctx).unwrap();
+    let b = plan.execute(&ctx).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(b.result.as_ref().unwrap().len(), 2);
+}
+
+/// Error parity spot checks: both paths must fail (unknown columns,
+/// type mismatches), never one succeed while the other errors.
+#[test]
+fn error_parity() {
+    let ctx = StaticContext::new().with_relation(
+        "R",
+        Relation::from_columns(vec![
+            ("a".into(), Column::from_ints(vec![1])),
+            ("s".into(), Column::from_strs(vec!["x".into()])),
+        ])
+        .unwrap(),
+    );
+    for sql in [
+        "select nope from R",
+        "select a from R where missing_col > 1 and a > 0",
+        "select a from R where s > 3",
+        "select a from R where a between 'x' and 'y'",
+        "select W.a from R",
+        "select a from NOPE",
+    ] {
+        let (interp, compiled, _) = {
+            let stmts = parse_statements(sql).unwrap();
+            let plan = PhysicalPlan::compile(&stmts);
+            (
+                execute_script(&stmts, &ctx),
+                plan.execute(&ctx),
+                plan.fast_count(),
+            )
+        };
+        assert_equivalent(sql, interp, compiled);
+    }
+}
+
+/// The documented equivalence boundary: on ill-typed predicates the two
+/// paths agree whenever the interpreter errors on rows the compiled
+/// path also inspects, but a candidate-restricted scan may short-circuit
+/// past a type error the interpreter's full-width source-order mask
+/// raises. This pins the accepted divergence so a change to predicate
+/// ordering or type checking shows up here, not in production.
+#[test]
+fn ill_typed_predicates_may_short_circuit() {
+    let ctx = StaticContext::new().with_relation(
+        "R",
+        Relation::from_columns(vec![
+            ("a".into(), Column::from_ints(vec![1, 2, 3])),
+            ("b".into(), Column::from_ints(vec![1, 2, 3])),
+            ("s".into(), Column::from_strs(vec!["x".into(); 3])),
+        ])
+        .unwrap(),
+    );
+    // `b > s` is ill-typed; `a > 5` filters everything out. The
+    // interpreter evaluates source order (b > s first, full width) and
+    // errors; the compiled plan orders the indexable a > 5 first, the
+    // candidate set empties, and the col-col scan inspects no rows.
+    let stmts = parse_statements("select a from R where b > s and a > 5").unwrap();
+    assert!(execute_script(&stmts, &ctx).is_err());
+    let plan = PhysicalPlan::compile(&stmts);
+    let fx = plan.execute(&ctx).unwrap();
+    assert_eq!(fx.result.unwrap().len(), 0);
+
+    // with surviving candidates both paths raise
+    let stmts = parse_statements("select a from R where b > s and a > 0").unwrap();
+    assert!(execute_script(&stmts, &ctx).is_err());
+    assert!(PhysicalPlan::compile(&stmts).execute(&ctx).is_err());
+
+    // and an ill-typed conjunct alone raises on both paths
+    let stmts = parse_statements("select a from R where b > s").unwrap();
+    assert!(execute_script(&stmts, &ctx).is_err());
+    assert!(PhysicalPlan::compile(&stmts).execute(&ctx).is_err());
+}
+
+/// Smoke the HashMap-based contexts stay deterministic across paths in
+/// a longer script with inserts into several targets.
+#[test]
+fn multi_insert_script_equivalence() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let ctx = make_ctx(&mut rng);
+    let sql = "insert into OUT select a, b from R where a > 2; \
+               insert into OUT2 select b from [select b from R where b >= 1] as Z; \
+               select count(*) from R";
+    let (interp, compiled, fast) = run_both(sql, &ctx);
+    assert_eq!(fast, 2);
+    let (a, b) = (interp.unwrap(), compiled.unwrap());
+    assert_eq!(a, b);
+    let targets: HashMap<&str, usize> = b
+        .inserts
+        .iter()
+        .map(|(t, _, rel)| (t.as_str(), rel.len()))
+        .collect();
+    assert!(targets.contains_key("OUT") && targets.contains_key("OUT2"));
+}
