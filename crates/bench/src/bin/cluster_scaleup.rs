@@ -14,12 +14,13 @@
 //! scales; the `scaleup 2/1` line is the CI-tracked number.
 //!
 //! `cargo run --release -p dc_bench --bin cluster_scaleup
-//!     [--tuples N] [--batch B] [--writers W] [--shards "1,2"]`
+//!     [--tuples N] [--batch B] [--writers W] [--shards "1,2"]
+//!     [--json PATH]`
 
 use std::time::Instant;
 
 use datacell::frame::WireFormat;
-use dc_bench::{arg, Figure};
+use dc_bench::{arg, arg_opt, Figure, JsonReport};
 use dccluster::{bind_cluster, ClusterConfig};
 use dcserver::client::{Client, ShardedClient};
 use monet::prelude::*;
@@ -120,6 +121,11 @@ fn main() {
         .map(|s| s.trim().parse().expect("--shards takes e.g. \"1,2,4\""))
         .collect();
 
+    let mut report = JsonReport::new("cluster_scaleup");
+    report.param("tuples", n);
+    report.param("batch", batch);
+    report.param("writers", writers);
+    report.param("shards", &shard_list);
     let mut fig = Figure::new(
         "cluster_scaleup",
         &["shards", "tuples", "writers", "elapsed_s", "tuples_per_s"],
@@ -129,6 +135,7 @@ fn main() {
         let elapsed = through_cluster(n, shards, batch, writers);
         let t = n as f64 / elapsed;
         tput.push((shards, t));
+        report.metric(&format!("shards_{shards}_tuples_per_s"), t);
         fig.row(vec![
             shards.to_string(),
             n.to_string(),
@@ -141,5 +148,9 @@ fn main() {
     let of = |want: usize| tput.iter().find(|(s, _)| *s == want).map(|(_, t)| *t);
     if let (Some(one), Some(two)) = (of(1), of(2)) {
         println!("\nscaleup 2/1: {:.2}x aggregate binary-ingest throughput", two / one);
+        report.metric("scaleup_2_over_1", two / one);
+    }
+    if let Some(path) = arg_opt("--json") {
+        report.write(&path);
     }
 }

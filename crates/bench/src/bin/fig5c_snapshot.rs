@@ -22,7 +22,7 @@
 //!
 //! `cargo run --release -p dc_bench --bin fig5c_snapshot
 //!     [--rows N] [--rounds R] [--payload W] [--queries "1,4,16,64"]
-//!     [--snap-rows "1000,10000,100000,1000000"]`
+//!     [--snap-rows "1000,10000,100000,1000000"] [--json PATH]`
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,7 +31,7 @@ use datacell::basket::{Basket, TS_COLUMN};
 use datacell::clock::VirtualClock;
 use datacell::engine::{DataCell, QueryOptions};
 use datacell::factory::{ConsumeMode, PendingDeletes};
-use dc_bench::{arg, Figure};
+use dc_bench::{arg, arg_opt, Figure, JsonReport};
 use monet::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -170,6 +170,11 @@ fn main() {
     let ks = list("--queries", "1,4,16,64");
     let snap_rows = list("--snap-rows", "1000,10000,100000,1000000");
 
+    let mut report = JsonReport::new("fig5c_snapshot");
+    report.param("rows", rows);
+    report.param("rounds", rounds);
+    report.param("payload", payload);
+
     let mut snap_fig = Figure::new("fig5c_snapshot_scaling", &["rows", "snapshot_us"]);
     let mut first = f64::NAN;
     let mut last = f64::NAN;
@@ -179,6 +184,7 @@ fn main() {
             first = us;
         }
         last = us;
+        report.metric(&format!("snapshot_us_rows_{n}"), us);
         snap_fig.row(vec![n.to_string(), format!("{us:.3}")]);
         println!("[snapshot rows={n}] {us:.3} µs/op");
     }
@@ -186,6 +192,7 @@ fn main() {
     if let (Some(&lo), Some(&hi)) = (snap_rows.first(), snap_rows.last()) {
         if hi > lo {
             let ratio = last / first;
+            report.metric("snapshot_scaling_ratio", ratio);
             println!(
                 "snapshot scaling {hi}/{lo} rows: {ratio:.2}x time (1.0x = perfectly flat / O(width))"
             );
@@ -209,6 +216,8 @@ fn main() {
     );
     for &k in &ks {
         let r = shared_queries(k, rows, rounds, payload);
+        report.metric(&format!("rounds_per_s_k{k}"), r.rounds_per_s);
+        report.metric(&format!("fire_lock_us_k{k}"), r.fire_lock_us);
         fig.row(vec![
             k.to_string(),
             rows.to_string(),
@@ -224,6 +233,9 @@ fn main() {
         );
     }
     fig.finish();
+    if let Some(path) = arg_opt("--json") {
+        report.write(&path);
+    }
     println!(
         "\nExpected shape: snapshot µs flat in rows (copy-on-write, O(width)); \
          rounds/s degrades sub-linearly in K because each extra query adds only \

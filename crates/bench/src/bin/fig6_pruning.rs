@@ -22,7 +22,8 @@
 //!
 //! `cargo run --release -p dc_bench --bin fig6_pruning
 //!     [--rows N] [--rounds R] [--payload W] [--queries K]
-//!     [--snap-iters I] [--assert-speedup X] [--assert-snap X]`
+//!     [--snap-iters I] [--assert-speedup X] [--assert-snap X]
+//!     [--json PATH]`
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -32,7 +33,7 @@ use datacell::basket::{Basket, TS_COLUMN};
 use datacell::clock::VirtualClock;
 use datacell::engine::{DataCell, QueryOptions};
 use datacell::factory::{ConsumeMode, PendingDeletes, PlanMode};
-use dc_bench::{arg, Figure};
+use dc_bench::{arg, arg_opt, Figure, JsonReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -168,6 +169,12 @@ fn main() {
 
     let width = payload + 2; // key + payload + dc_ts
 
+    let mut report = JsonReport::new("fig6_pruning");
+    report.param("rows", rows);
+    report.param("rounds", rounds);
+    report.param("payload", payload);
+    report.param("queries", k);
+
     // ---- snapshot cost: full width vs plan-pruned -------------------------
     let mut snap_fig = Figure::new(
         "fig6_snapshot_pruning",
@@ -178,6 +185,8 @@ fn main() {
         let (full, pruned) = snapshot_cost(rows, payload, snap_iters);
         let ratio = full / pruned;
         min_ratio = min_ratio.min(ratio);
+        report.metric(&format!("snapshot_full_us_rows_{rows}"), full);
+        report.metric(&format!("snapshot_pruned_us_rows_{rows}"), pruned);
         snap_fig.row(vec![
             rows.to_string(),
             width.to_string(),
@@ -191,6 +200,7 @@ fn main() {
         );
     }
     snap_fig.finish();
+    report.metric("snapshot_prune_min_ratio", min_ratio);
     assert!(
         min_ratio >= assert_snap,
         "pruned snapshots are only {min_ratio:.2}x cheaper (expected ≥ {assert_snap}x): \
@@ -238,6 +248,12 @@ fn main() {
         "\ncompiled/interpreted speedup: {speedup:.2}x \
          (2-of-{width}-column standing queries, K={k})"
     );
+    report.metric("interpreted_rounds_per_s", interp_rps);
+    report.metric("compiled_rounds_per_s", comp_rps);
+    report.metric("compiled_speedup", speedup);
+    if let Some(path) = arg_opt("--json") {
+        report.write(&path);
+    }
     assert!(
         speedup >= assert_speedup,
         "compiled plans are only {speedup:.2}x faster (expected ≥ {assert_speedup}x)"

@@ -14,14 +14,21 @@
 //! isolates the codec, not the batching.
 //!
 //! `cargo run -p dc_bench --release --bin server_throughput
-//!     [--tuples N] [--batch B] [--format text|binary|both]`
+//!     [--tuples N] [--batch B] [--format text|binary|both]
+//!     [--telemetry on|off] [--overhead-guard PCT] [--json PATH]`
+//!
+//! `--overhead-guard PCT` additionally measures the binary passthrough
+//! with telemetry off and on (best of 3 each) and exits nonzero if the
+//! dctrace instrumentation costs more than PCT percent throughput — the
+//! CI gate on "telemetry is effectively free". `--json PATH` mirrors all
+//! measured numbers to a machine-readable report.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::Instant;
 
 use datacell::frame::WireFormat;
-use dc_bench::{arg, Figure};
+use dc_bench::{arg, arg_opt, Figure, JsonReport};
 use dcserver::client::Client;
 use dcserver::{bind, ServerConfig};
 use monet::prelude::*;
@@ -65,8 +72,18 @@ fn wire_only(n: usize) -> f64 {
 /// n tuples through the daemon in `format`; `selectivity_pct` of them
 /// reach the emitter. Returns elapsed seconds (send-first-batch → last
 /// result).
-fn through_server(n: usize, selectivity_pct: i64, format: WireFormat, batch: usize) -> f64 {
-    let server = bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+fn through_server(
+    n: usize,
+    selectivity_pct: i64,
+    format: WireFormat,
+    batch: usize,
+    telemetry: bool,
+) -> f64 {
+    let config = ServerConfig {
+        telemetry_enabled: telemetry,
+        ..ServerConfig::default()
+    };
+    let server = bind("127.0.0.1:0", config).unwrap();
     let addr = server.local_addr().unwrap();
     let daemon = std::thread::spawn(move || server.serve());
 
@@ -124,10 +141,28 @@ fn through_server(n: usize, selectivity_pct: i64, format: WireFormat, batch: usi
     elapsed
 }
 
+/// Best-of-`runs` passthrough throughput (tuples/s) for one telemetry
+/// setting — min elapsed, to shave scheduler noise off the comparison.
+fn best_passthrough(n: usize, batch: usize, runs: usize, telemetry: bool) -> f64 {
+    (0..runs)
+        .map(|_| through_server(n, 100, WireFormat::Binary, batch, telemetry))
+        .fold(f64::INFINITY, f64::min)
+        .recip()
+        * n as f64
+}
+
 fn main() {
     let n: usize = arg("--tuples", 100_000);
     let batch: usize = arg("--batch", 4096);
     let which: String = arg("--format", "both".to_string());
+    let telemetry = match arg("--telemetry", "on".to_string()).as_str() {
+        "on" => true,
+        "off" => false,
+        other => {
+            eprintln!("unknown --telemetry {other:?} (expected on|off)");
+            std::process::exit(2);
+        }
+    };
     let formats: Vec<WireFormat> = match which.as_str() {
         "text" => vec![WireFormat::Text],
         "binary" => vec![WireFormat::Binary],
@@ -137,6 +172,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let mut report = JsonReport::new("server_throughput");
+    report.param("tuples", n);
+    report.param("batch", batch);
+    report.param("format", &which);
+    report.param("telemetry", if telemetry { "on" } else { "off" });
     let mut fig = Figure::new(
         "server_throughput",
         &["path", "format", "tuples", "elapsed_s", "tuples_per_s"],
@@ -149,14 +189,19 @@ fn main() {
         format!("{wire:.3}"),
         format!("{:.0}", n as f64 / wire),
     ]);
+    report.metric("wire_only_tuples_per_s", n as f64 / wire);
     let mut per_format = std::collections::HashMap::new();
     for &format in &formats {
-        for (label, pct) in [("passthrough (100%)", 100i64), ("selective (10%)", 10)] {
-            let elapsed = through_server(n, pct, format, batch);
+        for (label, key, pct) in [
+            ("passthrough (100%)", "passthrough", 100i64),
+            ("selective (10%)", "selective", 10),
+        ] {
+            let elapsed = through_server(n, pct, format, batch, telemetry);
             let tput = n as f64 / elapsed;
             if pct == 100 {
                 per_format.insert(format.as_str(), tput);
             }
+            report.metric(&format!("{}_{key}_tuples_per_s", format.as_str()), tput);
             fig.row(vec![
                 format!("datacelld {label}"),
                 format.to_string(),
@@ -169,5 +214,34 @@ fn main() {
     fig.finish();
     if let (Some(t), Some(b)) = (per_format.get("text"), per_format.get("binary")) {
         println!("\nbinary/text passthrough speedup: {:.2}x", b / t);
+        report.metric("binary_over_text_speedup", b / t);
+    }
+
+    // ---- telemetry overhead gate -----------------------------------------
+    let mut guard_failed = false;
+    if let Some(max_pct) = arg_opt("--overhead-guard") {
+        let max_pct: f64 = max_pct.parse().expect("--overhead-guard takes a percentage");
+        let off = best_passthrough(n, batch, 3, false);
+        let on = best_passthrough(n, batch, 3, true);
+        let overhead_pct = (off / on - 1.0) * 100.0;
+        println!(
+            "\ntelemetry overhead (binary passthrough, best of 3): \
+             off {off:.0} t/s vs on {on:.0} t/s → {overhead_pct:.2}%"
+        );
+        report.metric("telemetry_off_tuples_per_s", off);
+        report.metric("telemetry_on_tuples_per_s", on);
+        report.metric("telemetry_overhead_pct", overhead_pct);
+        if overhead_pct > max_pct {
+            eprintln!(
+                "FAIL: telemetry overhead {overhead_pct:.2}% exceeds the {max_pct}% budget"
+            );
+            guard_failed = true;
+        }
+    }
+    if let Some(path) = arg_opt("--json") {
+        report.write(&path);
+    }
+    if guard_failed {
+        std::process::exit(1);
     }
 }

@@ -71,6 +71,94 @@ impl Figure {
     }
 }
 
+/// Machine-readable bench results, written on `--json <path>`:
+/// `{"name":…,"params":{…},"metrics":{…}}`. Params are the knobs the run
+/// used (echoed as strings), metrics the measured numbers — the shapes CI
+/// and plotting scripts consume without scraping the text table.
+pub struct JsonReport {
+    name: String,
+    params: Vec<(String, String)>,
+    metrics: Vec<(String, f64)>,
+}
+
+impl JsonReport {
+    pub fn new(name: &str) -> Self {
+        JsonReport {
+            name: name.to_string(),
+            params: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    pub fn param(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.params.push((key.to_string(), value.to_string()));
+    }
+
+    pub fn metric(&mut self, key: &str, value: f64) {
+        self.metrics.push((key.to_string(), value));
+    }
+
+    /// Serialize (hand-rolled writer — the build image has no JSON crate).
+    pub fn to_json(&self) -> String {
+        let params = self
+            .params
+            .iter()
+            .map(|(k, v)| format!("{}:{}", json_string(k), json_string(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("{}:{}", json_string(k), json_number(*v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"name\":{},\"params\":{{{params}}},\"metrics\":{{{metrics}}}}}",
+            json_string(&self.name)
+        )
+    }
+
+    /// Write the report to `path` (parent dirs created).
+    pub fn write(&self, path: &str) {
+        let path = PathBuf::from(path);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).expect("create json output dir");
+            }
+        }
+        fs::write(&path, self.to_json() + "\n").expect("write json report");
+        println!("[written {}]", path.display());
+    }
+}
+
+/// A JSON string literal for `s`.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number for `v` (non-finite values become `null`).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Parse `--key value` style flags from argv (tiny helper, no deps).
 pub fn arg<T: std::str::FromStr>(key: &str, default: T) -> T {
     let args: Vec<String> = std::env::args().collect();
@@ -79,6 +167,13 @@ pub fn arg<T: std::str::FromStr>(key: &str, default: T) -> T {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// The value after `--key`, if the flag is present at all.
+pub fn arg_opt(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == key)?;
+    args.get(i + 1).cloned()
 }
 
 /// Format seconds with ms precision.
@@ -104,5 +199,30 @@ mod tests {
     fn arity_checked() {
         let mut f = Figure::new("x", &["a"]);
         f.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut r = JsonReport::new("bench \"x\"");
+        r.param("tuples", 100);
+        r.param("format", "both");
+        r.metric("tuples_per_s", 12345.5);
+        r.metric("broken", f64::NAN);
+        assert_eq!(
+            r.to_json(),
+            "{\"name\":\"bench \\\"x\\\"\",\
+             \"params\":{\"tuples\":\"100\",\"format\":\"both\"},\
+             \"metrics\":{\"tuples_per_s\":12345.5,\"broken\":null}}"
+        );
+    }
+
+    #[test]
+    fn json_report_writes_file() {
+        let path = "target/figures/test_report.json";
+        let mut r = JsonReport::new("t");
+        r.metric("m", 1.0);
+        r.write(path);
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "{\"name\":\"t\",\"params\":{},\"metrics\":{\"m\":1}}\n");
     }
 }

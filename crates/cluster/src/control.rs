@@ -96,6 +96,19 @@ fn dispatch(rt: &Arc<ClusterRuntime>, request: &str) -> (Response, bool) {
             rt.explain_query(&name).map(|b| (Response::Ok(b), false))
         }
         Command::Stats => Ok((Response::Ok(rt.stats()), false)),
+        Command::Metrics => Ok((Response::Ok(rt.metrics()), false)),
+        Command::TraceDump { query } => rt
+            .trace_dump(query.as_deref())
+            .map(|b| (Response::Ok(b), false)),
+        Command::TraceStream { query, on } => {
+            if on {
+                rt.trace_on(&query)
+                    .map(|p| (Response::one(format!("port={p}")), false))
+            } else {
+                rt.trace_off(&query)
+                    .map(|n| (Response::one(format!("closed_shards={n}")), false))
+            }
+        }
         Command::Quit => Ok((Response::ok(), true)),
         Command::Shutdown => {
             rt.request_shutdown();

@@ -121,6 +121,16 @@ pub struct ClusterEmitterPort {
     writers: Mutex<Vec<JoinHandle<()>>>,
 }
 
+/// A logical `TRACE QUERY <q> ON` port (router side): per-shard live
+/// trace streams merged line-for-line into every subscriber.
+pub struct ClusterTracePort {
+    pub query: String,
+    pub port: u16,
+    closed: Arc<AtomicBool>,
+    relay: Arc<FrameRelay>,
+    writers: Mutex<Vec<JoinHandle<()>>>,
+}
+
 /// The running cluster: shard engines + router state.
 pub struct ClusterRuntime {
     config: ClusterConfig,
@@ -147,6 +157,10 @@ pub struct ClusterRuntime {
     failed_registers: Mutex<HashMap<String, String>>,
     receptors: Mutex<Vec<Arc<ClusterReceptorPort>>>,
     emitters: Mutex<Vec<Arc<ClusterEmitterPort>>>,
+    trace_ports: Mutex<Vec<Arc<ClusterTracePort>>>,
+    /// Router-local telemetry (forwarder-queue saturation); shard
+    /// engines carry their own registries, merged by `metrics()`.
+    telemetry: dctrace::Telemetry,
     /// Receptor accept loops (joined before the engines shut down, so
     /// final batches reach the shard baskets).
     ingress_threads: Mutex<Vec<JoinHandle<()>>>,
@@ -178,9 +192,15 @@ impl ClusterRuntime {
                 ShardSpec::Remote(addr) => ShardEngine::connect_remote(i, addr),
             })
             .collect::<Result<Vec<_>>>()?;
+        let telemetry = if config.engine.telemetry_enabled {
+            dctrace::Telemetry::enabled()
+        } else {
+            dctrace::Telemetry::disabled()
+        };
         Ok(Arc::new(ClusterRuntime {
             config,
             engines,
+            telemetry,
             sessions: SessionManager::new(),
             streams: Mutex::new(HashMap::new()),
             queries: Mutex::new(HashMap::new()),
@@ -189,6 +209,7 @@ impl ClusterRuntime {
             failed_registers: Mutex::new(HashMap::new()),
             receptors: Mutex::new(Vec::new()),
             emitters: Mutex::new(Vec::new()),
+            trace_ports: Mutex::new(Vec::new()),
             ingress_threads: Mutex::new(Vec::new()),
             egress_threads: Mutex::new(Vec::new()),
             stop: Arc::new(AtomicBool::new(false)),
@@ -713,6 +734,155 @@ impl ClusterRuntime {
         Ok(bound)
     }
 
+    // ---- telemetry -------------------------------------------------------
+
+    /// Aggregated `METRICS`: per-shard Prometheus expositions merged
+    /// bucket-wise (identical series sum, so `dc_fire_micros{query=..}`
+    /// histograms aggregate exactly), plus the router's own series and
+    /// one `dc_shard_up{shard="i"}` health gauge per engine.
+    pub fn metrics(&self) -> Vec<String> {
+        let mut sources: Vec<Vec<String>> = Vec::new();
+        let mut up: Vec<(usize, bool)> = Vec::new();
+        for e in &self.engines {
+            match e.control(|c| c.metrics()) {
+                Ok(m) => {
+                    sources.push(m);
+                    up.push((e.id(), true));
+                }
+                Err(_) => up.push((e.id(), false)),
+            }
+        }
+        sources.push(self.telemetry.render());
+        let mut body = dctrace::merge_expositions(&sources);
+        body.push("# TYPE dc_shard_up gauge".into());
+        for (id, ok) in up {
+            body.push(format!(
+                "dc_shard_up{{shard=\"{id}\"}} {}",
+                if ok { 1 } else { 0 }
+            ));
+        }
+        body
+    }
+
+    /// Aggregated `TRACE DUMP`: every shard's flight-recorder events
+    /// (each line prefixed `shard=<id>`), then the router's own events
+    /// (prefixed `shard=router`).
+    pub fn trace_dump(&self, query: Option<&str>) -> Result<Vec<String>> {
+        let mut body = Vec::new();
+        for e in &self.engines {
+            let lines = e.control(|c| match query {
+                Some(q) => c.trace_dump_query(q),
+                None => c.trace_dump(),
+            })?;
+            let id = e.id();
+            body.extend(lines.into_iter().map(|l| format!("shard={id} {l}")));
+        }
+        if let Some(rec) = self.telemetry.recorder() {
+            body.extend(
+                rec.dump(query)
+                    .into_iter()
+                    .map(|l| format!("shard=router {l}")),
+            );
+        }
+        Ok(body)
+    }
+
+    /// `TRACE QUERY <q> ON`: one logical trace-stream port fronting the
+    /// query's shards. Each shard's live event stream (text lines) is
+    /// relayed into every subscriber, exactly like result merging.
+    /// Returns the bound port.
+    pub fn trace_on(self: &Arc<Self>, query: &str) -> Result<u16> {
+        self.ensure_running()?;
+        let entry = self
+            .queries
+            .lock()
+            .get(query)
+            .cloned()
+            .ok_or_else(|| ServerError::Unknown(format!("query {query}")))?;
+        // bind the logical port FIRST (see attach_emitter): local bind
+        // failures must not leak shard-side taps
+        let listener = TcpListener::bind((self.config.data_host.as_str(), 0))?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?.port();
+        let relay = FrameRelay::new();
+        let mut shard_socks = Vec::with_capacity(entry.engines.len());
+        for &eid in &entry.engines {
+            let p = self.engines[eid].control(|c| c.trace_on(query))?;
+            shard_socks.push((eid, TcpStream::connect(self.engines[eid].data_addr(p))?));
+        }
+        for (eid, sock) in shard_socks {
+            let rt = Arc::clone(self);
+            let relay2 = Arc::clone(&relay);
+            let tap = std::thread::Builder::new()
+                .name(format!("dcc-trace-tap-{query}-{eid}"))
+                .spawn(move || shard_tap(&rt, &relay2, sock, WireFormat::Text))
+                .map_err(|e| ServerError::Io(format!("spawn trace tap: {e}")))?;
+            self.egress_threads.lock().push(tap);
+        }
+        let tport = Arc::new(ClusterTracePort {
+            query: query.to_string(),
+            port: bound,
+            closed: Arc::new(AtomicBool::new(false)),
+            relay,
+            writers: Mutex::new(Vec::new()),
+        });
+        self.trace_ports.lock().push(Arc::clone(&tport));
+
+        let rt = Arc::clone(self);
+        let accept_port = Arc::clone(&tport);
+        let handle = std::thread::Builder::new()
+            .name(format!("dcc-trace-{query}"))
+            .spawn(move || {
+                while !rt.is_stopping() && !accept_port.closed.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((sock, _peer)) => {
+                            let _ = sock.set_write_timeout(Some(WRITE_TIMEOUT));
+                            let rx = accept_port.relay.subscribe();
+                            let writer = std::thread::Builder::new()
+                                .name(format!("dcc-trace-sub-{}", accept_port.query))
+                                .spawn(move || subscriber_writer(rx, sock))
+                                .expect("spawn trace subscriber writer");
+                            let mut writers = accept_port.writers.lock();
+                            writers.retain(|w| !w.is_finished());
+                            writers.push(writer);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => std::thread::sleep(POLL_INTERVAL),
+                    }
+                }
+            })
+            .expect("spawn router trace accept thread");
+        self.egress_threads.lock().push(handle);
+        Ok(bound)
+    }
+
+    /// `TRACE QUERY <q> OFF`: close the shard-side taps (their streams
+    /// end, the router taps see EOF), retire the logical ports, end
+    /// subscriber streams. Returns how many shards were told to stop.
+    pub fn trace_off(&self, query: &str) -> Result<usize> {
+        let entry = self
+            .queries
+            .lock()
+            .get(query)
+            .cloned()
+            .ok_or_else(|| ServerError::Unknown(format!("query {query}")))?;
+        let mut closed = 0usize;
+        for &eid in &entry.engines {
+            if self.engines[eid].control(|c| c.trace_off(query)).is_ok() {
+                closed += 1;
+            }
+        }
+        let mut ports = self.trace_ports.lock();
+        for p in ports.iter().filter(|p| p.query == query) {
+            p.closed.store(true, Ordering::Release);
+            p.relay.close();
+        }
+        ports.retain(|p| p.query != query);
+        Ok(closed)
+    }
+
     // ---- introspection ---------------------------------------------------
 
     /// Aggregated `STATS`: cluster-level lines in the same `kind name
@@ -794,6 +964,11 @@ impl ClusterRuntime {
                     agg.delivered_batches += row.delivered_batches;
                     agg.delivered_tuples += row.delivered_tuples;
                     agg.dropped_batches += row.dropped_batches;
+                    // latency quantiles don't sum — report the worst
+                    // shard (a conservative cluster-level summary)
+                    agg.p50_micros = agg.p50_micros.max(row.p50_micros);
+                    agg.p99_micros = agg.p99_micros.max(row.p99_micros);
+                    agg.max_micros = agg.max_micros.max(row.max_micros);
                 }
             }
             // subscribers are router-side: sockets on this query's
@@ -806,7 +981,8 @@ impl ClusterRuntime {
             body.push(format!(
                 "query {} firings={} consumed={} produced={} busy_micros={} lock_micros={} \
                  rows_scanned={} rows_out={} plan_micros={} \
-                 subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={}",
+                 subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={} \
+                 p50_micros={} p99_micros={} max_micros={}",
                 agg.name,
                 agg.firings,
                 agg.consumed,
@@ -820,6 +996,9 @@ impl ClusterRuntime {
                 agg.delivered_batches,
                 agg.delivered_tuples,
                 agg.dropped_batches,
+                agg.p50_micros,
+                agg.p99_micros,
+                agg.max_micros,
             ));
         }
         for r in receptors.iter() {
@@ -906,6 +1085,16 @@ impl ClusterRuntime {
                 let _ = w.join();
             }
         }
+        let tports: Vec<Arc<ClusterTracePort>> = self.trace_ports.lock().clone();
+        for tport in &tports {
+            tport.closed.store(true, Ordering::Release);
+            tport.relay.close();
+        }
+        for tport in &tports {
+            for w in std::mem::take(&mut *tport.writers.lock()) {
+                let _ = w.join();
+            }
+        }
     }
 }
 
@@ -938,6 +1127,42 @@ fn parse_create(sql: &str) -> Result<(CreateKind, String, Schema)> {
 struct Forwarder {
     tx: Sender<Relation>,
     dead: Arc<AtomicBool>,
+    probe: Option<Arc<ForwardProbe>>,
+}
+
+/// Router-side telemetry for one shard forwarder queue: counts (and
+/// records in the flight recorder) episodes where the splitter backed
+/// off on a full queue — the slow-shard signal.
+struct ForwardProbe {
+    stream: String,
+    shard: usize,
+    saturations: Arc<AtomicU64>,
+    recorder: Arc<dctrace::FlightRecorder>,
+}
+
+impl ForwardProbe {
+    /// `None` when router telemetry is disabled.
+    fn new(t: &dctrace::Telemetry, stream: &str, shard: usize) -> Option<Arc<ForwardProbe>> {
+        let shard_label = shard.to_string();
+        Some(Arc::new(ForwardProbe {
+            stream: stream.to_string(),
+            shard,
+            saturations: t.counter(
+                "dc_forward_saturation_total",
+                &[("stream", stream), ("shard", &shard_label)],
+            )?,
+            recorder: t.recorder()?,
+        }))
+    }
+
+    fn note_saturation(&self) {
+        self.saturations.fetch_add(1, Ordering::Relaxed);
+        self.recorder.record(
+            "forward_saturation",
+            None,
+            format!("stream={} shard={}", self.stream, self.shard),
+        );
+    }
 }
 
 /// Forward sub-batches to one shard engine as binary frames.
@@ -966,11 +1191,17 @@ fn shard_forwarder(rx: Receiver<Relation>, sock: TcpStream, dead: Arc<AtomicBool
 /// client's socket through this thread). Returns false when the
 /// forwarder is gone or the router is stopping.
 fn forward(rt: &ClusterRuntime, f: &Forwarder, rel: Relation) -> bool {
-    while f.tx.len() >= FORWARD_QUEUE_CAP {
-        if rt.is_stopping() || f.dead.load(Ordering::Acquire) {
-            return false;
+    if f.tx.len() >= FORWARD_QUEUE_CAP {
+        // one saturation event per back-off episode, not per poll
+        if let Some(p) = &f.probe {
+            p.note_saturation();
         }
-        std::thread::sleep(Duration::from_millis(1));
+        while f.tx.len() >= FORWARD_QUEUE_CAP {
+            if rt.is_stopping() || f.dead.load(Ordering::Acquire) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
     f.tx.send(rel).is_ok()
 }
@@ -1043,7 +1274,7 @@ fn ingest_connection(
     }
     let mut txs = Vec::with_capacity(shard_addrs.len());
     let mut forwarders = Vec::with_capacity(shard_addrs.len());
-    for addr in shard_addrs {
+    for (shard, addr) in shard_addrs.iter().enumerate() {
         let Ok(shard_sock) = TcpStream::connect(addr) else {
             return; // shard unreachable: refuse the connection outright
         };
@@ -1056,7 +1287,11 @@ fn ingest_connection(
                 .spawn(move || shard_forwarder(rx, shard_sock, dead2))
                 .expect("spawn shard forwarder"),
         );
-        txs.push(Forwarder { tx, dead });
+        txs.push(Forwarder {
+            tx,
+            dead,
+            probe: ForwardProbe::new(&rt.telemetry, &port.stream, shard),
+        });
     }
     match port.format {
         WireFormat::Text => ingest_text(rt, port, entry, &txs, sock),

@@ -143,26 +143,19 @@ fn ingest_is_hash_partitioned_across_both_shards() {
     assert_eq!(rows.len(), 400);
 
     // aggregated STATS parse with the standard typed report, and the
-    // shard lines prove both engines carried real load
+    // shard rows prove both engines carried real load
     let stats = c.stats_report().unwrap();
     assert_eq!(stats.basket("S").unwrap().total_in, 400, "{stats:?}");
     let q = stats.query("all").unwrap();
     assert_eq!(q.delivered_tuples, 400, "{stats:?}");
     assert_eq!(q.subscribers, 1, "{stats:?}");
-    let raw = c.stats().unwrap();
-    for shard in 0..2 {
-        let line = raw
-            .iter()
-            .find(|l| l.starts_with(&format!("shard {shard} ")))
-            .expect("shard line");
-        let in_count: u64 = line
-            .split_whitespace()
-            .find_map(|t| t.strip_prefix("baskets_in="))
-            .and_then(|v| v.parse().ok())
-            .unwrap();
+    assert_eq!(stats.shards.len(), 2, "{stats:?}");
+    for shard in &stats.shards {
+        assert!(!shard.unreachable, "{shard:?}");
         assert!(
-            in_count > 50,
-            "shard {shard} must carry a real share of 400 tuples: {line}"
+            shard.baskets_in > 50,
+            "shard {} must carry a real share of 400 tuples: {shard:?}",
+            shard.id
         );
     }
 
@@ -191,20 +184,9 @@ fn same_key_lands_on_one_shard() {
     let out_schema = Schema::from_pairs(&[("sym", ValueType::Str)]);
     assert_eq!(tap.take_rows(&out_schema, 60).unwrap().len(), 60);
 
-    let raw = c.stats().unwrap();
-    let loads: Vec<u64> = (0..2)
-        .map(|shard| {
-            raw.iter()
-                .find(|l| l.starts_with(&format!("shard {shard} ")))
-                .and_then(|l| {
-                    l.split_whitespace()
-                        .find_map(|t| t.strip_prefix("baskets_in="))
-                })
-                .and_then(|v| v.parse().ok())
-                .unwrap()
-        })
-        .collect();
-    assert_eq!(loads.iter().sum::<u64>(), 60, "{raw:?}");
+    let stats = c.stats_report().unwrap();
+    let loads: Vec<u64> = stats.shards.iter().map(|s| s.baskets_in).collect();
+    assert_eq!(loads.iter().sum::<u64>(), 60, "{stats:?}");
     assert!(
         loads.contains(&0),
         "one key must co-locate on one shard: {loads:?}"
@@ -327,6 +309,99 @@ fn cluster_control_plane_rejects_bad_requests() {
     assert!(c.exec("select * from REF").is_err());
     // the session survives all of the above
     c.ping().unwrap();
+    c.shutdown().unwrap();
+    cluster_thread.join().unwrap();
+}
+
+#[test]
+fn cluster_metrics_merge_and_trace_dump() {
+    // METRICS on the router is the bucket-wise merge of every shard's
+    // exposition plus the shard_up gauge; TRACE DUMP carries per-shard
+    // firing events tagged with their origin
+    let (addr, cluster_thread) = boot_cluster(2);
+    let mut c = ShardedClient::connect(addr).unwrap();
+    c.create_sharded_stream("S", "(id int, v int)", "id", None)
+        .unwrap();
+    c.register_query("all", "select id from [select * from S] as Z")
+        .unwrap();
+    let rport = c.attach_receptor("S", 0).unwrap();
+    let eport = c.attach_emitter("all", 0).unwrap();
+    let mut sink = c.open_receptor(rport).unwrap();
+    let mut tap = c.open_emitter(eport).unwrap();
+    tap.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    for i in 0..200i64 {
+        sink.send_row(&[Value::Int(i), Value::Int(i)]).unwrap();
+    }
+    sink.flush().unwrap();
+    let out_schema = Schema::from_pairs(&[("id", ValueType::Int)]);
+    assert_eq!(tap.take_rows(&out_schema, 200).unwrap().len(), 200);
+
+    let body = c.metrics().unwrap();
+    let samples = dctrace::parse_exposition(&body).expect("merged exposition must parse");
+    // both shards report up
+    for shard in 0..2 {
+        let up = samples
+            .iter()
+            .find(|s| s.name == "dc_shard_up" && s.labels == format!("shard=\"{shard}\""))
+            .expect("shard_up gauge");
+        assert_eq!(up.value, 1.0, "{up:?}");
+    }
+    // the merged fire histogram sums both shards' firings
+    let fire_count = samples
+        .iter()
+        .find(|s| s.name == "dc_fire_micros_count" && s.labels.contains("query=\"all\""))
+        .expect("merged fire histogram");
+    assert!(fire_count.value >= 2.0, "both shards fired: {fire_count:?}");
+
+    // aggregated STATS carries the worst-shard latency summary
+    let stats = c.stats_report().unwrap();
+    let q = stats.query("all").unwrap();
+    assert!(q.max_micros >= q.p50_micros, "{q:?}");
+
+    // TRACE DUMP merges shard recorders, each line tagged with its origin
+    let dump = c.trace_dump_query("all").unwrap();
+    assert!(
+        dump.iter()
+            .any(|l| l.starts_with("shard=") && l.contains("kind=fire_end")),
+        "{dump:?}"
+    );
+    assert!(c.trace_dump_query("nosuch").unwrap().is_empty());
+
+    c.shutdown().unwrap();
+    cluster_thread.join().unwrap();
+}
+
+#[test]
+fn cluster_trace_stream_relays_shard_events() {
+    // TRACE QUERY ON opens a logical tap port relaying live flight-recorder
+    // lines from every shard running the query
+    let (addr, cluster_thread) = boot_cluster(2);
+    let mut c = ShardedClient::connect(addr).unwrap();
+    c.create_sharded_stream("S", "(id int)", "id", None).unwrap();
+    c.register_query("all", "select id from [select * from S] as Z")
+        .unwrap();
+    let rport = c.attach_receptor("S", 0).unwrap();
+    let eport = c.attach_emitter("all", 0).unwrap();
+
+    let tport = c.trace_on("all").unwrap();
+    let mut trace = c.open_trace(tport).unwrap();
+    trace.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let mut sink = c.open_receptor(rport).unwrap();
+    let mut tap = c.open_emitter(eport).unwrap();
+    tap.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    for i in 0..50i64 {
+        sink.send_row(&[Value::Int(i)]).unwrap();
+    }
+    sink.flush().unwrap();
+    let out_schema = Schema::from_pairs(&[("id", ValueType::Int)]);
+    assert_eq!(tap.take_rows(&out_schema, 50).unwrap().len(), 50);
+
+    let line = trace.next_line().unwrap().expect("live trace line");
+    assert!(line.contains("kind="), "{line}");
+    c.trace_off("all").unwrap();
+    assert!(c.trace_on("nosuch").is_err());
+
     c.shutdown().unwrap();
     cluster_thread.join().unwrap();
 }

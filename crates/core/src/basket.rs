@@ -15,7 +15,9 @@
 //!   rejected until re-enabled.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use dctrace::BasketProbe;
 
 use dcsql::ast::Expr;
 use dcsql::exec::{eval_expr, ExecEnv, QueryContext, StaticContext};
@@ -298,6 +300,10 @@ pub struct Basket {
     constraints: Mutex<Vec<Expr>>,
     inner: Mutex<BasketInner>,
     stats: BasketStats,
+    /// Telemetry probe (dwell/append histograms, backpressure and
+    /// compaction counters, the ingest watermark). Set once by the
+    /// engine right after construction; absent when telemetry is off.
+    probe: OnceLock<Arc<BasketProbe>>,
 }
 
 impl std::fmt::Debug for Basket {
@@ -340,7 +346,18 @@ impl Basket {
                 live_cache: None,
             }),
             stats: BasketStats::default(),
+            probe: OnceLock::new(),
         })
+    }
+
+    /// Attach the telemetry probe (idempotent; first caller wins).
+    pub fn set_probe(&self, probe: Arc<BasketProbe>) {
+        let _ = self.probe.set(probe);
+    }
+
+    /// The attached telemetry probe, if any.
+    pub fn probe(&self) -> Option<&Arc<BasketProbe>> {
+        self.probe.get()
     }
 
     /// Globally unique id; the engine locks baskets in id order to avoid
@@ -429,7 +446,14 @@ impl Basket {
     /// Force a physical compaction now (rewrites columns if any rows are
     /// marked deleted).
     pub fn compact_now(&self) {
-        self.inner.lock().compact();
+        let mut inner = self.inner.lock();
+        let rows = inner.deleted_count;
+        inner.compact();
+        if rows > 0 {
+            if let Some(p) = self.probe() {
+                p.note_compaction(rows);
+            }
+        }
     }
 
     fn maybe_compact(&self, inner: &mut BasketInner) {
@@ -446,7 +470,11 @@ impl Basket {
             || (inner.deleted_count >= threshold
                 && inner.deleted_count * 8 >= inner.rel.len());
         if due {
+            let rows = inner.deleted_count;
             inner.compact();
+            if let Some(p) = self.probe() {
+                p.note_compaction(rows);
+            }
         }
     }
 
@@ -457,13 +485,23 @@ impl Basket {
     /// lever to unwedge a blocked feeder whose consumer died. Returns
     /// `false` when aborted, `true` when capacity is available.
     pub fn wait_for_capacity(&self, abort: impl Fn() -> bool) -> bool {
-        while !self.has_capacity() {
+        if self.has_capacity() {
+            return true;
+        }
+        let started = std::time::Instant::now();
+        let ok = loop {
             if abort() || !self.is_enabled() {
-                return false;
+                break false;
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
+            if self.has_capacity() {
+                break true;
+            }
+        };
+        if let Some(p) = self.probe() {
+            p.note_backpressure(started.elapsed().as_micros() as u64);
         }
-        true
+        ok
     }
 
     // ---- integrity ----------------------------------------------------------
@@ -539,6 +577,9 @@ impl Basket {
             inner.note_append(n);
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
             self.note_high_water(inner.live_len());
+            if let Some(p) = self.probe() {
+                p.note_append();
+            }
         }
         Ok(n)
     }
@@ -558,6 +599,9 @@ impl Basket {
             inner.note_append(n);
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
             self.note_high_water(inner.live_len());
+            if let Some(p) = self.probe() {
+                p.note_append();
+            }
         }
         Ok(n)
     }
@@ -600,6 +644,9 @@ impl Basket {
             inner.note_append(n);
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
             self.note_high_water(inner.live_len());
+            if let Some(p) = self.probe() {
+                p.note_append();
+            }
         }
         Ok(n)
     }
@@ -665,6 +712,9 @@ impl Basket {
         self.stats
             .total_out
             .fetch_add(sel.len() as u64, Ordering::Relaxed);
+        if let Some(p) = self.probe() {
+            p.take_watermark(); // records dwell for the consumed batch(es)
+        }
         match &mut inner.deleted {
             None if sel.len() == inner.rel.len() => {
                 // consuming everything in a clean basket: release the
@@ -720,6 +770,9 @@ impl Basket {
         };
         if !full.is_empty() {
             inner.delete_gen += 1;
+            if let Some(p) = self.probe() {
+                p.take_watermark();
+            }
         }
         self.stats.total_out.fetch_add(n as u64, Ordering::Relaxed);
         full

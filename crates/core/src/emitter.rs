@@ -110,6 +110,20 @@ impl Emitter {
         format: WireFormat,
         coalesced: Arc<AtomicU64>,
     ) -> Emitter {
+        Emitter::spawn_tcp_shared_probed(name, rx, stream, format, coalesced, None)
+    }
+
+    /// [`Emitter::spawn_tcp_shared_counted`] plus an optional telemetry
+    /// probe recording per-delivery encode→socket-write latency and
+    /// coalescing events (`None` = telemetry off, zero extra work).
+    pub fn spawn_tcp_shared_probed(
+        name: impl Into<String>,
+        rx: Receiver<Arc<SharedFrame>>,
+        stream: TcpStream,
+        format: WireFormat,
+        coalesced: Arc<AtomicU64>,
+        probe: Option<Arc<dctrace::EmitterProbe>>,
+    ) -> Emitter {
         let name = name.into();
         let handle = std::thread::spawn(move || {
             let mut report = EmitterReport::default();
@@ -132,6 +146,7 @@ impl Emitter {
                     rows += next.len();
                     queued.push(next);
                 }
+                let write_started = probe.as_ref().map(|_| std::time::Instant::now());
                 // try the merged encoding; `None` = deliver individually
                 // (single frame, schema drift, or a merge too big to
                 // frame — each queued frame alone is known-deliverable)
@@ -155,6 +170,9 @@ impl Emitter {
                             break;
                         }
                         coalesced.fetch_add(queued.len() as u64 - 1, Ordering::AcqRel);
+                        if let Some(p) = &probe {
+                            p.note_coalesce(queued.len() as u64 - 1);
+                        }
                     }
                     None => {
                         for f in &queued {
@@ -171,6 +189,9 @@ impl Emitter {
                 }
                 if writer.flush().is_err() {
                     break;
+                }
+                if let (Some(p), Some(started)) = (&probe, write_started) {
+                    p.note_write(started.elapsed().as_micros() as u64);
                 }
                 report.delivered += rows as u64;
                 report.batches += queued.len() as u64;

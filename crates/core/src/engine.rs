@@ -74,6 +74,10 @@ pub struct DataCell {
     catalog: Arc<Catalog>,
     vars: Arc<VarStore>,
     scheduler: Mutex<Scheduler>,
+    /// Telemetry handle — disabled by default; [`DataCell::set_telemetry`]
+    /// installs a live one. Baskets/factories created *after* that call
+    /// get probes attached automatically.
+    telemetry: RwLock<dctrace::Telemetry>,
 }
 
 impl DataCell {
@@ -90,7 +94,20 @@ impl DataCell {
             catalog: Arc::new(Catalog::new()),
             vars: Arc::new(VarStore::new()),
             scheduler: Mutex::new(Scheduler::new()),
+            telemetry: RwLock::new(dctrace::Telemetry::disabled()),
         }
+    }
+
+    /// Install a telemetry handle. Call before DDL: baskets and query
+    /// factories created earlier keep running unprobed.
+    pub fn set_telemetry(&self, t: dctrace::Telemetry) {
+        *self.telemetry.write() = t;
+    }
+
+    /// The engine's telemetry handle (a disabled no-op unless
+    /// [`DataCell::set_telemetry`] installed a live one).
+    pub fn telemetry(&self) -> dctrace::Telemetry {
+        self.telemetry.read().clone()
     }
 
     pub fn clock(&self) -> &Arc<dyn Clock> {
@@ -128,6 +145,9 @@ impl DataCell {
             return Err(EngineError::Duplicate(name.to_string()));
         }
         let basket = Basket::new(name, schema, stamp);
+        if let Some(p) = dctrace::BasketProbe::new(&self.telemetry.read(), name) {
+            basket.set_probe(p);
+        }
         baskets.insert(name.to_string(), Arc::clone(&basket));
         Ok(basket)
     }
@@ -226,6 +246,7 @@ impl DataCell {
         if let Some(mode) = opts.plan_mode {
             factory = factory.with_plan_mode(mode);
         }
+        factory = factory.with_probe(dctrace::FireProbe::new(&self.telemetry.read(), name));
         let rx = opts.subscribe.then(|| factory.result_channel());
         drop(baskets);
         self.scheduler.lock().add(Box::new(factory));
@@ -662,5 +683,46 @@ mod tests {
         assert_eq!(stats[0].0, "q");
         assert_eq!(stats[0].1.firings, 1);
         assert_eq!(stats[0].1.consumed, 1);
+    }
+
+    #[test]
+    fn telemetry_probes_attach_and_record() {
+        let e = engine();
+        e.set_telemetry(dctrace::Telemetry::enabled());
+        e.create_stream("S", &two_col()).unwrap();
+        e.register_query(
+            "q",
+            "select * from [select * from S] as Z",
+            QueryOptions::subscribed(),
+        )
+        .unwrap();
+        e.ingest("S", &[vec![Value::Int(1), Value::Int(1)]]).unwrap();
+        e.run_until_quiescent(10).unwrap();
+        let t = e.telemetry();
+        let fire = t.hist_snapshot("dc_fire_micros", &[("query", "q")]).unwrap();
+        assert!(fire.count >= 1, "a firing was recorded");
+        let phase = t
+            .hist_snapshot("dc_fire_phase_micros", &[("query", "q"), ("phase", "execute")])
+            .unwrap();
+        assert_eq!(phase.count, fire.count, "one phase sample per firing");
+        let dwell = t
+            .hist_snapshot("dc_basket_dwell_micros", &[("stream", "S")])
+            .unwrap();
+        assert_eq!(dwell.count, 1, "consumption recorded the basket dwell");
+        let lat = t
+            .hist_snapshot("dc_tuple_latency_micros", &[("query", "q")])
+            .unwrap();
+        assert_eq!(lat.count, 1, "ingest watermark produced an end-to-end sample");
+        let dump = t.recorder().unwrap().dump(Some("q"));
+        assert!(dump.iter().any(|l| l.contains("kind=fire_start")));
+        assert!(dump.iter().any(|l| l.contains("kind=fire_end")));
+    }
+
+    #[test]
+    fn disabled_telemetry_attaches_nothing() {
+        let e = engine();
+        e.create_stream("S", &two_col()).unwrap();
+        assert!(e.basket("S").unwrap().probe().is_none());
+        assert!(e.telemetry().render().is_empty());
     }
 }

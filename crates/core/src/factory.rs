@@ -53,9 +53,9 @@ pub struct FireReport {
     pub rows_scanned: u64,
     /// Rows the plan emitted (result rows + insert rows).
     pub rows_out: u64,
-    /// Plan compile time, µs — reported once, on the factory's first
-    /// firing (0 afterwards), so cumulative stats carry the one-time
-    /// cost exactly once.
+    /// Plan compile time, µs — a *gauge*, not a per-firing cost: every
+    /// firing reports the factory's one-time compile time, and stats
+    /// absorb it by assignment (a query that never compiled reports 0).
     pub plan_micros: u64,
 }
 
@@ -193,8 +193,6 @@ pub struct QueryFactory {
     /// Compiled once at registration; fired forever.
     plan: dcsql::plan::PhysicalPlan,
     plan_mode: PlanMode,
-    /// Compile time not yet surfaced through a `FireReport`.
-    plan_micros_pending: u64,
     /// Baskets that gate firing (the consumed baskets, unless overridden
     /// by `trigger_on`).
     inputs: Vec<Arc<Basket>>,
@@ -213,6 +211,9 @@ pub struct QueryFactory {
     consume: ConsumeMode,
     /// Channel receiving bare-SELECT results (the emitter side).
     result_tx: Option<crossbeam::channel::Sender<Relation>>,
+    /// Telemetry probe (fire-phase histograms, tuple latency, the flight
+    /// recorder); absent when telemetry is off.
+    probe: Option<Arc<dctrace::FireProbe>>,
 }
 
 impl QueryFactory {
@@ -265,13 +266,11 @@ impl QueryFactory {
         let consumed_inputs = inputs.clone();
         let inputs = trigger_on.unwrap_or(inputs);
         let plan = dcsql::plan::PhysicalPlan::compile(&stmts);
-        let plan_micros_pending = plan.compile_micros;
         Ok(QueryFactory {
             name: name.into(),
             stmts,
             plan,
             plan_mode: PlanMode::default(),
-            plan_micros_pending,
             inputs,
             consumed_inputs,
             reads,
@@ -282,6 +281,7 @@ impl QueryFactory {
             min_input: 1,
             consume,
             result_tx: None,
+            probe: None,
         })
     }
 
@@ -294,6 +294,12 @@ impl QueryFactory {
     /// Select the execution path (default: the compiled plan).
     pub fn with_plan_mode(mut self, mode: PlanMode) -> Self {
         self.plan_mode = mode;
+        self
+    }
+
+    /// Attach the telemetry probe (fire-phase histograms and events).
+    pub fn with_probe(mut self, probe: Option<Arc<dctrace::FireProbe>>) -> Self {
+        self.probe = probe;
         self
     }
 
@@ -469,6 +475,24 @@ impl Factory for QueryFactory {
     fn fire(&mut self) -> Result<FireReport> {
         let started = Instant::now();
         let involved = self.involved();
+        // Oldest pending ingest timestamp across the consumed baskets —
+        // read before the snapshot so the end-to-end tuple latency spans
+        // the whole firing. One relaxed load per basket; 0 when unset or
+        // telemetry is off.
+        let watermark = if self.probe.is_some() {
+            self.consumed_inputs
+                .iter()
+                .filter_map(|b| b.probe())
+                .map(|p| p.watermark())
+                .filter(|&w| w != 0)
+                .min()
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        if let Some(p) = &self.probe {
+            p.note_fire_start();
+        }
 
         // Phase 1 — snapshot under a short lock. Only the baskets the
         // script can actually *read* need snapshots (consumed + reads);
@@ -490,6 +514,8 @@ impl Factory for QueryFactory {
         let lock_started = Instant::now();
         let mut guards: Vec<parking_lot::MutexGuard<'_, crate::basket::BasketInner>> =
             scanned.iter().map(|b| b.lock()).collect();
+        let acquire_micros = lock_started.elapsed().as_micros() as u64;
+        let snapshot_started = Instant::now();
         let mut snapshots: HashMap<String, Relation> = HashMap::new();
         let mut gens: HashMap<u64, u64> = HashMap::with_capacity(scanned.len());
         let mut rows_scanned = 0u64;
@@ -500,11 +526,13 @@ impl Factory for QueryFactory {
             gens.insert(b.id(), guards[i].delete_gen());
         }
         drop(guards);
-        let mut lock_micros = lock_started.elapsed().as_micros() as u64;
+        let snapshot_micros = snapshot_started.elapsed().as_micros() as u64;
+        let mut lock_micros = acquire_micros + snapshot_micros;
 
         // Phase 2 — execute with no basket locks held: other factories,
         // receptors and emitters proceed concurrently. The compiled plan
         // walks selection vectors; the interpreter re-walks the AST.
+        let execute_started = Instant::now();
         let effects = {
             let ctx = FiringContext {
                 snapshots: &snapshots,
@@ -514,6 +542,7 @@ impl Factory for QueryFactory {
             };
             self.run_script(&ctx)?
         };
+        let mut execute_micros = execute_started.elapsed().as_micros() as u64;
 
         // Phase 3 — reacquire and apply. Appends elsewhere are harmless
         // (they never renumber existing rows); a delete/drain/compaction
@@ -527,6 +556,7 @@ impl Factory for QueryFactory {
         let lock_started = Instant::now();
         let mut guards: Vec<parking_lot::MutexGuard<'_, crate::basket::BasketInner>> =
             involved.iter().map(|b| b.lock()).collect();
+        let acquire_micros = acquire_micros + lock_started.elapsed().as_micros() as u64;
         let mut index: HashMap<String, (Arc<Basket>, usize)> = HashMap::new();
         for (i, b) in involved.iter().enumerate() {
             index.insert(b.name().to_string(), (Arc::clone(b), i));
@@ -541,6 +571,10 @@ impl Factory for QueryFactory {
         let effects = if unchanged {
             effects
         } else {
+            if let Some(p) = &self.probe {
+                p.note_reexecute();
+            }
+            let reexec_started = Instant::now();
             let mut snapshots: HashMap<String, Relation> = HashMap::new();
             rows_scanned = 0;
             for (i, b) in involved.iter().enumerate() {
@@ -558,9 +592,13 @@ impl Factory for QueryFactory {
                 vars: &self.vars,
                 now: self.clock.now(),
             };
-            self.run_script(&ctx)?
+            let effects = self.run_script(&ctx)?;
+            execute_micros += reexec_started.elapsed().as_micros() as u64;
+            effects
         };
+        let apply_started = Instant::now();
         let mut report = self.apply_effects(effects, &index, &mut guards)?;
+        let apply_micros = apply_started.elapsed().as_micros() as u64;
         lock_micros += lock_started.elapsed().as_micros() as u64;
         report.elapsed_micros = started.elapsed().as_micros() as u64;
         report.lock_micros = lock_micros;
@@ -570,8 +608,19 @@ impl Factory for QueryFactory {
         // plan-boundary counter, so paths that apply less than they
         // compute (e.g. future delta re-execution) report them apart
         report.rows_out = report.produced as u64;
-        report.plan_micros = self.plan_micros_pending;
-        self.plan_micros_pending = 0;
+        report.plan_micros = self.plan.compile_micros;
+        if let Some(p) = &self.probe {
+            p.note_fire_end(
+                acquire_micros,
+                snapshot_micros,
+                execute_micros,
+                apply_micros,
+                report.elapsed_micros,
+                watermark,
+                report.rows_scanned,
+                report.rows_out,
+            );
+        }
         Ok(report)
     }
 }
@@ -964,7 +1013,7 @@ mod tests {
     }
 
     #[test]
-    fn plan_micros_reported_once() {
+    fn plan_micros_is_a_persistent_gauge() {
         let (clock, catalog, vars, input, output) = setup();
         input
             .append_rows(&[vec![Value::Int(1), Value::Int(5)]], clock.as_ref())
@@ -980,13 +1029,14 @@ mod tests {
         );
         let first = q.fire().unwrap();
         // compile time can legitimately round to 0µs; the invariant is
-        // that later firings never re-report it
+        // that every firing reports the same gauge value, so stats that
+        // absorb by assignment never lose it
         assert_eq!(first.plan_micros, q.plan().compile_micros);
         input
             .append_rows(&[vec![Value::Int(2), Value::Int(6)]], clock.as_ref())
             .unwrap();
         let second = q.fire().unwrap();
-        assert_eq!(second.plan_micros, 0);
+        assert_eq!(second.plan_micros, q.plan().compile_micros);
     }
 
     #[test]

@@ -35,8 +35,10 @@ pub struct FactoryStats {
     pub rows_scanned: u64,
     /// Rows the plan emitted (results + inserts), lifetime.
     pub rows_out: u64,
-    /// One-time plan compile cost, µs (each firing reports it at most
-    /// once, so the cumulative sum equals the compile time).
+    /// One-time plan compile cost, µs — a persistent gauge: every firing
+    /// reports it and absorption assigns rather than sums, so the value
+    /// survives however many stats snapshots are taken (0 only for a
+    /// factory that never compiled a plan, e.g. closure factories).
     pub plan_micros: u64,
 }
 
@@ -49,7 +51,7 @@ impl FactoryStats {
         self.lock_micros += r.lock_micros;
         self.rows_scanned += r.rows_scanned;
         self.rows_out += r.rows_out;
-        self.plan_micros += r.plan_micros;
+        self.plan_micros = r.plan_micros;
     }
 }
 

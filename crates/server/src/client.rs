@@ -222,6 +222,40 @@ impl Client {
         StatsReport::parse(&self.stats()?)
     }
 
+    /// The server's `METRICS` report: Prometheus text exposition lines
+    /// (parse them with [`dctrace::parse_exposition`]).
+    pub fn metrics(&mut self) -> Result<Vec<String>> {
+        self.request("METRICS")
+    }
+
+    /// `TRACE DUMP`: every flight-recorder event, oldest first.
+    pub fn trace_dump(&mut self) -> Result<Vec<String>> {
+        self.request("TRACE DUMP")
+    }
+
+    /// `TRACE DUMP QUERY <name>`: one query's flight-recorder events.
+    pub fn trace_dump_query(&mut self, query: &str) -> Result<Vec<String>> {
+        self.request(&format!("TRACE DUMP QUERY {query}"))
+    }
+
+    /// `TRACE QUERY <name> ON`: open a live trace-stream port; read it
+    /// with [`Client::open_trace`]. Returns the bound port.
+    pub fn trace_on(&mut self, query: &str) -> Result<u16> {
+        let body = self.request(&format!("TRACE QUERY {query} ON"))?;
+        parse_port(&body)
+    }
+
+    /// `TRACE QUERY <name> OFF`: close the query's live trace taps.
+    pub fn trace_off(&mut self, query: &str) -> Result<()> {
+        self.request(&format!("TRACE QUERY {query} OFF")).map(|_| ())
+    }
+
+    /// Open a data-plane connection to a trace-stream port (text, one
+    /// rendered flight-recorder event per line).
+    pub fn open_trace(&self, port: u16) -> Result<EmitterTap> {
+        EmitterTap::connect((self.server.ip(), port))
+    }
+
     /// Gracefully stop the server.
     pub fn shutdown(&mut self) -> Result<()> {
         self.request("SHUTDOWN").map(|_| ())

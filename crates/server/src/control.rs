@@ -215,6 +215,21 @@ fn dispatch(rt: &Arc<ServerRuntime>, request: &str) -> (Response, bool) {
         Command::Explain(sql) => (result_response(rt.explain_sql(&sql)), false),
         Command::ExplainQuery { name } => (result_response(rt.explain_query(&name)), false),
         Command::Stats => (Response::Ok(rt.stats()), false),
+        Command::Metrics => (Response::Ok(rt.metrics()), false),
+        Command::TraceDump { query } => (result_response(rt.trace_dump(query.as_deref())), false),
+        Command::TraceStream { query, on } => {
+            if on {
+                match rt.trace_on(&query) {
+                    Ok(p) => (Response::one(format!("port={p}")), false),
+                    Err(e) => (Response::Err(e.to_string()), false),
+                }
+            } else {
+                match rt.trace_off(&query) {
+                    Ok(n) => (Response::one(format!("closed_taps={n}")), false),
+                    Err(e) => (Response::Err(e.to_string()), false),
+                }
+            }
+        }
         Command::Quit => (Response::ok(), true),
         Command::Shutdown => {
             rt.request_shutdown();

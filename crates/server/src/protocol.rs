@@ -16,6 +16,9 @@
 //! EXPLAIN <sql>                                 -- compiled physical plan of a script
 //! EXPLAIN QUERY <name>                          -- plan of a registered continuous query
 //! STATS
+//! METRICS                                       -- Prometheus text exposition
+//! TRACE DUMP [QUERY <name>]                     -- flight-recorder ring dump
+//! TRACE QUERY <name> ON|OFF                     -- live trace stream (emitter-style port)
 //! QUIT
 //! SHUTDOWN
 //! ```
@@ -85,6 +88,15 @@ pub enum Command {
     /// `EXPLAIN QUERY <name>` — plan of a registered continuous query.
     ExplainQuery { name: String },
     Stats,
+    /// `METRICS` — the whole telemetry registry in Prometheus text
+    /// exposition format.
+    Metrics,
+    /// `TRACE DUMP [QUERY <name>]` — the flight recorder's ring of
+    /// recent events, optionally filtered to one query.
+    TraceDump { query: Option<String> },
+    /// `TRACE QUERY <name> ON|OFF` — start (reply carries `port=N`) or
+    /// stop streaming that query's trace events live.
+    TraceStream { query: String, on: bool },
     /// Close this control session (the server keeps running).
     Quit,
     /// Stop the whole server gracefully.
@@ -219,6 +231,43 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "" => Err("empty command".into()),
         "PING" => Ok(Command::Ping),
         "STATS" => Ok(Command::Stats),
+        "METRICS" => {
+            if rest.is_empty() {
+                Ok(Command::Metrics)
+            } else {
+                Err(format!("unexpected trailing input {rest:?}"))
+            }
+        }
+        "TRACE" => {
+            let (sub, tail) = take_word(rest);
+            match sub.to_ascii_uppercase().as_str() {
+                "DUMP" => {
+                    if tail.is_empty() {
+                        return Ok(Command::TraceDump { query: None });
+                    }
+                    let tail = expect_kw(tail, "QUERY")?;
+                    let (name, trailing) = parse_name(tail)?;
+                    if !trailing.is_empty() {
+                        return Err(format!("unexpected trailing input {trailing:?}"));
+                    }
+                    Ok(Command::TraceDump { query: Some(name) })
+                }
+                "QUERY" => {
+                    let (name, tail) = parse_name(tail)?;
+                    let (switch, trailing) = take_word(tail);
+                    if !trailing.is_empty() {
+                        return Err(format!("unexpected trailing input {trailing:?}"));
+                    }
+                    let on = match switch.to_ascii_uppercase().as_str() {
+                        "ON" => true,
+                        "OFF" => false,
+                        other => return Err(format!("expected ON or OFF, got {other:?}")),
+                    };
+                    Ok(Command::TraceStream { query: name, on })
+                }
+                other => Err(format!("TRACE {other} is not supported")),
+            }
+        }
         "QUIT" => Ok(Command::Quit),
         "SHUTDOWN" => Ok(Command::Shutdown),
         "CREATE" => {
@@ -545,6 +594,43 @@ mod tests {
         assert!(parse_command("EXPLAIN QUERY").is_err());
         assert!(parse_command("EXPLAIN QUERY hot extra").is_err());
         assert!(parse_command("EXPLAIN QUERY bad-name").is_err());
+    }
+
+    #[test]
+    fn metrics_and_trace_commands() {
+        assert_eq!(parse_command("METRICS"), Ok(Command::Metrics));
+        assert_eq!(parse_command("metrics"), Ok(Command::Metrics));
+        assert!(parse_command("METRICS now").is_err());
+        assert_eq!(
+            parse_command("TRACE DUMP"),
+            Ok(Command::TraceDump { query: None })
+        );
+        assert_eq!(
+            parse_command("trace dump query hot"),
+            Ok(Command::TraceDump {
+                query: Some("hot".into())
+            })
+        );
+        assert_eq!(
+            parse_command("TRACE QUERY hot ON"),
+            Ok(Command::TraceStream {
+                query: "hot".into(),
+                on: true,
+            })
+        );
+        assert_eq!(
+            parse_command("trace query hot off"),
+            Ok(Command::TraceStream {
+                query: "hot".into(),
+                on: false,
+            })
+        );
+        assert!(parse_command("TRACE").is_err());
+        assert!(parse_command("TRACE DUMP hot").is_err());
+        assert!(parse_command("TRACE DUMP QUERY hot extra").is_err());
+        assert!(parse_command("TRACE QUERY hot").is_err());
+        assert!(parse_command("TRACE QUERY hot MAYBE").is_err());
+        assert!(parse_command("TRACE QUERY bad-name ON").is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! fan-out threads delivering query results to TCP subscribers — with a
 //! single stop flag driving graceful shutdown of the whole tree.
 
-use std::io::BufRead;
+use std::io::{BufRead, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -46,6 +46,10 @@ pub struct ServerConfig {
     /// the basket unboundedly. 0 = unbounded (the pre-backpressure
     /// behavior).
     pub receptor_basket_cap: usize,
+    /// Collect latency histograms, counters and flight-recorder events
+    /// (the `METRICS` / `TRACE` commands). On the hot path this costs
+    /// one atomic add per probe point when on, one branch when off.
+    pub telemetry_enabled: bool,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +58,7 @@ impl Default for ServerConfig {
             data_host: "127.0.0.1".into(),
             idle_backoff: Duration::from_micros(100),
             receptor_basket_cap: 0,
+            telemetry_enabled: true,
         }
     }
 }
@@ -80,6 +85,15 @@ pub struct EmitterPort {
     emitters: Mutex<Vec<Emitter>>,
 }
 
+/// A live `TRACE QUERY <q> ON` port: an accept loop feeding each
+/// subscriber the query's future flight-recorder events, one rendered
+/// event per line.
+pub struct TracePort {
+    pub query: String,
+    pub port: u16,
+    closed: Arc<AtomicBool>,
+}
+
 /// The running server: owns every supervised thread.
 pub struct ServerRuntime {
     engine: Arc<DataCell>,
@@ -89,6 +103,8 @@ pub struct ServerRuntime {
     pub sessions: SessionManager,
     receptors: Mutex<Vec<Arc<ReceptorPort>>>,
     emitters: Mutex<Vec<Arc<EmitterPort>>>,
+    trace_ports: Mutex<Vec<Arc<TracePort>>>,
+    telemetry: dctrace::Telemetry,
     threads: Mutex<Vec<JoinHandle<()>>>,
     /// Serializes register_query's engine-registration + factory-takeover
     /// sequence: a concurrent registration from another control session
@@ -102,6 +118,14 @@ pub struct ServerRuntime {
 impl ServerRuntime {
     pub fn new(engine: Arc<DataCell>, config: ServerConfig) -> Arc<ServerRuntime> {
         let sched = ThreadedScheduler::with_backoff(config.idle_backoff);
+        let telemetry = if config.telemetry_enabled {
+            dctrace::Telemetry::enabled()
+        } else {
+            dctrace::Telemetry::disabled()
+        };
+        // install before any DDL runs so every basket and factory the
+        // engine creates picks up its probes
+        engine.set_telemetry(telemetry.clone());
         Arc::new(ServerRuntime {
             engine,
             config,
@@ -110,6 +134,8 @@ impl ServerRuntime {
             sessions: SessionManager::new(),
             receptors: Mutex::new(Vec::new()),
             emitters: Mutex::new(Vec::new()),
+            trace_ports: Mutex::new(Vec::new()),
+            telemetry,
             threads: Mutex::new(Vec::new()),
             registration: Mutex::new(()),
             stop: Arc::new(AtomicBool::new(false)),
@@ -322,6 +348,7 @@ impl ServerRuntime {
 
         let rt = Arc::clone(self);
         let accept_port = Arc::clone(&eport);
+        let probe = dctrace::EmitterProbe::new(&self.telemetry, query);
         let thread = std::thread::Builder::new()
             .name(format!("dc-emit-{query}"))
             .spawn(move || {
@@ -338,12 +365,13 @@ impl ServerRuntime {
                             // format, shared across every subscriber;
                             // batches queued behind a slow socket coalesce
                             // into one frame (counted per port for STATS)
-                            let emitter = Emitter::spawn_tcp_shared_counted(
+                            let emitter = Emitter::spawn_tcp_shared_probed(
                                 format!("{}@{}", accept_port.query, accept_port.port),
                                 rx,
                                 sock,
                                 accept_port.format,
                                 Arc::clone(&accept_port.coalesced),
+                                probe.clone(),
                             );
                             let mut emitters = accept_port.emitters.lock();
                             emitters.retain(|e| !e.is_finished());
@@ -363,6 +391,101 @@ impl ServerRuntime {
             .expect("spawn emitter accept thread");
         self.threads.lock().push(thread);
         Ok(bound)
+    }
+
+    /// The server's telemetry handle (disabled when the config said so).
+    pub fn telemetry(&self) -> &dctrace::Telemetry {
+        &self.telemetry
+    }
+
+    /// The `METRICS` report: every registered series in Prometheus text
+    /// exposition format. Empty when telemetry is disabled.
+    pub fn metrics(&self) -> Vec<String> {
+        self.telemetry.render()
+    }
+
+    /// The `TRACE DUMP` report: flight-recorder events, oldest first,
+    /// optionally filtered to one query.
+    pub fn trace_dump(&self, query: Option<&str>) -> Result<Vec<String>> {
+        let rec = self.recorder()?;
+        Ok(rec.dump(query))
+    }
+
+    fn recorder(&self) -> Result<Arc<dctrace::FlightRecorder>> {
+        self.telemetry
+            .recorder()
+            .ok_or_else(|| ServerError::Protocol("telemetry is disabled on this server".into()))
+    }
+
+    /// `TRACE QUERY <q> ON`: open an emitter-style port streaming the
+    /// query's future flight-recorder events to every subscriber, one
+    /// rendered event per line. Returns the bound port.
+    pub fn trace_on(self: &Arc<Self>, query: &str) -> Result<u16> {
+        self.ensure_running()?;
+        if !self.queries.contains(query) {
+            return Err(ServerError::Unknown(format!("query {query}")));
+        }
+        let recorder = self.recorder()?;
+        let listener = TcpListener::bind((self.config.data_host.as_str(), 0))?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?.port();
+        let tport = Arc::new(TracePort {
+            query: query.to_string(),
+            port: bound,
+            closed: Arc::new(AtomicBool::new(false)),
+        });
+        self.trace_ports.lock().push(Arc::clone(&tport));
+
+        let rt = Arc::clone(self);
+        let accept_port = Arc::clone(&tport);
+        let handle = std::thread::Builder::new()
+            .name(format!("dc-trace-{query}"))
+            .spawn(move || {
+                let mut writers: Vec<JoinHandle<()>> = Vec::new();
+                while !rt.is_stopping() && !accept_port.closed.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((sock, _peer)) => {
+                            let _ = sock.set_write_timeout(Some(EMITTER_WRITE_TIMEOUT));
+                            let rx = recorder.subscribe(Some(accept_port.query.clone()));
+                            let rt2 = Arc::clone(&rt);
+                            let closed = Arc::clone(&accept_port.closed);
+                            writers.retain(|t| !t.is_finished());
+                            writers.push(
+                                std::thread::Builder::new()
+                                    .name(format!("dc-trace-{}-conn", accept_port.query))
+                                    .spawn(move || trace_writer(&rt2, &closed, rx, sock))
+                                    .expect("spawn trace writer thread"),
+                            );
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                    }
+                }
+                for t in writers {
+                    let _ = t.join();
+                }
+            })
+            .expect("spawn trace accept thread");
+        self.threads.lock().push(handle);
+        Ok(bound)
+    }
+
+    /// `TRACE QUERY <q> OFF`: close the query's live taps (subscribers
+    /// drain what they already received, then their stream ends) and
+    /// retire its trace ports. Returns how many taps were closed.
+    pub fn trace_off(&self, query: &str) -> Result<usize> {
+        let recorder = self.recorder()?;
+        let mut ports = self.trace_ports.lock();
+        for p in ports.iter().filter(|p| p.query == query) {
+            p.closed.store(true, Ordering::Release);
+        }
+        ports.retain(|p| p.query != query);
+        drop(ports);
+        Ok(recorder.close_taps(Some(query)))
     }
 
     /// The `STATS` report: one line per server object.
@@ -393,13 +516,21 @@ impl ServerRuntime {
                 }
                 None => (0, 0, 0, 0),
             };
+            // fire-latency summary from the telemetry histogram (zeros
+            // when telemetry is off or the query has not fired yet)
+            let fire = self
+                .telemetry
+                .hist_snapshot("dc_fire_micros", &[("query", &q.name)])
+                .unwrap_or_default();
             body.push(format!(
                 "query {} firings={} consumed={} produced={} busy_micros={} lock_micros={} \
                  rows_scanned={} rows_out={} plan_micros={} \
-                 subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={}",
+                 subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={} \
+                 p50_micros={} p99_micros={} max_micros={}",
                 q.name, s.firings, s.consumed, s.produced, s.busy_micros, s.lock_micros,
                 s.rows_scanned, s.rows_out, s.plan_micros,
-                subs, batches, tuples, dropped
+                subs, batches, tuples, dropped,
+                fire.quantile(0.5), fire.quantile(0.99), fire.max
             ));
         }
         for r in self.receptors.lock().iter() {
@@ -442,6 +573,11 @@ impl ServerRuntime {
     /// scheduler, flush result pumps and emitters, join every thread.
     pub fn shutdown(&self) {
         self.request_shutdown();
+        // 0. close every live trace tap so their writer threads see the
+        //    channel disconnect and exit with the accept loops
+        if let Some(rec) = self.telemetry.recorder() {
+            rec.close_taps(None);
+        }
         // 1. receptor accept loops + connection readers observe the flag
         //    and flush their final batches into the baskets; emitter accept
         //    loops stop taking subscribers
@@ -467,6 +603,33 @@ impl ServerRuntime {
             for emitter in eport.emitters.lock().drain(..) {
                 let _ = emitter.join();
             }
+        }
+    }
+}
+
+/// Drain one flight-recorder tap onto a trace subscriber socket until
+/// the tap closes (`TRACE ... OFF` / shutdown), the subscriber hangs
+/// up, or the server stops.
+fn trace_writer(
+    rt: &ServerRuntime,
+    closed: &AtomicBool,
+    rx: std::sync::mpsc::Receiver<String>,
+    sock: TcpStream,
+) {
+    let mut writer = std::io::BufWriter::new(sock);
+    loop {
+        match rx.recv_timeout(POLL_INTERVAL) {
+            Ok(line) => {
+                if writeln!(writer, "{line}").is_err() || writer.flush().is_err() {
+                    break;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if rt.is_stopping() || closed.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
 }
@@ -544,6 +707,7 @@ fn receptor_connection_text(
             // false return also covers "disabled while full" — then fall
             // through so the append soft-rejects exactly like a disabled
             // basket below cap; only shutdown drops the connection.
+            let append_started = basket.probe().map(|_| Instant::now());
             if !basket.wait_for_capacity(|| rt.is_stopping()) && rt.is_stopping() {
                 break;
             }
@@ -556,6 +720,11 @@ fn receptor_connection_text(
                 Err(_) => {
                     port.rejected.fetch_add(batch.len() as u64, Ordering::AcqRel);
                 }
+            }
+            // decode→append latency for this batch (capacity wait
+            // included: that is what the sender experiences)
+            if let (Some(p), Some(started)) = (basket.probe(), append_started) {
+                p.note_append_micros(started.elapsed().as_micros() as u64);
             }
             batch.clear();
         }
@@ -604,6 +773,7 @@ fn receptor_connection_binary(
                     // as in the text path: only shutdown drops the
                     // connection; a disabled-while-full basket falls
                     // through to a soft-reject append
+                    let append_started = basket.probe().map(|_| Instant::now());
                     if !basket.wait_for_capacity(|| rt.is_stopping()) && rt.is_stopping() {
                         eof = true;
                         break;
@@ -617,6 +787,9 @@ fn receptor_connection_binary(
                         Err(_) => {
                             port.rejected.fetch_add(total, Ordering::AcqRel);
                         }
+                    }
+                    if let (Some(p), Some(started)) = (basket.probe(), append_started) {
+                        p.note_append_micros(started.elapsed().as_micros() as u64);
                     }
                 }
                 Ok(None) => break,

@@ -22,6 +22,11 @@ pub struct ServerStats {
     pub queries: u64,
     pub receptor_ports: u64,
     pub emitter_ports: u64,
+    /// Shard engines behind this control plane (`dccluster` only; 0 on
+    /// a single engine).
+    pub engines: u64,
+    /// Sharded logical streams (`dccluster` only).
+    pub streams: u64,
 }
 
 /// One `basket <name> ...` line.
@@ -61,6 +66,13 @@ pub struct QueryStats {
     pub delivered_batches: u64,
     pub delivered_tuples: u64,
     pub dropped_batches: u64,
+    /// Median firing latency, µs (from the `dc_fire_micros` telemetry
+    /// histogram; 0 when telemetry is off or the query never fired).
+    pub p50_micros: u64,
+    /// 99th-percentile firing latency, µs.
+    pub p99_micros: u64,
+    /// Worst observed firing latency, µs.
+    pub max_micros: u64,
 }
 
 /// One `receptor <stream> ...` line.
@@ -92,6 +104,30 @@ pub struct SessionStats {
     pub commands: u64,
 }
 
+/// One `stream <name> ...` line (`dccluster` only): a sharded logical
+/// stream's placement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    pub name: String,
+    pub shards: u64,
+    /// Hash-partition key column (`-` = round-robin placement).
+    pub key: String,
+    /// Comma-joined engine ids hosting a shard of this stream.
+    pub engines: String,
+}
+
+/// One `shard <id> ...` line (`dccluster` only): a shard engine's
+/// health summary. An unreachable engine reports only its address.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    pub id: u64,
+    pub addr: String,
+    pub baskets_in: u64,
+    pub delivered_tuples: u64,
+    pub sessions: u64,
+    pub unreachable: bool,
+}
+
 /// The whole `STATS` body, typed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsReport {
@@ -101,6 +137,8 @@ pub struct StatsReport {
     pub receptors: Vec<ReceptorStats>,
     pub emitters: Vec<EmitterStats>,
     pub sessions: Vec<SessionStats>,
+    pub streams: Vec<StreamStats>,
+    pub shards: Vec<ShardStats>,
 }
 
 /// Split one report line into (kind, name, key→value map). The `server`
@@ -153,6 +191,8 @@ impl StatsReport {
                         queries: num(&kv, "queries"),
                         receptor_ports: num(&kv, "receptor_ports"),
                         emitter_ports: num(&kv, "emitter_ports"),
+                        engines: num(&kv, "engines"),
+                        streams: num(&kv, "streams"),
                     };
                 }
                 "basket" => report.baskets.push(BasketStats {
@@ -181,6 +221,9 @@ impl StatsReport {
                     delivered_batches: num(&kv, "delivered_batches"),
                     delivered_tuples: num(&kv, "delivered_tuples"),
                     dropped_batches: num(&kv, "dropped_batches"),
+                    p50_micros: num(&kv, "p50_micros"),
+                    p99_micros: num(&kv, "p99_micros"),
+                    max_micros: num(&kv, "max_micros"),
                 }),
                 "receptor" => report.receptors.push(ReceptorStats {
                     stream: name.to_string(),
@@ -202,10 +245,97 @@ impl StatsReport {
                     peer: text(&kv, "peer"),
                     commands: num(&kv, "commands"),
                 }),
+                "stream" => report.streams.push(StreamStats {
+                    name: name.to_string(),
+                    shards: num(&kv, "shards"),
+                    key: text(&kv, "key"),
+                    engines: text(&kv, "engines"),
+                }),
+                "shard" => report.shards.push(ShardStats {
+                    id: name.parse().unwrap_or(0),
+                    addr: text(&kv, "addr"),
+                    baskets_in: num(&kv, "baskets_in"),
+                    delivered_tuples: num(&kv, "delivered_tuples"),
+                    sessions: num(&kv, "sessions"),
+                    unreachable: kv.get("unreachable").is_some_and(|v| *v == "true"),
+                }),
                 _ => {} // forward compatibility: skip unknown kinds
             }
         }
         Ok(report)
+    }
+
+    /// Render the report back into wire lines — the exact `kind [name]
+    /// k=v ...` shapes the daemons emit, so `parse(render(r)) == r`
+    /// (names and text values must be whitespace/`=`-free, as on the
+    /// wire). This is what the cluster router uses to re-emit
+    /// aggregated rows, and what the roundtrip property test pins.
+    pub fn render(&self) -> Vec<String> {
+        let mut body = Vec::new();
+        let s = &self.server;
+        let mut line = format!(
+            "server uptime_micros={} sessions={} queries={} receptor_ports={} emitter_ports={}",
+            s.uptime_micros, s.sessions, s.queries, s.receptor_ports, s.emitter_ports
+        );
+        if s.engines > 0 || s.streams > 0 {
+            line.push_str(&format!(" engines={} streams={}", s.engines, s.streams));
+        }
+        body.push(line);
+        for st in &self.streams {
+            body.push(format!(
+                "stream {} shards={} key={} engines={}",
+                st.name, st.shards, st.key, st.engines
+            ));
+        }
+        for b in &self.baskets {
+            body.push(format!(
+                "basket {} len={} enabled={} in={} out={} dropped={} high_water={} cap={} \
+                 pending_deletes={} compactions={}",
+                b.name, b.len, b.enabled, b.total_in, b.total_out, b.dropped, b.high_water,
+                b.cap, b.pending_deletes, b.compactions
+            ));
+        }
+        for q in &self.queries {
+            body.push(format!(
+                "query {} firings={} consumed={} produced={} busy_micros={} lock_micros={} \
+                 rows_scanned={} rows_out={} plan_micros={} \
+                 subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={} \
+                 p50_micros={} p99_micros={} max_micros={}",
+                q.name, q.firings, q.consumed, q.produced, q.busy_micros, q.lock_micros,
+                q.rows_scanned, q.rows_out, q.plan_micros,
+                q.subscribers, q.delivered_batches, q.delivered_tuples, q.dropped_batches,
+                q.p50_micros, q.p99_micros, q.max_micros
+            ));
+        }
+        for r in &self.receptors {
+            body.push(format!(
+                "receptor {} port={} format={} connections={} accepted={} rejected={}",
+                r.stream, r.port, r.format, r.connections, r.accepted, r.rejected
+            ));
+        }
+        for e in &self.emitters {
+            body.push(format!(
+                "emitter {} port={} format={} connections={} coalesced_batches={}",
+                e.query, e.port, e.format, e.connections, e.coalesced_batches
+            ));
+        }
+        for sh in &self.shards {
+            if sh.unreachable {
+                body.push(format!("shard {} addr={} unreachable=true", sh.id, sh.addr));
+            } else {
+                body.push(format!(
+                    "shard {} addr={} baskets_in={} delivered_tuples={} sessions={}",
+                    sh.id, sh.addr, sh.baskets_in, sh.delivered_tuples, sh.sessions
+                ));
+            }
+        }
+        for se in &self.sessions {
+            body.push(format!(
+                "session {} peer={} commands={}",
+                se.id, se.peer, se.commands
+            ));
+        }
+        body
     }
 
     /// Basket row by name.
@@ -296,5 +426,49 @@ mod tests {
     #[test]
     fn stray_bare_words_are_errors() {
         assert!(StatsReport::parse(&lines(&["basket S whoops extra"])).is_err());
+    }
+
+    #[test]
+    fn parses_cluster_lines() {
+        let body = lines(&[
+            "server uptime_micros=9 sessions=1 queries=1 receptor_ports=1 emitter_ports=1 \
+             engines=2 streams=1",
+            "stream S shards=2 key=id engines=0,1",
+            "shard 0 addr=127.0.0.1:9001 baskets_in=50 delivered_tuples=7 sessions=1",
+            "shard 1 addr=127.0.0.1:9002 unreachable=true",
+        ]);
+        let r = StatsReport::parse(&body).unwrap();
+        assert_eq!(r.server.engines, 2);
+        assert_eq!(r.server.streams, 1);
+        assert_eq!(r.streams[0].key, "id");
+        assert_eq!(r.streams[0].engines, "0,1");
+        assert_eq!(r.shards[0].baskets_in, 50);
+        assert!(!r.shards[0].unreachable);
+        assert!(r.shards[1].unreachable);
+        assert_eq!(r.shards[1].addr, "127.0.0.1:9002");
+    }
+
+    #[test]
+    fn render_parse_roundtrips() {
+        let body = lines(&[
+            "server uptime_micros=9 sessions=1 queries=1 receptor_ports=1 emitter_ports=1 \
+             engines=2 streams=1",
+            "stream S shards=2 key=- engines=0,1",
+            "basket S len=3 enabled=true in=100 out=97 dropped=0 high_water=50 cap=256 \
+             pending_deletes=4 compactions=2",
+            "query hot firings=7 consumed=100 produced=42 busy_micros=999 lock_micros=111 \
+             rows_scanned=640 rows_out=42 plan_micros=17 \
+             subscribers=2 delivered_batches=5 delivered_tuples=42 dropped_batches=0 \
+             p50_micros=8 p99_micros=64 max_micros=70",
+            "receptor S port=5001 format=binary connections=1 accepted=100 rejected=2",
+            "emitter hot port=5002 format=text connections=2 coalesced_batches=3",
+            "shard 0 addr=127.0.0.1:9001 baskets_in=50 delivered_tuples=7 sessions=1",
+            "shard 1 addr=127.0.0.1:9002 unreachable=true",
+            "session 1 peer=127.0.0.1:9 commands=12",
+        ]);
+        let r = StatsReport::parse(&body).unwrap();
+        assert_eq!(r.query("hot").unwrap().p99_micros, 64);
+        let r2 = StatsReport::parse(&r.render()).unwrap();
+        assert_eq!(r, r2);
     }
 }

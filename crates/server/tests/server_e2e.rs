@@ -470,6 +470,115 @@ fn tap_survives_read_timeouts_mid_frame() {
 }
 
 #[test]
+fn metrics_exposition_after_firings() {
+    // the CI smoke: boot, drive firings over sockets, then assert the
+    // Prometheus exposition parses and carries non-zero fire latency
+    // histograms, STATS carries the latency summary, TRACE DUMP holds
+    // firing events, and a live TRACE stream delivers events
+    let (addr, server_thread) = boot();
+    let mut c = Client::connect(addr).unwrap();
+    c.create_stream("S", "(id int, v int)").unwrap();
+    c.register_query("hot", "select id from [select * from S] as Z where Z.v > 10")
+        .unwrap();
+    let rport = c.attach_receptor("S", 0).unwrap();
+    let eport = c.attach_emitter("hot", 0).unwrap();
+
+    // subscribe a live trace stream BEFORE the firings so it sees them
+    let tport = c.trace_on("hot").unwrap();
+    let mut trace = c.open_trace(tport).unwrap();
+    trace.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let mut sink = c.open_receptor(rport).unwrap();
+    let mut tap = c.open_emitter(eport).unwrap();
+    tap.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    for i in 0..100i64 {
+        sink.send_row(&[Value::Int(i), Value::Int(i)]).unwrap();
+    }
+    sink.flush().unwrap();
+    let schema = Schema::from_pairs(&[("id", ValueType::Int)]);
+    assert_eq!(tap.take_rows(&schema, 89).unwrap().len(), 89);
+
+    // METRICS: valid exposition with a fired histogram
+    let body = c.metrics().unwrap();
+    let samples = dctrace::parse_exposition(&body).expect("exposition must parse");
+    let fire_count = samples
+        .iter()
+        .find(|s| s.name == "dc_fire_micros_count" && s.labels.contains("query=\"hot\""))
+        .expect("fire histogram present");
+    assert!(fire_count.value >= 1.0, "{fire_count:?}");
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "dc_fire_phase_micros_count"
+                && s.labels.contains("phase=\"execute\"")),
+        "phase breakdown present"
+    );
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "dc_tuple_latency_micros_count" && s.value >= 1.0),
+        "end-to-end tuple latency recorded: {samples:?}"
+    );
+
+    // STATS: latency summary columns filled in from the histogram
+    let stats = c.stats_report().unwrap();
+    let hot = stats.query("hot").unwrap();
+    assert!(hot.max_micros >= hot.p50_micros, "{hot:?}");
+    assert!(hot.p99_micros >= hot.p50_micros, "{hot:?}");
+
+    // TRACE DUMP: firing events, filtered and unfiltered
+    let dump = c.trace_dump_query("hot").unwrap();
+    assert!(
+        dump.iter().any(|l| l.contains("kind=fire_start")),
+        "{dump:?}"
+    );
+    assert!(
+        dump.iter().any(|l| l.contains("kind=fire_end")),
+        "{dump:?}"
+    );
+    assert!(!c.trace_dump().unwrap().is_empty());
+
+    // the live stream saw a firing event too
+    let line = trace.next_line().unwrap().expect("live trace line");
+    assert!(line.contains("kind=fire_"), "{line}");
+
+    // OFF ends the live stream (drain remaining, then EOF)
+    c.trace_off("hot").unwrap();
+    while trace.next_line().unwrap().is_some() {}
+
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn telemetry_disabled_is_clean() {
+    // telemetry off: METRICS is empty, TRACE errors, STATS still works
+    let server = bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            telemetry_enabled: false,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind control plane");
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || {
+        server.serve().expect("serve");
+    });
+    let mut c = Client::connect(addr).unwrap();
+    c.create_stream("S", "(id int)").unwrap();
+    c.register_query("all", "select id from [select * from S] as Z")
+        .unwrap();
+    assert_eq!(c.metrics().unwrap(), Vec::<String>::new());
+    assert!(c.trace_dump().is_err());
+    assert!(c.trace_on("all").is_err());
+    let stats = c.stats_report().unwrap();
+    assert_eq!(stats.query("all").unwrap().p99_micros, 0);
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+}
+
+#[test]
 fn exec_one_shot_round_trip() {
     let (addr, server_thread) = boot();
     let mut c = Client::connect(addr).unwrap();

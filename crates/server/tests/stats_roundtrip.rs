@@ -1,0 +1,174 @@
+//! Property test pinning the `STATS` wire format: `StatsReport::render`
+//! followed by `StatsReport::parse` must be the identity over randomized
+//! reports — every line kind, optional cluster fields, unreachable
+//! shards, and the latency-summary columns included. The cluster router
+//! re-emits aggregated rows through `render`, so any asymmetry between
+//! the two would silently corrupt cluster `STATS`.
+//!
+//! The vendored proptest shim has no tuple composition, so each case
+//! generates one seed and derives a whole report from it with `StdRng`.
+
+use dcserver::stats::{
+    BasketStats, EmitterStats, QueryStats, ReceptorStats, ServerStats, SessionStats, ShardStats,
+    StatsReport, StreamStats,
+};
+use proptest::prelude::*;
+use proptest::{Rng, SeedableRng, StdRng};
+
+/// A wire-safe object name: no whitespace, no `=` (the daemons enforce
+/// the same rule on CREATE/REGISTER).
+fn name(rng: &mut StdRng, prefix: &str) -> String {
+    format!("{prefix}{}", rng.gen_range(0u32..10_000))
+}
+
+fn addr(rng: &mut StdRng) -> String {
+    format!(
+        "10.0.{}.{}:{}",
+        rng.gen_range(0u32..256),
+        rng.gen_range(0u32..256),
+        rng.gen_range(1024u32..65536)
+    )
+}
+
+fn format_name(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.5) { "text" } else { "binary" }.to_string()
+}
+
+fn report(rng: &mut StdRng) -> StatsReport {
+    let mut r = StatsReport {
+        server: ServerStats {
+            uptime_micros: rng.gen_range(0u64..1 << 40),
+            sessions: rng.gen_range(0u64..100),
+            queries: rng.gen_range(0u64..100),
+            receptor_ports: rng.gen_range(0u64..100),
+            emitter_ports: rng.gen_range(0u64..100),
+            // the cluster columns are optional on the wire: rendered only
+            // when nonzero, absent on single-engine daemons
+            engines: rng.gen_range(0u64..4),
+            streams: rng.gen_range(0u64..4),
+        },
+        ..StatsReport::default()
+    };
+    for _ in 0..rng.gen_range(0usize..4) {
+        r.streams.push(StreamStats {
+            name: name(rng, "s"),
+            shards: rng.gen_range(1u64..8),
+            key: if rng.gen_bool(0.3) {
+                "-".to_string()
+            } else {
+                name(rng, "k")
+            },
+            engines: "0,1".to_string(),
+        });
+    }
+    for _ in 0..rng.gen_range(0usize..4) {
+        r.baskets.push(BasketStats {
+            name: name(rng, "s"),
+            len: rng.gen_range(0u64..1 << 20),
+            enabled: rng.gen_bool(0.5),
+            total_in: rng.gen_range(0u64..1 << 30),
+            total_out: rng.gen_range(0u64..1 << 30),
+            dropped: rng.gen_range(0u64..1 << 10),
+            high_water: rng.gen_range(0u64..1 << 20),
+            cap: rng.gen_range(0u64..1 << 20),
+            pending_deletes: rng.gen_range(0u64..1 << 10),
+            compactions: rng.gen_range(0u64..1 << 10),
+        });
+    }
+    for _ in 0..rng.gen_range(0usize..4) {
+        r.queries.push(QueryStats {
+            name: name(rng, "q"),
+            firings: rng.gen_range(0u64..1 << 20),
+            consumed: rng.gen_range(0u64..1 << 30),
+            produced: rng.gen_range(0u64..1 << 30),
+            busy_micros: rng.gen_range(0u64..1 << 40),
+            lock_micros: rng.gen_range(0u64..1 << 30),
+            rows_scanned: rng.gen_range(0u64..1 << 40),
+            rows_out: rng.gen_range(0u64..1 << 30),
+            plan_micros: rng.gen_range(0u64..1 << 20),
+            subscribers: rng.gen_range(0u64..16),
+            delivered_batches: rng.gen_range(0u64..1 << 20),
+            delivered_tuples: rng.gen_range(0u64..1 << 30),
+            dropped_batches: rng.gen_range(0u64..1 << 10),
+            p50_micros: rng.gen_range(0u64..1 << 20),
+            p99_micros: rng.gen_range(0u64..1 << 20),
+            max_micros: rng.gen_range(0u64..1 << 20),
+        });
+    }
+    for _ in 0..rng.gen_range(0usize..3) {
+        r.receptors.push(ReceptorStats {
+            stream: name(rng, "s"),
+            port: rng.gen_range(1024u32..65536) as u16,
+            format: format_name(rng),
+            connections: rng.gen_range(0u64..16),
+            accepted: rng.gen_range(0u64..1 << 30),
+            rejected: rng.gen_range(0u64..1 << 10),
+        });
+    }
+    for _ in 0..rng.gen_range(0usize..3) {
+        r.emitters.push(EmitterStats {
+            query: name(rng, "q"),
+            port: rng.gen_range(1024u32..65536) as u16,
+            format: format_name(rng),
+            connections: rng.gen_range(0u64..16),
+            coalesced_batches: rng.gen_range(0u64..1 << 20),
+        });
+    }
+    for id in 0..rng.gen_range(0u64..4) {
+        let unreachable = rng.gen_bool(0.2);
+        r.shards.push(ShardStats {
+            id,
+            addr: addr(rng),
+            // an unreachable engine reports only its address — the load
+            // fields never reach the wire, so they must be zero to
+            // roundtrip (matching what parse reconstructs)
+            baskets_in: if unreachable {
+                0
+            } else {
+                rng.gen_range(0u64..1 << 30)
+            },
+            delivered_tuples: if unreachable {
+                0
+            } else {
+                rng.gen_range(0u64..1 << 30)
+            },
+            sessions: if unreachable { 0 } else { rng.gen_range(0u64..16) },
+            unreachable,
+        });
+    }
+    for id in 0..rng.gen_range(0u64..3) {
+        r.sessions.push(SessionStats {
+            id,
+            peer: addr(rng),
+            commands: rng.gen_range(0u64..1 << 20),
+        });
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn render_then_parse_is_identity(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = report(&mut rng);
+        let rendered = r.render();
+        let parsed = StatsReport::parse(&rendered).expect("rendered report must parse");
+        prop_assert_eq!(&r, &parsed, "wire body: {:#?}", rendered);
+    }
+
+    #[test]
+    fn rendered_reports_tokenize_line_by_line(seed in 0u64..u64::MAX) {
+        // every rendered line must survive a parse on its own too —
+        // consumers (and the router) slice report bodies apart
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = report(&mut rng);
+        for line in r.render() {
+            prop_assert!(
+                StatsReport::parse(std::slice::from_ref(&line)).is_ok(),
+                "line must tokenize: {line:?}"
+            );
+        }
+    }
+}

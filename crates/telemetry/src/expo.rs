@@ -1,0 +1,245 @@
+//! Prometheus text-exposition utilities: a small parser (enough to
+//! validate and merge the format this crate emits) and a series-wise
+//! merge used by the shard router to aggregate per-shard expositions.
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    /// Raw label list without braces (exactly as rendered), empty when
+    /// the series has no labels.
+    pub labels: String,
+    pub value: f64,
+}
+
+impl Sample {
+    /// The merge key: `name{labels}`.
+    pub fn key(&self) -> String {
+        if self.labels.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}{{{}}}", self.name, self.labels)
+        }
+    }
+}
+
+/// Parse exposition lines into samples. `#` comment lines and blank
+/// lines are skipped; any other malformed line is an error (this is the
+/// validity check the smoke tests rely on).
+pub fn parse_exposition<S: AsRef<str>>(lines: &[S]) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for line in lines {
+        let line = line.as_ref().trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_sample(line)?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (series, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("no value separator: {line:?}"))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("bad value in {line:?}"))?;
+    let series = series.trim_end();
+    let (name, labels) = match series.split_once('{') {
+        None => (series, ""),
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated labels: {line:?}"))?;
+            (name, labels)
+        }
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name: {line:?}"));
+    }
+    // Labels must be a comma-joined list of k="v" pairs; quotes inside
+    // values are backslash-escaped by the renderer.
+    if !labels.is_empty() {
+        let mut rest = labels;
+        loop {
+            let (_k, after_eq) = rest
+                .split_once("=\"")
+                .ok_or_else(|| format!("bad label pair: {line:?}"))?;
+            let close = find_unescaped_quote(after_eq)
+                .ok_or_else(|| format!("unterminated label value: {line:?}"))?;
+            rest = &after_eq[close + 1..];
+            if rest.is_empty() {
+                break;
+            }
+            rest = rest
+                .strip_prefix(',')
+                .ok_or_else(|| format!("bad label separator: {line:?}"))?;
+        }
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels: labels.to_string(),
+        value,
+    })
+}
+
+fn find_unescaped_quote(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Merge expositions from several shards by summing samples that share
+/// a `name{labels}` key. `# TYPE` lines are deduplicated and kept ahead
+/// of the first sample of their metric; sample order follows first
+/// occurrence. Summing `_bucket`/`_sum`/`_count` series is exactly the
+/// bucket-wise histogram merge. Malformed lines are passed through
+/// untouched (the router must not drop a shard's data on a parse
+/// hiccup).
+pub fn merge_expositions(parts: &[Vec<String>]) -> Vec<String> {
+    // key -> (order index, line prefix i.e. series text, summed value)
+    let mut order: Vec<String> = Vec::new();
+    let mut merged: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut passthrough: Vec<String> = Vec::new();
+    let mut comments: Vec<String> = Vec::new();
+    // comment key -> insert before this sample key
+    let mut comment_before: std::collections::HashMap<String, Vec<String>> =
+        std::collections::HashMap::new();
+    let mut pending_comments: Vec<String> = Vec::new();
+
+    for part in parts {
+        for line in part {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed.starts_with('#') {
+                if !comments.contains(&trimmed.to_string()) {
+                    comments.push(trimmed.to_string());
+                    pending_comments.push(trimmed.to_string());
+                }
+                continue;
+            }
+            match parse_sample(trimmed) {
+                Ok(s) => {
+                    let key = s.key();
+                    if let Some(v) = merged.get_mut(&key) {
+                        *v += s.value;
+                    } else {
+                        order.push(key.clone());
+                        merged.insert(key.clone(), s.value);
+                        if !pending_comments.is_empty() {
+                            comment_before.insert(key, std::mem::take(&mut pending_comments));
+                        }
+                    }
+                    pending_comments.clear();
+                }
+                Err(_) => passthrough.push(trimmed.to_string()),
+            }
+        }
+        pending_comments.clear();
+    }
+
+    let mut out = Vec::new();
+    for key in order {
+        if let Some(cs) = comment_before.remove(&key) {
+            out.extend(cs);
+        }
+        let v = merged[&key];
+        if v == v.trunc() && v.abs() < 9e15 {
+            out.push(format!("{key} {}", v as i64));
+        } else {
+            out.push(format!("{key} {v}"));
+        }
+    }
+    out.extend(passthrough);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_samples_with_and_without_labels() {
+        let lines = [
+            "# TYPE dc_fire_micros histogram",
+            "dc_fire_micros_bucket{query=\"hot\",le=\"1\"} 2",
+            "dc_fire_micros_sum{query=\"hot\"} 42",
+            "dc_uptime_micros 1234",
+            "",
+        ];
+        let samples = parse_exposition(&lines).unwrap();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "dc_fire_micros_bucket");
+        assert_eq!(samples[0].labels, "query=\"hot\",le=\"1\"");
+        assert_eq!(samples[0].value, 2.0);
+        assert_eq!(samples[2].key(), "dc_uptime_micros");
+        assert_eq!(
+            samples[1].key(),
+            "dc_fire_micros_sum{query=\"hot\"}"
+        );
+    }
+
+    #[test]
+    fn parses_escaped_quotes_in_label_values() {
+        let s = parse_sample("m{k=\"a\\\"b\"} 1").unwrap();
+        assert_eq!(s.labels, "k=\"a\\\"b\"");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_exposition(&["no_value"]).is_err());
+        assert!(parse_exposition(&["m{unterminated 1"]).is_err());
+        assert!(parse_exposition(&["m{k=\"v\"} notanumber"]).is_err());
+        assert!(parse_exposition(&["bad name{} 1"]).is_err());
+        assert!(parse_exposition(&["m{k=v} 1"]).is_err());
+    }
+
+    #[test]
+    fn merge_sums_identical_series_and_dedups_comments() {
+        let a = vec![
+            "# TYPE dc_fire_micros histogram".to_string(),
+            "dc_fire_micros_bucket{query=\"q\",le=\"1\"} 1".to_string(),
+            "dc_fire_micros_count{query=\"q\"} 1".to_string(),
+        ];
+        let b = vec![
+            "# TYPE dc_fire_micros histogram".to_string(),
+            "dc_fire_micros_bucket{query=\"q\",le=\"1\"} 2".to_string(),
+            "dc_fire_micros_count{query=\"q\"} 2".to_string(),
+            "dc_shard_only_total 5".to_string(),
+        ];
+        let merged = merge_expositions(&[a, b]);
+        assert_eq!(
+            merged,
+            vec![
+                "# TYPE dc_fire_micros histogram",
+                "dc_fire_micros_bucket{query=\"q\",le=\"1\"} 3",
+                "dc_fire_micros_count{query=\"q\"} 3",
+                "dc_shard_only_total 5",
+            ]
+        );
+    }
+
+    #[test]
+    fn merged_output_reparses() {
+        let a = vec!["m{k=\"v\"} 1.5".to_string()];
+        let b = vec!["m{k=\"v\"} 1.25".to_string()];
+        let merged = merge_expositions(&[a, b]);
+        let samples = parse_exposition(&merged).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].value, 2.75);
+    }
+}

@@ -1,0 +1,269 @@
+//! The log-bucketed latency histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Finite buckets. Bucket `i` covers `(2^(i-1), 2^i]` microseconds
+/// (bucket 0 covers `[0, 1]`); one extra overflow bucket catches
+/// anything above `2^(BUCKETS-1)`.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a value: 0 for `v <= 1`, else the position of the
+/// highest set bit of `v - 1` plus one, capped at the overflow bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        (64 - (v - 1).leading_zeros() as usize).min(BUCKETS)
+    }
+}
+
+/// Inclusive upper bound of finite bucket `i` (`2^i`; bucket 0 → 1).
+#[inline]
+pub fn bucket_bound(i: usize) -> u64 {
+    1u64 << i.min(63)
+}
+
+/// Fixed-layout log-bucketed histogram of `u64` samples (microseconds
+/// by convention). All counters are relaxed atomics: `record` is
+/// wait-free and never takes a lock, so many threads can record into
+/// one histogram concurrently.
+pub struct Histogram {
+    /// `BUCKETS` finite buckets plus one overflow bucket.
+    buckets: [AtomicU64; BUCKETS + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Arc<Histogram> {
+        Arc::new(Histogram::default())
+    }
+
+    /// Record one sample. One index computation + four relaxed atomics.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough point-in-time copy (buckets are read one by
+    /// one; a concurrent `record` may straddle the reads, which is fine
+    /// for monitoring).
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`] — the mergeable, quantilable
+/// form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// `BUCKETS + 1` counts (finite buckets then overflow).
+    pub buckets: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Bucket-wise add — the cluster-side histogram aggregation.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Upper bound of the bucket holding quantile `q` (0..=1) — the
+    /// usual log-bucket quantile estimate. The top finite estimate is
+    /// clamped to the observed max so p99/max stay ordered.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i >= BUCKETS {
+                    self.max
+                } else {
+                    bucket_bound(i).min(self.max)
+                };
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Append Prometheus text-format series for this histogram:
+    /// cumulative `_bucket{..., le="..."}` lines up to the highest
+    /// non-empty bucket plus `+Inf`, then `_sum` and `_count`.
+    /// `labels` is the pre-rendered label list without braces (may be
+    /// empty).
+    pub fn render_into(&self, out: &mut Vec<String>, name: &str, labels: &str) {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let highest = self
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| i.min(BUCKETS - 1))
+            .unwrap_or(0);
+        let mut cum = 0u64;
+        for i in 0..=highest {
+            cum += self.buckets.get(i).copied().unwrap_or(0);
+            out.push(format!(
+                "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cum}",
+                bucket_bound(i)
+            ));
+        }
+        out.push(format!(
+            "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+            self.count
+        ));
+        let plain = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        out.push(format!("{name}_sum{plain} {}", self.sum));
+        out.push(format!("{name}_count{plain} {}", self.count));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS);
+        // every value lands in the bucket whose bound covers it
+        for v in [0u64, 1, 2, 7, 100, 4096, 1 << 40] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_bound(i), "v={v} i={i}");
+            if i > 0 && i < BUCKETS {
+                assert!(v > bucket_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_snapshot_quantile() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 10, 100, 1000, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 6116);
+        assert_eq!(s.max, 5000);
+        assert!(s.p50() >= 3 && s.p50() <= 16, "{}", s.p50());
+        assert!(s.p99() >= 1000, "{}", s.p99());
+        assert!(s.p99() <= s.max);
+        assert_eq!(s.quantile(1.0), 5000);
+    }
+
+    #[test]
+    fn empty_snapshot_quantiles_are_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn merge_is_bucket_wise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 100] {
+            a.record(v);
+        }
+        for v in [100u64, 100, 1 << 50] {
+            b.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 5);
+        assert_eq!(m.sum, 1 + 100 + 100 + 100 + (1 << 50));
+        assert_eq!(m.max, 1 << 50);
+        assert_eq!(m.buckets[bucket_index(100)], 3);
+    }
+
+    #[test]
+    fn render_emits_cumulative_buckets() {
+        let h = Histogram::new();
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        let mut out = Vec::new();
+        h.snapshot().render_into(&mut out, "m", "q=\"x\"");
+        assert_eq!(
+            out,
+            vec![
+                "m_bucket{q=\"x\",le=\"1\"} 1",
+                "m_bucket{q=\"x\",le=\"2\"} 2",
+                "m_bucket{q=\"x\",le=\"4\"} 3",
+                "m_bucket{q=\"x\",le=\"+Inf\"} 3",
+                "m_sum{q=\"x\"} 6",
+                "m_count{q=\"x\"} 3",
+            ]
+        );
+    }
+
+    #[test]
+    fn render_without_labels() {
+        let h = Histogram::new();
+        h.record(1);
+        let mut out = Vec::new();
+        h.snapshot().render_into(&mut out, "m", "");
+        assert_eq!(out[0], "m_bucket{le=\"1\"} 1");
+        assert_eq!(out[2], "m_sum 1");
+    }
+}

@@ -1,0 +1,66 @@
+//! # dctrace — latency telemetry for the DataCell pipeline
+//!
+//! A low-overhead, lock-light metrics and tracing layer. Three pieces:
+//!
+//! * **[`Histogram`]** — a fixed-layout log-bucketed (HDR-style)
+//!   latency histogram: 64 power-of-two buckets plus an overflow
+//!   bucket, all plain atomic counters. `record` is one index
+//!   computation and three relaxed atomic adds — cheap enough for the
+//!   firing hot path. Snapshots quantile (p50/p99), merge bucket-wise
+//!   (the cluster aggregation primitive) and render as Prometheus
+//!   `_bucket`/`_sum`/`_count` series.
+//! * **[`Telemetry`]** — the handle threaded through the engine. A
+//!   disabled handle is a `None` and every probe constructor
+//!   short-circuits, so the hot path pays one branch when telemetry is
+//!   off and one atomic add per event when on. The handle owns a
+//!   registry of named metrics ([`Telemetry::render`] emits the whole
+//!   exposition) and the process [`FlightRecorder`].
+//! * **[`FlightRecorder`]** — a fixed-size ring of recent structured
+//!   [`TraceEvent`]s (firing start/end, backpressure waits,
+//!   compactions, re-executes, coalescing, forwarder saturation),
+//!   dumpable (`TRACE DUMP`) and streamable live to subscriber taps
+//!   (`TRACE QUERY <name> ON`).
+//!
+//! Probes ([`BasketProbe`], [`FireProbe`], [`EmitterProbe`]) bundle the
+//! histograms + counters one instrumented object needs, so the engine
+//! stores a single `Option<Arc<...>>` per basket/factory/emitter.
+//!
+//! The exposition side includes a tiny parser ([`parse_exposition`])
+//! and a series-wise merge ([`merge_expositions`]) — summing
+//! `_bucket` samples of identical label sets is exactly the bucket-wise
+//! histogram add the shard router needs.
+
+mod expo;
+mod hist;
+mod probe;
+mod recorder;
+mod registry;
+
+pub use expo::{merge_expositions, parse_exposition, Sample};
+pub use hist::{bucket_bound, bucket_index, HistSnapshot, Histogram, BUCKETS};
+pub use probe::{BasketProbe, EmitterProbe, FireProbe};
+pub use recorder::{FlightRecorder, TraceEvent, TRACE_RING_CAP};
+pub use registry::Telemetry;
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-relative monotonic clock, microseconds. Never returns 0, so
+/// `0` can mean "unset" in watermark slots.
+pub fn now_micros() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    (START.get_or_init(Instant::now).elapsed().as_micros() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_micros_is_monotonic_and_nonzero() {
+        let a = now_micros();
+        let b = now_micros();
+        assert!(a >= 1);
+        assert!(b >= a);
+    }
+}

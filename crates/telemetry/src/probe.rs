@@ -1,0 +1,318 @@
+//! Probes: the per-object bundles of histograms, counters and recorder
+//! handles the engine stores. Constructors take a [`Telemetry`] handle
+//! and return `None` when it is disabled, so instrumented code stores
+//! one `Option<Arc<...>>` and pays a single branch on the off path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::hist::Histogram;
+use crate::recorder::FlightRecorder;
+use crate::registry::Telemetry;
+use crate::now_micros;
+
+/// Instrumentation for one basket (stream): dwell-time histogram, an
+/// ingest watermark for end-to-end latency, and backpressure /
+/// compaction counters + events.
+pub struct BasketProbe {
+    stream: String,
+    dwell: Arc<Histogram>,
+    append: Arc<Histogram>,
+    backpressure_waits: Arc<AtomicU64>,
+    compactions: Arc<AtomicU64>,
+    /// Ingest timestamp ([`now_micros`]) of the oldest batch appended
+    /// since the basket was last drained; `0` = unset. One CAS per
+    /// batch, not per tuple.
+    watermark: AtomicU64,
+    recorder: Arc<FlightRecorder>,
+}
+
+impl BasketProbe {
+    /// `None` when telemetry is disabled.
+    pub fn new(t: &Telemetry, stream: &str) -> Option<Arc<BasketProbe>> {
+        let labels = &[("stream", stream)][..];
+        Some(Arc::new(BasketProbe {
+            stream: stream.to_string(),
+            dwell: t.histogram("dc_basket_dwell_micros", labels)?,
+            append: t.histogram("dc_receptor_append_micros", labels)?,
+            backpressure_waits: t.counter("dc_backpressure_waits_total", labels)?,
+            compactions: t.counter("dc_compactions_total", labels)?,
+            watermark: AtomicU64::new(0),
+            recorder: t.recorder()?,
+        }))
+    }
+
+    /// Stamp the ingest watermark if unset. Call once per appended
+    /// batch.
+    #[inline]
+    pub fn note_append(&self) {
+        let _ = self.watermark.compare_exchange(
+            0,
+            now_micros(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Time taken by the server to wait for capacity + append one
+    /// batch.
+    #[inline]
+    pub fn note_append_micros(&self, micros: u64) {
+        self.append.record(micros);
+    }
+
+    /// Consume the watermark (oldest pending ingest timestamp, `0` if
+    /// none) and record the dwell time the consumed tuples spent in the
+    /// basket. Call when a firing drains/deletes from the basket.
+    pub fn take_watermark(&self) -> u64 {
+        let w = self.watermark.swap(0, Ordering::Relaxed);
+        if w != 0 {
+            self.dwell.record(now_micros().saturating_sub(w));
+        }
+        w
+    }
+
+    /// Current watermark without consuming it (`0` = unset).
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Relaxed)
+    }
+
+    /// A producer blocked on basket capacity for `micros`.
+    pub fn note_backpressure(&self, micros: u64) {
+        self.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+        self.recorder.record(
+            "backpressure_wait",
+            None,
+            format!("stream={} wait_micros={micros}", self.stream),
+        );
+    }
+
+    /// The basket compacted away `rows` logically-deleted rows.
+    pub fn note_compaction(&self, rows: usize) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.recorder.record(
+            "compaction",
+            None,
+            format!("stream={} rows={rows}", self.stream),
+        );
+    }
+}
+
+/// Instrumentation for one continuous query factory: per-phase fire
+/// histograms, end-to-end tuple latency, re-execute counter, and
+/// firing events.
+pub struct FireProbe {
+    query: String,
+    lock: Arc<Histogram>,
+    snapshot: Arc<Histogram>,
+    execute: Arc<Histogram>,
+    apply: Arc<Histogram>,
+    total: Arc<Histogram>,
+    tuple_latency: Arc<Histogram>,
+    reexecutes: Arc<AtomicU64>,
+    recorder: Arc<FlightRecorder>,
+}
+
+impl FireProbe {
+    /// `None` when telemetry is disabled.
+    pub fn new(t: &Telemetry, query: &str) -> Option<Arc<FireProbe>> {
+        let q = &[("query", query)][..];
+        let phase = |p: &str| {
+            t.histogram("dc_fire_phase_micros", &[("query", query), ("phase", p)])
+        };
+        Some(Arc::new(FireProbe {
+            query: query.to_string(),
+            lock: phase("lock")?,
+            snapshot: phase("snapshot")?,
+            execute: phase("execute")?,
+            apply: phase("apply")?,
+            total: t.histogram("dc_fire_micros", q)?,
+            tuple_latency: t.histogram("dc_tuple_latency_micros", q)?,
+            reexecutes: t.counter("dc_reexecutes_total", q)?,
+            recorder: t.recorder()?,
+        }))
+    }
+
+    /// A firing began.
+    pub fn note_fire_start(&self) {
+        self.recorder
+            .record("fire_start", Some(&self.query), String::new());
+    }
+
+    /// Snapshots changed under execution; the factory re-ran the plan.
+    pub fn note_reexecute(&self) {
+        self.reexecutes.fetch_add(1, Ordering::Relaxed);
+        self.recorder
+            .record("reexecute", Some(&self.query), String::new());
+    }
+
+    /// Record one completed firing: the phase breakdown, the total, the
+    /// end-to-end tuple latency (when an ingest `watermark` was
+    /// pending), and a `fire_end` event carrying the report.
+    #[allow(clippy::too_many_arguments)]
+    pub fn note_fire_end(
+        &self,
+        lock_micros: u64,
+        snapshot_micros: u64,
+        execute_micros: u64,
+        apply_micros: u64,
+        total_micros: u64,
+        watermark: u64,
+        rows_scanned: u64,
+        rows_out: u64,
+    ) {
+        self.lock.record(lock_micros);
+        self.snapshot.record(snapshot_micros);
+        self.execute.record(execute_micros);
+        self.apply.record(apply_micros);
+        self.total.record(total_micros);
+        if watermark != 0 {
+            self.tuple_latency
+                .record(now_micros().saturating_sub(watermark));
+        }
+        self.recorder.record(
+            "fire_end",
+            Some(&self.query),
+            format!(
+                "total_micros={total_micros} lock_micros={lock_micros} \
+                 snapshot_micros={snapshot_micros} execute_micros={execute_micros} \
+                 apply_micros={apply_micros} rows_scanned={rows_scanned} rows_out={rows_out}"
+            ),
+        );
+    }
+}
+
+/// Instrumentation for one emitter: encode→socket-write histogram and
+/// slow-subscriber coalescing counter + events.
+pub struct EmitterProbe {
+    query: String,
+    write: Arc<Histogram>,
+    coalesced: Arc<AtomicU64>,
+    recorder: Arc<FlightRecorder>,
+}
+
+impl EmitterProbe {
+    /// `None` when telemetry is disabled.
+    pub fn new(t: &Telemetry, query: &str) -> Option<Arc<EmitterProbe>> {
+        let q = &[("query", query)][..];
+        Some(Arc::new(EmitterProbe {
+            query: query.to_string(),
+            write: t.histogram("dc_emitter_write_micros", q)?,
+            coalesced: t.counter("dc_coalesced_batches_total", q)?,
+            recorder: t.recorder()?,
+        }))
+    }
+
+    /// One socket write (encode included) took `micros`.
+    #[inline]
+    pub fn note_write(&self, micros: u64) {
+        self.write.record(micros);
+    }
+
+    /// A slow subscriber caused `merged` queued batches to coalesce
+    /// into one write.
+    pub fn note_coalesce(&self, merged: u64) {
+        self.coalesced.fetch_add(merged, Ordering::Relaxed);
+        self.recorder.record(
+            "coalesce",
+            Some(&self.query),
+            format!("merged_batches={merged}"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_are_none_when_disabled() {
+        let t = Telemetry::disabled();
+        assert!(BasketProbe::new(&t, "s").is_none());
+        assert!(FireProbe::new(&t, "q").is_none());
+        assert!(EmitterProbe::new(&t, "q").is_none());
+    }
+
+    #[test]
+    fn basket_probe_watermark_and_dwell() {
+        let t = Telemetry::enabled();
+        let p = BasketProbe::new(&t, "trades").unwrap();
+        assert_eq!(p.watermark(), 0);
+        assert_eq!(p.take_watermark(), 0, "no dwell sample without appends");
+        p.note_append();
+        let w = p.watermark();
+        assert!(w > 0);
+        p.note_append();
+        assert_eq!(p.watermark(), w, "watermark keeps the oldest batch stamp");
+        assert_eq!(p.take_watermark(), w);
+        assert_eq!(p.watermark(), 0, "consumed");
+        let snap = t
+            .hist_snapshot("dc_basket_dwell_micros", &[("stream", "trades")])
+            .unwrap();
+        assert_eq!(snap.count, 1);
+    }
+
+    #[test]
+    fn basket_probe_counts_and_events() {
+        let t = Telemetry::enabled();
+        let p = BasketProbe::new(&t, "trades").unwrap();
+        p.note_backpressure(120);
+        p.note_compaction(64);
+        p.note_append_micros(5);
+        let body = t.render();
+        assert!(body
+            .contains(&"dc_backpressure_waits_total{stream=\"trades\"} 1".to_string()));
+        assert!(body.contains(&"dc_compactions_total{stream=\"trades\"} 1".to_string()));
+        let dump = t.recorder().unwrap().dump(None);
+        assert!(dump.iter().any(|l| l.contains("kind=backpressure_wait")
+            && l.contains("wait_micros=120")));
+        assert!(dump.iter().any(|l| l.contains("kind=compaction") && l.contains("rows=64")));
+    }
+
+    #[test]
+    fn fire_probe_records_phases_and_events() {
+        let t = Telemetry::enabled();
+        let p = FireProbe::new(&t, "hot").unwrap();
+        p.note_fire_start();
+        p.note_reexecute();
+        p.note_fire_end(5, 2, 40, 3, 50, now_micros(), 100, 7);
+        let total = t.hist_snapshot("dc_fire_micros", &[("query", "hot")]).unwrap();
+        assert_eq!(total.count, 1);
+        assert_eq!(total.sum, 50);
+        let exec = t
+            .hist_snapshot("dc_fire_phase_micros", &[("query", "hot"), ("phase", "execute")])
+            .unwrap();
+        assert_eq!(exec.sum, 40);
+        let lat = t
+            .hist_snapshot("dc_tuple_latency_micros", &[("query", "hot")])
+            .unwrap();
+        assert_eq!(lat.count, 1, "watermark present → latency sample");
+        let dump = t.recorder().unwrap().dump(Some("hot"));
+        assert_eq!(dump.len(), 3);
+        assert!(dump[0].contains("kind=fire_start"));
+        assert!(dump[1].contains("kind=reexecute"));
+        assert!(dump[2].contains("kind=fire_end") && dump[2].contains("rows_out=7"));
+        // no watermark → no latency sample
+        p.note_fire_end(1, 1, 1, 1, 4, 0, 0, 0);
+        let lat = t
+            .hist_snapshot("dc_tuple_latency_micros", &[("query", "hot")])
+            .unwrap();
+        assert_eq!(lat.count, 1);
+    }
+
+    #[test]
+    fn emitter_probe_records_writes_and_coalescing() {
+        let t = Telemetry::enabled();
+        let p = EmitterProbe::new(&t, "hot").unwrap();
+        p.note_write(9);
+        p.note_coalesce(3);
+        let w = t
+            .hist_snapshot("dc_emitter_write_micros", &[("query", "hot")])
+            .unwrap();
+        assert_eq!(w.sum, 9);
+        assert!(t
+            .render()
+            .contains(&"dc_coalesced_batches_total{query=\"hot\"} 3".to_string()));
+        assert!(t.recorder().unwrap().dump(Some("hot"))[0].contains("merged_batches=3"));
+    }
+}

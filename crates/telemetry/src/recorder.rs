@@ -1,0 +1,212 @@
+//! The query flight recorder — a bounded ring of recent structured
+//! events, dumpable and live-streamable.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+use crate::now_micros;
+
+/// Events the ring holds before dropping oldest.
+pub const TRACE_RING_CAP: usize = 1024;
+
+/// One recorded pipeline event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic per-recorder sequence number.
+    pub seq: u64,
+    /// Process-relative timestamp, microseconds ([`now_micros`]).
+    pub t_micros: u64,
+    /// Event kind — `fire_start`, `fire_end`, `reexecute`,
+    /// `backpressure_wait`, `compaction`, `coalesce`,
+    /// `forward_saturation`, ...
+    pub kind: &'static str,
+    /// The continuous query involved, when the event has one (the
+    /// `TRACE DUMP QUERY <name>` / `TRACE QUERY <name> ON` filter key).
+    pub query: Option<String>,
+    /// Free-form `k=v` detail payload (single line).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// One-line wire rendering: `seq=.. t_micros=.. kind=.. [query=..] <detail>`.
+    pub fn render(&self) -> String {
+        let mut line = format!("seq={} t_micros={} kind={}", self.seq, self.t_micros, self.kind);
+        if let Some(q) = &self.query {
+            line.push_str(&format!(" query={q}"));
+        }
+        if !self.detail.is_empty() {
+            line.push(' ');
+            line.push_str(&self.detail);
+        }
+        line
+    }
+
+    fn matches(&self, query: Option<&str>) -> bool {
+        match query {
+            None => true,
+            Some(q) => self.query.as_deref() == Some(q),
+        }
+    }
+}
+
+/// A live subscriber: rendered events matching `filter` are pushed into
+/// `tx` as they are recorded.
+struct Tap {
+    filter: Option<String>,
+    tx: Sender<String>,
+}
+
+/// Fixed-size ring buffer of [`TraceEvent`]s plus a dynamic set of live
+/// taps. `record` takes one short mutex — events are per-firing /
+/// per-backpressure-wait, not per-tuple, so this is far off the hot
+/// path.
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<TraceEvent>>,
+    cap: usize,
+    seq: AtomicU64,
+    taps: Mutex<Vec<Tap>>,
+}
+
+impl FlightRecorder {
+    pub fn new(cap: usize) -> Arc<FlightRecorder> {
+        Arc::new(FlightRecorder {
+            ring: Mutex::new(VecDeque::with_capacity(cap.min(TRACE_RING_CAP))),
+            cap: cap.max(1),
+            seq: AtomicU64::new(0),
+            taps: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Record one event (oldest dropped beyond the cap); live taps with
+    /// a matching filter receive the rendered line, dead taps are
+    /// reaped.
+    pub fn record(&self, kind: &'static str, query: Option<&str>, detail: String) {
+        let event = TraceEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            t_micros: now_micros(),
+            kind,
+            query: query.map(str::to_string),
+            detail,
+        };
+        {
+            let mut taps = self.taps.lock().unwrap();
+            if !taps.is_empty() {
+                let mut line: Option<String> = None;
+                taps.retain(|tap| {
+                    if !event.matches(tap.filter.as_deref()) {
+                        return true;
+                    }
+                    let rendered = line.get_or_insert_with(|| event.render()).clone();
+                    tap.tx.send(rendered).is_ok()
+                });
+            }
+        }
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() >= self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Rendered events currently in the ring, oldest first, optionally
+    /// filtered to one query.
+    pub fn dump(&self, query: Option<&str>) -> Vec<String> {
+        self.ring
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.matches(query))
+            .map(TraceEvent::render)
+            .collect()
+    }
+
+    /// Events recorded so far (lifetime, not ring occupancy).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Attach a live tap: future events matching `filter` (None = all)
+    /// arrive rendered on the returned channel.
+    pub fn subscribe(&self, filter: Option<String>) -> Receiver<String> {
+        let (tx, rx) = channel();
+        self.taps.lock().unwrap().push(Tap { filter, tx });
+        rx
+    }
+
+    /// Drop taps whose filter matches `filter` exactly (None = drop
+    /// all) — subscribers drain what they already received, then their
+    /// channel ends. Returns how many taps were closed.
+    pub fn close_taps(&self, filter: Option<&str>) -> usize {
+        let mut taps = self.taps.lock().unwrap();
+        let before = taps.len();
+        match filter {
+            None => taps.clear(),
+            Some(f) => taps.retain(|t| t.filter.as_deref() != Some(f)),
+        }
+        before - taps.len()
+    }
+
+    pub fn tap_count(&self) -> usize {
+        self.taps.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let r = FlightRecorder::new(4);
+        for i in 0..6 {
+            r.record("fire_start", Some("q"), format!("i={i}"));
+        }
+        let dump = r.dump(None);
+        assert_eq!(dump.len(), 4);
+        assert!(dump[0].contains("seq=2 "), "{:?}", dump[0]);
+        assert!(dump[0].contains("i=2"));
+        assert!(dump[3].contains("i=5"));
+        assert_eq!(r.recorded(), 6);
+    }
+
+    #[test]
+    fn dump_filters_by_query() {
+        let r = FlightRecorder::new(16);
+        r.record("fire_end", Some("a"), "rows=1".into());
+        r.record("fire_end", Some("b"), "rows=2".into());
+        r.record("compaction", None, "rows=3".into());
+        assert_eq!(r.dump(Some("a")).len(), 1);
+        assert_eq!(r.dump(Some("b")).len(), 1);
+        assert_eq!(r.dump(None).len(), 3);
+        assert!(r.dump(Some("a"))[0].contains("query=a"));
+    }
+
+    #[test]
+    fn taps_stream_matching_events_live() {
+        let r = FlightRecorder::new(16);
+        let all = r.subscribe(None);
+        let only_a = r.subscribe(Some("a".into()));
+        r.record("fire_start", Some("a"), String::new());
+        r.record("fire_start", Some("b"), String::new());
+        assert!(all.try_recv().unwrap().contains("query=a"));
+        assert!(all.try_recv().unwrap().contains("query=b"));
+        assert!(only_a.try_recv().unwrap().contains("query=a"));
+        assert!(only_a.try_recv().is_err(), "filtered tap sees only its query");
+        assert_eq!(r.tap_count(), 2);
+        assert_eq!(r.close_taps(Some("a")), 1);
+        assert_eq!(r.tap_count(), 1);
+        r.close_taps(None);
+        assert_eq!(r.tap_count(), 0);
+    }
+
+    #[test]
+    fn dead_taps_are_reaped_on_record() {
+        let r = FlightRecorder::new(16);
+        let rx = r.subscribe(None);
+        drop(rx);
+        r.record("fire_start", None, String::new());
+        assert_eq!(r.tap_count(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The `Telemetry` handle and metric registry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::Histogram;
+use crate::recorder::{FlightRecorder, TRACE_RING_CAP};
+
+/// A registered series: metric name plus rendered label list (without
+/// braces), e.g. `("dc_fire_micros", "query=\"hot\"")`.
+type Key = (&'static str, String);
+
+struct Inner {
+    hists: Mutex<Vec<(Key, Arc<Histogram>)>>,
+    counters: Mutex<Vec<(Key, Arc<AtomicU64>)>>,
+    recorder: Arc<FlightRecorder>,
+}
+
+/// The handle threaded through the pipeline. Cloning shares the
+/// registry. A disabled handle carries no state: every accessor returns
+/// `None`, so instrumented code pays one branch (`Option` check on a
+/// stored probe) when telemetry is off.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+/// Render a label set as Prometheus `k="v"` pairs joined by commas.
+/// Label values are escaped per the exposition format.
+pub(crate) fn render_labels(labels: &[(&str, &str)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| {
+            let escaped = v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            format!("{k}=\"{escaped}\"")
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl Telemetry {
+    /// A live handle with an empty registry and a fresh flight
+    /// recorder.
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                hists: Mutex::new(Vec::new()),
+                counters: Mutex::new(Vec::new()),
+                recorder: FlightRecorder::new(TRACE_RING_CAP),
+            })),
+        }
+    }
+
+    /// The no-op handle: every accessor returns `None`.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register (or fetch) the histogram for `name{labels}`. `None`
+    /// when disabled — callers keep the `Arc` and record lock-free.
+    pub fn histogram(&self, name: &'static str, labels: &[(&str, &str)]) -> Option<Arc<Histogram>> {
+        let inner = self.inner.as_ref()?;
+        let key = (name, render_labels(labels));
+        let mut hists = inner.hists.lock().unwrap();
+        if let Some((_, h)) = hists.iter().find(|(k, _)| *k == key) {
+            return Some(Arc::clone(h));
+        }
+        let h = Histogram::new();
+        hists.push((key, Arc::clone(&h)));
+        Some(h)
+    }
+
+    /// Register (or fetch) the counter for `name{labels}`.
+    pub fn counter(&self, name: &'static str, labels: &[(&str, &str)]) -> Option<Arc<AtomicU64>> {
+        let inner = self.inner.as_ref()?;
+        let key = (name, render_labels(labels));
+        let mut counters = inner.counters.lock().unwrap();
+        if let Some((_, c)) = counters.iter().find(|(k, _)| *k == key) {
+            return Some(Arc::clone(c));
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        counters.push((key, Arc::clone(&c)));
+        Some(c)
+    }
+
+    /// The process flight recorder (`None` when disabled).
+    pub fn recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.inner.as_ref().map(|i| Arc::clone(&i.recorder))
+    }
+
+    /// Snapshot of one histogram's state by name + label subset match
+    /// (every pair in `labels` must appear in the series). Used by
+    /// `STATS` to summarize p50/p99/max without re-parsing exposition.
+    pub fn hist_snapshot(
+        &self,
+        name: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Option<crate::HistSnapshot> {
+        let inner = self.inner.as_ref()?;
+        let want = render_labels(labels);
+        let hists = inner.hists.lock().unwrap();
+        let (_, h) = hists.iter().find(|((n, l), _)| *n == name && *l == want)?;
+        Some(h.snapshot())
+    }
+
+    /// Render the whole registry as Prometheus text exposition:
+    /// `# TYPE` comment per metric name, histogram series
+    /// (`_bucket`/`_sum`/`_count`), then counters. Deterministic order:
+    /// registration order grouped by metric name.
+    pub fn render(&self) -> Vec<String> {
+        let Some(inner) = self.inner.as_ref() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let hists = inner.hists.lock().unwrap();
+        let mut typed: Vec<&'static str> = Vec::new();
+        for ((name, labels), h) in hists.iter() {
+            if !typed.contains(name) {
+                typed.push(name);
+                out.push(format!("# TYPE {name} histogram"));
+            }
+            h.snapshot().render_into(&mut out, name, labels);
+        }
+        drop(hists);
+        let counters = inner.counters.lock().unwrap();
+        let mut typed: Vec<&'static str> = Vec::new();
+        for ((name, labels), c) in counters.iter() {
+            if !typed.contains(name) {
+                typed.push(name);
+                out.push(format!("# TYPE {name} counter"));
+            }
+            let suffix = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            out.push(format!("{name}{suffix} {}", c.load(Ordering::Relaxed)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_returns_none_everywhere() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(t.histogram("m", &[]).is_none());
+        assert!(t.counter("c", &[]).is_none());
+        assert!(t.recorder().is_none());
+        assert!(t.render().is_empty());
+    }
+
+    #[test]
+    fn registry_dedups_series_and_renders() {
+        let t = Telemetry::enabled();
+        let h1 = t.histogram("dc_fire_micros", &[("query", "hot")]).unwrap();
+        let h2 = t.histogram("dc_fire_micros", &[("query", "hot")]).unwrap();
+        assert!(Arc::ptr_eq(&h1, &h2), "same series, same histogram");
+        h1.record(3);
+        let c = t.counter("dc_reexecutes_total", &[("query", "hot")]).unwrap();
+        c.fetch_add(2, Ordering::Relaxed);
+        let body = t.render();
+        assert!(body.contains(&"# TYPE dc_fire_micros histogram".to_string()), "{body:?}");
+        assert!(
+            body.contains(&"dc_fire_micros_count{query=\"hot\"} 1".to_string()),
+            "{body:?}"
+        );
+        assert!(
+            body.contains(&"dc_reexecutes_total{query=\"hot\"} 2".to_string()),
+            "{body:?}"
+        );
+        let snap = t.hist_snapshot("dc_fire_micros", &[("query", "hot")]).unwrap();
+        assert_eq!(snap.count, 1);
+        assert!(t.hist_snapshot("dc_fire_micros", &[("query", "cold")]).is_none());
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(render_labels(&[("k", "a\"b\\c")]), "k=\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        t.counter("c", &[]).unwrap().fetch_add(1, Ordering::Relaxed);
+        assert_eq!(u.render().last().unwrap(), "c 1");
+    }
+}
