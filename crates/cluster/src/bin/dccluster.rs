@@ -3,6 +3,7 @@
 //! ```text
 //! dccluster [--listen HOST:PORT] [--shards N] [--engine HOST:PORT]...
 //!           [--data-host HOST] [--backoff-us N]
+//!           [--data-dir PATH] [--fsync always|every_n:N|off] [--seal-rows N]
 //! ```
 //!
 //! Fronts N `datacelld` engines behind one control plane speaking the
@@ -10,6 +11,11 @@
 //! N` (default 2) in-process engines are spawned on ephemeral ports; each
 //! `--engine` adds an already-running remote `datacelld` as a shard
 //! instead.
+//!
+//! `--data-dir` enables durability on the in-process shards: shard `i`
+//! persists under `PATH/shard-i`, and `CREATE STREAM ... PERSIST [SHARD
+//! BY ...]` streams are write-ahead logged per shard. Remote engines
+//! manage their own `--data-dir`.
 
 use std::time::Duration;
 
@@ -44,12 +50,26 @@ fn main() {
                 Some(us) => config.engine.idle_backoff = Duration::from_micros(us),
                 None => die("--backoff-us requires a number"),
             },
+            "--data-dir" => match args.next() {
+                Some(v) => config.engine.data_dir = Some(v.into()),
+                None => die("--data-dir requires a path"),
+            },
+            "--fsync" => match args.next().map(|v| v.parse()) {
+                Some(Ok(policy)) => config.engine.fsync = policy,
+                Some(Err(e)) => die(&format!("--fsync: {e}")),
+                None => die("--fsync requires always|every_n:N|off"),
+            },
+            "--seal-rows" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.engine.seal_rows = n,
+                None => die("--seal-rows requires a number"),
+            },
             "--help" | "-h" => {
                 println!(
                     "dccluster [--listen HOST:PORT] [--shards N] [--engine HOST:PORT]...\n          \
-                     [--data-host HOST] [--backoff-us N]\n\n\
+                     [--data-host HOST] [--backoff-us N]\n          \
+                     [--data-dir PATH] [--fsync always|every_n:N|off] [--seal-rows N]\n\n\
                      Same control protocol as datacelld, plus:\n  \
-                     CREATE STREAM <name> (cols) SHARD BY (<col>) [SHARDS <n>]"
+                     CREATE STREAM <name> (cols) [PERSIST] SHARD BY (<col>) [SHARDS <n>]"
                 );
                 return;
             }

@@ -65,14 +65,21 @@ fn dispatch(rt: &Arc<ClusterRuntime>, request: &str) -> (Response, bool) {
     let result = match cmd {
         Command::Ping => Ok((Response::one("pong"), false)),
         Command::Ddl(sql) => rt.ddl(&sql).map(|b| (Response::Ok(b), false)),
+        Command::DdlPersist { ddl, stream } => rt
+            .create_persistent(&ddl, &stream)
+            .map(|b| (Response::Ok(b), false)),
         Command::DdlSharded {
             ddl,
             stream,
             key,
             shards,
+            persist,
         } => rt
-            .create_sharded(&ddl, &stream, &key, shards)
+            .create_sharded(&ddl, &stream, &key, shards, persist)
             .map(|b| (Response::Ok(b), false)),
+        Command::FlushStream { stream } => rt
+            .flush_stream(&stream)
+            .map(|n| (Response::one(format!("sealed_rows={n}")), false)),
         Command::Exec(sql) => rt.exec(&sql).map(|b| (Response::Ok(b), false)),
         Command::RegisterQuery { name, sql } => rt
             .register_query(&name, &sql)
@@ -91,6 +98,12 @@ fn dispatch(rt: &Arc<ClusterRuntime>, request: &str) -> (Response, bool) {
         } => rt
             .attach_emitter(&query, port, format)
             .map(|p| (Response::one(format!("port={p}")), false)),
+        Command::DetachReceptor { stream, port } => rt
+            .detach_receptor(&stream, port)
+            .map(|n| (Response::one(format!("detached={n}")), false)),
+        Command::DetachEmitter { query, port } => rt
+            .detach_emitter(&query, port)
+            .map(|n| (Response::one(format!("detached={n}")), false)),
         Command::Explain(sql) => rt.explain_sql(&sql).map(|b| (Response::Ok(b), false)),
         Command::ExplainQuery { name } => {
             rt.explain_query(&name).map(|b| (Response::Ok(b), false))

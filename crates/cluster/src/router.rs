@@ -109,6 +109,12 @@ pub struct ClusterReceptorPort {
     pub connections: AtomicU64,
     pub accepted: AtomicU64,
     pub rejected: AtomicU64,
+    /// `DETACH RECEPTOR` flips this; the accept loop exits, established
+    /// ingest connections drain until their peers hang up.
+    closed: Arc<AtomicBool>,
+    /// Shard-side binary receptor ports behind this logical port, so
+    /// DETACH can close them too — `(engine id, shard port)`.
+    shard_ports: Vec<(usize, u16)>,
 }
 
 /// A logical emitter port (router side).
@@ -118,6 +124,11 @@ pub struct ClusterEmitterPort {
     pub format: WireFormat,
     pub connections: AtomicU64,
     pub relay: Arc<FrameRelay>,
+    /// `DETACH EMITTER` flips this; existing subscribers keep their
+    /// streams until the taps see EOF.
+    closed: Arc<AtomicBool>,
+    /// Shard-side emitter ports behind this logical port.
+    shard_ports: Vec<(usize, u16)>,
     writers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -157,6 +168,9 @@ pub struct ClusterRuntime {
     failed_registers: Mutex<HashMap<String, String>>,
     receptors: Mutex<Vec<Arc<ClusterReceptorPort>>>,
     emitters: Mutex<Vec<Arc<ClusterEmitterPort>>>,
+    /// Emitter ports retired by `DETACH EMITTER`: their relays and
+    /// subscriber writers still need the shutdown drain/join.
+    detached_emitters: Mutex<Vec<Arc<ClusterEmitterPort>>>,
     trace_ports: Mutex<Vec<Arc<ClusterTracePort>>>,
     /// Router-local telemetry (forwarder-queue saturation); shard
     /// engines carry their own registries, merged by `metrics()`.
@@ -188,7 +202,16 @@ impl ClusterRuntime {
             .iter()
             .enumerate()
             .map(|(i, spec)| match spec {
-                ShardSpec::InProcess => ShardEngine::spawn_in_process(i, config.engine.clone()),
+                ShardSpec::InProcess => {
+                    // every in-process shard gets its own durability root:
+                    // persistent streams on different shards must never
+                    // share a WAL or manifest
+                    let mut engine_config = config.engine.clone();
+                    if let Some(root) = &engine_config.data_dir {
+                        engine_config.data_dir = Some(root.join(format!("shard-{i}")));
+                    }
+                    ShardEngine::spawn_in_process(i, engine_config)
+                }
                 ShardSpec::Remote(addr) => ShardEngine::connect_remote(i, addr),
             })
             .collect::<Result<Vec<_>>>()?;
@@ -209,6 +232,7 @@ impl ClusterRuntime {
             failed_registers: Mutex::new(HashMap::new()),
             receptors: Mutex::new(Vec::new()),
             emitters: Mutex::new(Vec::new()),
+            detached_emitters: Mutex::new(Vec::new()),
             trace_ports: Mutex::new(Vec::new()),
             ingress_threads: Mutex::new(Vec::new()),
             egress_threads: Mutex::new(Vec::new()),
@@ -272,7 +296,9 @@ impl ClusterRuntime {
         self.ensure_running()?;
         let (kind, name, schema) = parse_create(sql)?;
         match kind {
-            CreateKind::Stream => self.create_stream_entry(sql, &name, schema, None, Some(1)),
+            CreateKind::Stream => {
+                self.create_stream_entry(sql, &name, schema, None, Some(1), false)
+            }
             CreateKind::Table | CreateKind::Basket => {
                 let all: Vec<usize> = self.engines.iter().map(|e| e.id()).collect();
                 self.forward_create(&name, sql, sql, &all)?;
@@ -328,13 +354,28 @@ impl ClusterRuntime {
         Ok(())
     }
 
-    /// `CREATE STREAM ... SHARD BY (key) [SHARDS n]`.
+    /// `CREATE STREAM ... PERSIST` (unsharded): a single-shard durable
+    /// stream placed on the least-loaded engine. The shard engine does
+    /// the actual WAL/segment work — it must run with a `--data-dir`.
+    pub fn create_persistent(&self, ddl: &str, stream: &str) -> Result<Vec<String>> {
+        self.ensure_running()?;
+        let (kind, name, schema) = parse_create(ddl)?;
+        if kind != CreateKind::Stream || name != stream {
+            return Err(ServerError::Protocol(format!(
+                "PERSIST applies to CREATE STREAM {stream}, got {ddl:?}"
+            )));
+        }
+        self.create_stream_entry(ddl, stream, schema, None, Some(1), true)
+    }
+
+    /// `CREATE STREAM ... [PERSIST] SHARD BY (key) [SHARDS n]`.
     pub fn create_sharded(
         &self,
         ddl: &str,
         stream: &str,
         key: &str,
         shards: Option<usize>,
+        persist: bool,
     ) -> Result<Vec<String>> {
         self.ensure_running()?;
         let (kind, name, schema) = parse_create(ddl)?;
@@ -343,7 +384,7 @@ impl ClusterRuntime {
                 "SHARD BY applies to CREATE STREAM {stream}, got {ddl:?}"
             )));
         }
-        self.create_stream_entry(ddl, stream, schema, Some(key), shards)
+        self.create_stream_entry(ddl, stream, schema, Some(key), shards, persist)
     }
 
     /// Shared CREATE STREAM path. `key = None` → unsharded; `shards =
@@ -355,6 +396,7 @@ impl ClusterRuntime {
         schema: Schema,
         key: Option<&str>,
         shards: Option<usize>,
+        persist: bool,
     ) -> Result<Vec<String>> {
         let n = shards.unwrap_or(self.engines.len());
         if n == 0 || n > self.engines.len() {
@@ -390,7 +432,7 @@ impl ClusterRuntime {
             // the retry signature covers the shard clause too: a retry
             // with a different key or SHARDS count is a NEW declaration
             // colliding with the old attempt's leftovers, not a retry
-            let signature = format!("{ddl}#key={key:?}#shards={n}");
+            let signature = format!("{ddl}#key={key:?}#shards={n}#persist={persist}");
             // a same-declaration retry reuses the engine set of the
             // recorded partial attempt (fresh placement could strand its
             // baskets)
@@ -398,7 +440,14 @@ impl ClusterRuntime {
                 Some(prev) if prev.len() == n => prev,
                 _ => self.least_loaded(n),
             };
-            self.forward_create(stream, &signature, ddl, &engines)?;
+            // the shard clause stays router-side, but PERSIST travels to
+            // the shard engines: each shard keeps its own WAL + segments
+            let shard_ddl = if persist {
+                format!("{ddl} PERSIST")
+            } else {
+                ddl.to_string()
+            };
+            self.forward_create(stream, &signature, &shard_ddl, &engines)?;
             let entry = Arc::new(StreamEntry {
                 name: stream.to_string(),
                 schema,
@@ -408,11 +457,15 @@ impl ClusterRuntime {
             });
             self.streams.lock().insert(stream.to_string(), entry);
             let engine_list: Vec<String> = engines.iter().map(usize::to_string).collect();
-            Ok(vec![format!(
+            let mut line = format!(
                 "stream={stream} shards={n} key={} engines={}",
                 key.unwrap_or("-"),
                 engine_list.join(",")
-            )])
+            );
+            if persist {
+                line.push_str(" persistent=true");
+            }
+            Ok(vec![line])
         })();
         self.in_flight_creates.lock().remove(stream);
         result
@@ -477,6 +530,7 @@ impl ClusterRuntime {
             .get(name)
             .is_some_and(|prev| prev == sql);
         let mut engines = Vec::new();
+        let mut skipped: Vec<(usize, String)> = Vec::new();
         let mut kind = String::new();
         let mut first_err = None;
         for e in &self.engines {
@@ -496,7 +550,10 @@ impl ClusterRuntime {
                     if msg.contains("unknown name") {
                         // expected: this engine does not host a stream
                         // the query references (unsharded, placed
-                        // elsewhere) — the query has no results there
+                        // elsewhere) — the query has no results there.
+                        // Recorded so partial success is visible in the
+                        // response instead of silently narrowing fan-out
+                        skipped.push((e.id(), msg.replace(['\n', '\r'], " ")));
                         if first_err.is_none() {
                             first_err = Some(err);
                         }
@@ -542,10 +599,35 @@ impl ClusterRuntime {
                 kind: kind.clone(),
             }),
         );
-        Ok(vec![format!(
-            "query={name} kind={kind} engines={}",
-            engine_list.join(",")
-        )])
+        // partial success is explicit: the summary line counts the
+        // engines that declined, and one detail line per declined
+        // engine carries its exact error
+        let mut body = vec![format!(
+            "query={name} kind={kind} engines={} skipped={}",
+            engine_list.join(","),
+            skipped.len()
+        )];
+        for (eid, msg) in &skipped {
+            body.push(format!("skipped engine={eid} error={msg}"));
+        }
+        Ok(body)
+    }
+
+    /// `FLUSH STREAM <name>`: seal every shard's open basket rows into
+    /// segments. Returns the total rows sealed across shards.
+    pub fn flush_stream(&self, stream: &str) -> Result<u64> {
+        self.ensure_running()?;
+        let entry = self
+            .streams
+            .lock()
+            .get(stream)
+            .cloned()
+            .ok_or_else(|| ServerError::Unknown(format!("stream {stream}")))?;
+        let mut sealed = 0u64;
+        for &eid in &entry.engines {
+            sealed += self.engines[eid].control(|c| c.flush_stream(stream))?;
+        }
+        Ok(sealed)
     }
 
     /// `EXPLAIN <sql>`: plan compilation is identical on every engine
@@ -587,21 +669,32 @@ impl ClusterRuntime {
             .cloned()
             .ok_or_else(|| ServerError::Unknown(format!("stream {stream}")))?;
         // bind the logical port FIRST: a bad local port (in use,
-        // privileged) must fail before any engine-side port is attached.
-        // This covers the common local failure only — a failure partway
-        // through the per-engine loop below still leaks already-attached
-        // shard-side ports (no DETACH in the protocol yet; see ROADMAP)
+        // privileged) must fail before any engine-side port is attached
         let listener = TcpListener::bind((self.config.data_host.as_str(), port))?;
         listener.set_nonblocking(true)?;
         let bound = listener.local_addr()?.port();
         // shard-side ingest is always binary: the router has columnar
-        // batches in hand, whatever the client-facing format
-        let mut shard_addrs = Vec::with_capacity(entry.engines.len());
+        // batches in hand, whatever the client-facing format. A failure
+        // partway through the loop detaches the shard ports already
+        // attached — no engine-side port outlives a failed ATTACH
+        let mut shard_ports: Vec<(usize, u16)> = Vec::with_capacity(entry.engines.len());
         for &eid in &entry.engines {
-            let p = self.engines[eid]
-                .control(|c| c.attach_receptor_fmt(stream, 0, WireFormat::Binary))?;
-            shard_addrs.push(self.engines[eid].data_addr(p));
+            match self.engines[eid]
+                .control(|c| c.attach_receptor_fmt(stream, 0, WireFormat::Binary))
+            {
+                Ok(p) => shard_ports.push((eid, p)),
+                Err(e) => {
+                    for &(peid, pp) in &shard_ports {
+                        let _ = self.engines[peid].control(|c| c.detach_receptor(stream, pp));
+                    }
+                    return Err(e);
+                }
+            }
         }
+        let shard_addrs: Vec<_> = shard_ports
+            .iter()
+            .map(|&(eid, p)| self.engines[eid].data_addr(p))
+            .collect();
         let rport = Arc::new(ClusterReceptorPort {
             stream: stream.to_string(),
             port: bound,
@@ -609,6 +702,8 @@ impl ClusterRuntime {
             connections: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            closed: Arc::new(AtomicBool::new(false)),
+            shard_ports,
         });
         self.receptors.lock().push(Arc::clone(&rport));
 
@@ -618,7 +713,7 @@ impl ClusterRuntime {
             .name(format!("dcc-rcpt-{stream}"))
             .spawn(move || {
                 let mut conns: Vec<JoinHandle<()>> = Vec::new();
-                while !rt.is_stopping() {
+                while !rt.is_stopping() && !accept_port.closed.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((sock, _peer)) => {
                             accept_port.connections.fetch_add(1, Ordering::AcqRel);
@@ -678,11 +773,26 @@ impl ClusterRuntime {
         // subscribe to each shard in the *client's* format, so merging is
         // a byte relay — frames are never decoded in the router; attach
         // every shard port before spawning taps so a failure mid-list
-        // leaves no thread behind
+        // leaves no thread behind, and detach the shard ports already
+        // attached so none leaks on a partial failure
+        let mut shard_ports: Vec<(usize, u16)> = Vec::with_capacity(entry.engines.len());
         let mut shard_socks = Vec::with_capacity(entry.engines.len());
         for &eid in &entry.engines {
-            let p = self.engines[eid].control(|c| c.attach_emitter_fmt(query, 0, format))?;
-            shard_socks.push((eid, TcpStream::connect(self.engines[eid].data_addr(p))?));
+            let attempt = self.engines[eid]
+                .control(|c| c.attach_emitter_fmt(query, 0, format))
+                .and_then(|p| {
+                    shard_ports.push((eid, p));
+                    Ok(TcpStream::connect(self.engines[eid].data_addr(p))?)
+                });
+            match attempt {
+                Ok(sock) => shard_socks.push((eid, sock)),
+                Err(e) => {
+                    for &(peid, pp) in &shard_ports {
+                        let _ = self.engines[peid].control(|c| c.detach_emitter(query, pp));
+                    }
+                    return Err(e);
+                }
+            }
         }
         for (eid, sock) in shard_socks {
             let rt = Arc::clone(self);
@@ -699,6 +809,8 @@ impl ClusterRuntime {
             format,
             connections: AtomicU64::new(0),
             relay,
+            closed: Arc::new(AtomicBool::new(false)),
+            shard_ports,
             writers: Mutex::new(Vec::new()),
         });
         self.emitters.lock().push(Arc::clone(&eport));
@@ -708,7 +820,7 @@ impl ClusterRuntime {
         let handle = std::thread::Builder::new()
             .name(format!("dcc-emit-{query}"))
             .spawn(move || {
-                while !rt.is_stopping() {
+                while !rt.is_stopping() && !accept_port.closed.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((sock, _peer)) => {
                             accept_port.connections.fetch_add(1, Ordering::AcqRel);
@@ -732,6 +844,67 @@ impl ClusterRuntime {
             .expect("spawn router emitter accept thread");
         self.egress_threads.lock().push(handle);
         Ok(bound)
+    }
+
+    // ---- detach: close logical ports + their shard-side ports ------------
+
+    /// `DETACH RECEPTOR <stream> PORT <p>`: retire the logical port and
+    /// close the shard-side receptor ports behind it. Established ingest
+    /// connections drain until their peers hang up. Returns how many
+    /// shard-side ports were detached.
+    pub fn detach_receptor(&self, stream: &str, port: u16) -> Result<usize> {
+        let rport = {
+            let mut receptors = self.receptors.lock();
+            let idx = receptors
+                .iter()
+                .position(|r| r.stream == stream && r.port == port)
+                .ok_or_else(|| {
+                    ServerError::Unknown(format!("receptor {stream} on port {port}"))
+                })?;
+            receptors.remove(idx)
+        };
+        rport.closed.store(true, Ordering::Release);
+        let mut detached = 0usize;
+        for &(eid, p) in &rport.shard_ports {
+            if self.engines[eid]
+                .control(|c| c.detach_receptor(stream, p))
+                .is_ok()
+            {
+                detached += 1;
+            }
+        }
+        Ok(detached)
+    }
+
+    /// `DETACH EMITTER <query> PORT <p>`: retire the logical port and
+    /// close the shard-side emitter ports behind it. Existing
+    /// subscribers keep their streams (the shard taps run until EOF);
+    /// the retired port is kept aside so shutdown still drains its
+    /// relay and joins its writers. Returns how many shard-side ports
+    /// were detached.
+    pub fn detach_emitter(&self, query: &str, port: u16) -> Result<usize> {
+        let eport = {
+            let mut emitters = self.emitters.lock();
+            let idx = emitters
+                .iter()
+                .position(|e| e.query == query && e.port == port)
+                .ok_or_else(|| {
+                    ServerError::Unknown(format!("emitter {query} on port {port}"))
+                })?;
+            emitters.remove(idx)
+        };
+        eport.closed.store(true, Ordering::Release);
+        let mut detached = 0usize;
+        for &(eid, p) in &eport.shard_ports {
+            if self.engines[eid]
+                .control(|c| c.detach_emitter(query, p))
+                .is_ok()
+            {
+                detached += 1;
+            }
+        }
+        self.detached_emitters.lock().push(eport);
+        Ok(detached)
     }
 
     // ---- telemetry -------------------------------------------------------
@@ -924,6 +1097,7 @@ impl ClusterRuntime {
             let (mut len, mut total_in, mut total_out, mut dropped) = (0u64, 0u64, 0u64, 0u64);
             let (mut high_water, mut cap) = (0u64, 0u64);
             let (mut pending_deletes, mut compactions) = (0u64, 0u64);
+            let (mut persistent, mut wal_bytes, mut segments) = (false, 0u64, 0u64);
             for &eid in &s.engines {
                 if let Some(b) = reports[eid].as_ref().and_then(|r| r.basket(&s.name)) {
                     len += b.len;
@@ -934,12 +1108,16 @@ impl ClusterRuntime {
                     cap = cap.max(b.cap);
                     pending_deletes += b.pending_deletes;
                     compactions += b.compactions;
+                    persistent |= b.persistent;
+                    wal_bytes += b.wal_bytes;
+                    segments += b.segments;
                 }
             }
             body.push(format!(
                 "basket {} len={len} enabled=true in={total_in} out={total_out} \
                  dropped={dropped} high_water={high_water} cap={cap} \
-                 pending_deletes={pending_deletes} compactions={compactions}",
+                 pending_deletes={pending_deletes} compactions={compactions} \
+                 persistent={persistent} wal_bytes={wal_bytes} segments={segments}",
                 s.name
             ));
         }
@@ -978,11 +1156,12 @@ impl ClusterRuntime {
                 .filter(|e| e.query == q.name)
                 .map(|e| e.relay.subscriber_count())
                 .sum();
+            let engine_list: Vec<String> = q.engines.iter().map(usize::to_string).collect();
             body.push(format!(
                 "query {} firings={} consumed={} produced={} busy_micros={} lock_micros={} \
                  rows_scanned={} rows_out={} plan_micros={} \
                  subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={} \
-                 p50_micros={} p99_micros={} max_micros={}",
+                 p50_micros={} p99_micros={} max_micros={} engines={}",
                 agg.name,
                 agg.firings,
                 agg.consumed,
@@ -999,6 +1178,7 @@ impl ClusterRuntime {
                 agg.p50_micros,
                 agg.p99_micros,
                 agg.max_micros,
+                engine_list.join(","),
             ));
         }
         for r in receptors.iter() {
@@ -1075,8 +1255,11 @@ impl ClusterRuntime {
         for t in std::mem::take(&mut *self.egress_threads.lock()) {
             let _ = t.join();
         }
-        // 4. disconnect subscriber channels and join the writers
-        let eports: Vec<Arc<ClusterEmitterPort>> = self.emitters.lock().clone();
+        // 4. disconnect subscriber channels and join the writers —
+        //    DETACHed emitter ports included, their subscribers may
+        //    still be draining
+        let mut eports: Vec<Arc<ClusterEmitterPort>> = self.emitters.lock().clone();
+        eports.extend(self.detached_emitters.lock().drain(..));
         for eport in &eports {
             eport.relay.close();
         }

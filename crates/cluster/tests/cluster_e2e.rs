@@ -439,3 +439,135 @@ fn explain_routes_through_the_router() {
     c.shutdown().unwrap();
     cluster_thread.join().unwrap();
 }
+
+#[test]
+fn detach_fans_out_to_every_shard() {
+    let (addr, cluster_thread) = boot_cluster(2);
+    let mut c = ShardedClient::connect(addr).unwrap();
+    c.create_sharded_stream("S", "(id int, v int)", "id", None)
+        .unwrap();
+    c.register_query("all", "select id from [select * from S] as Z")
+        .unwrap();
+    let rport = c.attach_receptor("S", 0).unwrap();
+    let eport = c.attach_emitter("all", 0).unwrap();
+
+    // each logical port fronts one shard-side port per engine; DETACH
+    // reports how many of those it closed
+    let body = c.request(&format!("DETACH RECEPTOR S PORT {rport}")).unwrap();
+    assert_eq!(body, vec!["detached=2".to_string()]);
+    let body = c.request(&format!("DETACH EMITTER all PORT {eport}")).unwrap();
+    assert_eq!(body, vec!["detached=2".to_string()]);
+
+    let stats = c.stats_report().unwrap();
+    assert!(stats.receptors.is_empty(), "{stats:?}");
+    assert!(stats.emitters.is_empty(), "{stats:?}");
+    assert!(c.detach_receptor("S", rport).is_err());
+
+    // fresh attachments still work end to end
+    let rport2 = c.attach_receptor("S", 0).unwrap();
+    assert_ne!(rport2, 0);
+
+    c.shutdown().unwrap();
+    cluster_thread.join().unwrap();
+}
+
+#[test]
+fn register_query_reports_partial_success_detail() {
+    let (addr, cluster_thread) = boot_cluster(2);
+    let mut c = ShardedClient::connect(addr).unwrap();
+    // an UNSHARDED stream lives on exactly one of the two engines, so a
+    // query over it registers on one engine and is declined by the other
+    c.create_stream("solo", "(x int)").unwrap();
+    let body = c
+        .request("REGISTER QUERY one AS select x from [select * from solo] as Z")
+        .unwrap();
+    let summary = &body[0];
+    assert!(summary.starts_with("query=one "), "{summary}");
+    assert!(summary.contains("skipped=1"), "{summary}");
+    // one detail line per declining engine, carrying its exact error
+    assert_eq!(body.len(), 2, "{body:?}");
+    assert!(body[1].starts_with("skipped engine="), "{body:?}");
+    assert!(body[1].contains("error="), "{body:?}");
+
+    // the typed STATS report shows the narrowed placement
+    let stats = c.stats_report().unwrap();
+    let q = stats.query("one").expect("query row");
+    assert_eq!(q.engines.split(',').count(), 1, "{q:?}");
+
+    // a fully-resolving query reports skipped=0 and both engines
+    c.create_sharded_stream("S", "(id int)", "id", None).unwrap();
+    let body = c
+        .request("REGISTER QUERY all AS select id from [select * from S] as Z")
+        .unwrap();
+    assert_eq!(body.len(), 1, "{body:?}");
+    assert!(body[0].contains("engines=0,1"), "{body:?}");
+    assert!(body[0].contains("skipped=0"), "{body:?}");
+
+    c.shutdown().unwrap();
+    cluster_thread.join().unwrap();
+}
+
+#[test]
+fn persistent_sharded_stream_logs_and_seals_per_shard() {
+    let dir = std::env::temp_dir().join(format!(
+        "dc-cluster-persist-{}-{:?}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut config = ClusterConfig::in_process(2);
+    config.engine.data_dir = Some(dir.clone());
+    let cluster = bind_cluster("127.0.0.1:0", config).expect("bind cluster");
+    let addr = cluster.local_addr().unwrap();
+    let cluster_thread = std::thread::spawn(move || {
+        cluster.serve().expect("serve cluster");
+    });
+
+    let mut c = ShardedClient::connect(addr).unwrap();
+    let body = c
+        .request("CREATE STREAM S (id int, v int) PERSIST SHARD BY (id)")
+        .unwrap();
+    assert!(body[0].contains("persistent=true"), "{body:?}");
+
+    let rport = c.attach_receptor_fmt("S", 0, WireFormat::Binary).unwrap();
+    let schema = Schema::from_pairs(&[("id", ValueType::Int), ("v", ValueType::Int)]);
+    let mut sink = c
+        .open_receptor_with(rport, WireFormat::Binary, &schema)
+        .unwrap();
+    sink.send_batch(&input_batch()).unwrap();
+    sink.flush().unwrap();
+
+    // aggregated STATS: the logical basket row is persistent and its
+    // WAL bytes sum the per-shard logs
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    let basket = loop {
+        let stats = c.stats_report().unwrap();
+        let b = stats.basket("S").expect("basket row").clone();
+        if b.total_in >= 400 || std::time::Instant::now() > deadline {
+            break b;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(basket.total_in, 400, "{basket:?}");
+    assert!(basket.persistent, "{basket:?}");
+    assert!(basket.wal_bytes > 0, "{basket:?}");
+
+    // FLUSH STREAM fans out and sums the per-shard sealed rows
+    let sealed = c.flush_stream("S").unwrap();
+    assert_eq!(sealed, 400);
+    let stats = c.stats_report().unwrap();
+    let basket = stats.basket("S").expect("basket row");
+    assert!(basket.segments >= 2, "one+ segment per shard: {basket:?}");
+    assert_eq!(basket.wal_bytes, 0, "wals truncated after seal: {basket:?}");
+
+    // both shards persisted under their own roots
+    assert!(dir.join("shard-0").join("streams").join("S").is_dir());
+    assert!(dir.join("shard-1").join("streams").join("S").is_dir());
+
+    c.shutdown().unwrap();
+    cluster_thread.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

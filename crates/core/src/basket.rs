@@ -28,6 +28,7 @@ use parking_lot::{Mutex, MutexGuard};
 
 use crate::clock::Clock;
 use crate::error::{EngineError, Result};
+use crate::persist::{PersistStats, StreamPersist};
 
 /// Name of the automatic arrival-timestamp column.
 pub const TS_COLUMN: &str = "dc_ts";
@@ -304,6 +305,10 @@ pub struct Basket {
     /// compaction counters, the ingest watermark). Set once by the
     /// engine right after construction; absent when telemetry is off.
     probe: OnceLock<Arc<BasketProbe>>,
+    /// Durability sink (`CREATE STREAM ... PERSIST`). Set once after
+    /// construction — and after WAL replay, so recovered batches are not
+    /// re-logged. Absent on ordinary transient baskets.
+    persist: OnceLock<Arc<dyn StreamPersist>>,
 }
 
 impl std::fmt::Debug for Basket {
@@ -347,6 +352,7 @@ impl Basket {
             }),
             stats: BasketStats::default(),
             probe: OnceLock::new(),
+            persist: OnceLock::new(),
         })
     }
 
@@ -358,6 +364,28 @@ impl Basket {
     /// The attached telemetry probe, if any.
     pub fn probe(&self) -> Option<&Arc<BasketProbe>> {
         self.probe.get()
+    }
+
+    /// Attach the durability sink (idempotent; first caller wins).
+    /// Attach only *after* any WAL replay — from this point on, every
+    /// accepted append is logged before it is acknowledged.
+    pub fn set_persist(&self, sink: Arc<dyn StreamPersist>) {
+        let _ = self.persist.set(sink);
+    }
+
+    /// The attached durability sink, if any.
+    pub fn persist(&self) -> Option<&Arc<dyn StreamPersist>> {
+        self.persist.get()
+    }
+
+    /// Whether this basket is backed by durable storage.
+    pub fn is_persistent(&self) -> bool {
+        self.persist.get().is_some()
+    }
+
+    /// Durability counters (`None` on transient baskets).
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.persist.get().map(|p| p.stats())
     }
 
     /// Globally unique id; the engine locks baskets in id order to avoid
@@ -562,17 +590,19 @@ impl Basket {
                 batch.append_row(row)?;
             }
         }
-        self.append_filtered(batch)
+        let uniform_ts = self.stamps_arrival.then_some(now);
+        self.append_filtered(batch, uniform_ts)
     }
 
     /// Append an already-columnar batch. The batch must either match the
     /// full schema, or (for stamping baskets) the user schema — in which
     /// case arrival timestamps are added.
     pub fn append_relation(&self, batch: Relation, clock: &dyn Clock) -> Result<usize> {
-        let accepted = self.prepare_batch(batch, clock)?;
+        let (accepted, uniform_ts) = self.prepare_batch(batch, clock)?;
         let n = accepted.len();
         if n > 0 {
             let mut inner = self.inner.lock();
+            self.log_accepted(&accepted, uniform_ts)?;
             inner.rel.append_relation(&accepted)?;
             inner.note_append(n);
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
@@ -580,6 +610,7 @@ impl Basket {
             if let Some(p) = self.probe() {
                 p.note_append();
             }
+            self.maybe_seal(&mut inner)?;
         }
         Ok(n)
     }
@@ -592,9 +623,10 @@ impl Basket {
         batch: Relation,
         clock: &dyn Clock,
     ) -> Result<usize> {
-        let accepted = self.prepare_batch(batch, clock)?;
+        let (accepted, uniform_ts) = self.prepare_batch(batch, clock)?;
         let n = accepted.len();
         if n > 0 {
+            self.log_accepted(&accepted, uniform_ts)?;
             inner.rel.append_relation(&accepted)?;
             inner.note_append(n);
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
@@ -602,6 +634,7 @@ impl Basket {
             if let Some(p) = self.probe() {
                 p.note_append();
             }
+            self.maybe_seal(inner)?;
         }
         Ok(n)
     }
@@ -611,16 +644,25 @@ impl Basket {
     }
 
     /// Stamp, validate and constraint-filter a batch (no locking).
-    fn prepare_batch(&self, mut batch: Relation, clock: &dyn Clock) -> Result<Relation> {
+    /// The second value is the single arrival timestamp this call
+    /// stamped onto every row, when it did the stamping itself.
+    fn prepare_batch(
+        &self,
+        mut batch: Relation,
+        clock: &dyn Clock,
+    ) -> Result<(Relation, Option<i64>)> {
         if !self.is_enabled() {
             return Err(EngineError::Disabled(self.name.clone()));
         }
         if batch.is_empty() {
-            return Ok(Relation::new(&self.schema));
+            return Ok((Relation::new(&self.schema), None));
         }
+        let mut uniform_ts = None;
         if self.stamps_arrival && batch.width() + 1 == self.schema.width() {
-            let ts = Column::from_ts(vec![clock.now(); batch.len()]);
+            let now = clock.now();
+            let ts = Column::from_ts(vec![now; batch.len()]);
             batch.add_column(TS_COLUMN, ts)?;
+            uniform_ts = Some(now);
         }
         if !batch.schema().compatible(&self.schema) {
             return Err(EngineError::Config(format!(
@@ -628,10 +670,10 @@ impl Basket {
                 self.name
             )));
         }
-        self.filter_constraints(batch)
+        Ok((self.filter_constraints(batch)?, uniform_ts))
     }
 
-    fn append_filtered(&self, batch: Relation) -> Result<usize> {
+    fn append_filtered(&self, batch: Relation, uniform_ts: Option<i64>) -> Result<usize> {
         if !self.is_enabled() {
             return Err(EngineError::Disabled(self.name.clone()));
         }
@@ -639,6 +681,7 @@ impl Basket {
         let n = accepted.len();
         if n > 0 {
             let mut inner = self.inner.lock();
+            self.log_accepted(&accepted, uniform_ts)?;
             // positional compatibility was just validated
             inner.rel.append_relation(&accepted)?;
             inner.note_append(n);
@@ -646,6 +689,65 @@ impl Basket {
             self.note_high_water(inner.live_len());
             if let Some(p) = self.probe() {
                 p.note_append();
+            }
+            self.maybe_seal(&mut inner)?;
+        }
+        Ok(n)
+    }
+
+    // ---- durability ---------------------------------------------------------
+
+    /// WAL the accepted batch ahead of the in-memory append (no-op on
+    /// transient baskets). Called under the basket lock; an error here
+    /// rejects the whole append, so an acknowledged batch is always on
+    /// the log first.
+    fn log_accepted(&self, accepted: &Relation, uniform_ts: Option<i64>) -> Result<()> {
+        match self.persist.get() {
+            Some(p) => p.log_append(accepted, uniform_ts),
+            None => Ok(()),
+        }
+    }
+
+    /// Auto-seal once the resident rows cross the sink's threshold.
+    fn maybe_seal(&self, inner: &mut BasketInner) -> Result<()> {
+        if let Some(p) = self.persist.get() {
+            let threshold = p.seal_threshold();
+            if threshold > 0 && inner.live_len() >= threshold {
+                self.seal_locked(inner, p.as_ref())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Seal the live rows into durable storage now (`FLUSH STREAM`).
+    /// Returns the number of rows sealed. Errors on transient baskets.
+    pub fn seal_now(&self) -> Result<usize> {
+        let sink = Arc::clone(self.persist.get().ok_or_else(|| {
+            EngineError::Config(format!("basket {} is not persistent", self.name))
+        })?);
+        let mut inner = self.inner.lock();
+        self.seal_locked(&mut inner, sink.as_ref())
+    }
+
+    /// Hand the live snapshot to the sink, then release the hot rows —
+    /// they now live in an immutable segment. The snapshot is the
+    /// copy-on-write column chain: O(width) Arc shares on a clean
+    /// basket, never a row-wise re-encode.
+    fn seal_locked(&self, inner: &mut BasketInner, sink: &dyn StreamPersist) -> Result<usize> {
+        let snapshot = inner.live_snapshot();
+        sink.seal(&snapshot)?;
+        let n = snapshot.len();
+        if !inner.rel.is_empty() {
+            inner.rel = Relation::new(&self.schema);
+            inner.deleted = None;
+            inner.deleted_count = 0;
+            inner.live_cache = None;
+            inner.delete_gen += 1;
+        }
+        if n > 0 {
+            self.stats.total_out.fetch_add(n as u64, Ordering::Relaxed);
+            if let Some(p) = self.probe() {
+                p.take_watermark();
             }
         }
         Ok(n)
@@ -1013,6 +1115,120 @@ mod tests {
         assert_eq!(pruned.len(), full.len());
         assert_eq!(pruned.column("a").unwrap().ints().unwrap(), &[1, 3]);
         assert_eq!(pruned.column("c").unwrap().ints().unwrap(), &[100, 300]);
+    }
+
+    /// Test durability sink: captures every logged batch and the seal
+    /// snapshot; optionally fails log_append to model a full disk.
+    #[derive(Default)]
+    struct MockSink {
+        fail_log: AtomicBool,
+        logged: Mutex<Vec<Relation>>,
+        sealed: Mutex<Vec<Relation>>,
+        threshold: AtomicUsize,
+    }
+
+    impl StreamPersist for MockSink {
+        fn log_append(&self, batch: &Relation, _uniform_ts: Option<i64>) -> Result<()> {
+            if self.fail_log.load(Ordering::Relaxed) {
+                return Err(EngineError::Io("disk full".into()));
+            }
+            self.logged.lock().push(batch.clone());
+            Ok(())
+        }
+
+        fn seal(&self, snapshot: &Relation) -> Result<()> {
+            self.sealed.lock().push(snapshot.clone());
+            Ok(())
+        }
+
+        fn seal_threshold(&self) -> usize {
+            self.threshold.load(Ordering::Relaxed)
+        }
+
+        fn stats(&self) -> PersistStats {
+            PersistStats::default()
+        }
+    }
+
+    #[test]
+    fn persistent_append_logs_before_ack() {
+        let clock = VirtualClock::new();
+        let b = Basket::new("B", &schema(), true);
+        let sink = Arc::new(MockSink::default());
+        b.set_persist(Arc::clone(&sink) as Arc<dyn StreamPersist>);
+        b.append_rows(&[vec![Value::Int(1), Value::Int(10)]], &clock)
+            .unwrap();
+        {
+            let logged = sink.logged.lock();
+            assert_eq!(logged.len(), 1);
+            assert_eq!(
+                logged[0].schema().width(),
+                b.schema().width(),
+                "full schema (timestamps included) hits the log"
+            );
+        }
+        // a failing log rejects the append outright: nothing enters the
+        // basket, nothing is counted — the producer is never acked
+        sink.fail_log.store(true, Ordering::Relaxed);
+        assert!(b
+            .append_rows(&[vec![Value::Int(2), Value::Int(20)]], &clock)
+            .is_err());
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.stats().snapshot().0, 1, "rejected batch not counted in");
+    }
+
+    #[test]
+    fn seal_shares_columns_and_empties_the_basket() {
+        let clock = VirtualClock::new();
+        let b = Basket::new("B", &schema(), true);
+        let sink = Arc::new(MockSink::default());
+        b.set_persist(Arc::clone(&sink) as Arc<dyn StreamPersist>);
+        b.append_rows(
+            &[
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
+            &clock,
+        )
+        .unwrap();
+        let before = b.snapshot();
+        assert_eq!(b.seal_now().unwrap(), 2);
+        assert!(b.is_empty(), "sealed rows left the hot basket");
+        assert_eq!(b.stats().snapshot().1, 2, "sealing counts as outflow");
+        let sealed = sink.sealed.lock();
+        assert_eq!(sealed.len(), 1);
+        // O(width) clean path: the sealed snapshot *shares* the basket's
+        // column storage — no row-wise re-encode happened
+        for name in before.names() {
+            assert!(
+                sealed[0]
+                    .column(name)
+                    .unwrap()
+                    .shares_data(before.column(name).unwrap()),
+                "column {name} was copied, not shared"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_crossing_seals_automatically() {
+        let clock = VirtualClock::new();
+        let b = Basket::new("B", &schema(), true);
+        let sink = Arc::new(MockSink::default());
+        sink.threshold.store(3, Ordering::Relaxed);
+        b.set_persist(Arc::clone(&sink) as Arc<dyn StreamPersist>);
+        for i in 0..5 {
+            b.append_rows(&[vec![Value::Int(i), Value::Int(i)]], &clock)
+                .unwrap();
+        }
+        assert_eq!(sink.sealed.lock().len(), 1, "one threshold crossing");
+        assert_eq!(b.len(), 2, "post-seal tail stays hot");
+    }
+
+    #[test]
+    fn seal_on_transient_basket_is_an_error() {
+        let b = Basket::new("B", &schema(), true);
+        assert!(matches!(b.seal_now(), Err(EngineError::Config(_))));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::basket::Basket;
 use crate::clock::{Clock, SystemClock};
 use crate::error::{EngineError, Result};
 use crate::factory::{ConsumeMode, Factory, PlanMode, QueryFactory};
+use crate::persist::DurabilityProvider;
 use crate::scheduler::{RoundReport, Scheduler};
 use crate::varstore::VarStore;
 
@@ -65,6 +66,12 @@ pub struct BasketReport {
     pub pending_deletes: usize,
     /// Lifetime physical compactions of the basket store.
     pub compactions: u64,
+    /// Whether the basket has a durability sink attached.
+    pub persistent: bool,
+    /// Current write-ahead-log bytes (0 on transient baskets).
+    pub wal_bytes: u64,
+    /// Live immutable segment files (0 on transient baskets).
+    pub segments: u64,
 }
 
 /// The engine.
@@ -78,6 +85,9 @@ pub struct DataCell {
     /// installs a live one. Baskets/factories created *after* that call
     /// get probes attached automatically.
     telemetry: RwLock<dctrace::Telemetry>,
+    /// Durability provider (`dcstore::Store` when the daemon runs with
+    /// `--data-dir`); `CREATE STREAM ... PERSIST` fails without one.
+    durability: RwLock<Option<Arc<dyn DurabilityProvider>>>,
 }
 
 impl DataCell {
@@ -95,7 +105,18 @@ impl DataCell {
             vars: Arc::new(VarStore::new()),
             scheduler: Mutex::new(Scheduler::new()),
             telemetry: RwLock::new(dctrace::Telemetry::disabled()),
+            durability: RwLock::new(None),
         }
+    }
+
+    /// Install the durability provider backing `CREATE STREAM ... PERSIST`.
+    pub fn set_durability(&self, provider: Arc<dyn DurabilityProvider>) {
+        *self.durability.write() = Some(provider);
+    }
+
+    /// The installed durability provider, if any.
+    pub fn durability(&self) -> Option<Arc<dyn DurabilityProvider>> {
+        self.durability.read().clone()
     }
 
     /// Install a telemetry handle. Call before DDL: baskets and query
@@ -132,6 +153,35 @@ impl DataCell {
     /// Create an intermediate basket (no automatic timestamp column).
     pub fn create_basket(&self, name: &str, schema: &Schema) -> Result<Arc<Basket>> {
         self.create_basket_inner(name, schema, false)
+    }
+
+    /// Create a durable stream (`CREATE STREAM ... PERSIST`): a stamping
+    /// basket whose accepted appends are write-ahead logged before they
+    /// are acknowledged. Requires [`DataCell::set_durability`].
+    pub fn create_stream_persistent(&self, name: &str, schema: &Schema) -> Result<Arc<Basket>> {
+        let provider = self.durability.read().clone().ok_or_else(|| {
+            EngineError::Config(
+                "PERSIST requires a durability provider (run with --data-dir)".into(),
+            )
+        })?;
+        let basket = self.create_basket_inner(name, schema, true)?;
+        match provider.open_stream(name, schema) {
+            Ok(sink) => {
+                basket.set_persist(sink);
+                Ok(basket)
+            }
+            Err(e) => {
+                // a failed persistent create leaves nothing behind
+                self.baskets.write().remove(name);
+                Err(e)
+            }
+        }
+    }
+
+    /// Seal a persistent stream's live rows into an immutable segment
+    /// now (`FLUSH STREAM <name>`). Returns the number of rows sealed.
+    pub fn flush_stream(&self, name: &str) -> Result<usize> {
+        self.basket(name)?.seal_now()
     }
 
     fn create_basket_inner(
@@ -279,6 +329,7 @@ impl DataCell {
             .map(|b| {
                 let (total_in, total_out, dropped) = b.stats().snapshot();
                 let (pending_deletes, compactions) = b.compaction_stats();
+                let persist = b.persist_stats();
                 BasketReport {
                     name: b.name().to_string(),
                     len: b.len(),
@@ -290,6 +341,9 @@ impl DataCell {
                     pending_cap: b.pending_cap(),
                     pending_deletes,
                     compactions,
+                    persistent: persist.is_some(),
+                    wal_bytes: persist.map(|p| p.wal_bytes).unwrap_or(0),
+                    segments: persist.map(|p| p.segments).unwrap_or(0),
                 }
             })
             .collect();

@@ -24,6 +24,7 @@
 //! | §4.2 processing strategies   | [`strategy`] |
 //! | §5 metronome & heartbeat     | [`metronome`], [`varstore`] |
 //! | scale-out (ROADMAP)          | [`partition`], `dccluster` crate (`crates/cluster`) |
+//! | durability (ROADMAP)         | [`persist`], `dcstore` crate (`crates/storage`) |
 //!
 //! ## Quick start
 //!
@@ -65,6 +66,7 @@ pub mod frame;
 pub mod metronome;
 pub mod net;
 pub mod partition;
+pub mod persist;
 pub mod receptor;
 pub mod scheduler;
 pub mod strategy;
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use crate::frame::{FrameCodec, SharedFrame, WireFormat};
     pub use crate::metronome::{Heartbeat, Metronome};
     pub use crate::partition::Partitioner;
+    pub use crate::persist::{DurabilityProvider, PersistStats, StreamPersist};
     pub use crate::receptor::Receptor;
     pub use crate::scheduler::{Scheduler, ThreadedScheduler};
     pub use crate::varstore::VarStore;

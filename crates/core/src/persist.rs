@@ -1,0 +1,76 @@
+//! Durability hooks — the seam between the in-memory engine and the
+//! `dcstore` storage crate.
+//!
+//! The engine stays storage-agnostic: a basket created with persistence
+//! holds an `Arc<dyn StreamPersist>` and calls it at exactly two points,
+//! both under the basket lock:
+//!
+//! * [`StreamPersist::log_append`] — *before* an accepted batch becomes
+//!   visible. An error rejects the append, so a batch is never
+//!   acknowledged to a producer unless it is on the log first.
+//! * [`StreamPersist::seal`] — when the resident rows cross the
+//!   [`StreamPersist::seal_threshold`], or on an explicit
+//!   `FLUSH STREAM`. The snapshot handed over is the basket's live
+//!   copy-on-write column chain (O(width) Arc shares on a clean
+//!   basket — the sink serializes columns, never rows).
+//!
+//! [`DurabilityProvider`] is the factory side: the server installs one
+//! on the engine (`DataCell::set_durability`) and `CREATE STREAM ...
+//! PERSIST` asks it for a per-stream sink.
+
+use std::sync::Arc;
+
+use monet::prelude::*;
+
+use crate::error::Result;
+
+/// Durability counters for one stream — surfaced through `STATS`
+/// (`wal_bytes=`, `segments=`) and the cluster aggregation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Current write-ahead-log size in bytes (the unsealed tail).
+    pub wal_bytes: u64,
+    /// Live immutable segment files.
+    pub segments: u64,
+    /// Rows moved into segments over the stream's lifetime.
+    pub sealed_rows: u64,
+}
+
+/// Per-stream durability sink. Implementations must be cheap to call
+/// under the basket lock (buffered writes; fsync policy decides the
+/// rest).
+pub trait StreamPersist: Send + Sync {
+    /// Log an accepted batch (full basket schema, arrival timestamps
+    /// included) ahead of the in-memory append. Called under the basket
+    /// lock; an error aborts the append, so acknowledged data is always
+    /// logged.
+    ///
+    /// `uniform_ts` is `Some(ts)` when the engine stamped the whole
+    /// batch with the single arrival time `ts` (the common receptor
+    /// path) — the sink may then log the user columns plus one
+    /// timestamp instead of a per-row timestamp column. `None` means
+    /// the batch carried its own timestamps and must be logged in full.
+    fn log_append(&self, batch: &Relation, uniform_ts: Option<i64>) -> Result<()>;
+
+    /// Seal a snapshot of the basket's live rows into an immutable
+    /// segment and truncate the WAL it covers. Called under the basket
+    /// lock. An empty snapshot writes no segment but still truncates
+    /// the WAL (its rows were all consumed).
+    fn seal(&self, snapshot: &Relation) -> Result<()>;
+
+    /// Resident-row count above which the basket auto-seals after an
+    /// append (0 = seal only on explicit `FLUSH STREAM`).
+    fn seal_threshold(&self) -> usize;
+
+    /// Current durability counters.
+    fn stats(&self) -> PersistStats;
+}
+
+/// Factory for per-stream sinks — implemented by `dcstore::Store` and
+/// installed on the engine by the server when `--data-dir` is set.
+pub trait DurabilityProvider: Send + Sync {
+    /// Open (creating durable state for) the named stream. `user_schema`
+    /// excludes the automatic timestamp column; the sink derives the
+    /// full on-disk schema itself.
+    fn open_stream(&self, name: &str, user_schema: &Schema) -> Result<Arc<dyn StreamPersist>>;
+}

@@ -2,12 +2,18 @@
 //!
 //! ```text
 //! datacelld [--listen HOST:PORT] [--data-host HOST] [--backoff-us N]
+//!           [--data-dir PATH] [--fsync always|every_n:N|off] [--seal-rows N]
 //! ```
 //!
 //! Binds the control plane on `--listen` (default `127.0.0.1:7077`) and
 //! serves until a client sends `SHUTDOWN`. Data-plane receptor/emitter
 //! ports are opened on `--data-host` (default `127.0.0.1`) by `ATTACH`
 //! commands. See the crate docs for the command grammar.
+//!
+//! `--data-dir` enables durability: `CREATE STREAM ... PERSIST` streams
+//! are write-ahead logged and sealed into columnar segments under that
+//! directory, and on boot the daemon replays the manifest and WAL tails
+//! *before* accepting connections.
 
 use std::time::Duration;
 
@@ -36,14 +42,29 @@ fn main() {
                 Some(us) => config.idle_backoff = Duration::from_micros(us),
                 None => die("--backoff-us requires a number"),
             },
+            "--data-dir" => match args.next() {
+                Some(v) => config.data_dir = Some(v.into()),
+                None => die("--data-dir requires a path"),
+            },
+            "--fsync" => match args.next().map(|v| v.parse()) {
+                Some(Ok(policy)) => config.fsync = policy,
+                Some(Err(e)) => die(&format!("--fsync: {e}")),
+                None => die("--fsync requires always|every_n:N|off"),
+            },
+            "--seal-rows" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.seal_rows = n,
+                None => die("--seal-rows requires a number"),
+            },
             "--help" | "-h" => {
                 println!(
-                    "datacelld [--listen HOST:PORT] [--data-host HOST] [--backoff-us N]\n\n\
+                    "datacelld [--listen HOST:PORT] [--data-host HOST] [--backoff-us N]\n          \
+                     [--data-dir PATH] [--fsync always|every_n:N|off] [--seal-rows N]\n\n\
                      Control-plane commands (one per line):\n  \
-                     PING | CREATE STREAM/TABLE/BASKET ... | EXEC <sql> |\n  \
-                     REGISTER QUERY <name> AS <sql> |\n  \
+                     PING | CREATE STREAM/TABLE/BASKET ... [PERSIST] | EXEC <sql> |\n  \
+                     FLUSH STREAM <name> | REGISTER QUERY <name> AS <sql> |\n  \
                      ATTACH RECEPTOR <stream> ON PORT <p> |\n  \
-                     ATTACH EMITTER <query> ON PORT <p> | STATS | QUIT | SHUTDOWN"
+                     ATTACH EMITTER <query> ON PORT <p> |\n  \
+                     DETACH RECEPTOR/EMITTER <name> PORT <p> | STATS | QUIT | SHUTDOWN"
                 );
                 return;
             }
@@ -69,6 +90,13 @@ fn main() {
         Ok(s) => s,
         Err(e) => die(&format!("cannot bind {listen}: {e}")),
     };
+    if let Some(r) = server.runtime().recovery_report() {
+        eprintln!(
+            "datacelld: recovered {} stream(s): {} segment(s), {} WAL batch(es) / {} row(s) \
+             replayed, {} torn tail(s) truncated",
+            r.streams, r.segments, r.replayed_batches, r.replayed_rows, r.torn_tails
+        );
+    }
     match server.local_addr() {
         Ok(addr) => eprintln!("datacelld: control plane on {addr}"),
         Err(_) => eprintln!("datacelld: control plane on {listen}"),

@@ -147,6 +147,38 @@ impl Client {
             .map(|_| ())
     }
 
+    /// `CREATE STREAM name (col type, ...) PERSIST` — a durable stream:
+    /// acknowledged appends survive a server crash. Requires a daemon
+    /// running with `--data-dir`.
+    pub fn create_persistent_stream(&mut self, name: &str, columns: &str) -> Result<()> {
+        self.request(&format!("CREATE STREAM {name} {columns} PERSIST"))
+            .map(|_| ())
+    }
+
+    /// `FLUSH STREAM name` — seal the durable stream's hot rows into a
+    /// segment now. Returns the number of rows sealed.
+    pub fn flush_stream(&mut self, name: &str) -> Result<u64> {
+        let body = self.request(&format!("FLUSH STREAM {name}"))?;
+        body.first()
+            .and_then(|l| l.strip_prefix("sealed_rows="))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| ServerError::Protocol(format!("malformed FLUSH response {body:?}")))
+    }
+
+    /// `DETACH RECEPTOR <stream> PORT <p>` — close a receptor port
+    /// previously opened with [`Client::attach_receptor`].
+    pub fn detach_receptor(&mut self, stream: &str, port: u16) -> Result<()> {
+        self.request(&format!("DETACH RECEPTOR {stream} PORT {port}"))
+            .map(|_| ())
+    }
+
+    /// `DETACH EMITTER <query> PORT <p>` — close an emitter port
+    /// previously opened with [`Client::attach_emitter`].
+    pub fn detach_emitter(&mut self, query: &str, port: u16) -> Result<()> {
+        self.request(&format!("DETACH EMITTER {query} PORT {port}"))
+            .map(|_| ())
+    }
+
     /// One-shot SQL; returns result lines (`# col|col` header then wire
     /// rows) when the script ends in a SELECT.
     pub fn exec(&mut self, sql: &str) -> Result<Vec<String>> {

@@ -176,6 +176,16 @@ fn dispatch(rt: &Arc<ServerRuntime>, request: &str) -> (Response, bool) {
     match cmd {
         Command::Ping => (Response::one("pong"), false),
         Command::Ddl(sql) | Command::Exec(sql) => (result_response(rt.exec(&sql)), false),
+        Command::DdlPersist { ddl, stream } => {
+            match rt.create_stream_persistent(&ddl, &stream) {
+                Ok(()) => (Response::one(format!("stream={stream} persistent=true")), false),
+                Err(e) => (Response::Err(e.to_string()), false),
+            }
+        }
+        Command::FlushStream { stream } => match rt.flush_stream(&stream) {
+            Ok(n) => (Response::one(format!("sealed_rows={n}")), false),
+            Err(e) => (Response::Err(e.to_string()), false),
+        },
         Command::DdlSharded { stream, .. } => (
             Response::Err(format!(
                 "stream {stream}: SHARD BY needs a dccluster shard router \
@@ -210,6 +220,14 @@ fn dispatch(rt: &Arc<ServerRuntime>, request: &str) -> (Response, bool) {
             format,
         } => match rt.attach_emitter(&query, port, format) {
             Ok(p) => (Response::one(format!("port={p}")), false),
+            Err(e) => (Response::Err(e.to_string()), false),
+        },
+        Command::DetachReceptor { stream, port } => match rt.detach_receptor(&stream, port) {
+            Ok(n) => (Response::one(format!("detached={n}")), false),
+            Err(e) => (Response::Err(e.to_string()), false),
+        },
+        Command::DetachEmitter { query, port } => match rt.detach_emitter(&query, port) {
+            Ok(n) => (Response::one(format!("detached={n}")), false),
             Err(e) => (Response::Err(e.to_string()), false),
         },
         Command::Explain(sql) => (result_response(rt.explain_sql(&sql)), false),

@@ -69,7 +69,10 @@ pub fn bind_with_engine(
     config: ServerConfig,
     engine: Arc<DataCell>,
 ) -> Result<ControlServer> {
-    let runtime = ServerRuntime::new(engine, config);
+    // when a data dir is configured, ServerRuntime::new replays the
+    // durable state into the engine before the listener is bound — a
+    // client can never connect to a partially recovered server
+    let runtime = ServerRuntime::new(engine, config)?;
     ControlServer::bind(control_addr, runtime)
 }
 

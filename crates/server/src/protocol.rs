@@ -8,11 +8,15 @@
 //! ```text
 //! PING
 //! CREATE STREAM <name> (<col> <type>, ...)      -- also CREATE TABLE / CREATE BASKET
+//!     [PERSIST]                                 -- durable stream (WAL + segments)
 //!     [SHARD BY (<col>) [SHARDS <n>]]           -- hash-partitioned stream (dccluster only)
+//! FLUSH STREAM <name>                           -- seal a durable stream's hot rows
 //! EXEC <sql>                                    -- one-shot statement(s)
 //! REGISTER QUERY <name> AS <sql>                -- continuous query
 //! ATTACH RECEPTOR <stream> ON PORT <port> [FORMAT TEXT|BINARY]
 //! ATTACH EMITTER <query> ON PORT <port> [FORMAT TEXT|BINARY]
+//! DETACH RECEPTOR <stream> PORT <port>          -- close an attached receptor port
+//! DETACH EMITTER <query> PORT <port>            -- close an attached emitter port
 //! EXPLAIN <sql>                                 -- compiled physical plan of a script
 //! EXPLAIN QUERY <name>                          -- plan of a registered continuous query
 //! STATS
@@ -22,6 +26,11 @@
 //! QUIT
 //! SHUTDOWN
 //! ```
+//!
+//! The `PERSIST` clause declares a durable stream: accepted appends are
+//! write-ahead logged before they are acknowledged and periodically
+//! sealed into immutable columnar segments (see the `dcstore` crate).
+//! It requires the daemon to run with `--data-dir`.
 //!
 //! The `SHARD BY` clause declares a hash-partitioned stream. The grammar
 //! is parsed here (shared with the `dccluster` router, which fronts N
@@ -54,18 +63,34 @@ pub enum Command {
     /// CREATE STREAM/TABLE/BASKET — the raw SQL line, passed through to
     /// the engine's DDL executor.
     Ddl(String),
+    /// `CREATE STREAM ... PERSIST` — a durable stream: appends are
+    /// write-ahead logged before acknowledgement and sealed into columnar
+    /// segments. Requires a daemon running with a data directory.
+    DdlPersist {
+        /// The plain `CREATE STREAM` DDL with the PERSIST clause stripped.
+        ddl: String,
+        stream: String,
+    },
     /// `CREATE STREAM ... SHARD BY (col) [SHARDS n]` — a hash-partitioned
     /// stream. Only a `dccluster` router can honor this; a single engine
     /// rejects it.
     DdlSharded {
-        /// The plain `CREATE STREAM` DDL with the shard clause stripped —
-        /// what the router forwards to each shard engine.
+        /// The plain `CREATE STREAM` DDL with the persist/shard clauses
+        /// stripped — what the router forwards to each shard engine.
         ddl: String,
         stream: String,
         /// Partition key column name.
         key: String,
         /// Explicit shard count; `None` = one shard per engine.
         shards: Option<usize>,
+        /// `PERSIST` combined with `SHARD BY`: every shard engine opens
+        /// a durable stream in its own data directory.
+        persist: bool,
+    },
+    /// `FLUSH STREAM <name>` — seal a durable stream's hot rows into a
+    /// segment now (and truncate its WAL).
+    FlushStream {
+        stream: String,
     },
     /// One-shot SQL script execution.
     Exec(String),
@@ -82,6 +107,18 @@ pub enum Command {
         query: String,
         port: u16,
         format: WireFormat,
+    },
+    /// `DETACH RECEPTOR <stream> PORT <p>` — stop accepting on a receptor
+    /// port and release it.
+    DetachReceptor {
+        stream: String,
+        port: u16,
+    },
+    /// `DETACH EMITTER <query> PORT <p>` — stop accepting on an emitter
+    /// port and release it.
+    DetachEmitter {
+        query: String,
+        port: u16,
     },
     /// `EXPLAIN <sql>` — print the compiled physical plan of a script.
     Explain(String),
@@ -135,11 +172,11 @@ fn parse_name(input: &str) -> Result<(String, &str), String> {
     Ok((word.to_string(), rest))
 }
 
-/// `CREATE STREAM <name> (<cols>) [SHARD BY (<col>) [SHARDS <n>]]`.
+/// `CREATE STREAM <name> (<cols>) [PERSIST] [SHARD BY (<col>) [SHARDS <n>]]`.
 ///
 /// `line` is the whole (trimmed) request, `after_kind` the text after the
-/// STREAM keyword. Without a shard clause the line passes through as
-/// [`Command::Ddl`], byte-identical to the pre-sharding grammar.
+/// STREAM keyword. Without a persist/shard clause the line passes through
+/// as [`Command::Ddl`], byte-identical to the pre-sharding grammar.
 fn parse_create_stream(line: &str, after_kind: &str) -> Result<Command, String> {
     // the name may be glued to the column list ("S(id int)") — the SQL
     // lexer has always accepted that, so the shard-clause scan must too
@@ -182,6 +219,23 @@ fn parse_create_stream(line: &str, after_kind: &str) -> Result<Command, String> 
     if after_cols.is_empty() {
         return Ok(Command::Ddl(line.to_string()));
     }
+    // the DDL a shard engine (or the persistent-create path) executes:
+    // the line up to the column list, clauses stripped
+    let clause_at = line.len() - after_cols_raw.len();
+    let plain_ddl = line[..clause_at].trim_end().to_string();
+    // [PERSIST] — may precede a SHARD BY clause
+    let (first, after_first) = take_word(after_cols);
+    let (persist, after_cols) = if first.eq_ignore_ascii_case("PERSIST") {
+        (true, after_first)
+    } else {
+        (false, after_cols)
+    };
+    if after_cols.is_empty() {
+        return Ok(Command::DdlPersist {
+            ddl: plain_ddl,
+            stream,
+        });
+    }
     // SHARD BY (<col>) [SHARDS <n>]
     let tail = expect_kw(after_cols, "SHARD")?;
     let tail = expect_kw(tail, "BY")?;
@@ -213,13 +267,12 @@ fn parse_create_stream(line: &str, after_kind: &str) -> Result<Command, String> 
         }
         Some(n)
     };
-    // the DDL each shard engine executes: the line up to the column list
-    let clause_at = line.len() - after_cols_raw.len();
     Ok(Command::DdlSharded {
-        ddl: line[..clause_at].trim_end().to_string(),
+        ddl: plain_ddl,
         stream,
         key,
         shards,
+        persist,
     })
 }
 
@@ -277,6 +330,14 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 "TABLE" | "BASKET" => Ok(Command::Ddl(line.to_string())),
                 other => Err(format!("CREATE {other} is not supported")),
             }
+        }
+        "FLUSH" => {
+            let rest = expect_kw(rest, "STREAM")?;
+            let (name, trailing) = parse_name(rest)?;
+            if !trailing.is_empty() {
+                return Err(format!("unexpected trailing input {trailing:?}"));
+            }
+            Ok(Command::FlushStream { stream: name })
         }
         "EXEC" => {
             if rest.is_empty() {
@@ -345,6 +406,23 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                     format,
                 }),
                 other => Err(format!("ATTACH {other} is not supported")),
+            }
+        }
+        "DETACH" => {
+            let (kind, rest) = take_word(rest);
+            let (name, rest) = parse_name(rest)?;
+            let rest = expect_kw(rest, "PORT")?;
+            let (port_word, trailing) = take_word(rest);
+            if !trailing.is_empty() {
+                return Err(format!("unexpected trailing input {trailing:?}"));
+            }
+            let port: u16 = port_word
+                .parse()
+                .map_err(|_| format!("invalid port {port_word:?}"))?;
+            match kind.to_ascii_uppercase().as_str() {
+                "RECEPTOR" => Ok(Command::DetachReceptor { stream: name, port }),
+                "EMITTER" => Ok(Command::DetachEmitter { query: name, port }),
+                other => Err(format!("DETACH {other} is not supported")),
             }
         }
         other => Err(format!("unknown command {other}")),
@@ -452,6 +530,7 @@ mod tests {
                 stream: "S".into(),
                 key: "id".into(),
                 shards: None,
+                persist: false,
             })
         );
         assert_eq!(
@@ -461,6 +540,7 @@ mod tests {
                 stream: "trades".into(),
                 key: "sym".into(),
                 shards: Some(4),
+                persist: false,
             })
         );
         // trailing semicolons remain legal, with and without the clause
@@ -473,6 +553,7 @@ mod tests {
                 stream: "S".into(),
                 key: "id".into(),
                 shards: Some(2),
+                persist: false,
             })
         );
         // parenthesized column types stay inside the column list
@@ -485,6 +566,7 @@ mod tests {
                 stream: "S".into(),
                 key: "v".into(),
                 shards: None,
+                persist: false,
             })
         );
         // name glued to the column list parses as it always did
@@ -499,6 +581,7 @@ mod tests {
                 stream: "S".into(),
                 key: "id".into(),
                 shards: None,
+                persist: false,
             })
         );
         assert!(parse_command("CREATE STREAM S (id int) SHARD BY id").is_err());
@@ -507,6 +590,69 @@ mod tests {
         assert!(parse_command("CREATE STREAM S (id int) SHARD BY (id) SHARDS x").is_err());
         assert!(parse_command("CREATE STREAM S (id int) SHARD BY (id) SHARDS 2 junk").is_err());
         assert!(parse_command("CREATE STREAM S (id int) FROBNICATE").is_err());
+    }
+
+    #[test]
+    fn persist_clause_parses_and_strips() {
+        assert_eq!(
+            parse_command("create stream S (id int, v int) persist"),
+            Ok(Command::DdlPersist {
+                ddl: "create stream S (id int, v int)".into(),
+                stream: "S".into(),
+            })
+        );
+        // trailing semicolon and glued name stay legal
+        assert_eq!(
+            parse_command("CREATE STREAM S(id int) PERSIST;"),
+            Ok(Command::DdlPersist {
+                ddl: "CREATE STREAM S(id int)".into(),
+                stream: "S".into(),
+            })
+        );
+        // PERSIST composes with SHARD BY (persist first)
+        assert_eq!(
+            parse_command("create stream S (id int) persist shard by (id) shards 2"),
+            Ok(Command::DdlSharded {
+                ddl: "create stream S (id int)".into(),
+                stream: "S".into(),
+                key: "id".into(),
+                shards: Some(2),
+                persist: true,
+            })
+        );
+        assert!(parse_command("create stream S (id int) persist nonsense").is_err());
+        assert!(parse_command("create stream S (id int) shard by (id) persist").is_err());
+    }
+
+    #[test]
+    fn flush_and_detach_commands() {
+        assert_eq!(
+            parse_command("FLUSH STREAM S"),
+            Ok(Command::FlushStream {
+                stream: "S".into()
+            })
+        );
+        assert_eq!(
+            parse_command("detach receptor S port 5001"),
+            Ok(Command::DetachReceptor {
+                stream: "S".into(),
+                port: 5001,
+            })
+        );
+        assert_eq!(
+            parse_command("DETACH EMITTER hot PORT 5002"),
+            Ok(Command::DetachEmitter {
+                query: "hot".into(),
+                port: 5002,
+            })
+        );
+        assert!(parse_command("FLUSH STREAM").is_err());
+        assert!(parse_command("FLUSH STREAM S extra").is_err());
+        assert!(parse_command("FLUSH TABLE T").is_err());
+        assert!(parse_command("DETACH RECEPTOR S PORT banana").is_err());
+        assert!(parse_command("DETACH RECEPTOR S PORT 1 extra").is_err());
+        assert!(parse_command("DETACH TAP S PORT 1").is_err());
+        assert!(parse_command("DETACH RECEPTOR S").is_err());
     }
 
     #[test]

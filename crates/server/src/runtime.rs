@@ -9,6 +9,7 @@
 
 use std::io::{BufRead, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -50,6 +51,17 @@ pub struct ServerConfig {
     /// (the `METRICS` / `TRACE` commands). On the hot path this costs
     /// one atomic add per probe point when on, one branch when off.
     pub telemetry_enabled: bool,
+    /// Root of the durable store (`--data-dir`). When set, the runtime
+    /// opens a [`dcstore::Store`] there, replays its WALs into the engine
+    /// *before* the control plane accepts connections, and honors
+    /// `CREATE STREAM ... PERSIST`. `None` = fully in-memory (the
+    /// pre-durability behavior).
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync policy for durable streams.
+    pub fsync: dcstore::FsyncPolicy,
+    /// Seal a durable stream's hot rows into a segment once this many
+    /// accumulate (0 = only on explicit `FLUSH STREAM`).
+    pub seal_rows: usize,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +71,9 @@ impl Default for ServerConfig {
             idle_backoff: Duration::from_micros(100),
             receptor_basket_cap: 0,
             telemetry_enabled: true,
+            data_dir: None,
+            fsync: dcstore::FsyncPolicy::default(),
+            seal_rows: 0,
         }
     }
 }
@@ -71,6 +86,10 @@ pub struct ReceptorPort {
     pub connections: AtomicU64,
     pub accepted: AtomicU64,
     pub rejected: AtomicU64,
+    /// `DETACH RECEPTOR` flips this; the accept loop exits and releases
+    /// the listener (established connections drain until the peer hangs
+    /// up).
+    closed: Arc<AtomicBool>,
 }
 
 /// An emitter data-plane port: accept loop + per-subscriber emitter threads.
@@ -83,6 +102,9 @@ pub struct EmitterPort {
     /// subscribers (adaptive coalescing when a socket is the bottleneck).
     pub coalesced: Arc<AtomicU64>,
     emitters: Mutex<Vec<Emitter>>,
+    /// `DETACH EMITTER` flips this; the accept loop exits and releases
+    /// the listener (existing subscribers keep their streams).
+    closed: Arc<AtomicBool>,
 }
 
 /// A live `TRACE QUERY <q> ON` port: an accept loop feeding each
@@ -103,6 +125,9 @@ pub struct ServerRuntime {
     pub sessions: SessionManager,
     receptors: Mutex<Vec<Arc<ReceptorPort>>>,
     emitters: Mutex<Vec<Arc<EmitterPort>>>,
+    /// Emitter ports removed by `DETACH` whose subscriber threads still
+    /// need joining at shutdown.
+    detached_emitters: Mutex<Vec<Arc<EmitterPort>>>,
     trace_ports: Mutex<Vec<Arc<TracePort>>>,
     telemetry: dctrace::Telemetry,
     threads: Mutex<Vec<JoinHandle<()>>>,
@@ -113,10 +138,14 @@ pub struct ServerRuntime {
     registration: Mutex<()>,
     stop: Arc<AtomicBool>,
     started_at: Instant,
+    /// The durable store behind `--data-dir` (`None` = in-memory server).
+    store: Option<Arc<dcstore::Store>>,
+    /// What boot-time recovery replayed (present when `store` is).
+    recovery: Option<dcstore::RecoveryReport>,
 }
 
 impl ServerRuntime {
-    pub fn new(engine: Arc<DataCell>, config: ServerConfig) -> Arc<ServerRuntime> {
+    pub fn new(engine: Arc<DataCell>, config: ServerConfig) -> Result<Arc<ServerRuntime>> {
         let sched = ThreadedScheduler::with_backoff(config.idle_backoff);
         let telemetry = if config.telemetry_enabled {
             dctrace::Telemetry::enabled()
@@ -126,7 +155,26 @@ impl ServerRuntime {
         // install before any DDL runs so every basket and factory the
         // engine creates picks up its probes
         engine.set_telemetry(telemetry.clone());
-        Arc::new(ServerRuntime {
+        // durable boot: open the store and replay manifest + WAL tails
+        // into the engine BEFORE any connection is accepted, so clients
+        // only ever observe the recovered state
+        let (store, recovery) = match &config.data_dir {
+            Some(dir) => {
+                let store = dcstore::Store::open(
+                    dir,
+                    dcstore::StoreOptions {
+                        fsync: config.fsync,
+                        seal_rows: config.seal_rows,
+                    },
+                    telemetry.clone(),
+                )?;
+                let report = store.recover_into(&engine)?;
+                engine.set_durability(Arc::clone(&store) as _);
+                (Some(store), Some(report))
+            }
+            None => (None, None),
+        };
+        Ok(Arc::new(ServerRuntime {
             engine,
             config,
             sched: Mutex::new(Some(sched)),
@@ -134,13 +182,26 @@ impl ServerRuntime {
             sessions: SessionManager::new(),
             receptors: Mutex::new(Vec::new()),
             emitters: Mutex::new(Vec::new()),
+            detached_emitters: Mutex::new(Vec::new()),
             trace_ports: Mutex::new(Vec::new()),
             telemetry,
             threads: Mutex::new(Vec::new()),
             registration: Mutex::new(()),
             stop: Arc::new(AtomicBool::new(false)),
             started_at: Instant::now(),
-        })
+            store,
+            recovery,
+        }))
+    }
+
+    /// The durable store, when the server runs with a data directory.
+    pub fn store(&self) -> Option<&Arc<dcstore::Store>> {
+        self.store.as_ref()
+    }
+
+    /// What boot-time recovery replayed (`None` on an in-memory server).
+    pub fn recovery_report(&self) -> Option<&dcstore::RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     pub fn engine(&self) -> &Arc<DataCell> {
@@ -265,6 +326,7 @@ impl ServerRuntime {
             connections: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            closed: Arc::new(AtomicBool::new(false)),
         });
         self.receptors.lock().push(Arc::clone(&rport));
 
@@ -274,7 +336,7 @@ impl ServerRuntime {
             .name(format!("dc-rcpt-{stream}"))
             .spawn(move || {
                 let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
-                while !rt.is_stopping() {
+                while !rt.is_stopping() && !accept_port.closed.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((sock, _peer)) => {
                             accept_port.connections.fetch_add(1, Ordering::AcqRel);
@@ -343,6 +405,7 @@ impl ServerRuntime {
             connections: AtomicU64::new(0),
             coalesced: Arc::new(AtomicU64::new(0)),
             emitters: Mutex::new(Vec::new()),
+            closed: Arc::new(AtomicBool::new(false)),
         });
         self.emitters.lock().push(Arc::clone(&eport));
 
@@ -352,7 +415,7 @@ impl ServerRuntime {
         let thread = std::thread::Builder::new()
             .name(format!("dc-emit-{query}"))
             .spawn(move || {
-                while !rt.is_stopping() {
+                while !rt.is_stopping() && !accept_port.closed.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((sock, _peer)) => {
                             accept_port.connections.fetch_add(1, Ordering::AcqRel);
@@ -391,6 +454,93 @@ impl ServerRuntime {
             .expect("spawn emitter accept thread");
         self.threads.lock().push(thread);
         Ok(bound)
+    }
+
+    /// `DETACH RECEPTOR <stream> PORT <p>`: stop the port's accept loop
+    /// and release its listener. Established connections drain until the
+    /// peer hangs up. Returns how many ports matched (stream AND port).
+    pub fn detach_receptor(&self, stream: &str, port: u16) -> Result<usize> {
+        let mut ports = self.receptors.lock();
+        let mut n = 0;
+        for p in ports.iter() {
+            if p.stream == stream && p.port == port && !p.closed.swap(true, Ordering::AcqRel) {
+                n += 1;
+            }
+        }
+        ports.retain(|p| !(p.stream == stream && p.port == port));
+        drop(ports);
+        if n == 0 {
+            return Err(ServerError::Unknown(format!(
+                "receptor {stream} on port {port}"
+            )));
+        }
+        Ok(n)
+    }
+
+    /// `DETACH EMITTER <query> PORT <p>`: stop the port's accept loop and
+    /// release its listener. Existing subscribers keep their streams
+    /// until the query ends or they hang up. Returns how many ports
+    /// matched.
+    pub fn detach_emitter(&self, query: &str, port: u16) -> Result<usize> {
+        let mut ports = self.emitters.lock();
+        let mut n = 0;
+        let mut detached = Vec::new();
+        for p in ports.iter() {
+            if p.query == query && p.port == port && !p.closed.swap(true, Ordering::AcqRel) {
+                n += 1;
+                detached.push(Arc::clone(p));
+            }
+        }
+        ports.retain(|p| !(p.query == query && p.port == port));
+        drop(ports);
+        if n == 0 {
+            return Err(ServerError::Unknown(format!(
+                "emitter {query} on port {port}"
+            )));
+        }
+        // keep the detached ports' subscriber threads joinable at
+        // shutdown even though the port left the live list
+        self.detached_emitters.lock().extend(detached);
+        Ok(n)
+    }
+
+    /// `CREATE STREAM ... PERSIST`: parse the plain DDL, then create the
+    /// stream durably (WAL opened and manifest updated before the OK goes
+    /// out). `ddl` is the CREATE STREAM line with the clause stripped.
+    pub fn create_stream_persistent(&self, ddl: &str, stream: &str) -> Result<()> {
+        self.ensure_running()?;
+        let stmt = dcsql::parse_statement(ddl)
+            .map_err(|e| ServerError::Protocol(format!("PERSIST: {e}")))?;
+        let dcsql::ast::Stmt::Create {
+            kind: dcsql::ast::CreateKind::Stream,
+            name,
+            fields,
+        } = stmt
+        else {
+            return Err(ServerError::Protocol(
+                "PERSIST applies to CREATE STREAM only".into(),
+            ));
+        };
+        if name != stream {
+            return Err(ServerError::Protocol(format!(
+                "PERSIST stream name mismatch: {name} vs {stream}"
+            )));
+        }
+        let schema = Schema::new(
+            fields
+                .iter()
+                .map(|(n, t)| Field::new(n.clone(), *t))
+                .collect(),
+        );
+        self.engine.create_stream_persistent(&name, &schema)?;
+        Ok(())
+    }
+
+    /// `FLUSH STREAM <name>`: seal the durable stream's hot rows into a
+    /// segment now. Returns the number of rows sealed.
+    pub fn flush_stream(&self, stream: &str) -> Result<usize> {
+        self.ensure_running()?;
+        Ok(self.engine.flush_stream(stream)?)
     }
 
     /// The server's telemetry handle (disabled when the config said so).
@@ -502,9 +652,10 @@ impl ServerRuntime {
         for b in self.engine.basket_report() {
             body.push(format!(
                 "basket {} len={} enabled={} in={} out={} dropped={} high_water={} cap={} \
-                 pending_deletes={} compactions={}",
+                 pending_deletes={} compactions={} persistent={} wal_bytes={} segments={}",
                 b.name, b.len, b.enabled, b.total_in, b.total_out, b.dropped,
-                b.high_water, b.pending_cap, b.pending_deletes, b.compactions
+                b.high_water, b.pending_cap, b.pending_deletes, b.compactions,
+                b.persistent, b.wal_bytes, b.segments
             ));
         }
         for q in self.queries.snapshot() {
@@ -597,12 +748,19 @@ impl ServerRuntime {
         for q in self.queries.drain() {
             q.join_pump();
         }
-        for eport in self.emitters.lock().drain(..) {
+        let mut eports: Vec<Arc<EmitterPort>> = self.emitters.lock().drain(..).collect();
+        eports.extend(self.detached_emitters.lock().drain(..));
+        for eport in eports {
             // other clones of the Arc only read stats; the emitter vec is
             // drained through the lock
             for emitter in eport.emitters.lock().drain(..) {
                 let _ = emitter.join();
             }
+        }
+        // 4. every acknowledged append is already in the WAL; one final
+        //    fsync narrows the window of an `off`/`every_n` policy
+        if let Some(store) = &self.store {
+            let _ = store.sync_all();
         }
     }
 }

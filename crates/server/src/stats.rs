@@ -44,6 +44,12 @@ pub struct BasketStats {
     pub pending_deletes: u64,
     /// Lifetime physical compactions of the basket store.
     pub compactions: u64,
+    /// Whether the basket is a durable stream (WAL + segments behind it).
+    pub persistent: bool,
+    /// Bytes currently in the stream's write-ahead log (0 if transient).
+    pub wal_bytes: u64,
+    /// Sealed immutable segments backing the stream (0 if transient).
+    pub segments: u64,
 }
 
 /// One `query <name> ...` line.
@@ -73,6 +79,11 @@ pub struct QueryStats {
     pub p99_micros: u64,
     /// Worst observed firing latency, µs.
     pub max_micros: u64,
+    /// Comma-joined engine ids hosting this query (`dccluster` only —
+    /// empty on a single engine, and rendered only when non-empty).
+    /// A query registered on fewer engines than the cluster has was a
+    /// partial-success registration; the missing engines declined it.
+    pub engines: String,
 }
 
 /// One `receptor <stream> ...` line.
@@ -206,6 +217,9 @@ impl StatsReport {
                     cap: num(&kv, "cap"),
                     pending_deletes: num(&kv, "pending_deletes"),
                     compactions: num(&kv, "compactions"),
+                    persistent: kv.get("persistent").is_some_and(|v| *v == "true"),
+                    wal_bytes: num(&kv, "wal_bytes"),
+                    segments: num(&kv, "segments"),
                 }),
                 "query" => report.queries.push(QueryStats {
                     name: name.to_string(),
@@ -224,6 +238,7 @@ impl StatsReport {
                     p50_micros: num(&kv, "p50_micros"),
                     p99_micros: num(&kv, "p99_micros"),
                     max_micros: num(&kv, "max_micros"),
+                    engines: text(&kv, "engines"),
                 }),
                 "receptor" => report.receptors.push(ReceptorStats {
                     stream: name.to_string(),
@@ -290,13 +305,13 @@ impl StatsReport {
         for b in &self.baskets {
             body.push(format!(
                 "basket {} len={} enabled={} in={} out={} dropped={} high_water={} cap={} \
-                 pending_deletes={} compactions={}",
+                 pending_deletes={} compactions={} persistent={} wal_bytes={} segments={}",
                 b.name, b.len, b.enabled, b.total_in, b.total_out, b.dropped, b.high_water,
-                b.cap, b.pending_deletes, b.compactions
+                b.cap, b.pending_deletes, b.compactions, b.persistent, b.wal_bytes, b.segments
             ));
         }
         for q in &self.queries {
-            body.push(format!(
+            let mut line = format!(
                 "query {} firings={} consumed={} produced={} busy_micros={} lock_micros={} \
                  rows_scanned={} rows_out={} plan_micros={} \
                  subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={} \
@@ -305,7 +320,11 @@ impl StatsReport {
                 q.rows_scanned, q.rows_out, q.plan_micros,
                 q.subscribers, q.delivered_batches, q.delivered_tuples, q.dropped_batches,
                 q.p50_micros, q.p99_micros, q.max_micros
-            ));
+            );
+            if !q.engines.is_empty() {
+                line.push_str(&format!(" engines={}", q.engines));
+            }
+            body.push(line);
         }
         for r in &self.receptors {
             body.push(format!(
@@ -455,7 +474,7 @@ mod tests {
              engines=2 streams=1",
             "stream S shards=2 key=- engines=0,1",
             "basket S len=3 enabled=true in=100 out=97 dropped=0 high_water=50 cap=256 \
-             pending_deletes=4 compactions=2",
+             pending_deletes=4 compactions=2 persistent=true wal_bytes=2048 segments=3",
             "query hot firings=7 consumed=100 produced=42 busy_micros=999 lock_micros=111 \
              rows_scanned=640 rows_out=42 plan_micros=17 \
              subscribers=2 delivered_batches=5 delivered_tuples=42 dropped_batches=0 \
@@ -468,6 +487,9 @@ mod tests {
         ]);
         let r = StatsReport::parse(&body).unwrap();
         assert_eq!(r.query("hot").unwrap().p99_micros, 64);
+        assert!(r.basket("S").unwrap().persistent);
+        assert_eq!(r.basket("S").unwrap().wal_bytes, 2048);
+        assert_eq!(r.basket("S").unwrap().segments, 3);
         let r2 = StatsReport::parse(&r.render()).unwrap();
         assert_eq!(r, r2);
     }

@@ -1,0 +1,264 @@
+//! Crash-recovery end-to-end: boot the real `datacelld` binary with a
+//! data directory, ingest into a `PERSIST` stream over a receptor
+//! socket, `kill -9` the process mid-flight, restart it on the same
+//! directory, and verify that **every acknowledged batch is present** —
+//! the durability contract of the WAL's log-before-ack ordering.
+//!
+//! Acknowledgement here is observed through `STATS`: the receptor's
+//! `accepted` counter only advances after the row is appended, and for a
+//! persistent stream the append logs to the WAL (under the basket lock)
+//! *before* the in-memory insert. `fsync=always` makes the record
+//! durable at that same point, so `accepted == K` ⇒ all K rows survive
+//! any crash after the observation.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use datacell::frame::WireFormat;
+use dcserver::client::Client;
+use monet::prelude::*;
+
+const POLL_DEADLINE: Duration = Duration::from_secs(30);
+
+/// A `datacelld` child process bound to ephemeral ports.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Spawn `datacelld --data-dir <dir> --fsync always` on an ephemeral
+    /// control port and wait for its "control plane on" banner — printed
+    /// only after recovery completes, so a successful spawn implies the
+    /// manifest and WAL tails were replayed.
+    fn spawn(data_dir: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_datacelld"))
+            .args(["--listen", "127.0.0.1:0", "--fsync", "always", "--data-dir"])
+            .arg(data_dir)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn datacelld");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut reader = BufReader::new(stderr);
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            if reader.read_line(&mut line).expect("read daemon banner") == 0 {
+                panic!("datacelld exited before announcing its control plane");
+            }
+            if let Some(addr) = line.trim().strip_prefix("datacelld: control plane on ") {
+                break addr.parse::<SocketAddr>().expect("daemon address");
+            }
+        };
+        // keep draining stderr so the daemon never blocks on the pipe
+        std::thread::spawn(move || {
+            let mut sink = Vec::new();
+            let _ = reader.read_to_end(&mut sink);
+        });
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        let mut c = Client::connect(self.addr).expect("connect control plane");
+        c.set_io_timeout(Some(Duration::from_secs(10))).unwrap();
+        c
+    }
+
+    /// SIGKILL — no drop handlers, no flush, the crash under test.
+    fn kill_dash_nine(mut self) {
+        self.child.kill().expect("kill -9 datacelld");
+        self.child.wait().expect("reap datacelld");
+    }
+
+    fn shutdown(mut self) {
+        let _ = self.client().shutdown();
+        let _ = self.child.wait();
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dc-recovery-{tag}-{}-{:?}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Poll `STATS` until the stream's receptor has acknowledged `want` rows.
+fn wait_for_acks(c: &mut Client, stream: &str, want: u64) {
+    let deadline = Instant::now() + POLL_DEADLINE;
+    loop {
+        let stats = c.stats_report().unwrap();
+        let acked = stats
+            .receptors
+            .iter()
+            .filter(|r| r.stream == stream)
+            .map(|r| r.accepted)
+            .sum::<u64>();
+        if acked >= want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {acked}/{want} rows acknowledged: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Read the stream's full contents back as sorted `id|v` wire rows —
+/// an unbracketed FROM is a non-consuming snapshot read.
+fn read_back(c: &mut Client, stream: &str) -> Vec<String> {
+    let mut body = c
+        .exec(&format!("select id, v from {stream}"))
+        .expect("one-shot read-back");
+    assert_eq!(body.first().map(String::as_str), Some("# id|v"), "{body:?}");
+    body.remove(0);
+    body.sort();
+    body
+}
+
+fn expected_rows(k: i64) -> Vec<String> {
+    let mut rows: Vec<String> = (0..k).map(|i| format!("{i}|{}", i * 7)).collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn acknowledged_text_rows_survive_kill_dash_nine() {
+    const K: i64 = 500;
+    let dir = temp_dir("text");
+
+    let daemon = Daemon::spawn(&dir);
+    let mut c = daemon.client();
+    c.create_persistent_stream("S", "(id int, v int)").unwrap();
+    let stats = c.stats_report().unwrap();
+    let basket = stats.basket("S").expect("basket row");
+    assert!(basket.persistent, "{basket:?}");
+
+    let rport = c.attach_receptor("S", 0).unwrap();
+    let mut sink = c.open_receptor(rport).unwrap();
+    for i in 0..K {
+        sink.send_row(&[Value::Int(i), Value::Int(i * 7)]).unwrap();
+    }
+    sink.flush().unwrap();
+    wait_for_acks(&mut c, "S", K as u64);
+    daemon.kill_dash_nine();
+
+    // simulate a torn tail: a record header promising more bytes than
+    // exist. Recovery must truncate it — never refuse to boot.
+    let wal = dir.join("streams").join("S").join("wal.log");
+    let before = std::fs::metadata(&wal).unwrap().len();
+    let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+    f.write_all(&[0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01])
+        .unwrap();
+    drop(f);
+
+    let daemon = Daemon::spawn(&dir);
+    let mut c = daemon.client();
+    assert_eq!(read_back(&mut c, "S"), expected_rows(K));
+    // the torn bytes are gone from disk, not just skipped
+    assert_eq!(std::fs::metadata(&wal).unwrap().len(), before);
+    // the replayed stream is still live: a query registered after
+    // recovery consumes the replayed rows
+    c.register_query("all", "select id from [select * from S] as Z")
+        .unwrap();
+    let eport = c.attach_emitter("all", 0).unwrap();
+    let mut tap = c.open_emitter(eport).unwrap();
+    tap.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let schema = Schema::from_pairs(&[("id", ValueType::Int)]);
+    let rows = tap.take_rows(&schema, K as usize).unwrap();
+    assert_eq!(rows.len(), K as usize);
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn acknowledged_binary_batches_survive_kill_dash_nine_after_flush() {
+    const K: i64 = 600;
+    const BATCH: i64 = 100;
+    let dir = temp_dir("binary");
+    let schema = Schema::from_pairs(&[("id", ValueType::Int), ("v", ValueType::Int)]);
+
+    let daemon = Daemon::spawn(&dir);
+    let mut c = daemon.client();
+    c.create_persistent_stream("S", "(id int, v int)").unwrap();
+    let rport = c.attach_receptor_fmt("S", 0, WireFormat::Binary).unwrap();
+    let mut sink = c
+        .open_receptor_with(rport, WireFormat::Binary, &schema)
+        .unwrap();
+    for b in 0..(K / BATCH) {
+        let mut rel = Relation::new(&schema);
+        for i in (b * BATCH)..((b + 1) * BATCH) {
+            rel.append_row(&[Value::Int(i), Value::Int(i * 7)]).unwrap();
+        }
+        sink.send_batch(&rel).unwrap();
+    }
+    sink.flush().unwrap();
+    wait_for_acks(&mut c, "S", K as u64);
+
+    // seal half the history into an immutable segment, then keep
+    // ingesting: recovery must stitch segments + WAL tail together
+    let sealed = c.flush_stream("S").unwrap();
+    assert!(sealed > 0, "sealed {sealed} rows");
+    let stats = c.stats_report().unwrap();
+    let basket = stats.basket("S").expect("basket row");
+    assert!(basket.segments >= 1, "{basket:?}");
+    assert_eq!(basket.wal_bytes, 0, "wal truncated after seal: {basket:?}");
+
+    let mut rel = Relation::new(&schema);
+    for i in K..(K + BATCH) {
+        rel.append_row(&[Value::Int(i), Value::Int(i * 7)]).unwrap();
+    }
+    sink.send_batch(&rel).unwrap();
+    sink.flush().unwrap();
+    wait_for_acks(&mut c, "S", (K + BATCH) as u64);
+    daemon.kill_dash_nine();
+
+    let daemon = Daemon::spawn(&dir);
+    let mut c = daemon.client();
+    // recovery restores the pre-crash shape exactly: the sealed history
+    // stays in immutable segments on disk, the basket holds the WAL
+    // tail (the rows ingested after the seal)
+    let mut live = read_back(&mut c, "S");
+    let stats = c.stats_report().unwrap();
+    let basket = stats.basket("S").expect("basket row");
+    assert!(basket.persistent && basket.segments >= 1, "{basket:?}");
+
+    // segments + live basket together must hold EVERY acknowledged row
+    let full_schema = Schema::from_pairs(&[
+        ("id", ValueType::Int),
+        ("v", ValueType::Int),
+        (datacell::prelude::TS_COLUMN, ValueType::Ts),
+    ]);
+    let mut all = Vec::new();
+    for entry in std::fs::read_dir(dir.join("streams").join("S")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("dcs") {
+            continue;
+        }
+        let (rel, meta) = dcstore::segment::read_segment(&path, &full_schema).unwrap();
+        assert_eq!(rel.len() as u64, meta.rows);
+        let ids = rel.column("id").unwrap().ints().unwrap();
+        let vs = rel.column("v").unwrap().ints().unwrap();
+        all.extend(ids.iter().zip(vs).map(|(i, v)| format!("{i}|{v}")));
+    }
+    assert_eq!(all.len() as u64, sealed, "segment rows == sealed rows");
+    all.append(&mut live);
+    all.sort();
+    assert_eq!(all, expected_rows(K + BATCH));
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -650,3 +650,42 @@ fn explain_shows_compiled_plan_and_stats_carry_plan_fields() {
     c.shutdown().unwrap();
     server_thread.join().unwrap();
 }
+
+#[test]
+fn detach_closes_ports_and_stops_counting_them() {
+    let (addr, server_thread) = boot();
+    let mut c = Client::connect(addr).unwrap();
+    c.create_stream("S", "(id int)").unwrap();
+    c.register_query("all", "select id from [select * from S] as Z")
+        .unwrap();
+    let rport = c.attach_receptor("S", 0).unwrap();
+    let eport = c.attach_emitter("all", 0).unwrap();
+    assert_eq!(c.stats_report().unwrap().receptors.len(), 1);
+
+    c.detach_receptor("S", rport).unwrap();
+    c.detach_emitter("all", eport).unwrap();
+    let stats = c.stats_report().unwrap();
+    assert!(stats.receptors.is_empty(), "{stats:?}");
+    assert!(stats.emitters.is_empty(), "{stats:?}");
+
+    // a second detach of the same port — and a detach of a port that
+    // never existed — are errors, not silent no-ops
+    assert!(c.detach_receptor("S", rport).is_err());
+    assert!(c.detach_emitter("all", eport).is_err());
+    assert!(c.detach_receptor("S", 1).is_err());
+
+    // the stream and query are untouched: fresh ports attach fine
+    let rport2 = c.attach_receptor("S", 0).unwrap();
+    let eport2 = c.attach_emitter("all", 0).unwrap();
+    let mut sink = c.open_receptor(rport2).unwrap();
+    let mut tap = c.open_emitter(eport2).unwrap();
+    tap.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    sink.send_row(&[Value::Int(41)]).unwrap();
+    sink.flush().unwrap();
+    let schema = Schema::from_pairs(&[("id", ValueType::Int)]);
+    let rows = tap.take_rows(&schema, 1).unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(41)]]);
+
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+}

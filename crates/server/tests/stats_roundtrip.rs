@@ -73,6 +73,9 @@ fn report(rng: &mut StdRng) -> StatsReport {
             cap: rng.gen_range(0u64..1 << 20),
             pending_deletes: rng.gen_range(0u64..1 << 10),
             compactions: rng.gen_range(0u64..1 << 10),
+            persistent: rng.gen_bool(0.5),
+            wal_bytes: rng.gen_range(0u64..1 << 30),
+            segments: rng.gen_range(0u64..1 << 10),
         });
     }
     for _ in 0..rng.gen_range(0usize..4) {
@@ -93,6 +96,13 @@ fn report(rng: &mut StdRng) -> StatsReport {
             p50_micros: rng.gen_range(0u64..1 << 20),
             p99_micros: rng.gen_range(0u64..1 << 20),
             max_micros: rng.gen_range(0u64..1 << 20),
+            // cluster-only placement column: absent on single engines,
+            // rendered only when non-empty — both shapes must roundtrip
+            engines: if rng.gen_bool(0.5) {
+                String::new()
+            } else {
+                "0,1".to_string()
+            },
         });
     }
     for _ in 0..rng.gen_range(0usize..3) {

@@ -1,0 +1,632 @@
+//! # dcstore — durable streams for the DataCell
+//!
+//! Everything in the engine is transient by design (paper §3.2: basket
+//! ACID has *no* crash survival). This crate adds the table half of the
+//! stream/table duality: a per-stream [`wal::Wal`] for the mutable
+//! tail, immutable columnar [`segment`] files for sealed history, and a
+//! versioned [`manifest::Manifest`] tying them together, all under one
+//! data directory:
+//!
+//! ```text
+//! <data-dir>/
+//!   MANIFEST                  stream schemas, segment inventory, WAL watermarks
+//!   streams/<name>/wal.log    length+CRC framed batches (the unsealed tail)
+//!   streams/<name>/seg-N.dcs  immutable columnar segments + zone-map footers
+//! ```
+//!
+//! [`Store`] implements `datacell`'s `DurabilityProvider`, so the engine
+//! calls into it without depending on this crate. The write path:
+//! every accepted batch is WAL-appended **before** the in-memory append
+//! is acknowledged; sealing (threshold or `FLUSH STREAM`) moves the live
+//! rows into a segment and truncates the WAL. [`Store::recover_into`]
+//! is the boot path: rebuild streams from the manifest, truncate torn
+//! WAL tails, replay intact records into baskets — after which every
+//! batch acknowledged before a `kill -9` is present again.
+
+pub mod crc;
+pub mod manifest;
+pub mod segment;
+pub mod wal;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use datacell::error::{EngineError, Result};
+use datacell::frame::{decode_frame, encode_frame};
+use datacell::persist::{DurabilityProvider, PersistStats, StreamPersist};
+use datacell::prelude::{DataCell, TS_COLUMN};
+use monet::prelude::*;
+use parking_lot::Mutex;
+
+use manifest::{Manifest, SegmentRef};
+pub use segment::{SegmentMeta, Zone};
+pub use wal::FsyncPolicy;
+use wal::{Wal, WalReplay};
+
+/// WAL record payload kinds (the first byte of every record payload).
+/// `REC_FULL` carries a full-schema frame with per-row timestamps;
+/// `REC_UNIFORM` carries one i64 LE arrival timestamp followed by a
+/// user-columns frame — the compact form for engine-stamped batches,
+/// where every row shares the same arrival time.
+const REC_FULL: u8 = 0;
+const REC_UNIFORM: u8 = 1;
+
+/// Store-wide knobs, set once at open.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreOptions {
+    /// WAL fsync cadence (defaults to [`FsyncPolicy::EveryN`] 64).
+    pub fsync: FsyncPolicy,
+    /// Resident rows above which a persistent basket auto-seals
+    /// (0 = seal only on explicit `FLUSH STREAM`).
+    pub seal_rows: usize,
+}
+
+/// What replay-on-boot did (logged by the daemons before accepting
+/// connections).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    pub streams: usize,
+    pub replayed_batches: u64,
+    pub replayed_rows: u64,
+    /// Streams whose WAL had a torn tail (truncated, not fatal).
+    pub torn_tails: usize,
+    pub segments: u64,
+}
+
+/// The durable store rooted at one data directory.
+pub struct Store {
+    root: PathBuf,
+    opts: StoreOptions,
+    telemetry: dctrace::Telemetry,
+    manifest: Arc<Mutex<Manifest>>,
+    streams: Mutex<BTreeMap<String, Arc<StreamStore>>>,
+}
+
+impl Store {
+    /// Open (creating) the store at `root` and load its manifest.
+    pub fn open(
+        root: impl Into<PathBuf>,
+        opts: StoreOptions,
+        telemetry: dctrace::Telemetry,
+    ) -> Result<Arc<Store>> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        let manifest = Manifest::load_or_new(&root)?;
+        Ok(Arc::new(Store {
+            root,
+            opts,
+            telemetry,
+            manifest: Arc::new(Mutex::new(manifest)),
+            streams: Mutex::new(BTreeMap::new()),
+        }))
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    pub fn options(&self) -> StoreOptions {
+        self.opts
+    }
+
+    /// Names of streams with durable state (manifest order).
+    pub fn stream_names(&self) -> Vec<String> {
+        self.manifest
+            .lock()
+            .stream_list()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// The per-stream handle, if opened in this process.
+    pub fn stream(&self, name: &str) -> Option<Arc<StreamStore>> {
+        self.streams.lock().get(name).cloned()
+    }
+
+    /// Fsync every open WAL (graceful-shutdown path for `every_n`/`off`
+    /// policies).
+    pub fn sync_all(&self) -> Result<()> {
+        let streams: Vec<Arc<StreamStore>> = self.streams.lock().values().cloned().collect();
+        for s in streams {
+            s.state.lock().wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild every manifest stream inside `engine`: create the basket,
+    /// replay the WAL tail into it (torn tails truncated), then attach
+    /// the durability sink so new appends are logged. Call before the
+    /// daemon accepts connections.
+    pub fn recover_into(&self, engine: &DataCell) -> Result<RecoveryReport> {
+        let entries = self.manifest.lock().stream_list();
+        let mut report = RecoveryReport::default();
+        for (name, user_schema) in entries {
+            let basket = engine.create_stream(&name, &user_schema)?;
+            let (stream, replay) = self.build_stream(&name, &user_schema)?;
+            if replay.torn {
+                report.torn_tails += 1;
+            }
+            for payload in &replay.records {
+                let rel = decode_record(&name, payload, &stream.full_schema, &stream.user_schema)?;
+                report.replayed_batches += 1;
+                report.replayed_rows += basket.append_relation(rel, engine.clock().as_ref())? as u64;
+            }
+            report.segments += stream.stats().segments;
+            basket.set_persist(Arc::clone(&stream) as Arc<dyn StreamPersist>);
+            self.streams.lock().insert(name, stream);
+            report.streams += 1;
+        }
+        Ok(report)
+    }
+
+    fn stream_dir(&self, name: &str) -> PathBuf {
+        self.root.join("streams").join(name)
+    }
+
+    /// Open WAL + segment inventory for one stream (no manifest write,
+    /// no replay application — callers decide what to do with the
+    /// returned records).
+    fn build_stream(&self, name: &str, user_schema: &Schema) -> Result<(Arc<StreamStore>, WalReplay)> {
+        validate_name(name)?;
+        for f in user_schema.fields() {
+            validate_col(&f.name)?;
+        }
+        let dir = self.stream_dir(name);
+        std::fs::create_dir_all(&dir)?;
+        let mut fields = user_schema.fields().to_vec();
+        fields.push(Field::new(TS_COLUMN, ValueType::Ts));
+        let full_schema = Schema::new(fields);
+        let hist = self
+            .telemetry
+            .histogram("dc_wal_fsync_micros", &[("stream", name)]);
+        let (wal, replay) = Wal::open(&dir.join("wal.log"), self.opts.fsync, hist)?;
+        let segments: Vec<SegmentRef> = self
+            .manifest
+            .lock()
+            .get(name)
+            .map(|e| e.segments.clone())
+            .unwrap_or_default();
+        let next_seg = segments
+            .iter()
+            .filter_map(|s| seg_id_of(&s.file))
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let stream = Arc::new(StreamStore {
+            name: name.to_string(),
+            dir,
+            full_schema,
+            user_schema: user_schema.clone(),
+            seal_rows: self.opts.seal_rows,
+            manifest: Arc::clone(&self.manifest),
+            wal_bytes: AtomicU64::new(wal.bytes()),
+            segment_count: AtomicU64::new(segments.len() as u64),
+            sealed_rows: AtomicU64::new(
+                self.manifest
+                    .lock()
+                    .get(name)
+                    .map(|e| e.sealed_rows)
+                    .unwrap_or(0),
+            ),
+            next_seg: AtomicU64::new(next_seg),
+            state: Mutex::new(StreamState { wal, segments }),
+        });
+        Ok((stream, replay))
+    }
+}
+
+impl DurabilityProvider for Store {
+    fn open_stream(&self, name: &str, user_schema: &Schema) -> Result<Arc<dyn StreamPersist>> {
+        // validate before the manifest write: a rejected name must leave
+        // no manifest entry behind
+        validate_name(name)?;
+        for f in user_schema.fields() {
+            validate_col(&f.name)?;
+        }
+        {
+            let mut m = self.manifest.lock();
+            if m.contains(name) {
+                return Err(EngineError::Duplicate(format!("durable stream {name}")));
+            }
+            m.add_stream(name, user_schema);
+            m.save()?;
+        }
+        let (stream, replay) = self.build_stream(name, user_schema)?;
+        if !replay.records.is_empty() || replay.torn {
+            // stale log from state the manifest no longer knows about —
+            // a *new* stream starts empty
+            stream.state.lock().wal.truncate_all()?;
+            stream.wal_bytes.store(0, Ordering::Relaxed);
+        }
+        self.streams.lock().insert(name.to_string(), Arc::clone(&stream));
+        Ok(stream)
+    }
+}
+
+/// Stream names become directory names; column names are embedded in
+/// manifest lines. Keep both to identifier-ish characters.
+fn validate_name(name: &str) -> Result<()> {
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(EngineError::Config(format!(
+            "stream name {name:?} cannot be persisted (use [A-Za-z0-9_-])"
+        )));
+    }
+    Ok(())
+}
+
+fn validate_col(name: &str) -> Result<()> {
+    if name.is_empty() || name.contains([',', ':']) || name.chars().any(char::is_whitespace) {
+        return Err(EngineError::Config(format!(
+            "column name {name:?} cannot be persisted"
+        )));
+    }
+    Ok(())
+}
+
+/// Decode one WAL record payload back into a full-schema relation.
+/// The replayed batch is width-complete, so the basket appends it
+/// without restamping — recovered rows keep their original arrival
+/// timestamps.
+fn decode_record(name: &str, payload: &[u8], full: &Schema, user: &Schema) -> Result<Relation> {
+    let bad = |what: &str| EngineError::Io(format!("stream {name}: {what}"));
+    let frame_of = |bytes: &[u8], schema: &Schema| -> Result<Relation> {
+        let (rel, used) =
+            decode_frame(bytes, schema)?.ok_or_else(|| bad("wal record is a truncated frame"))?;
+        if used != bytes.len() {
+            return Err(bad("wal record has trailing bytes"));
+        }
+        Ok(rel)
+    };
+    match payload.split_first() {
+        Some((&REC_FULL, rest)) => frame_of(rest, full),
+        Some((&REC_UNIFORM, rest)) => {
+            let Some((ts_bytes, frame)) = rest.split_first_chunk::<8>() else {
+                return Err(bad("wal record is missing its arrival timestamp"));
+            };
+            let ts = i64::from_le_bytes(*ts_bytes);
+            let mut rel = frame_of(frame, user)?;
+            rel.add_column(TS_COLUMN, Column::from_ts(vec![ts; rel.len()]))?;
+            Ok(rel)
+        }
+        _ => Err(bad("wal record has an unknown kind byte")),
+    }
+}
+
+fn seg_file_name(id: u64) -> String {
+    format!("seg-{id:06}.dcs")
+}
+
+fn seg_id_of(file: &str) -> Option<u64> {
+    file.strip_prefix("seg-")?.strip_suffix(".dcs")?.parse().ok()
+}
+
+struct StreamState {
+    wal: Wal,
+    segments: Vec<SegmentRef>,
+}
+
+/// Durable state of one stream: the WAL tail plus the segment
+/// inventory. Implements the engine-facing [`StreamPersist`] sink.
+pub struct StreamStore {
+    name: String,
+    dir: PathBuf,
+    full_schema: Schema,
+    user_schema: Schema,
+    seal_rows: usize,
+    manifest: Arc<Mutex<Manifest>>,
+    // mirrored counters so `stats()` never takes the state lock (it is
+    // called from STATS while ingest holds basket + state locks)
+    wal_bytes: AtomicU64,
+    segment_count: AtomicU64,
+    sealed_rows: AtomicU64,
+    next_seg: AtomicU64,
+    state: Mutex<StreamState>,
+}
+
+impl StreamStore {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Full on-disk schema (user columns + arrival timestamp).
+    pub fn full_schema(&self) -> &Schema {
+        &self.full_schema
+    }
+
+    /// Live segment inventory (file names under the stream directory).
+    pub fn segments(&self) -> Vec<SegmentRef> {
+        self.state.lock().segments.clone()
+    }
+
+    /// Lazily load one segment's footer metadata (rows + zone maps).
+    pub fn segment_meta(&self, file: &str) -> Result<SegmentMeta> {
+        segment::read_meta(&self.dir.join(file)).map(|(m, _)| m)
+    }
+
+    /// Read one segment back in full (tests, future followers).
+    pub fn read_segment(&self, file: &str) -> Result<Relation> {
+        segment::read_segment(&self.dir.join(file), &self.full_schema).map(|(r, _)| r)
+    }
+}
+
+impl StreamPersist for StreamStore {
+    fn log_append(&self, batch: &Relation, uniform_ts: Option<i64>) -> Result<()> {
+        let mut buf = Vec::new();
+        match uniform_ts {
+            // the engine stamped every row with the same arrival time:
+            // log the user columns plus that one value — a full column
+            // less to encode, checksum and write on the hot path
+            Some(ts) if batch.width() == self.full_schema.width() => {
+                buf.push(REC_UNIFORM);
+                buf.extend_from_slice(&ts.to_le_bytes());
+                let user: Vec<&str> = batch.names()[..batch.width() - 1]
+                    .iter()
+                    .map(String::as_str)
+                    .collect();
+                // Arc column shares — O(width), no row copies
+                let rel = batch.project(&user)?;
+                encode_frame(&mut buf, &rel)?;
+            }
+            _ => {
+                buf.push(REC_FULL);
+                encode_frame(&mut buf, batch)?;
+            }
+        }
+        let mut st = self.state.lock();
+        st.wal.append(&buf)?;
+        self.wal_bytes.store(st.wal.bytes(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn seal(&self, snapshot: &Relation) -> Result<()> {
+        let mut st = self.state.lock();
+        let seg = if snapshot.is_empty() {
+            None
+        } else {
+            let id = self.next_seg.fetch_add(1, Ordering::Relaxed);
+            let file = seg_file_name(id);
+            let (_, bytes) = segment::write_segment(&self.dir.join(&file), snapshot)?;
+            let seg = SegmentRef {
+                file,
+                rows: snapshot.len() as u64,
+                bytes,
+            };
+            st.segments.push(seg.clone());
+            Some(seg)
+        };
+        {
+            let mut m = self.manifest.lock();
+            m.note_seal(&self.name, seg, snapshot.len() as u64)?;
+            m.save()?;
+        }
+        st.wal.truncate_all()?;
+        self.wal_bytes.store(0, Ordering::Relaxed);
+        self.segment_count
+            .store(st.segments.len() as u64, Ordering::Relaxed);
+        self.sealed_rows
+            .fetch_add(snapshot.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn seal_threshold(&self) -> usize {
+        self.seal_rows
+    }
+
+    fn stats(&self) -> PersistStats {
+        PersistStats {
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            segments: self.segment_count.load(Ordering::Relaxed),
+            sealed_rows: self.sealed_rows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dcstore-store-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn user_schema() -> Schema {
+        Schema::from_pairs(&[("id", ValueType::Int), ("payload", ValueType::Int)])
+    }
+
+    #[test]
+    fn create_log_kill_recover() {
+        let root = tmp("recover");
+        let engine = DataCell::new();
+        let store = Store::open(&root, StoreOptions::default(), dctrace::Telemetry::disabled())
+            .unwrap();
+        engine.set_durability(store.clone());
+        let basket = engine.create_stream_persistent("S", &user_schema()).unwrap();
+        engine
+            .ingest(
+                "S",
+                &[
+                    vec![Value::Int(1), Value::Int(10)],
+                    vec![Value::Int(2), Value::Int(20)],
+                ],
+            )
+            .unwrap();
+        engine
+            .ingest("S", &[vec![Value::Int(3), Value::Int(30)]])
+            .unwrap();
+        assert!(basket.persist_stats().unwrap().wal_bytes > 0);
+        drop((engine, store)); // "kill": no sync beyond policy, no seal
+
+        let engine2 = DataCell::new();
+        let store2 = Store::open(&root, StoreOptions::default(), dctrace::Telemetry::disabled())
+            .unwrap();
+        let report = store2.recover_into(&engine2).unwrap();
+        assert_eq!(report.streams, 1);
+        assert_eq!(report.replayed_batches, 2);
+        assert_eq!(report.replayed_rows, 3);
+        assert_eq!(report.torn_tails, 0);
+        let snap = engine2.basket("S").unwrap().snapshot();
+        assert_eq!(snap.column("id").unwrap().ints().unwrap(), &[1, 2, 3]);
+        engine2.set_durability(store2);
+        // recovered stream keeps logging
+        engine2
+            .ingest("S", &[vec![Value::Int(4), Value::Int(40)]])
+            .unwrap();
+        assert!(engine2.basket("S").unwrap().persist_stats().unwrap().wal_bytes > 0);
+    }
+
+    #[test]
+    fn seal_moves_rows_to_segment_and_truncates_wal() {
+        let root = tmp("seal");
+        let engine = DataCell::new();
+        let store = Store::open(&root, StoreOptions::default(), dctrace::Telemetry::disabled())
+            .unwrap();
+        engine.set_durability(store.clone());
+        engine.create_stream_persistent("S", &user_schema()).unwrap();
+        engine
+            .ingest(
+                "S",
+                &[
+                    vec![Value::Int(7), Value::Int(70)],
+                    vec![Value::Int(8), Value::Int(80)],
+                ],
+            )
+            .unwrap();
+        let sealed = engine.flush_stream("S").unwrap();
+        assert_eq!(sealed, 2);
+        let basket = engine.basket("S").unwrap();
+        assert!(basket.is_empty(), "sealed rows left the hot basket");
+        let stats = basket.persist_stats().unwrap();
+        assert_eq!(stats.wal_bytes, 0, "wal truncated up to the sealed offset");
+        assert_eq!(stats.segments, 1);
+        assert_eq!(stats.sealed_rows, 2);
+
+        let ss = store.stream("S").unwrap();
+        let segs = ss.segments();
+        assert_eq!(segs.len(), 1);
+        let rel = ss.read_segment(&segs[0].file).unwrap();
+        assert_eq!(rel.column("id").unwrap().ints().unwrap(), &[7, 8]);
+        let meta = ss.segment_meta(&segs[0].file).unwrap();
+        assert_eq!(meta.rows, 2);
+        assert_eq!(meta.cols[0].1, Some(Zone::Int { min: 7, max: 8 }));
+
+        // restart: segments survive in the manifest, basket starts empty
+        let engine2 = DataCell::new();
+        let store2 = Store::open(&root, StoreOptions::default(), dctrace::Telemetry::disabled())
+            .unwrap();
+        let report = store2.recover_into(&engine2).unwrap();
+        assert_eq!(report.replayed_rows, 0);
+        assert_eq!(report.segments, 1);
+        assert!(engine2.basket("S").unwrap().is_empty());
+    }
+
+    #[test]
+    fn threshold_auto_seals() {
+        let root = tmp("threshold");
+        let engine = DataCell::new();
+        let store = Store::open(
+            &root,
+            StoreOptions {
+                seal_rows: 4,
+                ..StoreOptions::default()
+            },
+            dctrace::Telemetry::disabled(),
+        )
+        .unwrap();
+        engine.set_durability(store);
+        engine.create_stream_persistent("S", &user_schema()).unwrap();
+        for i in 0..6 {
+            engine
+                .ingest("S", &[vec![Value::Int(i), Value::Int(i)]])
+                .unwrap();
+        }
+        let basket = engine.basket("S").unwrap();
+        let stats = basket.persist_stats().unwrap();
+        assert_eq!(stats.segments, 1, "crossed the 4-row threshold once");
+        assert_eq!(stats.sealed_rows, 4);
+        assert_eq!(basket.len(), 2, "tail stays hot");
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_on_recovery() {
+        let root = tmp("torn");
+        {
+            let engine = DataCell::new();
+            let store =
+                Store::open(&root, StoreOptions::default(), dctrace::Telemetry::disabled())
+                    .unwrap();
+            engine.set_durability(store);
+            engine.create_stream_persistent("S", &user_schema()).unwrap();
+            engine
+                .ingest("S", &[vec![Value::Int(1), Value::Int(1)]])
+                .unwrap();
+        }
+        // torn tail: half a record header
+        let wal = root.join("streams/S/wal.log");
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes.extend_from_slice(&[0x55, 0x66, 0x77]);
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let engine = DataCell::new();
+        let store =
+            Store::open(&root, StoreOptions::default(), dctrace::Telemetry::disabled()).unwrap();
+        let report = store.recover_into(&engine).unwrap();
+        assert_eq!(report.torn_tails, 1);
+        assert_eq!(report.replayed_rows, 1);
+        assert_eq!(engine.basket("S").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn persist_requires_a_provider_and_valid_names() {
+        let engine = DataCell::new();
+        assert!(matches!(
+            engine.create_stream_persistent("S", &user_schema()),
+            Err(EngineError::Config(_))
+        ));
+        let root = tmp("names");
+        let store =
+            Store::open(&root, StoreOptions::default(), dctrace::Telemetry::disabled()).unwrap();
+        engine.set_durability(store);
+        assert!(engine.create_stream_persistent("../evil", &user_schema()).is_err());
+        assert!(
+            engine.basket("../evil").is_err(),
+            "failed persistent create leaves no basket behind"
+        );
+    }
+
+    #[test]
+    fn fsync_histogram_is_recorded_when_telemetry_is_live() {
+        let root = tmp("telemetry");
+        let t = dctrace::Telemetry::enabled();
+        let engine = DataCell::new();
+        let store = Store::open(
+            &root,
+            StoreOptions {
+                fsync: FsyncPolicy::Always,
+                seal_rows: 0,
+            },
+            t.clone(),
+        )
+        .unwrap();
+        engine.set_durability(store);
+        engine.create_stream_persistent("S", &user_schema()).unwrap();
+        engine
+            .ingest("S", &[vec![Value::Int(1), Value::Int(1)]])
+            .unwrap();
+        let snap = t
+            .hist_snapshot("dc_wal_fsync_micros", &[("stream", "S")])
+            .unwrap();
+        assert!(snap.count >= 1, "fsync latency sampled");
+    }
+}

@@ -1,0 +1,372 @@
+//! The versioned store manifest.
+//!
+//! `MANIFEST` is a small line-oriented text file at the data-dir root
+//! recording, for every persistent stream: the user-facing schema, the
+//! live segment inventory, and the WAL watermark (seal epoch + rows
+//! sealed so far). It is rewritten wholesale on every mutation through
+//! a temp file + atomic rename, so a reader (or a crashed writer's
+//! successor) always sees either the old or the new complete manifest,
+//! never a torn one.
+//!
+//! ```text
+//! dcstore 1 seq=<n>
+//! stream name=<s> cols=<c1:int,c2:str,...> wal_epoch=<n> sealed_rows=<n>
+//! segment stream=<s> file=<f> rows=<n> bytes=<n>
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use datacell::error::{EngineError, Result};
+use monet::prelude::*;
+
+/// Manifest format version this build reads and writes.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// One live segment file, as recorded in the manifest. Zone maps live
+/// in the segment footer and are loaded lazily via
+/// [`crate::segment::read_meta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentRef {
+    pub file: String,
+    pub rows: u64,
+    pub bytes: u64,
+}
+
+/// One persistent stream's durable state.
+#[derive(Debug, Clone)]
+pub struct StreamEntry {
+    /// User-facing schema (without the automatic timestamp column).
+    pub schema: Schema,
+    pub segments: Vec<SegmentRef>,
+    /// Number of seals performed — each one truncated the WAL, so this
+    /// is the watermark separating sealed history from the WAL tail.
+    pub wal_epoch: u64,
+    /// Total rows moved into segments over the stream's lifetime.
+    pub sealed_rows: u64,
+}
+
+/// The in-memory manifest plus its on-disk location.
+pub struct Manifest {
+    root: PathBuf,
+    /// Monotone write sequence (bumped on every [`Manifest::save`]).
+    seq: u64,
+    streams: BTreeMap<String, StreamEntry>,
+}
+
+fn type_name(t: ValueType) -> &'static str {
+    match t {
+        ValueType::Bool => "bool",
+        ValueType::Int => "int",
+        ValueType::Double => "double",
+        ValueType::Str => "str",
+        ValueType::Ts => "ts",
+    }
+}
+
+fn name_type(s: &str) -> Result<ValueType> {
+    Ok(match s {
+        "bool" => ValueType::Bool,
+        "int" => ValueType::Int,
+        "double" => ValueType::Double,
+        "str" => ValueType::Str,
+        "ts" => ValueType::Ts,
+        other => {
+            return Err(EngineError::Io(format!("manifest: unknown column type {other:?}")))
+        }
+    })
+}
+
+/// `k=v` token lookup over one manifest line.
+fn field<'a>(tokens: &'a [&str], key: &str) -> Result<&'a str> {
+    tokens
+        .iter()
+        .find_map(|t| t.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        .ok_or_else(|| EngineError::Io(format!("manifest: missing field {key}")))
+}
+
+fn num(tokens: &[&str], key: &str) -> Result<u64> {
+    field(tokens, key)?
+        .parse()
+        .map_err(|_| EngineError::Io(format!("manifest: bad number in {key}")))
+}
+
+impl Manifest {
+    /// Path of the live manifest under `root`.
+    pub fn path_of(root: &Path) -> PathBuf {
+        root.join("MANIFEST")
+    }
+
+    /// Load the manifest at `root`, or start an empty one when the file
+    /// does not exist yet.
+    pub fn load_or_new(root: &Path) -> Result<Manifest> {
+        let path = Self::path_of(root);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Manifest {
+                    root: root.to_path_buf(),
+                    seq: 0,
+                    streams: BTreeMap::new(),
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| EngineError::Io("manifest: empty file".into()))?;
+        let tokens: Vec<&str> = header.split_whitespace().collect();
+        if tokens.first() != Some(&"dcstore") {
+            return Err(EngineError::Io("manifest: bad header".into()));
+        }
+        let version: u64 = tokens
+            .get(1)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| EngineError::Io("manifest: bad version".into()))?;
+        if version != MANIFEST_VERSION {
+            return Err(EngineError::Io(format!(
+                "manifest: version {version} not supported (this build reads {MANIFEST_VERSION})"
+            )));
+        }
+        let seq = num(&tokens, "seq")?;
+        let mut streams: BTreeMap<String, StreamEntry> = BTreeMap::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens.first().copied() {
+                Some("stream") => {
+                    let name = field(&tokens, "name")?.to_string();
+                    let cols = field(&tokens, "cols")?;
+                    let mut fields = Vec::new();
+                    if !cols.is_empty() {
+                        for col in cols.split(',') {
+                            let (n, t) = col.split_once(':').ok_or_else(|| {
+                                EngineError::Io(format!("manifest: bad column spec {col:?}"))
+                            })?;
+                            fields.push(Field::new(n, name_type(t)?));
+                        }
+                    }
+                    let entry = StreamEntry {
+                        schema: Schema::new(fields),
+                        segments: Vec::new(),
+                        wal_epoch: num(&tokens, "wal_epoch")?,
+                        sealed_rows: num(&tokens, "sealed_rows")?,
+                    };
+                    streams.insert(name, entry);
+                }
+                Some("segment") => {
+                    let stream = field(&tokens, "stream")?;
+                    let seg = SegmentRef {
+                        file: field(&tokens, "file")?.to_string(),
+                        rows: num(&tokens, "rows")?,
+                        bytes: num(&tokens, "bytes")?,
+                    };
+                    streams
+                        .get_mut(stream)
+                        .ok_or_else(|| {
+                            EngineError::Io(format!(
+                                "manifest: segment for unknown stream {stream}"
+                            ))
+                        })?
+                        .segments
+                        .push(seg);
+                }
+                Some(other) => {
+                    return Err(EngineError::Io(format!(
+                        "manifest: unknown line kind {other:?}"
+                    )))
+                }
+                None => {}
+            }
+        }
+        Ok(Manifest {
+            root: root.to_path_buf(),
+            seq,
+            streams,
+        })
+    }
+
+    /// Serialize + atomically replace the on-disk manifest (temp file,
+    /// fsync, rename, directory fsync). Bumps the write sequence.
+    pub fn save(&mut self) -> Result<()> {
+        self.seq += 1;
+        let mut out = String::new();
+        out.push_str(&format!("dcstore {MANIFEST_VERSION} seq={}\n", self.seq));
+        for (name, e) in &self.streams {
+            let cols = e
+                .schema
+                .fields()
+                .iter()
+                .map(|f| format!("{}:{}", f.name, type_name(f.vtype)))
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "stream name={name} cols={cols} wal_epoch={} sealed_rows={}\n",
+                e.wal_epoch, e.sealed_rows
+            ));
+            for s in &e.segments {
+                out.push_str(&format!(
+                    "segment stream={name} file={} rows={} bytes={}\n",
+                    s.file, s.rows, s.bytes
+                ));
+            }
+        }
+        let path = Self::path_of(&self.root);
+        let tmp = self.root.join("MANIFEST.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(out.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        // make the rename itself durable
+        if let Ok(dir) = std::fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    }
+
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.streams.contains_key(name)
+    }
+
+    pub fn get(&self, name: &str) -> Option<&StreamEntry> {
+        self.streams.get(name)
+    }
+
+    /// `(name, user schema)` for every stream, sorted by name.
+    pub fn stream_list(&self) -> Vec<(String, Schema)> {
+        self.streams
+            .iter()
+            .map(|(n, e)| (n.clone(), e.schema.clone()))
+            .collect()
+    }
+
+    /// Register a new stream (no save — callers batch mutations).
+    pub fn add_stream(&mut self, name: &str, schema: &Schema) {
+        self.streams.insert(
+            name.to_string(),
+            StreamEntry {
+                schema: schema.clone(),
+                segments: Vec::new(),
+                wal_epoch: 0,
+                sealed_rows: 0,
+            },
+        );
+    }
+
+    /// Record a seal: optional new segment, WAL watermark bump.
+    pub fn note_seal(&mut self, name: &str, segment: Option<SegmentRef>, rows: u64) -> Result<()> {
+        let e = self
+            .streams
+            .get_mut(name)
+            .ok_or_else(|| EngineError::Unknown(format!("manifest stream {name}")))?;
+        if let Some(s) = segment {
+            e.segments.push(s);
+        }
+        e.wal_epoch += 1;
+        e.sealed_rows += rows;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dcstore-manifest-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrips_streams_and_segments() {
+        let root = tmp("roundtrip");
+        let mut m = Manifest::load_or_new(&root).unwrap();
+        assert_eq!(m.seq(), 0);
+        let schema = Schema::from_pairs(&[
+            ("id", ValueType::Int),
+            ("name", ValueType::Str),
+            ("score", ValueType::Double),
+            ("ok", ValueType::Bool),
+            ("at", ValueType::Ts),
+        ]);
+        m.add_stream("trades", &schema);
+        m.save().unwrap();
+        m.note_seal(
+            "trades",
+            Some(SegmentRef {
+                file: "seg-000001.dcs".into(),
+                rows: 128,
+                bytes: 4096,
+            }),
+            128,
+        )
+        .unwrap();
+        m.save().unwrap();
+
+        let back = Manifest::load_or_new(&root).unwrap();
+        assert_eq!(back.seq(), 2);
+        let e = back.get("trades").unwrap();
+        assert_eq!(e.schema, schema);
+        assert_eq!(e.wal_epoch, 1);
+        assert_eq!(e.sealed_rows, 128);
+        assert_eq!(
+            e.segments,
+            vec![SegmentRef {
+                file: "seg-000001.dcs".into(),
+                rows: 128,
+                bytes: 4096
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_seal_only_moves_the_watermark() {
+        let root = tmp("watermark");
+        let mut m = Manifest::load_or_new(&root).unwrap();
+        m.add_stream("s", &Schema::from_pairs(&[("a", ValueType::Int)]));
+        m.note_seal("s", None, 0).unwrap();
+        m.save().unwrap();
+        let back = Manifest::load_or_new(&root).unwrap();
+        let e = back.get("s").unwrap();
+        assert_eq!(e.wal_epoch, 1);
+        assert!(e.segments.is_empty());
+    }
+
+    #[test]
+    fn unsupported_version_and_garbage_rejected() {
+        let root = tmp("bad");
+        std::fs::write(Manifest::path_of(&root), "dcstore 99 seq=1\n").unwrap();
+        assert!(Manifest::load_or_new(&root).is_err());
+        std::fs::write(Manifest::path_of(&root), "what 1 seq=1\n").unwrap();
+        assert!(Manifest::load_or_new(&root).is_err());
+        std::fs::write(
+            Manifest::path_of(&root),
+            "dcstore 1 seq=1\nsegment stream=ghost file=x rows=1 bytes=1\n",
+        )
+        .unwrap();
+        assert!(Manifest::load_or_new(&root).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_manifest() {
+        let root = tmp("fresh");
+        let m = Manifest::load_or_new(&root).unwrap();
+        assert!(m.stream_list().is_empty());
+    }
+}

@@ -1,0 +1,405 @@
+//! Immutable columnar segment files.
+//!
+//! A segment is a sealed basket snapshot: the body is exactly one
+//! `datacell::frame` binary frame (per-column type tag + validity +
+//! contiguous values — the same codec the wire uses, so sealing is a
+//! columnar serialization, never a row-wise re-encode), followed by a
+//! footer carrying the row count and per-column min/max **zone maps**,
+//! and a fixed 12-byte trailer that locates the footer from the end of
+//! the file:
+//!
+//! ```text
+//! [frame bytes]                       the sealed relation, full schema
+//! [footer]                            varint rows, varint ncols,
+//!                                     per column: u8 type tag,
+//!                                     u8 zone kind (0 none/1 int/2 double),
+//!                                     [min 8B LE][max 8B LE] when present
+//! u32 LE  footer length
+//! u32 LE  CRC-32 of the footer
+//! b"DSEG"                             magic
+//! ```
+//!
+//! Readers that only need metadata ([`read_meta`]) read the trailer +
+//! footer — O(columns), never the body — which is what lets boot-time
+//! recovery load segment inventories lazily.
+
+use std::io::Write;
+use std::path::Path;
+
+use datacell::error::{EngineError, Result};
+use datacell::frame::decode_frame;
+use monet::prelude::*;
+
+use crate::crc::crc32;
+
+/// Trailing magic identifying a complete segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"DSEG";
+
+/// Bytes of trailer after the footer (len + crc + magic).
+const TRAILER_LEN: usize = 12;
+
+/// Per-column min/max statistics over the non-NULL values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Zone {
+    /// Int and Ts columns.
+    Int { min: i64, max: i64 },
+    /// Double columns (NaNs are excluded from the range).
+    Double { min: f64, max: f64 },
+}
+
+/// The footer contents: everything a planner needs without the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentMeta {
+    pub rows: u64,
+    /// Per column: the frame type tag (0 bool, 1 int, 2 double, 3 str,
+    /// 4 ts) and the zone map, when the type has one and the column has
+    /// at least one non-NULL value.
+    pub cols: Vec<(u8, Option<Zone>)>,
+}
+
+fn type_tag(t: ValueType) -> u8 {
+    match t {
+        ValueType::Bool => 0,
+        ValueType::Int => 1,
+        ValueType::Double => 2,
+        ValueType::Str => 3,
+        ValueType::Ts => 4,
+    }
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes
+            .get(*pos)
+            .ok_or_else(|| EngineError::Io("segment footer truncated".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(EngineError::Io("segment footer varint overflow".into()));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Min/max over the valid (non-NULL) values of one column.
+fn zone_of(col: &Column, rows: usize) -> Option<Zone> {
+    let valid = |i: usize| col.validity().map(|m| m.get(i)).unwrap_or(true);
+    match col.data() {
+        ColumnData::Int(v) | ColumnData::Ts(v) => {
+            let mut range: Option<(i64, i64)> = None;
+            for (i, &x) in v.iter().take(rows).enumerate() {
+                if !valid(i) {
+                    continue;
+                }
+                range = Some(match range {
+                    None => (x, x),
+                    Some((lo, hi)) => (lo.min(x), hi.max(x)),
+                });
+            }
+            range.map(|(min, max)| Zone::Int { min, max })
+        }
+        ColumnData::Double(v) => {
+            let mut range: Option<(f64, f64)> = None;
+            for (i, &x) in v.iter().take(rows).enumerate() {
+                if !valid(i) || x.is_nan() {
+                    continue;
+                }
+                range = Some(match range {
+                    None => (x, x),
+                    Some((lo, hi)) => (lo.min(x), hi.max(x)),
+                });
+            }
+            range.map(|(min, max)| Zone::Double { min, max })
+        }
+        ColumnData::Bool(_) | ColumnData::Str(_) => None,
+    }
+}
+
+fn encode_footer(meta: &SegmentMeta) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + meta.cols.len() * 18);
+    put_varint(&mut out, meta.rows);
+    put_varint(&mut out, meta.cols.len() as u64);
+    for (tag, zone) in &meta.cols {
+        out.push(*tag);
+        match zone {
+            None => out.push(0),
+            Some(Zone::Int { min, max }) => {
+                out.push(1);
+                out.extend_from_slice(&min.to_le_bytes());
+                out.extend_from_slice(&max.to_le_bytes());
+            }
+            Some(Zone::Double { min, max }) => {
+                out.push(2);
+                out.extend_from_slice(&min.to_le_bytes());
+                out.extend_from_slice(&max.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+fn decode_footer(footer: &[u8]) -> Result<SegmentMeta> {
+    let truncated = || EngineError::Io("segment footer truncated".into());
+    let mut at = 0usize;
+    let rows = get_varint(footer, &mut at)?;
+    let ncols = get_varint(footer, &mut at)?;
+    if ncols > footer.len() as u64 {
+        return Err(EngineError::Io("segment footer column count corrupt".into()));
+    }
+    let mut cols = Vec::with_capacity(ncols as usize);
+    for _ in 0..ncols {
+        let &tag = footer.get(at).ok_or_else(truncated)?;
+        let &kind = footer.get(at + 1).ok_or_else(truncated)?;
+        at += 2;
+        let zone = match kind {
+            0 => None,
+            1 | 2 => {
+                let raw = footer.get(at..at + 16).ok_or_else(truncated)?;
+                at += 16;
+                let lo = <[u8; 8]>::try_from(&raw[..8]).unwrap();
+                let hi = <[u8; 8]>::try_from(&raw[8..]).unwrap();
+                if kind == 1 {
+                    Some(Zone::Int {
+                        min: i64::from_le_bytes(lo),
+                        max: i64::from_le_bytes(hi),
+                    })
+                } else {
+                    Some(Zone::Double {
+                        min: f64::from_le_bytes(lo),
+                        max: f64::from_le_bytes(hi),
+                    })
+                }
+            }
+            other => {
+                return Err(EngineError::Io(format!("unknown zone kind {other}")))
+            }
+        };
+        cols.push((tag, zone));
+    }
+    if at != footer.len() {
+        return Err(EngineError::Io("segment footer has trailing bytes".into()));
+    }
+    Ok(SegmentMeta { rows, cols })
+}
+
+/// Compute the footer metadata for `rel` without writing anything.
+pub fn meta_of(rel: &Relation) -> SegmentMeta {
+    let rows = rel.len();
+    SegmentMeta {
+        rows: rows as u64,
+        cols: (0..rel.width())
+            .map(|c| {
+                let col = rel.col_at(c);
+                (type_tag(col.vtype()), zone_of(col, rows))
+            })
+            .collect(),
+    }
+}
+
+/// Write `rel` as an immutable segment at `path` (via a temp file +
+/// rename, so a crash never leaves a half-written segment under the
+/// final name). Returns the footer metadata and the file size.
+pub fn write_segment(path: &Path, rel: &Relation) -> Result<(SegmentMeta, u64)> {
+    let meta = meta_of(rel);
+    let mut buf = Vec::new();
+    datacell::frame::encode_frame(&mut buf, rel)?;
+    let footer = encode_footer(&meta);
+    let footer_len = footer.len();
+    buf.extend_from_slice(&footer);
+    buf.extend_from_slice(&(footer_len as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(&footer).to_le_bytes());
+    buf.extend_from_slice(&SEGMENT_MAGIC);
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok((meta, buf.len() as u64))
+}
+
+/// Locate and parse the footer in a fully read segment image.
+fn footer_slice(bytes: &[u8]) -> Result<(&[u8], usize)> {
+    if bytes.len() < TRAILER_LEN {
+        return Err(EngineError::Io("segment file too short".into()));
+    }
+    let trailer = &bytes[bytes.len() - TRAILER_LEN..];
+    if trailer[8..] != SEGMENT_MAGIC {
+        return Err(EngineError::Io("segment magic missing".into()));
+    }
+    let footer_len = u32::from_le_bytes(trailer[..4].try_into().unwrap()) as usize;
+    let want = u32::from_le_bytes(trailer[4..8].try_into().unwrap());
+    let body_end = bytes
+        .len()
+        .checked_sub(TRAILER_LEN + footer_len)
+        .ok_or_else(|| EngineError::Io("segment footer length corrupt".into()))?;
+    let footer = &bytes[body_end..bytes.len() - TRAILER_LEN];
+    if crc32(footer) != want {
+        return Err(EngineError::Io("segment footer checksum mismatch".into()));
+    }
+    Ok((footer, body_end))
+}
+
+/// Read only the footer metadata (O(columns), seeks to the tail).
+pub fn read_meta(path: &Path) -> Result<(SegmentMeta, u64)> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = std::fs::File::open(path)?;
+    let len = f.metadata()?.len();
+    if len < TRAILER_LEN as u64 {
+        return Err(EngineError::Io("segment file too short".into()));
+    }
+    // read the trailer, then exactly the footer
+    let mut trailer = [0u8; TRAILER_LEN];
+    f.seek(SeekFrom::End(-(TRAILER_LEN as i64)))?;
+    f.read_exact(&mut trailer)?;
+    if trailer[8..] != SEGMENT_MAGIC {
+        return Err(EngineError::Io("segment magic missing".into()));
+    }
+    let footer_len = u32::from_le_bytes(trailer[..4].try_into().unwrap()) as u64;
+    let want = u32::from_le_bytes(trailer[4..8].try_into().unwrap());
+    if footer_len + TRAILER_LEN as u64 > len {
+        return Err(EngineError::Io("segment footer length corrupt".into()));
+    }
+    let mut footer = vec![0u8; footer_len as usize];
+    f.seek(SeekFrom::End(-((TRAILER_LEN as u64 + footer_len) as i64)))?;
+    f.read_exact(&mut footer)?;
+    if crc32(&footer) != want {
+        return Err(EngineError::Io("segment footer checksum mismatch".into()));
+    }
+    Ok((decode_footer(&footer)?, len))
+}
+
+/// Read the whole segment back as a relation (plus its footer).
+/// `schema` is the sealed basket's full schema.
+pub fn read_segment(path: &Path, schema: &Schema) -> Result<(Relation, SegmentMeta)> {
+    let bytes = std::fs::read(path)?;
+    let (footer, body_end) = footer_slice(&bytes)?;
+    let meta = decode_footer(footer)?;
+    let (rel, used) = decode_frame(&bytes[..body_end], schema)?
+        .ok_or_else(|| EngineError::Io("segment body is a truncated frame".into()))?;
+    if used != body_end {
+        return Err(EngineError::Io("segment body has trailing bytes".into()));
+    }
+    if rel.len() as u64 != meta.rows {
+        return Err(EngineError::Io(format!(
+            "segment body has {} rows, footer says {}",
+            rel.len(),
+            meta.rows
+        )));
+    }
+    Ok((rel, meta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dcstore-seg-{name}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("seg-000001.dcs")
+    }
+
+    fn sample() -> Relation {
+        let mut rel = Relation::from_columns(vec![
+            ("id".into(), Column::from_ints(vec![5, -2, 9])),
+            ("score".into(), Column::from_doubles(vec![1.5, -0.25, 2.0])),
+            ("tag".into(), Column::from_strs(vec!["a".into(), "b".into(), "".into()])),
+            ("at".into(), Column::from_ts(vec![100, 50, 300])),
+        ])
+        .unwrap();
+        rel.append_row(&[Value::Null, Value::Null, Value::Null, Value::Null])
+            .unwrap();
+        rel
+    }
+
+    #[test]
+    fn write_read_roundtrip_with_zone_maps() {
+        let path = tmp("roundtrip");
+        let rel = sample();
+        let (meta, bytes) = write_segment(&path, &rel).unwrap();
+        assert_eq!(meta.rows, 4);
+        assert_eq!(meta.cols[0], (1, Some(Zone::Int { min: -2, max: 9 })));
+        assert_eq!(
+            meta.cols[1],
+            (2, Some(Zone::Double { min: -0.25, max: 2.0 }))
+        );
+        assert_eq!(meta.cols[2], (3, None), "strings carry no zone map");
+        assert_eq!(meta.cols[3], (4, Some(Zone::Int { min: 50, max: 300 })));
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), bytes);
+
+        let (lazy, lazy_bytes) = read_meta(&path).unwrap();
+        assert_eq!(lazy, meta, "footer-only read sees the same metadata");
+        assert_eq!(lazy_bytes, bytes);
+
+        let (back, full_meta) = read_segment(&path, &rel.schema()).unwrap();
+        assert_eq!(back, rel);
+        assert_eq!(full_meta, meta);
+    }
+
+    #[test]
+    fn empty_relation_seals_and_reads() {
+        let path = tmp("empty");
+        let schema = Schema::from_pairs(&[("a", ValueType::Int)]);
+        let rel = Relation::new(&schema);
+        let (meta, _) = write_segment(&path, &rel).unwrap();
+        assert_eq!(meta.rows, 0);
+        assert_eq!(meta.cols, vec![(1, None)]);
+        let (back, _) = read_segment(&path, &schema).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn corrupt_footer_is_detected() {
+        let path = tmp("corrupt");
+        let rel = sample();
+        write_segment(&path, &rel).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - TRAILER_LEN - 3] ^= 0xff; // flip a footer byte
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_meta(&path).is_err());
+        assert!(read_segment(&path, &rel.schema()).is_err());
+        // and a missing magic
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_meta(&path), Err(EngineError::Io(m)) if m.contains("magic")));
+    }
+
+    #[test]
+    fn all_null_numeric_column_has_no_zone() {
+        let path = tmp("nulls");
+        let schema = Schema::from_pairs(&[("a", ValueType::Int)]);
+        let mut rel = Relation::new(&schema);
+        rel.append_row(&[Value::Null]).unwrap();
+        rel.append_row(&[Value::Null]).unwrap();
+        let (meta, _) = write_segment(&path, &rel).unwrap();
+        assert_eq!(meta.cols, vec![(1, None)]);
+        let (back, _) = read_segment(&path, &schema).unwrap();
+        assert_eq!(back, rel);
+    }
+}
