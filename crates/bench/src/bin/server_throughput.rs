@@ -19,9 +19,10 @@
 //!
 //! `--overhead-guard PCT` additionally measures the binary passthrough
 //! with telemetry off and on (best of 3 each) and exits nonzero if the
-//! dctrace instrumentation costs more than PCT percent throughput — the
-//! CI gate on "telemetry is effectively free". `--json PATH` mirrors all
-//! measured numbers to a machine-readable report.
+//! dctrace instrumentation — histograms, probes, and batch-trace
+//! sampling at the default 1/256 rate — costs more than PCT percent
+//! throughput: the CI gate on "telemetry is effectively free". `--json
+//! PATH` mirrors all measured numbers to a machine-readable report.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
@@ -81,6 +82,11 @@ fn through_server(
 ) -> f64 {
     let config = ServerConfig {
         telemetry_enabled: telemetry,
+        // the on-leg prices the full observability stack: the default
+        // 1/256 batch-trace sampling stays enabled, so the overhead
+        // guard also gates the trace-header stamp, receptor span and
+        // flight-recorder writes at the shipped sampling rate
+        trace_sample: 256,
         ..ServerConfig::default()
     };
     let server = bind("127.0.0.1:0", config).unwrap();

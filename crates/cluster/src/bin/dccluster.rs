@@ -4,6 +4,8 @@
 //! dccluster [--listen HOST:PORT] [--shards N] [--engine HOST:PORT]...
 //!           [--data-host HOST] [--backoff-us N]
 //!           [--data-dir PATH] [--fsync always|every_n:N|off] [--seal-rows N]
+//!           [--trace-ring N] [--trace-sample N]
+//!           [--metrics-interval-ms N] [--metrics-depth N]
 //! ```
 //!
 //! Fronts N `datacelld` engines behind one control plane speaking the
@@ -63,12 +65,33 @@ fn main() {
                 Some(n) => config.engine.seal_rows = n,
                 None => die("--seal-rows requires a number"),
             },
+            "--trace-ring" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.engine.trace_ring = n,
+                _ => die("--trace-ring requires a positive number"),
+            },
+            "--trace-sample" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => config.engine.trace_sample = n,
+                None => die("--trace-sample requires a number (0 = off)"),
+            },
+            "--metrics-interval-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms > 0 => {
+                    config.engine.metrics_interval = Duration::from_millis(ms)
+                }
+                _ => die("--metrics-interval-ms requires a positive number"),
+            },
+            "--metrics-depth" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.engine.metrics_depth = n,
+                None => die("--metrics-depth requires a number"),
+            },
             "--help" | "-h" => {
                 println!(
                     "dccluster [--listen HOST:PORT] [--shards N] [--engine HOST:PORT]...\n          \
                      [--data-host HOST] [--backoff-us N]\n          \
-                     [--data-dir PATH] [--fsync always|every_n:N|off] [--seal-rows N]\n\n\
-                     Same control protocol as datacelld, plus:\n  \
+                     [--data-dir PATH] [--fsync always|every_n:N|off] [--seal-rows N]\n          \
+                     [--trace-ring N] [--trace-sample N (0 = off)]\n          \
+                     [--metrics-interval-ms N] [--metrics-depth N]\n\n\
+                     Same control protocol as datacelld (METRICS HISTORY, TRACE SPANS\n\
+                     and HEALTH aggregate across shards), plus:\n  \
                      CREATE STREAM <name> (cols) [PERSIST] SHARD BY (<col>) [SHARDS <n>]"
                 );
                 return;

@@ -110,6 +110,13 @@ fn dispatch(rt: &Arc<ClusterRuntime>, request: &str) -> (Response, bool) {
         }
         Command::Stats => Ok((Response::Ok(rt.stats()), false)),
         Command::Metrics => Ok((Response::Ok(rt.metrics()), false)),
+        Command::MetricsHistory { series, last } => rt
+            .metrics_history(series.as_deref(), last)
+            .map(|b| (Response::Ok(b), false)),
+        Command::Health => rt.health().map(|b| (Response::Ok(b), false)),
+        Command::TraceSpans { batch } => rt
+            .trace_spans(batch)
+            .map(|b| (Response::Ok(b), false)),
         Command::TraceDump { query } => rt
             .trace_dump(query.as_deref())
             .map(|b| (Response::Ok(b), false)),

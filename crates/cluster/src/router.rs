@@ -172,9 +172,14 @@ pub struct ClusterRuntime {
     /// subscriber writers still need the shutdown drain/join.
     detached_emitters: Mutex<Vec<Arc<ClusterEmitterPort>>>,
     trace_ports: Mutex<Vec<Arc<ClusterTracePort>>>,
-    /// Router-local telemetry (forwarder-queue saturation); shard
-    /// engines carry their own registries, merged by `metrics()`.
+    /// Router-local telemetry (forwarder-queue saturation, router-hop
+    /// spans, cluster health gauges); shard engines carry their own
+    /// registries, merged by `metrics()`.
     telemetry: dctrace::Telemetry,
+    /// Bounded ring of periodic cluster-wide `METRICS` snapshots
+    /// (`METRICS HISTORY`, windowed gauges). Populated by the router's
+    /// snapshotter thread; empty when telemetry is disabled.
+    history: Arc<dctrace::MetricsHistory>,
     /// Receptor accept loops (joined before the engines shut down, so
     /// final batches reach the shard baskets).
     ingress_threads: Mutex<Vec<JoinHandle<()>>>,
@@ -216,14 +221,18 @@ impl ClusterRuntime {
             })
             .collect::<Result<Vec<_>>>()?;
         let telemetry = if config.engine.telemetry_enabled {
-            dctrace::Telemetry::enabled()
+            let t = dctrace::Telemetry::enabled_with_ring(config.engine.trace_ring);
+            t.set_trace_sampling(config.engine.trace_sample);
+            t
         } else {
             dctrace::Telemetry::disabled()
         };
-        Ok(Arc::new(ClusterRuntime {
+        let history = Arc::new(dctrace::MetricsHistory::new(config.engine.metrics_depth));
+        let rt = Arc::new(ClusterRuntime {
             config,
             engines,
             telemetry,
+            history,
             sessions: SessionManager::new(),
             streams: Mutex::new(HashMap::new()),
             queries: Mutex::new(HashMap::new()),
@@ -239,7 +248,63 @@ impl ClusterRuntime {
             stop: Arc::new(AtomicBool::new(false)),
             drain_taps: AtomicBool::new(false),
             started_at: Instant::now(),
-        }))
+        });
+        if rt.telemetry.is_enabled() {
+            rt.spawn_snapshotter();
+        }
+        Ok(rt)
+    }
+
+    /// Background metrics snapshotter (the router-side twin of the
+    /// engine's): every `metrics_interval`, capture the aggregated
+    /// cluster exposition into the history ring and refresh the
+    /// windowed + health gauges.
+    fn spawn_snapshotter(self: &Arc<Self>) {
+        let rt = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("dcc-metrics".into())
+            .spawn(move || {
+                let interval = rt.config.engine.metrics_interval;
+                while !rt.is_stopping() {
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !rt.is_stopping() {
+                        std::thread::sleep(POLL_INTERVAL);
+                        slept += POLL_INTERVAL;
+                    }
+                    if rt.is_stopping() {
+                        break;
+                    }
+                    rt.capture_metrics_now();
+                }
+            })
+            .expect("spawn cluster metrics snapshotter");
+        self.ingress_threads.lock().push(handle);
+    }
+
+    /// Capture one cluster-wide metrics snapshot into the history ring,
+    /// derive the windowed gauges from the last two snapshots, and
+    /// refresh the per-shard health gauges. Public so tests (and
+    /// operators via scripts) can force a tick instead of waiting out
+    /// `metrics_interval`.
+    pub fn capture_metrics_now(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let lines = self.metrics();
+        self.history.capture(&lines, dctrace::now_micros());
+        if let Some((prev, curr)) = self.history.last_two() {
+            for s in dctrace::windowed_gauges(&prev, &curr) {
+                // re-key through static names: the registry interns
+                // series under `&'static str` metric names
+                let name = match s.name.as_str() {
+                    "dc_ingest_rate" => "dc_ingest_rate",
+                    "dc_fire_p99_window_micros" => "dc_fire_p99_window_micros",
+                    _ => continue,
+                };
+                self.telemetry.set_gauge_rendered(name, s.labels, s.value);
+            }
+        }
+        self.poll_shard_health();
     }
 
     pub fn engine_count(&self) -> usize {
@@ -913,13 +978,23 @@ impl ClusterRuntime {
     /// bucket-wise (identical series sum, so `dc_fire_micros{query=..}`
     /// histograms aggregate exactly), plus the router's own series and
     /// one `dc_shard_up{shard="i"}` health gauge per engine.
+    ///
+    /// Shard-local *derived* gauges (uptime, health score, windowed
+    /// rates/quantiles) are dropped before the merge: summing them
+    /// across shards is meaningless, and the router re-derives the
+    /// cluster-level versions from its own snapshot history (and
+    /// republishes health as `dc_health_score{shard}`).
     pub fn metrics(&self) -> Vec<String> {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .set_gauge("dc_uptime_seconds", &[], self.uptime().as_secs_f64());
+        }
         let mut sources: Vec<Vec<String>> = Vec::new();
         let mut up: Vec<(usize, bool)> = Vec::new();
         for e in &self.engines {
             match e.control(|c| c.metrics()) {
                 Ok(m) => {
-                    sources.push(m);
+                    sources.push(m.into_iter().filter(|l| !is_derived_gauge(l)).collect());
                     up.push((e.id(), true));
                 }
                 Err(_) => up.push((e.id(), false)),
@@ -958,6 +1033,91 @@ impl ClusterRuntime {
             );
         }
         Ok(body)
+    }
+
+    /// `METRICS HISTORY [series] [LAST n]` over the router's ring of
+    /// cluster-wide snapshots.
+    pub fn metrics_history(&self, series: Option<&str>, last: Option<usize>) -> Result<Vec<String>> {
+        if !self.telemetry.is_enabled() {
+            return Err(ServerError::Protocol(
+                "telemetry is disabled on this cluster".into(),
+            ));
+        }
+        Ok(self.history.render(series, last))
+    }
+
+    /// Aggregated `TRACE SPANS [BATCH id]`: per-shard span trees merged
+    /// by batch id, every span line re-tagged with its origin recorder
+    /// (`shard=<id>`, router-local spans as `shard=router`), so one
+    /// sampled batch reads as a single cross-process tree.
+    pub fn trace_spans(&self, batch: Option<u64>) -> Result<Vec<String>> {
+        let mut groups: Vec<(u64, Vec<String>)> = Vec::new();
+        let mut add = |id: u64, line: String| match groups.iter_mut().find(|(b, _)| *b == id) {
+            Some((_, lines)) => lines.push(line),
+            None => groups.push((id, vec![line])),
+        };
+        // router spans first: a batch enters the cluster at the router,
+        // so its receptor/forward hops lead each merged tree
+        if let Some(rec) = self.telemetry.recorder() {
+            merge_span_lines(&mut add, "router", &dctrace::render_spans(&rec.events(), batch));
+        }
+        for e in &self.engines {
+            let lines = e.control(|c| c.trace_spans(batch))?;
+            merge_span_lines(&mut add, &e.id().to_string(), &lines);
+        }
+        let mut out = Vec::new();
+        for (id, lines) in groups {
+            out.push(format!("batch {id} spans={}", lines.len()));
+            out.extend(lines);
+        }
+        Ok(out)
+    }
+
+    /// Poll every shard's `HEALTH`, overlay `unreachable` (score 0) for
+    /// engines whose control plane fails, and republish the scores as
+    /// `dc_health_score{shard}` plus per-reason `dc_health_degraded`
+    /// gauges. Returns one `shard <id> addr=<a> score=<s>
+    /// reasons=<csv|->` line per engine — the `HEALTH` response body.
+    fn poll_shard_health(&self) -> Vec<String> {
+        const REASONS: [&str; 5] = [
+            "unreachable",
+            "ingest_stalled",
+            "reexecute_rate",
+            "forward_saturation",
+            "wal_fsync_slow",
+        ];
+        let mut body = Vec::new();
+        for e in &self.engines {
+            let (score, reasons) = match e.control(|c| c.health()) {
+                Ok(lines) => dctrace::HealthReport::parse_head(&lines)
+                    .unwrap_or((100, "-".to_string())),
+                Err(_) => (0, "unreachable".to_string()),
+            };
+            let id = e.id();
+            let shard_label = id.to_string();
+            self.telemetry
+                .set_gauge("dc_health_score", &[("shard", &shard_label)], score as f64);
+            for r in REASONS {
+                let degraded = reasons.split(',').any(|x| x == r);
+                self.telemetry.set_gauge(
+                    "dc_health_degraded",
+                    &[("shard", &shard_label), ("reason", r)],
+                    if degraded { 1.0 } else { 0.0 },
+                );
+            }
+            body.push(format!(
+                "shard {id} addr={} score={score} reasons={reasons}",
+                e.addr()
+            ));
+        }
+        body
+    }
+
+    /// `HEALTH` on the router: one freshly-polled line per shard (the
+    /// gauges refresh as a side effect, so scraping `HEALTH` and
+    /// `METRICS` stays consistent).
+    pub fn health(&self) -> Result<Vec<String>> {
+        Ok(self.poll_shard_health())
     }
 
     /// `TRACE QUERY <q> ON`: one logical trace-stream port fronting the
@@ -1098,6 +1258,7 @@ impl ClusterRuntime {
             let (mut high_water, mut cap) = (0u64, 0u64);
             let (mut pending_deletes, mut compactions) = (0u64, 0u64);
             let (mut persistent, mut wal_bytes, mut segments) = (false, 0u64, 0u64);
+            let mut wal_fsync_p99 = 0u64;
             for &eid in &s.engines {
                 if let Some(b) = reports[eid].as_ref().and_then(|r| r.basket(&s.name)) {
                     len += b.len;
@@ -1111,15 +1272,21 @@ impl ClusterRuntime {
                     persistent |= b.persistent;
                     wal_bytes += b.wal_bytes;
                     segments += b.segments;
+                    // quantiles don't sum — report the slowest shard
+                    wal_fsync_p99 = wal_fsync_p99.max(b.wal_fsync_p99_micros);
                 }
             }
-            body.push(format!(
+            let mut line = format!(
                 "basket {} len={len} enabled=true in={total_in} out={total_out} \
                  dropped={dropped} high_water={high_water} cap={cap} \
                  pending_deletes={pending_deletes} compactions={compactions} \
                  persistent={persistent} wal_bytes={wal_bytes} segments={segments}",
                 s.name
-            ));
+            );
+            if persistent {
+                line.push_str(&format!(" wal_fsync_p99_micros={wal_fsync_p99}"));
+            }
+            body.push(line);
         }
         let mut query_names: Vec<&String> = queries.keys().collect();
         query_names.sort();
@@ -1281,6 +1448,42 @@ impl ClusterRuntime {
     }
 }
 
+/// Derived per-process gauges that must NOT be summed across shards by
+/// the exposition merge: the router recomputes the cluster-level
+/// versions itself (see [`ClusterRuntime::metrics`]).
+const DERIVED_GAUGES: [&str; 4] = [
+    "dc_uptime_seconds",
+    "dc_health_score",
+    "dc_ingest_rate",
+    "dc_fire_p99_window_micros",
+];
+
+/// True when `line` is a sample (or `# TYPE` comment) of one of the
+/// [`DERIVED_GAUGES`] — matched on the full metric name, not a prefix.
+fn is_derived_gauge(line: &str) -> bool {
+    let name = line.strip_prefix("# TYPE ").unwrap_or(line);
+    DERIVED_GAUGES.iter().any(|g| {
+        name.strip_prefix(g).is_some_and(|rest| {
+            rest.is_empty() || rest.starts_with('{') || rest.starts_with(' ')
+        })
+    })
+}
+
+/// Fold one recorder's rendered span tree ([`dctrace::render_spans`]
+/// output) into the cluster-wide merge: `batch <id> spans=n` headers
+/// select the current group; span lines are re-tagged with their origin
+/// recorder as `shard=<tag>`.
+fn merge_span_lines(add: &mut impl FnMut(u64, String), tag: &str, lines: &[String]) {
+    let mut current: Option<u64> = None;
+    for l in lines {
+        if let Some(rest) = l.strip_prefix("batch ") {
+            current = rest.split_whitespace().next().and_then(|id| id.parse().ok());
+        } else if let (Some(id), Some(span)) = (current, l.strip_prefix("  ")) {
+            add(id, format!("  shard={tag} {span}"));
+        }
+    }
+}
+
 /// Parse a single CREATE statement; returns (kind, name, user schema).
 fn parse_create(sql: &str) -> Result<(CreateKind, String, Schema)> {
     let stmts = dcsql::parse_statements(sql)
@@ -1304,11 +1507,21 @@ fn parse_create(sql: &str) -> Result<(CreateKind, String, Schema)> {
 
 // ---- ingest plumbing --------------------------------------------------------
 
+/// One sub-batch queued to a shard forwarder, with the trace context to
+/// re-stamp onto its wire frame (every split part of a sampled batch
+/// carries the same batch id) and the enqueue time, so the forwarder
+/// records queue dwell as the batch's `forward` hop.
+struct TracedRel {
+    rel: Relation,
+    trace: Option<frame::TraceHeader>,
+    enqueued_micros: u64,
+}
+
 /// Sending half of one shard forwarder: the queue plus a liveness flag
 /// (the queue length never drains once the forwarder thread dies, so
 /// depth alone cannot signal "gone").
 struct Forwarder {
-    tx: Sender<Relation>,
+    tx: Sender<TracedRel>,
     dead: Arc<AtomicBool>,
     probe: Option<Arc<ForwardProbe>>,
 }
@@ -1346,16 +1559,42 @@ impl ForwardProbe {
             format!("stream={} shard={}", self.stream, self.shard),
         );
     }
+
+    /// Record the `forward` hop of a traced batch: the dwell between
+    /// the splitter's enqueue and this forwarder writing the frame.
+    fn note_forward(&self, batch: u64, dwell_micros: u64) {
+        self.recorder.record(
+            "span",
+            None,
+            format!(
+                "batch={batch} hop=forward dur_micros={dwell_micros} stream={} shard={}",
+                self.stream, self.shard
+            ),
+        );
+    }
 }
 
-/// Forward sub-batches to one shard engine as binary frames.
-fn shard_forwarder(rx: Receiver<Relation>, sock: TcpStream, dead: Arc<AtomicBool>) {
+/// Forward sub-batches to one shard engine as binary frames; sampled
+/// batches keep their trace header on the shard-bound frame, so the
+/// shard's receptor continues the same span tree.
+fn shard_forwarder(
+    rx: Receiver<TracedRel>,
+    sock: TcpStream,
+    dead: Arc<AtomicBool>,
+    probe: Option<Arc<ForwardProbe>>,
+) {
     let mut writer = std::io::BufWriter::new(sock);
     let mut buf: Vec<u8> = Vec::new();
-    while let Ok(rel) = rx.recv() {
+    while let Ok(item) = rx.recv() {
         buf.clear();
-        if frame::encode_frame(&mut buf, &rel).is_err() {
+        if frame::encode_frame_traced(&mut buf, &item.rel, item.trace.as_ref()).is_err() {
             break;
+        }
+        if let (Some(p), Some(t)) = (&probe, &item.trace) {
+            p.note_forward(
+                t.batch,
+                dctrace::now_micros().saturating_sub(item.enqueued_micros),
+            );
         }
         if writer.write_all(&buf).is_err() {
             break;
@@ -1373,7 +1612,7 @@ fn shard_forwarder(rx: Receiver<Relation>, sock: TcpStream, dead: Arc<AtomicBool
 /// is deep (poor-man's bounded channel: backpressure reaches the
 /// client's socket through this thread). Returns false when the
 /// forwarder is gone or the router is stopping.
-fn forward(rt: &ClusterRuntime, f: &Forwarder, rel: Relation) -> bool {
+fn forward(rt: &ClusterRuntime, f: &Forwarder, item: TracedRel) -> bool {
     if f.tx.len() >= FORWARD_QUEUE_CAP {
         // one saturation event per back-off episode, not per poll
         if let Some(p) = &f.probe {
@@ -1386,7 +1625,7 @@ fn forward(rt: &ClusterRuntime, f: &Forwarder, rel: Relation) -> bool {
             std::thread::sleep(Duration::from_millis(1));
         }
     }
-    f.tx.send(rel).is_ok()
+    f.tx.send(item).is_ok()
 }
 
 /// Split one decoded batch and forward the non-empty parts. Returns
@@ -1400,13 +1639,27 @@ fn route_batch(
     entry: &StreamEntry,
     txs: &[Forwarder],
     rel: Relation,
+    trace: Option<frame::TraceHeader>,
 ) -> bool {
     let total = rel.len() as u64;
     let mut sent = 0u64;
     let mut alive = true;
+    let enqueued_micros = if trace.is_some() {
+        dctrace::now_micros()
+    } else {
+        0
+    };
     match &entry.partitioner {
         None => {
-            if forward(rt, &txs[0], rel) {
+            if forward(
+                rt,
+                &txs[0],
+                TracedRel {
+                    rel,
+                    trace,
+                    enqueued_micros,
+                },
+            ) {
                 sent = total;
             } else {
                 alive = false;
@@ -1419,7 +1672,18 @@ fn route_batch(
                         continue;
                     }
                     let n = part.len() as u64;
-                    if forward(rt, &txs[i], part) {
+                    // every non-empty part of a sampled batch carries
+                    // the same batch id: the shard-side spans of one
+                    // logical batch regroup under one tree
+                    if forward(
+                        rt,
+                        &txs[i],
+                        TracedRel {
+                            rel: part,
+                            trace,
+                            enqueued_micros,
+                        },
+                    ) {
                         sent += n;
                     } else {
                         alive = false;
@@ -1461,20 +1725,18 @@ fn ingest_connection(
         let Ok(shard_sock) = TcpStream::connect(addr) else {
             return; // shard unreachable: refuse the connection outright
         };
-        let (tx, rx) = unbounded::<Relation>();
+        let (tx, rx) = unbounded::<TracedRel>();
         let dead = Arc::new(AtomicBool::new(false));
         let dead2 = Arc::clone(&dead);
+        let probe = ForwardProbe::new(&rt.telemetry, &port.stream, shard);
+        let probe2 = probe.clone();
         forwarders.push(
             std::thread::Builder::new()
                 .name(format!("dcc-fwd-{}", port.stream))
-                .spawn(move || shard_forwarder(rx, shard_sock, dead2))
+                .spawn(move || shard_forwarder(rx, shard_sock, dead2, probe2))
                 .expect("spawn shard forwarder"),
         );
-        txs.push(Forwarder {
-            tx,
-            dead,
-            probe: ForwardProbe::new(&rt.telemetry, &port.stream, shard),
-        });
+        txs.push(Forwarder { tx, dead, probe });
     }
     match port.format {
         WireFormat::Text => ingest_text(rt, port, entry, &txs, sock),
@@ -1542,7 +1804,22 @@ fn ingest_text(
         }
         if !batch.is_empty() {
             let full = std::mem::replace(&mut batch, Relation::new(&entry.schema));
-            if !route_batch(rt, port, entry, txs, full) {
+            // text clients carry no trace headers: the router is the
+            // sampling entry point for their batches
+            let trace = rt.telemetry.maybe_sample().map(|b| frame::TraceHeader {
+                batch: b,
+                origin_micros: dctrace::now_micros(),
+            });
+            if let Some(t) = &trace {
+                rt.telemetry.span(
+                    "receptor",
+                    t.batch,
+                    None,
+                    0,
+                    &format!("stream={} rows={}", port.stream, full.len()),
+                );
+            }
+            if !route_batch(rt, port, entry, txs, full, trace) {
                 break; // shard gone: drop the client connection
             }
         }
@@ -1575,10 +1852,28 @@ fn ingest_binary(
         }
         let mut consumed = 0usize;
         loop {
-            match frame::decode_frame(&pending[consumed..], &entry.schema) {
-                Ok(Some((rel, used))) => {
+            let decode_started = Instant::now();
+            match frame::decode_frame_traced(&pending[consumed..], &entry.schema) {
+                Ok(Some((rel, used, header))) => {
                     consumed += used;
-                    if !route_batch(rt, port, entry, txs, rel) {
+                    // propagate the client's trace header, or stamp a
+                    // fresh sample at the cluster's entry point
+                    let trace = header.or_else(|| {
+                        rt.telemetry.maybe_sample().map(|b| frame::TraceHeader {
+                            batch: b,
+                            origin_micros: dctrace::now_micros(),
+                        })
+                    });
+                    if let Some(t) = &trace {
+                        rt.telemetry.span(
+                            "receptor",
+                            t.batch,
+                            None,
+                            decode_started.elapsed().as_micros() as u64,
+                            &format!("stream={} rows={}", port.stream, rel.len()),
+                        );
+                    }
+                    if !route_batch(rt, port, entry, txs, rel, trace) {
                         eof = true; // shard gone: drop the client connection
                         break;
                     }

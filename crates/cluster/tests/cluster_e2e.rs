@@ -571,3 +571,193 @@ fn persistent_sharded_stream_logs_and_seals_per_shard() {
     cluster_thread.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Group rendered `TRACE SPANS` output back into `(batch id, span lines)`.
+fn span_groups(lines: &[String]) -> Vec<(u64, Vec<String>)> {
+    let mut groups: Vec<(u64, Vec<String>)> = Vec::new();
+    for l in lines {
+        if let Some(rest) = l.strip_prefix("batch ") {
+            let id: u64 = rest
+                .split_whitespace()
+                .next()
+                .and_then(|t| t.parse().ok())
+                .unwrap_or_else(|| panic!("bad batch header: {l}"));
+            groups.push((id, Vec::new()));
+        } else if let Some((_, spans)) = groups.last_mut() {
+            spans.push(l.clone());
+        }
+    }
+    groups
+}
+
+#[test]
+fn distributed_trace_spans_metrics_history_and_health() {
+    // the observability acceptance loop: one sampled batch through a
+    // 2-shard persistent cluster must reconstruct as a single span tree
+    // spanning the router and both shard recorders; the router's
+    // snapshot ring must yield a non-zero windowed ingest rate; HEALTH
+    // must score both shards
+    let dir = std::env::temp_dir().join(format!(
+        "dc-cluster-trace-{}-{:?}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut config = ClusterConfig::in_process(2);
+    config.engine.data_dir = Some(dir.clone());
+    config.engine.trace_sample = 1; // stamp every batch
+    let cluster = bind_cluster("127.0.0.1:0", config).expect("bind cluster");
+    let addr = cluster.local_addr().unwrap();
+    let rt = std::sync::Arc::clone(cluster.runtime());
+    let cluster_thread = std::thread::spawn(move || {
+        cluster.serve().expect("serve cluster");
+    });
+
+    let mut c = ShardedClient::connect(addr).unwrap();
+    c.request("CREATE STREAM S (id int, v int) PERSIST SHARD BY (id)")
+        .unwrap();
+    c.register_query("all", "select id from [select * from S] as Z")
+        .unwrap();
+    let rport = c.attach_receptor_fmt("S", 0, WireFormat::Binary).unwrap();
+    let eport = c.attach_emitter_fmt("all", 0, WireFormat::Binary).unwrap();
+    let schema = Schema::from_pairs(&[("id", ValueType::Int), ("v", ValueType::Int)]);
+    let mut sink = c
+        .open_receptor_with(rport, WireFormat::Binary, &schema)
+        .unwrap();
+    let mut tap = c.open_emitter_with(eport, WireFormat::Binary).unwrap();
+    tap.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // baseline snapshot before any ingest, so the next one has a window
+    rt.capture_metrics_now();
+
+    sink.send_batch(&input_batch()).unwrap();
+    sink.flush().unwrap();
+    let out_schema = Schema::from_pairs(&[("id", ValueType::Int)]);
+    assert_eq!(tap.take_rows(&out_schema, 400).unwrap().len(), 400);
+
+    // ---- TRACE SPANS: the cross-process span tree --------------------
+    // results delivered ⇒ every hop already recorded; poll only to let
+    // straggler emitter writes land
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    let (batch_id, spans) = loop {
+        let body = c.trace_spans(None).unwrap();
+        let groups = span_groups(&body);
+        let complete = groups.into_iter().find(|(_, spans)| {
+            let router_receptor = spans
+                .iter()
+                .any(|l| l.contains("shard=router") && l.contains("hop=receptor"));
+            let forward = spans
+                .iter()
+                .any(|l| l.contains("shard=router") && l.contains("hop=forward"));
+            let shard_receptor = spans.iter().any(|l| {
+                !l.contains("shard=router") && l.contains("hop=receptor")
+            });
+            let wal = spans.iter().any(|l| l.contains("hop=wal_append"));
+            let dwell = spans.iter().any(|l| l.contains("hop=basket_dwell"));
+            let fire = spans.iter().any(|l| l.contains("hop=fire"));
+            let emitter = spans.iter().any(|l| l.contains("hop=emitter"));
+            router_receptor && forward && shard_receptor && wal && dwell && fire && emitter
+        });
+        if let Some(found) = complete {
+            break found;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no complete span tree: {body:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    // the batch hash-split across both shards: both recorders contribute
+    // spans under the SAME batch id
+    assert!(
+        spans.iter().any(|l| l.contains("shard=0 ")),
+        "{spans:?}"
+    );
+    assert!(
+        spans.iter().any(|l| l.contains("shard=1 ")),
+        "{spans:?}"
+    );
+    // BATCH filter narrows to exactly this tree
+    let one = c.trace_spans(Some(batch_id)).unwrap();
+    let one_groups = span_groups(&one);
+    assert_eq!(one_groups.len(), 1, "{one:?}");
+    assert_eq!(one_groups[0].0, batch_id, "{one:?}");
+
+    // ---- METRICS HISTORY: windowed ingest rate -----------------------
+    // wait for both shards' ingest counters, then force two more ticks:
+    // the 2nd derives the windowed gauges, the 3rd snapshots them
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    while c.stats_report().unwrap().basket("S").map(|b| b.total_in) != Some(400) {
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    rt.capture_metrics_now();
+    rt.capture_metrics_now();
+    let history = c.metrics_history(None, None).unwrap();
+    let mut stamps: Vec<&str> = history
+        .iter()
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    stamps.dedup();
+    assert!(stamps.len() >= 2, "need >= 2 snapshots: {stamps:?}");
+    let rate_lines = c.metrics_history(Some("dc_ingest_rate"), None).unwrap();
+    assert!(
+        rate_lines.iter().any(|l| {
+            l.split_whitespace()
+                .last()
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|v| v > 0.0)
+        }),
+        "windowed ingest rate must be non-zero: {rate_lines:?}"
+    );
+    // LAST n truncates to the most recent snapshots
+    let last_one = c.metrics_history(None, Some(1)).unwrap();
+    let mut last_stamps: Vec<&str> = last_one
+        .iter()
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    last_stamps.dedup();
+    assert_eq!(last_stamps.len(), 1, "{last_stamps:?}");
+
+    // ---- HEALTH + health gauges --------------------------------------
+    let health = c.health().unwrap();
+    assert_eq!(health.len(), 2, "{health:?}");
+    for (i, line) in health.iter().enumerate() {
+        assert!(line.starts_with(&format!("shard {i} addr=")), "{line}");
+        let score: u64 = line
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("score="))
+            .and_then(|v| v.parse().ok())
+            .expect("score field");
+        // live in-process shards must never read as down
+        assert!(score > 0, "{line}");
+        assert!(line.contains("reasons="), "{line}");
+    }
+    let samples = dctrace::parse_exposition(&c.metrics().unwrap()).unwrap();
+    for shard in 0..2 {
+        let g = samples
+            .iter()
+            .find(|s| {
+                s.name == "dc_health_score" && s.labels == format!("shard=\"{shard}\"")
+            })
+            .expect("dc_health_score{shard} gauge");
+        assert!(g.value > 0.0, "{g:?}");
+    }
+    // the router republishes ONE uptime gauge (shard-local copies are
+    // dropped before the merge, so the value is never a 3-way sum)
+    assert_eq!(
+        samples
+            .iter()
+            .filter(|s| s.name == "dc_uptime_seconds")
+            .count(),
+        1,
+        "derived gauges must not merge across shards"
+    );
+
+    c.shutdown().unwrap();
+    cluster_thread.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

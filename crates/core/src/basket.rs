@@ -608,7 +608,7 @@ impl Basket {
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
             self.note_high_water(inner.live_len());
             if let Some(p) = self.probe() {
-                p.note_append();
+                p.note_append(n);
             }
             self.maybe_seal(&mut inner)?;
         }
@@ -632,7 +632,7 @@ impl Basket {
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
             self.note_high_water(inner.live_len());
             if let Some(p) = self.probe() {
-                p.note_append();
+                p.note_append(n);
             }
             self.maybe_seal(inner)?;
         }
@@ -688,7 +688,7 @@ impl Basket {
             self.stats.total_in.fetch_add(n as u64, Ordering::Relaxed);
             self.note_high_water(inner.live_len());
             if let Some(p) = self.probe() {
-                p.note_append();
+                p.note_append(n);
             }
             self.maybe_seal(&mut inner)?;
         }

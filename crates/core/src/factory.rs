@@ -23,6 +23,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dcsql::ast::Stmt;
+use dctrace::now_micros;
 use dcsql::exec::{execute_script, Effects, QueryContext};
 use dcsql::SqlError;
 use monet::catalog::Catalog;
@@ -490,6 +491,17 @@ impl Factory for QueryFactory {
         } else {
             0
         };
+        // Pending trace mark of a sampled batch in one of the consumed
+        // baskets — the firing that drains it owns its basket-dwell and
+        // fire spans (first mark wins when several inputs are traced).
+        let trace_mark = if self.probe.is_some() {
+            self.consumed_inputs
+                .iter()
+                .filter_map(|b| b.probe())
+                .find_map(|p| p.take_trace_mark())
+        } else {
+            None
+        };
         if let Some(p) = &self.probe {
             p.note_fire_start();
         }
@@ -620,6 +632,10 @@ impl Factory for QueryFactory {
                 report.rows_scanned,
                 report.rows_out,
             );
+            if let Some((batch, stamp)) = trace_mark {
+                let fire_start = now_micros().saturating_sub(report.elapsed_micros);
+                p.note_trace(batch, fire_start.saturating_sub(stamp), report.elapsed_micros);
+            }
         }
         Ok(report)
     }

@@ -10,9 +10,10 @@
 //! ## Binary frame layout
 //!
 //! ```text
-//! u8          version            (FRAME_VERSION = 1)
+//! u8          version            (FRAME_VERSION = 1, FRAME_VERSION_TRACED = 2)
 //! u32 LE      payload length     (bytes after this word)
 //! payload:
+//!   [v2 only] u64 LE batch id + u64 LE origin µs   (16-byte trace header)
 //!   varint    column count       (must match the negotiated schema)
 //!   varint    row count
 //!   per column:
@@ -44,8 +45,18 @@ use crate::net;
 /// Version byte leading every binary frame.
 pub const FRAME_VERSION: u8 = 1;
 
+/// Version byte of a frame carrying a trace header: the payload starts
+/// with a 16-byte trace prefix (u64 LE batch id + u64 LE origin
+/// timestamp in µs) before the usual column payload. Decoders that
+/// understand only [`FRAME_VERSION`] reject these, so tracing is
+/// version-gated — untraced frames are byte-identical to v1.
+pub const FRAME_VERSION_TRACED: u8 = 2;
+
 /// Bytes of frame header preceding the payload (version + u32 length).
 const HEADER_LEN: usize = 5;
+
+/// Bytes of the in-payload trace prefix on a v2 frame.
+const TRACE_HEADER_LEN: usize = 16;
 
 /// Upper bound on a frame payload (64 MiB). Decoders reject larger
 /// declared lengths before allocating, bounding per-connection memory
@@ -169,6 +180,38 @@ fn tag_type(b: u8) -> Result<ValueType> {
     })
 }
 
+// ---- trace header -----------------------------------------------------------
+
+/// The sampled-batch trace carried by a [`FRAME_VERSION_TRACED`] frame:
+/// a cluster-unique batch id plus the origin timestamp (µs, on the
+/// stamping process's monotonic clock) so every hop can report dwell
+/// relative to where the batch entered the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHeader {
+    pub batch: u64,
+    pub origin_micros: u64,
+}
+
+impl TraceHeader {
+    fn write_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.batch.to_le_bytes());
+        out.extend_from_slice(&self.origin_micros.to_le_bytes());
+    }
+
+    fn read_from(p: &[u8]) -> Result<TraceHeader> {
+        if p.len() < TRACE_HEADER_LEN {
+            return Err(EngineError::Io(format!(
+                "traced frame payload of {} bytes is shorter than the {TRACE_HEADER_LEN}-byte trace header",
+                p.len()
+            )));
+        }
+        Ok(TraceHeader {
+            batch: u64::from_le_bytes(p[..8].try_into().unwrap()),
+            origin_micros: u64::from_le_bytes(p[8..16].try_into().unwrap()),
+        })
+    }
+}
+
 // ---- encoding ---------------------------------------------------------------
 
 /// Exact encoded payload size of `rel` — computed before encoding so an
@@ -198,14 +241,25 @@ fn payload_len_of(rel: &Relation) -> usize {
 /// `out` unchanged) when the encoding would exceed [`MAX_FRAME_LEN`] —
 /// split the batch instead of producing a frame no receiver accepts.
 pub fn encode_frame(out: &mut Vec<u8>, rel: &Relation) -> Result<()> {
-    let payload_len = payload_len_of(rel);
+    encode_frame_traced(out, rel, None)
+}
+
+/// [`encode_frame`] with an optional trace header. `Some(trace)`
+/// produces a [`FRAME_VERSION_TRACED`] frame whose payload leads with
+/// the 16-byte trace prefix; `None` is byte-identical to a v1 frame.
+pub fn encode_frame_traced(out: &mut Vec<u8>, rel: &Relation, trace: Option<&TraceHeader>) -> Result<()> {
+    let body_len = payload_len_of(rel);
+    let payload_len = body_len + if trace.is_some() { TRACE_HEADER_LEN } else { 0 };
     if payload_len > MAX_FRAME_LEN {
         return Err(frame_too_big(payload_len));
     }
     out.reserve(HEADER_LEN + payload_len);
-    out.push(FRAME_VERSION);
+    out.push(if trace.is_some() { FRAME_VERSION_TRACED } else { FRAME_VERSION });
     out.extend_from_slice(&(payload_len as u32).to_le_bytes());
     let payload_start = out.len();
+    if let Some(t) = trace {
+        t.write_into(out);
+    }
 
     let rows = rel.len();
     put_varint(out, rel.width() as u64);
@@ -277,11 +331,30 @@ pub fn write_frame<W: Write>(w: &mut W, rel: &Relation) -> Result<usize> {
 /// * `Ok(None)` — the buffer holds only a partial frame (or is empty).
 /// * `Err(_)` — corrupt stream (bad version/tag/UTF-8/lengths).
 pub fn decode_frame(bytes: &[u8], schema: &Schema) -> Result<Option<(Relation, usize)>> {
+    let Some((rel, total, _trace)) = decode_frame_traced(bytes, schema)? else {
+        return Ok(None);
+    };
+    Ok(Some((rel, total)))
+}
+
+/// [`decode_frame`] additionally surfacing the trace header of a
+/// [`FRAME_VERSION_TRACED`] frame (`None` for plain v1 frames).
+pub fn decode_frame_traced(
+    bytes: &[u8],
+    schema: &Schema,
+) -> Result<Option<(Relation, usize, Option<TraceHeader>)>> {
     let Some(total) = frame_len(bytes)? else {
         return Ok(None);
     };
-    let rel = decode_payload(&bytes[HEADER_LEN..total], schema)?;
-    Ok(Some((rel, total)))
+    let payload = &bytes[HEADER_LEN..total];
+    let trace = if bytes[0] == FRAME_VERSION_TRACED {
+        Some(TraceHeader::read_from(payload)?)
+    } else {
+        None
+    };
+    let body = if trace.is_some() { &payload[TRACE_HEADER_LEN..] } else { payload };
+    let rel = decode_payload(body, schema)?;
+    Ok(Some((rel, total, trace)))
 }
 
 /// Total byte length (header + payload) of the frame at the front of
@@ -298,9 +371,9 @@ pub fn frame_len(bytes: &[u8]) -> Result<Option<usize>> {
     let Some(&version) = bytes.first() else {
         return Ok(None);
     };
-    if version != FRAME_VERSION {
+    if version != FRAME_VERSION && version != FRAME_VERSION_TRACED {
         return Err(EngineError::Io(format!(
-            "unsupported frame version {version} (expected {FRAME_VERSION})"
+            "unsupported frame version {version} (expected {FRAME_VERSION} or {FRAME_VERSION_TRACED})"
         )));
     }
     if bytes.len() < HEADER_LEN {
@@ -325,7 +398,11 @@ pub fn frame_meta(bytes: &[u8]) -> Result<Option<(usize, u64)>> {
     let Some(total) = frame_len(bytes)? else {
         return Ok(None);
     };
-    let payload = &bytes[HEADER_LEN..total];
+    let mut payload = &bytes[HEADER_LEN..total];
+    if bytes[0] == FRAME_VERSION_TRACED {
+        TraceHeader::read_from(payload)?;
+        payload = &payload[TRACE_HEADER_LEN..];
+    }
     let truncated = || EngineError::Io("truncated frame payload".into());
     let (_ncols, at) = get_varint(payload, 0)?.ok_or_else(truncated)?;
     let (rows, _) = get_varint(payload, at)?.ok_or_else(truncated)?;
@@ -346,9 +423,9 @@ pub fn read_frame<R: BufRead + ?Sized>(r: &mut R, schema: &Schema) -> Result<Opt
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e.into()),
     }
-    if header[0] != FRAME_VERSION {
+    if header[0] != FRAME_VERSION && header[0] != FRAME_VERSION_TRACED {
         return Err(EngineError::Io(format!(
-            "unsupported frame version {} (expected {FRAME_VERSION})",
+            "unsupported frame version {} (expected {FRAME_VERSION} or {FRAME_VERSION_TRACED})",
             header[0]
         )));
     }
@@ -359,7 +436,13 @@ pub fn read_frame<R: BufRead + ?Sized>(r: &mut R, schema: &Schema) -> Result<Opt
     }
     let mut payload = vec![0u8; payload_len];
     r.read_exact(&mut payload)?;
-    Ok(Some(decode_payload(&payload, schema)?))
+    let body = if header[0] == FRAME_VERSION_TRACED {
+        TraceHeader::read_from(&payload)?;
+        &payload[TRACE_HEADER_LEN..]
+    } else {
+        &payload[..]
+    };
+    Ok(Some(decode_payload(body, schema)?))
 }
 
 /// Decode a frame payload against the negotiated schema (names come from
@@ -763,6 +846,58 @@ mod tests {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
         assert!(decode_frame(&frame, &schema).is_err());
+    }
+
+    #[test]
+    fn traced_frame_roundtrips_and_stays_self_delimiting() {
+        let rel = sample();
+        let schema = rel.schema();
+        let trace = TraceHeader { batch: 0xDEAD_BEEF_CAFE, origin_micros: 123_456_789 };
+        let mut buf = Vec::new();
+        encode_frame_traced(&mut buf, &rel, Some(&trace)).unwrap();
+        assert_eq!(buf[0], FRAME_VERSION_TRACED);
+
+        // traced decode surfaces the header; plain decode ignores it
+        let (back, used, got) = decode_frame_traced(&buf, &schema).unwrap().unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back, rel);
+        assert_eq!(got, Some(trace));
+        let (back2, used2) = decode_frame(&buf, &schema).unwrap().unwrap();
+        assert_eq!((back2, used2), (rel.clone(), buf.len()));
+
+        // schema-free peeling skips the trace prefix
+        assert_eq!(frame_len(&buf).unwrap().unwrap(), buf.len());
+        let (total, rows) = frame_meta(&buf).unwrap().unwrap();
+        assert_eq!((total, rows), (buf.len(), rel.len() as u64));
+
+        // still self-delimiting: every proper prefix is incomplete
+        for cut in 0..buf.len() {
+            assert!(decode_frame_traced(&buf[..cut], &schema).unwrap().is_none());
+        }
+
+        // blocking reader accepts v2 frames too
+        let mut r = std::io::BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r, &schema).unwrap().unwrap(), rel);
+
+        // an untraced encode through the traced entry point is a byte-
+        // identical v1 frame
+        let mut plain = Vec::new();
+        encode_frame_traced(&mut plain, &rel, None).unwrap();
+        let mut v1 = Vec::new();
+        encode_frame(&mut v1, &rel).unwrap();
+        assert_eq!(plain, v1);
+        let (_, _, none) = decode_frame_traced(&v1, &schema).unwrap().unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn traced_frame_shorter_than_trace_header_is_an_error() {
+        let schema = Schema::from_pairs(&[("a", ValueType::Int)]);
+        let mut frame = vec![FRAME_VERSION_TRACED];
+        frame.extend_from_slice(&8u32.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 8]); // 8-byte payload < 16-byte trace header
+        assert!(decode_frame_traced(&frame, &schema).is_err());
+        assert!(frame_meta(&frame).is_err());
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! ```text
 //! datacelld [--listen HOST:PORT] [--data-host HOST] [--backoff-us N]
 //!           [--data-dir PATH] [--fsync always|every_n:N|off] [--seal-rows N]
+//!           [--trace-ring N] [--trace-sample N]
+//!           [--metrics-interval-ms N] [--metrics-depth N]
 //! ```
 //!
 //! Binds the control plane on `--listen` (default `127.0.0.1:7077`) and
@@ -55,16 +57,36 @@ fn main() {
                 Some(n) => config.seal_rows = n,
                 None => die("--seal-rows requires a number"),
             },
+            "--trace-ring" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.trace_ring = n,
+                _ => die("--trace-ring requires a positive number"),
+            },
+            "--trace-sample" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => config.trace_sample = n,
+                None => die("--trace-sample requires a number (0 = off)"),
+            },
+            "--metrics-interval-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms > 0 => config.metrics_interval = Duration::from_millis(ms),
+                _ => die("--metrics-interval-ms requires a positive number"),
+            },
+            "--metrics-depth" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.metrics_depth = n,
+                None => die("--metrics-depth requires a number"),
+            },
             "--help" | "-h" => {
                 println!(
                     "datacelld [--listen HOST:PORT] [--data-host HOST] [--backoff-us N]\n          \
-                     [--data-dir PATH] [--fsync always|every_n:N|off] [--seal-rows N]\n\n\
+                     [--data-dir PATH] [--fsync always|every_n:N|off] [--seal-rows N]\n          \
+                     [--trace-ring N] [--trace-sample N (0 = off)]\n          \
+                     [--metrics-interval-ms N] [--metrics-depth N]\n\n\
                      Control-plane commands (one per line):\n  \
                      PING | CREATE STREAM/TABLE/BASKET ... [PERSIST] | EXEC <sql> |\n  \
                      FLUSH STREAM <name> | REGISTER QUERY <name> AS <sql> |\n  \
                      ATTACH RECEPTOR <stream> ON PORT <p> |\n  \
                      ATTACH EMITTER <query> ON PORT <p> |\n  \
-                     DETACH RECEPTOR/EMITTER <name> PORT <p> | STATS | QUIT | SHUTDOWN"
+                     DETACH RECEPTOR/EMITTER <name> PORT <p> | STATS |\n  \
+                     METRICS | METRICS HISTORY [<series>] [LAST <n>] |\n  \
+                     TRACE DUMP | TRACE SPANS [BATCH <id>] | HEALTH | QUIT | SHUTDOWN"
                 );
                 return;
             }

@@ -260,6 +260,40 @@ impl Client {
         self.request("METRICS")
     }
 
+    /// `METRICS HISTORY [<series>] [LAST <n>]`: snapshots from the
+    /// server's metrics-history ring, oldest first, optionally filtered
+    /// to one series and/or the last `n` snapshots.
+    pub fn metrics_history(
+        &mut self,
+        series: Option<&str>,
+        last: Option<usize>,
+    ) -> Result<Vec<String>> {
+        let mut line = "METRICS HISTORY".to_string();
+        if let Some(s) = series {
+            line.push(' ');
+            line.push_str(s);
+        }
+        if let Some(n) = last {
+            line.push_str(&format!(" LAST {n}"));
+        }
+        self.request(&line)
+    }
+
+    /// `HEALTH`: the node's windowed health score, degraded reasons and
+    /// raw signals (parse the head with [`dctrace::HealthReport::parse_head`]).
+    pub fn health(&mut self) -> Result<Vec<String>> {
+        self.request("HEALTH")
+    }
+
+    /// `TRACE SPANS [BATCH <id>]`: per-batch span trees reconstructed
+    /// from the flight recorder.
+    pub fn trace_spans(&mut self, batch: Option<u64>) -> Result<Vec<String>> {
+        match batch {
+            Some(id) => self.request(&format!("TRACE SPANS BATCH {id}")),
+            None => self.request("TRACE SPANS"),
+        }
+    }
+
     /// `TRACE DUMP`: every flight-recorder event, oldest first.
     pub fn trace_dump(&mut self) -> Result<Vec<String>> {
         self.request("TRACE DUMP")

@@ -234,7 +234,13 @@ fn dispatch(rt: &Arc<ServerRuntime>, request: &str) -> (Response, bool) {
         Command::ExplainQuery { name } => (result_response(rt.explain_query(&name)), false),
         Command::Stats => (Response::Ok(rt.stats()), false),
         Command::Metrics => (Response::Ok(rt.metrics()), false),
+        Command::MetricsHistory { series, last } => (
+            result_response(rt.metrics_history(series.as_deref(), last)),
+            false,
+        ),
+        Command::Health => (result_response(rt.health()), false),
         Command::TraceDump { query } => (result_response(rt.trace_dump(query.as_deref())), false),
+        Command::TraceSpans { batch } => (result_response(rt.trace_spans(batch)), false),
         Command::TraceStream { query, on } => {
             if on {
                 match rt.trace_on(&query) {

@@ -21,8 +21,11 @@
 //! EXPLAIN QUERY <name>                          -- plan of a registered continuous query
 //! STATS
 //! METRICS                                       -- Prometheus text exposition
+//! METRICS HISTORY [<series>] [LAST <n>]         -- snapshot ring, oldest first
 //! TRACE DUMP [QUERY <name>]                     -- flight-recorder ring dump
+//! TRACE SPANS [BATCH <id>]                      -- per-batch span trees
 //! TRACE QUERY <name> ON|OFF                     -- live trace stream (emitter-style port)
+//! HEALTH                                        -- windowed health score + signals
 //! QUIT
 //! SHUTDOWN
 //! ```
@@ -128,9 +131,22 @@ pub enum Command {
     /// `METRICS` — the whole telemetry registry in Prometheus text
     /// exposition format.
     Metrics,
+    /// `METRICS HISTORY [<series>] [LAST <n>]` — the snapshot ring,
+    /// oldest first, optionally filtered to one series (exact metric
+    /// name or series-key prefix) and/or the last `n` snapshots.
+    MetricsHistory {
+        series: Option<String>,
+        last: Option<usize>,
+    },
     /// `TRACE DUMP [QUERY <name>]` — the flight recorder's ring of
     /// recent events, optionally filtered to one query.
     TraceDump { query: Option<String> },
+    /// `TRACE SPANS [BATCH <id>]` — per-batch span trees reconstructed
+    /// from the flight recorder, optionally filtered to one batch id.
+    TraceSpans { batch: Option<u64> },
+    /// `HEALTH` — the node's windowed health score, degraded reasons
+    /// and raw signals.
+    Health,
     /// `TRACE QUERY <name> ON|OFF` — start (reply carries `port=N`) or
     /// stop streaming that query's trace events live.
     TraceStream { query: String, on: bool },
@@ -286,7 +302,44 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "STATS" => Ok(Command::Stats),
         "METRICS" => {
             if rest.is_empty() {
-                Ok(Command::Metrics)
+                return Ok(Command::Metrics);
+            }
+            let (sub, tail) = take_word(rest);
+            if !sub.eq_ignore_ascii_case("HISTORY") {
+                return Err(format!("unexpected trailing input {rest:?}"));
+            }
+            if tail.is_empty() {
+                return Ok(Command::MetricsHistory {
+                    series: None,
+                    last: None,
+                });
+            }
+            // optional <series> first, optional LAST <n> after
+            let (word, _) = take_word(tail);
+            let (series, tail) = if word.eq_ignore_ascii_case("LAST") {
+                (None, tail)
+            } else {
+                let (name, after_name) = parse_name(tail)?;
+                (Some(name), after_name)
+            };
+            let last = if tail.is_empty() {
+                None
+            } else {
+                let tail = expect_kw(tail, "LAST")?;
+                let (n_word, trailing) = take_word(tail);
+                if !trailing.is_empty() {
+                    return Err(format!("unexpected trailing input {trailing:?}"));
+                }
+                let n: usize = n_word
+                    .parse()
+                    .map_err(|_| format!("invalid snapshot count {n_word:?}"))?;
+                Some(n)
+            };
+            Ok(Command::MetricsHistory { series, last })
+        }
+        "HEALTH" => {
+            if rest.is_empty() {
+                Ok(Command::Health)
             } else {
                 Err(format!("unexpected trailing input {rest:?}"))
             }
@@ -304,6 +357,20 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                         return Err(format!("unexpected trailing input {trailing:?}"));
                     }
                     Ok(Command::TraceDump { query: Some(name) })
+                }
+                "SPANS" => {
+                    if tail.is_empty() {
+                        return Ok(Command::TraceSpans { batch: None });
+                    }
+                    let tail = expect_kw(tail, "BATCH")?;
+                    let (id_word, trailing) = take_word(tail);
+                    if !trailing.is_empty() {
+                        return Err(format!("unexpected trailing input {trailing:?}"));
+                    }
+                    let batch: u64 = id_word
+                        .parse()
+                        .map_err(|_| format!("invalid batch id {id_word:?}"))?;
+                    Ok(Command::TraceSpans { batch: Some(batch) })
                 }
                 "QUERY" => {
                     let (name, tail) = parse_name(tail)?;
@@ -771,6 +838,53 @@ mod tests {
                 on: false,
             })
         );
+        assert_eq!(
+            parse_command("METRICS HISTORY"),
+            Ok(Command::MetricsHistory {
+                series: None,
+                last: None
+            })
+        );
+        assert_eq!(
+            parse_command("metrics history dc_ingest_rate"),
+            Ok(Command::MetricsHistory {
+                series: Some("dc_ingest_rate".into()),
+                last: None
+            })
+        );
+        assert_eq!(
+            parse_command("METRICS HISTORY LAST 5"),
+            Ok(Command::MetricsHistory {
+                series: None,
+                last: Some(5)
+            })
+        );
+        assert_eq!(
+            parse_command("METRICS HISTORY dc_ingest_rate LAST 2"),
+            Ok(Command::MetricsHistory {
+                series: Some("dc_ingest_rate".into()),
+                last: Some(2)
+            })
+        );
+        assert!(parse_command("METRICS HISTORY LAST").is_err());
+        assert!(parse_command("METRICS HISTORY LAST x").is_err());
+        assert!(parse_command("METRICS HISTORY s LAST 2 extra").is_err());
+        assert!(parse_command("METRICS HISTORY bad-name").is_err());
+        assert_eq!(
+            parse_command("TRACE SPANS"),
+            Ok(Command::TraceSpans { batch: None })
+        );
+        assert_eq!(
+            parse_command("trace spans batch 12345"),
+            Ok(Command::TraceSpans { batch: Some(12345) })
+        );
+        assert!(parse_command("TRACE SPANS 12345").is_err());
+        assert!(parse_command("TRACE SPANS BATCH").is_err());
+        assert!(parse_command("TRACE SPANS BATCH x").is_err());
+        assert!(parse_command("TRACE SPANS BATCH 1 extra").is_err());
+        assert_eq!(parse_command("HEALTH"), Ok(Command::Health));
+        assert_eq!(parse_command("health"), Ok(Command::Health));
+        assert!(parse_command("HEALTH now").is_err());
         assert!(parse_command("TRACE").is_err());
         assert!(parse_command("TRACE DUMP hot").is_err());
         assert!(parse_command("TRACE DUMP QUERY hot extra").is_err());

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use datacell::emitter::Emitter;
 use datacell::engine::{DataCell, QueryOptions};
-use datacell::frame::{decode_frame, WireFormat};
+use datacell::frame::{decode_frame_traced, WireFormat};
 use datacell::net::parse_row;
 use datacell::scheduler::ThreadedScheduler;
 use monet::prelude::*;
@@ -51,6 +51,17 @@ pub struct ServerConfig {
     /// (the `METRICS` / `TRACE` commands). On the hot path this costs
     /// one atomic add per probe point when on, one branch when off.
     pub telemetry_enabled: bool,
+    /// Flight-recorder ring capacity (`--trace-ring`): recent structured
+    /// events kept for `TRACE DUMP` / `TRACE SPANS`.
+    pub trace_ring: usize,
+    /// Stamp every Nth ingested batch with a wire trace header and
+    /// record its per-hop spans (`--trace-sample`, 0 = off).
+    pub trace_sample: u64,
+    /// How often the background snapshotter captures `METRICS` into the
+    /// history ring (`--metrics-interval-ms`).
+    pub metrics_interval: Duration,
+    /// Snapshots the history ring retains (`--metrics-depth`).
+    pub metrics_depth: usize,
     /// Root of the durable store (`--data-dir`). When set, the runtime
     /// opens a [`dcstore::Store`] there, replays its WALs into the engine
     /// *before* the control plane accepts connections, and honors
@@ -71,6 +82,10 @@ impl Default for ServerConfig {
             idle_backoff: Duration::from_micros(100),
             receptor_basket_cap: 0,
             telemetry_enabled: true,
+            trace_ring: dctrace::TRACE_RING_CAP,
+            trace_sample: 256,
+            metrics_interval: Duration::from_secs(1),
+            metrics_depth: 120,
             data_dir: None,
             fsync: dcstore::FsyncPolicy::default(),
             seal_rows: 0,
@@ -130,6 +145,10 @@ pub struct ServerRuntime {
     detached_emitters: Mutex<Vec<Arc<EmitterPort>>>,
     trace_ports: Mutex<Vec<Arc<TracePort>>>,
     telemetry: dctrace::Telemetry,
+    /// Bounded ring of periodic `METRICS` snapshots (`METRICS HISTORY`,
+    /// windowed gauges, health scoring). Populated by the snapshotter
+    /// thread; empty when telemetry is disabled.
+    history: Arc<dctrace::MetricsHistory>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     /// Serializes register_query's engine-registration + factory-takeover
     /// sequence: a concurrent registration from another control session
@@ -148,7 +167,9 @@ impl ServerRuntime {
     pub fn new(engine: Arc<DataCell>, config: ServerConfig) -> Result<Arc<ServerRuntime>> {
         let sched = ThreadedScheduler::with_backoff(config.idle_backoff);
         let telemetry = if config.telemetry_enabled {
-            dctrace::Telemetry::enabled()
+            let t = dctrace::Telemetry::enabled_with_ring(config.trace_ring);
+            t.set_trace_sampling(config.trace_sample);
+            t
         } else {
             dctrace::Telemetry::disabled()
         };
@@ -174,7 +195,8 @@ impl ServerRuntime {
             }
             None => (None, None),
         };
-        Ok(Arc::new(ServerRuntime {
+        let history = Arc::new(dctrace::MetricsHistory::new(config.metrics_depth));
+        let rt = Arc::new(ServerRuntime {
             engine,
             config,
             sched: Mutex::new(Some(sched)),
@@ -185,13 +207,72 @@ impl ServerRuntime {
             detached_emitters: Mutex::new(Vec::new()),
             trace_ports: Mutex::new(Vec::new()),
             telemetry,
+            history,
             threads: Mutex::new(Vec::new()),
             registration: Mutex::new(()),
             stop: Arc::new(AtomicBool::new(false)),
             started_at: Instant::now(),
             store,
             recovery,
-        }))
+        });
+        if rt.telemetry.is_enabled() {
+            rt.spawn_snapshotter();
+        }
+        Ok(rt)
+    }
+
+    /// Background metrics snapshotter: every `metrics_interval`, capture
+    /// the full exposition into the history ring and refresh the derived
+    /// windowed gauges + the node's own health score.
+    fn spawn_snapshotter(self: &Arc<Self>) {
+        let rt = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("dc-metrics".into())
+            .spawn(move || {
+                let interval = rt.config.metrics_interval;
+                while !rt.is_stopping() {
+                    // sleep in small increments so shutdown is prompt even
+                    // with a long interval
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !rt.is_stopping() {
+                        let step = POLL_INTERVAL.min(interval - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    if rt.is_stopping() {
+                        break;
+                    }
+                    rt.capture_metrics_now();
+                }
+            })
+            .expect("spawn metrics snapshotter thread");
+        self.threads.lock().push(handle);
+    }
+
+    /// One snapshotter tick: capture `METRICS` into the history ring,
+    /// then derive the windowed gauges and health score from the last
+    /// two snapshots. Public so tests (and the cluster router) can force
+    /// a tick without waiting out the interval.
+    pub fn capture_metrics_now(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let lines = self.metrics();
+        self.history.capture(&lines, dctrace::now_micros());
+        if let Some((prev, curr)) = self.history.last_two() {
+            for s in dctrace::windowed_gauges(&prev, &curr) {
+                // map back to 'static metric names for the registry
+                let name = match s.name.as_str() {
+                    "dc_ingest_rate" => "dc_ingest_rate",
+                    "dc_fire_p99_window_micros" => "dc_fire_p99_window_micros",
+                    _ => continue,
+                };
+                self.telemetry.set_gauge_rendered(name, s.labels, s.value);
+            }
+            let report = dctrace::health::evaluate(&prev, &curr);
+            self.telemetry
+                .set_gauge("dc_health_score", &[], report.score as f64);
+        }
     }
 
     /// The durable store, when the server runs with a data directory.
@@ -549,9 +630,64 @@ impl ServerRuntime {
     }
 
     /// The `METRICS` report: every registered series in Prometheus text
-    /// exposition format. Empty when telemetry is disabled.
+    /// exposition format. Empty when telemetry is disabled. Process
+    /// gauges (uptime, basket occupancy) are refreshed at render time.
     pub fn metrics(&self) -> Vec<String> {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .set_gauge("dc_uptime_seconds", &[], self.uptime().as_secs_f64());
+            for b in self.engine.basket_report() {
+                self.telemetry
+                    .set_gauge("dc_basket_rows", &[("stream", &b.name)], b.len as f64);
+                // approximate occupancy: 8-byte cells across the user
+                // columns plus the arrival-timestamp column
+                let width = self
+                    .engine
+                    .basket(&b.name)
+                    .map(|bk| bk.user_schema().width() + 1)
+                    .unwrap_or(1);
+                self.telemetry.set_gauge(
+                    "dc_basket_bytes",
+                    &[("stream", &b.name)],
+                    (b.len * width * 8) as f64,
+                );
+            }
+        }
         self.telemetry.render()
+    }
+
+    /// The `METRICS HISTORY` report: snapshots from the history ring,
+    /// oldest first, optionally filtered to one series and/or the last
+    /// `n` snapshots.
+    pub fn metrics_history(&self, series: Option<&str>, last: Option<usize>) -> Result<Vec<String>> {
+        if !self.telemetry.is_enabled() {
+            return Err(ServerError::Protocol(
+                "telemetry is disabled on this server".into(),
+            ));
+        }
+        Ok(self.history.render(series, last))
+    }
+
+    /// The `TRACE SPANS` report: per-batch span trees reconstructed from
+    /// the flight recorder, optionally filtered to one batch id.
+    pub fn trace_spans(&self, batch: Option<u64>) -> Result<Vec<String>> {
+        let rec = self.recorder()?;
+        Ok(dctrace::render_spans(&rec.events(), batch))
+    }
+
+    /// The `HEALTH` report: this node's health score from the last two
+    /// metrics snapshots (healthy while the ring is still warming up).
+    pub fn health(&self) -> Result<Vec<String>> {
+        if !self.telemetry.is_enabled() {
+            return Err(ServerError::Protocol(
+                "telemetry is disabled on this server".into(),
+            ));
+        }
+        let report = match self.history.last_two() {
+            Some((prev, curr)) => dctrace::health::evaluate(&prev, &curr),
+            None => dctrace::HealthReport::healthy(),
+        };
+        Ok(report.render())
     }
 
     /// The `TRACE DUMP` report: flight-recorder events, oldest first,
@@ -650,13 +786,23 @@ impl ServerRuntime {
             self.emitters.lock().len(),
         ));
         for b in self.engine.basket_report() {
-            body.push(format!(
+            let mut line = format!(
                 "basket {} len={} enabled={} in={} out={} dropped={} high_water={} cap={} \
                  pending_deletes={} compactions={} persistent={} wal_bytes={} segments={}",
                 b.name, b.len, b.enabled, b.total_in, b.total_out, b.dropped,
                 b.high_water, b.pending_cap, b.pending_deletes, b.compactions,
                 b.persistent, b.wal_bytes, b.segments
-            ));
+            );
+            if b.persistent {
+                // WAL fsync tail latency (zero when telemetry is off or
+                // nothing has been logged yet)
+                let fsync = self
+                    .telemetry
+                    .hist_snapshot("dc_wal_fsync_micros", &[("stream", &b.name)])
+                    .unwrap_or_default();
+                line.push_str(&format!(" wal_fsync_p99_micros={}", fsync.quantile(0.99)));
+            }
+            body.push(line);
         }
         for q in self.queries.snapshot() {
             let s = q.stats.lock().clone();
@@ -865,24 +1011,46 @@ fn receptor_connection_text(
             // false return also covers "disabled while full" — then fall
             // through so the append soft-rejects exactly like a disabled
             // basket below cap; only shutdown drops the connection.
+            let trace_batch = rt.telemetry().maybe_sample().unwrap_or(0);
             let append_started = basket.probe().map(|_| Instant::now());
             if !basket.wait_for_capacity(|| rt.is_stopping()) && rt.is_stopping() {
                 break;
             }
-            match basket.append_rows(&batch, clock.as_ref()) {
+            if trace_batch != 0 {
+                dctrace::span::set_current(trace_batch);
+                // arm the basket mark before the rows land: the firing
+                // that consumes them can run the instant append releases
+                // the basket lock, and a mark set afterwards would miss
+                // it (losing the dwell/fire/emitter spans)
+                if let Some(p) = basket.probe() {
+                    p.set_trace_mark(trace_batch);
+                }
+            }
+            let appended = match basket.append_rows(&batch, clock.as_ref()) {
                 Ok(n) => {
                     port.accepted.fetch_add(n as u64, Ordering::AcqRel);
                     port.rejected
                         .fetch_add((batch.len() - n) as u64, Ordering::AcqRel);
+                    n
                 }
                 Err(_) => {
                     port.rejected.fetch_add(batch.len() as u64, Ordering::AcqRel);
+                    0
                 }
-            }
+            };
+            dctrace::span::clear_current();
             // decode→append latency for this batch (capacity wait
             // included: that is what the sender experiences)
             if let (Some(p), Some(started)) = (basket.probe(), append_started) {
-                p.note_append_micros(started.elapsed().as_micros() as u64);
+                let dur = started.elapsed().as_micros() as u64;
+                p.note_append_micros(dur);
+                if trace_batch != 0 {
+                    if appended > 0 {
+                        p.note_span("receptor", trace_batch, dur);
+                    } else {
+                        p.clear_trace_mark(trace_batch);
+                    }
+                }
             }
             batch.clear();
         }
@@ -924,10 +1092,16 @@ fn receptor_connection_binary(
         // drain every complete frame that has landed
         let mut consumed = 0usize;
         loop {
-            match decode_frame(&pending[consumed..], &schema) {
-                Ok(Some((rel, used))) => {
+            match decode_frame_traced(&pending[consumed..], &schema) {
+                Ok(Some((rel, used, header))) => {
                     consumed += used;
                     let total = rel.len() as u64;
+                    // trace: propagate a wire header stamped upstream
+                    // (router → shard hop), otherwise sample locally
+                    let trace_batch = header
+                        .map(|h| h.batch)
+                        .or_else(|| rt.telemetry().maybe_sample())
+                        .unwrap_or(0);
                     // as in the text path: only shutdown drops the
                     // connection; a disabled-while-full basket falls
                     // through to a soft-reject append
@@ -936,18 +1110,40 @@ fn receptor_connection_binary(
                         eof = true;
                         break;
                     }
-                    match basket.append_relation(rel, clock.as_ref()) {
+                    // the WAL append span learns its batch from the
+                    // thread-local while the basket logs under its lock
+                    if trace_batch != 0 {
+                        dctrace::span::set_current(trace_batch);
+                        // arm the mark before the rows land — a firing
+                        // racing the append would otherwise consume them
+                        // with no trace to inherit
+                        if let Some(p) = basket.probe() {
+                            p.set_trace_mark(trace_batch);
+                        }
+                    }
+                    let appended = match basket.append_relation(rel, clock.as_ref()) {
                         Ok(n) => {
                             port.accepted.fetch_add(n as u64, Ordering::AcqRel);
                             port.rejected
                                 .fetch_add(total - n as u64, Ordering::AcqRel);
+                            n
                         }
                         Err(_) => {
                             port.rejected.fetch_add(total, Ordering::AcqRel);
+                            0
                         }
-                    }
+                    };
+                    dctrace::span::clear_current();
                     if let (Some(p), Some(started)) = (basket.probe(), append_started) {
-                        p.note_append_micros(started.elapsed().as_micros() as u64);
+                        let dur = started.elapsed().as_micros() as u64;
+                        p.note_append_micros(dur);
+                        if trace_batch != 0 {
+                            if appended > 0 {
+                                p.note_span("receptor", trace_batch, dur);
+                            } else {
+                                p.clear_trace_mark(trace_batch);
+                            }
+                        }
                     }
                 }
                 Ok(None) => break,

@@ -50,6 +50,9 @@ pub struct BasketStats {
     pub wal_bytes: u64,
     /// Sealed immutable segments backing the stream (0 if transient).
     pub segments: u64,
+    /// 99th-percentile WAL fsync latency, µs (rendered only on
+    /// persistent baskets; 0 when telemetry is off or transient).
+    pub wal_fsync_p99_micros: u64,
 }
 
 /// One `query <name> ...` line.
@@ -220,6 +223,7 @@ impl StatsReport {
                     persistent: kv.get("persistent").is_some_and(|v| *v == "true"),
                     wal_bytes: num(&kv, "wal_bytes"),
                     segments: num(&kv, "segments"),
+                    wal_fsync_p99_micros: num(&kv, "wal_fsync_p99_micros"),
                 }),
                 "query" => report.queries.push(QueryStats {
                     name: name.to_string(),
@@ -303,12 +307,19 @@ impl StatsReport {
             ));
         }
         for b in &self.baskets {
-            body.push(format!(
+            let mut line = format!(
                 "basket {} len={} enabled={} in={} out={} dropped={} high_water={} cap={} \
                  pending_deletes={} compactions={} persistent={} wal_bytes={} segments={}",
                 b.name, b.len, b.enabled, b.total_in, b.total_out, b.dropped, b.high_water,
                 b.cap, b.pending_deletes, b.compactions, b.persistent, b.wal_bytes, b.segments
-            ));
+            );
+            if b.persistent {
+                line.push_str(&format!(
+                    " wal_fsync_p99_micros={}",
+                    b.wal_fsync_p99_micros
+                ));
+            }
+            body.push(line);
         }
         for q in &self.queries {
             let mut line = format!(
@@ -474,7 +485,8 @@ mod tests {
              engines=2 streams=1",
             "stream S shards=2 key=- engines=0,1",
             "basket S len=3 enabled=true in=100 out=97 dropped=0 high_water=50 cap=256 \
-             pending_deletes=4 compactions=2 persistent=true wal_bytes=2048 segments=3",
+             pending_deletes=4 compactions=2 persistent=true wal_bytes=2048 segments=3 \
+             wal_fsync_p99_micros=840",
             "query hot firings=7 consumed=100 produced=42 busy_micros=999 lock_micros=111 \
              rows_scanned=640 rows_out=42 plan_micros=17 \
              subscribers=2 delivered_batches=5 delivered_tuples=42 dropped_batches=0 \
@@ -490,6 +502,7 @@ mod tests {
         assert!(r.basket("S").unwrap().persistent);
         assert_eq!(r.basket("S").unwrap().wal_bytes, 2048);
         assert_eq!(r.basket("S").unwrap().segments, 3);
+        assert_eq!(r.basket("S").unwrap().wal_fsync_p99_micros, 840);
         let r2 = StatsReport::parse(&r.render()).unwrap();
         assert_eq!(r, r2);
     }

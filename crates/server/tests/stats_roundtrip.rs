@@ -62,6 +62,7 @@ fn report(rng: &mut StdRng) -> StatsReport {
         });
     }
     for _ in 0..rng.gen_range(0usize..4) {
+        let persistent = rng.gen_bool(0.5);
         r.baskets.push(BasketStats {
             name: name(rng, "s"),
             len: rng.gen_range(0u64..1 << 20),
@@ -73,9 +74,16 @@ fn report(rng: &mut StdRng) -> StatsReport {
             cap: rng.gen_range(0u64..1 << 20),
             pending_deletes: rng.gen_range(0u64..1 << 10),
             compactions: rng.gen_range(0u64..1 << 10),
-            persistent: rng.gen_bool(0.5),
+            persistent,
             wal_bytes: rng.gen_range(0u64..1 << 30),
             segments: rng.gen_range(0u64..1 << 10),
+            // rendered only on persistent baskets — a transient basket
+            // must carry zero here or the roundtrip would lose it
+            wal_fsync_p99_micros: if persistent {
+                rng.gen_range(0u64..1 << 20)
+            } else {
+                0
+            },
         });
     }
     for _ in 0..rng.gen_range(0usize..4) {

@@ -212,6 +212,7 @@ impl Store {
                     .unwrap_or(0),
             ),
             next_seg: AtomicU64::new(next_seg),
+            recorder: self.telemetry.recorder(),
             state: Mutex::new(StreamState { wal, segments }),
         });
         Ok((stream, replay))
@@ -327,6 +328,8 @@ pub struct StreamStore {
     segment_count: AtomicU64,
     sealed_rows: AtomicU64,
     next_seg: AtomicU64,
+    /// Span sink for traced batches (`None` when telemetry is off).
+    recorder: Option<Arc<dctrace::FlightRecorder>>,
     state: Mutex<StreamState>,
 }
 
@@ -358,6 +361,15 @@ impl StreamStore {
 
 impl StreamPersist for StreamStore {
     fn log_append(&self, batch: &Relation, uniform_ts: Option<i64>) -> Result<()> {
+        // when the receptor thread is appending a traced batch (the
+        // thread-local is set around the basket append), time the whole
+        // durable path — encode, checksum, write, fsync — as one span
+        let trace_batch = if self.recorder.is_some() {
+            dctrace::span::current_batch()
+        } else {
+            0
+        };
+        let span_started = (trace_batch != 0).then(std::time::Instant::now);
         let mut buf = Vec::new();
         match uniform_ts {
             // the engine stamped every row with the same arrival time:
@@ -382,6 +394,17 @@ impl StreamPersist for StreamStore {
         let mut st = self.state.lock();
         st.wal.append(&buf)?;
         self.wal_bytes.store(st.wal.bytes(), Ordering::Relaxed);
+        if let (Some(r), Some(started)) = (&self.recorder, span_started) {
+            r.record(
+                "span",
+                None,
+                format!(
+                    "batch={trace_batch} hop=wal_append dur_micros={} stream={}",
+                    started.elapsed().as_micros(),
+                    self.name
+                ),
+            );
+        }
         Ok(())
     }
 

@@ -1,0 +1,227 @@
+//! The health engine: per-node scoring from windowed metrics snapshots.
+//!
+//! A node starts at score 100 and loses points for degradation signals
+//! computed between the two most recent metrics snapshots:
+//!
+//! * **ingest_stalled** (−30): the node has ingested rows before but
+//!   accepted none in the current window.
+//! * **reexecute_rate** (−20): more than 10% of the window's firings
+//!   re-executed (snapshot churn under contention).
+//! * **forward_saturation** (−20): a forwarder queue saturated during
+//!   the window (router-side signal).
+//! * **wal_fsync_slow** (−20): windowed WAL fsync p99 above 50ms.
+//!
+//! The router overlays **unreachable** (score 0) for shards whose
+//! control connection fails, and republishes every shard's score as
+//! `dc_health_score{shard}` gauges — the liveness substrate shard
+//! failover will key on.
+
+use crate::tsdb::{window_p99, Snapshot};
+
+/// Score penalty and threshold constants (documented in README).
+pub const PENALTY_INGEST_STALL: u64 = 30;
+pub const PENALTY_REEXECUTE: u64 = 20;
+pub const PENALTY_FORWARD_SATURATION: u64 = 20;
+pub const PENALTY_WAL_FSYNC: u64 = 20;
+/// Windowed re-execute/firing ratio above this degrades the score.
+pub const REEXECUTE_RATIO_MAX: f64 = 0.10;
+/// Windowed WAL fsync p99 above this (µs) degrades the score.
+pub const WAL_FSYNC_P99_MAX_MICROS: u64 = 50_000;
+
+/// One node's health: score (0..=100), degradation reasons, and the
+/// raw windowed signals behind them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    pub score: u64,
+    pub reasons: Vec<&'static str>,
+    /// `(name, value)` signal pairs, rendered as `signal name=value`.
+    pub signals: Vec<(String, String)>,
+}
+
+impl HealthReport {
+    /// The warm-up report (fewer than two snapshots yet).
+    pub fn healthy() -> HealthReport {
+        HealthReport {
+            score: 100,
+            reasons: Vec::new(),
+            signals: Vec::new(),
+        }
+    }
+
+    /// Wire rendering: `score=<n>`, `reasons=<csv|->`, then one
+    /// `signal <name>=<value>` line per signal.
+    pub fn render(&self) -> Vec<String> {
+        let mut out = vec![
+            format!("score={}", self.score),
+            format!(
+                "reasons={}",
+                if self.reasons.is_empty() {
+                    "-".to_string()
+                } else {
+                    self.reasons.join(",")
+                }
+            ),
+        ];
+        for (name, value) in &self.signals {
+            out.push(format!("signal {name}={value}"));
+        }
+        out
+    }
+
+    /// Parse the `score=` / `reasons=` head of a rendered report — what
+    /// the router needs from a shard's `HEALTH` response.
+    pub fn parse_head(lines: &[String]) -> Option<(u64, String)> {
+        let score = lines.iter().find_map(|l| l.strip_prefix("score="))?.parse().ok()?;
+        let reasons = lines
+            .iter()
+            .find_map(|l| l.strip_prefix("reasons="))
+            .unwrap_or("-")
+            .to_string();
+        Some((score, reasons))
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    num / den.max(1.0)
+}
+
+/// Score the window between two consecutive metrics snapshots.
+pub fn evaluate(prev: &Snapshot, curr: &Snapshot) -> HealthReport {
+    let mut score: u64 = 100;
+    let mut reasons = Vec::new();
+    let mut signals = Vec::new();
+
+    let window = curr.at_micros.saturating_sub(prev.at_micros);
+    signals.push(("window_micros".to_string(), window.to_string()));
+
+    let ingest_prev = prev.sum_of("dc_ingest_rows_total");
+    let ingest_delta = (curr.sum_of("dc_ingest_rows_total") - ingest_prev).max(0.0);
+    signals.push(("ingest_delta_rows".to_string(), format!("{}", ingest_delta as u64)));
+    if ingest_prev > 0.0 && ingest_delta == 0.0 {
+        score = score.saturating_sub(PENALTY_INGEST_STALL);
+        reasons.push("ingest_stalled");
+    }
+
+    let firings_delta =
+        (curr.sum_of("dc_fire_micros_count") - prev.sum_of("dc_fire_micros_count")).max(0.0);
+    let reexec_delta =
+        (curr.sum_of("dc_reexecutes_total") - prev.sum_of("dc_reexecutes_total")).max(0.0);
+    signals.push(("firings_delta".to_string(), format!("{}", firings_delta as u64)));
+    signals.push(("reexecutes_delta".to_string(), format!("{}", reexec_delta as u64)));
+    if ratio(reexec_delta, firings_delta) > REEXECUTE_RATIO_MAX {
+        score = score.saturating_sub(PENALTY_REEXECUTE);
+        reasons.push("reexecute_rate");
+    }
+
+    let saturation_delta = (curr.sum_of("dc_forward_saturation_total")
+        - prev.sum_of("dc_forward_saturation_total"))
+    .max(0.0);
+    signals.push((
+        "forward_saturation_delta".to_string(),
+        format!("{}", saturation_delta as u64),
+    ));
+    if saturation_delta > 0.0 {
+        score = score.saturating_sub(PENALTY_FORWARD_SATURATION);
+        reasons.push("forward_saturation");
+    }
+
+    let fsync_p99 = window_p99(prev, curr, "dc_wal_fsync_micros")
+        .into_iter()
+        .map(|(_, p)| p)
+        .max()
+        .unwrap_or(0);
+    signals.push(("wal_fsync_p99_window_micros".to_string(), fsync_p99.to_string()));
+    if fsync_p99 > WAL_FSYNC_P99_MAX_MICROS {
+        score = score.saturating_sub(PENALTY_WAL_FSYNC);
+        reasons.push("wal_fsync_slow");
+    }
+
+    HealthReport { score, reasons, signals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expo::parse_exposition;
+
+    fn snap(at_micros: u64, lines: &[&str]) -> Snapshot {
+        Snapshot {
+            at_micros,
+            samples: parse_exposition(lines).unwrap(),
+        }
+    }
+
+    #[test]
+    fn steady_ingest_scores_100() {
+        let prev = snap(1_000_000, &["dc_ingest_rows_total{stream=\"s\"} 100"]);
+        let curr = snap(2_000_000, &["dc_ingest_rows_total{stream=\"s\"} 200"]);
+        let r = evaluate(&prev, &curr);
+        assert_eq!(r.score, 100);
+        assert!(r.reasons.is_empty());
+        assert_eq!(r.render()[0], "score=100");
+        assert_eq!(r.render()[1], "reasons=-");
+    }
+
+    #[test]
+    fn stalled_ingest_and_reexecute_churn_stack_penalties() {
+        let prev = snap(
+            1_000_000,
+            &[
+                "dc_ingest_rows_total{stream=\"s\"} 100",
+                "dc_fire_micros_count{query=\"q\"} 10",
+                "dc_reexecutes_total{query=\"q\"} 0",
+            ],
+        );
+        let curr = snap(
+            2_000_000,
+            &[
+                "dc_ingest_rows_total{stream=\"s\"} 100",
+                "dc_fire_micros_count{query=\"q\"} 20",
+                "dc_reexecutes_total{query=\"q\"} 5",
+            ],
+        );
+        let r = evaluate(&prev, &curr);
+        assert_eq!(r.score, 100 - PENALTY_INGEST_STALL - PENALTY_REEXECUTE);
+        assert_eq!(r.reasons, vec!["ingest_stalled", "reexecute_rate"]);
+        let rendered = r.render();
+        assert!(rendered.contains(&"reasons=ingest_stalled,reexecute_rate".to_string()));
+        assert!(rendered.iter().any(|l| l == "signal ingest_delta_rows=0"));
+        let (score, reasons) = HealthReport::parse_head(&rendered).unwrap();
+        assert_eq!(score, r.score);
+        assert_eq!(reasons, "ingest_stalled,reexecute_rate");
+    }
+
+    #[test]
+    fn slow_fsync_and_saturation_degrade() {
+        let prev = snap(
+            1_000_000,
+            &[
+                "dc_forward_saturation_total{stream=\"s\",shard=\"0\"} 2",
+                "dc_wal_fsync_micros_bucket{stream=\"s\",le=\"65536\"} 0",
+                "dc_wal_fsync_micros_bucket{stream=\"s\",le=\"+Inf\"} 0",
+            ],
+        );
+        let curr = snap(
+            2_000_000,
+            &[
+                "dc_forward_saturation_total{stream=\"s\",shard=\"0\"} 3",
+                "dc_wal_fsync_micros_bucket{stream=\"s\",le=\"65536\"} 10",
+                "dc_wal_fsync_micros_bucket{stream=\"s\",le=\"+Inf\"} 10",
+            ],
+        );
+        let r = evaluate(&prev, &curr);
+        assert_eq!(r.score, 100 - PENALTY_FORWARD_SATURATION - PENALTY_WAL_FSYNC);
+        assert_eq!(r.reasons, vec!["forward_saturation", "wal_fsync_slow"]);
+        assert!(r
+            .signals
+            .iter()
+            .any(|(k, v)| k == "wal_fsync_p99_window_micros" && v == "65536"));
+    }
+
+    #[test]
+    fn warm_up_report_is_healthy() {
+        let r = HealthReport::healthy();
+        assert_eq!(r.score, 100);
+        assert_eq!(HealthReport::parse_head(&r.render()), Some((100, "-".to_string())));
+    }
+}

@@ -29,18 +29,32 @@
 //! and a series-wise merge ([`merge_expositions`]) — summing
 //! `_bucket` samples of identical label sets is exactly the bucket-wise
 //! histogram add the shard router needs.
+//!
+//! On top of those primitives sit three cluster-observability layers:
+//! [`span`] (distributed batch tracing — sampled batches carry a trace
+//! header on the wire and every hop records a `span` event,
+//! reconstructable via `TRACE SPANS`), [`tsdb`] (a bounded ring of
+//! metrics snapshots powering `METRICS HISTORY` and windowed derived
+//! gauges), and [`health`] (per-node health scoring from windowed
+//! signals, the substrate for the router's `dc_health_score{shard}`).
 
 mod expo;
+pub mod health;
 mod hist;
 mod probe;
 mod recorder;
 mod registry;
+pub mod span;
+pub mod tsdb;
 
 pub use expo::{merge_expositions, parse_exposition, Sample};
+pub use health::HealthReport;
 pub use hist::{bucket_bound, bucket_index, HistSnapshot, Histogram, BUCKETS};
 pub use probe::{BasketProbe, EmitterProbe, FireProbe};
 pub use recorder::{FlightRecorder, TraceEvent, TRACE_RING_CAP};
 pub use registry::Telemetry;
+pub use span::render_spans;
+pub use tsdb::{windowed_gauges, MetricsHistory, Snapshot};
 
 use std::sync::OnceLock;
 use std::time::Instant;

@@ -20,10 +20,15 @@ pub struct BasketProbe {
     append: Arc<Histogram>,
     backpressure_waits: Arc<AtomicU64>,
     compactions: Arc<AtomicU64>,
+    rows_in: Arc<AtomicU64>,
     /// Ingest timestamp ([`now_micros`]) of the oldest batch appended
     /// since the basket was last drained; `0` = unset. One CAS per
     /// batch, not per tuple.
     watermark: AtomicU64,
+    /// Batch id (+ stamp time) of the most recent *traced* batch
+    /// appended and not yet consumed by a firing; `0` = none.
+    trace_batch: AtomicU64,
+    trace_stamp: AtomicU64,
     recorder: Arc<FlightRecorder>,
 }
 
@@ -37,20 +42,60 @@ impl BasketProbe {
             append: t.histogram("dc_receptor_append_micros", labels)?,
             backpressure_waits: t.counter("dc_backpressure_waits_total", labels)?,
             compactions: t.counter("dc_compactions_total", labels)?,
+            rows_in: t.counter("dc_ingest_rows_total", labels)?,
             watermark: AtomicU64::new(0),
+            trace_batch: AtomicU64::new(0),
+            trace_stamp: AtomicU64::new(0),
             recorder: t.recorder()?,
         }))
     }
 
-    /// Stamp the ingest watermark if unset. Call once per appended
-    /// batch.
+    /// Stamp the ingest watermark if unset and count the appended rows.
+    /// Call once per appended batch.
     #[inline]
-    pub fn note_append(&self) {
+    pub fn note_append(&self, rows: usize) {
+        self.rows_in.fetch_add(rows as u64, Ordering::Relaxed);
         let _ = self.watermark.compare_exchange(
             0,
             now_micros(),
             Ordering::Relaxed,
             Ordering::Relaxed,
+        );
+    }
+
+    /// A traced batch was just appended: remember its id and the append
+    /// time so the next firing can report the basket-dwell span.
+    pub fn set_trace_mark(&self, batch: u64) {
+        self.trace_stamp.store(now_micros(), Ordering::Relaxed);
+        self.trace_batch.store(batch, Ordering::Relaxed);
+    }
+
+    /// Disarm a mark armed for `batch` whose append landed no rows,
+    /// leaving any newer mark in place.
+    pub fn clear_trace_mark(&self, batch: u64) {
+        let _ = self.trace_batch.compare_exchange(
+            batch,
+            0,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Consume the pending trace mark: `(batch id, append stamp µs)`.
+    pub fn take_trace_mark(&self) -> Option<(u64, u64)> {
+        let batch = self.trace_batch.swap(0, Ordering::Relaxed);
+        if batch == 0 {
+            return None;
+        }
+        Some((batch, self.trace_stamp.load(Ordering::Relaxed)))
+    }
+
+    /// Record one hop span of a traced batch against this stream.
+    pub fn note_span(&self, hop: &'static str, batch: u64, dur_micros: u64) {
+        self.recorder.record(
+            "span",
+            None,
+            format!("batch={batch} hop={hop} dur_micros={dur_micros} stream={}", self.stream),
         );
     }
 
@@ -110,6 +155,8 @@ pub struct FireProbe {
     total: Arc<Histogram>,
     tuple_latency: Arc<Histogram>,
     reexecutes: Arc<AtomicU64>,
+    /// Shared per-query slot handing a traced batch id to the emitter.
+    emit_mark: Arc<AtomicU64>,
     recorder: Arc<FlightRecorder>,
 }
 
@@ -129,8 +176,25 @@ impl FireProbe {
             total: t.histogram("dc_fire_micros", q)?,
             tuple_latency: t.histogram("dc_tuple_latency_micros", q)?,
             reexecutes: t.counter("dc_reexecutes_total", q)?,
+            emit_mark: t.emit_mark(query)?,
             recorder: t.recorder()?,
         }))
+    }
+
+    /// A firing consumed a traced batch: record its basket-dwell and
+    /// fire spans and hand the id to this query's emitters.
+    pub fn note_trace(&self, batch: u64, dwell_micros: u64, fire_micros: u64) {
+        self.recorder.record(
+            "span",
+            Some(&self.query),
+            format!("batch={batch} hop=basket_dwell dur_micros={dwell_micros}"),
+        );
+        self.recorder.record(
+            "span",
+            Some(&self.query),
+            format!("batch={batch} hop=fire dur_micros={fire_micros}"),
+        );
+        self.emit_mark.store(batch, Ordering::Relaxed);
     }
 
     /// A firing began.
@@ -188,6 +252,8 @@ pub struct EmitterProbe {
     query: String,
     write: Arc<Histogram>,
     coalesced: Arc<AtomicU64>,
+    /// The fire probe's hand-off slot for traced batch ids.
+    emit_mark: Arc<AtomicU64>,
     recorder: Arc<FlightRecorder>,
 }
 
@@ -199,14 +265,24 @@ impl EmitterProbe {
             query: query.to_string(),
             write: t.histogram("dc_emitter_write_micros", q)?,
             coalesced: t.counter("dc_coalesced_batches_total", q)?,
+            emit_mark: t.emit_mark(query)?,
             recorder: t.recorder()?,
         }))
     }
 
-    /// One socket write (encode included) took `micros`.
+    /// One socket write (encode included) took `micros`. Consumes a
+    /// pending traced batch (one atomic swap) into an `emitter` span.
     #[inline]
     pub fn note_write(&self, micros: u64) {
         self.write.record(micros);
+        let batch = self.emit_mark.swap(0, Ordering::Relaxed);
+        if batch != 0 {
+            self.recorder.record(
+                "span",
+                Some(&self.query),
+                format!("batch={batch} hop=emitter dur_micros={micros}"),
+            );
+        }
     }
 
     /// A slow subscriber caused `merged` queued batches to coalesce
@@ -239,10 +315,10 @@ mod tests {
         let p = BasketProbe::new(&t, "trades").unwrap();
         assert_eq!(p.watermark(), 0);
         assert_eq!(p.take_watermark(), 0, "no dwell sample without appends");
-        p.note_append();
+        p.note_append(3);
         let w = p.watermark();
         assert!(w > 0);
-        p.note_append();
+        p.note_append(4);
         assert_eq!(p.watermark(), w, "watermark keeps the oldest batch stamp");
         assert_eq!(p.take_watermark(), w);
         assert_eq!(p.watermark(), 0, "consumed");
@@ -250,6 +326,37 @@ mod tests {
             .hist_snapshot("dc_basket_dwell_micros", &[("stream", "trades")])
             .unwrap();
         assert_eq!(snap.count, 1);
+        assert!(t
+            .render()
+            .contains(&"dc_ingest_rows_total{stream=\"trades\"} 7".to_string()));
+    }
+
+    #[test]
+    fn trace_marks_flow_from_basket_to_emitter() {
+        let t = Telemetry::enabled();
+        let b = BasketProbe::new(&t, "trades").unwrap();
+        let f = FireProbe::new(&t, "hot").unwrap();
+        let e = EmitterProbe::new(&t, "hot").unwrap();
+
+        assert!(b.take_trace_mark().is_none());
+        b.note_span("receptor", 42, 5);
+        b.set_trace_mark(42);
+        let (batch, stamp) = b.take_trace_mark().unwrap();
+        assert_eq!(batch, 42);
+        assert!(stamp > 0);
+        assert!(b.take_trace_mark().is_none(), "mark is consumed once");
+
+        f.note_trace(batch, 100, 40);
+        e.note_write(9);
+        e.note_write(9); // no pending mark → no second emitter span
+
+        let spans = crate::span::render_spans(&t.recorder().unwrap().events(), Some(42));
+        assert_eq!(spans[0], "batch 42 spans=4");
+        assert!(spans[1].contains("hop=receptor") && spans[1].contains("stream=trades"));
+        assert!(spans[2].contains("hop=basket_dwell") && spans[2].contains("dur_micros=100"));
+        assert!(spans[3].contains("hop=fire") && spans[3].contains("dur_micros=40"));
+        assert!(spans[4].contains("hop=emitter") && spans[4].contains("query=hot"));
+        assert_eq!(spans.len(), 5);
     }
 
     #[test]

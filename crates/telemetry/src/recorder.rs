@@ -122,6 +122,17 @@ impl FlightRecorder {
             .collect()
     }
 
+    /// Structured copies of the events currently in the ring, oldest
+    /// first — the span-tree reconstruction input.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
     /// Events recorded so far (lifetime, not ring occupancy).
     pub fn recorded(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)

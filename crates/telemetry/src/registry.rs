@@ -13,7 +13,25 @@ type Key = (&'static str, String);
 struct Inner {
     hists: Mutex<Vec<(Key, Arc<Histogram>)>>,
     counters: Mutex<Vec<(Key, Arc<AtomicU64>)>>,
+    /// Gauges store `f64::to_bits` so they stay plain atomics.
+    gauges: Mutex<Vec<(Key, Arc<AtomicU64>)>>,
+    /// Per-query emit marks: the batch id of the last traced firing,
+    /// shared between the fire probe (producer) and emitter probes
+    /// (consumer) so a trace follows a batch across the pump thread.
+    marks: Mutex<Vec<(String, Arc<AtomicU64>)>>,
     recorder: Arc<FlightRecorder>,
+    /// Stamp every Nth ingested batch with a trace header (0 = off).
+    sample_every: AtomicU64,
+    sample_counter: AtomicU64,
+}
+
+/// Process-wide batch-id allocator: the low 32 bits count up, the high
+/// 32 bits carry the pid, so ids from different processes (router vs
+/// remote shard) never collide and `0` is never issued.
+static NEXT_BATCH: AtomicU64 = AtomicU64::new(1);
+
+fn alloc_batch_id() -> u64 {
+    ((std::process::id() as u64) << 32) | (NEXT_BATCH.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff)
 }
 
 /// The handle threaded through the pipeline. Cloning shares the
@@ -40,13 +58,23 @@ pub(crate) fn render_labels(labels: &[(&str, &str)]) -> String {
 
 impl Telemetry {
     /// A live handle with an empty registry and a fresh flight
-    /// recorder.
+    /// recorder of the default [`TRACE_RING_CAP`].
     pub fn enabled() -> Telemetry {
+        Telemetry::enabled_with_ring(TRACE_RING_CAP)
+    }
+
+    /// [`Telemetry::enabled`] with an explicit flight-recorder ring
+    /// capacity (the `--trace-ring` knob).
+    pub fn enabled_with_ring(ring_cap: usize) -> Telemetry {
         Telemetry {
             inner: Some(Arc::new(Inner {
                 hists: Mutex::new(Vec::new()),
                 counters: Mutex::new(Vec::new()),
-                recorder: FlightRecorder::new(TRACE_RING_CAP),
+                gauges: Mutex::new(Vec::new()),
+                marks: Mutex::new(Vec::new()),
+                recorder: FlightRecorder::new(ring_cap),
+                sample_every: AtomicU64::new(0),
+                sample_counter: AtomicU64::new(0),
             })),
         }
     }
@@ -85,6 +113,88 @@ impl Telemetry {
         let c = Arc::new(AtomicU64::new(0));
         counters.push((key, Arc::clone(&c)));
         Some(c)
+    }
+
+    /// Register (or fetch) the gauge for `name{labels}`. The atomic
+    /// holds `f64::to_bits` of the gauge value.
+    pub fn gauge(&self, name: &'static str, labels: &[(&str, &str)]) -> Option<Arc<AtomicU64>> {
+        self.gauge_rendered(name, render_labels(labels))
+    }
+
+    /// [`Telemetry::gauge`] with a pre-rendered label list (as produced
+    /// by the exposition parser) — the snapshotter uses this to set
+    /// derived series whose labels come back out of parsed samples.
+    pub fn gauge_rendered(&self, name: &'static str, labels: String) -> Option<Arc<AtomicU64>> {
+        let inner = self.inner.as_ref()?;
+        let key = (name, labels);
+        let mut gauges = inner.gauges.lock().unwrap();
+        if let Some((_, g)) = gauges.iter().find(|(k, _)| *k == key) {
+            return Some(Arc::clone(g));
+        }
+        let g = Arc::new(AtomicU64::new(0f64.to_bits()));
+        gauges.push((key, Arc::clone(&g)));
+        Some(g)
+    }
+
+    /// Set a gauge to `v` (registering it on first use).
+    pub fn set_gauge(&self, name: &'static str, labels: &[(&str, &str)], v: f64) {
+        if let Some(g) = self.gauge(name, labels) {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// [`Telemetry::set_gauge`] with a pre-rendered label list.
+    pub fn set_gauge_rendered(&self, name: &'static str, labels: String, v: f64) {
+        if let Some(g) = self.gauge_rendered(name, labels) {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Per-query emit mark — the shared slot carrying a traced batch id
+    /// from the firing to the emitter write (`None` when disabled).
+    pub fn emit_mark(&self, query: &str) -> Option<Arc<AtomicU64>> {
+        let inner = self.inner.as_ref()?;
+        let mut marks = inner.marks.lock().unwrap();
+        if let Some((_, m)) = marks.iter().find(|(q, _)| q == query) {
+            return Some(Arc::clone(m));
+        }
+        let m = Arc::new(AtomicU64::new(0));
+        marks.push((query.to_string(), Arc::clone(&m)));
+        Some(m)
+    }
+
+    /// Stamp every `every`th ingested batch with a trace header
+    /// (0 disables sampling).
+    pub fn set_trace_sampling(&self, every: u64) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner.sample_every.store(every, Ordering::Relaxed);
+        }
+    }
+
+    /// The configured sampling rate (0 = off / disabled handle).
+    pub fn trace_sampling(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.sample_every.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Count one ingested batch against the sampling rate; returns a
+    /// fresh process-unique batch id when this batch should be traced.
+    /// One relaxed add on the untraced path.
+    #[inline]
+    pub fn maybe_sample(&self) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let every = inner.sample_every.load(Ordering::Relaxed);
+        if every == 0 {
+            return None;
+        }
+        let n = inner.sample_counter.fetch_add(1, Ordering::Relaxed);
+        if n % every == 0 {
+            Some(alloc_batch_id())
+        } else {
+            None
+        }
     }
 
     /// The process flight recorder (`None` when disabled).
@@ -140,6 +250,26 @@ impl Telemetry {
             };
             out.push(format!("{name}{suffix} {}", c.load(Ordering::Relaxed)));
         }
+        drop(counters);
+        let gauges = inner.gauges.lock().unwrap();
+        let mut typed: Vec<&'static str> = Vec::new();
+        for ((name, labels), g) in gauges.iter() {
+            if !typed.contains(name) {
+                typed.push(name);
+                out.push(format!("# TYPE {name} gauge"));
+            }
+            let suffix = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            let v = f64::from_bits(g.load(Ordering::Relaxed));
+            if v == v.trunc() && v.abs() < 9e15 {
+                out.push(format!("{name}{suffix} {}", v as i64));
+            } else {
+                out.push(format!("{name}{suffix} {v}"));
+            }
+        }
         out
     }
 }
@@ -154,8 +284,55 @@ mod tests {
         assert!(!t.is_enabled());
         assert!(t.histogram("m", &[]).is_none());
         assert!(t.counter("c", &[]).is_none());
+        assert!(t.gauge("g", &[]).is_none());
+        assert!(t.emit_mark("q").is_none());
         assert!(t.recorder().is_none());
+        assert!(t.maybe_sample().is_none());
         assert!(t.render().is_empty());
+    }
+
+    #[test]
+    fn gauges_render_after_counters_with_type_comment() {
+        let t = Telemetry::enabled();
+        t.counter("c_total", &[]).unwrap().fetch_add(1, Ordering::Relaxed);
+        t.set_gauge("dc_health_score", &[("shard", "0")], 80.0);
+        t.set_gauge("dc_ingest_rate", &[("stream", "s")], 12.5);
+        let body = t.render();
+        assert!(body.contains(&"# TYPE dc_health_score gauge".to_string()), "{body:?}");
+        assert!(body.contains(&"dc_health_score{shard=\"0\"} 80".to_string()), "{body:?}");
+        assert!(body.contains(&"dc_ingest_rate{stream=\"s\"} 12.5".to_string()), "{body:?}");
+        let ci = body.iter().position(|l| l == "c_total 1").unwrap();
+        let gi = body.iter().position(|l| l.starts_with("dc_health_score{")).unwrap();
+        assert!(ci < gi, "gauges render after counters");
+        // gauges are register-or-fetch like the other kinds
+        let g1 = t.gauge("dc_health_score", &[("shard", "0")]).unwrap();
+        let g2 = t.gauge_rendered("dc_health_score", "shard=\"0\"".into()).unwrap();
+        assert!(Arc::ptr_eq(&g1, &g2));
+    }
+
+    #[test]
+    fn sampling_stamps_every_nth_batch_with_unique_ids() {
+        let t = Telemetry::enabled();
+        assert!(t.maybe_sample().is_none(), "sampling starts off");
+        t.set_trace_sampling(4);
+        assert_eq!(t.trace_sampling(), 4);
+        let ids: Vec<Option<u64>> = (0..8).map(|_| t.maybe_sample()).collect();
+        let hits: Vec<u64> = ids.iter().flatten().copied().collect();
+        assert_eq!(hits.len(), 2, "{ids:?}");
+        assert_ne!(hits[0], hits[1], "batch ids are unique");
+        assert!(hits.iter().all(|&id| id != 0), "0 is never a batch id");
+        t.set_trace_sampling(0);
+        assert!(t.maybe_sample().is_none());
+    }
+
+    #[test]
+    fn emit_marks_are_shared_per_query() {
+        let t = Telemetry::enabled();
+        let a = t.emit_mark("q").unwrap();
+        let b = t.emit_mark("q").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = t.emit_mark("other").unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 
     #[test]

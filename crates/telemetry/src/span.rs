@@ -1,0 +1,153 @@
+//! Distributed batch-trace spans.
+//!
+//! A sampled batch carries a trace header (batch id + origin timestamp)
+//! on its wire frames; every hop it passes — receptor decode, forwarder
+//! queue dwell, WAL append, basket dwell, fire, emitter write — records
+//! a `kind=span` event into the process flight recorder with a
+//! `batch=<id> hop=<name> dur_micros=<d>` detail. [`render_spans`]
+//! regroups those events into the per-batch span trees served by
+//! `TRACE SPANS [BATCH <id>]`.
+//!
+//! Some hops (the WAL append inside the storage crate) sit below layers
+//! that know nothing about tracing; they learn the active batch id from
+//! a thread-local set by the receptor around the basket append.
+
+use std::cell::Cell;
+
+use crate::recorder::TraceEvent;
+use crate::registry::Telemetry;
+
+thread_local! {
+    /// Batch id of the traced batch the current thread is appending
+    /// (0 = none).
+    static CURRENT_BATCH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Mark the current thread as appending traced batch `batch`.
+pub fn set_current(batch: u64) {
+    CURRENT_BATCH.with(|c| c.set(batch));
+}
+
+/// Clear the thread's trace context.
+pub fn clear_current() {
+    CURRENT_BATCH.with(|c| c.set(0));
+}
+
+/// The batch id set by [`set_current`] (0 = no traced batch in flight
+/// on this thread).
+pub fn current_batch() -> u64 {
+    CURRENT_BATCH.with(|c| c.get())
+}
+
+impl Telemetry {
+    /// Record one span: `hop` of traced batch `batch` took
+    /// `dur_micros`. `extra` is appended verbatim to the detail
+    /// (`k=v` pairs, may be empty); no-op on a disabled handle.
+    pub fn span(
+        &self,
+        hop: &'static str,
+        batch: u64,
+        query: Option<&str>,
+        dur_micros: u64,
+        extra: &str,
+    ) {
+        let Some(r) = self.recorder() else {
+            return;
+        };
+        let mut detail = format!("batch={batch} hop={hop} dur_micros={dur_micros}");
+        if !extra.is_empty() {
+            detail.push(' ');
+            detail.push_str(extra);
+        }
+        r.record("span", query, detail);
+    }
+}
+
+/// Regroup `kind=span` events into per-batch trees: one
+/// `batch <id> spans=<n>` header per batch (order of first appearance,
+/// i.e. oldest first) followed by its spans in recording order, each as
+/// `  t_micros=<t> hop=<hop> dur_micros=<d> [..] [query=<q>]`.
+/// `batch` filters to one id.
+pub fn render_spans(events: &[TraceEvent], batch: Option<u64>) -> Vec<String> {
+    let mut groups: Vec<(u64, Vec<String>)> = Vec::new();
+    for e in events {
+        if e.kind != "span" {
+            continue;
+        }
+        let Some(rest) = e.detail.strip_prefix("batch=") else {
+            continue;
+        };
+        let (id_str, tail) = rest.split_once(' ').unwrap_or((rest, ""));
+        let Ok(id) = id_str.parse::<u64>() else {
+            continue;
+        };
+        if batch.is_some_and(|want| want != id) {
+            continue;
+        }
+        let mut line = format!("  t_micros={} {tail}", e.t_micros);
+        if let Some(q) = &e.query {
+            line.push_str(&format!(" query={q}"));
+        }
+        match groups.iter_mut().find(|(b, _)| *b == id) {
+            Some((_, lines)) => lines.push(line),
+            None => groups.push((id, vec![line])),
+        }
+    }
+    let mut out = Vec::new();
+    for (id, lines) in groups {
+        out.push(format!("batch {id} spans={}", lines.len()));
+        out.extend(lines);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_local_context_round_trips() {
+        assert_eq!(current_batch(), 0);
+        set_current(42);
+        assert_eq!(current_batch(), 42);
+        clear_current();
+        assert_eq!(current_batch(), 0);
+        // per-thread: another thread sees its own context
+        set_current(7);
+        let other = std::thread::spawn(current_batch).join().unwrap();
+        assert_eq!(other, 0);
+        clear_current();
+    }
+
+    #[test]
+    fn spans_group_into_per_batch_trees() {
+        let t = Telemetry::enabled();
+        t.span("receptor", 10, None, 5, "stream=s");
+        t.span("basket_dwell", 10, Some("q"), 100, "");
+        t.span("receptor", 11, None, 6, "stream=s");
+        t.span("fire", 10, Some("q"), 40, "");
+        let r = t.recorder().unwrap();
+        // non-span events are ignored by the reconstruction
+        r.record("fire_end", Some("q"), "rows_out=1".into());
+
+        let all = render_spans(&r.events(), None);
+        assert_eq!(all[0], "batch 10 spans=3");
+        assert!(all[1].contains("hop=receptor") && all[1].contains("dur_micros=5"));
+        assert!(all[1].contains("stream=s"));
+        assert!(all[2].contains("hop=basket_dwell") && all[2].contains("query=q"));
+        assert!(all[3].contains("hop=fire"));
+        assert_eq!(all[4], "batch 11 spans=1");
+        assert_eq!(all.len(), 6);
+
+        let one = render_spans(&r.events(), Some(11));
+        assert_eq!(one.len(), 2);
+        assert_eq!(one[0], "batch 11 spans=1");
+
+        assert!(render_spans(&r.events(), Some(999)).is_empty());
+    }
+
+    #[test]
+    fn span_on_disabled_handle_is_a_noop() {
+        Telemetry::disabled().span("receptor", 1, None, 1, "");
+    }
+}

@@ -1,0 +1,301 @@
+//! Metrics history: a bounded ring of parsed exposition snapshots plus
+//! the windowed series derived from consecutive snapshots.
+//!
+//! A background snapshotter on each daemon captures `METRICS` output
+//! into a [`MetricsHistory`] every `--metrics-interval-ms`; the ring
+//! powers `METRICS HISTORY [<series>] [LAST <n>]` and the derived
+//! windowed gauges (`dc_ingest_rate{stream}`,
+//! `dc_fire_p99_window_micros{query}`) that turn lifetime counters into
+//! the rates the health engine and the self-tuning work need.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::expo::{parse_exposition, Sample};
+
+/// One captured exposition: parsed samples at a point in time
+/// ([`crate::now_micros`] clock).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub at_micros: u64,
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// Value of the series with exactly this `name{labels}` key.
+    pub fn value(&self, key: &str) -> Option<f64> {
+        self.samples.iter().find(|s| s.key() == key).map(|s| s.value)
+    }
+
+    /// Sum of every sample named `name` (any labels).
+    pub fn sum_of(&self, name: &str) -> f64 {
+        self.samples.iter().filter(|s| s.name == name).map(|s| s.value).sum()
+    }
+}
+
+/// The bounded snapshot ring (oldest dropped beyond `depth`).
+pub struct MetricsHistory {
+    ring: Mutex<VecDeque<Arc<Snapshot>>>,
+    depth: usize,
+}
+
+impl MetricsHistory {
+    pub fn new(depth: usize) -> MetricsHistory {
+        MetricsHistory {
+            ring: Mutex::new(VecDeque::new()),
+            depth: depth.max(2),
+        }
+    }
+
+    /// Parse one exposition and push it. Unparseable lines are skipped
+    /// by the parser contract (comments/blanks); a wholly malformed
+    /// exposition is dropped rather than poisoning the ring.
+    pub fn capture(&self, lines: &[String], at_micros: u64) {
+        let Ok(samples) = parse_exposition(lines) else {
+            return;
+        };
+        let snap = Arc::new(Snapshot { at_micros, samples });
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() >= self.depth {
+            ring.pop_front();
+        }
+        ring.push_back(snap);
+    }
+
+    /// Snapshots currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The two most recent snapshots (previous, current), when at least
+    /// two have been captured — the windowing input.
+    pub fn last_two(&self) -> Option<(Arc<Snapshot>, Arc<Snapshot>)> {
+        let ring = self.ring.lock().unwrap();
+        let n = ring.len();
+        if n < 2 {
+            return None;
+        }
+        Some((Arc::clone(&ring[n - 2]), Arc::clone(&ring[n - 1])))
+    }
+
+    /// Render history lines, oldest snapshot first:
+    /// `t_micros=<at> <name{labels}> <value>`. `series` filters by
+    /// metric name (exact) or full `name{labels}` key prefix; `last`
+    /// keeps only the most recent `n` snapshots.
+    pub fn render(&self, series: Option<&str>, last: Option<usize>) -> Vec<String> {
+        let ring = self.ring.lock().unwrap();
+        let skip = last.map_or(0, |n| ring.len().saturating_sub(n));
+        let mut out = Vec::new();
+        for snap in ring.iter().skip(skip) {
+            for s in &snap.samples {
+                if let Some(want) = series {
+                    if s.name != want && !s.key().starts_with(want) {
+                        continue;
+                    }
+                }
+                let v = s.value;
+                if v == v.trunc() && v.abs() < 9e15 {
+                    out.push(format!("t_micros={} {} {}", snap.at_micros, s.key(), v as i64));
+                } else {
+                    out.push(format!("t_micros={} {} {}", snap.at_micros, s.key(), v));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Strip the `le="..."` pair from a rendered label list.
+fn labels_without_le(labels: &str) -> String {
+    labels
+        .split(',')
+        .filter(|p| !p.starts_with("le=\""))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Numeric value of an `le` bound (`+Inf` → `u64::MAX`).
+fn le_bound(labels: &str) -> Option<u64> {
+    let le = labels
+        .split(',')
+        .find_map(|p| p.strip_prefix("le=\""))?
+        .strip_suffix('"')?;
+    if le == "+Inf" {
+        Some(u64::MAX)
+    } else {
+        le.parse().ok()
+    }
+}
+
+/// Windowed p99 estimates for histogram `name` between two snapshots:
+/// one `(labels-without-le, p99_micros)` per label set with samples in
+/// the window, from the deltas of the cumulative `_bucket` counts.
+pub fn window_p99(prev: &Snapshot, curr: &Snapshot, name: &str) -> Vec<(String, u64)> {
+    let bucket = format!("{name}_bucket");
+    // (series labels, sorted (bound, windowed cumulative count))
+    let mut groups: Vec<(String, Vec<(u64, f64)>)> = Vec::new();
+    for s in curr.samples.iter().filter(|s| s.name == bucket) {
+        let Some(bound) = le_bound(&s.labels) else {
+            continue;
+        };
+        let delta = (s.value - prev.value(&s.key()).unwrap_or(0.0)).max(0.0);
+        let key = labels_without_le(&s.labels);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push((bound, delta)),
+            None => groups.push((key, vec![(bound, delta)])),
+        }
+    }
+    let mut out = Vec::new();
+    for (labels, mut buckets) in groups {
+        buckets.sort_by_key(|&(b, _)| b);
+        let Some(&(_, total)) = buckets.iter().find(|&&(b, _)| b == u64::MAX) else {
+            continue;
+        };
+        if total <= 0.0 {
+            continue;
+        }
+        let rank = (0.99 * total).ceil().max(1.0);
+        let mut p99 = buckets.iter().rev().find(|&&(b, _)| b != u64::MAX).map_or(0, |&(b, _)| b);
+        for &(bound, cum) in &buckets {
+            if cum >= rank {
+                p99 = if bound == u64::MAX {
+                    // everything landed above the rendered finite
+                    // buckets; the highest finite bound is the best
+                    // available estimate
+                    p99
+                } else {
+                    bound
+                };
+                break;
+            }
+        }
+        out.push((labels, p99));
+    }
+    out
+}
+
+/// The derived windowed series between two consecutive snapshots:
+/// `dc_ingest_rate{stream}` (rows/s from `dc_ingest_rows_total` deltas)
+/// and `dc_fire_p99_window_micros{query}` (from `dc_fire_micros` bucket
+/// deltas). Empty when the window is zero-width.
+pub fn windowed_gauges(prev: &Snapshot, curr: &Snapshot) -> Vec<Sample> {
+    let dt_secs = curr.at_micros.saturating_sub(prev.at_micros) as f64 / 1e6;
+    if dt_secs <= 0.0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for s in curr.samples.iter().filter(|s| s.name == "dc_ingest_rows_total") {
+        let delta = (s.value - prev.value(&s.key()).unwrap_or(0.0)).max(0.0);
+        out.push(Sample {
+            name: "dc_ingest_rate".to_string(),
+            labels: s.labels.clone(),
+            value: delta / dt_secs,
+        });
+    }
+    for (labels, p99) in window_p99(prev, curr, "dc_fire_micros") {
+        out.push(Sample {
+            name: "dc_fire_p99_window_micros".to_string(),
+            labels,
+            value: p99 as f64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(at_micros: u64, lines: &[&str]) -> Snapshot {
+        Snapshot {
+            at_micros,
+            samples: parse_exposition(lines).unwrap(),
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_renders_filtered() {
+        let h = MetricsHistory::new(3);
+        for i in 0..5u64 {
+            h.capture(
+                &[format!("dc_ingest_rows_total{{stream=\"s\"}} {}", i * 10), "other 1".to_string()],
+                (i + 1) * 1_000_000,
+            );
+        }
+        assert_eq!(h.len(), 3);
+        let all = h.render(None, None);
+        assert_eq!(all.len(), 6, "{all:?}");
+        assert!(all[0].starts_with("t_micros=3000000 "), "oldest kept first: {all:?}");
+        let filtered = h.render(Some("dc_ingest_rows_total"), Some(2));
+        assert_eq!(
+            filtered,
+            vec![
+                "t_micros=4000000 dc_ingest_rows_total{stream=\"s\"} 30",
+                "t_micros=5000000 dc_ingest_rows_total{stream=\"s\"} 40",
+            ]
+        );
+        // full-key prefix also matches
+        assert_eq!(h.render(Some("dc_ingest_rows_total{stream=\"s\"}"), Some(1)).len(), 1);
+        assert!(h.render(Some("nope"), None).is_empty());
+    }
+
+    #[test]
+    fn malformed_exposition_is_dropped_not_poisoning() {
+        let h = MetricsHistory::new(4);
+        h.capture(&["not a sample at all {".to_string()], 1);
+        assert_eq!(h.len(), 0);
+        h.capture(&["ok 1".to_string()], 2);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn windowed_ingest_rate_from_counter_deltas() {
+        let prev = snap(1_000_000, &["dc_ingest_rows_total{stream=\"s\"} 100"]);
+        let curr = snap(3_000_000, &["dc_ingest_rows_total{stream=\"s\"} 400"]);
+        let g = windowed_gauges(&prev, &curr);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].name, "dc_ingest_rate");
+        assert_eq!(g[0].labels, "stream=\"s\"");
+        assert_eq!(g[0].value, 150.0, "300 rows over 2s");
+        // zero-width window → nothing
+        assert!(windowed_gauges(&curr, &curr).is_empty());
+    }
+
+    #[test]
+    fn windowed_fire_p99_from_bucket_deltas() {
+        let prev = snap(
+            1_000_000,
+            &[
+                "dc_fire_micros_bucket{query=\"q\",le=\"1\"} 100",
+                "dc_fire_micros_bucket{query=\"q\",le=\"2\"} 100",
+                "dc_fire_micros_bucket{query=\"q\",le=\"+Inf\"} 100",
+                "dc_fire_micros_count{query=\"q\"} 100",
+            ],
+        );
+        // in the window: 99 firings at ≤1µs, 1 at ≤2µs → p99 = 1
+        let curr = snap(
+            2_000_000,
+            &[
+                "dc_fire_micros_bucket{query=\"q\",le=\"1\"} 199",
+                "dc_fire_micros_bucket{query=\"q\",le=\"2\"} 200",
+                "dc_fire_micros_bucket{query=\"q\",le=\"+Inf\"} 200",
+                "dc_fire_micros_count{query=\"q\"} 200",
+            ],
+        );
+        let p99 = window_p99(&prev, &curr, "dc_fire_micros");
+        assert_eq!(p99, vec![("query=\"q\"".to_string(), 1)]);
+        // the lifetime p99 would be dominated by history; windowed one
+        // is also surfaced as a derived gauge
+        let g = windowed_gauges(&prev, &curr);
+        assert!(g
+            .iter()
+            .any(|s| s.name == "dc_fire_p99_window_micros" && s.value == 1.0));
+        // no firings in the window → no sample
+        let same = Snapshot { at_micros: 3_000_000, samples: curr.samples.clone() };
+        assert!(window_p99(&curr, &same, "dc_fire_micros").is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests for the exposition algebra the shard router relies
+//! on. `merge_expositions` must be a commutative, associative fold over
+//! per-shard expositions — the router merges shards in arbitrary order,
+//! and `dccluster` chains merges when it re-merges a cached partial —
+//! and everything the registry renders (histograms with overflow
+//! samples, counters, plain and pre-rendered gauges, the derived
+//! history gauges) must survive `parse_exposition(render(..))`.
+//!
+//! Only integer-valued samples are generated for the merge laws:
+//! histogram bucket counts, sums and counter values are integers, and
+//! f64 addition over integers this small is exact, which is what makes
+//! the associativity law testable bit-for-bit.
+//!
+//! The vendored proptest shim has no tuple composition, so each case
+//! generates one seed and derives everything from it with `StdRng`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+use dctrace::{
+    merge_expositions, parse_exposition, windowed_gauges, MetricsHistory, Telemetry,
+};
+use proptest::prelude::*;
+use proptest::{Rng, SeedableRng, StdRng};
+
+const HISTS: [&str; 3] = ["dc_fire_micros", "dc_wal_fsync_micros", "dc_forward_dwell_micros"];
+const NAMES: [&str; 3] = ["q0", "q1", "q2"];
+
+/// One randomized shard exposition, built through the real registry so
+/// the tests cover exactly the lines the daemons emit. Small name/label
+/// pools force key collisions across parts — the interesting merge case.
+fn exposition(rng: &mut StdRng) -> Vec<String> {
+    let t = Telemetry::enabled();
+    for _ in 0..rng.gen_range(0usize..6) {
+        let name = HISTS[rng.gen_range(0usize..HISTS.len())];
+        let q = NAMES[rng.gen_range(0usize..NAMES.len())];
+        let h = t.histogram(name, &[("query", q)]).unwrap();
+        for _ in 0..rng.gen_range(1usize..20) {
+            h.record(rng.gen_range(0u64..1 << 30));
+        }
+        if rng.gen_bool(0.4) {
+            // land a sample in the overflow bucket (above the highest
+            // finite bound, 2^63): the render then emits every finite
+            // bucket plus a +Inf count that exceeds the finite tail,
+            // the shape most likely to trip a cumulative-merge bug
+            h.record((1u64 << 63) + 2);
+        }
+    }
+    for _ in 0..rng.gen_range(0usize..4) {
+        let s = NAMES[rng.gen_range(0usize..NAMES.len())];
+        t.counter("dc_ingest_rows_total", &[("stream", s)])
+            .unwrap()
+            .fetch_add(rng.gen_range(0u64..1 << 20), Ordering::Relaxed);
+    }
+    for _ in 0..rng.gen_range(0usize..3) {
+        let s = NAMES[rng.gen_range(0usize..NAMES.len())];
+        t.set_gauge("dc_basket_rows", &[("stream", s)], rng.gen_range(0u64..1 << 20) as f64);
+    }
+    t.render()
+}
+
+/// Parse an exposition into its `key -> value` map; order and comments
+/// are presentation, the map is the meaning the laws quantify over.
+fn sample_map(lines: &[String]) -> BTreeMap<String, f64> {
+    parse_exposition(lines)
+        .expect("merged exposition must stay parseable")
+        .into_iter()
+        .map(|s| (s.key(), s.value))
+        .collect()
+}
+
+/// Same keys, same values — exactly while both sides fit f64's exact
+/// integer range (all bucket/count/gauge values do), within 1e-12
+/// relative error beyond it: an overflow-bucket sample pushes a
+/// histogram `_sum` past 2^53, where f64 addition rounds and the
+/// rounding direction legitimately depends on summation order.
+fn equiv(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> Result<(), String> {
+    if !a.keys().eq(b.keys()) {
+        return Err(format!(
+            "key sets differ: {:?}",
+            a.keys().filter(|k| !b.contains_key(*k)).chain(
+                b.keys().filter(|k| !a.contains_key(*k))
+            ).collect::<Vec<_>>()
+        ));
+    }
+    for (k, &va) in a {
+        let vb = b[k];
+        let ok = if va.abs() < 9.0e15 && vb.abs() < 9.0e15 {
+            va == vb
+        } else {
+            (va - vb).abs() <= va.abs() * 1e-12
+        };
+        if !ok {
+            return Err(format!("{k}: {va} vs {vb}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts: Vec<Vec<String>> = (0..3).map(|_| exposition(&mut rng)).collect();
+        let forward = sample_map(&merge_expositions(&parts));
+        let reversed: Vec<Vec<String>> = parts.iter().rev().cloned().collect();
+        let rotated: Vec<Vec<String>> =
+            vec![parts[1].clone(), parts[2].clone(), parts[0].clone()];
+        let r = equiv(&forward, &sample_map(&merge_expositions(&reversed)));
+        prop_assert!(r.is_ok(), "reversed merge differs: {r:?}");
+        let r = equiv(&forward, &sample_map(&merge_expositions(&rotated)));
+        prop_assert!(r.is_ok(), "rotated merge differs: {r:?}");
+    }
+
+    #[test]
+    fn merge_is_associative(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = exposition(&mut rng);
+        let b = exposition(&mut rng);
+        let c = exposition(&mut rng);
+        let left = merge_expositions(&[
+            merge_expositions(&[a.clone(), b.clone()]),
+            c.clone(),
+        ]);
+        let right = merge_expositions(&[
+            a.clone(),
+            merge_expositions(&[b.clone(), c.clone()]),
+        ]);
+        let flat = sample_map(&merge_expositions(&[a, b, c]));
+        let r = equiv(&flat, &sample_map(&left));
+        prop_assert!(r.is_ok(), "((a+b)+c) differs from (a+b+c): {r:?}");
+        let r = equiv(&flat, &sample_map(&right));
+        prop_assert!(r.is_ok(), "(a+(b+c)) differs from (a+b+c): {r:?}");
+    }
+
+    #[test]
+    fn render_parse_roundtrips_gauge_and_history_series(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Telemetry::enabled();
+
+        // the new process gauges, including fractional values
+        let uptime = rng.gen_range(0u64..1 << 30) as f64 / 1e3;
+        t.set_gauge("dc_uptime_seconds", &[], uptime);
+        let rows = rng.gen_range(0u64..1 << 30) as f64;
+        t.set_gauge("dc_basket_rows", &[("stream", "s")], rows);
+        let score = rng.gen_range(0u64..101) as f64;
+        t.set_gauge("dc_health_score", &[("shard", "0")], score);
+
+        // the history-derived series, through the same path the
+        // snapshotters use: two captured snapshots -> windowed_gauges
+        // -> set_gauge_rendered with the pre-rendered label list
+        let h = MetricsHistory::new(8);
+        let base = rng.gen_range(0u64..1 << 20);
+        let delta = rng.gen_range(1u64..1 << 20);
+        h.capture(
+            &[format!("dc_ingest_rows_total{{stream=\"s\"}} {base}")],
+            1_000_000,
+        );
+        h.capture(
+            &[format!("dc_ingest_rows_total{{stream=\"s\"}} {}", base + delta)],
+            2_000_000,
+        );
+        let (prev, curr) = h.last_two().expect("two snapshots captured");
+        let derived = windowed_gauges(&prev, &curr);
+        prop_assert_eq!(derived.len(), 1, "one ingest-rate series expected");
+        for s in &derived {
+            t.set_gauge_rendered("dc_ingest_rate", s.labels.clone(), s.value);
+        }
+
+        // a histogram with an overflow sample rides along so the full
+        // render (not just the gauge section) must stay parseable
+        let fire = t.histogram("dc_fire_micros", &[("query", "q")]).unwrap();
+        fire.record(rng.gen_range(0u64..1 << 20));
+        fire.record((1u64 << 63) + 2);
+
+        let rendered = t.render();
+        let map = sample_map(&rendered);
+        prop_assert_eq!(map.get("dc_uptime_seconds").copied(), Some(uptime));
+        prop_assert_eq!(
+            map.get("dc_basket_rows{stream=\"s\"}").copied(),
+            Some(rows)
+        );
+        prop_assert_eq!(
+            map.get("dc_health_score{shard=\"0\"}").copied(),
+            Some(score)
+        );
+        prop_assert_eq!(
+            map.get("dc_ingest_rate{stream=\"s\"}").copied(),
+            Some(derived[0].value),
+            "derived rate must survive render->parse exactly"
+        );
+        prop_assert_eq!(
+            map.get("dc_fire_micros_count{query=\"q\"}").copied(),
+            Some(2.0)
+        );
+
+        // and the rendered body must itself merge cleanly (the router
+        // feeds shard renders straight into merge_expositions)
+        let doubled = sample_map(&merge_expositions(&[rendered.clone(), rendered]));
+        prop_assert_eq!(
+            doubled.get("dc_fire_micros_count{query=\"q\"}").copied(),
+            Some(4.0)
+        );
+    }
+}
