@@ -1,0 +1,291 @@
+//! fig7_delta (beyond the paper) — incremental delta execution of
+//! standing queries vs full re-execution.
+//!
+//! The workload the delta path exists for: standing hash-join and
+//! group-by queries over an append-only stream basket that keeps
+//! *growing*. Every round appends a small batch and fires every query.
+//! On the interpreted path each firing re-reads the whole basket, so a
+//! round gets slower as the basket grows; on the compiled delta path a
+//! firing processes only the appended rows against carried state (join
+//! pair lists, per-group accumulators, shared key arrangements), so
+//! per-round cost stays flat.
+//!
+//! Three phases measure rounds/s at basket sizes ~n, ~10n and ~100n
+//! (bulk filler between phases is absorbed by one unmeasured firing).
+//! Gates:
+//!
+//! * **flatness** — compiled rounds/s at the largest size stays within
+//!   `--assert-flat` (default 2×) of the small-basket value across the
+//!   100× growth;
+//! * **speedup** — compiled beats interpreted by ≥ `--assert-speedup`
+//!   (default 3×) at the largest size;
+//! * **exactness** — both paths emit identical result multisets
+//!   (order-independent row-hash checksum over every emission).
+//!
+//! `cargo run --release -p dc_bench --bin fig7_delta
+//!     [--batch B] [--rounds R] [--queries K] [--growth G]
+//!     [--assert-flat X] [--assert-speedup X] [--json PATH]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::Receiver;
+use datacell::basket::TS_COLUMN;
+use datacell::clock::VirtualClock;
+use datacell::engine::{DataCell, QueryOptions};
+use datacell::factory::PlanMode;
+use dc_bench::{arg, arg_opt, Figure, JsonReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use monet::prelude::*;
+
+/// Join-key domain; T indexes `HOT` of these, so join results stay small
+/// while the probe side grows.
+const DOMAIN: i64 = 100_000;
+const HOT: i64 = 16;
+/// Group-key domain: bounds every grouped result at 64 rows.
+const GROUPS: i64 = 64;
+
+fn stream_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("k", ValueType::Int),
+        ("g", ValueType::Int),
+        ("v", ValueType::Int),
+    ])
+}
+
+/// One pre-stamped ingest batch for S. Seeded per (phase, round) so the
+/// compiled and interpreted runs see identical data.
+fn make_batch(rows: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..DOMAIN)).collect();
+    let g: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..GROUPS)).collect();
+    let v: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..1_000)).collect();
+    Relation::from_columns(vec![
+        ("k".to_string(), Column::from_ints(k)),
+        ("g".to_string(), Column::from_ints(g)),
+        ("v".to_string(), Column::from_ints(v)),
+        (TS_COLUMN.to_string(), Column::from_ts(vec![0; rows])),
+    ])
+    .unwrap()
+}
+
+/// FNV-style hash of one result row — cheap enough that checksumming
+/// does not dominate the measured rounds.
+fn row_hash(row: &[Value]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in row {
+        let x = match v {
+            Value::Null => 0x9e37_79b9_7f4a_7c15,
+            Value::Bool(b) => *b as u64 + 1,
+            Value::Int(i) | Value::Ts(i) => *i as u64,
+            Value::Double(d) => d.to_bits(),
+            Value::Str(s) => s
+                .bytes()
+                .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)),
+        };
+        h = (h ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Order-independent multiset checksum: hash every row of every drained
+/// emission, sum with wrapping adds. Also counts emitted rows.
+fn drain_checksum(rxs: &[Receiver<Relation>], sum: &mut u64, rows: &mut u64) {
+    for rx in rxs {
+        while let Ok(rel) = rx.try_recv() {
+            *rows += rel.len() as u64;
+            for row in rel.iter_rows() {
+                *sum = sum.wrapping_add(row_hash(&row));
+            }
+        }
+    }
+}
+
+struct RunOutcome {
+    /// rounds/s per growth phase.
+    phase_rps: Vec<f64>,
+    checksum: u64,
+    emitted_rows: u64,
+    delta_rows: u64,
+    full_reexecutes: u64,
+}
+
+/// K standing queries (alternating grouped aggregate / two-table hash
+/// join) over a growing stream, on one execution path.
+fn run(mode: PlanMode, k: usize, batch: usize, rounds: usize, growth: usize) -> RunOutcome {
+    let engine = DataCell::with_clock(Arc::new(VirtualClock::new()));
+    engine.create_stream("S", &stream_schema()).unwrap();
+    engine
+        .create_stream("T", &Schema::from_pairs(&[("k", ValueType::Int), ("m", ValueType::Int)]))
+        .unwrap();
+    // the build side: HOT keys spread over the domain
+    engine
+        .ingest_relation(
+            "T",
+            Relation::from_columns(vec![
+                (
+                    "k".to_string(),
+                    Column::from_ints((0..HOT).map(|i| i * (DOMAIN / HOT)).collect()),
+                ),
+                ("m".to_string(), Column::from_ints((0..HOT).map(|i| i * 1_000).collect())),
+                (TS_COLUMN.to_string(), Column::from_ts(vec![0; HOT as usize])),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+
+    let mut rxs = Vec::with_capacity(k);
+    for i in 0..k {
+        let sql = if i % 2 == 0 {
+            "select g, count(*) as n, sum(v) as s from S group by g".to_string()
+        } else {
+            "select S.v as sv, T.m as tm from S, T where S.k = T.k".to_string()
+        };
+        let rx = engine
+            .register_query(
+                &format!("q{i}"),
+                &sql,
+                QueryOptions {
+                    subscribe: true,
+                    plan_mode: Some(mode),
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap()
+            .expect("select queries carry a result channel");
+        rxs.push(rx);
+    }
+
+    let (mut checksum, mut emitted_rows) = (0u64, 0u64);
+    let mut phase_rps = Vec::new();
+    for phase in 0..3usize {
+        if phase > 0 {
+            // bulk-grow the basket to base·growth^phase and absorb it in
+            // one unmeasured round, so the measured rounds see a larger
+            // standing basket, not a larger delta
+            let target = batch * rounds * growth.pow(phase as u32);
+            let filler = target.saturating_sub(engine.basket("S").unwrap().len());
+            engine
+                .ingest_relation("S", make_batch(filler, 1_000 + phase as u64))
+                .unwrap();
+            engine.run_round().unwrap();
+            // One more unmeasured batch: the bulk ingest above leaves the
+            // basket columns at exact-fit capacity, so the next append
+            // pays a full doubling realloc. Under organic growth that
+            // realloc is rare (capacity keeps ~2x slack); paying it here
+            // keeps the measured rounds at steady-state cost.
+            engine
+                .ingest_relation("S", make_batch(batch, 2_000 + phase as u64))
+                .unwrap();
+            engine.run_round().unwrap();
+            drain_checksum(&rxs, &mut checksum, &mut emitted_rows);
+        }
+        let wall = Instant::now();
+        for round in 0..rounds {
+            engine
+                .ingest_relation("S", make_batch(batch, (phase * rounds + round) as u64))
+                .unwrap();
+            engine.run_round().unwrap();
+            drain_checksum(&rxs, &mut checksum, &mut emitted_rows);
+        }
+        phase_rps.push(rounds as f64 / wall.elapsed().as_secs_f64());
+    }
+
+    let (mut delta_rows, mut full_reexecutes) = (0u64, 0u64);
+    for (_, s) in engine.factory_stats() {
+        delta_rows += s.delta_rows;
+        full_reexecutes += s.full_reexecutes;
+    }
+    RunOutcome {
+        phase_rps,
+        checksum,
+        emitted_rows,
+        delta_rows,
+        full_reexecutes,
+    }
+}
+
+fn main() {
+    let batch: usize = arg("--batch", 200);
+    let rounds: usize = arg("--rounds", 50);
+    let k: usize = arg("--queries", 8);
+    let growth: usize = arg("--growth", 10);
+    let assert_flat: f64 = arg("--assert-flat", 2.0);
+    let assert_speedup: f64 = arg("--assert-speedup", 3.0);
+
+    let mut report = JsonReport::new("fig7_delta");
+    report.param("batch", batch);
+    report.param("rounds", rounds);
+    report.param("queries", k);
+    report.param("growth", growth);
+
+    let interp = run(PlanMode::Interpreted, k, batch, rounds, growth);
+    let delta = run(PlanMode::Compiled, k, batch, rounds, growth);
+
+    let mut fig = Figure::new(
+        "fig7_delta",
+        &["path", "phase", "basket_scale", "rounds_per_s"],
+    );
+    for (path, out) in [("interpreted", &interp), ("delta", &delta)] {
+        for (phase, rps) in out.phase_rps.iter().enumerate() {
+            let scale = growth.pow(phase as u32);
+            fig.row(vec![
+                path.to_string(),
+                phase.to_string(),
+                format!("{}x", scale),
+                format!("{rps:.1}"),
+            ]);
+            report.metric(&format!("{path}_rounds_per_s_phase{phase}"), *rps);
+            println!("[{path} phase={phase}] {rps:.1} rounds/s");
+        }
+    }
+    fig.finish();
+
+    assert!(
+        delta.delta_rows > 0,
+        "the compiled run never executed incrementally"
+    );
+    println!(
+        "\ndelta path: {} delta rows, {} full re-executions, {} emitted rows",
+        delta.delta_rows, delta.full_reexecutes, delta.emitted_rows
+    );
+
+    // exactness: both paths emitted the same result multiset
+    assert_eq!(
+        (interp.emitted_rows, interp.checksum),
+        (delta.emitted_rows, delta.checksum),
+        "delta and interpreted emissions diverged"
+    );
+
+    // flatness: per-round cost stays put while the basket grows 100×
+    let small = delta.phase_rps[0];
+    let worst = delta.phase_rps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let flat_ratio = small / worst;
+    report.metric("delta_flatness_ratio", flat_ratio);
+    println!(
+        "delta flatness: {small:.1} rounds/s small vs {worst:.1} worst → {flat_ratio:.2}x \
+         (gate ≤ {assert_flat}x)"
+    );
+
+    // speedup at the largest basket
+    let speedup = delta.phase_rps[2] / interp.phase_rps[2];
+    report.metric("delta_speedup_largest", speedup);
+    println!(
+        "delta vs interpreted at the largest basket: {speedup:.2}x (gate ≥ {assert_speedup}x)"
+    );
+    if let Some(path) = arg_opt("--json") {
+        report.write(&path);
+    }
+    assert!(
+        flat_ratio <= assert_flat,
+        "delta rounds/s degraded {flat_ratio:.2}x across 100x growth (expected ≤ {assert_flat}x): \
+         per-firing cost is no longer proportional to the delta"
+    );
+    assert!(
+        speedup >= assert_speedup,
+        "delta path is only {speedup:.2}x faster than interpreted at the largest basket \
+         (expected ≥ {assert_speedup}x)"
+    );
+}

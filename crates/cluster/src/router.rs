@@ -1306,6 +1306,11 @@ impl ClusterRuntime {
                     agg.rows_scanned += row.rows_scanned;
                     agg.rows_out += row.rows_out;
                     agg.plan_micros += row.plan_micros;
+                    agg.delta_rows += row.delta_rows;
+                    agg.full_reexecutes += row.full_reexecutes;
+                    // a gauge, but shard states are disjoint — the
+                    // cluster-wide footprint is their sum
+                    agg.arrangement_bytes += row.arrangement_bytes;
                     agg.delivered_batches += row.delivered_batches;
                     agg.delivered_tuples += row.delivered_tuples;
                     agg.dropped_batches += row.dropped_batches;
@@ -1327,6 +1332,7 @@ impl ClusterRuntime {
             body.push(format!(
                 "query {} firings={} consumed={} produced={} busy_micros={} lock_micros={} \
                  rows_scanned={} rows_out={} plan_micros={} \
+                 delta_rows={} full_reexecutes={} arrangement_bytes={} \
                  subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={} \
                  p50_micros={} p99_micros={} max_micros={} engines={}",
                 agg.name,
@@ -1338,6 +1344,9 @@ impl ClusterRuntime {
                 agg.rows_scanned,
                 agg.rows_out,
                 agg.plan_micros,
+                agg.delta_rows,
+                agg.full_reexecutes,
+                agg.arrangement_bytes,
                 subscribers,
                 agg.delivered_batches,
                 agg.delivered_tuples,

@@ -426,11 +426,28 @@ fn explain_routes_through_the_router() {
     assert!(plan.contains("fast select"), "{plan}");
     assert!(plan.contains("cols=id,v"), "pruned columns survive routing: {plan}");
 
-    // EXPLAIN QUERY resolves through the router's registry
+    // EXPLAIN QUERY resolves through the router's registry; the shard's
+    // live delta line rides along
     let plan = c.explain_query("hot").unwrap().join("\n");
     assert!(plan.starts_with("query hot AS "), "{plan}");
     assert!(plan.contains("lineage=selection-vector"), "{plan}");
+    assert!(plan.contains("delta delta_rows="), "{plan}");
     assert!(c.explain_query("nosuch").is_err());
+
+    // delta-capable shapes render their physical operators through the
+    // router too
+    let plan = c
+        .explain("select A.v as a, B.w as b from A, B where A.id = B.id")
+        .unwrap()
+        .join("\n");
+    assert!(plan.contains("hash_join"), "{plan}");
+    assert!(plan.contains("arrange A.id (shared)"), "{plan}");
+    assert!(plan.contains("mode delta|full"), "{plan}");
+    let plan = c
+        .explain("select k, count(*) as n from A group by k")
+        .unwrap()
+        .join("\n");
+    assert!(plan.contains("grouped_agg"), "{plan}");
 
     // aggregated STATS still parses with the new plan fields in the line
     let stats = c.stats_report().unwrap();

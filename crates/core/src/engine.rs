@@ -88,6 +88,10 @@ pub struct DataCell {
     /// Durability provider (`dcstore::Store` when the daemon runs with
     /// `--data-dir`); `CREATE STREAM ... PERSIST` fails without one.
     durability: RwLock<Option<Arc<dyn DurabilityProvider>>>,
+    /// Shared join-key arrangements: standing queries joining on the same
+    /// `(basket, column)` reuse one incremental index instead of each
+    /// rebuilding a hash table per firing.
+    arrangements: Arc<dcsql::plan::ArrangementRegistry>,
 }
 
 impl DataCell {
@@ -106,7 +110,14 @@ impl DataCell {
             scheduler: Mutex::new(Scheduler::new()),
             telemetry: RwLock::new(dctrace::Telemetry::disabled()),
             durability: RwLock::new(None),
+            arrangements: Arc::new(dcsql::plan::ArrangementRegistry::new()),
         }
+    }
+
+    /// The engine-wide shared arrangement registry (EXPLAIN/STATS
+    /// introspection; `sweep` is its compaction knob).
+    pub fn arrangements(&self) -> &Arc<dcsql::plan::ArrangementRegistry> {
+        &self.arrangements
     }
 
     /// Install the durability provider backing `CREATE STREAM ... PERSIST`.
@@ -171,8 +182,11 @@ impl DataCell {
                 Ok(basket)
             }
             Err(e) => {
-                // a failed persistent create leaves nothing behind
+                // a failed persistent create leaves nothing behind —
+                // including arrangements, which must never outlive a
+                // basket name's delete-generation counter
                 self.baskets.write().remove(name);
+                self.arrangements.purge(name);
                 Err(e)
             }
         }
@@ -296,7 +310,9 @@ impl DataCell {
         if let Some(mode) = opts.plan_mode {
             factory = factory.with_plan_mode(mode);
         }
-        factory = factory.with_probe(dctrace::FireProbe::new(&self.telemetry.read(), name));
+        factory = factory
+            .with_probe(dctrace::FireProbe::new(&self.telemetry.read(), name))
+            .with_arrangements(Some(Arc::clone(&self.arrangements)));
         let rx = opts.subscribe.then(|| factory.result_channel());
         drop(baskets);
         self.scheduler.lock().add(Box::new(factory));

@@ -19,6 +19,7 @@
 //! the firing condition.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -49,8 +50,10 @@ pub struct FireReport {
     /// telemetry; ≤ `elapsed_micros`, and far below it when the
     /// short-lock protocol is winning).
     pub lock_micros: u64,
-    /// Live rows in the snapshots this firing executed over (the plan's
-    /// input cardinality).
+    /// Rows the plan actually pulled through the firing context (snapshot
+    /// and catalog scans alike, on every execution path — compiled,
+    /// interpreter, and interpreter fallback); delta statements count
+    /// only the appended rows they processed.
     pub rows_scanned: u64,
     /// Rows the plan emitted (result rows + insert rows).
     pub rows_out: u64,
@@ -58,6 +61,15 @@ pub struct FireReport {
     /// firing reports the factory's one-time compile time, and stats
     /// absorb it by assignment (a query that never compiled reports 0).
     pub plan_micros: u64,
+    /// Appended rows processed incrementally by delta-capable statements
+    /// this firing (0 when the firing ran full re-executions only).
+    pub delta_rows: u64,
+    /// Delta-capable statements that fell back to full re-execution this
+    /// firing (bootstrap, generation bump, variable poisoning, errors).
+    pub full_reexecutes: u64,
+    /// Heap bytes held by this factory's delta state plus the shared
+    /// arrangements it touched — a *gauge* like `plan_micros`.
+    pub arrangement_bytes: u64,
 }
 
 /// Which execution path a [`QueryFactory`] fires.
@@ -164,17 +176,47 @@ struct FiringContext<'a> {
     catalog: &'a Catalog,
     vars: &'a VarStore,
     now: i64,
+    /// Rows handed to the executor, counted at the pull boundary — so
+    /// interpreter-fallback statements and catalog-table scans are
+    /// accounted exactly like compiled ones, and the delta executor can
+    /// subtract the prefix it skipped.
+    scans: AtomicU64,
+}
+
+impl<'a> FiringContext<'a> {
+    fn new(
+        snapshots: &'a HashMap<String, Relation>,
+        catalog: &'a Catalog,
+        vars: &'a VarStore,
+        now: i64,
+    ) -> Self {
+        FiringContext {
+            snapshots,
+            catalog,
+            vars,
+            now,
+            scans: AtomicU64::new(0),
+        }
+    }
+
+    fn rows_scanned(&self) -> u64 {
+        self.scans.load(AtomicOrdering::Relaxed)
+    }
 }
 
 impl QueryContext for FiringContext<'_> {
     fn relation(&self, name: &str) -> dcsql::Result<Relation> {
-        if let Some(r) = self.snapshots.get(name) {
-            return Ok(r.clone());
-        }
-        match self.catalog.get(name) {
-            Ok(t) => Ok(t.read().expect("catalog lock").clone()),
-            Err(_) => Err(SqlError::Unknown(name.to_string())),
-        }
+        let rel = if let Some(r) = self.snapshots.get(name) {
+            r.clone()
+        } else {
+            match self.catalog.get(name) {
+                Ok(t) => t.read().expect("catalog lock").clone(),
+                Err(_) => return Err(SqlError::Unknown(name.to_string())),
+            }
+        };
+        self.scans
+            .fetch_add(rel.len() as u64, AtomicOrdering::Relaxed);
+        Ok(rel)
     }
 
     fn get_var(&self, name: &str) -> Option<Value> {
@@ -183,6 +225,10 @@ impl QueryContext for FiringContext<'_> {
 
     fn now(&self) -> i64 {
         self.now
+    }
+
+    fn scan_counter(&self) -> Option<&AtomicU64> {
+        Some(&self.scans)
     }
 }
 
@@ -215,6 +261,18 @@ pub struct QueryFactory {
     /// Telemetry probe (fire-phase histograms, tuple latency, the flight
     /// recorder); absent when telemetry is off.
     probe: Option<Arc<dctrace::FireProbe>>,
+    /// Carried delta-execution state (join pair lists, group
+    /// accumulators), committed only after a firing's effects applied.
+    delta_state: dcsql::plan::PlanDeltaState,
+    /// Engine-wide shared arrangements; `None` keeps delta execution
+    /// working with private per-statement indexes.
+    arrangements: Option<Arc<dcsql::plan::ArrangementRegistry>>,
+    /// `(len, delete_gen)` of each `reads` basket at the start of the
+    /// last completed firing. Readiness mark for *read-only* standing
+    /// queries (no consumed inputs, no trigger): such a factory is ready
+    /// exactly when a read basket changed, so schedulers re-fire it on
+    /// new data without spinning on unchanged inputs.
+    read_marks: Option<Vec<(usize, u64)>>,
 }
 
 impl QueryFactory {
@@ -283,6 +341,9 @@ impl QueryFactory {
             consume,
             result_tx: None,
             probe: None,
+            delta_state: dcsql::plan::PlanDeltaState::default(),
+            arrangements: None,
+            read_marks: None,
         })
     }
 
@@ -302,6 +363,26 @@ impl QueryFactory {
     pub fn with_probe(mut self, probe: Option<Arc<dctrace::FireProbe>>) -> Self {
         self.probe = probe;
         self
+    }
+
+    /// Share the engine's arrangement registry so delta-capable joins
+    /// reuse one `(basket, key)` index across standing queries.
+    pub fn with_arrangements(
+        mut self,
+        registry: Option<Arc<dcsql::plan::ArrangementRegistry>>,
+    ) -> Self {
+        self.arrangements = registry;
+        self
+    }
+
+    /// Live delta-execution footprint in bytes (EXPLAIN introspection).
+    pub fn delta_state_bytes(&self) -> u64 {
+        self.delta_state.bytes() as u64
+    }
+
+    /// Whether a variable read permanently disabled delta execution.
+    pub fn delta_poisoned(&self) -> bool {
+        self.delta_state.is_poisoned()
     }
 
     /// The compiled plan (EXPLAIN introspection).
@@ -324,10 +405,32 @@ impl QueryFactory {
     }
 
     /// Run the script over the firing snapshots on the configured path.
-    fn run_script(&self, ctx: &FiringContext<'_>) -> dcsql::Result<Effects> {
+    /// On the compiled path with delta-capable statements this runs the
+    /// standing-query executor: `spans` carries the delete generation of
+    /// every scanned basket (the append-only premise check) and the
+    /// returned state is committed by the caller only after the firing's
+    /// effects applied.
+    #[allow(clippy::type_complexity)]
+    fn run_script(
+        &self,
+        ctx: &FiringContext<'_>,
+        spans: &HashMap<String, u64>,
+    ) -> dcsql::Result<(
+        Effects,
+        Option<(dcsql::plan::DeltaOutcome, dcsql::plan::PlanDeltaState)>,
+    )> {
         match self.plan_mode {
-            PlanMode::Compiled => self.plan.execute(ctx),
-            PlanMode::Interpreted => execute_script(&self.stmts, ctx),
+            PlanMode::Compiled if self.plan.delta_count() > 0 => {
+                let (effects, outcome, state) = self.plan.execute_standing(
+                    ctx,
+                    spans,
+                    &self.delta_state,
+                    self.arrangements.as_deref(),
+                )?;
+                Ok((effects, Some((outcome, state))))
+            }
+            PlanMode::Compiled => Ok((self.plan.execute(ctx)?, None)),
+            PlanMode::Interpreted => Ok((execute_script(&self.stmts, ctx)?, None)),
         }
     }
 
@@ -473,9 +576,35 @@ impl Factory for QueryFactory {
         self.min_input
     }
 
+    fn ready(&self) -> bool {
+        if !self.inputs.is_empty() {
+            return self.inputs.iter().all(|b| b.len() >= self.min_input);
+        }
+        // Read-only standing query: fire when a read basket changed
+        // since the last firing (or holds data and we never fired).
+        match &self.read_marks {
+            None => self.reads.iter().any(|b| !b.is_empty()),
+            Some(marks) => self.reads.iter().zip(marks).any(|(b, &(len, gen))| {
+                let g = b.lock();
+                g.live_len() != len || g.delete_gen() != gen
+            }),
+        }
+    }
+
     fn fire(&mut self) -> Result<FireReport> {
         let started = Instant::now();
         let involved = self.involved();
+        // Mark the read baskets *before* snapshotting: anything appended
+        // after the mark re-arms `ready()` even if this firing already
+        // saw it — one redundant firing, never a missed one.
+        let read_marks: Vec<(usize, u64)> = self
+            .reads
+            .iter()
+            .map(|b| {
+                let g = b.lock();
+                (g.live_len(), g.delete_gen())
+            })
+            .collect();
         // Oldest pending ingest timestamp across the consumed baskets —
         // read before the snapshot so the end-to-end tuple latency spans
         // the whole firing. One relaxed load per basket; 0 when unset or
@@ -530,12 +659,12 @@ impl Factory for QueryFactory {
         let snapshot_started = Instant::now();
         let mut snapshots: HashMap<String, Relation> = HashMap::new();
         let mut gens: HashMap<u64, u64> = HashMap::with_capacity(scanned.len());
-        let mut rows_scanned = 0u64;
+        let mut spans: HashMap<String, u64> = HashMap::with_capacity(scanned.len());
         for (i, b) in scanned.iter().enumerate() {
             let snap = self.snapshot_for_fire(b, &mut guards[i]);
-            rows_scanned += snap.len() as u64;
             snapshots.insert(b.name().to_string(), snap);
             gens.insert(b.id(), guards[i].delete_gen());
+            spans.insert(b.name().to_string(), guards[i].delete_gen());
         }
         drop(guards);
         let snapshot_micros = snapshot_started.elapsed().as_micros() as u64;
@@ -544,15 +673,15 @@ impl Factory for QueryFactory {
         // Phase 2 — execute with no basket locks held: other factories,
         // receptors and emitters proceed concurrently. The compiled plan
         // walks selection vectors; the interpreter re-walks the AST.
+        // Rows-scanned is counted at the context's pull boundary, so the
+        // interpreter and interpreter-fallback statements are accounted
+        // too, and delta statements subtract the prefix they skipped.
         let execute_started = Instant::now();
-        let effects = {
-            let ctx = FiringContext {
-                snapshots: &snapshots,
-                catalog: &self.catalog,
-                vars: &self.vars,
-                now: self.clock.now(),
-            };
-            self.run_script(&ctx)?
+        let (effects, delta, mut rows_scanned) = {
+            let ctx = FiringContext::new(&snapshots, &self.catalog, &self.vars, self.clock.now());
+            let (effects, delta) = self.run_script(&ctx, &spans)?;
+            let rows = ctx.rows_scanned();
+            (effects, delta, rows)
         };
         let mut execute_micros = execute_started.elapsed().as_micros() as u64;
 
@@ -580,37 +709,50 @@ impl Factory for QueryFactory {
             .enumerate()
             .filter(|(_, b)| consumed_ids.contains(&b.id()))
             .all(|(i, b)| Some(&guards[i].delete_gen()) == gens.get(&b.id()));
-        let effects = if unchanged {
-            effects
+        let (effects, delta) = if unchanged {
+            (effects, delta)
         } else {
             if let Some(p) = &self.probe {
                 p.note_reexecute();
             }
             let reexec_started = Instant::now();
             let mut snapshots: HashMap<String, Relation> = HashMap::new();
-            rows_scanned = 0;
+            let mut spans: HashMap<String, u64> = HashMap::new();
             for (i, b) in involved.iter().enumerate() {
                 let snap = self.snapshot_for_fire(b, &mut guards[i]);
-                // `involved` also carries pure output baskets — those
-                // are snapshotted for the context but are not plan input
+                // `involved` also carries pure output baskets — those are
+                // snapshotted for the context but are not plan input (the
+                // scan counter only sees what the plan pulls), and their
+                // generations don't gate delta execution
                 if scanned_ids.contains(&b.id()) {
-                    rows_scanned += snap.len() as u64;
+                    spans.insert(b.name().to_string(), guards[i].delete_gen());
                 }
                 snapshots.insert(b.name().to_string(), snap);
             }
-            let ctx = FiringContext {
-                snapshots: &snapshots,
-                catalog: &self.catalog,
-                vars: &self.vars,
-                now: self.clock.now(),
-            };
-            let effects = self.run_script(&ctx)?;
+            let ctx = FiringContext::new(&snapshots, &self.catalog, &self.vars, self.clock.now());
+            let (effects, delta) = self.run_script(&ctx, &spans)?;
+            rows_scanned = ctx.rows_scanned();
             execute_micros += reexec_started.elapsed().as_micros() as u64;
-            effects
+            (effects, delta)
         };
         let apply_started = Instant::now();
         let mut report = self.apply_effects(effects, &index, &mut guards)?;
         let apply_micros = apply_started.elapsed().as_micros() as u64;
+        // Commit the delta state only now: if applying the effects had
+        // failed, the old state would replay the same appended rows on the
+        // next firing instead of silently dropping them (exactly-once).
+        if let Some((outcome, state)) = delta {
+            self.delta_state = state;
+            report.delta_rows = outcome.delta_rows;
+            report.full_reexecutes = outcome.full_reexecutes;
+            report.arrangement_bytes = outcome.state_bytes + outcome.arrangement_bytes;
+            if let Some(p) = &self.probe {
+                for reason in &outcome.fallbacks {
+                    p.note_delta_fallback(reason);
+                }
+            }
+        }
+        self.read_marks = Some(read_marks);
         lock_micros += lock_started.elapsed().as_micros() as u64;
         report.elapsed_micros = started.elapsed().as_micros() as u64;
         report.lock_micros = lock_micros;

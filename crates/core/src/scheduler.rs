@@ -40,6 +40,15 @@ pub struct FactoryStats {
     /// survives however many stats snapshots are taken (0 only for a
     /// factory that never compiled a plan, e.g. closure factories).
     pub plan_micros: u64,
+    /// Appended rows processed incrementally by delta statements,
+    /// lifetime.
+    pub delta_rows: u64,
+    /// Delta-capable statement executions that fell back to full
+    /// re-execution, lifetime.
+    pub full_reexecutes: u64,
+    /// Delta state + shared arrangement bytes as of the last firing — a
+    /// gauge like `plan_micros` (absorbed by assignment).
+    pub arrangement_bytes: u64,
 }
 
 impl FactoryStats {
@@ -52,6 +61,9 @@ impl FactoryStats {
         self.rows_scanned += r.rows_scanned;
         self.rows_out += r.rows_out;
         self.plan_micros = r.plan_micros;
+        self.delta_rows += r.delta_rows;
+        self.full_reexecutes += r.full_reexecutes;
+        self.arrangement_bytes = r.arrangement_bytes;
     }
 }
 

@@ -1,0 +1,245 @@
+//! Exactly-once accounting of delta (incremental) standing-query
+//! execution at the engine level.
+//!
+//! * A standing join factory must process each appended row exactly once
+//!   through its carried state, produce results identical to the
+//!   interpreter at every firing, and fall back to full re-execution
+//!   when a delete breaks the append-only premise.
+//! * Under concurrent consumers — several standing factories firing from
+//!   their own threads over one basket a producer appends to, sharing
+//!   one arrangement registry — every observed result must correspond to
+//!   a prefix of the append sequence: a lost or double-counted delta row
+//!   breaks the prefix checksum.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use datacell::basket::Basket;
+use datacell::clock::VirtualClock;
+use datacell::factory::{ConsumeMode, PlanMode, QueryFactory};
+use datacell::varstore::VarStore;
+use dcsql::parse_statements;
+use dcsql::plan::ArrangementRegistry;
+use monet::catalog::Catalog;
+use monet::prelude::*;
+
+fn join_schema() -> Schema {
+    Schema::from_pairs(&[("id", ValueType::Int), ("v", ValueType::Int)])
+}
+
+#[allow(clippy::type_complexity)]
+fn factory_over(
+    sql: &str,
+    baskets: &[Arc<Basket>],
+    trigger: Option<Vec<Arc<Basket>>>,
+    mode: PlanMode,
+    registry: Option<Arc<ArrangementRegistry>>,
+) -> QueryFactory {
+    let stmts = parse_statements(sql).unwrap();
+    let map: Vec<Arc<Basket>> = baskets.to_vec();
+    let resolve = move |n: &str| map.iter().find(|b| b.name() == n).cloned();
+    QueryFactory::new(
+        format!("q-{mode:?}"),
+        stmts,
+        &resolve,
+        Arc::new(Catalog::new()),
+        Arc::new(VarStore::new()),
+        Arc::new(VirtualClock::starting_at(1_000)),
+        ConsumeMode::Apply,
+        trigger,
+    )
+    .unwrap()
+    .with_plan_mode(mode)
+    .with_arrangements(registry)
+}
+
+/// The fallback-reason vocabulary is shared between the sql planner and
+/// the telemetry crate (which cannot depend on it); this is the pin.
+#[test]
+fn fallback_reason_vocabulary_matches_telemetry() {
+    assert_eq!(dcsql::plan::FALLBACK_REASONS, dctrace::DELTA_FALLBACK_REASONS);
+}
+
+/// Deterministic append/fire/delete sequence: every firing of the delta
+/// factory must emit exactly what a twin interpreter factory emits, and
+/// the report must show incremental execution on append-only firings and
+/// full re-execution when a delete bumps the generation.
+#[test]
+fn standing_join_is_incremental_and_interpreter_exact() {
+    let clock = Arc::new(VirtualClock::starting_at(1_000));
+    let x = Basket::new("X", &join_schema(), false);
+    let y = Basket::new("Y", &join_schema(), false);
+    let baskets = [Arc::clone(&x), Arc::clone(&y)];
+    let registry = Arc::new(ArrangementRegistry::new());
+    let sql = "select X.v as xv, Y.v as yv from X, Y where X.id = Y.id";
+    let mut delta = factory_over(sql, &baskets, None, PlanMode::Compiled, Some(registry));
+    let mut interp = factory_over(sql, &baskets, None, PlanMode::Interpreted, None);
+    assert_eq!(delta.plan().delta_count(), 1);
+    let drx = delta.result_channel();
+    let irx = interp.result_channel();
+
+    let rows = |pairs: &[(i64, i64)]| -> Vec<Vec<Value>> {
+        pairs
+            .iter()
+            .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+            .collect()
+    };
+    let fire_both = |delta: &mut QueryFactory, interp: &mut QueryFactory| {
+        use datacell::factory::Factory;
+        let dr = delta.fire().unwrap();
+        let ir = interp.fire().unwrap();
+        let drel = drx.try_recv().ok();
+        let irel = irx.try_recv().ok();
+        assert_eq!(drel, irel, "delta and interpreter emissions diverged");
+        (dr, ir)
+    };
+
+    // bootstrap firing: full re-execution ("first")
+    x.append_rows(&rows(&[(1, 10), (2, 20)]), clock.as_ref()).unwrap();
+    y.append_rows(&rows(&[(1, 100)]), clock.as_ref()).unwrap();
+    let (r1, _) = fire_both(&mut delta, &mut interp);
+    assert_eq!(r1.full_reexecutes, 1);
+    assert_eq!(r1.delta_rows, 0);
+    assert_eq!(r1.produced, 1);
+
+    // append-only firing: only the appended rows are processed
+    y.append_rows(&rows(&[(2, 200), (9, 900)]), clock.as_ref()).unwrap();
+    let (r2, i2) = fire_both(&mut delta, &mut interp);
+    assert_eq!(r2.full_reexecutes, 0);
+    assert_eq!(r2.delta_rows, 2, "two appended Y rows");
+    assert_eq!(r2.rows_scanned, 2, "delta firing scans only the delta");
+    assert_eq!(i2.rows_scanned, 5, "interpreter re-scans everything");
+    assert_eq!(r2.produced, 2);
+    assert!(r2.arrangement_bytes > 0);
+
+    // nothing new: exact, zero rows touched
+    let (r3, _) = fire_both(&mut delta, &mut interp);
+    assert_eq!(r3.delta_rows, 0);
+    assert_eq!(r3.rows_scanned, 0);
+
+    // a delete on X breaks the append-only premise → full re-execution
+    x.delete_sel(&SelVec::from_sorted(vec![0]).unwrap()).unwrap();
+    let (r4, _) = fire_both(&mut delta, &mut interp);
+    assert_eq!(r4.full_reexecutes, 1);
+    assert_eq!(r4.produced, 1, "only id=2 survives the delete");
+
+    // and the factory resumes incremental execution afterwards
+    x.append_rows(&rows(&[(9, 90)]), clock.as_ref()).unwrap();
+    let (r5, _) = fire_both(&mut delta, &mut interp);
+    assert_eq!(r5.full_reexecutes, 0);
+    assert_eq!(r5.delta_rows, 1);
+    assert_eq!(r5.produced, 2, "id=2 and the new id=9 match");
+}
+
+/// Concurrent consumers: four standing factories (two grouped aggregates,
+/// two joins sharing arrangements) fire from their own threads while a
+/// producer appends a known sequence. Every emitted batch must equal the
+/// query over some prefix of the sequence — the prefix checksum catches
+/// any row a delta state lost or double-counted, and the shared
+/// arrangement is advanced/probed concurrently by the two join threads.
+#[test]
+fn delta_exactly_once_under_concurrent_consumers() {
+    const TOTAL: i64 = 400;
+    const BATCH: usize = 8;
+
+    let clock = Arc::new(VirtualClock::starting_at(1_000));
+    let s = Basket::new("S", &Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)]), false);
+    let t = Basket::new("T", &Schema::from_pairs(&[("k", ValueType::Int), ("m", ValueType::Int)]), false);
+    t.append_rows(
+        &(0..4i64).map(|k| vec![Value::Int(k), Value::Int(k * 1000)]).collect::<Vec<_>>(),
+        clock.as_ref(),
+    )
+    .unwrap();
+    // seed so the ungrouped aggregate never emits its all-NULL sum row
+    s.append_rows(&[vec![Value::Int(0), Value::Int(0)]], clock.as_ref()).unwrap();
+
+    let registry = Arc::new(ArrangementRegistry::new());
+    let baskets = [Arc::clone(&s), Arc::clone(&t)];
+    let group_sql = "select count(*) as n, sum(v) as total from S";
+    let join_sql = "select S.v as v, T.m as m from S, T where S.k = T.k";
+
+    // Each consumer thread owns its factory: it fires, drains its own
+    // result channel, checks every batch against the prefix checksum and
+    // stops once it has seen the full sequence. Firing concurrently with
+    // the producer (and with each other, over one shared registry) is the
+    // point of the test.
+    let mut consumers = Vec::new();
+    for which in 0..4usize {
+        let grouped = which % 2 == 0;
+        let mut f = factory_over(
+            if grouped { group_sql } else { join_sql },
+            &baskets,
+            Some(vec![Arc::clone(&s)]),
+            PlanMode::Compiled,
+            Some(Arc::clone(&registry)),
+        );
+        assert_eq!(f.plan().delta_count(), 1);
+        let rx = f.result_channel();
+        consumers.push(std::thread::spawn(move || {
+            use datacell::factory::Factory;
+            let deadline = Instant::now() + Duration::from_secs(30);
+            let (mut delta_rows, mut full_reexecutes) = (0u64, 0u64);
+            let mut prev_n = 0i64;
+            loop {
+                let r = f.fire().expect("standing firing failed");
+                delta_rows += r.delta_rows;
+                full_reexecutes += r.full_reexecutes;
+                while let Ok(rel) = rx.try_recv() {
+                    let n = if grouped {
+                        let n = rel.column("n").unwrap().ints().unwrap()[0];
+                        let total = rel.column("total").unwrap().ints().unwrap()[0];
+                        // the aggregate over rows 0..n of the sequence
+                        assert_eq!(total, n * (n - 1) / 2, "prefix checksum broken at n={n}");
+                        n
+                    } else {
+                        let n = rel.len() as i64;
+                        let v_sum: i64 = rel.column("v").unwrap().ints().unwrap().iter().sum();
+                        let m_sum: i64 = rel.column("m").unwrap().ints().unwrap().iter().sum();
+                        // rows 0..n each match exactly one T row
+                        assert_eq!(v_sum, n * (n - 1) / 2, "join lost or duplicated a row");
+                        assert_eq!(
+                            m_sum,
+                            (0..n).map(|j| (j % 4) * 1000).sum::<i64>(),
+                            "join matched a stale arrangement entry"
+                        );
+                        n
+                    };
+                    assert!(n >= prev_n, "result went backwards under append-only input");
+                    prev_n = n;
+                }
+                if prev_n == TOTAL {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "consumer never caught up to the producer");
+                std::thread::yield_now();
+            }
+            (delta_rows, full_reexecutes)
+        }));
+    }
+
+    // produce rows 1..TOTAL (row i: k = i % 4, v = i) in small batches
+    let producer = {
+        let s = Arc::clone(&s);
+        let clock = Arc::clone(&clock);
+        std::thread::spawn(move || {
+            let mut i = 1i64;
+            while i < TOTAL {
+                let hi = (i + BATCH as i64).min(TOTAL);
+                let rows: Vec<Vec<Value>> =
+                    (i..hi).map(|j| vec![Value::Int(j % 4), Value::Int(j)]).collect();
+                s.append_rows(&rows, clock.as_ref()).unwrap();
+                i = hi;
+                std::thread::yield_now();
+            }
+        })
+    };
+    producer.join().unwrap();
+
+    let mut delta_rows = 0u64;
+    for c in consumers {
+        let (d, _full) = c.join().unwrap();
+        delta_rows += d;
+    }
+    // the runs must have actually exercised the incremental path
+    assert!(delta_rows > 0, "no firing ran incrementally");
+}

@@ -29,12 +29,16 @@ pub struct I64HashTable {
 
 impl I64HashTable {
     /// Build over `keys`; `skip` marks positions to exclude (e.g. NULLs).
+    /// Chains are built back-to-front so probes walk each chain in
+    /// *ascending* position order — join emission order is then
+    /// deterministic ((left, right) lexicographic), which the delta
+    /// executor's pair-list merge relies on.
     pub fn build(keys: &[i64], skip: impl Fn(usize) -> bool) -> Self {
         let cap = (keys.len().max(1) * 2).next_power_of_two();
         let mask = (cap - 1) as u64;
         let mut heads = vec![EMPTY; cap];
         let mut next = vec![EMPTY; keys.len()];
-        for (i, &k) in keys.iter().enumerate() {
+        for (i, &k) in keys.iter().enumerate().rev() {
             if skip(i) {
                 continue;
             }
@@ -55,8 +59,8 @@ impl I64HashTable {
         self.keys.len()
     }
 
-    /// Iterate all build positions whose key equals `key` (reverse insertion
-    /// order within a chain).
+    /// Iterate all build positions whose key equals `key`, in ascending
+    /// position order.
     #[inline]
     pub fn probe(&self, key: i64) -> ProbeIter<'_> {
         let bucket = (hash_i64(key) >> 32 & self.mask) as usize;
@@ -186,9 +190,8 @@ mod tests {
     fn probe_finds_all_duplicates() {
         let keys = vec![5, 7, 5, 9, 5];
         let t = I64HashTable::build(&keys, |_| false);
-        let mut hits: Vec<u32> = t.probe(5).collect();
-        hits.sort_unstable();
-        assert_eq!(hits, vec![0, 2, 4]);
+        let hits: Vec<u32> = t.probe(5).collect();
+        assert_eq!(hits, vec![0, 2, 4], "probe order is ascending");
         assert_eq!(t.probe(9).collect::<Vec<_>>(), vec![3]);
         assert!(t.probe(8).next().is_none());
         assert!(t.contains(7));

@@ -30,8 +30,10 @@ impl JoinPairs {
 }
 
 /// Hash equi-join between two key columns (Int/Ts or Str). Builds on the
-/// right, probes with the left, emits pairs in left-scan order. NULL keys
-/// never match. Optional candidate lists restrict either side.
+/// right, probes with the left, emits pairs in left-scan order with right
+/// matches ascending within each left row — i.e. `(left, right)`
+/// lexicographic. NULL keys never match. Optional candidate lists restrict
+/// either side.
 pub fn hash_join(
     left: &Column,
     right: &Column,

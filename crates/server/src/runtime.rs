@@ -336,7 +336,10 @@ impl ServerRuntime {
         Ok(dcsql::plan::PhysicalPlan::compile(&stmts).describe())
     }
 
-    /// `EXPLAIN QUERY <name>`: the plan of a registered continuous query.
+    /// `EXPLAIN QUERY <name>`: the plan of a registered continuous query,
+    /// plus its live incremental-execution state — lifetime delta/full
+    /// counters and the shared arrangements the engine currently holds
+    /// (`holders` > 1 means queries are reusing one index).
     pub fn explain_query(&self, name: &str) -> Result<Vec<String>> {
         let handle = self
             .queries
@@ -344,6 +347,16 @@ impl ServerRuntime {
             .ok_or_else(|| ServerError::Unknown(format!("query {name}")))?;
         let mut body = vec![format!("query {} AS {}", handle.name, handle.sql)];
         body.extend(self.explain_sql(&handle.sql)?);
+        let s = handle.stats.lock().clone();
+        body.push(format!(
+            "delta delta_rows={} full_reexecutes={} arrangement_bytes={}",
+            s.delta_rows, s.full_reexecutes, s.arrangement_bytes
+        ));
+        for (table, column, rows, bytes, holders) in self.engine.arrangements().describe() {
+            body.push(format!(
+                "arrangement {table}.{column} rows={rows} bytes={bytes} holders={holders}"
+            ));
+        }
         Ok(body)
     }
 
@@ -822,10 +835,12 @@ impl ServerRuntime {
             body.push(format!(
                 "query {} firings={} consumed={} produced={} busy_micros={} lock_micros={} \
                  rows_scanned={} rows_out={} plan_micros={} \
+                 delta_rows={} full_reexecutes={} arrangement_bytes={} \
                  subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={} \
                  p50_micros={} p99_micros={} max_micros={}",
                 q.name, s.firings, s.consumed, s.produced, s.busy_micros, s.lock_micros,
                 s.rows_scanned, s.rows_out, s.plan_micros,
+                s.delta_rows, s.full_reexecutes, s.arrangement_bytes,
                 subs, batches, tuples, dropped,
                 fire.quantile(0.5), fire.quantile(0.99), fire.max
             ));

@@ -71,6 +71,12 @@ pub struct QueryStats {
     pub rows_out: u64,
     /// One-time plan compile cost, µs (reported once per factory).
     pub plan_micros: u64,
+    /// Rows processed incrementally (delta executions only), lifetime.
+    pub delta_rows: u64,
+    /// Standing statements that fell back to full re-execution, lifetime.
+    pub full_reexecutes: u64,
+    /// Current bytes held in delta state + shared arrangements (gauge).
+    pub arrangement_bytes: u64,
     pub subscribers: u64,
     pub delivered_batches: u64,
     pub delivered_tuples: u64,
@@ -235,6 +241,9 @@ impl StatsReport {
                     rows_scanned: num(&kv, "rows_scanned"),
                     rows_out: num(&kv, "rows_out"),
                     plan_micros: num(&kv, "plan_micros"),
+                    delta_rows: num(&kv, "delta_rows"),
+                    full_reexecutes: num(&kv, "full_reexecutes"),
+                    arrangement_bytes: num(&kv, "arrangement_bytes"),
                     subscribers: num(&kv, "subscribers"),
                     delivered_batches: num(&kv, "delivered_batches"),
                     delivered_tuples: num(&kv, "delivered_tuples"),
@@ -325,10 +334,12 @@ impl StatsReport {
             let mut line = format!(
                 "query {} firings={} consumed={} produced={} busy_micros={} lock_micros={} \
                  rows_scanned={} rows_out={} plan_micros={} \
+                 delta_rows={} full_reexecutes={} arrangement_bytes={} \
                  subscribers={} delivered_batches={} delivered_tuples={} dropped_batches={} \
                  p50_micros={} p99_micros={} max_micros={}",
                 q.name, q.firings, q.consumed, q.produced, q.busy_micros, q.lock_micros,
                 q.rows_scanned, q.rows_out, q.plan_micros,
+                q.delta_rows, q.full_reexecutes, q.arrangement_bytes,
                 q.subscribers, q.delivered_batches, q.delivered_tuples, q.dropped_batches,
                 q.p50_micros, q.p99_micros, q.max_micros
             );
@@ -489,6 +500,7 @@ mod tests {
              wal_fsync_p99_micros=840",
             "query hot firings=7 consumed=100 produced=42 busy_micros=999 lock_micros=111 \
              rows_scanned=640 rows_out=42 plan_micros=17 \
+             delta_rows=120 full_reexecutes=2 arrangement_bytes=4096 \
              subscribers=2 delivered_batches=5 delivered_tuples=42 dropped_batches=0 \
              p50_micros=8 p99_micros=64 max_micros=70",
             "receptor S port=5001 format=binary connections=1 accepted=100 rejected=2",
@@ -499,6 +511,9 @@ mod tests {
         ]);
         let r = StatsReport::parse(&body).unwrap();
         assert_eq!(r.query("hot").unwrap().p99_micros, 64);
+        assert_eq!(r.query("hot").unwrap().delta_rows, 120);
+        assert_eq!(r.query("hot").unwrap().full_reexecutes, 2);
+        assert_eq!(r.query("hot").unwrap().arrangement_bytes, 4096);
         assert!(r.basket("S").unwrap().persistent);
         assert_eq!(r.basket("S").unwrap().wal_bytes, 2048);
         assert_eq!(r.basket("S").unwrap().segments, 3);

@@ -652,6 +652,58 @@ fn explain_shows_compiled_plan_and_stats_carry_plan_fields() {
 }
 
 #[test]
+fn standing_join_runs_incrementally_and_reports_delta_stats() {
+    let (addr, server_thread) = boot();
+    let mut c = Client::connect(addr).unwrap();
+    c.create_stream("X", "(id int, v int)").unwrap();
+    c.create_stream("Y", "(id int, v int)").unwrap();
+    // non-consuming scans keep the baskets append-only — the shape the
+    // delta planner compiles to an incremental hash join
+    c.register_query("j", "select X.v as xv, Y.v as yv from X, Y where X.id = Y.id")
+        .unwrap();
+
+    let plan = c.explain_query("j").unwrap().join("\n");
+    assert!(plan.contains("hash_join"), "{plan}");
+    assert!(plan.contains("arrange X.id (shared)"), "{plan}");
+    assert!(plan.contains("arrange Y.id (shared)"), "{plan}");
+    assert!(plan.contains("mode delta|full"), "{plan}");
+    assert!(plan.contains("delta delta_rows="), "live delta line: {plan}");
+
+    // feed both sides, then append more rows so later firings see a
+    // non-empty delta over an unchanged prefix
+    let xport = c.attach_receptor("X", 0).unwrap();
+    let yport = c.attach_receptor("Y", 0).unwrap();
+    let mut xs = c.open_receptor(xport).unwrap();
+    let mut ys = c.open_receptor(yport).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let q = loop {
+        for i in 0..4i64 {
+            xs.send_row(&[Value::Int(i), Value::Int(i * 10)]).unwrap();
+            ys.send_row(&[Value::Int(i), Value::Int(i * 100)]).unwrap();
+        }
+        xs.flush().unwrap();
+        ys.flush().unwrap();
+        let stats = c.stats_report().unwrap();
+        let q = stats.query("j").expect("query row").clone();
+        if q.delta_rows > 0 || std::time::Instant::now() > deadline {
+            break q;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(q.delta_rows > 0, "incremental firings happened: {q:?}");
+    assert!(q.full_reexecutes > 0, "the bootstrap firing was a full run: {q:?}");
+    assert!(q.arrangement_bytes > 0, "shared state reported: {q:?}");
+
+    // the live EXPLAIN now shows the advanced shared arrangements
+    let plan = c.explain_query("j").unwrap().join("\n");
+    assert!(plan.contains("arrangement X.id rows="), "{plan}");
+    assert!(plan.contains("arrangement Y.id rows="), "{plan}");
+
+    c.shutdown().unwrap();
+    server_thread.join().unwrap();
+}
+
+#[test]
 fn detach_closes_ports_and_stops_counting_them() {
     let (addr, server_thread) = boot();
     let mut c = Client::connect(addr).unwrap();

@@ -97,6 +97,9 @@ fn report(rng: &mut StdRng) -> StatsReport {
             rows_scanned: rng.gen_range(0u64..1 << 40),
             rows_out: rng.gen_range(0u64..1 << 30),
             plan_micros: rng.gen_range(0u64..1 << 20),
+            delta_rows: rng.gen_range(0u64..1 << 30),
+            full_reexecutes: rng.gen_range(0u64..1 << 20),
+            arrangement_bytes: rng.gen_range(0u64..1 << 30),
             subscribers: rng.gen_range(0u64..16),
             delivered_batches: rng.gen_range(0u64..1 << 20),
             delivered_tuples: rng.gen_range(0u64..1 << 30),

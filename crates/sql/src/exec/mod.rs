@@ -8,7 +8,7 @@
 //! (factories) from basket maintenance.
 
 pub(crate) mod eval;
-mod select;
+pub(crate) mod select;
 
 pub use eval::{eval_expr, eval_scalar};
 pub use select::run_select;
@@ -41,6 +41,15 @@ pub trait QueryContext {
 
     /// Current engine time in microseconds (virtual or wall clock).
     fn now(&self) -> i64;
+
+    /// Optional scan accounting: contexts that want honest `rows_scanned`
+    /// numbers return a counter here and bump it inside
+    /// [`QueryContext::relation`]/[`QueryContext::columns`]. The delta
+    /// executor uses it to report O(delta) scans even though it pulls whole
+    /// columns (cheap `Arc` clones) to gather from.
+    fn scan_counter(&self) -> Option<&std::sync::atomic::AtomicU64> {
+        None
+    }
 }
 
 /// A static, in-memory context — the reference implementation used by

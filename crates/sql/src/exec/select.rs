@@ -152,16 +152,16 @@ fn resolve_from_item(
             let binding = alias.as_deref().unwrap_or(name);
             // WITH bindings are materialized snapshots, never consumable.
             let (mut rel, is_binding) = match env.bindings.get(name) {
-                Some(r) => (r.clone(), true),
-                None => (ctx.relation(name)?, false),
+                Some(r) => {
+                    let mut rel = r.clone();
+                    let names: Vec<String> =
+                        rel.names().iter().map(|c| qualify(binding, c)).collect();
+                    rel.rename_columns(names)?;
+                    (rel, true)
+                }
+                None => (base_scan(ctx, name, binding)?, false),
             };
             let n = rel.len();
-            let names: Vec<String> = rel
-                .names()
-                .iter()
-                .map(|c| qualify(binding, c))
-                .collect();
-            rel.rename_columns(names)?;
             if track_lineage && !is_binding {
                 let rid_name = format!("{RID_PREFIX}{rid_counter}:{name}");
                 *rid_counter += 1;
@@ -219,8 +219,23 @@ fn trivial_scan<'a>(stmt: &'a SelectStmt, env: &ExecEnv) -> Option<&'a str> {
     }
 }
 
+/// Scan a base table and qualify its column names under `binding` —
+/// exactly what a `FromItem::Table` resolves to (minus lineage). The
+/// compiled delta operators reuse this so their column naming matches the
+/// interpreter's by construction.
+pub(crate) fn base_scan(
+    ctx: &dyn QueryContext,
+    name: &str,
+    binding: &str,
+) -> Result<Relation> {
+    let mut rel = ctx.relation(name)?;
+    let names: Vec<String> = rel.names().iter().map(|c| qualify(binding, c)).collect();
+    rel.rename_columns(names)?;
+    Ok(rel)
+}
+
 /// Strip any existing qualifier and re-qualify under `binding`.
-fn qualify(binding: &str, col: &str) -> String {
+pub(crate) fn qualify(binding: &str, col: &str) -> String {
     if col.starts_with('#') {
         return col.to_string();
     }
@@ -319,8 +334,22 @@ fn join_pair(
             (lp, rp)
         }
     };
-    let lgath = left.gather_positions(&lpos)?;
-    let rgath = right.gather_positions(&rpos)?;
+    // silence unused-variable warnings for ctx/env (kept for future
+    // non-column equi-keys)
+    let _ = (ctx, env);
+    merge_joined(&left, &right, &lpos, &rpos)
+}
+
+/// Gather matching rows from both join sides and splice them into one
+/// relation, deduplicating colliding column names with a `#2` suffix.
+pub(crate) fn merge_joined(
+    left: &Relation,
+    right: &Relation,
+    lpos: &[u32],
+    rpos: &[u32],
+) -> Result<Relation> {
+    let lgath = left.gather_positions(lpos)?;
+    let rgath = right.gather_positions(rpos)?;
     let mut combined = lgath;
     for (name, idx) in rgath
         .names()
@@ -335,9 +364,6 @@ fn join_pair(
         };
         combined.add_column(final_name, rgath.col_at(idx).clone())?;
     }
-    // silence unused-variable warnings for ctx/env (kept for future
-    // non-column equi-keys)
-    let _ = (ctx, env);
     Ok(combined)
 }
 
@@ -363,7 +389,7 @@ fn extract_consumption(rel: &Relation) -> Vec<(String, SelVec)> {
 
 /// Non-aggregate pipeline: ORDER BY → TOP/LIMIT → [lineage capture] →
 /// projection → DISTINCT.
-fn plain_pipeline(
+pub(crate) fn plain_pipeline(
     stmt: &SelectStmt,
     mut rel: Relation,
     ctx: &dyn QueryContext,
@@ -450,7 +476,7 @@ fn plain_pipeline(
     Ok(out)
 }
 
-fn effective_top(stmt: &SelectStmt) -> Option<usize> {
+pub(crate) fn effective_top(stmt: &SelectStmt) -> Option<usize> {
     match (stmt.top, stmt.limit) {
         (Some(t), Some(l)) => Some(t.min(l) as usize),
         (Some(t), None) => Some(t as usize),
@@ -498,7 +524,34 @@ fn grouped_pipeline(
         rel.gather_positions(&grouping.representatives)?
     };
 
-    // Rewrite aggregate sub-expressions to references over computed columns.
+    let rw = rewrite_for_grouping(stmt)?;
+
+    for (k, agg) in rw.aggs.iter().enumerate() {
+        let col = compute_aggregate(agg, &rel, &grouping, ctx, env)?;
+        let col = if grouping.ngroups == 0 && stmt.group_by.is_empty() {
+            // align with the synthetic representative row
+            empty_aggregate_value(agg, col.vtype())?
+        } else {
+            col
+        };
+        grouped.add_column(format!("#agg:{k}"), col)?;
+    }
+
+    grouped_tail(stmt, &rw, grouped, ctx, env)
+}
+
+/// The grouped select with aggregates rewritten to `#agg:k` references.
+pub(crate) struct AggRewrite {
+    pub projection: Vec<SelectItem>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<(Expr, bool)>,
+    /// Original aggregate expressions; index `k` backs column `#agg:k`.
+    pub aggs: Vec<Expr>,
+}
+
+/// Rewrite aggregate sub-expressions to references over computed columns
+/// and enforce the no-GROUP-BY plain-column rule.
+pub(crate) fn rewrite_for_grouping(stmt: &SelectStmt) -> Result<AggRewrite> {
     let mut agg_exprs: Vec<Expr> = Vec::new();
     let projection: Vec<SelectItem> = stmt
         .projection
@@ -533,20 +586,26 @@ fn grouped_pipeline(
         .iter()
         .map(|(e, asc)| (rewrite_aggregates(e, &mut agg_exprs), *asc))
         .collect();
+    Ok(AggRewrite {
+        projection,
+        having,
+        order_by,
+        aggs: agg_exprs,
+    })
+}
 
-    for (k, agg) in agg_exprs.iter().enumerate() {
-        let col = compute_aggregate(agg, &rel, &grouping, ctx, env)?;
-        let col = if grouping.ngroups == 0 && stmt.group_by.is_empty() {
-            // align with the synthetic representative row
-            empty_aggregate_value(agg, col.vtype())?
-        } else {
-            col
-        };
-        grouped.add_column(format!("#agg:{k}"), col)?;
-    }
-
+/// Tail of the grouped pipeline over an already-aggregated relation
+/// (representative rows + `#agg:k` columns): HAVING → projection →
+/// DISTINCT → ORDER BY → TOP.
+pub(crate) fn grouped_tail(
+    stmt: &SelectStmt,
+    rw: &AggRewrite,
+    mut grouped: Relation,
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+) -> Result<Relation> {
     // HAVING
-    if let Some(h) = &having {
+    if let Some(h) = &rw.having {
         let mask = eval_expr(h, &grouped, ctx, env)?;
         let sel = select_true(&mask, None)?;
         grouped = grouped.gather(&sel)?;
@@ -554,7 +613,7 @@ fn grouped_pipeline(
 
     // Projection over the grouped relation.
     let grouped_stmt = SelectStmt {
-        projection,
+        projection: rw.projection.clone(),
         ..SelectStmt::default()
     };
     let mut out = project(&grouped_stmt, &grouped, ctx, env)?;
@@ -563,8 +622,9 @@ fn grouped_pipeline(
     }
 
     // ORDER BY: keys may name projection aliases or grouped columns.
-    if !order_by.is_empty() {
-        let key_cols: Vec<(Column, bool)> = order_by
+    if !rw.order_by.is_empty() {
+        let key_cols: Vec<(Column, bool)> = rw
+            .order_by
             .iter()
             .map(|(e, asc)| {
                 // try output aliases first, then the grouped relation
@@ -603,7 +663,7 @@ fn grouped_pipeline(
 }
 
 /// For an ungrouped aggregate over zero rows: COUNT → 0, others → NULL.
-fn empty_aggregate_value(agg: &Expr, vtype: ValueType) -> Result<Column> {
+pub(crate) fn empty_aggregate_value(agg: &Expr, vtype: ValueType) -> Result<Column> {
     let mut col = Column::new(vtype);
     match agg {
         Expr::FuncCall { name, .. } if name == "count" || name == "count_distinct" => {

@@ -1,0 +1,288 @@
+//! Shared arrangements: per-(basket, key column) hash indexes that many
+//! standing queries reuse instead of each rebuilding a join hash table per
+//! firing.
+//!
+//! An arrangement maps key values to the ascending row positions holding
+//! them, mirroring the build side of `monet::ops::join::hash_join` (NULL
+//! keys are never indexed). It is tagged with the basket's *delete
+//! generation*: under the append-only delta premise the generation is
+//! stable and `advance` only indexes rows `[upto..len)`; any generation
+//! bump (delete/compact/drain) invalidates positions and forces a rebuild
+//! — that rebuild is also the compaction step, since it drops entries for
+//! rows that no longer exist.
+//!
+//! K factories sharing a `(basket, key)` pair hold `Arc` handles to the
+//! same arrangement; `ArrangementRegistry::sweep` drops entries no query
+//! holds anymore.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use monet::column::{Column, ColumnData};
+use monet::value::Value;
+
+/// Exact-value hash key over SQL values: doubles key by bit pattern (NaN
+/// groups with NaN), Int and Ts share a key space (they hash-join against
+/// each other).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ArrKey {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Bits(u64),
+    Str(String),
+}
+
+impl ArrKey {
+    /// Key for one position of a column; `Null` for invalid entries.
+    pub fn at(col: &Column, pos: usize) -> ArrKey {
+        if !col.is_valid(pos) {
+            return ArrKey::Null;
+        }
+        match col.data() {
+            ColumnData::Bool(v) => ArrKey::Bool(v[pos]),
+            ColumnData::Int(v) | ColumnData::Ts(v) => ArrKey::Int(v[pos]),
+            ColumnData::Double(v) => ArrKey::Bits(v[pos].to_bits()),
+            ColumnData::Str(v) => ArrKey::Str(v[pos].clone()),
+        }
+    }
+
+    /// Key for an owned value (used for group accumulators).
+    pub fn from_value(v: &Value) -> ArrKey {
+        match v {
+            Value::Null => ArrKey::Null,
+            Value::Bool(b) => ArrKey::Bool(*b),
+            Value::Int(i) | Value::Ts(i) => ArrKey::Int(*i),
+            Value::Double(d) => ArrKey::Bits(d.to_bits()),
+            Value::Str(s) => ArrKey::Str(s.clone()),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            ArrKey::Str(s) => s.capacity(),
+            _ => 0,
+        }
+    }
+}
+
+/// A key → ascending-positions index over one column of one basket.
+#[derive(Debug, Default)]
+pub struct KeyArrangement {
+    /// Delete generation of the basket the positions refer to.
+    gen: u64,
+    /// Rows `[0..upto)` are indexed.
+    upto: usize,
+    index: HashMap<ArrKey, Vec<u32>>,
+    /// Heap-footprint estimate, maintained on insert so `bytes()` is
+    /// O(1) — it is read on every firing.
+    bytes: usize,
+}
+
+impl KeyArrangement {
+    /// Extend the index so it covers `col[0..col.len())` at generation
+    /// `gen`. A generation change rebuilds from scratch (positions may
+    /// have shifted); a same-generation column *shorter* than what is
+    /// already indexed is a no-op — the index is a superset and probes
+    /// clamp with their own `limit`. Idempotent and monotone: concurrent
+    /// factories holding snapshots of different lengths at the same
+    /// generation can advance in any order without shrinking the index
+    /// under each other.
+    pub fn advance(&mut self, col: &Column, gen: u64) {
+        if gen != self.gen {
+            self.index.clear();
+            self.upto = 0;
+            self.gen = gen;
+            self.bytes = 0;
+        }
+        if col.len() <= self.upto {
+            return;
+        }
+        for pos in self.upto..col.len() {
+            if !col.is_valid(pos) {
+                continue; // NULL keys never match
+            }
+            let key = ArrKey::at(col, pos);
+            match self.index.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.bytes += 48 + e.key().heap_bytes() + 4;
+                    e.insert(vec![pos as u32]);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    self.bytes += 4;
+                    e.get_mut().push(pos as u32);
+                }
+            }
+        }
+        self.upto = col.len();
+    }
+
+    /// Matching positions `< limit` for a probe key, ascending. `limit`
+    /// restricts to this query's snapshot length — the shared index may
+    /// have been advanced further by a factory with a newer snapshot.
+    pub fn probe(&self, key: &ArrKey, limit: usize, out: &mut Vec<u32>) {
+        if let Some(positions) = self.index.get(key) {
+            for &p in positions {
+                if (p as usize) >= limit {
+                    break; // positions are ascending
+                }
+                out.push(p);
+            }
+        }
+    }
+
+    /// Generation the positions refer to.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Rows indexed so far.
+    pub fn indexed_rows(&self) -> usize {
+        self.upto
+    }
+
+    /// Rough heap footprint (incrementally maintained, O(1)).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// A shared, lock-guarded arrangement handle.
+pub type ArrangementHandle = Arc<Mutex<KeyArrangement>>;
+
+/// Engine-wide registry of shared arrangements, keyed by
+/// `(basket, key column)`. Factories look up a handle once per firing;
+/// `Arc::strong_count` on a handle tells how many queries share it.
+#[derive(Debug, Default)]
+pub struct ArrangementRegistry {
+    map: Mutex<HashMap<(String, String), ArrangementHandle>>,
+}
+
+impl ArrangementRegistry {
+    pub fn new() -> Self {
+        ArrangementRegistry::default()
+    }
+
+    /// Shared handle for `(table, column)`, creating an empty arrangement
+    /// on first use.
+    pub fn handle(&self, table: &str, column: &str) -> ArrangementHandle {
+        let mut map = self.map.lock().expect("arrangement registry poisoned");
+        map.entry((table.to_string(), column.to_string()))
+            .or_default()
+            .clone()
+    }
+
+    /// Drop every arrangement over `table` — required when a basket is
+    /// removed, since a later basket reusing the name would restart at
+    /// delete generation 0 and silently alias the stale index.
+    pub fn purge(&self, table: &str) -> usize {
+        let mut map = self.map.lock().expect("arrangement registry poisoned");
+        let before = map.len();
+        map.retain(|(t, _), _| t != table);
+        before - map.len()
+    }
+
+    /// Drop arrangements no query currently holds (compaction knob: keeps
+    /// the registry from pinning indexes for retired queries).
+    pub fn sweep(&self) -> usize {
+        let mut map = self.map.lock().expect("arrangement registry poisoned");
+        let before = map.len();
+        map.retain(|_, arr| Arc::strong_count(arr) > 1);
+        before - map.len()
+    }
+
+    /// `(table, column, indexed_rows, bytes, holders)` per arrangement,
+    /// sorted — the EXPLAIN/STATS view of shared state.
+    pub fn describe(&self) -> Vec<(String, String, usize, usize, usize)> {
+        let map = self.map.lock().expect("arrangement registry poisoned");
+        let mut rows: Vec<_> = map
+            .iter()
+            .map(|((t, c), arr)| {
+                let holders = Arc::strong_count(arr) - 1; // minus the registry's own ref
+                let a = arr.lock().expect("arrangement poisoned");
+                (t.clone(), c.clone(), a.indexed_rows(), a.bytes(), holders)
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Total bytes across all registered arrangements.
+    pub fn total_bytes(&self) -> usize {
+        let map = self.map.lock().expect("arrangement registry poisoned");
+        map.values()
+            .map(|a| a.lock().expect("arrangement poisoned").bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_is_incremental_and_gen_checked() {
+        let col = Column::from_ints(vec![1, 2, 1, 3]);
+        let mut arr = KeyArrangement::default();
+        arr.advance(&col, 0);
+        assert_eq!(arr.indexed_rows(), 4);
+        let mut hits = Vec::new();
+        arr.probe(&ArrKey::Int(1), 4, &mut hits);
+        assert_eq!(hits, vec![0, 2]);
+
+        // appending more rows extends in place
+        let col2 = Column::from_ints(vec![1, 2, 1, 3, 1]);
+        arr.advance(&col2, 0);
+        hits.clear();
+        arr.probe(&ArrKey::Int(1), 5, &mut hits);
+        assert_eq!(hits, vec![0, 2, 4]);
+
+        // limit hides rows beyond this query's snapshot
+        hits.clear();
+        arr.probe(&ArrKey::Int(1), 3, &mut hits);
+        assert_eq!(hits, vec![0, 2]);
+
+        // a generation bump rebuilds (positions may have shifted)
+        let col3 = Column::from_ints(vec![2, 1]);
+        arr.advance(&col3, 1);
+        assert_eq!(arr.indexed_rows(), 2);
+        hits.clear();
+        arr.probe(&ArrKey::Int(1), 2, &mut hits);
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn null_keys_are_not_indexed() {
+        let mut col = Column::new(monet::value::ValueType::Int);
+        col.push(Value::Null).unwrap();
+        col.push(Value::Int(7)).unwrap();
+        let mut arr = KeyArrangement::default();
+        arr.advance(&col, 0);
+        let mut hits = Vec::new();
+        arr.probe(&ArrKey::Null, 2, &mut hits);
+        assert!(hits.is_empty());
+        arr.probe(&ArrKey::Int(7), 2, &mut hits);
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn registry_shares_and_sweeps() {
+        let reg = ArrangementRegistry::new();
+        let h1 = reg.handle("S", "a");
+        let h2 = reg.handle("S", "a");
+        assert!(Arc::ptr_eq(&h1, &h2));
+        assert_eq!(reg.describe()[0].4, 2, "two holders");
+        drop(h1);
+        drop(h2);
+        assert_eq!(reg.sweep(), 1);
+        assert!(reg.describe().is_empty());
+    }
+
+    #[test]
+    fn ts_and_int_share_key_space() {
+        assert_eq!(
+            ArrKey::from_value(&Value::Ts(5)),
+            ArrKey::from_value(&Value::Int(5))
+        );
+    }
+}

@@ -1,0 +1,1564 @@
+//! Delta (incremental) execution of standing join / group-by statements.
+//!
+//! The interpreter re-runs a standing query over the *whole* resident
+//! basket every firing — O(basket) per round. This module compiles the
+//! two shapes that dominate standing workloads into operators that carry
+//! state between firings and touch only the rows appended since the last
+//! one:
+//!
+//! * **hash_join** — two plain base scans joined on the interpreter's
+//!   first clean equi-conjunct. Join hash tables live in shared
+//!   [`crate::plan::arrange`] arrangements; the accumulated surviving
+//!   pair list (sorted by `(l, r)`, exactly the kernel's emission order)
+//!   is the per-statement state.
+//! * **grouped_agg** — a single plain base scan with aggregates. State
+//!   is the first-seen group map plus per-group accumulators replicating
+//!   the monet `agg_*` fold semantics in append order (so even float
+//!   sums are bit-identical to full re-execution).
+//!
+//! **Delta premise.** Incremental execution is sound iff the scanned
+//! baskets are append-only since the statement's last committed firing:
+//! the basket's delete generation is unchanged and its snapshot is at
+//! least as long. Any delete/compact/drain bumps the generation and the
+//! statement falls back to full re-execution (rebuilding arrangements —
+//! which is also their compaction). Reads of variables or `now()` poison
+//! the plan's state: results could depend on values that change between
+//! firings, so every later firing re-executes from scratch.
+//!
+//! **Parity net.** Any error inside a delta operator defers the
+//! statement to the AST interpreter, whose result (or error) is
+//! authoritative; state resets and the premise re-replays the same rows
+//! next firing. Delta execution is therefore a pure performance
+//! optimization: per firing it produces exactly the
+//! [`crate::exec::execute_script`] effects.
+
+use std::cell::Cell;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+
+use monet::column::ColumnData;
+use monet::error::MonetError;
+use monet::ops::select::select_true;
+use monet::prelude::*;
+
+use crate::ast::{BinOp, Expr, FromItem, SelectItem, SelectStmt, Stmt};
+use crate::error::{Result, SqlError};
+use crate::exec::eval::{eval_expr, resolve_column};
+use crate::exec::select::{
+    base_scan, empty_aggregate_value, grouped_tail, merge_joined, plain_pipeline,
+    rewrite_for_grouping,
+};
+use crate::exec::{Effects, ExecEnv, QueryContext};
+use crate::plan::arrange::{ArrKey, ArrangementRegistry, KeyArrangement};
+use crate::plan::{PlannedStmt, Sink};
+
+// ---- compiled shapes --------------------------------------------------------
+
+/// One plain base-table scan.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ScanSpec {
+    pub table: String,
+    pub binding: String,
+}
+
+/// Two-scan equi-join.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct JoinShape {
+    pub left: ScanSpec,
+    pub right: ScanSpec,
+    /// `(qualifier, column)` of the join key on each side, as written.
+    pub lkey: (String, String),
+    pub rkey: (String, String),
+    /// Index into [`DeltaQuery::conjuncts`] consumed as the key; the
+    /// rest are residual filters applied in source order.
+    pub key_idx: usize,
+}
+
+/// Single-scan grouped aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct GroupShape {
+    pub scan: ScanSpec,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum DeltaShape {
+    Join(JoinShape),
+    Group(GroupShape),
+}
+
+/// A statement compiled for delta execution.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DeltaQuery {
+    pub sink: Sink,
+    pub select: SelectStmt,
+    /// WHERE conjuncts in source order.
+    pub conjuncts: Vec<Expr>,
+    pub shape: DeltaShape,
+    /// The original statement — the interpreter fallback on any error.
+    pub src: Stmt,
+}
+
+/// Compile a statement into a delta shape, or `None` when it must stay
+/// on the interpreter. Conservative: only shapes whose interpreter
+/// execution is statically predictable qualify.
+pub(crate) fn try_delta(stmt: &Stmt) -> Option<DeltaQuery> {
+    let (sink, s) = match stmt {
+        Stmt::Select(s) => (Sink::Result, s),
+        Stmt::Insert {
+            table,
+            columns,
+            source,
+        } => (
+            Sink::Insert {
+                table: table.clone(),
+                columns: columns.clone(),
+            },
+            source,
+        ),
+        _ => return None,
+    };
+    if s.union.is_some() || select_has_subquery(s) {
+        return None;
+    }
+    let has_aggregates = s
+        .projection
+        .iter()
+        .any(|p| matches!(p, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || s.having.as_ref().is_some_and(|h| h.contains_aggregate())
+        || !s.group_by.is_empty();
+    let conjuncts: Vec<Expr> = s
+        .where_clause
+        .as_ref()
+        .map(|w| w.conjuncts().into_iter().cloned().collect())
+        .unwrap_or_default();
+
+    let shape = if has_aggregates {
+        let [item] = s.from.as_slice() else { return None };
+        DeltaShape::Group(GroupShape {
+            scan: scan_spec(item)?,
+        })
+    } else {
+        let [litem, ritem] = s.from.as_slice() else {
+            return None;
+        };
+        let left = scan_spec(litem)?;
+        let right = scan_spec(ritem)?;
+        if left.binding == right.binding {
+            return None;
+        }
+        let key = find_join_key(&conjuncts, &left.binding, &right.binding)?;
+        DeltaShape::Join(JoinShape {
+            left,
+            right,
+            lkey: key.1,
+            rkey: key.2,
+            key_idx: key.0,
+        })
+    };
+    Some(DeltaQuery {
+        sink,
+        select: s.clone(),
+        conjuncts,
+        shape,
+        src: stmt.clone(),
+    })
+}
+
+fn scan_spec(item: &FromItem) -> Option<ScanSpec> {
+    let FromItem::Table { name, alias } = item else {
+        return None;
+    };
+    Some(ScanSpec {
+        table: name.clone(),
+        binding: alias.clone().unwrap_or_else(|| name.clone()),
+    })
+}
+
+type JoinKey = (usize, (String, String), (String, String));
+
+/// The interpreter picks the first unused `col = col` conjunct whose
+/// sides resolve one-per-scan. We only accept a conjunct where both
+/// sides are explicitly qualified with the two scan bindings (one each):
+/// that choice is statically certain. Same-side or foreign qualifiers
+/// can never satisfy the interpreter's resolution pattern, so they are
+/// skipped here exactly as they are there; an *unqualified* side makes
+/// the runtime choice data-dependent — bail out entirely.
+fn find_join_key(conjuncts: &[Expr], lbind: &str, rbind: &str) -> Option<JoinKey> {
+    for (i, c) in conjuncts.iter().enumerate() {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            left: a,
+            right: b,
+        } = c
+        else {
+            continue;
+        };
+        let (
+            Expr::Column {
+                qualifier: qa,
+                name: na,
+            },
+            Expr::Column {
+                qualifier: qb,
+                name: nb,
+            },
+        ) = (a.as_ref(), b.as_ref())
+        else {
+            continue;
+        };
+        let (Some(qa), Some(qb)) = (qa, qb) else {
+            return None;
+        };
+        if qa == lbind && qb == rbind {
+            return Some((i, (qa.clone(), na.clone()), (qb.clone(), nb.clone())));
+        }
+        if qa == rbind && qb == lbind {
+            return Some((i, (qb.clone(), nb.clone()), (qa.clone(), na.clone())));
+        }
+    }
+    None
+}
+
+fn select_has_subquery(s: &SelectStmt) -> bool {
+    s.projection
+        .iter()
+        .filter_map(|p| match p {
+            SelectItem::Expr { expr, .. } => Some(expr),
+            _ => None,
+        })
+        .chain(s.where_clause.iter())
+        .chain(s.group_by.iter())
+        .chain(s.having.iter())
+        .chain(s.order_by.iter().map(|(e, _)| e))
+        .any(expr_has_subquery)
+}
+
+fn expr_has_subquery(e: &Expr) -> bool {
+    match e {
+        Expr::ScalarSubquery(_) => true,
+        Expr::Column { .. } | Expr::Literal(_) => false,
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr_has_subquery(expr),
+        Expr::Binary { left, right, .. } => {
+            expr_has_subquery(left) || expr_has_subquery(right)
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            expr_has_subquery(expr) || expr_has_subquery(lo) || expr_has_subquery(hi)
+        }
+        Expr::InList { expr, list, .. } => {
+            expr_has_subquery(expr) || list.iter().any(expr_has_subquery)
+        }
+        Expr::FuncCall { args, .. } => args.iter().any(expr_has_subquery),
+    }
+}
+
+// ---- carried state ----------------------------------------------------------
+
+/// Cursor + operator state one standing plan carries between firings.
+/// Committed by the factory only after a firing's effects apply, so a
+/// failed generation check simply replays against the previous state.
+#[derive(Debug, Default, Clone)]
+pub struct PlanDeltaState {
+    stmts: Vec<StmtState>,
+    poisoned: bool,
+}
+
+impl PlanDeltaState {
+    /// Rough heap footprint of the private (non-shared) operator state.
+    pub fn bytes(&self) -> usize {
+        self.stmts.iter().map(StmtState::bytes).sum()
+    }
+
+    /// A variable/`now()` read was observed under delta execution;
+    /// every later firing re-executes from scratch.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+enum StmtState {
+    #[default]
+    None,
+    Join(JoinState),
+    Group(GroupState),
+}
+
+impl StmtState {
+    fn bytes(&self) -> usize {
+        match self {
+            StmtState::None => 0,
+            StmtState::Join(j) => (j.lpairs.capacity() + j.rpairs.capacity()) * 4,
+            StmtState::Group(g) => g.bytes(),
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct JoinState {
+    lgen: u64,
+    rgen: u64,
+    /// Snapshot lengths already folded into `lpairs`/`rpairs`.
+    llen: usize,
+    rlen: usize,
+    /// Surviving (post-residual) pairs sorted by `(l, r)` — exactly the
+    /// interpreter's hash-join emission order.
+    lpairs: Vec<u32>,
+    rpairs: Vec<u32>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct GroupState {
+    gen: u64,
+    /// Snapshot length already folded into the accumulators.
+    processed: usize,
+    /// Group key → dense gid, first-seen order (kernel semantics).
+    groups: HashMap<Vec<ArrKey>, u32>,
+    /// First-row values per group, over the qualified base columns.
+    reps: Vec<Vec<Value>>,
+    /// Accumulator per `#agg:k` column.
+    accs: Vec<AggAcc>,
+}
+
+impl GroupState {
+    fn bytes(&self) -> usize {
+        let keys: usize = self
+            .groups
+            .keys()
+            .map(|k| 48 + k.iter().map(key_heap).sum::<usize>())
+            .sum();
+        let reps: usize = self
+            .reps
+            .iter()
+            .map(|r| r.iter().map(value_bytes).sum::<usize>())
+            .sum();
+        keys + reps + self.accs.iter().map(AggAcc::bytes).sum::<usize>()
+    }
+}
+
+fn key_heap(k: &ArrKey) -> usize {
+    match k {
+        ArrKey::Str(s) => 16 + s.capacity(),
+        _ => 16,
+    }
+}
+
+fn value_bytes(v: &Value) -> usize {
+    match v {
+        Value::Str(s) => 24 + s.capacity(),
+        _ => 24,
+    }
+}
+
+// ---- per-firing accounting --------------------------------------------------
+
+/// What the delta layer did in one firing, for FireReport/STATS.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct DeltaOutcome {
+    /// Rows fed through incrementally-executed statements this firing.
+    pub delta_rows: u64,
+    /// Delta-capable statements that ran incrementally.
+    pub delta_stmts: u64,
+    /// Delta-capable statements that re-executed from scratch
+    /// (the bootstrap firing included).
+    pub full_reexecutes: u64,
+    /// Private accumulator/pair-list state after this firing.
+    pub state_bytes: u64,
+    /// Bytes of the arrangements this plan's statements probed (shared
+    /// arrangements count once per statement using them).
+    pub arrangement_bytes: u64,
+    /// Fallback reasons hit this firing. Fixed vocabulary:
+    /// `first|generation|shrunk|untracked|variable|error`.
+    pub fallbacks: Vec<&'static str>,
+}
+
+/// Every reason [`DeltaOutcome::fallbacks`] can carry — telemetry
+/// pre-creates one counter per reason.
+pub const FALLBACK_REASONS: &[&str] = &[
+    "first",
+    "generation",
+    "shrunk",
+    "untracked",
+    "variable",
+    "error",
+];
+
+enum Mode {
+    Incremental { rows: u64 },
+    Full { reason: &'static str },
+}
+
+// ---- variable poisoning -----------------------------------------------------
+
+/// Context wrapper recording whether delta execution consulted a
+/// variable or the clock — values that may change between firings and
+/// therefore invalidate accumulated state.
+struct VarGuard<'a> {
+    inner: &'a dyn QueryContext,
+    hit: Cell<bool>,
+}
+
+impl<'a> VarGuard<'a> {
+    fn new(inner: &'a dyn QueryContext) -> Self {
+        VarGuard {
+            inner,
+            hit: Cell::new(false),
+        }
+    }
+}
+
+impl QueryContext for VarGuard<'_> {
+    fn relation(&self, name: &str) -> Result<Relation> {
+        self.inner.relation(name)
+    }
+
+    fn columns(&self, name: &str, wanted: &[String]) -> Result<Relation> {
+        self.inner.columns(name, wanted)
+    }
+
+    fn get_var(&self, name: &str) -> Option<Value> {
+        self.hit.set(true);
+        self.inner.get_var(name)
+    }
+
+    fn now(&self) -> i64 {
+        self.hit.set(true);
+        self.inner.now()
+    }
+
+    fn scan_counter(&self) -> Option<&std::sync::atomic::AtomicU64> {
+        self.inner.scan_counter()
+    }
+}
+
+// ---- execution --------------------------------------------------------------
+
+pub(crate) struct StandingResult {
+    pub effects: Effects,
+    pub outcome: DeltaOutcome,
+    pub state: PlanDeltaState,
+}
+
+/// Fire a compiled script as a standing query. `spans` maps each
+/// snapshotted table to its delete generation; a table absent from the
+/// map is untracked (catalog tables) and forces full re-execution of
+/// statements scanning it.
+pub(crate) fn run_standing(
+    stmts: &[PlannedStmt],
+    ctx: &dyn QueryContext,
+    spans: &HashMap<String, u64>,
+    prev: &PlanDeltaState,
+    registry: Option<&ArrangementRegistry>,
+) -> Result<StandingResult> {
+    let guard = VarGuard::new(ctx);
+    let mut env = ExecEnv::default();
+    let mut effects = Effects::default();
+    let mut outcome = DeltaOutcome::default();
+    let mut next = PlanDeltaState {
+        stmts: vec![StmtState::None; stmts.len()],
+        poisoned: prev.poisoned,
+    };
+    for (i, ps) in stmts.iter().enumerate() {
+        let fx = match ps {
+            PlannedStmt::Fast(f) => super::run_fast(f, ctx, &mut env)?,
+            PlannedStmt::Interpret(s) => crate::exec::execute_in_env(s, ctx, &mut env)?,
+            PlannedStmt::Delta(d) => {
+                let prior = prev.stmts.get(i);
+                let (fx, st) = run_delta_stmt(
+                    d,
+                    &guard,
+                    &mut env,
+                    Some(spans),
+                    prior,
+                    prev.poisoned,
+                    registry,
+                    &mut outcome,
+                )?;
+                next.stmts[i] = st;
+                fx
+            }
+        };
+        effects.merge(fx);
+    }
+    if guard.hit.get() && !next.poisoned {
+        // Results may depend on values that change between firings;
+        // nothing accumulated under a variable read can be reused. The
+        // bootstrap firing (always from scratch) is where any structural
+        // variable read first surfaces, so no incremental output was
+        // emitted under it.
+        next.poisoned = true;
+        for st in &mut next.stmts {
+            *st = StmtState::None;
+        }
+    }
+    outcome.state_bytes = next.bytes() as u64;
+    Ok(StandingResult {
+        effects,
+        outcome,
+        state: next,
+    })
+}
+
+/// One-shot execution (`PhysicalPlan::execute`): always from scratch
+/// with transient state — semantics identical to the interpreter.
+pub(crate) fn run_oneshot(
+    q: &DeltaQuery,
+    ctx: &dyn QueryContext,
+    env: &mut ExecEnv,
+) -> Result<Effects> {
+    let mut outcome = DeltaOutcome::default();
+    let (fx, _) = run_delta_stmt(q, ctx, env, None, None, false, None, &mut outcome)?;
+    Ok(fx)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_delta_stmt(
+    q: &DeltaQuery,
+    ctx: &dyn QueryContext,
+    env: &mut ExecEnv,
+    spans: Option<&HashMap<String, u64>>,
+    prior: Option<&StmtState>,
+    poisoned: bool,
+    registry: Option<&ArrangementRegistry>,
+    outcome: &mut DeltaOutcome,
+) -> Result<(Effects, StmtState)> {
+    let attempt = match &q.shape {
+        DeltaShape::Join(j) => {
+            run_join(q, j, ctx, env, spans, prior, poisoned, registry, outcome)
+        }
+        DeltaShape::Group(g) => run_group(q, g, ctx, env, spans, prior, poisoned),
+    };
+    match attempt {
+        Ok((fx, st, mode)) => {
+            match mode {
+                Mode::Incremental { rows } => {
+                    outcome.delta_stmts += 1;
+                    outcome.delta_rows += rows;
+                }
+                Mode::Full { reason } => {
+                    outcome.full_reexecutes += 1;
+                    outcome.fallbacks.push(reason);
+                }
+            }
+            Ok((fx, st))
+        }
+        Err(_) => {
+            // Parity net: the interpreter's result (or error) is
+            // authoritative. State resets; the unchanged premise
+            // replays the same rows next firing.
+            outcome.full_reexecutes += 1;
+            outcome.fallbacks.push("error");
+            let fx = crate::exec::execute_in_env(&q.src, ctx, env)?;
+            Ok((fx, StmtState::None))
+        }
+    }
+}
+
+fn sink_effects(sink: &Sink, rel: Relation) -> Effects {
+    match sink {
+        Sink::Result => Effects {
+            result: Some(rel),
+            ..Effects::default()
+        },
+        Sink::Insert { table, columns } => Effects {
+            inserts: vec![(table.clone(), columns.clone(), rel)],
+            ..Effects::default()
+        },
+    }
+}
+
+/// Decide full-re-execution vs incremental for one statement. Returns
+/// the fallback reason, or `None` when the premise holds.
+fn full_reason(
+    poisoned: bool,
+    spans: Option<&HashMap<String, u64>>,
+    scans: &[(&str, usize)], // (table, current snapshot length)
+    prior_ok: bool,
+    prior_matches: impl Fn() -> Option<&'static str>,
+) -> Option<&'static str> {
+    if poisoned {
+        return Some("variable");
+    }
+    let Some(spans) = spans else {
+        return Some("first"); // one-shot: plain bootstrap semantics
+    };
+    if scans.iter().any(|(t, _)| !spans.contains_key(*t)) {
+        return Some("untracked");
+    }
+    if !prior_ok {
+        return Some("first");
+    }
+    prior_matches()
+}
+
+// ---- hash join --------------------------------------------------------------
+
+fn check_join_types(l: &Column, r: &Column) -> Result<()> {
+    match (l.data(), r.data()) {
+        (
+            ColumnData::Int(_) | ColumnData::Ts(_),
+            ColumnData::Int(_) | ColumnData::Ts(_),
+        )
+        | (ColumnData::Str(_), ColumnData::Str(_)) => Ok(()),
+        _ => Err(MonetError::TypeMismatch {
+            op: "hash_join",
+            expected: l.vtype(),
+            found: r.vtype(),
+        }
+        .into()),
+    }
+}
+
+/// Advance (or privately build) the arrangement for `(table, column)`
+/// and run `f` against it. The shared handle is only used when its
+/// generation is not ahead of ours — a newer-generation snapshot owns
+/// it; we fall back to a transient index for this firing.
+fn with_arrangement<T>(
+    registry: Option<&ArrangementRegistry>,
+    table: &str,
+    column: &str,
+    col: &Column,
+    gen: Option<u64>,
+    f: impl FnOnce(&KeyArrangement) -> T,
+) -> (T, usize) {
+    if let (Some(reg), Some(gen)) = (registry, gen) {
+        let handle = reg.handle(table, column);
+        let mut arr = handle.lock().expect("arrangement poisoned");
+        if arr.generation() <= gen {
+            arr.advance(col, gen);
+            let out = f(&arr);
+            let bytes = arr.bytes();
+            return (out, bytes);
+        }
+    }
+    let mut arr = KeyArrangement::default();
+    arr.advance(col, gen.unwrap_or(0));
+    let out = f(&arr);
+    let bytes = arr.bytes();
+    (out, bytes)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_join(
+    q: &DeltaQuery,
+    j: &JoinShape,
+    ctx: &dyn QueryContext,
+    env: &mut ExecEnv,
+    spans: Option<&HashMap<String, u64>>,
+    prior: Option<&StmtState>,
+    poisoned: bool,
+    registry: Option<&ArrangementRegistry>,
+    outcome: &mut DeltaOutcome,
+) -> Result<(Effects, StmtState, Mode)> {
+    let lrel = base_scan(ctx, &j.left.table, &j.left.binding)?;
+    let rrel = base_scan(ctx, &j.right.table, &j.right.binding)?;
+    let (llen_now, rlen_now) = (lrel.len(), rrel.len());
+    let lcol = lrel.col_at(resolve_column(&lrel, Some(j.lkey.0.as_str()), &j.lkey.1)?);
+    let rcol = rrel.col_at(resolve_column(&rrel, Some(j.rkey.0.as_str()), &j.rkey.1)?);
+    check_join_types(lcol, rcol)?;
+
+    let lgen = spans.and_then(|m| m.get(&j.left.table).copied());
+    let rgen = spans.and_then(|m| m.get(&j.right.table).copied());
+    let prior = match prior {
+        Some(StmtState::Join(p)) => Some(p),
+        _ => None,
+    };
+    let reason = full_reason(
+        poisoned,
+        spans,
+        &[(&j.left.table, llen_now), (&j.right.table, rlen_now)],
+        prior.is_some(),
+        || {
+            let p = prior.expect("checked");
+            if Some(p.lgen) != lgen || Some(p.rgen) != rgen {
+                Some("generation")
+            } else if p.llen > llen_now || p.rlen > rlen_now {
+                Some("shrunk")
+            } else {
+                None
+            }
+        },
+    );
+    let mut state = match (reason, prior) {
+        (None, Some(p)) => p.clone(),
+        _ => JoinState::default(),
+    };
+    let (llen0, rlen0) = (state.llen, state.rlen);
+
+    // Old-left × Δright first: all its left positions are < llen0, so
+    // concatenating it (sorted) before Δleft × right keeps the global
+    // (l, r) order the full hash join would emit.
+    let mut pairs_b: Vec<(u32, u32)> = Vec::new();
+    let ((), lbytes) = with_arrangement(
+        registry,
+        &j.left.table,
+        &j.lkey.1,
+        lcol,
+        lgen,
+        |arr| {
+            let mut hits = Vec::new();
+            for rpos in rlen0..rlen_now {
+                if !rcol.is_valid(rpos) {
+                    continue;
+                }
+                hits.clear();
+                arr.probe(&ArrKey::at(rcol, rpos), llen0, &mut hits);
+                for &lpos in &hits {
+                    pairs_b.push((lpos, rpos as u32));
+                }
+            }
+        },
+    );
+    pairs_b.sort_unstable();
+
+    let mut new_l: Vec<u32> = pairs_b.iter().map(|&(l, _)| l).collect();
+    let mut new_r: Vec<u32> = pairs_b.iter().map(|&(_, r)| r).collect();
+    let ((), rbytes) = with_arrangement(
+        registry,
+        &j.right.table,
+        &j.rkey.1,
+        rcol,
+        rgen,
+        |arr| {
+            let mut hits = Vec::new();
+            for lpos in llen0..llen_now {
+                if !lcol.is_valid(lpos) {
+                    continue;
+                }
+                hits.clear();
+                arr.probe(&ArrKey::at(lcol, lpos), rlen_now, &mut hits);
+                for &rpos in &hits {
+                    new_l.push(lpos as u32);
+                    new_r.push(rpos);
+                }
+            }
+        },
+    );
+    outcome.arrangement_bytes += (lbytes + rbytes) as u64;
+
+    // Residual conjuncts over the newly joined rows, in source order.
+    if !q.conjuncts.is_empty() && !new_l.is_empty() {
+        let mut jrel = merge_joined(&lrel, &rrel, &new_l, &new_r)?;
+        for (ci, c) in q.conjuncts.iter().enumerate() {
+            if ci == j.key_idx {
+                continue;
+            }
+            let mask = eval_expr(c, &jrel, ctx, env)?;
+            let sel = select_true(&mask, None)?;
+            jrel = jrel.gather(&sel)?;
+            new_l = sel.iter().map(|p| new_l[p as usize]).collect();
+            new_r = sel.iter().map(|p| new_r[p as usize]).collect();
+        }
+    } else if !q.conjuncts.is_empty() {
+        // Error parity: the interpreter evaluates residuals even over an
+        // empty join — surface the same structural errors (unknown
+        // columns etc.) it would.
+        let mut jrel = merge_joined(&lrel, &rrel, &new_l, &new_r)?;
+        for (ci, c) in q.conjuncts.iter().enumerate() {
+            if ci == j.key_idx {
+                continue;
+            }
+            let mask = eval_expr(c, &jrel, ctx, env)?;
+            let sel = select_true(&mask, None)?;
+            jrel = jrel.gather(&sel)?;
+        }
+    }
+
+    let (acc_l, acc_r) = merge_pairs(&state.lpairs, &state.rpairs, &new_l, &new_r);
+    let full = merge_joined(&lrel, &rrel, &acc_l, &acc_r)?;
+    let out = plain_pipeline(&q.select, full, ctx, env, false, &mut Vec::new())?;
+
+    let mode = match reason {
+        Some(r) => Mode::Full { reason: r },
+        None => {
+            let rows = (llen_now - llen0 + rlen_now - rlen0) as u64;
+            // `relation()` counted the whole snapshots; delta execution
+            // only touched the appended suffixes.
+            if let Some(c) = ctx.scan_counter() {
+                c.fetch_sub((llen0 + rlen0) as u64, Ordering::Relaxed);
+            }
+            Mode::Incremental { rows }
+        }
+    };
+    state = JoinState {
+        lgen: lgen.unwrap_or(0),
+        rgen: rgen.unwrap_or(0),
+        llen: llen_now,
+        rlen: rlen_now,
+        lpairs: acc_l,
+        rpairs: acc_r,
+    };
+    Ok((sink_effects(&q.sink, out), StmtState::Join(state), mode))
+}
+
+/// Merge two `(l, r)`-sorted pair lists. The lists are disjoint (old
+/// pairs have both sides below the previous snapshot lengths; new pairs
+/// have at least one side above), so this is a plain ordered merge.
+fn merge_pairs(
+    al: &[u32],
+    ar: &[u32],
+    bl: &[u32],
+    br: &[u32],
+) -> (Vec<u32>, Vec<u32>) {
+    let mut ol = Vec::with_capacity(al.len() + bl.len());
+    let mut orr = Vec::with_capacity(ar.len() + br.len());
+    let (mut i, mut k) = (0usize, 0usize);
+    while i < al.len() && k < bl.len() {
+        if (al[i], ar[i]) <= (bl[k], br[k]) {
+            ol.push(al[i]);
+            orr.push(ar[i]);
+            i += 1;
+        } else {
+            ol.push(bl[k]);
+            orr.push(br[k]);
+            k += 1;
+        }
+    }
+    ol.extend_from_slice(&al[i..]);
+    orr.extend_from_slice(&ar[i..]);
+    ol.extend_from_slice(&bl[k..]);
+    orr.extend_from_slice(&br[k..]);
+    (ol, orr)
+}
+
+// ---- grouped aggregation ----------------------------------------------------
+
+/// Per-group accumulator replicating one monet `agg_*` kernel's fold in
+/// append order, so materialized columns are bit-identical to a full
+/// re-execution (including float summation order and Int wrapping).
+#[derive(Debug, Clone)]
+enum AggAcc {
+    CountStar {
+        counts: Vec<i64>,
+    },
+    Count {
+        counts: Vec<i64>,
+    },
+    SumInt {
+        sums: Vec<i64>,
+        seen: Vec<bool>,
+    },
+    SumDouble {
+        sums: Vec<f64>,
+        seen: Vec<bool>,
+    },
+    AvgInt {
+        sums: Vec<i64>,
+        counts: Vec<i64>,
+    },
+    AvgDouble {
+        sums: Vec<f64>,
+        counts: Vec<i64>,
+    },
+    Extreme {
+        min: bool,
+        vtype: ValueType,
+        best: Vec<Option<Value>>,
+    },
+    CountDistinct {
+        sets: Vec<HashSet<ArrKey>>,
+    },
+}
+
+impl AggAcc {
+    /// Pick the accumulator for an aggregate, replicating the kernels'
+    /// type dispatch and errors exactly.
+    fn new(name: &str, arg: Option<&Column>) -> Result<AggAcc> {
+        match (name, arg) {
+            ("count", None) => Ok(AggAcc::CountStar { counts: Vec::new() }),
+            ("count", Some(_)) => Ok(AggAcc::Count { counts: Vec::new() }),
+            ("count_distinct", Some(_)) => Ok(AggAcc::CountDistinct { sets: Vec::new() }),
+            ("sum", Some(c)) | ("avg", Some(c)) => {
+                let avg = name == "avg";
+                match c.data() {
+                    ColumnData::Int(_) | ColumnData::Ts(_) => Ok(if avg {
+                        AggAcc::AvgInt {
+                            sums: Vec::new(),
+                            counts: Vec::new(),
+                        }
+                    } else {
+                        AggAcc::SumInt {
+                            sums: Vec::new(),
+                            seen: Vec::new(),
+                        }
+                    }),
+                    ColumnData::Double(_) => Ok(if avg {
+                        AggAcc::AvgDouble {
+                            sums: Vec::new(),
+                            counts: Vec::new(),
+                        }
+                    } else {
+                        AggAcc::SumDouble {
+                            sums: Vec::new(),
+                            seen: Vec::new(),
+                        }
+                    }),
+                    _ => Err(MonetError::TypeMismatch {
+                        op: "agg_sum",
+                        expected: ValueType::Int,
+                        found: c.vtype(),
+                    }
+                    .into()),
+                }
+            }
+            ("min", Some(c)) => Ok(AggAcc::Extreme {
+                min: true,
+                vtype: c.vtype(),
+                best: Vec::new(),
+            }),
+            ("max", Some(c)) => Ok(AggAcc::Extreme {
+                min: false,
+                vtype: c.vtype(),
+                best: Vec::new(),
+            }),
+            (other, _) => Err(SqlError::Exec(format!("unknown aggregate {other}"))),
+        }
+    }
+
+    /// Fold one firing's delta rows. `gids[i]` is the group of row `i`
+    /// of the filtered delta relation; `arg` is aligned with it.
+    fn update(&mut self, ngroups: usize, gids: &[u32], arg: Option<&Column>) -> Result<()> {
+        let type_changed = || SqlError::Exec("delta: aggregate input type changed".into());
+        match self {
+            AggAcc::CountStar { counts } => {
+                counts.resize(ngroups, 0);
+                for &g in gids {
+                    counts[g as usize] += 1;
+                }
+            }
+            AggAcc::Count { counts } => {
+                let c = arg.ok_or_else(type_changed)?;
+                counts.resize(ngroups, 0);
+                for (i, &g) in gids.iter().enumerate() {
+                    if c.is_valid(i) {
+                        counts[g as usize] += 1;
+                    }
+                }
+            }
+            AggAcc::SumInt { sums, seen } => {
+                let c = arg.ok_or_else(type_changed)?;
+                let (ColumnData::Int(v) | ColumnData::Ts(v)) = c.data() else {
+                    return Err(type_changed());
+                };
+                sums.resize(ngroups, 0);
+                seen.resize(ngroups, false);
+                for (i, &g) in gids.iter().enumerate() {
+                    if c.is_valid(i) {
+                        sums[g as usize] = sums[g as usize].wrapping_add(v[i]);
+                        seen[g as usize] = true;
+                    }
+                }
+            }
+            AggAcc::SumDouble { sums, seen } => {
+                let c = arg.ok_or_else(type_changed)?;
+                let ColumnData::Double(v) = c.data() else {
+                    return Err(type_changed());
+                };
+                sums.resize(ngroups, 0.0);
+                seen.resize(ngroups, false);
+                for (i, &g) in gids.iter().enumerate() {
+                    if c.is_valid(i) {
+                        sums[g as usize] += v[i];
+                        seen[g as usize] = true;
+                    }
+                }
+            }
+            AggAcc::AvgInt { sums, counts } => {
+                let c = arg.ok_or_else(type_changed)?;
+                let (ColumnData::Int(v) | ColumnData::Ts(v)) = c.data() else {
+                    return Err(type_changed());
+                };
+                sums.resize(ngroups, 0);
+                counts.resize(ngroups, 0);
+                for (i, &g) in gids.iter().enumerate() {
+                    if c.is_valid(i) {
+                        sums[g as usize] = sums[g as usize].wrapping_add(v[i]);
+                        counts[g as usize] += 1;
+                    }
+                }
+            }
+            AggAcc::AvgDouble { sums, counts } => {
+                let c = arg.ok_or_else(type_changed)?;
+                let ColumnData::Double(v) = c.data() else {
+                    return Err(type_changed());
+                };
+                sums.resize(ngroups, 0.0);
+                counts.resize(ngroups, 0);
+                for (i, &g) in gids.iter().enumerate() {
+                    if c.is_valid(i) {
+                        sums[g as usize] += v[i];
+                        counts[g as usize] += 1;
+                    }
+                }
+            }
+            AggAcc::Extreme { min, vtype, best } => {
+                let c = arg.ok_or_else(type_changed)?;
+                if c.vtype() != *vtype {
+                    return Err(type_changed());
+                }
+                best.resize(ngroups, None);
+                for (i, &g) in gids.iter().enumerate() {
+                    if !c.is_valid(i) {
+                        continue;
+                    }
+                    let v = c.get(i);
+                    let slot = &mut best[g as usize];
+                    let replace = match slot {
+                        None => true,
+                        Some(cur) => match v.sql_cmp(cur) {
+                            Some(std::cmp::Ordering::Less) => *min,
+                            Some(std::cmp::Ordering::Greater) => !*min,
+                            _ => false,
+                        },
+                    };
+                    if replace {
+                        *slot = Some(v);
+                    }
+                }
+            }
+            AggAcc::CountDistinct { sets } => {
+                let c = arg.ok_or_else(type_changed)?;
+                sets.resize(ngroups, HashSet::new());
+                for (i, &g) in gids.iter().enumerate() {
+                    if c.is_valid(i) {
+                        sets[g as usize].insert(ArrKey::at(c, i));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Output type of the materialized `#agg:k` column — matches the
+    /// kernel's output type, used for the empty-input synthetic row.
+    fn vtype(&self) -> ValueType {
+        match self {
+            AggAcc::CountStar { .. }
+            | AggAcc::Count { .. }
+            | AggAcc::SumInt { .. }
+            | AggAcc::CountDistinct { .. } => ValueType::Int,
+            AggAcc::SumDouble { .. } | AggAcc::AvgInt { .. } | AggAcc::AvgDouble { .. } => {
+                ValueType::Double
+            }
+            AggAcc::Extreme { vtype, .. } => *vtype,
+        }
+    }
+
+    /// Materialize the per-group column, kernel-identical.
+    fn column(&self) -> Result<Column> {
+        let col = match self {
+            AggAcc::CountStar { counts } | AggAcc::Count { counts } => {
+                Column::from_ints(counts.clone())
+            }
+            AggAcc::SumInt { sums, seen } => {
+                let mut out = Column::with_capacity(ValueType::Int, sums.len());
+                for (&s, &ok) in sums.iter().zip(seen) {
+                    out.push(if ok { Value::Int(s) } else { Value::Null })?;
+                }
+                out
+            }
+            AggAcc::SumDouble { sums, seen } => {
+                let mut out = Column::with_capacity(ValueType::Double, sums.len());
+                for (&s, &ok) in sums.iter().zip(seen) {
+                    out.push(if ok { Value::Double(s) } else { Value::Null })?;
+                }
+                out
+            }
+            AggAcc::AvgInt { sums, counts } => {
+                let mut out = Column::with_capacity(ValueType::Double, sums.len());
+                for (&s, &n) in sums.iter().zip(counts) {
+                    out.push(if n == 0 {
+                        Value::Null
+                    } else {
+                        Value::Double(s as f64 / n as f64)
+                    })?;
+                }
+                out
+            }
+            AggAcc::AvgDouble { sums, counts } => {
+                let mut out = Column::with_capacity(ValueType::Double, sums.len());
+                for (&s, &n) in sums.iter().zip(counts) {
+                    out.push(if n == 0 {
+                        Value::Null
+                    } else {
+                        Value::Double(s / n as f64)
+                    })?;
+                }
+                out
+            }
+            AggAcc::Extreme { vtype, best, .. } => {
+                let mut out = Column::with_capacity(*vtype, best.len());
+                for b in best {
+                    out.push(b.clone().unwrap_or(Value::Null))?;
+                }
+                out
+            }
+            AggAcc::CountDistinct { sets } => {
+                Column::from_ints(sets.iter().map(|s| s.len() as i64).collect())
+            }
+        };
+        Ok(col)
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            AggAcc::CountStar { counts } | AggAcc::Count { counts } => counts.capacity() * 8,
+            AggAcc::SumInt { sums, seen } => sums.capacity() * 8 + seen.capacity(),
+            AggAcc::SumDouble { sums, seen } => sums.capacity() * 8 + seen.capacity(),
+            AggAcc::AvgInt { sums, counts } => (sums.capacity() + counts.capacity()) * 8,
+            AggAcc::AvgDouble { sums, counts } => (sums.capacity() + counts.capacity()) * 8,
+            AggAcc::Extreme { best, .. } => {
+                best.iter()
+                    .map(|b| 8 + b.as_ref().map_or(0, value_bytes))
+                    .sum()
+            }
+            AggAcc::CountDistinct { sets } => sets
+                .iter()
+                .map(|s| 48 + s.iter().map(key_heap).sum::<usize>())
+                .sum(),
+        }
+    }
+}
+
+/// The aggregate's argument column over the (delta) relation —
+/// replicating `compute_aggregate`'s `f(*)` / missing-argument rules and
+/// error messages exactly.
+fn agg_arg<'q>(
+    agg: &'q Expr,
+    rel: &Relation,
+    ctx: &dyn QueryContext,
+    env: &ExecEnv,
+) -> Result<(&'q str, Option<Column>)> {
+    let Expr::FuncCall { name, args, star } = agg else {
+        return Err(SqlError::Exec("not an aggregate".into()));
+    };
+    let arg_col: Option<Column> = if *star {
+        if name == "count" {
+            None
+        } else {
+            let first_visible = rel
+                .names()
+                .iter()
+                .position(|n| !n.starts_with('#'))
+                .ok_or_else(|| SqlError::Exec(format!("{name}(*) with no columns")))?;
+            Some(rel.col_at(first_visible).clone())
+        }
+    } else {
+        let arg = args
+            .first()
+            .ok_or_else(|| SqlError::Exec(format!("{name} needs an argument")))?;
+        Some(eval_expr(arg, rel, ctx, env)?)
+    };
+    Ok((name.as_str(), arg_col))
+}
+
+fn row_values(rel: &Relation, i: usize) -> Vec<Value> {
+    (0..rel.width()).map(|c| rel.col_at(c).get(i)).collect()
+}
+
+fn run_group(
+    q: &DeltaQuery,
+    g: &GroupShape,
+    ctx: &dyn QueryContext,
+    env: &mut ExecEnv,
+    spans: Option<&HashMap<String, u64>>,
+    prior: Option<&StmtState>,
+    poisoned: bool,
+) -> Result<(Effects, StmtState, Mode)> {
+    let rel = base_scan(ctx, &g.scan.table, &g.scan.binding)?;
+    let len_now = rel.len();
+    let gen = spans.and_then(|m| m.get(&g.scan.table).copied());
+    let prior = match prior {
+        Some(StmtState::Group(p)) => Some(p),
+        _ => None,
+    };
+    let reason = full_reason(
+        poisoned,
+        spans,
+        &[(&g.scan.table, len_now)],
+        prior.is_some(),
+        || {
+            let p = prior.expect("checked");
+            if Some(p.gen) != gen {
+                Some("generation")
+            } else if p.processed > len_now {
+                Some("shrunk")
+            } else {
+                None
+            }
+        },
+    );
+    let mut state = match (reason, prior) {
+        (None, Some(p)) => p.clone(),
+        _ => GroupState::default(),
+    };
+    let from = state.processed;
+
+    // Delta slice, then WHERE conjuncts in source order — all row-local,
+    // so filtering the suffix alone is exact.
+    let mut drel = rel.gather(&SelVec::range(from as u32, len_now as u32))?;
+    for c in &q.conjuncts {
+        let mask = eval_expr(c, &drel, ctx, env)?;
+        let sel = select_true(&mask, None)?;
+        drel = drel.gather(&sel)?;
+    }
+
+    // Group assignment, first-seen order (kernel semantics: the generic
+    // KeyPart path and the I64 fast path assign identical gids).
+    let n = drel.len();
+    let mut gids: Vec<u32> = Vec::with_capacity(n);
+    if q.select.group_by.is_empty() {
+        if n > 0 && state.reps.is_empty() {
+            state.groups.insert(Vec::new(), 0);
+            state.reps.push(row_values(&drel, 0));
+        }
+        gids.resize(n, 0);
+    } else {
+        let key_cols: Vec<Column> = q
+            .select
+            .group_by
+            .iter()
+            .map(|e| eval_expr(e, &drel, ctx, env))
+            .collect::<Result<_>>()?;
+        for i in 0..n {
+            let key: Vec<ArrKey> = key_cols.iter().map(|c| ArrKey::at(c, i)).collect();
+            let gid = match state.groups.entry(key) {
+                Entry::Occupied(o) => *o.get(),
+                Entry::Vacant(v) => {
+                    let gid = state.reps.len() as u32;
+                    v.insert(gid);
+                    state.reps.push(row_values(&drel, i));
+                    gid
+                }
+            };
+            gids.push(gid);
+        }
+    }
+
+    // Aggregate rewrite (same error ordering as the interpreter), then
+    // fold this firing's rows into the accumulators.
+    let rw = rewrite_for_grouping(&q.select)?;
+    if !state.accs.is_empty() && state.accs.len() != rw.aggs.len() {
+        return Err(SqlError::Exec("delta: aggregate list changed".into()));
+    }
+    let ngroups = state.reps.len();
+    for (k, agg) in rw.aggs.iter().enumerate() {
+        let (name, arg_col) = agg_arg(agg, &drel, ctx, env)?;
+        if state.accs.len() <= k {
+            state.accs.push(AggAcc::new(name, arg_col.as_ref())?);
+        }
+        state.accs[k].update(ngroups, &gids, arg_col.as_ref())?;
+    }
+
+    // Materialize the grouped relation: representative rows (first-seen
+    // order) + `#agg:k` columns.
+    let mut grouped = if ngroups == 0 {
+        let mut g0 = rel.gather(&SelVec::empty())?;
+        if q.select.group_by.is_empty() {
+            // an ungrouped aggregate over empty input yields one row
+            let row: Vec<Value> = vec![Value::Null; g0.width()];
+            g0.append_row(&row)?;
+        }
+        g0
+    } else {
+        let cols: Vec<(String, Column)> = rel
+            .names()
+            .iter()
+            .enumerate()
+            .map(|(ci, name)| {
+                let mut col = Column::with_capacity(rel.col_at(ci).vtype(), ngroups);
+                for rep in &state.reps {
+                    col.push(rep[ci].clone())?;
+                }
+                Ok((name.clone(), col))
+            })
+            .collect::<Result<_>>()?;
+        Relation::from_columns(cols)?
+    };
+    for (k, _) in rw.aggs.iter().enumerate() {
+        let col = if ngroups == 0 && q.select.group_by.is_empty() {
+            empty_aggregate_value(&rw.aggs[k], state.accs[k].vtype())?
+        } else {
+            state.accs[k].column()?
+        };
+        grouped.add_column(format!("#agg:{k}"), col)?;
+    }
+
+    let out = grouped_tail(&q.select, &rw, grouped, ctx, env)?;
+
+    let mode = match reason {
+        Some(r) => Mode::Full { reason: r },
+        None => {
+            if let Some(c) = ctx.scan_counter() {
+                c.fetch_sub(from as u64, Ordering::Relaxed);
+            }
+            Mode::Incremental {
+                rows: (len_now - from) as u64,
+            }
+        }
+    };
+    state.gen = gen.unwrap_or(0);
+    state.processed = len_now;
+    Ok((sink_effects(&q.sink, out), StmtState::Group(state), mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_script, StaticContext};
+    use crate::parser::parse_statements;
+    use crate::plan::PhysicalPlan;
+
+    fn xy_ctx(n: usize) -> StaticContext {
+        // X grows with n; Y is two appended batches joined against it.
+        let x_ids: Vec<i64> = (0..n as i64).collect();
+        let x_vx: Vec<i64> = (0..n as i64).map(|i| i * 10).collect();
+        let y_ids: Vec<i64> = (0..n as i64).map(|i| i % 4).collect();
+        let y_vy: Vec<i64> = (0..n as i64).map(|i| 1000 + i).collect();
+        let x = Relation::from_columns(vec![
+            ("id".into(), Column::from_ints(x_ids)),
+            ("vx".into(), Column::from_ints(x_vx)),
+        ])
+        .unwrap();
+        let y = Relation::from_columns(vec![
+            ("id".into(), Column::from_ints(y_ids)),
+            ("vy".into(), Column::from_ints(y_vy)),
+        ])
+        .unwrap();
+        StaticContext::new()
+            .with_relation("X", x)
+            .with_relation("Y", y)
+    }
+
+    fn plan_of(src: &str) -> PhysicalPlan {
+        PhysicalPlan::compile(&parse_statements(src).unwrap())
+    }
+
+    #[test]
+    fn join_and_group_shapes_compile_to_delta() {
+        assert_eq!(
+            plan_of("select X.vx, Y.vy from X, Y where X.id = Y.id").delta_count(),
+            1
+        );
+        assert_eq!(
+            plan_of("select s, count(*), sum(a) from R group by s").delta_count(),
+            1
+        );
+        assert_eq!(plan_of("select count(*) from R").delta_count(), 1);
+        assert_eq!(
+            plan_of("insert into O select X.vx from X, Y where X.id = Y.id and Y.vy > 3").delta_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn ineligible_shapes_stay_interpreted() {
+        // scalar subquery
+        assert_eq!(
+            plan_of("select count(*) from R where a = (select max(a) from R)").delta_count(),
+            0
+        );
+        // union
+        assert_eq!(
+            plan_of("select count(*) from R union all select count(*) from R").delta_count(),
+            0
+        );
+        // unqualified join key: runtime key choice is data-dependent
+        assert_eq!(
+            plan_of("select X.vx from X, Y where id = Y.id").delta_count(),
+            0
+        );
+        // no equi key at all (cross product)
+        assert_eq!(plan_of("select X.vx from X, Y").delta_count(), 0);
+        // three-way join
+        assert_eq!(
+            plan_of("select X.vx from X, Y, Z where X.id = Y.id and Y.id = Z.id").delta_count(),
+            0
+        );
+        // a SET in the script disables delta for the whole block
+        assert_eq!(
+            plan_of("set n = 1; select count(*) from R").delta_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn join_incremental_matches_full_reexecution() {
+        let src = "select X.vx, Y.vy from X, Y where X.id = Y.id and Y.vy >= 1000";
+        let stmts = parse_statements(src).unwrap();
+        let plan = PhysicalPlan::compile(&stmts);
+        assert_eq!(plan.delta_count(), 1);
+        let spans: HashMap<String, u64> =
+            [("X".to_string(), 0u64), ("Y".to_string(), 0u64)].into();
+        let reg = ArrangementRegistry::new();
+
+        // firing 1: bootstrap (full)
+        let ctx1 = xy_ctx(6);
+        let (fx1, out1, st1) = plan
+            .execute_standing(&ctx1, &spans, &PlanDeltaState::default(), Some(&reg))
+            .unwrap();
+        assert_eq!(fx1, execute_script(&stmts, &ctx1).unwrap());
+        assert_eq!(out1.full_reexecutes, 1);
+        assert_eq!(out1.fallbacks, vec!["first"]);
+
+        // firing 2: appended rows only
+        let ctx2 = xy_ctx(10);
+        let (fx2, out2, st2) = plan
+            .execute_standing(&ctx2, &spans, &st1, Some(&reg))
+            .unwrap();
+        assert_eq!(fx2, execute_script(&stmts, &ctx2).unwrap());
+        assert_eq!(out2.delta_stmts, 1);
+        assert_eq!(out2.delta_rows, 8, "4 appended rows per side");
+        assert!(out2.arrangement_bytes > 0);
+
+        // firing 3: nothing appended — still exact, zero delta rows
+        let (fx3, out3, st3) = plan
+            .execute_standing(&ctx2, &spans, &st2, Some(&reg))
+            .unwrap();
+        assert_eq!(fx3, execute_script(&stmts, &ctx2).unwrap());
+        assert_eq!(out3.delta_rows, 0);
+
+        // firing 4: generation bump forces full re-execution
+        let bumped: HashMap<String, u64> =
+            [("X".to_string(), 1u64), ("Y".to_string(), 0u64)].into();
+        let (fx4, out4, _) = plan
+            .execute_standing(&ctx2, &bumped, &st3, Some(&reg))
+            .unwrap();
+        assert_eq!(fx4, execute_script(&stmts, &ctx2).unwrap());
+        assert_eq!(out4.fallbacks, vec!["generation"]);
+    }
+
+    #[test]
+    fn group_incremental_matches_full_reexecution() {
+        let src =
+            "select s, count(*) as n, sum(a) as t, min(a) as lo, avg(a) as m from G \
+             where a >= 0 group by s";
+        let stmts = parse_statements(src).unwrap();
+        let plan = PhysicalPlan::compile(&stmts);
+        assert_eq!(plan.delta_count(), 1);
+        let spans: HashMap<String, u64> = [("G".to_string(), 0u64)].into();
+
+        let mk = |n: usize| {
+            let a: Vec<i64> = (0..n as i64).collect();
+            let s: Vec<String> = (0..n).map(|i| format!("g{}", i % 3)).collect();
+            StaticContext::new().with_relation(
+                "G",
+                Relation::from_columns(vec![
+                    ("a".into(), Column::from_ints(a)),
+                    ("s".into(), Column::from_strs(s)),
+                ])
+                .unwrap(),
+            )
+        };
+
+        let ctx1 = mk(5);
+        let (fx1, _, st1) = plan
+            .execute_standing(&ctx1, &spans, &PlanDeltaState::default(), None)
+            .unwrap();
+        assert_eq!(fx1, execute_script(&stmts, &ctx1).unwrap());
+
+        let ctx2 = mk(12);
+        let (fx2, out2, st2) = plan.execute_standing(&ctx2, &spans, &st1, None).unwrap();
+        assert_eq!(fx2, execute_script(&stmts, &ctx2).unwrap());
+        assert_eq!(out2.delta_stmts, 1);
+        assert_eq!(out2.delta_rows, 7);
+        assert!(out2.state_bytes > 0);
+
+        // ungrouped aggregate over the same state machinery
+        let stmts2 = parse_statements("select count(*), sum(a), max(a) from G").unwrap();
+        let plan2 = PhysicalPlan::compile(&stmts2);
+        let (gfx1, _, gst1) = plan2
+            .execute_standing(&ctx1, &spans, &PlanDeltaState::default(), None)
+            .unwrap();
+        assert_eq!(gfx1, execute_script(&stmts2, &ctx1).unwrap());
+        let (gfx2, gout2, _) = plan2.execute_standing(&ctx2, &spans, &gst1, None).unwrap();
+        assert_eq!(gfx2, execute_script(&stmts2, &ctx2).unwrap());
+        assert_eq!(gout2.delta_stmts, 1);
+        let _ = st2;
+    }
+
+    #[test]
+    fn variable_read_poisons_delta_state() {
+        let src = "select count(*) from G where a > lo";
+        let stmts = parse_statements(src).unwrap();
+        let plan = PhysicalPlan::compile(&stmts);
+        assert_eq!(plan.delta_count(), 1);
+        let spans: HashMap<String, u64> = [("G".to_string(), 0u64)].into();
+        let ctx = StaticContext::new()
+            .with_relation(
+                "G",
+                Relation::from_columns(vec![("a".into(), Column::from_ints(vec![1, 2, 3]))])
+                    .unwrap(),
+            )
+            .with_var("lo", Value::Int(1));
+        let (fx1, out1, st1) = plan
+            .execute_standing(&ctx, &spans, &PlanDeltaState::default(), None)
+            .unwrap();
+        assert_eq!(fx1, execute_script(&stmts, &ctx).unwrap());
+        assert_eq!(out1.fallbacks, vec!["first"]);
+        assert!(st1.is_poisoned(), "var read detected at bootstrap");
+        // every later firing is a full re-execution
+        let (fx2, out2, _) = plan.execute_standing(&ctx, &spans, &st1, None).unwrap();
+        assert_eq!(fx2, execute_script(&stmts, &ctx).unwrap());
+        assert_eq!(out2.fallbacks, vec!["variable"]);
+    }
+
+    #[test]
+    fn untracked_table_always_reexecutes() {
+        let stmts = parse_statements("select count(*) from G").unwrap();
+        let plan = PhysicalPlan::compile(&stmts);
+        let spans = HashMap::new(); // G not tracked
+        let ctx = StaticContext::new().with_relation(
+            "G",
+            Relation::from_columns(vec![("a".into(), Column::from_ints(vec![1, 2]))]).unwrap(),
+        );
+        let (_, out1, st1) = plan
+            .execute_standing(&ctx, &spans, &PlanDeltaState::default(), None)
+            .unwrap();
+        assert_eq!(out1.fallbacks, vec!["untracked"]);
+        let (_, out2, _) = plan.execute_standing(&ctx, &spans, &st1, None).unwrap();
+        assert_eq!(out2.fallbacks, vec!["untracked"]);
+    }
+
+    #[test]
+    fn error_falls_back_to_interpreter_result() {
+        // sum over a string column: the kernel raises TypeMismatch; the
+        // statement must defer to the interpreter and err identically.
+        let stmts = parse_statements("select sum(s) from G group by s").unwrap();
+        let plan = PhysicalPlan::compile(&stmts);
+        assert_eq!(plan.delta_count(), 1);
+        let spans: HashMap<String, u64> = [("G".to_string(), 0u64)].into();
+        let ctx = StaticContext::new().with_relation(
+            "G",
+            Relation::from_columns(vec![(
+                "s".into(),
+                Column::from_strs(vec!["a".into(), "b".into()]),
+            )])
+            .unwrap(),
+        );
+        let delta_err = plan
+            .execute_standing(&ctx, &spans, &PlanDeltaState::default(), None)
+            .unwrap_err();
+        let interp_err = execute_script(&stmts, &ctx).unwrap_err();
+        assert_eq!(format!("{delta_err}"), format!("{interp_err}"));
+    }
+
+    #[test]
+    fn oneshot_execute_matches_interpreter() {
+        let ctx = xy_ctx(8);
+        for src in [
+            "select X.vx, Y.vy from X, Y where X.id = Y.id",
+            "select Y.id, count(*) as n from Y group by Y.id",
+            "select count(*), sum(vx) from X",
+        ] {
+            let stmts = parse_statements(src).unwrap();
+            let plan = PhysicalPlan::compile(&stmts);
+            assert_eq!(plan.delta_count(), 1, "{src}");
+            assert_eq!(
+                plan.execute(&ctx).unwrap(),
+                execute_script(&stmts, &ctx).unwrap(),
+                "{src}"
+            );
+        }
+    }
+}

@@ -36,9 +36,11 @@
 //! already guarantees this); qualified names are resolved against scan
 //! bindings at compile time.
 
+pub mod arrange;
+mod delta;
 mod fast;
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Instant;
 
 use monet::ops::arith;
@@ -49,6 +51,8 @@ use crate::ast::{BinOp, Expr, FromItem, SelectItem, SelectStmt, Stmt};
 use crate::error::Result;
 use crate::exec::{Effects, ExecEnv, QueryContext};
 
+pub use arrange::ArrangementRegistry;
+pub use delta::{DeltaOutcome, PlanDeltaState, FALLBACK_REASONS};
 pub(crate) use fast::run_fast;
 
 // ---- column requirements ----------------------------------------------------
@@ -592,6 +596,10 @@ pub(crate) struct FastQuery {
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum PlannedStmt {
     Fast(FastQuery),
+    /// Delta-capable shape (two-scan equi-join or single-scan grouped
+    /// aggregation): runs incrementally under `execute_standing` when the
+    /// append-only premise holds, from scratch otherwise.
+    Delta(Box<delta::DeltaQuery>),
     Interpret(Stmt),
 }
 
@@ -611,11 +619,21 @@ impl PhysicalPlan {
     pub fn compile(stmts: &[Stmt]) -> PhysicalPlan {
         let started = Instant::now();
         let mut requirements = column_requirements(stmts);
+        // Delta shapes only compile when the script carries no cross-
+        // statement environment state (WITH bindings, DECLARE/SET
+        // overlays): variable reads through the context are detected and
+        // poison delta state, but overlay reads would go unseen.
+        let delta_ok = stmts
+            .iter()
+            .all(|s| matches!(s, Stmt::Select(_) | Stmt::Insert { .. } | Stmt::Create { .. }));
         let planned: Vec<PlannedStmt> = stmts
             .iter()
             .map(|s| match try_fast(s) {
                 Some(f) => PlannedStmt::Fast(f),
-                None => PlannedStmt::Interpret(s.clone()),
+                None => match delta::try_delta(s).filter(|_| delta_ok) {
+                    Some(d) => PlannedStmt::Delta(Box::new(d)),
+                    None => PlannedStmt::Interpret(s.clone()),
+                },
             })
             .collect();
         for (ps, src) in planned.iter().zip(stmts) {
@@ -648,6 +666,15 @@ impl PhysicalPlan {
             .count()
     }
 
+    /// Statements compiled to delta-capable operators (hash join /
+    /// grouped aggregation).
+    pub fn delta_count(&self) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| matches!(s, PlannedStmt::Delta(_)))
+            .count()
+    }
+
     pub fn stmt_count(&self) -> usize {
         self.stmts.len()
     }
@@ -660,6 +687,7 @@ impl PhysicalPlan {
         for ps in &self.stmts {
             let fx = match ps {
                 PlannedStmt::Fast(f) => run_fast(f, ctx, &mut env)?,
+                PlannedStmt::Delta(d) => delta::run_oneshot(d, ctx, &mut env)?,
                 PlannedStmt::Interpret(s) => crate::exec::execute_in_env(s, ctx, &mut env)?,
             };
             all.merge(fx);
@@ -667,14 +695,33 @@ impl PhysicalPlan {
         Ok(all)
     }
 
+    /// Execute the plan as a *standing* firing: delta-capable statements
+    /// feed only rows appended since `prev` when the append-only premise
+    /// holds (per-table delete generations in `spans` unchanged,
+    /// snapshots at least as long), and re-execute from scratch
+    /// otherwise. Effects are exactly [`PhysicalPlan::execute`]'s; the
+    /// returned state must be committed by the caller only after the
+    /// effects applied, so a failed apply simply replays.
+    pub fn execute_standing(
+        &self,
+        ctx: &dyn QueryContext,
+        spans: &HashMap<String, u64>,
+        prev: &PlanDeltaState,
+        registry: Option<&ArrangementRegistry>,
+    ) -> Result<(Effects, DeltaOutcome, PlanDeltaState)> {
+        let out = delta::run_standing(&self.stmts, ctx, spans, prev, registry)?;
+        Ok((out.effects, out.outcome, out.state))
+    }
+
     /// Human-readable plan dump — the `EXPLAIN` body.
     pub fn describe(&self) -> Vec<String> {
         let mut out = Vec::new();
         out.push(format!(
-            "plan statements={} fast={} interpreted={} compile_micros={}",
+            "plan statements={} fast={} delta={} interpreted={} compile_micros={}",
             self.stmts.len(),
             self.fast_count(),
-            self.stmts.len() - self.fast_count(),
+            self.delta_count(),
+            self.stmts.len() - self.fast_count() - self.delta_count(),
             self.compile_micros,
         ));
         for (name, req) in &self.requirements {
@@ -706,6 +753,7 @@ impl PhysicalPlan {
                 PlannedStmt::Interpret(s) => {
                     out.push(format!("stmt {i}: interpret {}", stmt_label(s)));
                 }
+                PlannedStmt::Delta(d) => describe_delta(i, d, &mut out),
                 PlannedStmt::Fast(f) => {
                     let sink = match &f.sink {
                         Sink::Result => "select".to_string(),
@@ -761,6 +809,56 @@ impl PhysicalPlan {
         }
         out
     }
+}
+
+/// EXPLAIN block for a delta-capable statement.
+fn describe_delta(i: usize, d: &delta::DeltaQuery, out: &mut Vec<String>) {
+    let sink = match &d.sink {
+        Sink::Result => "select".to_string(),
+        Sink::Insert { table, .. } => format!("insert into {table}"),
+    };
+    match &d.shape {
+        delta::DeltaShape::Join(j) => {
+            out.push(format!("stmt {i}: hash_join {sink} [delta-capable]"));
+            out.push(format!("  scan {} as {}", j.left.table, j.left.binding));
+            out.push(format!("  scan {} as {}", j.right.table, j.right.binding));
+            out.push(format!(
+                "  key {}.{} = {}.{}",
+                j.lkey.0, j.lkey.1, j.rkey.0, j.rkey.1
+            ));
+            for (ci, c) in d.conjuncts.iter().enumerate() {
+                if ci != j.key_idx {
+                    out.push(format!("  residual {}", expr_sql(c)));
+                }
+            }
+            out.push(format!("  arrange {}.{} (shared)", j.left.table, j.lkey.1));
+            out.push(format!("  arrange {}.{} (shared)", j.right.table, j.rkey.1));
+        }
+        delta::DeltaShape::Group(g) => {
+            out.push(format!("stmt {i}: grouped_agg {sink} [delta-capable]"));
+            out.push(format!("  scan {} as {}", g.scan.table, g.scan.binding));
+            for c in &d.conjuncts {
+                out.push(format!("  filter {}", expr_sql(c)));
+            }
+            let keys = if d.select.group_by.is_empty() {
+                "(global)".to_string()
+            } else {
+                d.select
+                    .group_by
+                    .iter()
+                    .map(expr_sql)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            out.push(format!("  group keys {keys}"));
+            if let Ok(rw) = crate::exec::select::rewrite_for_grouping(&d.select) {
+                let aggs: Vec<String> = rw.aggs.iter().map(expr_sql).collect();
+                out.push(format!("  aggs {}", aggs.join(", ")));
+            }
+            out.push("  arrange per-group accumulators".to_string());
+        }
+    }
+    out.push("  mode delta|full decided per firing (append-only premise)".to_string());
 }
 
 fn pred_tag(p: &Pred) -> &'static str {

@@ -404,3 +404,103 @@ fn multi_insert_script_equivalence() {
         .collect();
     assert!(targets.contains_key("OUT") && targets.contains_key("OUT2"));
 }
+
+// ---- delta (standing) execution ≡ full re-execution -------------------------
+
+/// Shapes the delta compiler accepts: two-table equi-joins and single-
+/// scan grouped aggregation.
+const DELTA_TEMPLATES: &[&str] = &[
+    "select R.a, S.d from R, S where R.b = S.b",
+    "select R.a, S.a from R, S where R.b = S.b and S.a > {k}",
+    "insert into OUT select R.a from R, S where R.s = S.s and R.a > {j}",
+    "select s, count(*) as n, sum(a) as t from R where a > {k} group by s",
+    "select count(*), sum(a), min(d), max(a), avg(a) from R",
+    "select b, count(distinct s) from R group by b",
+];
+
+/// Random append-only growth / delete / no-op step for one table.
+/// Deletes drop a random subset of rows and bump the table's delete
+/// generation, exactly what a basket drain/compaction does.
+fn mutate(rel: &mut Relation, gen: &mut u64, rng: &mut StdRng) {
+    match rng.gen_range(0..4) {
+        0 => {} // fire with nothing new
+        3 if !rel.is_empty() => {
+            let keep: Vec<u32> = (0..rel.len() as u32)
+                .filter(|_| rng.gen_range(0..3) > 0)
+                .collect();
+            *rel = rel
+                .gather(&SelVec::from_sorted(keep).unwrap())
+                .unwrap();
+            *gen += 1;
+        }
+        _ => {
+            let n = rng.gen_range(1..8);
+            let extra = random_relation(rng, n);
+            let rows: Vec<Vec<Value>> = extra.iter_rows().collect();
+            rel.append_rows(rows.iter().map(Vec::as_slice)).unwrap();
+        }
+    }
+}
+
+/// Randomized append/delete/fire interleavings: per firing, standing
+/// delta execution must produce the same [`Effects`] as a from-scratch
+/// interpreter run over the same snapshot — the delta path is a pure
+/// performance optimization.
+#[test]
+fn standing_delta_matches_full_on_random_interleavings() {
+    use dcsql::plan::{ArrangementRegistry, PlanDeltaState};
+
+    let mut rng = StdRng::seed_from_u64(0x0DE17A);
+    let mut incremental_firings = 0u64;
+    for round in 0..25 {
+        for template in DELTA_TEMPLATES {
+            // one registry per standing query lifetime: arrangements are
+            // keyed by table name, and each template round regenerates
+            // R/S from scratch (same names, unrelated contents)
+            let registry = ArrangementRegistry::new();
+            let sql = instantiate(template, &mut rng);
+            let stmts = parse_statements(&sql).unwrap();
+            let plan = PhysicalPlan::compile(&stmts);
+            assert_eq!(plan.delta_count(), 1, "{sql} must compile to a delta shape");
+
+            let (rn, sn) = (rng.gen_range(0..12), rng.gen_range(1..12));
+            let mut r = random_relation(&mut rng, rn);
+            let mut s = random_relation(&mut rng, sn);
+            let (mut rgen, mut sgen) = (0u64, 0u64);
+            let mut state = PlanDeltaState::default();
+            for firing in 0..8 {
+                mutate(&mut r, &mut rgen, &mut rng);
+                mutate(&mut s, &mut sgen, &mut rng);
+                let ctx = StaticContext::new()
+                    .with_relation("R", r.clone())
+                    .with_relation("S", s.clone());
+                let spans: HashMap<String, u64> =
+                    [("R".to_string(), rgen), ("S".to_string(), sgen)].into();
+                let standing =
+                    plan.execute_standing(&ctx, &spans, &state, Some(&registry));
+                let full = execute_script(&stmts, &ctx);
+                match (standing, full) {
+                    (Ok((fx, outcome, next)), Ok(expected)) => {
+                        assert_eq!(
+                            fx, expected,
+                            "[round {round} firing {firing}] {sql} diverged from full re-execution"
+                        );
+                        incremental_firings += outcome.delta_stmts;
+                        state = next;
+                    }
+                    (Err(_), Err(_)) => {} // equivalent failure
+                    (a, b) => panic!(
+                        "[round {round} firing {firing}] one path failed for {sql}: \
+                         standing={:?} full={:?}",
+                        a.map(|_| "ok"),
+                        b.map(|_| "ok")
+                    ),
+                }
+            }
+        }
+    }
+    assert!(
+        incremental_firings > 200,
+        "delta path barely exercised ({incremental_firings} incremental statement firings)"
+    );
+}

@@ -50,7 +50,7 @@ pub mod tsdb;
 pub use expo::{merge_expositions, parse_exposition, Sample};
 pub use health::HealthReport;
 pub use hist::{bucket_bound, bucket_index, HistSnapshot, Histogram, BUCKETS};
-pub use probe::{BasketProbe, EmitterProbe, FireProbe};
+pub use probe::{BasketProbe, EmitterProbe, FireProbe, DELTA_FALLBACK_REASONS};
 pub use recorder::{FlightRecorder, TraceEvent, TRACE_RING_CAP};
 pub use registry::Telemetry;
 pub use span::render_spans;

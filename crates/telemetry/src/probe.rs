@@ -143,9 +143,21 @@ impl BasketProbe {
     }
 }
 
+/// Fixed vocabulary of delta-execution fallback reasons — must match
+/// `dcsql::plan::FALLBACK_REASONS` (pinned by a test in the core crate,
+/// which depends on both; this crate deliberately depends on neither).
+pub const DELTA_FALLBACK_REASONS: &[&str] = &[
+    "first",
+    "generation",
+    "shrunk",
+    "untracked",
+    "variable",
+    "error",
+];
+
 /// Instrumentation for one continuous query factory: per-phase fire
-/// histograms, end-to-end tuple latency, re-execute counter, and
-/// firing events.
+/// histograms, end-to-end tuple latency, re-execute counter, delta
+/// fallback counters, and firing events.
 pub struct FireProbe {
     query: String,
     lock: Arc<Histogram>,
@@ -155,6 +167,10 @@ pub struct FireProbe {
     total: Arc<Histogram>,
     tuple_latency: Arc<Histogram>,
     reexecutes: Arc<AtomicU64>,
+    /// One counter per [`DELTA_FALLBACK_REASONS`] entry, same order —
+    /// pre-created so every `{query, reason}` series exposes as `0`
+    /// before its first fallback.
+    delta_fallbacks: Vec<Arc<AtomicU64>>,
     /// Shared per-query slot handing a traced batch id to the emitter.
     emit_mark: Arc<AtomicU64>,
     recorder: Arc<FlightRecorder>,
@@ -167,6 +183,13 @@ impl FireProbe {
         let phase = |p: &str| {
             t.histogram("dc_fire_phase_micros", &[("query", query), ("phase", p)])
         };
+        let mut delta_fallbacks = Vec::with_capacity(DELTA_FALLBACK_REASONS.len());
+        for reason in DELTA_FALLBACK_REASONS {
+            delta_fallbacks.push(t.counter(
+                "dc_delta_fallback_total",
+                &[("query", query), ("reason", reason)],
+            )?);
+        }
         Some(Arc::new(FireProbe {
             query: query.to_string(),
             lock: phase("lock")?,
@@ -176,9 +199,19 @@ impl FireProbe {
             total: t.histogram("dc_fire_micros", q)?,
             tuple_latency: t.histogram("dc_tuple_latency_micros", q)?,
             reexecutes: t.counter("dc_reexecutes_total", q)?,
+            delta_fallbacks,
             emit_mark: t.emit_mark(query)?,
             recorder: t.recorder()?,
         }))
+    }
+
+    /// A delta-capable statement fell back to full re-execution for
+    /// `reason` (one of [`DELTA_FALLBACK_REASONS`]; unknown reasons are
+    /// dropped rather than minting unbounded label values).
+    pub fn note_delta_fallback(&self, reason: &str) {
+        if let Some(i) = DELTA_FALLBACK_REASONS.iter().position(|r| *r == reason) {
+            self.delta_fallbacks[i].fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A firing consumed a traced batch: record its basket-dwell and
@@ -399,6 +432,17 @@ mod tests {
         assert!(dump[0].contains("kind=fire_start"));
         assert!(dump[1].contains("kind=reexecute"));
         assert!(dump[2].contains("kind=fire_end") && dump[2].contains("rows_out=7"));
+        // delta fallback counters: pre-created per reason, unknown dropped
+        p.note_delta_fallback("generation");
+        p.note_delta_fallback("generation");
+        p.note_delta_fallback("no-such-reason");
+        let body = t.render();
+        assert!(body.contains(
+            &"dc_delta_fallback_total{query=\"hot\",reason=\"generation\"} 2".to_string()
+        ));
+        assert!(body.contains(
+            &"dc_delta_fallback_total{query=\"hot\",reason=\"first\"} 0".to_string()
+        ));
         // no watermark → no latency sample
         p.note_fire_end(1, 1, 1, 1, 4, 0, 0, 0);
         let lat = t
