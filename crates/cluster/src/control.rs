@@ -129,6 +129,21 @@ fn dispatch(rt: &Arc<ClusterRuntime>, request: &str) -> (Response, bool) {
                     .map(|n| (Response::one(format!("closed_shards={n}")), false))
             }
         }
+        Command::ReplStatus { stream } => rt
+            .repl_status_lines(&stream)
+            .map(|b| (Response::Ok(b), false)),
+        Command::ReplOpen { .. }
+        | Command::ReplExport { .. }
+        | Command::ReplSegment { .. }
+        | Command::ReplWal { .. }
+        | Command::ReplPromote => Ok((
+            Response::Err(
+                "REPL transfer verbs are shard-engine commands — the router \
+                 replicates automatically (see REPL STATUS <stream>)"
+                    .to_string(),
+            ),
+            false,
+        )),
         Command::Quit => Ok((Response::ok(), true)),
         Command::Shutdown => {
             rt.request_shutdown();

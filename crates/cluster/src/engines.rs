@@ -6,10 +6,19 @@
 //! **in-process** engine (spawned and supervised by the router) and a
 //! **remote** engine (a `datacelld` already running elsewhere) are
 //! indistinguishable past construction.
+//!
+//! Every control round-trip is bounded: connects use
+//! [`ControlPolicy::connect_timeout`], reads/writes use
+//! [`ControlPolicy::io_timeout`], and after a transport failure the
+//! session enters a capped exponential backoff window during which
+//! further control calls fail immediately instead of re-dialing a dead
+//! or wedged engine. Server-reported errors (`ERR ...` responses) keep
+//! the session open — the transport is fine, the request was just
+//! rejected.
 
 use std::net::SocketAddr;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dcserver::client::Client;
 use dcserver::error::{Result, ServerError};
@@ -28,20 +37,74 @@ pub enum ShardSpec {
     Remote(String),
 }
 
-/// Upper bound on one control round-trip to a shard engine. A wedged
-/// engine (network partition, hung process) must fail the request —
-/// control operations serialize per shard, so an unbounded block here
-/// would freeze the router's whole control plane.
-const CONTROL_IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// Timeouts and backoff governing every router→engine control session.
+///
+/// A wedged engine (network partition, hung process) must fail the
+/// request — control operations serialize per shard, so an unbounded
+/// block here would freeze the router's whole control plane, and an
+/// eager re-dial loop against a dead engine would stall every
+/// STATS/METRICS/HEALTH fan-out on connect timeouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlPolicy {
+    /// Upper bound on establishing a control connection.
+    pub connect_timeout: Duration,
+    /// Upper bound on one control round-trip (read + write).
+    pub io_timeout: Duration,
+    /// First backoff window after a transport failure; doubles per
+    /// consecutive failure.
+    pub backoff_base: Duration,
+    /// Ceiling for the backoff window.
+    pub backoff_max: Duration,
+}
+
+impl Default for ControlPolicy {
+    fn default() -> ControlPolicy {
+        ControlPolicy {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The router's control session to one engine: a lazily (re)connected
+/// client plus the failure bookkeeping that drives backoff.
+struct ControlSession {
+    client: Option<Client>,
+    /// Consecutive transport failures since the last success.
+    failures: u32,
+    /// No reconnect attempt before this instant.
+    retry_at: Option<Instant>,
+}
+
+impl ControlSession {
+    fn note_failure(&mut self, policy: &ControlPolicy) {
+        self.client = None;
+        let shift = self.failures.min(16);
+        let window = policy
+            .backoff_base
+            .saturating_mul(1u32 << shift.min(31))
+            .min(policy.backoff_max);
+        self.failures = self.failures.saturating_add(1);
+        self.retry_at = Some(Instant::now() + window);
+    }
+
+    fn note_success(&mut self) {
+        self.failures = 0;
+        self.retry_at = None;
+    }
+}
 
 /// One supervised shard engine.
 pub struct ShardEngine {
     id: usize,
     addr: SocketAddr,
+    policy: ControlPolicy,
     /// The router's control session to this engine. Control operations
     /// are serialized per shard; data-plane connections are separate
     /// sockets and never wait on this lock.
-    control: Mutex<Client>,
+    control: Mutex<ControlSession>,
     /// Serve thread of an in-process engine (`None` for remote).
     serve: Mutex<Option<JoinHandle<()>>>,
 }
@@ -49,6 +112,15 @@ pub struct ShardEngine {
 impl ShardEngine {
     /// Boot an in-process `datacelld` on an ephemeral control port.
     pub fn spawn_in_process(id: usize, config: ServerConfig) -> Result<ShardEngine> {
+        ShardEngine::spawn_in_process_with(id, config, ControlPolicy::default())
+    }
+
+    /// Boot an in-process engine with an explicit control policy.
+    pub fn spawn_in_process_with(
+        id: usize,
+        config: ServerConfig,
+        policy: ControlPolicy,
+    ) -> Result<ShardEngine> {
         let server = dcserver::bind("127.0.0.1:0", config)?;
         let addr = server
             .local_addr()
@@ -59,27 +131,48 @@ impl ShardEngine {
                 let _ = server.serve();
             })
             .map_err(|e| ServerError::Io(format!("spawn shard {id}: {e}")))?;
-        let mut control = Client::connect(addr)?;
-        control.set_io_timeout(Some(CONTROL_IO_TIMEOUT))?;
+        let control = Self::dial(addr, &policy)?;
         Ok(ShardEngine {
             id,
             addr,
-            control: Mutex::new(control),
+            policy,
+            control: Mutex::new(ControlSession {
+                client: Some(control),
+                failures: 0,
+                retry_at: None,
+            }),
             serve: Mutex::new(Some(serve)),
         })
     }
 
     /// Adopt a running `datacelld` at `addr` as a shard.
     pub fn connect_remote(id: usize, addr: &str) -> Result<ShardEngine> {
-        let mut control = Client::connect(addr)?;
-        control.set_io_timeout(Some(CONTROL_IO_TIMEOUT))?;
-        let addr = control.server_addr();
+        ShardEngine::connect_remote_with(id, addr, ControlPolicy::default())
+    }
+
+    /// Adopt a remote engine with an explicit control policy.
+    pub fn connect_remote_with(id: usize, addr: &str, policy: ControlPolicy) -> Result<ShardEngine> {
+        let addr: SocketAddr = addr
+            .parse()
+            .map_err(|e| ServerError::Protocol(format!("shard {id} addr {addr:?}: {e}")))?;
+        let control = Self::dial(addr, &policy)?;
         Ok(ShardEngine {
             id,
             addr,
-            control: Mutex::new(control),
+            policy,
+            control: Mutex::new(ControlSession {
+                client: Some(control),
+                failures: 0,
+                retry_at: None,
+            }),
             serve: Mutex::new(None),
         })
+    }
+
+    fn dial(addr: SocketAddr, policy: &ControlPolicy) -> Result<Client> {
+        let mut client = Client::connect_timeout(&addr, policy.connect_timeout)?;
+        client.set_io_timeout(Some(policy.io_timeout))?;
+        Ok(client)
     }
 
     pub fn id(&self) -> usize {
@@ -98,8 +191,47 @@ impl ShardEngine {
     }
 
     /// Run one control-plane operation against this engine.
+    ///
+    /// Reconnects lazily if the previous session died; while the backoff
+    /// window from a prior transport failure is open the call fails
+    /// immediately. A transport error (`ServerError::Io` — broken pipe,
+    /// timeout, refused connect) tears the session down and arms the
+    /// backoff; server-reported errors pass through without touching the
+    /// connection.
     pub fn control<T>(&self, f: impl FnOnce(&mut Client) -> Result<T>) -> Result<T> {
-        f(&mut self.control.lock())
+        let mut session = self.control.lock();
+        if session.client.is_none() {
+            if let Some(at) = session.retry_at {
+                if Instant::now() < at {
+                    return Err(ServerError::Io(format!(
+                        "shard {} control backing off after {} failure(s)",
+                        self.id, session.failures
+                    )));
+                }
+            }
+            match Self::dial(self.addr, &self.policy) {
+                Ok(client) => session.client = Some(client),
+                Err(e) => {
+                    session.note_failure(&self.policy);
+                    return Err(e);
+                }
+            }
+        }
+        let client = session.client.as_mut().expect("session connected above");
+        match f(client) {
+            Ok(v) => {
+                session.note_success();
+                Ok(v)
+            }
+            Err(e) => {
+                if matches!(e, ServerError::Io(_)) {
+                    // The stream may hold a half-read response — the
+                    // session is unusable even if the engine recovers.
+                    session.note_failure(&self.policy);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// This engine's typed `STATS` — the placement signal.
@@ -121,6 +253,7 @@ impl ShardEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
 
     #[test]
     fn in_process_engine_boots_and_shuts_down() {
@@ -143,5 +276,102 @@ mod tests {
         remote.shutdown(); // no-op for remote
         inner.control(|c| c.ping()).unwrap();
         inner.shutdown();
+    }
+
+    /// Satellite: a deliberately unresponsive engine (accepts, never
+    /// replies) must cost at most one io_timeout, and subsequent calls
+    /// inside the backoff window must fail fast without re-dialing.
+    #[test]
+    fn unresponsive_engine_times_out_then_backs_off() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Accept and hold connections open without ever responding.
+        let hold = std::thread::spawn(move || {
+            let mut open = Vec::new();
+            for sock in listener.incoming() {
+                match sock {
+                    Ok(s) => open.push(s),
+                    Err(_) => break,
+                }
+            }
+        });
+
+        let policy = ControlPolicy {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_millis(200),
+            backoff_base: Duration::from_millis(300),
+            backoff_max: Duration::from_secs(1),
+        };
+        let e = ShardEngine::connect_remote_with(7, &addr.to_string(), policy).unwrap();
+
+        let t0 = Instant::now();
+        let err = e.control(|c| c.ping()).unwrap_err();
+        assert!(matches!(err, ServerError::Io(_)), "got {err:?}");
+        let first = t0.elapsed();
+        assert!(
+            first >= Duration::from_millis(150) && first < Duration::from_secs(2),
+            "first call should be bounded by io_timeout, took {first:?}"
+        );
+
+        // Inside the backoff window: immediate failure, no new dial.
+        let t1 = Instant::now();
+        let err = e.control(|c| c.ping()).unwrap_err();
+        assert!(matches!(err, ServerError::Io(_)), "got {err:?}");
+        assert!(
+            t1.elapsed() < Duration::from_millis(100),
+            "backoff should fail fast, took {:?}",
+            t1.elapsed()
+        );
+
+        // After the window expires the router re-dials (and times out
+        // again — still bounded, and the window doubles).
+        std::thread::sleep(Duration::from_millis(350));
+        let t2 = Instant::now();
+        assert!(e.control(|c| c.ping()).is_err());
+        assert!(t2.elapsed() < Duration::from_secs(2));
+
+        drop(e);
+        drop(hold); // listener thread exits with the process
+    }
+
+    /// Backoff clears on success: an engine that comes back is adopted
+    /// on the first post-window call.
+    #[test]
+    fn reconnects_after_engine_restart() {
+        let e1 = ShardEngine::spawn_in_process(0, ServerConfig::default()).unwrap();
+        let addr = e1.addr();
+        let remote = ShardEngine::connect_remote_with(
+            3,
+            &addr.to_string(),
+            ControlPolicy {
+                backoff_base: Duration::from_millis(10),
+                backoff_max: Duration::from_millis(50),
+                ..ControlPolicy::default()
+            },
+        )
+        .unwrap();
+        remote.control(|c| c.ping()).unwrap();
+        e1.shutdown();
+        // Session dies; calls fail (possibly a few, while backoff arms).
+        assert!(remote.control(|c| c.ping()).is_err());
+        // Engine comes back on the same port — not guaranteed bindable
+        // on every host, so only assert recovery if the rebind works.
+        if let Ok(server) = dcserver::bind(&addr.to_string(), ServerConfig::default()) {
+            let serve = std::thread::spawn(move || {
+                let _ = server.serve();
+            });
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let mut ok = false;
+            while Instant::now() < deadline {
+                if remote.control(|c| c.ping()).is_ok() {
+                    ok = true;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            assert!(ok, "router should re-adopt a restarted engine");
+            let _ = remote.control(|c| c.shutdown());
+            let _ = serve.join();
+        }
     }
 }

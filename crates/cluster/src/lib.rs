@@ -65,6 +65,7 @@
 pub mod control;
 pub mod engines;
 pub mod relay;
+pub mod repl;
 pub mod router;
 
 pub use control::ClusterControl;

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::io::{BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -36,9 +36,9 @@ use dcserver::session::SessionManager;
 use dcserver::stats::StatsReport;
 use dcserver::ServerConfig;
 use monet::prelude::*;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use crate::engines::{ShardEngine, ShardSpec};
+use crate::engines::{ControlPolicy, ShardEngine, ShardSpec};
 use crate::relay::FrameRelay;
 
 /// How long blocking reads/accepts wait before re-checking the stop flag.
@@ -58,8 +58,21 @@ pub struct ClusterConfig {
     pub data_host: String,
     /// The shard engines, in shard order.
     pub shards: Vec<ShardSpec>,
+    /// Follower engines, one per shard (empty = no replication). An
+    /// in-process follower inherits the engine config with its own
+    /// durability root (`shard-<i>-replica` under the data dir).
+    pub followers: Vec<ShardSpec>,
     /// Configuration for in-process shard engines.
     pub engine: ServerConfig,
+    /// Timeouts + backoff for every router→engine control session.
+    pub control: ControlPolicy,
+    /// How often the replication pump ships segments + WAL tail from
+    /// each primary to its follower.
+    pub repl_interval: Duration,
+    /// Consecutive failed HEALTH polls before a shard with a follower
+    /// is failed over. A single timeout is never enough: transient
+    /// stalls (GC pauses, load spikes) must not trigger promotion.
+    pub failover_misses: u32,
 }
 
 impl Default for ClusterConfig {
@@ -74,8 +87,19 @@ impl ClusterConfig {
         ClusterConfig {
             data_host: "127.0.0.1".into(),
             shards: vec![ShardSpec::InProcess; n],
+            followers: Vec::new(),
             engine: ServerConfig::default(),
+            control: ControlPolicy::default(),
+            repl_interval: Duration::from_millis(200),
+            failover_misses: 3,
         }
+    }
+
+    /// `n` in-process shards, each with an in-process follower.
+    pub fn in_process_replicated(n: usize) -> ClusterConfig {
+        let mut c = ClusterConfig::in_process(n);
+        c.followers = vec![ShardSpec::InProcess; n];
+        c
     }
 }
 
@@ -89,6 +113,64 @@ pub struct StreamEntry {
     pub key: Option<String>,
     /// Engine ids hosting this stream; index = shard index.
     pub engines: Vec<usize>,
+    /// The plain per-shard `CREATE STREAM` DDL (clauses stripped) —
+    /// replayed on a promoted follower: as `REPL OPEN ... AS <ddl>` for
+    /// persistent streams, as-is for non-persistent ones.
+    pub ddl: String,
+    /// Whether each shard keeps this stream on its durable substrate
+    /// (and the replication pump ships it to followers).
+    pub persist: bool,
+}
+
+/// One shard of the cluster: a primary engine, optionally a follower
+/// replica, and the failure-detection bookkeeping that drives
+/// promotion. The primary is behind an `RwLock` because promotion swaps
+/// it while STATS/METRICS fan-outs and ingest accept loops read it.
+pub struct ShardSlot {
+    pub(crate) primary: RwLock<Arc<ShardEngine>>,
+    pub(crate) follower: Mutex<Option<Arc<ShardEngine>>>,
+    /// Consecutive HEALTH polls that failed to reach the primary.
+    pub(crate) health_misses: AtomicU32,
+    /// CAS guard: exactly one thread runs the promotion protocol.
+    pub(crate) failing_over: AtomicBool,
+    /// Set by the replication pump when shipping to the follower has
+    /// stopped making progress — surfaced as a HEALTH reason.
+    repl_stalled: AtomicBool,
+    /// Completed promotions on this shard (mirrors `dc_failover_total`).
+    pub(crate) failovers: AtomicU64,
+}
+
+impl ShardSlot {
+    fn new(primary: ShardEngine, follower: Option<ShardEngine>) -> ShardSlot {
+        ShardSlot {
+            primary: RwLock::new(Arc::new(primary)),
+            follower: Mutex::new(follower.map(Arc::new)),
+            health_misses: AtomicU32::new(0),
+            failing_over: AtomicBool::new(false),
+            repl_stalled: AtomicBool::new(false),
+            failovers: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn primary(&self) -> Arc<ShardEngine> {
+        Arc::clone(&self.primary.read())
+    }
+
+    pub(crate) fn follower(&self) -> Option<Arc<ShardEngine>> {
+        self.follower.lock().clone()
+    }
+
+    pub(crate) fn set_stalled(&self, stalled: bool) {
+        self.repl_stalled.store(stalled, Ordering::Release);
+    }
+
+    pub(crate) fn is_stalled(&self) -> bool {
+        self.repl_stalled.load(Ordering::Acquire)
+    }
+
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Acquire)
+    }
 }
 
 /// One registered continuous query.
@@ -113,8 +195,10 @@ pub struct ClusterReceptorPort {
     /// ingest connections drain until their peers hang up.
     closed: Arc<AtomicBool>,
     /// Shard-side binary receptor ports behind this logical port, so
-    /// DETACH can close them too — `(engine id, shard port)`.
-    shard_ports: Vec<(usize, u16)>,
+    /// DETACH can close them too — `(engine id, shard port)`, in shard
+    /// index order. Behind a mutex: promotion re-points entries at the
+    /// new primary while accept loops resolve them per connection.
+    pub(crate) shard_ports: Mutex<Vec<(usize, u16)>>,
 }
 
 /// A logical emitter port (router side).
@@ -127,8 +211,9 @@ pub struct ClusterEmitterPort {
     /// `DETACH EMITTER` flips this; existing subscribers keep their
     /// streams until the taps see EOF.
     closed: Arc<AtomicBool>,
-    /// Shard-side emitter ports behind this logical port.
-    shard_ports: Vec<(usize, u16)>,
+    /// Shard-side emitter ports behind this logical port (re-pointed by
+    /// promotion, like the receptor's).
+    pub(crate) shard_ports: Mutex<Vec<(usize, u16)>>,
     writers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -144,11 +229,11 @@ pub struct ClusterTracePort {
 
 /// The running cluster: shard engines + router state.
 pub struct ClusterRuntime {
-    config: ClusterConfig,
-    engines: Vec<ShardEngine>,
+    pub(crate) config: ClusterConfig,
+    pub(crate) slots: Vec<ShardSlot>,
     pub sessions: SessionManager,
-    streams: Mutex<HashMap<String, Arc<StreamEntry>>>,
-    queries: Mutex<HashMap<String, Arc<QueryEntry>>>,
+    pub(crate) streams: Mutex<HashMap<String, Arc<StreamEntry>>>,
+    pub(crate) queries: Mutex<HashMap<String, Arc<QueryEntry>>>,
     /// Names whose CREATE fanned out partially before failing, with the
     /// exact DDL and the engine set chosen for that attempt. A retry may
     /// see "duplicate" from engines that already created the object, and
@@ -166,8 +251,8 @@ pub struct ClusterRuntime {
     /// "duplicate" from engines that already registered, and only the
     /// byte-identical SQL makes that tolerable.
     failed_registers: Mutex<HashMap<String, String>>,
-    receptors: Mutex<Vec<Arc<ClusterReceptorPort>>>,
-    emitters: Mutex<Vec<Arc<ClusterEmitterPort>>>,
+    pub(crate) receptors: Mutex<Vec<Arc<ClusterReceptorPort>>>,
+    pub(crate) emitters: Mutex<Vec<Arc<ClusterEmitterPort>>>,
     /// Emitter ports retired by `DETACH EMITTER`: their relays and
     /// subscriber writers still need the shutdown drain/join.
     detached_emitters: Mutex<Vec<Arc<ClusterEmitterPort>>>,
@@ -175,7 +260,10 @@ pub struct ClusterRuntime {
     /// Router-local telemetry (forwarder-queue saturation, router-hop
     /// spans, cluster health gauges); shard engines carry their own
     /// registries, merged by `metrics()`.
-    telemetry: dctrace::Telemetry,
+    pub(crate) telemetry: dctrace::Telemetry,
+    /// Replication pump bookkeeping (per stream × shard cursors and
+    /// stall tracking) — see `crate::repl`.
+    pub(crate) repl: Mutex<crate::repl::ReplState>,
     /// Bounded ring of periodic cluster-wide `METRICS` snapshots
     /// (`METRICS HISTORY`, windowed gauges). Populated by the router's
     /// snapshotter thread; empty when telemetry is disabled.
@@ -185,7 +273,7 @@ pub struct ClusterRuntime {
     ingress_threads: Mutex<Vec<JoinHandle<()>>>,
     /// Emitter accept loops + shard taps (joined after the engines shut
     /// down, so final results drain through the relays).
-    egress_threads: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) egress_threads: Mutex<Vec<JoinHandle<()>>>,
     stop: Arc<AtomicBool>,
     /// Set only AFTER the shard engines shut down (and thus flushed
     /// their final results): shard taps must not stop on the earlier
@@ -202,22 +290,39 @@ impl ClusterRuntime {
                 "cluster needs at least one shard engine".into(),
             ));
         }
-        let engines = config
+        if !config.followers.is_empty() && config.followers.len() != config.shards.len() {
+            return Err(ServerError::Protocol(format!(
+                "cluster has {} shards but {} followers — give every shard \
+                 a follower or none",
+                config.shards.len(),
+                config.followers.len()
+            )));
+        }
+        let spawn = |i: usize, spec: &ShardSpec, suffix: &str| match spec {
+            ShardSpec::InProcess => {
+                // every in-process engine gets its own durability root:
+                // persistent streams on different shards (and a shard's
+                // primary vs its follower) must never share a WAL or
+                // manifest
+                let mut engine_config = config.engine.clone();
+                if let Some(root) = &engine_config.data_dir {
+                    engine_config.data_dir = Some(root.join(format!("shard-{i}{suffix}")));
+                }
+                ShardEngine::spawn_in_process_with(i, engine_config, config.control)
+            }
+            ShardSpec::Remote(addr) => ShardEngine::connect_remote_with(i, addr, config.control),
+        };
+        let slots = config
             .shards
             .iter()
             .enumerate()
-            .map(|(i, spec)| match spec {
-                ShardSpec::InProcess => {
-                    // every in-process shard gets its own durability root:
-                    // persistent streams on different shards must never
-                    // share a WAL or manifest
-                    let mut engine_config = config.engine.clone();
-                    if let Some(root) = &engine_config.data_dir {
-                        engine_config.data_dir = Some(root.join(format!("shard-{i}")));
-                    }
-                    ShardEngine::spawn_in_process(i, engine_config)
-                }
-                ShardSpec::Remote(addr) => ShardEngine::connect_remote(i, addr),
+            .map(|(i, spec)| {
+                let primary = spawn(i, spec, "")?;
+                let follower = match config.followers.get(i) {
+                    Some(fspec) => Some(spawn(i, fspec, "-replica")?),
+                    None => None,
+                };
+                Ok(ShardSlot::new(primary, follower))
             })
             .collect::<Result<Vec<_>>>()?;
         let telemetry = if config.engine.telemetry_enabled {
@@ -228,11 +333,13 @@ impl ClusterRuntime {
             dctrace::Telemetry::disabled()
         };
         let history = Arc::new(dctrace::MetricsHistory::new(config.engine.metrics_depth));
+        let has_followers = slots.iter().any(|s| s.follower.lock().is_some());
         let rt = Arc::new(ClusterRuntime {
             config,
-            engines,
+            slots,
             telemetry,
             history,
+            repl: Mutex::new(crate::repl::ReplState::default()),
             sessions: SessionManager::new(),
             streams: Mutex::new(HashMap::new()),
             queries: Mutex::new(HashMap::new()),
@@ -252,7 +359,35 @@ impl ClusterRuntime {
         if rt.telemetry.is_enabled() {
             rt.spawn_snapshotter();
         }
+        if has_followers {
+            rt.spawn_repl_pump();
+        }
         Ok(rt)
+    }
+
+    /// Background replication pump: every `repl_interval`, ship sealed
+    /// segments + the WAL tail of every persistent stream from each
+    /// shard's primary to its follower.
+    fn spawn_repl_pump(self: &Arc<Self>) {
+        let rt = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("dcc-repl".into())
+            .spawn(move || {
+                let interval = rt.config.repl_interval;
+                while !rt.is_stopping() {
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !rt.is_stopping() {
+                        std::thread::sleep(POLL_INTERVAL.min(interval));
+                        slept += POLL_INTERVAL.min(interval);
+                    }
+                    if rt.is_stopping() {
+                        break;
+                    }
+                    rt.pump_replication_now();
+                }
+            })
+            .expect("spawn cluster replication pump");
+        self.ingress_threads.lock().push(handle);
     }
 
     /// Background metrics snapshotter (the router-side twin of the
@@ -286,7 +421,7 @@ impl ClusterRuntime {
     /// refresh the per-shard health gauges. Public so tests (and
     /// operators via scripts) can force a tick instead of waiting out
     /// `metrics_interval`.
-    pub fn capture_metrics_now(&self) {
+    pub fn capture_metrics_now(self: &Arc<Self>) {
         if !self.telemetry.is_enabled() {
             return;
         }
@@ -308,7 +443,19 @@ impl ClusterRuntime {
     }
 
     pub fn engine_count(&self) -> usize {
-        self.engines.len()
+        self.slots.len()
+    }
+
+    /// Current primary engine of shard `eid`. The handle stays valid
+    /// across a promotion (control calls just start failing once the
+    /// engine is dead) — resolve per operation, not per port lifetime.
+    pub(crate) fn engine(&self, eid: usize) -> Arc<ShardEngine> {
+        self.slots[eid].primary()
+    }
+
+    /// Current primaries, in shard order.
+    fn primaries(&self) -> Vec<Arc<ShardEngine>> {
+        self.slots.iter().map(|s| s.primary()).collect()
     }
 
     pub fn is_stopping(&self) -> bool {
@@ -335,12 +482,16 @@ impl ClusterRuntime {
     /// placement policy. Engines whose STATS cannot be read sort last.
     fn least_loaded(&self, n: usize) -> Vec<usize> {
         let mut loads: Vec<(u64, usize)> = self
-            .engines
+            .slots
             .iter()
-            .map(|e| {
+            .enumerate()
+            .map(|(eid, s)| {
                 (
-                    e.stats().map(|s| s.ingest_load()).unwrap_or(u64::MAX),
-                    e.id(),
+                    s.primary()
+                        .stats()
+                        .map(|s| s.ingest_load())
+                        .unwrap_or(u64::MAX),
+                    eid,
                 )
             })
             .collect();
@@ -365,8 +516,30 @@ impl ClusterRuntime {
                 self.create_stream_entry(sql, &name, schema, None, Some(1), false)
             }
             CreateKind::Table | CreateKind::Basket => {
-                let all: Vec<usize> = self.engines.iter().map(|e| e.id()).collect();
+                let all: Vec<usize> = (0..self.slots.len()).collect();
                 self.forward_create(&name, sql, sql, &all)?;
+                // reference data must also resolve on a promoted
+                // follower: best-effort fan-out, duplicates tolerated
+                // (a follower that already has it from an earlier
+                // attempt), hard failures mark the shard stalled so
+                // the gap is visible before any promotion relies on it
+                for (eid, slot) in self.slots.iter().enumerate() {
+                    let Some(f) = slot.follower() else { continue };
+                    match f.control(|c| c.request(sql)) {
+                        Ok(_) => {}
+                        Err(e) if e.to_string().contains("duplicate") => {}
+                        Err(_) => {
+                            slot.set_stalled(true);
+                            if let Some(rec) = self.telemetry.recorder() {
+                                rec.record(
+                                    "replication",
+                                    None,
+                                    format!("shard={eid} follower missed DDL {name}"),
+                                );
+                            }
+                        }
+                    }
+                }
                 Ok(Vec::new())
             }
         }
@@ -402,7 +575,7 @@ impl ClusterRuntime {
         let retrying = self.recorded_create(name, signature).is_some();
         let mut any_created = false;
         for &eid in engines {
-            match self.engines[eid].control(|c| c.request(ddl)) {
+            match self.engine(eid).control(|c| c.request(ddl)) {
                 Ok(_) => any_created = true,
                 Err(e) if retrying && e.to_string().contains("duplicate") => {}
                 Err(e) => {
@@ -463,11 +636,11 @@ impl ClusterRuntime {
         shards: Option<usize>,
         persist: bool,
     ) -> Result<Vec<String>> {
-        let n = shards.unwrap_or(self.engines.len());
-        if n == 0 || n > self.engines.len() {
+        let n = shards.unwrap_or(self.slots.len());
+        if n == 0 || n > self.slots.len() {
             return Err(ServerError::Protocol(format!(
                 "SHARDS {n} out of range (cluster has {} engines)",
-                self.engines.len()
+                self.slots.len()
             )));
         }
         let partitioner = match key {
@@ -519,6 +692,8 @@ impl ClusterRuntime {
                 partitioner,
                 key: key.map(str::to_string),
                 engines: engines.clone(),
+                ddl: ddl.to_string(),
+                persist,
             });
             self.streams.lock().insert(stream.to_string(), entry);
             let engine_list: Vec<String> = engines.iter().map(usize::to_string).collect();
@@ -572,7 +747,7 @@ impl ClusterRuntime {
             ));
         }
         let mut first: Option<Vec<String>> = None;
-        for e in &self.engines {
+        for e in self.primaries() {
             let body = e.control(|c| c.exec(sql))?;
             if first.is_none() {
                 first = Some(body);
@@ -598,10 +773,11 @@ impl ClusterRuntime {
         let mut skipped: Vec<(usize, String)> = Vec::new();
         let mut kind = String::new();
         let mut first_err = None;
-        for e in &self.engines {
+        for (eid, slot) in self.slots.iter().enumerate() {
+            let e = slot.primary();
             match e.control(|c| c.request(&format!("REGISTER QUERY {name} AS {sql}"))) {
                 Ok(body) => {
-                    engines.push(e.id());
+                    engines.push(eid);
                     if kind.is_empty() {
                         kind = body
                             .first()
@@ -618,7 +794,7 @@ impl ClusterRuntime {
                         // elsewhere) — the query has no results there.
                         // Recorded so partial success is visible in the
                         // response instead of silently narrowing fan-out
-                        skipped.push((e.id(), msg.replace(['\n', '\r'], " ")));
+                        skipped.push((eid, msg.replace(['\n', '\r'], " ")));
                         if first_err.is_none() {
                             first_err = Some(err);
                         }
@@ -627,7 +803,7 @@ impl ClusterRuntime {
                         // registered it here — count the engine. A
                         // changed-SQL retry is NOT tolerated: it would
                         // merge two different queries under one name.
-                        engines.push(e.id());
+                        engines.push(eid);
                     } else {
                         // ANY other failure (socket error, engine fault)
                         // must abort: tolerating it would silently drop
@@ -690,7 +866,7 @@ impl ClusterRuntime {
             .ok_or_else(|| ServerError::Unknown(format!("stream {stream}")))?;
         let mut sealed = 0u64;
         for &eid in &entry.engines {
-            sealed += self.engines[eid].control(|c| c.flush_stream(stream))?;
+            sealed += self.engine(eid).control(|c| c.flush_stream(stream))?;
         }
         Ok(sealed)
     }
@@ -699,7 +875,7 @@ impl ClusterRuntime {
     /// (same binary, same compiler), so forward to the first one.
     pub fn explain_sql(&self, sql: &str) -> Result<Vec<String>> {
         self.ensure_running()?;
-        self.engines[0].control(|c| c.explain(sql))
+        self.engine(0).control(|c| c.explain(sql))
     }
 
     /// `EXPLAIN QUERY <name>`: forward to an engine hosting the query
@@ -713,7 +889,7 @@ impl ClusterRuntime {
                 .ok_or_else(|| ServerError::Unknown(format!("query {name}")))?;
             *q.engines.first().expect("registered queries resolve somewhere")
         };
-        self.engines[eid].control(|c| c.explain_query(name))
+        self.engine(eid).control(|c| c.explain_query(name))
     }
 
     // ---- ingest: one logical receptor port ------------------------------
@@ -744,22 +920,18 @@ impl ClusterRuntime {
         // attached — no engine-side port outlives a failed ATTACH
         let mut shard_ports: Vec<(usize, u16)> = Vec::with_capacity(entry.engines.len());
         for &eid in &entry.engines {
-            match self.engines[eid]
+            match self.engine(eid)
                 .control(|c| c.attach_receptor_fmt(stream, 0, WireFormat::Binary))
             {
                 Ok(p) => shard_ports.push((eid, p)),
                 Err(e) => {
                     for &(peid, pp) in &shard_ports {
-                        let _ = self.engines[peid].control(|c| c.detach_receptor(stream, pp));
+                        let _ = self.engine(peid).control(|c| c.detach_receptor(stream, pp));
                     }
                     return Err(e);
                 }
             }
         }
-        let shard_addrs: Vec<_> = shard_ports
-            .iter()
-            .map(|&(eid, p)| self.engines[eid].data_addr(p))
-            .collect();
         let rport = Arc::new(ClusterReceptorPort {
             stream: stream.to_string(),
             port: bound,
@@ -768,7 +940,7 @@ impl ClusterRuntime {
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             closed: Arc::new(AtomicBool::new(false)),
-            shard_ports,
+            shard_ports: Mutex::new(shard_ports),
         });
         self.receptors.lock().push(Arc::clone(&rport));
 
@@ -785,7 +957,16 @@ impl ClusterRuntime {
                             let rt2 = Arc::clone(&rt);
                             let port2 = Arc::clone(&accept_port);
                             let entry2 = Arc::clone(&entry);
-                            let addrs = shard_addrs.clone();
+                            // resolve shard addresses per connection, not
+                            // per port: promotion re-points shard_ports at
+                            // the new primary, and connections accepted
+                            // afterwards must ingest there
+                            let addrs: Vec<_> = accept_port
+                                .shard_ports
+                                .lock()
+                                .iter()
+                                .map(|&(eid, p)| rt.engine(eid).data_addr(p))
+                                .collect();
                             conns.retain(|t| !t.is_finished());
                             conns.push(
                                 std::thread::Builder::new()
@@ -843,17 +1024,18 @@ impl ClusterRuntime {
         let mut shard_ports: Vec<(usize, u16)> = Vec::with_capacity(entry.engines.len());
         let mut shard_socks = Vec::with_capacity(entry.engines.len());
         for &eid in &entry.engines {
-            let attempt = self.engines[eid]
+            let engine = self.engine(eid);
+            let attempt = engine
                 .control(|c| c.attach_emitter_fmt(query, 0, format))
                 .and_then(|p| {
                     shard_ports.push((eid, p));
-                    Ok(TcpStream::connect(self.engines[eid].data_addr(p))?)
+                    Ok(TcpStream::connect(engine.data_addr(p))?)
                 });
             match attempt {
                 Ok(sock) => shard_socks.push((eid, sock)),
                 Err(e) => {
                     for &(peid, pp) in &shard_ports {
-                        let _ = self.engines[peid].control(|c| c.detach_emitter(query, pp));
+                        let _ = self.engine(peid).control(|c| c.detach_emitter(query, pp));
                     }
                     return Err(e);
                 }
@@ -875,7 +1057,7 @@ impl ClusterRuntime {
             connections: AtomicU64::new(0),
             relay,
             closed: Arc::new(AtomicBool::new(false)),
-            shard_ports,
+            shard_ports: Mutex::new(shard_ports),
             writers: Mutex::new(Vec::new()),
         });
         self.emitters.lock().push(Arc::clone(&eport));
@@ -930,8 +1112,8 @@ impl ClusterRuntime {
         };
         rport.closed.store(true, Ordering::Release);
         let mut detached = 0usize;
-        for &(eid, p) in &rport.shard_ports {
-            if self.engines[eid]
+        for (eid, p) in rport.shard_ports.lock().clone() {
+            if self.engine(eid)
                 .control(|c| c.detach_receptor(stream, p))
                 .is_ok()
             {
@@ -960,8 +1142,8 @@ impl ClusterRuntime {
         };
         eport.closed.store(true, Ordering::Release);
         let mut detached = 0usize;
-        for &(eid, p) in &eport.shard_ports {
-            if self.engines[eid]
+        for (eid, p) in eport.shard_ports.lock().clone() {
+            if self.engine(eid)
                 .control(|c| c.detach_emitter(query, p))
                 .is_ok()
             {
@@ -991,13 +1173,13 @@ impl ClusterRuntime {
         }
         let mut sources: Vec<Vec<String>> = Vec::new();
         let mut up: Vec<(usize, bool)> = Vec::new();
-        for e in &self.engines {
-            match e.control(|c| c.metrics()) {
+        for (eid, slot) in self.slots.iter().enumerate() {
+            match slot.primary().control(|c| c.metrics()) {
                 Ok(m) => {
                     sources.push(m.into_iter().filter(|l| !is_derived_gauge(l)).collect());
-                    up.push((e.id(), true));
+                    up.push((eid, true));
                 }
-                Err(_) => up.push((e.id(), false)),
+                Err(_) => up.push((eid, false)),
             }
         }
         sources.push(self.telemetry.render());
@@ -1017,12 +1199,11 @@ impl ClusterRuntime {
     /// (prefixed `shard=router`).
     pub fn trace_dump(&self, query: Option<&str>) -> Result<Vec<String>> {
         let mut body = Vec::new();
-        for e in &self.engines {
-            let lines = e.control(|c| match query {
+        for (id, slot) in self.slots.iter().enumerate() {
+            let lines = slot.primary().control(|c| match query {
                 Some(q) => c.trace_dump_query(q),
                 None => c.trace_dump(),
             })?;
-            let id = e.id();
             body.extend(lines.into_iter().map(|l| format!("shard={id} {l}")));
         }
         if let Some(rec) = self.telemetry.recorder() {
@@ -1061,9 +1242,9 @@ impl ClusterRuntime {
         if let Some(rec) = self.telemetry.recorder() {
             merge_span_lines(&mut add, "router", &dctrace::render_spans(&rec.events(), batch));
         }
-        for e in &self.engines {
-            let lines = e.control(|c| c.trace_spans(batch))?;
-            merge_span_lines(&mut add, &e.id().to_string(), &lines);
+        for (eid, slot) in self.slots.iter().enumerate() {
+            let lines = slot.primary().control(|c| c.trace_spans(batch))?;
+            merge_span_lines(&mut add, &eid.to_string(), &lines);
         }
         let mut out = Vec::new();
         for (id, lines) in groups {
@@ -1078,22 +1259,43 @@ impl ClusterRuntime {
     /// `dc_health_score{shard}` plus per-reason `dc_health_degraded`
     /// gauges. Returns one `shard <id> addr=<a> score=<s>
     /// reasons=<csv|->` line per engine — the `HEALTH` response body.
-    fn poll_shard_health(&self) -> Vec<String> {
-        const REASONS: [&str; 5] = [
+    ///
+    /// This poll is also the failure detector: `failover_misses`
+    /// consecutive unreachable polls on a shard with a follower trigger
+    /// [`ClusterRuntime::promote_shard`].
+    fn poll_shard_health(self: &Arc<Self>) -> Vec<String> {
+        const REASONS: [&str; 6] = [
             "unreachable",
             "ingest_stalled",
             "reexecute_rate",
             "forward_saturation",
             "wal_fsync_slow",
+            "replication_stalled",
         ];
         let mut body = Vec::new();
-        for e in &self.engines {
-            let (score, reasons) = match e.control(|c| c.health()) {
+        for (id, slot) in self.slots.iter().enumerate() {
+            let polled = slot.primary().control(|c| c.health());
+            let reachable = polled.is_ok();
+            let (score, mut reasons) = match polled {
                 Ok(lines) => dctrace::HealthReport::parse_head(&lines)
                     .unwrap_or((100, "-".to_string())),
                 Err(_) => (0, "unreachable".to_string()),
             };
-            let id = e.id();
+            if reachable {
+                slot.health_misses.store(0, Ordering::Release);
+            } else {
+                let misses = slot.health_misses.fetch_add(1, Ordering::AcqRel) + 1;
+                if misses >= self.config.failover_misses && slot.follower().is_some() {
+                    self.promote_shard(id);
+                }
+            }
+            if slot.is_stalled() {
+                if reasons == "-" {
+                    reasons = "replication_stalled".to_string();
+                } else {
+                    reasons.push_str(",replication_stalled");
+                }
+            }
             let shard_label = id.to_string();
             self.telemetry
                 .set_gauge("dc_health_score", &[("shard", &shard_label)], score as f64);
@@ -1107,7 +1309,7 @@ impl ClusterRuntime {
             }
             body.push(format!(
                 "shard {id} addr={} score={score} reasons={reasons}",
-                e.addr()
+                slot.primary().addr()
             ));
         }
         body
@@ -1116,7 +1318,7 @@ impl ClusterRuntime {
     /// `HEALTH` on the router: one freshly-polled line per shard (the
     /// gauges refresh as a side effect, so scraping `HEALTH` and
     /// `METRICS` stays consistent).
-    pub fn health(&self) -> Result<Vec<String>> {
+    pub fn health(self: &Arc<Self>) -> Result<Vec<String>> {
         Ok(self.poll_shard_health())
     }
 
@@ -1140,8 +1342,9 @@ impl ClusterRuntime {
         let relay = FrameRelay::new();
         let mut shard_socks = Vec::with_capacity(entry.engines.len());
         for &eid in &entry.engines {
-            let p = self.engines[eid].control(|c| c.trace_on(query))?;
-            shard_socks.push((eid, TcpStream::connect(self.engines[eid].data_addr(p))?));
+            let engine = self.engine(eid);
+            let p = engine.control(|c| c.trace_on(query))?;
+            shard_socks.push((eid, TcpStream::connect(engine.data_addr(p))?));
         }
         for (eid, sock) in shard_socks {
             let rt = Arc::clone(self);
@@ -1203,7 +1406,7 @@ impl ClusterRuntime {
             .ok_or_else(|| ServerError::Unknown(format!("query {query}")))?;
         let mut closed = 0usize;
         for &eid in &entry.engines {
-            if self.engines[eid].control(|c| c.trace_off(query)).is_ok() {
+            if self.engine(eid).control(|c| c.trace_off(query)).is_ok() {
                 closed += 1;
             }
         }
@@ -1223,8 +1426,9 @@ impl ClusterRuntime {
     /// with per-stream/per-query metrics **summed across shards**, plus
     /// one `shard` summary line per engine.
     pub fn stats(&self) -> Vec<String> {
+        let primaries = self.primaries();
         let reports: Vec<Option<StatsReport>> =
-            self.engines.iter().map(|e| e.stats().ok()).collect();
+            primaries.iter().map(|e| e.stats().ok()).collect();
         let streams = self.streams.lock();
         let queries = self.queries.lock();
         let receptors = self.receptors.lock();
@@ -1238,7 +1442,7 @@ impl ClusterRuntime {
             queries.len(),
             receptors.len(),
             emitters.len(),
-            self.engines.len(),
+            self.slots.len(),
             streams.len(),
         ));
         let mut stream_names: Vec<&String> = streams.keys().collect();
@@ -1382,17 +1586,25 @@ impl ClusterRuntime {
             ));
         }
         for (eid, report) in reports.iter().enumerate() {
+            let slot = &self.slots[eid];
+            let follower = slot
+                .follower()
+                .map(|f| f.addr().to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let failovers = slot.failovers();
             match report {
                 Some(r) => body.push(format!(
-                    "shard {eid} addr={} baskets_in={} delivered_tuples={} sessions={}",
-                    self.engines[eid].addr(),
+                    "shard {eid} addr={} baskets_in={} delivered_tuples={} sessions={} \
+                     follower={follower} failovers={failovers}",
+                    primaries[eid].addr(),
                     r.ingest_load(),
                     r.delivered_tuples(),
                     r.server.sessions,
                 )),
                 None => body.push(format!(
-                    "shard {eid} addr={} unreachable=true",
-                    self.engines[eid].addr()
+                    "shard {eid} addr={} unreachable=true follower={follower} \
+                     failovers={failovers}",
+                    primaries[eid].addr()
                 )),
             }
         }
@@ -1420,9 +1632,16 @@ impl ClusterRuntime {
             let _ = t.join();
         }
         // 2. in-process shard engines shut down gracefully (factories
-        //    drain, final results flush, emitter sockets close)
-        for e in &self.engines {
-            e.shutdown();
+        //    drain, final results flush, emitter sockets close);
+        //    followers after primaries, so the last pump tick's writes
+        //    are already on the follower's disk
+        for slot in &self.slots {
+            slot.primary().shutdown();
+        }
+        for slot in &self.slots {
+            if let Some(f) = slot.follower() {
+                f.shutdown();
+            }
         }
         // 3. shard taps see EOF and publish their final chunks (the
         //    drain flag releases taps on remote engines that never
@@ -1967,7 +2186,12 @@ fn ingest_binary_passthrough(
 
 /// Read one shard's result stream and publish complete frames (binary)
 /// or complete lines (text) into the relay, byte-for-byte.
-fn shard_tap(rt: &ClusterRuntime, relay: &Arc<FrameRelay>, mut sock: TcpStream, format: WireFormat) {
+pub(crate) fn shard_tap(
+    rt: &ClusterRuntime,
+    relay: &Arc<FrameRelay>,
+    mut sock: TcpStream,
+    format: WireFormat,
+) {
     let _ = sock.set_read_timeout(Some(POLL_INTERVAL));
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 64 * 1024];

@@ -96,6 +96,21 @@ impl Client {
         })
     }
 
+    /// Connect with a bounded connect timeout. The cluster router uses
+    /// this on its engine control sessions so a dead or unresponsive
+    /// host fails the connect in bounded time instead of hanging the
+    /// caller on the OS default.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        let server = stream.peer_addr()?;
+        let write_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            server,
+        })
+    }
+
     /// The server's control-plane address.
     pub fn server_addr(&self) -> SocketAddr {
         self.server
@@ -322,6 +337,89 @@ impl Client {
         EmitterTap::connect((self.server.ip(), port))
     }
 
+    // ---- replication (REPL verbs; the cluster router's channel) ---------
+
+    /// `REPL OPEN <stream> AS <ddl>` — open a stream in replica mode on
+    /// a follower engine.
+    pub fn repl_open(&mut self, stream: &str, ddl: &str) -> Result<()> {
+        self.request(&format!("REPL OPEN {stream} AS {ddl}")).map(|_| ())
+    }
+
+    /// `REPL STATUS <stream>` — the follower's durable catch-up cursor.
+    pub fn repl_status(&mut self, stream: &str) -> Result<ReplStatus> {
+        let body = self.request(&format!("REPL STATUS {stream}"))?;
+        let line = body.first().map(String::as_str).unwrap_or("");
+        let bad = || ServerError::Protocol(format!("malformed REPL STATUS response {body:?}"));
+        Ok(ReplStatus {
+            epoch: kv_num(line, "epoch").ok_or_else(bad)?,
+            wal_bytes: kv_num(line, "wal_bytes").ok_or_else(bad)?,
+            segments: kv_num(line, "segments").ok_or_else(bad)? as usize,
+        })
+    }
+
+    /// `REPL EXPORT` — ask a primary for everything past the follower's
+    /// `(segs, epoch, offset)` cursor.
+    pub fn repl_export(
+        &mut self,
+        stream: &str,
+        segs: usize,
+        epoch: u64,
+        offset: u64,
+    ) -> Result<ReplExport> {
+        let body = self.request(&format!(
+            "REPL EXPORT {stream} SEGS {segs} EPOCH {epoch} OFFSET {offset}"
+        ))?;
+        let bad = |what: &str| ServerError::Protocol(format!("malformed REPL EXPORT {what}"));
+        let head = body.first().map(String::as_str).unwrap_or("");
+        let mut export = ReplExport {
+            epoch: kv_num(head, "epoch").ok_or_else(|| bad("head"))?,
+            wal_bytes: kv_num(head, "wal_bytes").ok_or_else(|| bad("head"))?,
+            pending_rows: kv_num(head, "pending_rows").ok_or_else(|| bad("head"))?,
+            segments: Vec::new(),
+            wal_from: 0,
+            wal_data: Vec::new(),
+        };
+        for line in &body[1..] {
+            if let Some(rest) = line.strip_prefix("segment ") {
+                let file = kv(rest, "file").ok_or_else(|| bad("segment line"))?;
+                let rows = kv_num(rest, "rows").ok_or_else(|| bad("segment line"))?;
+                let hex = kv(rest, "hex").ok_or_else(|| bad("segment line"))?;
+                export
+                    .segments
+                    .push((file.to_string(), rows, dcstore::hex_decode(hex)?));
+            } else if let Some(rest) = line.strip_prefix("wal ") {
+                export.wal_from = kv_num(rest, "from").ok_or_else(|| bad("wal line"))?;
+                export.wal_data = dcstore::hex_decode(kv(rest, "hex").unwrap_or(""))?;
+            }
+        }
+        Ok(export)
+    }
+
+    /// `REPL SEGMENT` — land one shipped segment on a follower.
+    pub fn repl_segment(&mut self, stream: &str, file: &str, rows: u64, data: &[u8]) -> Result<()> {
+        self.request(&format!(
+            "REPL SEGMENT {stream} {file} {rows} {}",
+            dcstore::hex_encode(data)
+        ))
+        .map(|_| ())
+    }
+
+    /// `REPL WAL` — append one shipped WAL chunk on a follower.
+    pub fn repl_wal(&mut self, stream: &str, epoch: u64, from: u64, data: &[u8]) -> Result<()> {
+        self.request(&format!(
+            "REPL WAL {stream} EPOCH {epoch} FROM {from} {}",
+            dcstore::hex_encode(data)
+        ))
+        .map(|_| ())
+    }
+
+    /// `REPL PROMOTE` — make the follower replay its replica streams
+    /// into live baskets and become a primary. Returns the replay
+    /// report line(s).
+    pub fn repl_promote(&mut self) -> Result<Vec<String>> {
+        self.request("REPL PROMOTE")
+    }
+
     /// Gracefully stop the server.
     pub fn shutdown(&mut self) -> Result<()> {
         self.request("SHUTDOWN").map(|_| ())
@@ -442,6 +540,38 @@ fn parse_port(body: &[String]) -> Result<u16> {
         .and_then(|l| l.strip_prefix("port="))
         .and_then(|p| p.parse().ok())
         .ok_or_else(|| ServerError::Protocol(format!("malformed port response {body:?}")))
+}
+
+/// A follower's durable catch-up cursor, from `REPL STATUS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplStatus {
+    pub epoch: u64,
+    pub wal_bytes: u64,
+    pub segments: usize,
+}
+
+/// One `REPL EXPORT` response: sealed segments past the follower's
+/// cursor plus a bounded WAL tail chunk. `pending_rows` counts rows in
+/// WAL records beyond this chunk (replication lag still to ship).
+#[derive(Debug, Clone, Default)]
+pub struct ReplExport {
+    pub epoch: u64,
+    pub wal_bytes: u64,
+    pub pending_rows: u64,
+    /// `(file, rows, bytes)` per shipped segment.
+    pub segments: Vec<(String, u64, Vec<u8>)>,
+    pub wal_from: u64,
+    pub wal_data: Vec<u8>,
+}
+
+/// Find `key=value` in a space-separated response line.
+fn kv<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+}
+
+fn kv_num(line: &str, key: &str) -> Option<u64> {
+    kv(line, key).and_then(|v| v.parse().ok())
 }
 
 /// Data-plane writer: pushes tuple batches into a receptor port.

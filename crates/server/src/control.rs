@@ -254,6 +254,39 @@ fn dispatch(rt: &Arc<ServerRuntime>, request: &str) -> (Response, bool) {
                 }
             }
         }
+        Command::ReplOpen { stream, ddl } => match rt.repl_open(&stream, &ddl) {
+            Ok(()) => (Response::one(format!("stream={stream} replica=true")), false),
+            Err(e) => (Response::Err(e.to_string()), false),
+        },
+        Command::ReplStatus { stream } => (result_response(rt.repl_status(&stream)), false),
+        Command::ReplExport {
+            stream,
+            segs,
+            epoch,
+            offset,
+        } => (
+            result_response(rt.repl_export(&stream, segs, epoch, offset)),
+            false,
+        ),
+        Command::ReplSegment {
+            stream,
+            file,
+            rows,
+            hex,
+        } => match rt.repl_segment(&stream, &file, rows, &hex) {
+            Ok(()) => (Response::one(format!("segment={file} applied=true")), false),
+            Err(e) => (Response::Err(e.to_string()), false),
+        },
+        Command::ReplWal {
+            stream,
+            epoch,
+            from,
+            hex,
+        } => match rt.repl_wal(&stream, epoch, from, &hex) {
+            Ok(()) => (Response::one(format!("stream={stream} wal_applied=true")), false),
+            Err(e) => (Response::Err(e.to_string()), false),
+        },
+        Command::ReplPromote => (result_response(rt.repl_promote()), false),
         Command::Quit => (Response::ok(), true),
         Command::Shutdown => {
             rt.request_shutdown();

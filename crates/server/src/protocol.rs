@@ -26,6 +26,13 @@
 //! TRACE SPANS [BATCH <id>]                      -- per-batch span trees
 //! TRACE QUERY <name> ON|OFF                     -- live trace stream (emitter-style port)
 //! HEALTH                                        -- windowed health score + signals
+//! REPL OPEN <stream> AS <CREATE STREAM ddl>     -- open a stream in replica mode (follower)
+//! REPL STATUS <stream>                          -- a stream's durable catch-up cursor
+//! REPL EXPORT <stream> SEGS <k> EPOCH <e> OFFSET <o>
+//!                                               -- primary: durable state past the cursor
+//! REPL SEGMENT <stream> <file> <rows> <hex>     -- follower: land one shipped segment
+//! REPL WAL <stream> EPOCH <e> FROM <o> [<hex>]  -- follower: append one shipped WAL chunk
+//! REPL PROMOTE                                  -- follower becomes a primary (replay + attach)
 //! QUIT
 //! SHUTDOWN
 //! ```
@@ -150,6 +157,44 @@ pub enum Command {
     /// `TRACE QUERY <name> ON|OFF` — start (reply carries `port=N`) or
     /// stop streaming that query's trace events live.
     TraceStream { query: String, on: bool },
+    /// `REPL OPEN <stream> AS <ddl>` — open a durable stream in replica
+    /// mode: manifest entry + directory, no live basket. Idempotent for
+    /// an identical schema. Requires `--data-dir`.
+    ReplOpen { stream: String, ddl: String },
+    /// `REPL STATUS <stream>` — the stream's durable cursor
+    /// (`epoch= wal_bytes= segments=`), the position a primary resumes
+    /// shipping from.
+    ReplStatus { stream: String },
+    /// `REPL EXPORT <stream> SEGS <k> EPOCH <e> OFFSET <o>` — primary
+    /// side of one replication round: segments past index `k` plus a
+    /// WAL chunk from `(e, o)`, hex-encoded.
+    ReplExport {
+        stream: String,
+        segs: usize,
+        epoch: u64,
+        offset: u64,
+    },
+    /// `REPL SEGMENT <stream> <file> <rows> <hex>` — follower: land one
+    /// shipped segment file durably.
+    ReplSegment {
+        stream: String,
+        file: String,
+        rows: u64,
+        hex: String,
+    },
+    /// `REPL WAL <stream> EPOCH <e> FROM <o> [<hex>]` — follower: append
+    /// one shipped WAL chunk (empty chunk = pure epoch adoption after a
+    /// primary seal).
+    ReplWal {
+        stream: String,
+        epoch: u64,
+        from: u64,
+        hex: String,
+    },
+    /// `REPL PROMOTE` — replay every replica stream's WAL tail into a
+    /// live basket and attach persistence: the follower becomes a
+    /// primary.
+    ReplPromote,
     /// Close this control session (the server keeps running).
     Quit,
     /// Stop the whole server gracefully.
@@ -172,6 +217,17 @@ fn expect_kw<'a>(input: &'a str, kw: &str) -> Result<&'a str, String> {
     } else {
         Err(format!("expected {kw}, got {word:?}"))
     }
+}
+
+/// Parse one whitespace-delimited number off `input`.
+fn parse_num<'a, T: std::str::FromStr>(
+    input: &'a str,
+    what: &str,
+) -> Result<(T, &'a str), String> {
+    let (word, rest) = take_word(input);
+    word.parse()
+        .map(|n| (n, rest))
+        .map_err(|_| format!("invalid {what} {word:?}"))
 }
 
 fn parse_name(input: &str) -> Result<(String, &str), String> {
@@ -386,6 +442,96 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                     Ok(Command::TraceStream { query: name, on })
                 }
                 other => Err(format!("TRACE {other} is not supported")),
+            }
+        }
+        "REPL" => {
+            let (sub, tail) = take_word(rest);
+            match sub.to_ascii_uppercase().as_str() {
+                "OPEN" => {
+                    let (stream, tail) = parse_name(tail)?;
+                    let ddl = expect_kw(tail, "AS")?;
+                    if ddl.is_empty() {
+                        return Err("REPL OPEN requires DDL after AS".into());
+                    }
+                    Ok(Command::ReplOpen {
+                        stream,
+                        ddl: ddl.to_string(),
+                    })
+                }
+                "STATUS" => {
+                    let (stream, trailing) = parse_name(tail)?;
+                    if !trailing.is_empty() {
+                        return Err(format!("unexpected trailing input {trailing:?}"));
+                    }
+                    Ok(Command::ReplStatus { stream })
+                }
+                "EXPORT" => {
+                    let (stream, tail) = parse_name(tail)?;
+                    let tail = expect_kw(tail, "SEGS")?;
+                    let (segs, tail) = parse_num::<usize>(tail, "segment count")?;
+                    let tail = expect_kw(tail, "EPOCH")?;
+                    let (epoch, tail) = parse_num::<u64>(tail, "epoch")?;
+                    let tail = expect_kw(tail, "OFFSET")?;
+                    let (offset, trailing) = parse_num::<u64>(tail, "offset")?;
+                    if !trailing.is_empty() {
+                        return Err(format!("unexpected trailing input {trailing:?}"));
+                    }
+                    Ok(Command::ReplExport {
+                        stream,
+                        segs,
+                        epoch,
+                        offset,
+                    })
+                }
+                "SEGMENT" => {
+                    let (stream, tail) = parse_name(tail)?;
+                    // segment file names carry '-' and '.', so take the
+                    // raw word rather than an identifier
+                    let (file, tail) = take_word(tail);
+                    if file.is_empty() {
+                        return Err("REPL SEGMENT requires a file name".into());
+                    }
+                    let (rows, tail) = parse_num::<u64>(tail, "row count")?;
+                    let (hex, trailing) = take_word(tail);
+                    if hex.is_empty() {
+                        return Err("REPL SEGMENT requires a hex payload".into());
+                    }
+                    if !trailing.is_empty() {
+                        return Err(format!("unexpected trailing input {trailing:?}"));
+                    }
+                    Ok(Command::ReplSegment {
+                        stream,
+                        file: file.to_string(),
+                        rows,
+                        hex: hex.to_string(),
+                    })
+                }
+                "WAL" => {
+                    let (stream, tail) = parse_name(tail)?;
+                    let tail = expect_kw(tail, "EPOCH")?;
+                    let (epoch, tail) = parse_num::<u64>(tail, "epoch")?;
+                    let tail = expect_kw(tail, "FROM")?;
+                    let (from, tail) = parse_num::<u64>(tail, "offset")?;
+                    // the hex payload may be absent: an empty chunk still
+                    // carries an epoch to adopt after a primary seal
+                    let (hex, trailing) = take_word(tail);
+                    if !trailing.is_empty() {
+                        return Err(format!("unexpected trailing input {trailing:?}"));
+                    }
+                    Ok(Command::ReplWal {
+                        stream,
+                        epoch,
+                        from,
+                        hex: hex.to_string(),
+                    })
+                }
+                "PROMOTE" => {
+                    if !tail.is_empty() {
+                        return Err(format!("unexpected trailing input {tail:?}"));
+                    }
+                    Ok(Command::ReplPromote)
+                }
+                other => Err(format!("REPL {other} is not supported")),
             }
         }
         "QUIT" => Ok(Command::Quit),
@@ -899,6 +1045,64 @@ mod tests {
         assert!(parse_command("REGISTER QUERY q WITHOUT select 1").is_err());
         assert!(parse_command("frobnicate").is_err());
         assert!(parse_command("").is_err());
+    }
+
+    #[test]
+    fn repl_commands() {
+        assert_eq!(
+            parse_command("REPL OPEN S AS CREATE STREAM S (id int)").unwrap(),
+            Command::ReplOpen {
+                stream: "S".into(),
+                ddl: "CREATE STREAM S (id int)".into(),
+            }
+        );
+        assert_eq!(
+            parse_command("repl status S").unwrap(),
+            Command::ReplStatus { stream: "S".into() }
+        );
+        assert_eq!(
+            parse_command("REPL EXPORT S SEGS 3 EPOCH 7 OFFSET 4096").unwrap(),
+            Command::ReplExport {
+                stream: "S".into(),
+                segs: 3,
+                epoch: 7,
+                offset: 4096,
+            }
+        );
+        // segment file names carry '-' and '.' — must parse as a raw word
+        assert_eq!(
+            parse_command("REPL SEGMENT S seg-000002.dcs 128 deadbeef").unwrap(),
+            Command::ReplSegment {
+                stream: "S".into(),
+                file: "seg-000002.dcs".into(),
+                rows: 128,
+                hex: "deadbeef".into(),
+            }
+        );
+        assert_eq!(
+            parse_command("REPL WAL S EPOCH 2 FROM 64 0a0b").unwrap(),
+            Command::ReplWal {
+                stream: "S".into(),
+                epoch: 2,
+                from: 64,
+                hex: "0a0b".into(),
+            }
+        );
+        // empty chunk: pure epoch adoption after a primary seal
+        assert_eq!(
+            parse_command("REPL WAL S EPOCH 3 FROM 0").unwrap(),
+            Command::ReplWal {
+                stream: "S".into(),
+                epoch: 3,
+                from: 0,
+                hex: String::new(),
+            }
+        );
+        assert_eq!(parse_command("REPL PROMOTE").unwrap(), Command::ReplPromote);
+        assert!(parse_command("REPL PROMOTE now").is_err());
+        assert!(parse_command("REPL EXPORT S SEGS x EPOCH 0 OFFSET 0").is_err());
+        assert!(parse_command("REPL SEGMENT S seg-000001.dcs 10").is_err());
+        assert!(parse_command("REPL FROBNICATE").is_err());
     }
 
     #[test]

@@ -598,13 +598,12 @@ impl ServerRuntime {
         Ok(n)
     }
 
-    /// `CREATE STREAM ... PERSIST`: parse the plain DDL, then create the
-    /// stream durably (WAL opened and manifest updated before the OK goes
-    /// out). `ddl` is the CREATE STREAM line with the clause stripped.
-    pub fn create_stream_persistent(&self, ddl: &str, stream: &str) -> Result<()> {
-        self.ensure_running()?;
+    /// Parse a plain `CREATE STREAM` line into the stream's user schema,
+    /// checking the declared name matches `stream`. Shared by the
+    /// persistent-create and replica-open paths.
+    fn parse_stream_ddl(ddl: &str, stream: &str) -> Result<Schema> {
         let stmt = dcsql::parse_statement(ddl)
-            .map_err(|e| ServerError::Protocol(format!("PERSIST: {e}")))?;
+            .map_err(|e| ServerError::Protocol(format!("stream DDL: {e}")))?;
         let dcsql::ast::Stmt::Create {
             kind: dcsql::ast::CreateKind::Stream,
             name,
@@ -612,22 +611,134 @@ impl ServerRuntime {
         } = stmt
         else {
             return Err(ServerError::Protocol(
-                "PERSIST applies to CREATE STREAM only".into(),
+                "expected a CREATE STREAM statement".into(),
             ));
         };
         if name != stream {
             return Err(ServerError::Protocol(format!(
-                "PERSIST stream name mismatch: {name} vs {stream}"
+                "stream name mismatch: {name} vs {stream}"
             )));
         }
-        let schema = Schema::new(
+        Ok(Schema::new(
             fields
                 .iter()
                 .map(|(n, t)| Field::new(n.clone(), *t))
                 .collect(),
-        );
-        self.engine.create_stream_persistent(&name, &schema)?;
+        ))
+    }
+
+    /// `CREATE STREAM ... PERSIST`: parse the plain DDL, then create the
+    /// stream durably (WAL opened and manifest updated before the OK goes
+    /// out). `ddl` is the CREATE STREAM line with the clause stripped.
+    pub fn create_stream_persistent(&self, ddl: &str, stream: &str) -> Result<()> {
+        self.ensure_running()?;
+        let schema = Self::parse_stream_ddl(ddl, stream)?;
+        self.engine.create_stream_persistent(stream, &schema)?;
         Ok(())
+    }
+
+    // ---- replication (REPL verbs; see dcstore::replica) ------------------
+
+    /// The durable store, or the error every REPL verb shares.
+    fn store_required(&self) -> Result<&Arc<dcstore::Store>> {
+        self.store.as_ref().ok_or_else(|| {
+            ServerError::Protocol("replication requires a daemon running with --data-dir".into())
+        })
+    }
+
+    /// Replication may only write to **replica** streams — a stream with
+    /// a live basket is this engine's own primary state.
+    fn ensure_replica(&self, stream: &str) -> Result<()> {
+        if self.engine.basket(stream).is_ok() {
+            return Err(ServerError::Protocol(format!(
+                "stream {stream} has a live basket — replication applies only to replica streams"
+            )));
+        }
+        Ok(())
+    }
+
+    /// `REPL OPEN <stream> AS <ddl>`: open a stream in replica mode
+    /// (durable layout, no live basket). Idempotent for the same schema.
+    pub fn repl_open(&self, stream: &str, ddl: &str) -> Result<()> {
+        self.ensure_running()?;
+        let schema = Self::parse_stream_ddl(ddl, stream)?;
+        self.ensure_replica(stream)?;
+        self.store_required()?.open_replica(stream, &schema)?;
+        Ok(())
+    }
+
+    /// `REPL STATUS <stream>`: the stream's durable catch-up cursor.
+    pub fn repl_status(&self, stream: &str) -> Result<Vec<String>> {
+        let s = self.store_required()?.replica_status(stream)?;
+        Ok(vec![format!(
+            "epoch={} wal_bytes={} segments={}",
+            s.epoch, s.wal_bytes, s.segments
+        )])
+    }
+
+    /// `REPL EXPORT`: primary side of one replication round — durable
+    /// state past the follower's cursor, hex-encoded for the line
+    /// protocol.
+    pub fn repl_export(
+        &self,
+        stream: &str,
+        segs: usize,
+        epoch: u64,
+        offset: u64,
+    ) -> Result<Vec<String>> {
+        self.ensure_running()?;
+        let chunk = self
+            .store_required()?
+            .export_since(stream, segs, epoch, offset)?;
+        let mut body = vec![format!(
+            "epoch={} wal_bytes={} pending_rows={}",
+            chunk.epoch, chunk.wal_bytes, chunk.pending_rows
+        )];
+        for s in &chunk.segments {
+            body.push(format!(
+                "segment file={} rows={} hex={}",
+                s.file,
+                s.rows,
+                dcstore::hex_encode(&s.data)
+            ));
+        }
+        body.push(format!(
+            "wal from={} hex={}",
+            chunk.wal_from,
+            dcstore::hex_encode(&chunk.wal_data)
+        ));
+        Ok(body)
+    }
+
+    /// `REPL SEGMENT`: follower side — land one shipped segment durably.
+    pub fn repl_segment(&self, stream: &str, file: &str, rows: u64, hex: &str) -> Result<()> {
+        self.ensure_running()?;
+        self.ensure_replica(stream)?;
+        let data = dcstore::hex_decode(hex)?;
+        self.store_required()?
+            .apply_segment(stream, file, rows, &data)?;
+        Ok(())
+    }
+
+    /// `REPL WAL`: follower side — append one shipped WAL chunk.
+    pub fn repl_wal(&self, stream: &str, epoch: u64, from: u64, hex: &str) -> Result<()> {
+        self.ensure_running()?;
+        self.ensure_replica(stream)?;
+        let data = dcstore::hex_decode(hex)?;
+        self.store_required()?.apply_wal(stream, epoch, from, &data)?;
+        Ok(())
+    }
+
+    /// `REPL PROMOTE`: replay every replica stream into a live basket
+    /// and attach persistence — this follower becomes a primary. Reports
+    /// what the replay rebuilt.
+    pub fn repl_promote(&self) -> Result<Vec<String>> {
+        self.ensure_running()?;
+        let report = self.store_required()?.promote_replicas(&self.engine)?;
+        Ok(vec![format!(
+            "streams={} replayed_batches={} replayed_rows={} segments={}",
+            report.streams, report.replayed_batches, report.replayed_rows, report.segments
+        )])
     }
 
     /// `FLUSH STREAM <name>`: seal the durable stream's hot rows into a

@@ -146,6 +146,13 @@ pub struct ShardStats {
     pub delivered_tuples: u64,
     pub sessions: u64,
     pub unreachable: bool,
+    /// Follower replica's control address (`-` = shard has no follower;
+    /// empty = pre-replication router). Rendered on both reachable and
+    /// unreachable shards — an unreachable primary with a follower is
+    /// exactly the failover case.
+    pub follower: String,
+    /// Lifetime promotions of a follower to primary on this shard.
+    pub failovers: u64,
 }
 
 /// The whole `STATS` body, typed.
@@ -286,6 +293,8 @@ impl StatsReport {
                     delivered_tuples: num(&kv, "delivered_tuples"),
                     sessions: num(&kv, "sessions"),
                     unreachable: kv.get("unreachable").is_some_and(|v| *v == "true"),
+                    follower: text(&kv, "follower"),
+                    failovers: num(&kv, "failovers"),
                 }),
                 _ => {} // forward compatibility: skip unknown kinds
             }
@@ -361,14 +370,21 @@ impl StatsReport {
             ));
         }
         for sh in &self.shards {
-            if sh.unreachable {
-                body.push(format!("shard {} addr={} unreachable=true", sh.id, sh.addr));
+            let mut line = if sh.unreachable {
+                format!("shard {} addr={} unreachable=true", sh.id, sh.addr)
             } else {
-                body.push(format!(
+                format!(
                     "shard {} addr={} baskets_in={} delivered_tuples={} sessions={}",
                     sh.id, sh.addr, sh.baskets_in, sh.delivered_tuples, sh.sessions
+                )
+            };
+            if !sh.follower.is_empty() {
+                line.push_str(&format!(
+                    " follower={} failovers={}",
+                    sh.follower, sh.failovers
                 ));
             }
+            body.push(line);
         }
         for se in &self.sessions {
             body.push(format!(
@@ -475,8 +491,9 @@ mod tests {
             "server uptime_micros=9 sessions=1 queries=1 receptor_ports=1 emitter_ports=1 \
              engines=2 streams=1",
             "stream S shards=2 key=id engines=0,1",
-            "shard 0 addr=127.0.0.1:9001 baskets_in=50 delivered_tuples=7 sessions=1",
-            "shard 1 addr=127.0.0.1:9002 unreachable=true",
+            "shard 0 addr=127.0.0.1:9001 baskets_in=50 delivered_tuples=7 sessions=1 \
+             follower=127.0.0.1:9101 failovers=0",
+            "shard 1 addr=127.0.0.1:9002 unreachable=true follower=- failovers=2",
         ]);
         let r = StatsReport::parse(&body).unwrap();
         assert_eq!(r.server.engines, 2);
@@ -485,8 +502,12 @@ mod tests {
         assert_eq!(r.streams[0].engines, "0,1");
         assert_eq!(r.shards[0].baskets_in, 50);
         assert!(!r.shards[0].unreachable);
+        assert_eq!(r.shards[0].follower, "127.0.0.1:9101");
+        assert_eq!(r.shards[0].failovers, 0);
         assert!(r.shards[1].unreachable);
         assert_eq!(r.shards[1].addr, "127.0.0.1:9002");
+        assert_eq!(r.shards[1].follower, "-");
+        assert_eq!(r.shards[1].failovers, 2);
     }
 
     #[test]
@@ -505,8 +526,9 @@ mod tests {
              p50_micros=8 p99_micros=64 max_micros=70",
             "receptor S port=5001 format=binary connections=1 accepted=100 rejected=2",
             "emitter hot port=5002 format=text connections=2 coalesced_batches=3",
-            "shard 0 addr=127.0.0.1:9001 baskets_in=50 delivered_tuples=7 sessions=1",
-            "shard 1 addr=127.0.0.1:9002 unreachable=true",
+            "shard 0 addr=127.0.0.1:9001 baskets_in=50 delivered_tuples=7 sessions=1 \
+             follower=127.0.0.1:9101 failovers=1",
+            "shard 1 addr=127.0.0.1:9002 unreachable=true follower=- failovers=0",
             "session 1 peer=127.0.0.1:9 commands=12",
         ]);
         let r = StatsReport::parse(&body).unwrap();

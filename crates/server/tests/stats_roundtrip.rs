@@ -155,7 +155,18 @@ fn report(rng: &mut StdRng) -> StatsReport {
             },
             sessions: if unreachable { 0 } else { rng.gen_range(0u64..16) },
             unreachable,
+            // empty = pre-replication line (keys absent on the wire);
+            // "-" = replicated router, shard without a follower
+            follower: match rng.gen_range(0u8..3) {
+                0 => String::new(),
+                1 => "-".to_string(),
+                _ => addr(rng),
+            },
+            failovers: 0, // patched below: only renders alongside follower
         });
+        if !r.shards.last().unwrap().follower.is_empty() {
+            r.shards.last_mut().unwrap().failovers = rng.gen_range(0u64..8);
+        }
     }
     for id in 0..rng.gen_range(0u64..3) {
         r.sessions.push(SessionStats {

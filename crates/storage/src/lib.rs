@@ -25,6 +25,7 @@
 
 pub mod crc;
 pub mod manifest;
+pub mod replica;
 pub mod segment;
 pub mod wal;
 
@@ -41,6 +42,7 @@ use monet::prelude::*;
 use parking_lot::Mutex;
 
 use manifest::{Manifest, SegmentRef};
+pub use replica::{hex_decode, hex_encode, ExportChunk, ReplicaStatus, SegmentChunk};
 pub use segment::{SegmentMeta, Zone};
 pub use wal::FsyncPolicy;
 use wal::{Wal, WalReplay};
@@ -189,12 +191,39 @@ impl Store {
             .get(name)
             .map(|e| e.segments.clone())
             .unwrap_or_default();
-        let next_seg = segments
+        let mut next_seg = segments
             .iter()
             .filter_map(|s| seg_id_of(&s.file))
             .max()
             .unwrap_or(0)
             + 1;
+        // orphan GC: a crash between a segment file landing and the
+        // manifest adopting it (seal writes the segment first) leaves a
+        // seg-*.dcs (or its .tmp) the manifest never saw. Its rows are
+        // still in the WAL — truncation follows the manifest save — so
+        // removal loses nothing; what must never happen is reusing its
+        // id for a fresh seal, so the id is skipped even if the unlink
+        // fails.
+        let known: std::collections::BTreeSet<&str> =
+            segments.iter().map(|s| s.file.as_str()).collect();
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let fname = entry.file_name();
+                let Some(fname) = fname.to_str() else { continue };
+                if known.contains(fname) {
+                    continue;
+                }
+                let orphan_id = seg_id_of(fname);
+                let seg_tmp = fname.starts_with("seg-") && fname.ends_with(".tmp");
+                if orphan_id.is_none() && !seg_tmp {
+                    continue; // wal.log and anything else stays
+                }
+                if let Some(id) = orphan_id {
+                    next_seg = next_seg.max(id + 1);
+                }
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
         let stream = Arc::new(StreamStore {
             name: name.to_string(),
             dir,

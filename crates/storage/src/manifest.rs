@@ -224,10 +224,11 @@ impl Manifest {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, &path)?;
-        // make the rename itself durable
-        if let Ok(dir) = std::fs::File::open(&self.root) {
-            let _ = dir.sync_all();
-        }
+        // make the rename itself durable: without the directory fsync a
+        // power failure can roll the rename back even though the caller
+        // acknowledged state that only the new manifest records
+        let dir = std::fs::File::open(&self.root)?;
+        dir.sync_all()?;
         Ok(())
     }
 
@@ -262,6 +263,32 @@ impl Manifest {
                 sealed_rows: 0,
             },
         );
+    }
+
+    /// Adopt a segment shipped by replication: inventory + sealed-rows
+    /// bookkeeping only. Unlike [`Manifest::note_seal`] this does NOT
+    /// bump `wal_epoch` — the follower's epoch tracks the *primary's*
+    /// seal history, and moves only via [`Manifest::set_wal_epoch`].
+    pub fn add_segment(&mut self, name: &str, segment: SegmentRef, rows: u64) -> Result<()> {
+        let e = self
+            .streams
+            .get_mut(name)
+            .ok_or_else(|| EngineError::Unknown(format!("manifest stream {name}")))?;
+        e.segments.push(segment);
+        e.sealed_rows += rows;
+        Ok(())
+    }
+
+    /// Set a stream's WAL epoch outright (replica catch-up: the primary
+    /// sealed, so the follower truncates its WAL copy and adopts the
+    /// primary's epoch instead of deriving its own).
+    pub fn set_wal_epoch(&mut self, name: &str, epoch: u64) -> Result<()> {
+        let e = self
+            .streams
+            .get_mut(name)
+            .ok_or_else(|| EngineError::Unknown(format!("manifest stream {name}")))?;
+        e.wal_epoch = epoch;
+        Ok(())
     }
 
     /// Record a seal: optional new segment, WAL watermark bump.

@@ -114,8 +114,10 @@ pub struct WalReplay {
 }
 
 /// Scan `bytes` as a record stream; stops at the first short or
-/// corrupt record.
-fn scan_records(bytes: &[u8]) -> WalReplay {
+/// corrupt record. Public so replication can validate shipped WAL
+/// chunks (and cut them at record boundaries) with the exact decoder
+/// recovery uses.
+pub fn scan_records(bytes: &[u8]) -> WalReplay {
     let mut records = Vec::new();
     let mut at = 0usize;
     while let Some(header) = bytes.get(at..at + RECORD_HEADER) {
@@ -225,6 +227,18 @@ impl Wal {
             FsyncPolicy::Off => {}
         }
         Ok(())
+    }
+
+    /// Append pre-framed record bytes verbatim (header + CRC + payload,
+    /// as produced by another WAL) and sync. The replication apply path:
+    /// the caller has already validated the chunk with [`scan_records`],
+    /// so re-framing would only recompute checksums that shipped intact.
+    pub fn append_framed(&mut self, framed: &[u8]) -> Result<()> {
+        self.file.write_all(framed)?;
+        self.bytes += framed.len() as u64;
+        // replicated bytes are acknowledged upstream — always make them
+        // durable before the apply is acknowledged back
+        self.sync()
     }
 
     /// Force a data sync now (shutdown, seal, policy trigger).
